@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks for the hot components: the per-plan cost
+//! estimate (the MCMC inner loop), search-space construction, Algorithm 1,
+//! and reallocation planning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use real_core::prelude::*;
+
+fn setup() -> (Estimator, SearchSpace, ExecutionPlan) {
+    let cluster = ClusterSpec::h100(2);
+    let actor = ModelSpec::llama3_7b();
+    let critic = actor.critic();
+    let graph = algo::ppo(&actor, &critic, &RlhfConfig::instruct_gpt(512));
+    let mut profiler = Profiler::new(cluster.clone(), ProfileConfig::quick(), 1);
+    let profiles = vec![profiler.profile(&actor), profiler.profile(&critic)];
+    let est = Estimator::new(cluster.clone(), graph.clone(), profiles).unwrap();
+    let space = SearchSpace::build(&cluster, &graph, PruneLevel::Aggressive);
+    let plan = greedy_plan(&est, &space);
+    (est, space, plan)
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let (est, _, plan) = setup();
+    // The paper: evaluating one candidate plan takes hundreds of
+    // microseconds.
+    c.bench_function("estimator_cost_per_plan", |b| {
+        b.iter(|| std::hint::black_box(est.cost(&plan)))
+    });
+    c.bench_function("estimator_max_mem", |b| {
+        b.iter(|| std::hint::black_box(est.max_mem(&plan)))
+    });
+}
+
+fn bench_space(c: &mut Criterion) {
+    let cluster = ClusterSpec::h100(2);
+    let actor = ModelSpec::llama3_7b();
+    let graph = algo::ppo(&actor, &actor.critic(), &RlhfConfig::instruct_gpt(512));
+    c.bench_function("search_space_build_2nodes", |b| {
+        b.iter(|| {
+            std::hint::black_box(SearchSpace::build(&cluster, &graph, PruneLevel::Aggressive))
+        })
+    });
+}
+
+fn bench_mcmc(c: &mut Criterion) {
+    let (est, space, _) = setup();
+    c.bench_function("mcmc_1000_steps", |b| {
+        b.iter(|| {
+            let cfg = McmcConfig {
+                max_steps: 1000,
+                time_limit: std::time::Duration::from_secs(60),
+                record_trace: false,
+                ..McmcConfig::default()
+            };
+            std::hint::black_box(search(&est, &space, &cfg).steps)
+        })
+    });
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let cluster = ClusterSpec::h100(1);
+    let actor = ModelSpec::llama3_7b();
+    let graph = algo::ppo(&actor, &actor.critic(), &RlhfConfig::instruct_gpt(64));
+    let a = CallAssignment::new(
+        DeviceMesh::full(&cluster),
+        ParallelStrategy::new(1, 8, 1, 8).unwrap(),
+    )
+    .unwrap();
+    let plan = ExecutionPlan::new(&graph, &cluster, vec![a; graph.n_calls()]).unwrap();
+    let engine = RuntimeEngine::new(cluster, graph, EngineConfig::default());
+    c.bench_function("runtime_ppo_iteration_8gpu", |b| {
+        b.iter(|| std::hint::black_box(engine.run(&plan, 1).unwrap().iter_time))
+    });
+}
+
+fn bench_mesh_enumeration(c: &mut Criterion) {
+    let big = ClusterSpec::h100(128); // 1024 GPUs
+    c.bench_function("mesh_enumeration_1024gpus", |b| {
+        b.iter(|| std::hint::black_box(DeviceMesh::enumerate(&big).len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_estimator, bench_space, bench_mcmc, bench_runtime, bench_mesh_enumeration
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Shared harness for the figure/table regeneration benches.
+//!
+//! Every experiment in the paper's §8 maps to a function in the `figures`
+//! bench target; this library holds the common machinery: the weak-scaling
+//! settings grid, a plan cache (searching a setting once and reusing the
+//! plan across figures), runners, and JSON persistence under
+//! `target/figures/` so EXPERIMENTS.md numbers are regenerable.
+
+pub mod cache;
+pub mod settings;
+
+pub use cache::PlanCache;
+pub use settings::{ppo_experiment, weak_scaling, Setting};
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory where figure data is persisted.
+pub fn figures_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/figures");
+    fs::create_dir_all(&dir).expect("can create target/figures");
+    dir
+}
+
+/// Persists a serializable value as pretty JSON under `target/figures/`.
+pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+    let path = figures_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("figure data serializes");
+    fs::write(&path, json).expect("can write figure data");
+}
+
+/// Formats a throughput cell, using `OOM` for failed configurations (the
+/// paper's red crosses).
+pub fn cell(result: Option<f64>) -> String {
+    match result {
+        Some(v) => format!("{v:.0}"),
+        None => "OOM".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figures_dir_exists_after_call() {
+        assert!(figures_dir().is_dir());
+    }
+
+    #[test]
+    fn cell_formats_oom() {
+        assert_eq!(cell(None), "OOM");
+        assert_eq!(cell(Some(1234.56)), "1235");
+    }
+
+    #[test]
+    fn save_json_round_trips() {
+        save_json("selftest", &vec![1, 2, 3]);
+        let s = std::fs::read_to_string(figures_dir().join("selftest.json")).unwrap();
+        let v: Vec<i32> = serde_json::from_str(&s).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+}

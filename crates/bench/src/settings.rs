@@ -1,0 +1,104 @@
+//! Experiment settings matching the paper's §8 grid.
+
+use real_core::prelude::*;
+
+/// One experimental configuration.
+#[derive(Debug, Clone)]
+pub struct Setting {
+    /// Display name, e.g. `"7B+7B/16GPUs"`.
+    pub name: String,
+    /// Nodes in the cluster (8 GPUs each).
+    pub nodes: u32,
+    /// Actor (and reference) architecture.
+    pub actor: ModelSpec,
+    /// Critic (and reward) architecture.
+    pub critic: ModelSpec,
+    /// Workload configuration.
+    pub cfg: RlhfConfig,
+}
+
+impl Setting {
+    /// Builds a setting.
+    pub fn new(nodes: u32, actor: ModelSpec, batch: u64) -> Self {
+        let critic = ModelSpec::llama3_7b().critic();
+        Self {
+            name: format!(
+                "{}+7B/{}GPUs",
+                actor.name.trim_start_matches("llama3-").to_uppercase(),
+                nodes * 8
+            ),
+            nodes,
+            actor,
+            critic,
+            cfg: RlhfConfig::instruct_gpt(batch),
+        }
+    }
+
+    /// The cluster for this setting.
+    pub fn cluster(&self) -> ClusterSpec {
+        ClusterSpec::h100(self.nodes)
+    }
+
+    /// Context-scaled variant (constant token budget, Appendix A).
+    pub fn with_context_scale(mut self, factor: u64) -> Self {
+        self.cfg = self.cfg.with_context_scale(factor);
+        self.name = format!("{}/ctx{}", self.name, self.cfg.context_len());
+        self
+    }
+
+    /// Tokens in the global batch per iteration.
+    pub fn tokens_per_iter(&self) -> u64 {
+        self.cfg.batch_size * self.cfg.context_len()
+    }
+}
+
+/// The paper's weak-scaling grid (§8.1): 16→128 GPUs with 7B→70B actors and
+/// batch 512→4096, 7B critics throughout.
+pub fn weak_scaling() -> Vec<Setting> {
+    vec![
+        Setting::new(2, ModelSpec::llama3_7b(), 512),
+        Setting::new(4, ModelSpec::llama3_13b(), 1024),
+        Setting::new(8, ModelSpec::llama3_34b(), 2048),
+        Setting::new(16, ModelSpec::llama3_70b(), 4096),
+    ]
+}
+
+/// A PPO experiment for a setting, with the harness defaults (full
+/// profiling grid, aggressive pruning).
+pub fn ppo_experiment(s: &Setting) -> Experiment {
+    Experiment::ppo(s.cluster(), s.actor.clone(), s.critic.clone(), s.cfg)
+        .with_seed(17)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_scaling_matches_paper_grid() {
+        let grid = weak_scaling();
+        assert_eq!(grid.len(), 4);
+        assert_eq!(grid[0].nodes * 8, 16);
+        assert_eq!(grid[3].nodes * 8, 128);
+        assert_eq!(grid[3].cfg.batch_size, 4096);
+        assert_eq!(grid[0].name, "7B+7B/16GPUs");
+        assert_eq!(grid[3].name, "70B+7B/128GPUs");
+    }
+
+    #[test]
+    fn context_scaling_preserves_tokens() {
+        let s = Setting::new(2, ModelSpec::llama3_7b(), 512);
+        let long = s.clone().with_context_scale(4);
+        assert_eq!(s.tokens_per_iter(), long.tokens_per_iter());
+        assert_eq!(long.cfg.context_len(), 8192);
+        assert!(long.name.contains("ctx8192"));
+    }
+
+    #[test]
+    fn experiment_builds_for_every_setting() {
+        for s in weak_scaling() {
+            let exp = ppo_experiment(&s);
+            assert_eq!(exp.graph().n_calls(), 6);
+        }
+    }
+}

@@ -1,0 +1,513 @@
+//! The `real` CLI subcommands: build experiments from flags, plan, run,
+//! and compare.
+
+use crate::args::{ArgError, Args};
+use real_core::prelude::*;
+use std::fmt;
+use std::time::Duration;
+
+/// CLI-level errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing/extraction failed.
+    Args(ArgError),
+    /// A flag value is semantically invalid (unknown model, bad algorithm).
+    Invalid(String),
+    /// Planning found no feasible plan.
+    NoFeasiblePlan,
+    /// The run hit an engine error (OOM).
+    Run(RunError),
+    /// Filesystem I/O failed.
+    Io(std::io::Error),
+    /// JSON (de)serialization failed.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Invalid(m) => write!(f, "{m}"),
+            CliError::NoFeasiblePlan => write!(f, "search found no memory-feasible plan"),
+            CliError::Run(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Json(e) => write!(f, "json error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+impl From<RunError> for CliError {
+    fn from(e: RunError) -> Self {
+        CliError::Run(e)
+    }
+}
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Json(e)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+real — ReaL RLHF execution planning on a simulated cluster
+
+USAGE: real <command> [--flag value ...]
+
+COMMANDS:
+  plan        search for an execution plan, print it (optionally --out plan.json)
+  run         execute a plan (searched, --heuristic, or --plan plan.json)
+  baselines   run the four baseline systems plus ReaL on one workload
+  profile     profile a model family (--out db.json to save it)
+  estimate    per-call estimates + memory for a plan, without running it
+  advise      sweep cluster sizes 1..--max-nodes, recommend one (§8.4)
+  models      print the Table 1 model configurations
+  help        this text
+
+WORKLOAD FLAGS (plan/run/baselines):
+  --nodes N        cluster nodes, 8 GPUs each        [default 1]
+  --actor SIZE     7b | 13b | 34b | 70b              [default 7b]
+  --critic SIZE    7b | 13b | 34b | 70b              [default 7b]
+  --algo A         ppo|dpo|grpo|remax|raft|itdpo     [default ppo]
+  --batch B        global batch (prompts)            [default 128]
+  --ctx-scale K    context 2048*K, batch/K (Fig. 8)  [default 1]
+  --seed S                                           [default 1]
+
+SEARCH FLAGS (plan/run):
+  --steps N        MCMC step budget                  [default 40000]
+  --time SECS      search wall-clock budget          [default 20]
+  --chains N       parallel chains                   [default 1]
+  --explain        (plan) diff the plan against the heuristic
+  --out FILE       (plan) save the plan as JSON
+
+RUN FLAGS:
+  --iters N        RLHF iterations to execute        [default 2]
+  --plan FILE      execute a saved plan JSON
+  --heuristic      execute the symmetric REAL-Heuristic plan
+  --no-cuda-graph  disable CUDA-graph generation
+  --trace FILE     write a Chrome-trace JSON of the run
+  --quick-profile  reduced profiling grid (faster, coarser)
+  --profile-db F   comma-separated saved profile JSONs to reuse
+";
+
+/// Builds an [`Experiment`] from common workload flags.
+pub fn experiment_from(args: &Args) -> Result<Experiment, CliError> {
+    let nodes: u32 = args.num_or("nodes", 1)?;
+    if nodes == 0 || !nodes.is_power_of_two() {
+        return Err(CliError::Invalid(format!(
+            "--nodes must be a positive power of two, got {nodes}"
+        )));
+    }
+    let cluster = ClusterSpec::h100(nodes);
+    let actor = model_flag(args, "actor")?;
+    let critic = model_flag(args, "critic")?.critic();
+    let batch: u64 = args.num_or("batch", 128)?;
+    let ctx_scale: u64 = args.num_or("ctx-scale", 1)?;
+    if ctx_scale == 0 || batch % ctx_scale != 0 {
+        return Err(CliError::Invalid(format!(
+            "--ctx-scale {ctx_scale} must be positive and divide --batch {batch}"
+        )));
+    }
+    let cfg = RlhfConfig::instruct_gpt(batch).with_context_scale(ctx_scale);
+    let algo = args.str_or("algo", "ppo");
+    let mut exp = match algo.as_str() {
+        "ppo" => Experiment::ppo(cluster, actor, critic, cfg),
+        "dpo" => Experiment::dpo(cluster, actor, cfg),
+        "grpo" => Experiment::grpo(cluster, actor, critic, cfg),
+        "remax" => Experiment::remax(cluster, actor, critic, cfg),
+        "raft" => Experiment::raft(cluster, actor, critic, cfg),
+        "itdpo" => Experiment::iterative_dpo(cluster, actor, critic, cfg),
+        other => {
+            return Err(CliError::Invalid(format!(
+                "unknown --algo {other}; expected ppo|dpo|grpo|remax|raft|itdpo"
+            )))
+        }
+    };
+    exp = exp.with_seed(args.num_or("seed", 1)?);
+    if args.flag("quick-profile") {
+        exp = exp.with_quick_profile();
+    }
+    if let Some(path) = args.str_opt("profile-db") {
+        let mut profiles = Vec::new();
+        for part in path.split(',') {
+            let db: ProfileDb = serde_json::from_str(&std::fs::read_to_string(part)?)?;
+            profiles.push(db);
+        }
+        exp = exp.with_profiles(profiles);
+    }
+    let mut engine = EngineConfig::default();
+    engine.seed = args.num_or("seed", 1)?;
+    if args.flag("no-cuda-graph") {
+        engine.cuda_graph = false;
+    }
+    if args.str_opt("trace").is_some() {
+        engine.trace_capacity = 500_000;
+    }
+    Ok(exp.with_engine_config(engine))
+}
+
+fn model_flag(args: &Args, flag: &str) -> Result<ModelSpec, CliError> {
+    let size = args.str_or(flag, "7b");
+    ModelSpec::by_size(&size)
+        .ok_or_else(|| CliError::Invalid(format!("unknown --{flag} {size}; expected 7b|13b|34b|70b")))
+}
+
+/// Search configuration from flags.
+pub fn mcmc_from(args: &Args) -> Result<(McmcConfig, usize), CliError> {
+    let cfg = McmcConfig {
+        max_steps: args.num_or("steps", 40_000u64)?,
+        time_limit: Duration::from_secs(args.num_or("time", 20u64)?),
+        seed: args.num_or("seed", 1u64)?,
+        ..McmcConfig::default()
+    };
+    let chains: usize = args.num_or("chains", 1usize)?;
+    if chains == 0 {
+        return Err(CliError::Invalid("--chains must be positive".into()));
+    }
+    Ok((cfg, chains))
+}
+
+/// `real plan`
+pub fn cmd_plan(args: &Args) -> Result<String, CliError> {
+    let exp = experiment_from(args)?;
+    let (cfg, chains) = mcmc_from(args)?;
+    let planned = if chains > 1 {
+        exp.plan_auto_parallel(&cfg, chains)
+    } else {
+        exp.plan_auto(&cfg)
+    }
+    .map_err(|_| CliError::NoFeasiblePlan)?;
+
+    if let Some(path) = args.str_opt("out") {
+        std::fs::write(path, serde_json::to_string_pretty(&planned.plan)?)?;
+    }
+    let mut out = String::new();
+    out.push_str(&planned.plan.render(exp.graph()));
+    if args.flag("explain") {
+        let (est, _) = exp.prepare();
+        let heuristic = exp.plan_heuristic();
+        let cmp = compare(&est, &heuristic, &planned.plan);
+        out.push_str("\nvs the symmetric heuristic (single-swap contributions):\n");
+        out.push_str(&cmp.render());
+    }
+    out.push_str(&format!(
+        "\nsearch: {} steps, {} accepted ({:.0}%), best TimeCost {:.2}s, profiling {:.0}s (simulated)\n",
+        planned.search.steps,
+        planned.search.accepted,
+        planned.search.acceptance_rate() * 100.0,
+        planned.search.best_time_cost,
+        planned.profiling_secs,
+    ));
+    Ok(out)
+}
+
+/// `real run`
+pub fn cmd_run(args: &Args) -> Result<String, CliError> {
+    let exp = experiment_from(args)?;
+    let plan: ExecutionPlan = if let Some(path) = args.str_opt("plan") {
+        serde_json::from_str(&std::fs::read_to_string(path)?)?
+    } else if args.flag("heuristic") {
+        exp.plan_heuristic()
+    } else {
+        let (cfg, chains) = mcmc_from(args)?;
+        if chains > 1 {
+            exp.plan_auto_parallel(&cfg, chains)
+        } else {
+            exp.plan_auto(&cfg)
+        }
+        .map_err(|_| CliError::NoFeasiblePlan)?
+        .plan
+    };
+    let iters: usize = args.num_or("iters", 2)?;
+    let report = exp.run(&plan, iters)?;
+    if let Some(path) = args.str_opt("trace") {
+        let json = real_core::real_sim::trace::to_chrome_trace(&report.run.trace);
+        std::fs::write(path, json)?;
+    }
+    Ok(report.render(exp.graph()))
+}
+
+/// `real baselines`
+pub fn cmd_baselines(args: &Args) -> Result<String, CliError> {
+    let exp = experiment_from(args)?;
+    if args.str_or("algo", "ppo") != "ppo" {
+        return Err(CliError::Invalid("baselines are defined for --algo ppo".into()));
+    }
+    let cluster = exp.cluster().clone();
+    let graph = exp.graph().clone();
+    let iters: usize = args.num_or("iters", 2)?;
+    let tokens = graph
+        .calls()
+        .iter()
+        .map(|c| c.call_type.total_tokens())
+        .max()
+        .unwrap_or(0);
+
+    let mut table = real_util::Table::new(vec!["system", "tokens/s", "iteration (s)"]);
+    for (name, setup) in baselines::all(&cluster, &graph, exp.engine_config()) {
+        match setup {
+            Ok(b) => {
+                let engine = RuntimeEngine::new(cluster.clone(), graph.clone(), b.config);
+                match engine.run(&b.plan, iters) {
+                    Ok(r) => table.row(vec![
+                        name.into(),
+                        format!("{:.0}", r.tokens_per_sec(tokens)),
+                        format!("{:.1}", r.iter_time),
+                    ]),
+                    Err(_) => table.row(vec![name.into(), "OOM".into(), "-".into()]),
+                }
+            }
+            Err(_) => table.row(vec![name.into(), "OOM".into(), "-".into()]),
+        };
+    }
+    let (cfg, chains) = mcmc_from(args)?;
+    if let Ok(planned) = if chains > 1 {
+        exp.plan_auto_parallel(&cfg, chains)
+    } else {
+        exp.plan_auto(&cfg)
+    } {
+        let r = exp.run(&planned.plan, iters)?;
+        table.row(vec![
+            "ReaL (searched)".into(),
+            format!("{:.0}", r.tokens_per_sec),
+            format!("{:.1}", r.run.iter_time),
+        ]);
+    }
+    Ok(table.render())
+}
+
+/// `real profile`
+pub fn cmd_profile(args: &Args) -> Result<String, CliError> {
+    let nodes: u32 = args.num_or("nodes", 1)?;
+    let model = model_flag(args, "model").or_else(|_| model_flag(args, "actor"))?;
+    let config = if args.flag("quick-profile") {
+        ProfileConfig::quick()
+    } else {
+        ProfileConfig::paper()
+    };
+    let mut profiler = Profiler::new(ClusterSpec::h100(nodes.max(1)), config, args.num_or("seed", 1)?);
+    let db = profiler.profile(&model);
+    if let Some(path) = args.str_opt("out") {
+        std::fs::write(path, serde_json::to_string(&db)?)?;
+    }
+    Ok(format!(
+        "profiled {}: {} tables from {} samples, {:.0}s of simulated microbenchmarks\n",
+        db.model_name(),
+        db.n_tables(),
+        db.n_samples(),
+        db.profiling_secs(),
+    ))
+}
+
+/// `real estimate`: per-call estimates and memory for a plan without
+/// executing it (the lightweight §5.1 path alone).
+pub fn cmd_estimate(args: &Args) -> Result<String, CliError> {
+    let exp = experiment_from(args)?;
+    let plan: ExecutionPlan = if let Some(path) = args.str_opt("plan") {
+        serde_json::from_str(&std::fs::read_to_string(path)?)?
+    } else {
+        exp.plan_heuristic()
+    };
+    let (est, _) = exp.prepare();
+    let mut t = real_util::Table::new(vec!["call", "assignment", "estimated (s)"]);
+    for (id, def) in exp.graph().iter() {
+        let a = plan.assignment(id);
+        t.row(vec![
+            def.call_name.clone(),
+            a.to_string(),
+            format!("{:.2}", est.call_duration(id, a)),
+        ]);
+    }
+    Ok(format!(
+        "{}\nTimeCost {:.2}s; MaxMem {} (capacity {}); feasible: {}\n",
+        t.render(),
+        est.time_cost(&plan),
+        real_util::units::fmt_bytes(est.max_mem(&plan)),
+        real_util::units::fmt_bytes(exp.cluster().gpu.mem_capacity),
+        est.mem_ok(&plan),
+    ))
+}
+
+/// `real advise`: sweep candidate cluster sizes and recommend one (§8.4).
+pub fn cmd_advise(args: &Args) -> Result<String, CliError> {
+    let max_nodes: u32 = args.num_or("max-nodes", 8)?;
+    if max_nodes == 0 {
+        return Err(CliError::Invalid("--max-nodes must be positive".into()));
+    }
+    let mut candidates = Vec::new();
+    let mut n = 1;
+    while n <= max_nodes {
+        candidates.push(n);
+        n *= 2;
+    }
+    let (cfg, _) = mcmc_from(args)?;
+    let iters: usize = args.num_or("iters", 2)?;
+    // Rebuild the experiment per size by substituting --nodes.
+    let rec = real_core::advisor::recommend(&candidates, &cfg, iters, |nodes| {
+        let mut patched = args.clone();
+        patched.set("nodes", nodes.to_string());
+        experiment_from(&patched).expect("flags validated on first use")
+    });
+    // Validate the base flags once so errors surface cleanly.
+    experiment_from(args)?;
+    Ok(rec.render())
+}
+
+/// `real models`
+pub fn cmd_models() -> String {
+    let mut t = real_util::Table::new(vec![
+        "id", "hidden", "intermediate", "layers", "heads", "kv", "params", "params w/o out-embed",
+    ]);
+    for size in ["7b", "13b", "34b", "70b"] {
+        let m = ModelSpec::by_size(size).expect("preset exists");
+        t.row(vec![
+            size.into(),
+            m.hidden.to_string(),
+            m.intermediate.to_string(),
+            m.n_layers.to_string(),
+            m.n_heads.to_string(),
+            m.n_kv_heads.to_string(),
+            m.param_count().to_string(),
+            m.param_count_no_output_embed().to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Dispatches a parsed command line.
+pub fn dispatch(args: &Args) -> Result<String, CliError> {
+    match args.command() {
+        "plan" => cmd_plan(args),
+        "run" => cmd_run(args),
+        "baselines" => cmd_baselines(args),
+        "profile" => cmd_profile(args),
+        "estimate" => cmd_estimate(args),
+        "advise" => cmd_advise(args),
+        "models" => Ok(cmd_models()),
+        "help" => Ok(USAGE.to_string()),
+        other => Err(CliError::Invalid(format!(
+            "unknown command {other:?}; try `real help`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(argv: &[&str]) -> Args {
+        Args::parse(argv.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn models_table_matches_table1() {
+        let out = cmd_models();
+        assert!(out.contains("8030261248"));
+        assert!(out.contains("70553706496"));
+    }
+
+    #[test]
+    fn experiment_from_defaults() {
+        let exp = experiment_from(&parse(&["plan"])).unwrap();
+        assert_eq!(exp.cluster().n_nodes, 1);
+        assert_eq!(exp.graph().n_calls(), 6); // ppo
+    }
+
+    #[test]
+    fn experiment_rejects_bad_model_and_algo() {
+        assert!(experiment_from(&parse(&["plan", "--actor", "3b"])).is_err());
+        assert!(experiment_from(&parse(&["plan", "--algo", "sft"])).is_err());
+        assert!(experiment_from(&parse(&["plan", "--nodes", "3"])).is_err());
+        assert!(experiment_from(&parse(&["plan", "--ctx-scale", "3", "--batch", "128"])).is_err());
+    }
+
+    #[test]
+    fn plan_and_run_roundtrip_through_json() {
+        let dir = std::env::temp_dir().join("real-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan_path = dir.join("plan.json");
+        let argv = [
+            "plan", "--nodes", "1", "--batch", "32", "--steps", "300", "--time", "10",
+            "--quick-profile", "--out", plan_path.to_str().unwrap(),
+        ];
+        let out = cmd_plan(&parse(&argv)).unwrap();
+        assert!(out.contains("actor_gen"));
+        assert!(plan_path.is_file());
+
+        let argv = [
+            "run", "--nodes", "1", "--batch", "32", "--iters", "1", "--quick-profile",
+            "--plan", plan_path.to_str().unwrap(),
+        ];
+        let out = cmd_run(&parse(&argv)).unwrap();
+        assert!(out.contains("throughput"));
+    }
+
+    #[test]
+    fn heuristic_run_works() {
+        let argv = ["run", "--nodes", "1", "--batch", "32", "--iters", "1",
+                    "--quick-profile", "--heuristic"];
+        let out = cmd_run(&parse(&argv)).unwrap();
+        assert!(out.contains("end2end"));
+    }
+
+    #[test]
+    fn profile_save_and_reuse_roundtrip() {
+        let dir = std::env::temp_dir().join("real-cli-profiles");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("7b.json");
+        let c = dir.join("7bc.json");
+        cmd_profile(&parse(&["profile", "--model", "7b", "--quick-profile",
+                             "--out", a.to_str().unwrap()])).unwrap();
+        // Profile the critic architecture via a tiny plan run that saves it.
+        let mut profiler = Profiler::new(
+            ClusterSpec::h100(1), ProfileConfig::quick(), 1);
+        let db = profiler.profile(&ModelSpec::llama3_7b().critic());
+        std::fs::write(&c, serde_json::to_string(&db).unwrap()).unwrap();
+
+        let dbs = format!("{},{}", a.to_str().unwrap(), c.to_str().unwrap());
+        let out = cmd_estimate(&parse(&["estimate", "--nodes", "1", "--batch", "32",
+                                        "--quick-profile", "--profile-db", &dbs])).unwrap();
+        assert!(out.contains("TimeCost"));
+        assert!(out.contains("feasible: true"));
+    }
+
+    #[test]
+    fn estimate_without_plan_uses_heuristic() {
+        let out = cmd_estimate(&parse(&["estimate", "--nodes", "1", "--batch", "32",
+                                        "--quick-profile"])).unwrap();
+        assert!(out.contains("actor_gen"));
+        assert!(out.contains("MaxMem"));
+    }
+
+    #[test]
+    fn advise_sweeps_and_recommends() {
+        let out = cmd_advise(&parse(&["advise", "--max-nodes", "2", "--batch", "64",
+                                      "--steps", "400", "--time", "10",
+                                      "--quick-profile"])).unwrap();
+        assert!(out.contains("recommendation"));
+        assert!(out.contains("nodes"));
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_command() {
+        let e = dispatch(&parse(&["frobnicate"])).unwrap_err();
+        assert!(matches!(e, CliError::Invalid(_)));
+    }
+
+    #[test]
+    fn help_is_printed() {
+        let out = dispatch(&parse(&["help"])).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+}

@@ -1,0 +1,198 @@
+//! α–β cost models for the collectives ReaL issues.
+//!
+//! NCCL's ring and tree algorithms have well-known closed-form costs; the
+//! runtime estimator (§5.1) approximates transfer time "with the data size
+//! and the bandwidth instead of running a real NCCL operation", which is
+//! precisely what these functions compute. Both the estimator and the
+//! runtime engine charge communication through this one model so the two
+//! stay comparable.
+
+use crate::spec::ClusterSpec;
+use serde::{Deserialize, Serialize};
+
+/// Communication cost calculator bound to a cluster's link parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommModel {
+    bw_intra: f64,
+    bw_inter: f64,
+    lat_intra: f64,
+    lat_inter: f64,
+}
+
+impl CommModel {
+    /// Builds the model from a cluster spec.
+    pub fn new(cluster: &ClusterSpec) -> Self {
+        Self {
+            bw_intra: cluster.intra_node_bw,
+            bw_inter: cluster.inter_node_bw,
+            lat_intra: cluster.intra_node_latency,
+            lat_inter: cluster.inter_node_latency,
+        }
+    }
+
+    /// Builds the model from *measured* link parameters — the profiler
+    /// measures bandwidths and latencies (§5.1) and the estimator prices
+    /// collectives from those measurements rather than ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bandwidth is non-positive or a latency negative.
+    pub fn from_parameters(bw_intra: f64, bw_inter: f64, lat_intra: f64, lat_inter: f64) -> Self {
+        assert!(bw_intra > 0.0 && bw_inter > 0.0, "bandwidths must be positive");
+        assert!(lat_intra >= 0.0 && lat_inter >= 0.0, "latencies must be non-negative");
+        Self { bw_intra, bw_inter, lat_intra, lat_inter }
+    }
+
+    fn link(&self, within_node: bool) -> (f64, f64) {
+        if within_node {
+            (self.bw_intra, self.lat_intra)
+        } else {
+            (self.bw_inter, self.lat_inter)
+        }
+    }
+
+    /// Ring all-reduce of `bytes` over a group of `n` ranks.
+    ///
+    /// Cost: `2(n-1)·α + 2(n-1)/n · bytes/β`. Returns 0 for `n <= 1`.
+    pub fn all_reduce(&self, bytes: f64, n: u32, within_node: bool) -> f64 {
+        debug_assert!(bytes >= 0.0);
+        if n <= 1 {
+            return 0.0;
+        }
+        let (bw, lat) = self.link(within_node);
+        let steps = (n - 1) as f64;
+        2.0 * steps * lat + 2.0 * steps / n as f64 * bytes / bw
+    }
+
+    /// Ring all-gather where each rank ends with `bytes` total payload.
+    ///
+    /// Cost: `(n-1)·α + (n-1)/n · bytes/β`. Returns 0 for `n <= 1`.
+    pub fn all_gather(&self, bytes: f64, n: u32, within_node: bool) -> f64 {
+        debug_assert!(bytes >= 0.0);
+        if n <= 1 {
+            return 0.0;
+        }
+        let (bw, lat) = self.link(within_node);
+        let steps = (n - 1) as f64;
+        steps * lat + steps / n as f64 * bytes / bw
+    }
+
+    /// Ring reduce-scatter of `bytes` of input per rank (same cost shape as
+    /// all-gather).
+    pub fn reduce_scatter(&self, bytes: f64, n: u32, within_node: bool) -> f64 {
+        self.all_gather(bytes, n, within_node)
+    }
+
+    /// Binary-tree broadcast of `bytes` from one root to `n - 1` receivers.
+    ///
+    /// Cost: `ceil(log2 n)·α + bytes/β` (pipelined tree). Returns 0 for
+    /// `n <= 1`.
+    pub fn broadcast(&self, bytes: f64, n: u32, within_node: bool) -> f64 {
+        debug_assert!(bytes >= 0.0);
+        if n <= 1 {
+            return 0.0;
+        }
+        let (bw, lat) = self.link(within_node);
+        let hops = (32 - (n - 1).leading_zeros()) as f64; // ceil(log2 n)
+        hops * lat + bytes / bw
+    }
+
+    /// Point-to-point send of `bytes`.
+    pub fn p2p(&self, bytes: f64, within_node: bool) -> f64 {
+        debug_assert!(bytes >= 0.0);
+        let (bw, lat) = self.link(within_node);
+        lat + bytes / bw
+    }
+
+    /// Host↔device copy of `bytes` over PCIe (used for offloading). PCIe 5
+    /// x16 ≈ 55 GB/s effective.
+    pub fn host_device(&self, bytes: f64) -> f64 {
+        debug_assert!(bytes >= 0.0);
+        const PCIE_BW: f64 = 55.0e9;
+        5.0e-6 + bytes / PCIE_BW
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model() -> CommModel {
+        CommModel::new(&ClusterSpec::h100(2))
+    }
+
+    #[test]
+    fn singleton_groups_are_free() {
+        let m = model();
+        assert_eq!(m.all_reduce(1e9, 1, true), 0.0);
+        assert_eq!(m.all_gather(1e9, 0, true), 0.0);
+        assert_eq!(m.broadcast(1e9, 1, false), 0.0);
+    }
+
+    #[test]
+    fn all_reduce_is_twice_all_gather_bandwidth_term() {
+        let m = model();
+        // With zero latency links, AR = 2*AG exactly.
+        let mut zero_lat = model();
+        zero_lat.lat_intra = 0.0;
+        let ar = zero_lat.all_reduce(1e9, 8, true);
+        let ag = zero_lat.all_gather(1e9, 8, true);
+        assert!((ar / ag - 2.0).abs() < 1e-9);
+        assert!(m.all_reduce(1e9, 8, true) > ar); // latency adds cost
+    }
+
+    #[test]
+    fn inter_node_costs_more() {
+        let m = model();
+        assert!(m.all_reduce(1e9, 8, false) > m.all_reduce(1e9, 8, true));
+        assert!(m.p2p(1e8, false) > m.p2p(1e8, true));
+    }
+
+    #[test]
+    fn broadcast_latency_scales_with_log_group() {
+        let mut m = model();
+        m.bw_intra = f64::INFINITY;
+        let b2 = m.broadcast(0.0, 2, true);
+        let b8 = m.broadcast(0.0, 8, true);
+        assert!((b8 / b2 - 3.0).abs() < 1e-9); // log2(8)/log2(2)
+    }
+
+    #[test]
+    fn ring_all_reduce_matches_closed_form() {
+        let m = model();
+        // n=4 within node: 2*3*lat + (2*3/4)*bytes/bw
+        let bytes = 4.0e9;
+        let expect = 2.0 * 3.0 * 3.0e-6 + 1.5 * bytes / 450.0e9;
+        assert!((m.all_reduce(bytes, 4, true) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn host_device_has_latency_floor() {
+        let m = model();
+        assert!(m.host_device(0.0) > 0.0);
+        assert!(m.host_device(55.0e9) > 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn costs_monotone_in_bytes(bytes in 0.0..1e12f64, n in 2u32..64) {
+            let m = model();
+            let more = bytes * 2.0 + 1.0;
+            prop_assert!(m.all_reduce(more, n, true) > m.all_reduce(bytes, n, true));
+            prop_assert!(m.broadcast(more, n, false) > m.broadcast(bytes, n, false));
+            prop_assert!(m.p2p(more, true) > m.p2p(bytes, true));
+        }
+
+        #[test]
+        fn all_reduce_bandwidth_term_saturates(n in 2u32..512) {
+            // The per-rank bandwidth term 2(n-1)/n approaches 2: cost for a
+            // fixed payload is bounded regardless of group size (latency
+            // aside).
+            let mut m = model();
+            m.lat_intra = 0.0;
+            let c = m.all_reduce(1e9, n, true);
+            prop_assert!(c <= 2.0 * 1e9 / 450.0e9 + 1e-9);
+        }
+    }
+}

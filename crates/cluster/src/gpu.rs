@@ -1,0 +1,169 @@
+//! Analytic GPU device model.
+
+use real_util::units::{GB, GIB, TFLOPS};
+use serde::{Deserialize, Serialize};
+
+/// An analytic model of a single accelerator.
+///
+/// These five quantities are all the per-device information the ReaL cost
+/// model needs: compute-bound kernels are charged `flops / (peak · eff)`,
+/// memory-bound kernels (auto-regressive decoding, KV-cache reads) are
+/// charged `bytes / hbm_bw`, and each kernel invocation pays
+/// `launch_overhead` unless CUDA-graph capture is enabled (Table 6 of the
+/// paper measures exactly this toggle).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"H100"`.
+    pub name: String,
+    /// Peak dense BF16 throughput in FLOP/s.
+    pub peak_flops_bf16: f64,
+    /// Achievable fraction of peak for large GEMMs (model-level efficiency).
+    pub gemm_efficiency: f64,
+    /// HBM bandwidth in bytes/s.
+    pub hbm_bw: f64,
+    /// Device memory capacity in bytes.
+    pub mem_capacity: u64,
+    /// Per-kernel launch overhead in seconds (eliminated by CUDA graphs).
+    pub launch_overhead: f64,
+}
+
+impl GpuSpec {
+    /// An NVIDIA H100 SXM-like device (the paper's testbed GPU).
+    pub fn h100() -> Self {
+        Self {
+            name: "H100".to_string(),
+            peak_flops_bf16: 989.0 * TFLOPS,
+            gemm_efficiency: 0.55,
+            hbm_bw: 3.35 * 1e12,
+            mem_capacity: 80 * GIB,
+            launch_overhead: 6.0e-6,
+        }
+    }
+
+    /// An NVIDIA A100 SXM-like device, useful for what-if experiments.
+    pub fn a100() -> Self {
+        Self {
+            name: "A100".to_string(),
+            peak_flops_bf16: 312.0 * TFLOPS,
+            gemm_efficiency: 0.5,
+            hbm_bw: 2.0 * 1e12,
+            mem_capacity: 80 * GIB,
+            launch_overhead: 8.0e-6,
+        }
+    }
+
+    /// Effective sustained GEMM throughput in FLOP/s.
+    pub fn effective_flops(&self) -> f64 {
+        self.peak_flops_bf16 * self.gemm_efficiency
+    }
+
+    /// Time to execute `flops` of dense compute on this device.
+    pub fn compute_time(&self, flops: f64) -> f64 {
+        debug_assert!(flops >= 0.0);
+        flops / self.effective_flops()
+    }
+
+    /// Time to stream `bytes` through HBM.
+    pub fn mem_io_time(&self, bytes: f64) -> f64 {
+        debug_assert!(bytes >= 0.0);
+        bytes / self.hbm_bw
+    }
+
+    /// Roofline kernel time: the max of the compute and memory-IO components
+    /// plus the launch overhead (zero when `cuda_graph` is set).
+    pub fn kernel_time(&self, flops: f64, bytes: f64, cuda_graph: bool) -> f64 {
+        let overhead = if cuda_graph { 0.0 } else { self.launch_overhead };
+        self.compute_time(flops).max(self.mem_io_time(bytes)) + overhead
+    }
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        Self::h100()
+    }
+}
+
+/// Sanity floor for bandwidth/time parameters: `assert!`s a spec is usable.
+///
+/// # Errors
+///
+/// Returns a message describing the first invalid field.
+pub fn validate(spec: &GpuSpec) -> Result<(), String> {
+    if spec.peak_flops_bf16 <= 0.0 {
+        return Err(format!("peak_flops_bf16 must be positive, got {}", spec.peak_flops_bf16));
+    }
+    if !(0.0..=1.0).contains(&spec.gemm_efficiency) || spec.gemm_efficiency == 0.0 {
+        return Err(format!("gemm_efficiency must be in (0, 1], got {}", spec.gemm_efficiency));
+    }
+    if spec.hbm_bw <= 0.0 {
+        return Err(format!("hbm_bw must be positive, got {}", spec.hbm_bw));
+    }
+    if spec.mem_capacity < GB as u64 {
+        return Err(format!("mem_capacity suspiciously small: {}", spec.mem_capacity));
+    }
+    if spec.launch_overhead < 0.0 {
+        return Err(format!("launch_overhead must be non-negative, got {}", spec.launch_overhead));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h100_spec_is_valid() {
+        validate(&GpuSpec::h100()).unwrap();
+        validate(&GpuSpec::a100()).unwrap();
+    }
+
+    #[test]
+    fn compute_time_scales_linearly() {
+        let gpu = GpuSpec::h100();
+        let t1 = gpu.compute_time(1e12);
+        let t2 = gpu.compute_time(2e12);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_time_is_roofline() {
+        let gpu = GpuSpec::h100();
+        // Memory-bound kernel: tiny flops, large bytes.
+        let t = gpu.kernel_time(1.0, 3.35e12, true);
+        assert!((t - 1.0).abs() < 1e-6);
+        // Compute-bound kernel: huge flops, tiny bytes.
+        let t = gpu.kernel_time(gpu.effective_flops(), 1.0, true);
+        assert!((t - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cuda_graph_removes_launch_overhead() {
+        let gpu = GpuSpec::h100();
+        let with = gpu.kernel_time(0.0, 0.0, false);
+        let without = gpu.kernel_time(0.0, 0.0, true);
+        assert!((with - gpu.launch_overhead).abs() < 1e-12);
+        assert_eq!(without, 0.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_specs() {
+        let mut g = GpuSpec::h100();
+        g.gemm_efficiency = 0.0;
+        assert!(validate(&g).is_err());
+        let mut g = GpuSpec::h100();
+        g.hbm_bw = -1.0;
+        assert!(validate(&g).is_err());
+        let mut g = GpuSpec::h100();
+        g.launch_overhead = -1e-6;
+        assert!(validate(&g).is_err());
+    }
+
+    #[test]
+    fn h100_decode_step_magnitude() {
+        // A 7B model in bf16 is ~14 GiB of weights; one memory-bound decode
+        // step on a single H100 should take roughly 4-5 ms.
+        let gpu = GpuSpec::h100();
+        let t = gpu.mem_io_time(14.0 * 1024.0 * 1024.0 * 1024.0);
+        assert!(t > 3e-3 && t < 6e-3, "decode step estimate {t}");
+    }
+}

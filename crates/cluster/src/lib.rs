@@ -1,0 +1,35 @@
+//! Cluster and hardware substrate for `real-rs`.
+//!
+//! The paper evaluates ReaL on a 128×H100 cluster; this crate is the
+//! simulated stand-in. It provides:
+//!
+//! - [`GpuSpec`] — an analytic device model (peak FLOP/s, HBM bandwidth,
+//!   memory capacity, kernel-launch overhead),
+//! - [`ClusterSpec`] — node/GPU topology plus intra-node (NVLink) and
+//!   inter-node (RoCE) link parameters,
+//! - [`DeviceMesh`] — the paper's §4 device-mesh abstraction, including the
+//!   enumeration rules (single-node power-of-two slices aligned to their
+//!   size, or whole-node spans) and overlap tests used by both the runtime
+//!   estimator (Algorithm 1) and the runtime engine,
+//! - [`comm`] — α–β cost models for the NCCL-style collectives ReaL issues
+//!   (ring all-reduce/all-gather/reduce-scatter, tree broadcast, P2P).
+//!
+//! # Examples
+//!
+//! ```
+//! use real_cluster::{ClusterSpec, DeviceMesh};
+//! let cluster = ClusterSpec::h100(2); // 2 nodes x 8 GPUs
+//! let meshes = DeviceMesh::enumerate(&cluster);
+//! assert!(meshes.iter().any(|m| m.n_gpus() == 16)); // the full cluster
+//! assert!(meshes.iter().any(|m| m.n_gpus() == 1));  // a single GPU
+//! ```
+
+pub mod comm;
+pub mod gpu;
+pub mod mesh;
+pub mod spec;
+
+pub use comm::CommModel;
+pub use gpu::GpuSpec;
+pub use mesh::{DeviceMesh, GpuId};
+pub use spec::ClusterSpec;

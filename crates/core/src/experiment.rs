@@ -1,0 +1,382 @@
+//! The experiment facade: profile → search → run, like the paper's `@auto`
+//! decorator (Appendix B).
+
+use crate::report::ExperimentReport;
+use real_cluster::ClusterSpec;
+use real_dataflow::algo::{self, RlhfConfig};
+use real_dataflow::{DataflowGraph, ExecutionPlan};
+use real_estimator::Estimator;
+use real_model::ModelSpec;
+use real_profiler::{ProfileConfig, Profiler};
+use real_runtime::{EngineConfig, RunError, RuntimeEngine};
+use real_search::{greedy_plan, heuristic_plan, search, ImpossibleCall, McmcConfig, PruneLevel, SearchResult, SearchSpace};
+use std::collections::HashSet;
+
+/// An RLHF experiment: a cluster, a workflow, and the knobs needed to plan
+/// and execute it.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    cluster: ClusterSpec,
+    graph: DataflowGraph,
+    profile_config: ProfileConfig,
+    engine_config: EngineConfig,
+    prune_level: PruneLevel,
+    seed: u64,
+    /// Pre-loaded profiles (keyed by architecture name); architectures not
+    /// covered here are profiled on demand. Lets users reuse profiling
+    /// statistics across experiments within a model family (§8.2).
+    preloaded_profiles: Vec<real_profiler::ProfileDb>,
+}
+
+/// Why automatic planning failed.
+#[derive(Debug, Clone)]
+pub enum PlanFailure {
+    /// Some call has no valid option on this cluster: the workload is
+    /// impossible regardless of search budget.
+    ImpossibleWorkload(ImpossibleCall),
+    /// The search ran but every visited plan exceeded device memory; the
+    /// best (infeasible) result is attached for diagnosis.
+    NoFeasiblePlan(SearchResult),
+}
+
+impl std::fmt::Display for PlanFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanFailure::ImpossibleWorkload(e) => write!(f, "{e}"),
+            PlanFailure::NoFeasiblePlan(r) => write!(
+                f,
+                "no memory-feasible plan found (best infeasible TimeCost {:.1}s)",
+                r.best_time_cost
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanFailure {}
+
+/// The outcome of automatic planning.
+#[derive(Debug, Clone)]
+pub struct PlannedExperiment {
+    /// The selected execution plan.
+    pub plan: ExecutionPlan,
+    /// Search statistics (trace, acceptance, best cost).
+    pub search: SearchResult,
+    /// Simulated seconds spent profiling before the search (Fig. 12 left).
+    pub profiling_secs: f64,
+}
+
+impl Experiment {
+    /// Creates an experiment from a custom workflow graph.
+    pub fn new(cluster: ClusterSpec, graph: DataflowGraph) -> Self {
+        Self {
+            cluster,
+            graph,
+            profile_config: ProfileConfig::paper(),
+            engine_config: EngineConfig::default(),
+            prune_level: PruneLevel::Aggressive,
+            seed: 1,
+            preloaded_profiles: Vec::new(),
+        }
+    }
+
+    /// Convenience: the standard PPO workflow (Fig. 4).
+    pub fn ppo(
+        cluster: ClusterSpec,
+        actor: ModelSpec,
+        critic: ModelSpec,
+        cfg: RlhfConfig,
+    ) -> Self {
+        let graph = algo::ppo(&actor, &critic, &cfg);
+        Self::new(cluster, graph)
+    }
+
+    /// Convenience: the DPO workflow (§8.3).
+    pub fn dpo(cluster: ClusterSpec, actor: ModelSpec, cfg: RlhfConfig) -> Self {
+        Self::new(cluster.clone(), algo::dpo(&actor, &cfg))
+    }
+
+    /// Convenience: the GRPO workflow (§8.3).
+    pub fn grpo(cluster: ClusterSpec, actor: ModelSpec, reward: ModelSpec, cfg: RlhfConfig) -> Self {
+        Self::new(cluster.clone(), algo::grpo(&actor, &reward, &cfg))
+    }
+
+    /// Convenience: the ReMax workflow (§8.3).
+    pub fn remax(cluster: ClusterSpec, actor: ModelSpec, reward: ModelSpec, cfg: RlhfConfig) -> Self {
+        Self::new(cluster.clone(), algo::remax(&actor, &reward, &cfg))
+    }
+
+    /// Convenience: the RAFT workflow (reward-ranked fine-tuning).
+    pub fn raft(cluster: ClusterSpec, actor: ModelSpec, reward: ModelSpec, cfg: RlhfConfig) -> Self {
+        Self::new(cluster.clone(), algo::raft(&actor, &reward, &cfg))
+    }
+
+    /// Convenience: the iterative (online) DPO workflow.
+    pub fn iterative_dpo(
+        cluster: ClusterSpec,
+        actor: ModelSpec,
+        reward: ModelSpec,
+        cfg: RlhfConfig,
+    ) -> Self {
+        Self::new(cluster.clone(), algo::iterative_dpo(&actor, &reward, &cfg))
+    }
+
+    /// Overrides the RNG seed (profiling noise, search, runtime jitter).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.engine_config.seed = seed;
+        self
+    }
+
+    /// Uses the reduced profiling grid (fast; unit tests and doctests).
+    pub fn with_quick_profile(mut self) -> Self {
+        self.profile_config = ProfileConfig::quick();
+        self
+    }
+
+    /// Overrides the runtime engine configuration.
+    pub fn with_engine_config(mut self, config: EngineConfig) -> Self {
+        self.engine_config = config;
+        self
+    }
+
+    /// Overrides the search-space pruning level (Fig. 14's knob).
+    pub fn with_prune_level(mut self, level: PruneLevel) -> Self {
+        self.prune_level = level;
+        self
+    }
+
+    /// Supplies previously collected profiles (e.g. loaded from disk);
+    /// matching architectures skip re-profiling in [`Self::prepare`].
+    pub fn with_profiles(mut self, profiles: Vec<real_profiler::ProfileDb>) -> Self {
+        self.preloaded_profiles = profiles;
+        self
+    }
+
+    /// The experiment's workflow.
+    pub fn graph(&self) -> &DataflowGraph {
+        &self.graph
+    }
+
+    /// The experiment's cluster.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// The engine configuration used by [`Self::run`].
+    pub fn engine_config(&self) -> &EngineConfig {
+        &self.engine_config
+    }
+
+    /// Profiles every distinct architecture in the workflow (reusing one
+    /// profile per architecture, as the paper does within a model family)
+    /// and returns the estimator plus the simulated profiling time.
+    pub fn prepare(&self) -> (Estimator, f64) {
+        let mut profiler =
+            Profiler::new(self.cluster.clone(), self.profile_config.clone(), self.seed);
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut profiles = Vec::new();
+        let mut secs = 0.0;
+        for call in self.graph.calls() {
+            if seen.insert(call.model.name.clone()) {
+                if let Some(db) = self
+                    .preloaded_profiles
+                    .iter()
+                    .find(|p| p.model_name() == call.model.name)
+                {
+                    // Reused statistics cost nothing at experiment time.
+                    profiles.push(db.clone());
+                } else {
+                    let db = profiler.profile(&call.model);
+                    secs += db.profiling_secs();
+                    profiles.push(db);
+                }
+            }
+        }
+        let est = Estimator::new(self.cluster.clone(), self.graph.clone(), profiles)
+            .expect("profiles cover every architecture by construction");
+        (est, secs)
+    }
+
+    /// The pruned per-call option space.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the workload cannot fit the cluster at all; use
+    /// [`Self::try_search_space`] to handle that as a value.
+    pub fn search_space(&self) -> SearchSpace {
+        SearchSpace::build(&self.cluster, &self.graph, self.prune_level)
+    }
+
+    /// Fallible variant of [`Self::search_space`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImpossibleCall`] naming an unfittable call.
+    pub fn try_search_space(&self) -> Result<SearchSpace, ImpossibleCall> {
+        SearchSpace::try_build(&self.cluster, &self.graph, self.prune_level)
+    }
+
+    /// Automatic planning: profile, build the space, run the MCMC search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanFailure`] when the workload cannot fit the cluster or
+    /// no memory-feasible plan was found within the budget.
+    pub fn plan_auto(&self, cfg: &McmcConfig) -> Result<PlannedExperiment, PlanFailure> {
+        let space = self.try_search_space().map_err(PlanFailure::ImpossibleWorkload)?;
+        let (est, profiling_secs) = self.prepare();
+        let mut cfg = cfg.clone();
+        cfg.seed = self.seed.wrapping_add(cfg.seed);
+        let result = search(&est, &space, &cfg);
+        if !result.feasible {
+            return Err(PlanFailure::NoFeasiblePlan(result));
+        }
+        Ok(PlannedExperiment {
+            plan: result.best_plan.clone(),
+            search: result,
+            profiling_secs,
+        })
+    }
+
+    /// Automatic planning with `n_chains` independent MCMC chains on
+    /// separate cores (the paper's multi-core search extension).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanFailure`] when the workload cannot fit the cluster or
+    /// no memory-feasible plan was found within the budget.
+    pub fn plan_auto_parallel(
+        &self,
+        cfg: &McmcConfig,
+        n_chains: usize,
+    ) -> Result<PlannedExperiment, PlanFailure> {
+        let space = self.try_search_space().map_err(PlanFailure::ImpossibleWorkload)?;
+        let (est, profiling_secs) = self.prepare();
+        let mut cfg = cfg.clone();
+        cfg.seed = self.seed.wrapping_add(cfg.seed);
+        let result = real_search::parallel_search(&est, &space, &cfg, n_chains);
+        if !result.feasible {
+            return Err(PlanFailure::NoFeasiblePlan(result));
+        }
+        Ok(PlannedExperiment {
+            plan: result.best_plan.clone(),
+            search: result,
+            profiling_secs,
+        })
+    }
+
+    /// The REAL-Heuristic symmetric plan (§8.1 baseline).
+    pub fn plan_heuristic(&self) -> ExecutionPlan {
+        let (est, _) = self.prepare();
+        heuristic_plan(&est)
+    }
+
+    /// The greedy per-call-minimum plan (§5.2's search seed; may OOM).
+    pub fn plan_greedy(&self) -> ExecutionPlan {
+        let (est, _) = self.prepare();
+        greedy_plan(&est, &self.search_space())
+    }
+
+    /// Executes a plan on the runtime engine for `iterations` iterations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::OutOfMemory`] when the plan does not fit.
+    pub fn run(&self, plan: &ExecutionPlan, iterations: usize) -> Result<ExperimentReport, RunError> {
+        let engine = RuntimeEngine::new(
+            self.cluster.clone(),
+            self.graph.clone(),
+            self.engine_config.clone(),
+        );
+        let run = engine.run(plan, iterations)?;
+        Ok(ExperimentReport::new(&self.graph, plan.clone(), run))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn quick_search() -> McmcConfig {
+        McmcConfig {
+            max_steps: 1_500,
+            time_limit: Duration::from_secs(30),
+            ..McmcConfig::default()
+        }
+    }
+
+    fn experiment() -> Experiment {
+        Experiment::ppo(
+            ClusterSpec::h100(1),
+            ModelSpec::llama3_7b(),
+            ModelSpec::llama3_7b().critic(),
+            RlhfConfig::instruct_gpt(64),
+        )
+        .with_quick_profile()
+    }
+
+    #[test]
+    fn auto_plan_runs_end_to_end() {
+        let exp = experiment();
+        let planned = exp.plan_auto(&quick_search()).unwrap();
+        assert!(planned.profiling_secs > 0.0);
+        let report = exp.run(&planned.plan, 2).unwrap();
+        assert!(report.run.iter_time > 0.0);
+        assert!(report.tokens_per_sec > 0.0);
+    }
+
+    #[test]
+    fn searched_beats_heuristic_here_too() {
+        let exp = experiment();
+        let planned = exp.plan_auto(&quick_search()).unwrap();
+        let heuristic = exp.plan_heuristic();
+        let searched_t = exp.run(&planned.plan, 2).unwrap().run.iter_time;
+        let heuristic_t = exp.run(&heuristic, 2).unwrap().run.iter_time;
+        assert!(
+            searched_t < heuristic_t * 1.05,
+            "searched {searched_t} vs heuristic {heuristic_t}"
+        );
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        let a = experiment().with_seed(9).plan_auto(&quick_search()).unwrap();
+        let b = experiment().with_seed(9).plan_auto(&quick_search()).unwrap();
+        assert_eq!(a.plan, b.plan);
+    }
+
+    #[test]
+    fn preloaded_profiles_skip_reprofiling() {
+        let exp = experiment();
+        let mut profiler = Profiler::new(
+            exp.cluster().clone(),
+            real_profiler::ProfileConfig::quick(),
+            exp.engine_config().seed,
+        );
+        let dbs = vec![
+            profiler.profile(&ModelSpec::llama3_7b()),
+            profiler.profile(&ModelSpec::llama3_7b().critic()),
+        ];
+        let (_, secs) = exp.clone().with_profiles(dbs).prepare();
+        assert_eq!(secs, 0.0, "everything preloaded, nothing to profile");
+        let (_, secs_fresh) = exp.prepare();
+        assert!(secs_fresh > 0.0);
+    }
+
+    #[test]
+    fn all_algorithms_construct() {
+        let c = ClusterSpec::h100(1);
+        let a = ModelSpec::llama3_7b();
+        let cfg = RlhfConfig::instruct_gpt(64);
+        assert_eq!(Experiment::dpo(c.clone(), a.clone(), cfg).graph().n_calls(), 2);
+        assert_eq!(
+            Experiment::grpo(c.clone(), a.clone(), a.critic(), cfg).graph().n_calls(),
+            4
+        );
+        assert_eq!(
+            Experiment::remax(c.clone(), a.clone(), a.critic(), cfg).graph().n_calls(),
+            6
+        );
+    }
+}

@@ -1,0 +1,491 @@
+//! Workflow builders for the RLHF algorithms the paper evaluates: PPO (§2.1)
+//! and, beyond PPO (§8.3), DPO, GRPO, and ReMax. Each builder returns the
+//! per-iteration [`DataflowGraph`] shown in Fig. 4 / Fig. 16.
+
+use crate::call::{CallType, ModelFunctionCallDef};
+use crate::graph::DataflowGraph;
+use real_model::ModelSpec;
+use serde::{Deserialize, Serialize};
+
+/// Workload configuration shared by all algorithm builders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RlhfConfig {
+    /// Global batch size in prompts per iteration.
+    pub batch_size: u64,
+    /// Maximum prompt length in tokens.
+    pub prompt_len: u64,
+    /// Tokens generated per prompt.
+    pub gen_len: u64,
+    /// PPO mini-batches per training step (sequential parameter updates).
+    pub ppo_minibatches: u32,
+    /// GRPO group size (generations per prompt).
+    pub grpo_group: u64,
+}
+
+impl RlhfConfig {
+    /// The paper's base setting, adopted from InstructGPT (Appendix A):
+    /// context length 2048 (1024 prompt + 1024 generated), 8 PPO
+    /// mini-batches, GRPO group 8.
+    pub fn instruct_gpt(batch_size: u64) -> Self {
+        Self {
+            batch_size,
+            prompt_len: 1024,
+            gen_len: 1024,
+            ppo_minibatches: 8,
+            grpo_group: 8,
+        }
+    }
+
+    /// Scales the context length by `factor`, shrinking the batch to keep
+    /// the token budget constant — the paper's long-context protocol
+    /// (Appendix A: "we fix the number of tokens in the global batch").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero or the batch does not divide evenly.
+    pub fn with_context_scale(mut self, factor: u64) -> Self {
+        assert!(factor > 0, "context scale factor must be positive");
+        assert!(
+            self.batch_size % factor == 0,
+            "batch {} not divisible by context factor {factor}",
+            self.batch_size
+        );
+        self.prompt_len *= factor;
+        self.gen_len *= factor;
+        self.batch_size /= factor;
+        self
+    }
+
+    /// Full context length (prompt + generation).
+    pub fn context_len(&self) -> u64 {
+        self.prompt_len + self.gen_len
+    }
+}
+
+/// The six-call PPO workflow of Fig. 4: actor generation; reward, reference
+/// and critic inference; actor and critic training.
+pub fn ppo(actor: &ModelSpec, critic: &ModelSpec, cfg: &RlhfConfig) -> DataflowGraph {
+    let b = cfg.batch_size;
+    let ctx = cfg.context_len();
+    let calls = vec![
+        ModelFunctionCallDef::new(
+            "actor_gen",
+            "actor",
+            actor.clone(),
+            CallType::Generate { batch: b, prompt_len: cfg.prompt_len, gen_len: cfg.gen_len },
+            &["prompts"],
+            &["seq", "logp"],
+        ),
+        ModelFunctionCallDef::new(
+            "reward_inf",
+            "reward",
+            critic.clone(),
+            CallType::Inference { batch: b, seq_len: ctx },
+            &["seq"],
+            &["rewards"],
+        ),
+        ModelFunctionCallDef::new(
+            "ref_inf",
+            "reference",
+            actor.clone(),
+            CallType::Inference { batch: b, seq_len: ctx },
+            &["seq"],
+            &["ref_logp"],
+        ),
+        ModelFunctionCallDef::new(
+            "critic_inf",
+            "critic",
+            critic.clone(),
+            CallType::Inference { batch: b, seq_len: ctx },
+            &["seq"],
+            &["values"],
+        ),
+        ModelFunctionCallDef::new(
+            "actor_train",
+            "actor",
+            actor.clone(),
+            CallType::TrainStep { batch: b, seq_len: ctx, n_minibatches: cfg.ppo_minibatches },
+            &["seq", "logp", "rewards", "ref_logp", "values"],
+            &[],
+        ),
+        ModelFunctionCallDef::new(
+            "critic_train",
+            "critic",
+            critic.clone(),
+            CallType::TrainStep { batch: b, seq_len: ctx, n_minibatches: cfg.ppo_minibatches },
+            &["seq", "rewards", "ref_logp", "values"],
+            &[],
+        ),
+    ];
+    DataflowGraph::new(calls).expect("PPO workflow template must be valid")
+}
+
+/// DPO (Fig. 16 left): reference inference over preference pairs, then actor
+/// training. No generation, no critic.
+pub fn dpo(actor: &ModelSpec, cfg: &RlhfConfig) -> DataflowGraph {
+    let b = cfg.batch_size * 2; // chosen + rejected sequences
+    let ctx = cfg.context_len();
+    let calls = vec![
+        ModelFunctionCallDef::new(
+            "ref_inf",
+            "reference",
+            actor.clone(),
+            CallType::Inference { batch: b, seq_len: ctx },
+            &["pairs"],
+            &["ref_logp"],
+        ),
+        ModelFunctionCallDef::new(
+            "actor_train",
+            "actor",
+            actor.clone(),
+            CallType::TrainStep { batch: b, seq_len: ctx, n_minibatches: 1 },
+            &["pairs", "ref_logp"],
+            &[],
+        ),
+    ];
+    DataflowGraph::new(calls).expect("DPO workflow template must be valid")
+}
+
+/// GRPO (Fig. 16 right): grouped generation (`grpo_group` responses per
+/// prompt) inflates every downstream batch by the group size; the
+/// group-relative baseline removes the critic.
+pub fn grpo(actor: &ModelSpec, reward: &ModelSpec, cfg: &RlhfConfig) -> DataflowGraph {
+    let ctx = cfg.context_len();
+    let grouped = cfg.batch_size * cfg.grpo_group;
+    let calls = vec![
+        ModelFunctionCallDef::new(
+            "actor_gen",
+            "actor",
+            actor.clone(),
+            CallType::Generate {
+                batch: grouped,
+                prompt_len: cfg.prompt_len,
+                gen_len: cfg.gen_len,
+            },
+            &["prompts"],
+            &["seq", "logp"],
+        ),
+        ModelFunctionCallDef::new(
+            "reward_inf",
+            "reward",
+            reward.clone(),
+            CallType::Inference { batch: grouped, seq_len: ctx },
+            &["seq"],
+            &["rewards"],
+        ),
+        ModelFunctionCallDef::new(
+            "ref_inf",
+            "reference",
+            actor.clone(),
+            CallType::Inference { batch: grouped, seq_len: ctx },
+            &["seq"],
+            &["ref_logp"],
+        ),
+        ModelFunctionCallDef::new(
+            "actor_train",
+            "actor",
+            actor.clone(),
+            CallType::TrainStep {
+                batch: grouped,
+                seq_len: ctx,
+                n_minibatches: cfg.ppo_minibatches,
+            },
+            &["seq", "logp", "rewards", "ref_logp"],
+            &[],
+        ),
+    ];
+    DataflowGraph::new(calls).expect("GRPO workflow template must be valid")
+}
+
+/// ReMax (Fig. 16 middle): a sampled generation plus a greedy baseline
+/// generation with *no mutual dependency* — the concurrency ReaL exploits
+/// for its largest §8.3 gain — then reward inference over both, reference
+/// inference, and actor training.
+pub fn remax(actor: &ModelSpec, reward: &ModelSpec, cfg: &RlhfConfig) -> DataflowGraph {
+    let b = cfg.batch_size;
+    let ctx = cfg.context_len();
+    let calls = vec![
+        ModelFunctionCallDef::new(
+            "actor_gen",
+            "actor",
+            actor.clone(),
+            CallType::Generate { batch: b, prompt_len: cfg.prompt_len, gen_len: cfg.gen_len },
+            &["prompts"],
+            &["seq", "logp"],
+        ),
+        ModelFunctionCallDef::new(
+            "actor_gen_greedy",
+            "actor",
+            actor.clone(),
+            CallType::Generate { batch: b, prompt_len: cfg.prompt_len, gen_len: cfg.gen_len },
+            &["prompts"],
+            &["seq_greedy"],
+        ),
+        ModelFunctionCallDef::new(
+            "reward_inf",
+            "reward",
+            reward.clone(),
+            CallType::Inference { batch: b, seq_len: ctx },
+            &["seq"],
+            &["rewards"],
+        ),
+        ModelFunctionCallDef::new(
+            "reward_inf_greedy",
+            "reward",
+            reward.clone(),
+            CallType::Inference { batch: b, seq_len: ctx },
+            &["seq_greedy"],
+            &["baseline_rewards"],
+        ),
+        ModelFunctionCallDef::new(
+            "ref_inf",
+            "reference",
+            actor.clone(),
+            CallType::Inference { batch: b, seq_len: ctx },
+            &["seq"],
+            &["ref_logp"],
+        ),
+        ModelFunctionCallDef::new(
+            "actor_train",
+            "actor",
+            actor.clone(),
+            CallType::TrainStep { batch: b, seq_len: ctx, n_minibatches: 1 },
+            &["seq", "logp", "rewards", "baseline_rewards", "ref_logp"],
+            &[],
+        ),
+    ];
+    DataflowGraph::new(calls).expect("ReMax workflow template must be valid")
+}
+
+/// RAFT (reward-ranked fine-tuning, Dong et al. 2023 — cited in the paper's
+/// introduction): sample `grpo_group` responses per prompt, score them with
+/// the reward model, and supervised-train the actor on the top-ranked
+/// response of each prompt. No critic, no reference, single update round.
+pub fn raft(actor: &ModelSpec, reward: &ModelSpec, cfg: &RlhfConfig) -> DataflowGraph {
+    let ctx = cfg.context_len();
+    let sampled = cfg.batch_size * cfg.grpo_group;
+    let calls = vec![
+        ModelFunctionCallDef::new(
+            "actor_gen",
+            "actor",
+            actor.clone(),
+            CallType::Generate {
+                batch: sampled,
+                prompt_len: cfg.prompt_len,
+                gen_len: cfg.gen_len,
+            },
+            &["prompts"],
+            &["seq"],
+        ),
+        ModelFunctionCallDef::new(
+            "reward_inf",
+            "reward",
+            reward.clone(),
+            CallType::Inference { batch: sampled, seq_len: ctx },
+            &["seq"],
+            &["rewards"],
+        ),
+        // Ranking is a host-side argmax over rewards; only the best response
+        // per prompt reaches the SFT step.
+        ModelFunctionCallDef::new(
+            "actor_train",
+            "actor",
+            actor.clone(),
+            CallType::TrainStep { batch: cfg.batch_size, seq_len: ctx, n_minibatches: 1 },
+            &["seq", "rewards"],
+            &[],
+        ),
+    ];
+    DataflowGraph::new(calls).expect("RAFT workflow template must be valid")
+}
+
+/// Iterative (online) DPO: generate response pairs, score them with the
+/// reward model to form preferences, run reference inference, and train the
+/// actor with the DPO loss. Unlike offline [`dpo`], the actor's own
+/// generations feed the next update, so generation re-enters the loop.
+pub fn iterative_dpo(actor: &ModelSpec, reward: &ModelSpec, cfg: &RlhfConfig) -> DataflowGraph {
+    let ctx = cfg.context_len();
+    let pairs = cfg.batch_size * 2;
+    let calls = vec![
+        ModelFunctionCallDef::new(
+            "actor_gen",
+            "actor",
+            actor.clone(),
+            CallType::Generate { batch: pairs, prompt_len: cfg.prompt_len, gen_len: cfg.gen_len },
+            &["prompts"],
+            &["seq"],
+        ),
+        ModelFunctionCallDef::new(
+            "reward_inf",
+            "reward",
+            reward.clone(),
+            CallType::Inference { batch: pairs, seq_len: ctx },
+            &["seq"],
+            &["prefs"],
+        ),
+        ModelFunctionCallDef::new(
+            "ref_inf",
+            "reference",
+            actor.clone(),
+            CallType::Inference { batch: pairs, seq_len: ctx },
+            &["seq"],
+            &["ref_logp"],
+        ),
+        ModelFunctionCallDef::new(
+            "actor_train",
+            "actor",
+            actor.clone(),
+            CallType::TrainStep { batch: pairs, seq_len: ctx, n_minibatches: 1 },
+            &["seq", "prefs", "ref_logp"],
+            &[],
+        ),
+    ];
+    DataflowGraph::new(calls).expect("iterative-DPO workflow template must be valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::call::CallType;
+
+    fn cfg() -> RlhfConfig {
+        RlhfConfig::instruct_gpt(512)
+    }
+
+    fn actor() -> ModelSpec {
+        ModelSpec::llama3_7b()
+    }
+
+    fn critic() -> ModelSpec {
+        ModelSpec::llama3_7b().critic()
+    }
+
+    #[test]
+    fn ppo_has_six_calls_and_fig4_edges() {
+        let g = ppo(&actor(), &critic(), &cfg());
+        assert_eq!(g.n_calls(), 6);
+        let gen = g.find("actor_gen").unwrap();
+        for inf in ["reward_inf", "ref_inf", "critic_inf"] {
+            assert_eq!(g.deps(g.find(inf).unwrap()), &[gen]);
+        }
+        // Actor training waits on everything; critic training likewise.
+        let at = g.find("actor_train").unwrap();
+        let ct = g.find("critic_train").unwrap();
+        assert_eq!(g.deps(at).len(), 4);
+        assert_eq!(g.deps(ct).len(), 4);
+        // The two training calls are mutually independent (can overlap).
+        assert!(!g.deps(at).contains(&ct));
+        assert!(!g.deps(ct).contains(&at));
+    }
+
+    #[test]
+    fn ppo_param_versions_gate_next_iteration() {
+        let g = ppo(&actor(), &critic(), &cfg());
+        let gen = g.find("actor_gen").unwrap();
+        let at = g.find("actor_train").unwrap();
+        let ci = g.find("critic_inf").unwrap();
+        let ct = g.find("critic_train").unwrap();
+        assert_eq!(g.param_deps(gen), &[at]);
+        assert_eq!(g.param_deps(ci), &[ct]);
+        // The frozen reward/reference models have no parameter parents.
+        assert!(g.param_deps(g.find("reward_inf").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn ppo_minibatches_propagate() {
+        let g = ppo(&actor(), &critic(), &cfg());
+        match g.call(g.find("actor_train").unwrap()).call_type {
+            CallType::TrainStep { n_minibatches, .. } => assert_eq!(n_minibatches, 8),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dpo_is_two_calls_and_doubles_batch() {
+        let g = dpo(&actor(), &cfg());
+        assert_eq!(g.n_calls(), 2);
+        assert_eq!(g.call(g.find("actor_train").unwrap()).call_type.batch(), 1024);
+        let at = g.find("actor_train").unwrap();
+        assert_eq!(g.deps(at), &[g.find("ref_inf").unwrap()]);
+    }
+
+    #[test]
+    fn grpo_inflates_batch_by_group() {
+        let g = grpo(&actor(), &critic(), &cfg());
+        assert_eq!(g.n_calls(), 4);
+        for (_, c) in g.iter() {
+            assert_eq!(c.call_type.batch(), 512 * 8, "call {}", c.call_name);
+        }
+        assert!(g.find("critic_inf").is_none(), "GRPO has no critic");
+    }
+
+    #[test]
+    fn remax_generations_are_concurrent() {
+        let g = remax(&actor(), &critic(), &cfg());
+        assert_eq!(g.n_calls(), 6);
+        let sampled = g.find("actor_gen").unwrap();
+        let greedy = g.find("actor_gen_greedy").unwrap();
+        assert!(g.deps(sampled).is_empty());
+        assert!(g.deps(greedy).is_empty());
+        // Each reward inference depends on exactly its own generation.
+        assert_eq!(g.deps(g.find("reward_inf").unwrap()), &[sampled]);
+        assert_eq!(g.deps(g.find("reward_inf_greedy").unwrap()), &[greedy]);
+    }
+
+    #[test]
+    fn context_scaling_preserves_token_budget() {
+        let base = cfg();
+        let long = cfg().with_context_scale(4);
+        assert_eq!(long.context_len(), 8192);
+        assert_eq!(long.batch_size, 128);
+        assert_eq!(
+            base.batch_size * base.context_len(),
+            long.batch_size * long.context_len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn context_scaling_rejects_uneven_batch() {
+        RlhfConfig::instruct_gpt(10).with_context_scale(4);
+    }
+
+    #[test]
+    fn raft_trains_on_the_top_ranked_subset() {
+        let g = raft(&actor(), &critic(), &cfg());
+        assert_eq!(g.n_calls(), 3);
+        // Generation and scoring see batch x group; training sees batch.
+        assert_eq!(g.call(g.find("actor_gen").unwrap()).call_type.batch(), 512 * 8);
+        assert_eq!(g.call(g.find("actor_train").unwrap()).call_type.batch(), 512);
+        // Training waits on both generation and reward scoring.
+        let t = g.find("actor_train").unwrap();
+        assert_eq!(g.deps(t).len(), 2);
+    }
+
+    #[test]
+    fn iterative_dpo_closes_the_generation_loop() {
+        let g = iterative_dpo(&actor(), &critic(), &cfg());
+        assert_eq!(g.n_calls(), 4);
+        let gen = g.find("actor_gen").unwrap();
+        let t = g.find("actor_train").unwrap();
+        // Param edge: next iteration's generation waits for training.
+        assert_eq!(g.param_deps(gen), &[t]);
+        // Offline DPO has no generation at all — the iterative variant does.
+        assert!(dpo(&actor(), &cfg()).find("actor_gen").is_none());
+    }
+
+    #[test]
+    fn all_builders_are_acyclic() {
+        let c = cfg();
+        for g in [
+            ppo(&actor(), &critic(), &c),
+            dpo(&actor(), &c),
+            grpo(&actor(), &critic(), &c),
+            remax(&actor(), &critic(), &c),
+            raft(&actor(), &critic(), &c),
+            iterative_dpo(&actor(), &critic(), &c),
+        ] {
+            assert!(g.topo_order().is_some());
+        }
+    }
+}

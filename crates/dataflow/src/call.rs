@@ -1,0 +1,214 @@
+//! Model function calls: the unit of scheduling in ReaL.
+
+use real_model::ModelSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a call within its [`crate::DataflowGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CallId(pub usize);
+
+impl fmt::Display for CallId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "call#{}", self.0)
+    }
+}
+
+/// The three workload kinds an RLHF iteration is built from (§2.1).
+///
+/// All batch sizes are *global* sequence counts; the execution plan's DP
+/// degree decides the per-replica share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CallType {
+    /// Auto-regressive generation: a prefill over `prompt_len` tokens per
+    /// sequence followed by `gen_len` decoding steps.
+    Generate {
+        /// Global number of prompts.
+        batch: u64,
+        /// Prompt tokens per sequence.
+        prompt_len: u64,
+        /// Tokens to generate per sequence.
+        gen_len: u64,
+    },
+    /// A single forward pass over complete sequences.
+    Inference {
+        /// Global number of sequences.
+        batch: u64,
+        /// Tokens per sequence.
+        seq_len: u64,
+    },
+    /// A supervised training step: forward, backward, parameter update. PPO
+    /// splits the batch into `n_minibatches` sequential update rounds, each
+    /// of which must see the previous round's updated parameters (§2.1) —
+    /// unlike gradient accumulation.
+    TrainStep {
+        /// Global number of sequences.
+        batch: u64,
+        /// Tokens per sequence.
+        seq_len: u64,
+        /// PPO mini-batches (sequential parameter updates).
+        n_minibatches: u32,
+    },
+}
+
+impl CallType {
+    /// Global sequence count entering the call.
+    pub fn batch(&self) -> u64 {
+        match *self {
+            CallType::Generate { batch, .. }
+            | CallType::Inference { batch, .. }
+            | CallType::TrainStep { batch, .. } => batch,
+        }
+    }
+
+    /// Total tokens the call touches per sequence (context length for
+    /// memory purposes).
+    pub fn seq_len(&self) -> u64 {
+        match *self {
+            CallType::Generate { prompt_len, gen_len, .. } => prompt_len + gen_len,
+            CallType::Inference { seq_len, .. } => seq_len,
+            CallType::TrainStep { seq_len, .. } => seq_len,
+        }
+    }
+
+    /// Global token count processed by the call.
+    pub fn total_tokens(&self) -> u64 {
+        self.batch() * self.seq_len()
+    }
+
+    /// Whether this call updates model parameters.
+    pub fn is_training(&self) -> bool {
+        matches!(self, CallType::TrainStep { .. })
+    }
+
+    /// Short label for displays: `gen`, `inf`, or `train`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CallType::Generate { .. } => "gen",
+            CallType::Inference { .. } => "inf",
+            CallType::TrainStep { .. } => "train",
+        }
+    }
+}
+
+/// Definition of one model function call — the Rust analogue of the paper's
+/// `ModelFunctionCallDef` (Appendix B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelFunctionCallDef {
+    /// Unique call name within the workflow, e.g. `"actor_gen"`.
+    pub call_name: String,
+    /// Owning model name; calls sharing a `model_name` share parameters and
+    /// form parameter-version dependencies across iterations.
+    pub model_name: String,
+    /// Architecture of the owning model.
+    pub model: ModelSpec,
+    /// Workload kind and sizes.
+    pub call_type: CallType,
+    /// Names of data items consumed (e.g. `"prompts"`, `"seq"`).
+    pub input_data: Vec<String>,
+    /// Names of data items produced (e.g. `"seq"`, `"rewards"`).
+    pub output_data: Vec<String>,
+}
+
+impl ModelFunctionCallDef {
+    /// Approximate total FLOPs of this call: the standard 2·P per processed
+    /// token for forwards (prefill, decode, inference) and 6·P per token
+    /// for training (forward + backward), ignoring the small attention
+    /// correction. Used for MFU reporting.
+    pub fn approx_flops(&self) -> f64 {
+        let p = self.model.param_count() as f64;
+        match self.call_type {
+            CallType::Generate { batch, prompt_len, gen_len } => {
+                2.0 * p * (batch * (prompt_len + gen_len)) as f64
+            }
+            CallType::Inference { batch, seq_len } => 2.0 * p * (batch * seq_len) as f64,
+            CallType::TrainStep { batch, seq_len, .. } => 6.0 * p * (batch * seq_len) as f64,
+        }
+    }
+
+    /// Convenience constructor.
+    pub fn new(
+        call_name: impl Into<String>,
+        model_name: impl Into<String>,
+        model: ModelSpec,
+        call_type: CallType,
+        input_data: &[&str],
+        output_data: &[&str],
+    ) -> Self {
+        Self {
+            call_name: call_name.into(),
+            model_name: model_name.into(),
+            model,
+            call_type,
+            input_data: input_data.iter().map(|s| s.to_string()).collect(),
+            output_data: output_data.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_context_is_prompt_plus_gen() {
+        let c = CallType::Generate { batch: 8, prompt_len: 1024, gen_len: 1024 };
+        assert_eq!(c.seq_len(), 2048);
+        assert_eq!(c.total_tokens(), 8 * 2048);
+        assert!(!c.is_training());
+        assert_eq!(c.label(), "gen");
+    }
+
+    #[test]
+    fn train_step_reports_training() {
+        let c = CallType::TrainStep { batch: 4, seq_len: 128, n_minibatches: 8 };
+        assert!(c.is_training());
+        assert_eq!(c.batch(), 4);
+        assert_eq!(c.label(), "train");
+    }
+
+    #[test]
+    fn inference_token_count() {
+        let c = CallType::Inference { batch: 16, seq_len: 256 };
+        assert_eq!(c.total_tokens(), 4096);
+        assert_eq!(c.label(), "inf");
+    }
+
+    #[test]
+    fn def_constructor_copies_data_keys() {
+        let d = ModelFunctionCallDef::new(
+            "actor_gen",
+            "actor",
+            ModelSpec::llama3_7b(),
+            CallType::Generate { batch: 4, prompt_len: 8, gen_len: 8 },
+            &["prompts"],
+            &["seq", "logp"],
+        );
+        assert_eq!(d.input_data, vec!["prompts"]);
+        assert_eq!(d.output_data, vec!["seq", "logp"]);
+        assert_eq!(d.call_name, "actor_gen");
+    }
+
+    #[test]
+    fn approx_flops_scales_with_work() {
+        let gen = ModelFunctionCallDef::new(
+            "g", "m", ModelSpec::llama3_7b(),
+            CallType::Generate { batch: 4, prompt_len: 8, gen_len: 8 },
+            &[], &[],
+        );
+        let p = ModelSpec::llama3_7b().param_count() as f64;
+        assert_eq!(gen.approx_flops(), 2.0 * p * 64.0);
+        let train = ModelFunctionCallDef::new(
+            "t", "m", ModelSpec::llama3_7b(),
+            CallType::TrainStep { batch: 4, seq_len: 16, n_minibatches: 8 },
+            &[], &[],
+        );
+        // Mini-batches do not change the total work.
+        assert_eq!(train.approx_flops(), 6.0 * p * 64.0);
+    }
+
+    #[test]
+    fn call_id_display() {
+        assert_eq!(CallId(3).to_string(), "call#3");
+    }
+}

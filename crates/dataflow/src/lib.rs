@@ -1,0 +1,35 @@
+//! RLHF dataflow graphs and execution plans (§3–§4 of the paper).
+//!
+//! ReaL parses an RLHF workflow into a dataflow graph at the granularity of
+//! *model function calls* — generation, inference, or a training step on one
+//! of the workflow's LLMs. This crate provides:
+//!
+//! - [`call`] — [`CallType`] and [`ModelFunctionCallDef`], the Rust analogue
+//!   of the paper's Appendix-B API,
+//! - [`graph`] — [`DataflowGraph`]: intra-iteration data dependencies plus
+//!   cross-iteration parameter-version dependencies,
+//! - [`algo`] — builders for the four algorithms the paper evaluates
+//!   (PPO, DPO, GRPO, ReMax) parameterized by an [`algo::RlhfConfig`],
+//! - [`plan`] — [`ExecutionPlan`]: the per-call `(device mesh, parallel
+//!   strategy)` assignment that the plan generator searches over and the
+//!   runtime engine executes.
+//!
+//! # Examples
+//!
+//! ```
+//! use real_dataflow::algo::{ppo, RlhfConfig};
+//! use real_model::ModelSpec;
+//! let cfg = RlhfConfig::instruct_gpt(512);
+//! let graph = ppo(&ModelSpec::llama3_7b(), &ModelSpec::llama3_7b().critic(), &cfg);
+//! assert_eq!(graph.n_calls(), 6); // gen, 3x inference, 2x train
+//! ```
+
+pub mod algo;
+pub mod call;
+pub mod graph;
+pub mod plan;
+pub mod render;
+
+pub use call::{CallId, CallType, ModelFunctionCallDef};
+pub use graph::DataflowGraph;
+pub use plan::{CallAssignment, ExecutionPlan};

@@ -1,0 +1,121 @@
+//! Rendering of dataflow graphs: Graphviz DOT export and a compact ASCII
+//! edge list (the upper halves of the paper's Fig. 4 and Fig. 16).
+
+use crate::graph::DataflowGraph;
+use std::fmt::Write as _;
+
+/// Serializes the per-iteration dataflow graph as Graphviz DOT. Data edges
+/// are solid; cross-iteration parameter-version edges are dashed (labelled
+/// `t+1`).
+pub fn to_dot(graph: &DataflowGraph) -> String {
+    let mut out = String::from("digraph workflow {\n  rankdir=LR;\n");
+    for (_, call) in graph.iter() {
+        let shape = match call.call_type.label() {
+            "gen" => "hexagon",
+            "train" => "box",
+            _ => "ellipse",
+        };
+        let _ = writeln!(
+            out,
+            "  {} [shape={shape}, label=\"{}\\n({}, {})\"];",
+            call.call_name,
+            call.call_name,
+            call.model_name,
+            call.call_type.label(),
+        );
+    }
+    for (id, call) in graph.iter() {
+        for &dep in graph.deps(id) {
+            let _ = writeln!(out, "  {} -> {};", graph.call(dep).call_name, call.call_name);
+        }
+        for &pdep in graph.param_deps(id) {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [style=dashed, label=\"t+1\"];",
+                graph.call(pdep).call_name, call.call_name
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// A compact ASCII rendering: one line per call with its parents, e.g.
+/// `actor_train <- actor_gen, reward_inf, ...`.
+pub fn to_ascii(graph: &DataflowGraph) -> String {
+    let mut out = String::new();
+    for (id, call) in graph.iter() {
+        let parents: Vec<&str> = graph
+            .deps(id)
+            .iter()
+            .map(|&d| graph.call(d).call_name.as_str())
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:>18} [{}]{}",
+            call.call_name,
+            call.call_type.label(),
+            if parents.is_empty() {
+                String::new()
+            } else {
+                format!("  <-  {}", parents.join(", "))
+            }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{ppo, remax, RlhfConfig};
+    use real_model::ModelSpec;
+
+    fn graph() -> DataflowGraph {
+        let a = ModelSpec::llama3_7b();
+        ppo(&a, &a.critic(), &RlhfConfig::instruct_gpt(64))
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = graph();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        for call in g.calls() {
+            assert!(dot.contains(&call.call_name), "{}", call.call_name);
+        }
+        // A known data edge and a known parameter edge.
+        assert!(dot.contains("actor_gen -> reward_inf;"));
+        assert!(dot.contains("actor_train -> actor_gen [style=dashed"));
+    }
+
+    #[test]
+    fn dot_shapes_by_call_type() {
+        let dot = to_dot(&graph());
+        assert!(dot.contains("actor_gen [shape=hexagon"));
+        assert!(dot.contains("actor_train [shape=box"));
+        assert!(dot.contains("reward_inf [shape=ellipse"));
+    }
+
+    #[test]
+    fn ascii_lists_parents() {
+        let g = graph();
+        let s = to_ascii(&g);
+        assert!(s.contains("actor_gen"));
+        assert!(s.lines().any(|l| l.contains("reward_inf") && l.contains("<-  actor_gen")));
+    }
+
+    #[test]
+    fn remax_dag_shows_concurrent_generations() {
+        let a = ModelSpec::llama3_7b();
+        let g = remax(&a, &a.critic(), &RlhfConfig::instruct_gpt(64));
+        let s = to_ascii(&g);
+        // Both generations are roots (no parents listed).
+        let gen_lines: Vec<&str> = s
+            .lines()
+            .filter(|l| l.contains("actor_gen") && l.contains("[gen]"))
+            .collect();
+        assert_eq!(gen_lines.len(), 2);
+        assert!(gen_lines.iter().all(|l| !l.contains("<-")));
+    }
+}

@@ -1,0 +1,334 @@
+//! Construction of the augmented dataflow graph `G_p` (§4, Fig. 5): the
+//! per-iteration call nodes plus parameter-reallocation and data-transfer
+//! nodes, unrolled over a fixed number of iterations.
+
+use crate::Estimator;
+use real_cluster::DeviceMesh;
+use real_dataflow::{CallId, DataflowGraph, ExecutionPlan};
+use real_model::MemoryModel;
+
+/// What an augmented node does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// A model function call.
+    Call {
+        /// The underlying call.
+        call: CallId,
+        /// Which unrolled iteration it belongs to.
+        iter: usize,
+    },
+    /// Moving a model's parameters from one layout to another.
+    Realloc {
+        /// Owning model name.
+        model: String,
+        /// Iteration of the *destination* call.
+        iter: usize,
+    },
+    /// Moving output data between producer and consumer meshes.
+    Transfer {
+        /// Producer call.
+        from: CallId,
+        /// Consumer call.
+        to: CallId,
+        /// Iteration.
+        iter: usize,
+    },
+}
+
+/// A node of the augmented graph, ready for Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct AugNode {
+    /// Node role (for debugging and breakdowns).
+    pub kind: NodeKind,
+    /// Estimated duration in seconds.
+    pub duration: f64,
+    /// Device meshes the node occupies (one for calls; source + destination
+    /// for reallocations and transfers).
+    pub meshes: Vec<DeviceMesh>,
+    /// Indices of parent nodes within the node list.
+    pub parents: Vec<usize>,
+}
+
+impl AugNode {
+    /// Whether this node contends for devices with `other` (any mesh pair
+    /// overlapping).
+    pub fn overlaps(&self, other: &AugNode) -> bool {
+        self.meshes
+            .iter()
+            .any(|a| other.meshes.iter().any(|b| a.overlaps(b)))
+    }
+}
+
+/// Estimated cost of reallocating `model`'s BF16 weights from the source
+/// assignment to the destination assignment.
+///
+/// Per §5.1 the estimator "approximates the time with the data size and the
+/// bandwidth": every destination GPU must receive its destination shard; the
+/// broadcasts run in parallel, so the cost is the per-destination shard over
+/// the slowest link involved, plus a latency per pipeline-stage pair.
+pub fn realloc_cost(
+    est: &Estimator,
+    model: &real_model::ModelSpec,
+    src: &real_dataflow::CallAssignment,
+    dst: &real_dataflow::CallAssignment,
+) -> f64 {
+    if src == dst {
+        return 0.0;
+    }
+    let mm = MemoryModel::new(model.clone());
+    let shard_bytes = mm.weight_bytes_per_gpu(&dst.strategy) as f64;
+    // Same single node for both meshes → NVLink; anything else is
+    // conservatively priced at fabric bandwidth.
+    let within = src.mesh.n_nodes() == 1
+        && dst.mesh.n_nodes() == 1
+        && src.mesh.node_start() == dst.mesh.node_start();
+    let stage_pairs = f64::from(src.strategy.pp() * dst.strategy.pp());
+    est.comm().broadcast(shard_bytes, 2, within) + stage_pairs * est.comm().p2p(0.0, within)
+}
+
+/// Estimated cost of transferring one call's outputs to a consumer on a
+/// different mesh. Token ids, log-probs and scalar rewards are small (§6
+/// notes this cost is minor); we price 8 bytes per token of payload.
+pub fn transfer_cost(
+    est: &Estimator,
+    graph: &DataflowGraph,
+    from: CallId,
+    plan: &ExecutionPlan,
+    to: CallId,
+) -> f64 {
+    let a = plan.assignment(from);
+    let b = plan.assignment(to);
+    if a.mesh == b.mesh && a.strategy == b.strategy {
+        return 0.0;
+    }
+    let call = graph.call(from);
+    let bytes = call.call_type.total_tokens() as f64 * 8.0;
+    let within =
+        a.mesh.n_nodes() == 1 && b.mesh.n_nodes() == 1 && a.mesh.node_start() == b.mesh.node_start();
+    // Split across DP producers broadcasting in parallel.
+    let per_src = bytes / f64::from(a.strategy.dp());
+    est.comm().broadcast(per_src, 2, within)
+}
+
+/// Builds the augmented node list for `iterations` unrolled iterations.
+///
+/// Node order: for each iteration, every call preceded by its transfer and
+/// reallocation nodes. Parameter-version edges connect a model's training
+/// call in iteration `t` to its calls in iteration `t+1` (through the
+/// reallocation node when layouts differ).
+pub fn build(
+    graph: &DataflowGraph,
+    plan: &ExecutionPlan,
+    est: &Estimator,
+    iterations: usize,
+) -> Vec<AugNode> {
+    assert!(iterations > 0, "must unroll at least one iteration");
+    let n = graph.n_calls();
+    let mut nodes: Vec<AugNode> = Vec::new();
+    // call_node[iter][call] = node index.
+    let mut call_node = vec![vec![usize::MAX; n]; iterations];
+
+    // Execution order of each model's calls within an iteration (topological).
+    let topo = graph.topo_order().expect("validated graphs are acyclic");
+
+    for iter in 0..iterations {
+        for &call in &topo {
+            let def = graph.call(call);
+            let a = plan.assignment(call);
+            let mut parents: Vec<usize> = Vec::new();
+
+            // Data dependencies (+ transfer nodes when layouts differ).
+            for &dep in graph.deps(call) {
+                let dep_node = call_node[iter][dep.0];
+                debug_assert_ne!(dep_node, usize::MAX, "topo order places deps first");
+                let cost = transfer_cost(est, graph, dep, plan, call);
+                if cost > 0.0 {
+                    // Transfers occupy the consumer mesh only; the producer
+                    // sends from copy engines (mirrors the runtime engine).
+                    nodes.push(AugNode {
+                        kind: NodeKind::Transfer { from: dep, to: call, iter },
+                        duration: cost,
+                        meshes: vec![a.mesh],
+                        parents: vec![dep_node],
+                    });
+                    parents.push(nodes.len() - 1);
+                } else {
+                    parents.push(dep_node);
+                }
+            }
+
+            // Parameter availability: the model's previous call in this
+            // iteration, or (for the first call of the iteration) its
+            // parameter-version parents in the previous iteration.
+            let model_calls = graph.calls_of_model(&def.model_name);
+            let order_in_model = topo
+                .iter()
+                .filter(|c| model_calls.contains(c))
+                .copied()
+                .collect::<Vec<_>>();
+            let my_pos = order_in_model
+                .iter()
+                .position(|&c| c == call)
+                .expect("call is in its own model's call list");
+            let prev: Option<(usize, CallId)> = if my_pos > 0 {
+                Some((iter, order_in_model[my_pos - 1]))
+            } else if iter > 0 {
+                // Wrap around: last call of the model in the previous
+                // iteration (captures the parameter-version edge when it is
+                // a training call, and the layout chain otherwise).
+                Some((iter - 1, *order_in_model.last().expect("non-empty")))
+            } else {
+                None
+            };
+            if let Some((piter, pcall)) = prev {
+                let pnode = call_node[piter][pcall.0];
+                debug_assert_ne!(pnode, usize::MAX);
+                let pa = plan.assignment(pcall);
+                let cost = realloc_cost(est, &def.model, pa, a);
+                if cost > 0.0 {
+                    nodes.push(AugNode {
+                        kind: NodeKind::Realloc { model: def.model_name.clone(), iter },
+                        duration: cost,
+                        meshes: vec![pa.mesh, a.mesh],
+                        parents: vec![pnode],
+                    });
+                    parents.push(nodes.len() - 1);
+                } else {
+                    parents.push(pnode);
+                }
+            }
+
+            parents.sort_unstable();
+            parents.dedup();
+            nodes.push(AugNode {
+                kind: NodeKind::Call { call, iter },
+                duration: est.call_duration(call, a),
+                meshes: vec![a.mesh],
+                parents,
+            });
+            call_node[iter][call.0] = nodes.len() - 1;
+        }
+    }
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use real_cluster::ClusterSpec;
+    use real_dataflow::{algo, CallAssignment};
+    use real_model::{ModelSpec, ParallelStrategy};
+    use real_profiler::{ProfileConfig, Profiler};
+
+    fn setup() -> (ClusterSpec, DataflowGraph, Estimator) {
+        let cluster = ClusterSpec::h100(2);
+        let actor = ModelSpec::llama3_7b();
+        let critic = actor.critic();
+        let graph = algo::ppo(&actor, &critic, &algo::RlhfConfig::instruct_gpt(64));
+        let mut profiler = Profiler::new(cluster.clone(), ProfileConfig::quick(), 5);
+        let profiles = vec![profiler.profile(&actor), profiler.profile(&critic)];
+        let est = Estimator::new(cluster.clone(), graph.clone(), profiles).unwrap();
+        (cluster, graph, est)
+    }
+
+    fn symmetric(cluster: &ClusterSpec, graph: &DataflowGraph) -> ExecutionPlan {
+        let a = CallAssignment::new(
+            DeviceMesh::full(cluster),
+            ParallelStrategy::new(2, 8, 1, 4).unwrap(),
+        )
+        .unwrap();
+        ExecutionPlan::new(graph, cluster, vec![a; graph.n_calls()]).unwrap()
+    }
+
+    #[test]
+    fn symmetric_plan_has_no_realloc_or_transfer_nodes() {
+        let (cluster, graph, est) = setup();
+        let plan = symmetric(&cluster, &graph);
+        let nodes = build(&graph, &plan, &est, 1);
+        assert_eq!(nodes.len(), graph.n_calls());
+        assert!(nodes.iter().all(|n| matches!(n.kind, NodeKind::Call { .. })));
+    }
+
+    #[test]
+    fn asymmetric_plan_adds_realloc_nodes() {
+        let (cluster, graph, est) = setup();
+        let mut plan = symmetric(&cluster, &graph);
+        // Move actor training to a different strategy on the same mesh.
+        let train = graph.find("actor_train").unwrap();
+        let new = CallAssignment::new(
+            DeviceMesh::full(&cluster),
+            ParallelStrategy::new(1, 8, 2, 8).unwrap(),
+        )
+        .unwrap();
+        plan = plan.with_assignment(train, new).unwrap();
+        let nodes = build(&graph, &plan, &est, 1);
+        let reallocs = nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Realloc { .. }))
+            .count();
+        assert!(reallocs >= 1, "expected a realloc before actor_train");
+    }
+
+    #[test]
+    fn unrolling_two_iterations_doubles_call_nodes() {
+        let (cluster, graph, est) = setup();
+        let plan = symmetric(&cluster, &graph);
+        let nodes = build(&graph, &plan, &est, 2);
+        let calls = nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Call { .. }))
+            .count();
+        assert_eq!(calls, 2 * graph.n_calls());
+        // Second-iteration generation depends (transitively) on
+        // first-iteration actor training.
+        let gen2 = nodes
+            .iter()
+            .position(|n| matches!(n.kind, NodeKind::Call { call, iter: 1 }
+                if call == graph.find("actor_gen").unwrap()))
+            .unwrap();
+        assert!(!nodes[gen2].parents.is_empty());
+    }
+
+    #[test]
+    fn realloc_cost_zero_for_identical_layouts() {
+        let (cluster, _, est) = setup();
+        let a = CallAssignment::new(
+            DeviceMesh::full(&cluster),
+            ParallelStrategy::new(2, 8, 1, 4).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(realloc_cost(&est, &ModelSpec::llama3_7b(), &a, &a), 0.0);
+    }
+
+    #[test]
+    fn realloc_cost_positive_for_layout_change() {
+        let (cluster, _, est) = setup();
+        let a = CallAssignment::new(
+            DeviceMesh::full(&cluster),
+            ParallelStrategy::new(2, 8, 1, 4).unwrap(),
+        )
+        .unwrap();
+        let b = CallAssignment::new(
+            DeviceMesh::full(&cluster),
+            ParallelStrategy::new(1, 8, 2, 4).unwrap(),
+        )
+        .unwrap();
+        let c = realloc_cost(&est, &ModelSpec::llama3_7b(), &a, &b);
+        assert!(c > 0.0);
+        // Moving a 7B shard over the fabric: milliseconds-to-seconds scale,
+        // far below a full generation call.
+        assert!(c < 5.0, "realloc {c}");
+    }
+
+    #[test]
+    fn parents_reference_earlier_nodes_only() {
+        let (cluster, graph, est) = setup();
+        let plan = symmetric(&cluster, &graph);
+        let nodes = build(&graph, &plan, &est, 3);
+        for (i, n) in nodes.iter().enumerate() {
+            for &p in &n.parents {
+                assert!(p < i, "node {i} has forward parent {p}");
+            }
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! The lightweight runtime estimator (§5.1 of the paper).
+//!
+//! Given an execution plan, the estimator predicts
+//!
+//! - `TimeCost(G_p)` — by assembling per-call durations from profiled
+//!   per-layer statistics ([`assemble`]), augmenting the dataflow graph with
+//!   parameter-reallocation and data-transfer nodes ([`augment`]), and
+//!   simulating the schedule with the paper's Algorithm 1
+//!   ([`algorithm1`]), and
+//! - `MaxMem(G_p)` — the per-GPU peak of static plus active memory
+//!   ([`maxmem`]),
+//!
+//! combining both into the §5.2 search cost
+//! `cost = TimeCost · (OOM ? α : 1)`.
+//!
+//! Estimates consume only the noisy power-of-two [`real_profiler::ProfileDb`]
+//! grid and coarse closed-form pipeline formulas; the runtime engine
+//! (`real-runtime`) simulates the same plan event-by-event. Their
+//! disagreement is the estimator error reported in Fig. 12.
+//!
+//! # Examples
+//!
+//! ```
+//! use real_cluster::{ClusterSpec, DeviceMesh};
+//! use real_dataflow::{algo, CallAssignment, ExecutionPlan};
+//! use real_estimator::Estimator;
+//! use real_model::{ModelSpec, ParallelStrategy};
+//! use real_profiler::{ProfileConfig, Profiler};
+//!
+//! let cluster = ClusterSpec::h100(1);
+//! let actor = ModelSpec::llama3_7b();
+//! let critic = actor.critic();
+//! let graph = algo::ppo(&actor, &critic, &algo::RlhfConfig::instruct_gpt(64));
+//! let mut profiler = Profiler::new(cluster.clone(), ProfileConfig::quick(), 1);
+//! let profiles = vec![profiler.profile(&actor), profiler.profile(&critic)];
+//! let est = Estimator::new(cluster.clone(), graph.clone(), profiles).unwrap();
+//!
+//! let a = CallAssignment::new(
+//!     DeviceMesh::full(&cluster),
+//!     ParallelStrategy::new(1, 8, 1, 4).unwrap(),
+//! ).unwrap();
+//! let plan = ExecutionPlan::new(&graph, &cluster, vec![a; graph.n_calls()]).unwrap();
+//! assert!(est.time_cost(&plan) > 0.0);
+//! ```
+
+pub mod algorithm1;
+pub mod assemble;
+pub mod augment;
+pub mod maxmem;
+
+use real_cluster::{ClusterSpec, CommModel};
+use real_dataflow::{CallId, DataflowGraph, ExecutionPlan};
+use real_profiler::ProfileDb;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Default number of unrolled iterations for Algorithm 1 — two, so
+/// cross-iteration overlap (Fig. 4) is visible while the schedule stays
+/// cheap to simulate.
+pub const DEFAULT_ITERATIONS: usize = 2;
+
+/// The §5.2 out-of-memory penalty multiplier α.
+pub const OOM_PENALTY: f64 = 1000.0;
+
+/// Errors building an [`Estimator`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EstimatorError {
+    /// No profile was supplied for a model architecture used by the graph.
+    MissingProfile(String),
+}
+
+impl fmt::Display for EstimatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimatorError::MissingProfile(m) => {
+                write!(f, "no profile supplied for architecture {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EstimatorError {}
+
+/// The runtime estimator bound to one cluster, workflow, and profile set.
+#[derive(Debug, Clone)]
+pub struct Estimator {
+    cluster: ClusterSpec,
+    graph: DataflowGraph,
+    /// Profile per *architecture* name (`ModelSpec::name`), shared by models
+    /// with identical architectures (actor/reference, critic/reward) — the
+    /// paper reuses profiles within a model family.
+    profiles: HashMap<String, ProfileDb>,
+    /// Communication model from *measured* link parameters.
+    comm: CommModel,
+    iterations: usize,
+}
+
+impl Estimator {
+    /// Builds an estimator. `profiles` must cover every distinct
+    /// architecture in `graph` (keyed by `ModelSpec::name`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimatorError::MissingProfile`] when an architecture has
+    /// no profile.
+    pub fn new(
+        cluster: ClusterSpec,
+        graph: DataflowGraph,
+        profiles: Vec<ProfileDb>,
+    ) -> Result<Self, EstimatorError> {
+        let map: HashMap<String, ProfileDb> = profiles
+            .into_iter()
+            .map(|p| (p.model_name().to_string(), p))
+            .collect();
+        for call in graph.calls() {
+            if !map.contains_key(&call.model.name) {
+                return Err(EstimatorError::MissingProfile(call.model.name.clone()));
+            }
+        }
+        let comm = map
+            .values()
+            .next()
+            .map(|p| p.comm_model())
+            .unwrap_or_else(|| CommModel::new(&cluster));
+        Ok(Self {
+            cluster,
+            graph,
+            profiles: map,
+            comm,
+            iterations: DEFAULT_ITERATIONS,
+        })
+    }
+
+    /// Overrides the number of iterations Algorithm 1 unrolls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations == 0`.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        assert!(iterations > 0, "must simulate at least one iteration");
+        self.iterations = iterations;
+        self
+    }
+
+    /// The workflow this estimator serves.
+    pub fn graph(&self) -> &DataflowGraph {
+        &self.graph
+    }
+
+    /// The cluster this estimator serves.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// The measured-link communication model.
+    pub fn comm(&self) -> &CommModel {
+        &self.comm
+    }
+
+    pub(crate) fn profile_for(&self, call: CallId) -> &ProfileDb {
+        let arch = &self.graph.call(call).model.name;
+        self.profiles
+            .get(arch)
+            .expect("constructor verified every architecture has a profile")
+    }
+
+    /// Estimated duration of one call under `assignment` (§5.1 assembly of
+    /// profiled per-layer statistics).
+    pub fn call_duration(&self, call: CallId, assignment: &real_dataflow::CallAssignment) -> f64 {
+        assemble::call_duration(
+            self.graph.call(call),
+            assignment,
+            self.profile_for(call),
+            &self.comm,
+        )
+    }
+
+    /// `TimeCost(G_p)`: the Algorithm 1 makespan of the augmented graph
+    /// unrolled over the configured iterations, divided by the iteration
+    /// count (steady-state per-iteration time).
+    pub fn time_cost(&self, plan: &ExecutionPlan) -> f64 {
+        let nodes = augment::build(&self.graph, plan, self, self.iterations);
+        algorithm1::makespan(&nodes) / self.iterations as f64
+    }
+
+    /// `MaxMem(G_p)`: peak bytes over all GPUs.
+    pub fn max_mem(&self, plan: &ExecutionPlan) -> u64 {
+        maxmem::max_mem(&self.cluster, &self.graph, plan)
+    }
+
+    /// Whether the plan fits device memory.
+    pub fn mem_ok(&self, plan: &ExecutionPlan) -> bool {
+        self.max_mem(plan) <= self.cluster.gpu.mem_capacity
+    }
+
+    /// The §5.2 search cost: `TimeCost`, multiplied by [`OOM_PENALTY`] when
+    /// `MaxMem` exceeds capacity.
+    pub fn cost(&self, plan: &ExecutionPlan) -> f64 {
+        let t = self.time_cost(plan);
+        if self.mem_ok(plan) {
+            t
+        } else {
+            t * OOM_PENALTY
+        }
+    }
+
+    /// Mean static-memory utilization across GPUs (Fig. 17 right).
+    pub fn static_mem_utilization(&self, plan: &ExecutionPlan) -> f64 {
+        maxmem::static_utilization(&self.cluster, &self.graph, plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use real_cluster::DeviceMesh;
+    use real_dataflow::{algo, CallAssignment};
+    use real_model::{ModelSpec, ParallelStrategy};
+    use real_profiler::{ProfileConfig, Profiler};
+
+    fn setup(nodes: u32, batch: u64) -> (ClusterSpec, DataflowGraph, Estimator) {
+        let cluster = ClusterSpec::h100(nodes);
+        let actor = ModelSpec::llama3_7b();
+        let critic = actor.critic();
+        let graph = algo::ppo(&actor, &critic, &algo::RlhfConfig::instruct_gpt(batch));
+        let mut profiler = Profiler::new(cluster.clone(), ProfileConfig::quick(), 3);
+        let profiles = vec![profiler.profile(&actor), profiler.profile(&critic)];
+        let est = Estimator::new(cluster.clone(), graph.clone(), profiles).unwrap();
+        (cluster, graph, est)
+    }
+
+    fn symmetric_plan(
+        cluster: &ClusterSpec,
+        graph: &DataflowGraph,
+        dp: u32,
+        tp: u32,
+        pp: u32,
+        mbs: u32,
+    ) -> ExecutionPlan {
+        let a = CallAssignment::new(
+            DeviceMesh::full(cluster),
+            ParallelStrategy::new(dp, tp, pp, mbs).unwrap(),
+        )
+        .unwrap();
+        ExecutionPlan::new(graph, cluster, vec![a; graph.n_calls()]).unwrap()
+    }
+
+    #[test]
+    fn missing_profile_is_rejected() {
+        let cluster = ClusterSpec::h100(1);
+        let actor = ModelSpec::llama3_7b();
+        let graph = algo::dpo(&actor, &algo::RlhfConfig::instruct_gpt(64));
+        let err = Estimator::new(cluster, graph, vec![]).unwrap_err();
+        assert_eq!(err, EstimatorError::MissingProfile("llama3-7b".into()));
+    }
+
+    #[test]
+    fn time_cost_positive_and_finite() {
+        let (cluster, graph, est) = setup(1, 64);
+        let plan = symmetric_plan(&cluster, &graph, 1, 8, 1, 4);
+        let t = est.time_cost(&plan);
+        assert!(t.is_finite() && t > 0.0, "time {t}");
+    }
+
+    #[test]
+    fn oom_plans_are_penalized() {
+        let (cluster, graph, est) = setup(1, 512);
+        // One micro-batch over the whole batch blows the logits/activation
+        // budget.
+        let bad = symmetric_plan(&cluster, &graph, 8, 1, 1, 1);
+        let good = symmetric_plan(&cluster, &graph, 1, 8, 1, 16);
+        assert!(est.mem_ok(&good), "good plan should fit");
+        assert!(!est.mem_ok(&bad), "bad plan should OOM");
+        assert!(est.cost(&bad) > est.time_cost(&bad) * 100.0);
+        assert_eq!(est.cost(&good), est.time_cost(&good));
+    }
+
+    #[test]
+    fn more_gpus_make_iterations_faster() {
+        // Same workload on 1 vs 2 nodes with an analogous symmetric plan.
+        let (c1, g1, e1) = setup(1, 64);
+        let (c2, g2, e2) = setup(2, 64);
+        let p1 = symmetric_plan(&c1, &g1, 1, 8, 1, 8);
+        let p2 = symmetric_plan(&c2, &g2, 2, 8, 1, 8);
+        assert!(e2.time_cost(&p2) < e1.time_cost(&p1));
+    }
+
+    #[test]
+    fn estimator_is_deterministic() {
+        let (cluster, graph, est) = setup(1, 64);
+        let plan = symmetric_plan(&cluster, &graph, 1, 8, 1, 4);
+        assert_eq!(est.time_cost(&plan), est.time_cost(&plan));
+    }
+
+    #[test]
+    fn estimate_is_fast_enough_for_search() {
+        // The paper: evaluating a candidate plan takes hundreds of
+        // microseconds. Allow a generous 10 ms in unoptimized builds.
+        let (cluster, graph, est) = setup(2, 512);
+        let plan = symmetric_plan(&cluster, &graph, 2, 8, 1, 8);
+        let start = std::time::Instant::now();
+        let n = 100;
+        for _ in 0..n {
+            let _ = est.cost(&plan);
+        }
+        let per = start.elapsed().as_secs_f64() / f64::from(n);
+        assert!(per < 10e-3, "per-estimate {per}s");
+    }
+}

@@ -1,0 +1,38 @@
+//! LLM model substrate for `real-rs`.
+//!
+//! This crate models everything ReaL needs to know about the transformer
+//! models it trains:
+//!
+//! - [`spec`] — architecture descriptions with the exact LLaMA-3 presets from
+//!   Table 1 of the paper (7B/13B/34B/70B, actor and critic variants) and
+//!   parameter counting that reproduces the table's numbers to the digit,
+//! - [`parallel`] — 3D parallelization strategies `(dp, tp, pp)` plus the
+//!   micro-batch count, their enumeration for a given GPU budget, and rank
+//!   mapping onto device meshes (TP fastest, then DP, then PP — Megatron's
+//!   order),
+//! - [`cost`] — the analytic per-layer cost model (roofline GEMMs, attention,
+//!   KV-cache IO, vocabulary head, kernel-launch overhead, TP/PP/DP
+//!   communication) that plays the role of the paper's profiled hardware,
+//! - [`memory`] — static (parameters/gradients/optimizer) and active
+//!   (activations/KV-cache/logits) memory accounting used for the MaxMem
+//!   estimate and OOM pruning.
+//!
+//! # Examples
+//!
+//! ```
+//! use real_model::{ModelSpec, ParallelStrategy};
+//! let m = ModelSpec::llama3_7b();
+//! assert_eq!(m.param_count(), 8_030_261_248);
+//! let s = ParallelStrategy::new(4, 2, 1, 4).unwrap();
+//! assert_eq!(s.world_size(), 8);
+//! ```
+
+pub mod cost;
+pub mod memory;
+pub mod parallel;
+pub mod spec;
+
+pub use cost::CostModel;
+pub use memory::MemoryModel;
+pub use parallel::ParallelStrategy;
+pub use spec::ModelSpec;

@@ -1,0 +1,259 @@
+//! Transformer architecture specifications and parameter counting.
+//!
+//! The presets reproduce Table 1 of the paper exactly; the parameter-count
+//! formulas are unit-tested against the table's `TotalParamCount` and
+//! `ParamCount w./o. Output Embedding` columns.
+
+use serde::{Deserialize, Serialize};
+
+/// What the model's output head produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HeadKind {
+    /// A language-model head projecting to the vocabulary (actor, reference).
+    LmHead,
+    /// A scalar value head (critic, reward).
+    ScalarHead,
+}
+
+/// A GPT-like transformer architecture (LLaMA-3 family).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Human-readable identifier, e.g. `"llama3-7b"`.
+    pub name: String,
+    /// Hidden size.
+    pub hidden: u64,
+    /// MLP intermediate size.
+    pub intermediate: u64,
+    /// Number of transformer layers.
+    pub n_layers: u64,
+    /// Number of attention heads.
+    pub n_heads: u64,
+    /// Number of key/value heads (grouped-query attention).
+    pub n_kv_heads: u64,
+    /// Vocabulary size.
+    pub vocab: u64,
+    /// Maximum sequence length.
+    pub max_pos: u64,
+    /// Output head kind: LM head for actor/reference, scalar for
+    /// critic/reward.
+    pub head: HeadKind,
+}
+
+impl ModelSpec {
+    fn llama3(name: &str, hidden: u64, intermediate: u64, n_layers: u64, n_heads: u64, n_kv_heads: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            hidden,
+            intermediate,
+            n_layers,
+            n_heads,
+            n_kv_heads,
+            vocab: 128_256,
+            max_pos: 8192,
+            head: HeadKind::LmHead,
+        }
+    }
+
+    /// LLaMA-3 7B (Table 1, column "7B").
+    pub fn llama3_7b() -> Self {
+        Self::llama3("llama3-7b", 4096, 14336, 32, 32, 8)
+    }
+
+    /// LLaMA-3 13B (Table 1, column "13B").
+    pub fn llama3_13b() -> Self {
+        Self::llama3("llama3-13b", 5120, 13824, 40, 40, 40)
+    }
+
+    /// LLaMA-3 34B (Table 1, column "34B").
+    pub fn llama3_34b() -> Self {
+        Self::llama3("llama3-34b", 8192, 22016, 48, 64, 8)
+    }
+
+    /// LLaMA-3 70B (Table 1, column "70B").
+    pub fn llama3_70b() -> Self {
+        Self::llama3("llama3-70b", 8192, 28672, 80, 64, 8)
+    }
+
+    /// Looks a preset up by its short identifier (`"7b"`, `"13b"`, `"34b"`,
+    /// `"70b"`).
+    pub fn by_size(size: &str) -> Option<Self> {
+        match size.to_ascii_lowercase().as_str() {
+            "7b" => Some(Self::llama3_7b()),
+            "13b" => Some(Self::llama3_13b()),
+            "34b" => Some(Self::llama3_34b()),
+            "70b" => Some(Self::llama3_70b()),
+            _ => None,
+        }
+    }
+
+    /// The critic/reward variant of this architecture: identical trunk but a
+    /// scalar output head (the paper notes critics have output dimension 1).
+    pub fn critic(&self) -> Self {
+        let mut c = self.clone();
+        c.name = format!("{}-critic", self.name);
+        c.head = HeadKind::ScalarHead;
+        c
+    }
+
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> u64 {
+        self.hidden / self.n_heads
+    }
+
+    /// Key/value projection width (grouped-query attention).
+    pub fn kv_dim(&self) -> u64 {
+        self.head_dim() * self.n_kv_heads
+    }
+
+    /// Parameters in one transformer layer: Q/O projections, K/V projections
+    /// (GQA-sized), gate/up/down MLP matrices, and two RMSNorm vectors.
+    pub fn layer_params(&self) -> u64 {
+        let attn = 2 * self.hidden * self.hidden + 2 * self.hidden * self.kv_dim();
+        let mlp = 3 * self.hidden * self.intermediate;
+        let norms = 2 * self.hidden;
+        attn + mlp + norms
+    }
+
+    /// Parameters in the input embedding.
+    pub fn embed_params(&self) -> u64 {
+        self.vocab * self.hidden
+    }
+
+    /// Parameters in the output head (vocab projection or scalar head).
+    pub fn head_params(&self) -> u64 {
+        match self.head {
+            HeadKind::LmHead => self.vocab * self.hidden,
+            HeadKind::ScalarHead => self.hidden,
+        }
+    }
+
+    /// Total parameter count, matching Table 1's `TotalParamCount` for
+    /// LM-head presets.
+    pub fn param_count(&self) -> u64 {
+        self.n_layers * self.layer_params() + self.embed_params() + self.hidden + self.head_params()
+    }
+
+    /// Parameter count without the output embedding, matching Table 1's
+    /// `ParamCount w./o. Output Embedding`. The paper uses this as the model
+    /// identifier because critics have a 1-dimensional head.
+    pub fn param_count_no_output_embed(&self) -> u64 {
+        self.n_layers * self.layer_params() + self.embed_params() + self.hidden
+    }
+
+    /// Validates architecture invariants (divisibility of heads, non-zero
+    /// sizes).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.hidden == 0 || self.n_layers == 0 || self.n_heads == 0 || self.vocab == 0 {
+            return Err("model dimensions must be non-zero".into());
+        }
+        if self.hidden % self.n_heads != 0 {
+            return Err(format!(
+                "hidden {} not divisible by n_heads {}",
+                self.hidden, self.n_heads
+            ));
+        }
+        if self.n_kv_heads == 0 || self.n_heads % self.n_kv_heads != 0 {
+            return Err(format!(
+                "n_heads {} not divisible by n_kv_heads {}",
+                self.n_heads, self.n_kv_heads
+            ));
+        }
+        Ok(())
+    }
+
+    /// Maximum tensor-parallel degree this architecture supports: TP shards
+    /// attention by KV head groups and the MLP by columns, so it is bounded
+    /// by the KV head count.
+    pub fn max_tp(&self) -> u64 {
+        self.n_kv_heads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 1 of the paper, verbatim.
+    const TABLE1: [(&str, u64, u64); 4] = [
+        ("7b", 8_030_261_248, 7_504_924_672),
+        ("13b", 14_001_525_760, 13_344_855_040),
+        ("34b", 35_321_028_608, 34_270_355_456),
+        ("70b", 70_553_706_496, 69_503_033_344),
+    ];
+
+    #[test]
+    fn param_counts_match_table1_exactly() {
+        for (size, total, no_embed) in TABLE1 {
+            let m = ModelSpec::by_size(size).unwrap();
+            assert_eq!(m.param_count(), total, "total for {size}");
+            assert_eq!(m.param_count_no_output_embed(), no_embed, "no-embed for {size}");
+        }
+    }
+
+    #[test]
+    fn critic_head_is_scalar() {
+        let c = ModelSpec::llama3_7b().critic();
+        assert_eq!(c.head, HeadKind::ScalarHead);
+        assert_eq!(c.head_params(), c.hidden);
+        // The paper identifies critics by the embedding-less count: a critic's
+        // trunk matches the actor's.
+        assert_eq!(
+            c.param_count_no_output_embed(),
+            ModelSpec::llama3_7b().param_count_no_output_embed()
+        );
+    }
+
+    #[test]
+    fn critic_total_smaller_than_actor() {
+        let a = ModelSpec::llama3_70b();
+        let c = a.critic();
+        assert!(c.param_count() < a.param_count());
+    }
+
+    #[test]
+    fn presets_validate() {
+        for size in ["7b", "13b", "34b", "70b"] {
+            ModelSpec::by_size(size).unwrap().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn by_size_unknown_is_none() {
+        assert!(ModelSpec::by_size("3b").is_none());
+        assert!(ModelSpec::by_size("").is_none());
+    }
+
+    #[test]
+    fn by_size_is_case_insensitive() {
+        assert_eq!(ModelSpec::by_size("70B").unwrap().name, "llama3-70b");
+    }
+
+    #[test]
+    fn gqa_dimensions() {
+        let m = ModelSpec::llama3_7b();
+        assert_eq!(m.head_dim(), 128);
+        assert_eq!(m.kv_dim(), 1024);
+        assert_eq!(m.max_tp(), 8);
+        // 13B uses MHA (kv == heads).
+        let m13 = ModelSpec::llama3_13b();
+        assert_eq!(m13.kv_dim(), m13.hidden);
+        assert_eq!(m13.max_tp(), 40);
+    }
+
+    #[test]
+    fn validate_rejects_bad_head_split() {
+        let mut m = ModelSpec::llama3_7b();
+        m.n_heads = 33;
+        assert!(m.validate().is_err());
+        let mut m = ModelSpec::llama3_7b();
+        m.n_kv_heads = 7;
+        assert!(m.validate().is_err());
+        let mut m = ModelSpec::llama3_7b();
+        m.n_kv_heads = 0;
+        assert!(m.validate().is_err());
+    }
+}

@@ -1,0 +1,339 @@
+//! The profile database: interpolation tables of per-layer operation times
+//! keyed by operation kind and TP degree, plus measured link parameters.
+
+use real_cluster::CommModel;
+use real_util::stats::lerp_knots;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The operations ReaL profiles per layer (§5.1). Sequence-length-dependent
+/// operations carry their bucket so attention costs interpolate correctly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// One layer's forward pass; x-axis = tokens.
+    LayerFwd {
+        /// Sequence-length bucket the samples were taken at.
+        seq_bucket: u64,
+    },
+    /// One layer's backward pass; x-axis = tokens.
+    LayerBwd {
+        /// Sequence-length bucket the samples were taken at.
+        seq_bucket: u64,
+    },
+    /// One layer's single decode step; x-axis = batch size.
+    LayerDecode {
+        /// Context-length bucket the samples were taken at.
+        past_bucket: u64,
+    },
+    /// Input embedding forward; x-axis = tokens.
+    EmbedFwd,
+    /// Output head forward; x-axis = tokens.
+    HeadFwd,
+    /// Output head forward+backward; x-axis = tokens.
+    HeadBwd,
+    /// Optimizer step; x-axis = parameters in the local shard.
+    OptimStep,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::LayerFwd { seq_bucket } => write!(f, "layer_fwd@seq{seq_bucket}"),
+            OpKind::LayerBwd { seq_bucket } => write!(f, "layer_bwd@seq{seq_bucket}"),
+            OpKind::LayerDecode { past_bucket } => write!(f, "layer_decode@past{past_bucket}"),
+            OpKind::EmbedFwd => write!(f, "embed_fwd"),
+            OpKind::HeadFwd => write!(f, "head_fwd"),
+            OpKind::HeadBwd => write!(f, "head_bwd"),
+            OpKind::OptimStep => write!(f, "optim_step"),
+        }
+    }
+}
+
+/// Table key: operation kind at a TP degree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProfileKey {
+    /// The profiled operation.
+    pub op: OpKind,
+    /// Tensor-parallel degree the samples were taken at.
+    pub tp: u32,
+}
+
+/// A power-of-two interpolation table: `(x, seconds)` knots with strictly
+/// increasing x.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileTable {
+    knots: Vec<(f64, f64)>,
+}
+
+impl ProfileTable {
+    /// Builds a table from knots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `knots` is empty or x is not strictly increasing.
+    pub fn new(knots: Vec<(f64, f64)>) -> Self {
+        assert!(!knots.is_empty(), "profile table must have at least one knot");
+        for w in knots.windows(2) {
+            assert!(w[0].0 < w[1].0, "profile knots must be strictly increasing in x");
+        }
+        Self { knots }
+    }
+
+    /// Interpolated (or extrapolated) seconds at `x`, clamped to be
+    /// non-negative.
+    pub fn interpolate(&self, x: f64) -> f64 {
+        lerp_knots(&self.knots, x).max(0.0)
+    }
+
+    /// The raw knots.
+    pub fn knots(&self) -> &[(f64, f64)] {
+        &self.knots
+    }
+}
+
+/// Profiled statistics for one model architecture on one cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileDb {
+    model_name: String,
+    entries: Vec<(ProfileKey, ProfileTable)>,
+    /// Measured link parameters (noisy observations of the true links).
+    measured_bw_intra: f64,
+    measured_bw_inter: f64,
+    measured_lat_intra: f64,
+    measured_lat_inter: f64,
+    /// Simulated seconds the profiling run would have taken (Fig. 12 left).
+    profiling_secs: f64,
+    /// Number of microbenchmark samples taken.
+    n_samples: u64,
+}
+
+impl ProfileDb {
+    /// Assembles a database. Used by [`crate::Profiler`]; exposed for tests
+    /// and serialization round-trips.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        model_name: String,
+        entries: Vec<(ProfileKey, ProfileTable)>,
+        measured_bw_intra: f64,
+        measured_bw_inter: f64,
+        measured_lat_intra: f64,
+        measured_lat_inter: f64,
+        profiling_secs: f64,
+        n_samples: u64,
+    ) -> Self {
+        Self {
+            model_name,
+            entries,
+            measured_bw_intra,
+            measured_bw_inter,
+            measured_lat_intra,
+            measured_lat_inter,
+            profiling_secs,
+            n_samples,
+        }
+    }
+
+    /// Name of the profiled model.
+    pub fn model_name(&self) -> &str {
+        &self.model_name
+    }
+
+    /// Number of interpolation tables.
+    pub fn n_tables(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of microbenchmark samples taken.
+    pub fn n_samples(&self) -> u64 {
+        self.n_samples
+    }
+
+    /// Simulated profiling duration in seconds (Fig. 12 left).
+    pub fn profiling_secs(&self) -> f64 {
+        self.profiling_secs
+    }
+
+    /// Looks up the table for `key`.
+    pub fn table(&self, key: ProfileKey) -> Option<&ProfileTable> {
+        self.entries.iter().find(|(k, _)| *k == key).map(|(_, t)| t)
+    }
+
+    /// Interpolated seconds for `key` at `x`. Falls back to the nearest
+    /// profiled TP degree when the exact one is missing (the estimator then
+    /// rescales by the TP ratio, mirroring how real profiles are reused).
+    pub fn lookup(&self, key: ProfileKey, x: f64) -> Option<f64> {
+        if let Some(t) = self.table(key) {
+            return Some(t.interpolate(x));
+        }
+        // Nearest-TP fallback with linear work rescaling.
+        let mut best: Option<(u32, &ProfileTable)> = None;
+        for (k, t) in &self.entries {
+            if k.op == key.op {
+                match best {
+                    Some((tp, _)) if tp.abs_diff(key.tp) <= k.tp.abs_diff(key.tp) => {}
+                    _ => best = Some((k.tp, t)),
+                }
+            }
+        }
+        best.map(|(tp, t)| t.interpolate(x) * f64::from(tp) / f64::from(key.tp))
+    }
+
+    /// The nearest profiled bucket to `value` among `buckets` (log-distance).
+    pub fn nearest_bucket(buckets: &[u64], value: u64) -> u64 {
+        assert!(!buckets.is_empty(), "bucket list must not be empty");
+        let v = (value.max(1)) as f64;
+        *buckets
+            .iter()
+            .min_by(|&&a, &&b| {
+                let da = (a as f64 / v).ln().abs();
+                let db = (b as f64 / v).ln().abs();
+                da.partial_cmp(&db).expect("bucket distances are finite")
+            })
+            .expect("bucket list is non-empty")
+    }
+
+    /// Sequence-length buckets present for an op family.
+    pub fn seq_buckets(&self) -> Vec<u64> {
+        let mut buckets: Vec<u64> = self
+            .entries
+            .iter()
+            .filter_map(|(k, _)| match k.op {
+                OpKind::LayerFwd { seq_bucket } => Some(seq_bucket),
+                _ => None,
+            })
+            .collect();
+        buckets.sort_unstable();
+        buckets.dedup();
+        buckets
+    }
+
+    /// Context-length buckets present for decode tables.
+    pub fn past_buckets(&self) -> Vec<u64> {
+        let mut buckets: Vec<u64> = self
+            .entries
+            .iter()
+            .filter_map(|(k, _)| match k.op {
+                OpKind::LayerDecode { past_bucket } => Some(past_bucket),
+                _ => None,
+            })
+            .collect();
+        buckets.sort_unstable();
+        buckets.dedup();
+        buckets
+    }
+
+    /// A communication model built from the *measured* link parameters.
+    pub fn comm_model(&self) -> CommModel {
+        CommModel::from_parameters(
+            self.measured_bw_intra,
+            self.measured_bw_inter,
+            self.measured_lat_intra,
+            self.measured_lat_inter,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(points: &[(f64, f64)]) -> ProfileTable {
+        ProfileTable::new(points.to_vec())
+    }
+
+    fn db_with(entries: Vec<(ProfileKey, ProfileTable)>) -> ProfileDb {
+        ProfileDb::new("m".into(), entries, 4.5e11, 5.0e10, 3e-6, 12e-6, 60.0, 100)
+    }
+
+    #[test]
+    fn interpolation_between_knots() {
+        let t = table(&[(256.0, 1.0), (512.0, 2.0)]);
+        assert_eq!(t.interpolate(384.0), 1.5);
+    }
+
+    #[test]
+    fn extrapolation_clamped_non_negative() {
+        // Steep slope: extrapolating to x=1 would be negative without the
+        // clamp.
+        let t = table(&[(256.0, 1.0), (512.0, 3.0)]);
+        assert_eq!(t.interpolate(1.0), 0.0);
+        // Mild slope stays positive and linear.
+        let t = table(&[(256.0, 1.0), (512.0, 2.0)]);
+        assert!(t.interpolate(1.0) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_knots_panic() {
+        table(&[(2.0, 1.0), (1.0, 2.0)]);
+    }
+
+    #[test]
+    fn lookup_exact_key() {
+        let key = ProfileKey { op: OpKind::EmbedFwd, tp: 2 };
+        let db = db_with(vec![(key, table(&[(1.0, 1.0), (2.0, 2.0)]))]);
+        assert_eq!(db.lookup(key, 1.5), Some(1.5));
+    }
+
+    #[test]
+    fn lookup_falls_back_to_nearest_tp_with_rescale() {
+        let k2 = ProfileKey { op: OpKind::EmbedFwd, tp: 2 };
+        let db = db_with(vec![(k2, table(&[(1.0, 4.0), (2.0, 4.0)]))]);
+        // tp=4 missing: reuse tp=2 table scaled by 2/4.
+        let got = db.lookup(ProfileKey { op: OpKind::EmbedFwd, tp: 4 }, 1.0).unwrap();
+        assert!((got - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookup_missing_op_is_none() {
+        let db = db_with(vec![]);
+        assert_eq!(db.lookup(ProfileKey { op: OpKind::HeadFwd, tp: 1 }, 1.0), None);
+    }
+
+    #[test]
+    fn nearest_bucket_is_log_scale() {
+        let buckets = [256, 1024, 4096];
+        assert_eq!(ProfileDb::nearest_bucket(&buckets, 300), 256);
+        // 512 is exactly between 256 and 1024 in log space; either is fine,
+        // but 600 is closer to 1024 logarithmically than to 256.
+        assert_eq!(ProfileDb::nearest_bucket(&buckets, 600), 1024);
+        assert_eq!(ProfileDb::nearest_bucket(&buckets, 100_000), 4096);
+        assert_eq!(ProfileDb::nearest_bucket(&buckets, 0), 256);
+    }
+
+    #[test]
+    fn bucket_listing() {
+        let db = db_with(vec![
+            (ProfileKey { op: OpKind::LayerFwd { seq_bucket: 512 }, tp: 1 }, table(&[(1.0, 1.0)])),
+            (ProfileKey { op: OpKind::LayerFwd { seq_bucket: 256 }, tp: 2 }, table(&[(1.0, 1.0)])),
+            (ProfileKey { op: OpKind::LayerDecode { past_bucket: 1024 }, tp: 1 }, table(&[(1.0, 1.0)])),
+        ]);
+        assert_eq!(db.seq_buckets(), vec![256, 512]);
+        assert_eq!(db.past_buckets(), vec![1024]);
+    }
+
+    #[test]
+    fn comm_model_uses_measured_links() {
+        let db = db_with(vec![]);
+        let m = db.comm_model();
+        // Intra-node p2p at measured 450 GB/s.
+        let t = m.p2p(4.5e11, true);
+        assert!((t - (3e-6 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_of_op_kinds() {
+        assert_eq!(OpKind::LayerFwd { seq_bucket: 512 }.to_string(), "layer_fwd@seq512");
+        assert_eq!(OpKind::OptimStep.to_string(), "optim_step");
+    }
+
+    #[test]
+    fn profile_db_round_trips_through_serde() {
+        let key = ProfileKey { op: OpKind::LayerFwd { seq_bucket: 512 }, tp: 4 };
+        let db = db_with(vec![(key, table(&[(256.0, 1.5), (512.0, 3.0)]))]);
+        let json = serde_json::to_string(&db).unwrap();
+        let back: ProfileDb = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, db);
+        assert_eq!(back.lookup(key, 384.0), Some(2.25));
+    }
+}

@@ -1,0 +1,32 @@
+//! Simulated profiling (§5.1 of the paper).
+//!
+//! ReaL's estimator is *profiling-assisted*: before searching, the system
+//! spends a few minutes timing individual transformer layers at
+//! power-of-two input sizes, plus the cluster's intra-/inter-node link
+//! parameters. Estimates for other sizes are linearly interpolated.
+//!
+//! In this reproduction the "hardware" is the analytic
+//! [`real_model::CostModel`]; the profiler times it *with multiplicative
+//! measurement noise*, records only the power-of-two grid, and accounts the
+//! simulated wall-clock the microbenchmarks would have consumed (Fig. 12
+//! left). The estimator therefore works from genuinely degraded
+//! information, which is what produces realistic estimator-vs-runtime error
+//! in Fig. 12 (right).
+//!
+//! # Examples
+//!
+//! ```
+//! use real_profiler::{ProfileConfig, Profiler};
+//! use real_cluster::ClusterSpec;
+//! use real_model::ModelSpec;
+//! let cluster = ClusterSpec::h100(1);
+//! let mut profiler = Profiler::new(cluster, ProfileConfig::quick(), 1);
+//! let db = profiler.profile(&ModelSpec::llama3_7b());
+//! assert!(db.profiling_secs() > 0.0);
+//! ```
+
+pub mod db;
+pub mod profile;
+
+pub use db::{OpKind, ProfileDb, ProfileKey, ProfileTable};
+pub use profile::{ProfileConfig, Profiler};

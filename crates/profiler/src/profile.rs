@@ -1,0 +1,330 @@
+//! The profiler: microbenchmarks the (simulated) hardware and builds a
+//! [`ProfileDb`].
+
+use crate::db::{OpKind, ProfileDb, ProfileKey, ProfileTable};
+use real_cluster::ClusterSpec;
+use real_model::{CostModel, ModelSpec};
+use real_util::stats::median;
+use real_util::DeterministicRng;
+use serde::{Deserialize, Serialize};
+
+/// Profiling configuration: which grid points to sample and how noisily the
+/// "hardware" reports them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileConfig {
+    /// Sequence-length buckets for prefill/training tables.
+    pub seq_buckets: Vec<u64>,
+    /// Context-length buckets for decode tables.
+    pub past_buckets: Vec<u64>,
+    /// Smallest token count profiled (powers of two up to `max_tokens`).
+    pub min_tokens: u64,
+    /// Largest token count profiled.
+    pub max_tokens: u64,
+    /// Largest decode batch profiled (powers of two from 1).
+    pub max_batch: u64,
+    /// TP degrees to profile (filtered by the model's `max_tp`).
+    pub tp_degrees: Vec<u32>,
+    /// Trials per grid point (median taken).
+    pub trials: u32,
+    /// Multiplicative log-normal noise sigma on each measurement.
+    pub noise_sigma: f64,
+    /// Fixed per-trial overhead in seconds (synchronization, allocator),
+    /// charged to the simulated profiling budget.
+    pub per_trial_overhead: f64,
+}
+
+impl ProfileConfig {
+    /// The paper's grid (Fig. 12 left): batch sizes 1–512, sequence lengths
+    /// 256/512/1024 plus the long-context buckets, powers of two only.
+    pub fn paper() -> Self {
+        Self {
+            seq_buckets: vec![256, 512, 1024, 2048, 4096, 8192],
+            past_buckets: vec![256, 512, 1024, 2048, 4096, 8192],
+            min_tokens: 256,
+            max_tokens: 1 << 18,
+            max_batch: 512,
+            tp_degrees: vec![1, 2, 4, 8],
+            trials: 2,
+            noise_sigma: 0.03,
+            per_trial_overhead: 20e-3,
+        }
+    }
+
+    /// A reduced grid for fast unit tests.
+    pub fn quick() -> Self {
+        Self {
+            seq_buckets: vec![256, 1024],
+            past_buckets: vec![512],
+            min_tokens: 256,
+            max_tokens: 4096,
+            max_batch: 16,
+            tp_degrees: vec![1, 2],
+            trials: 1,
+            noise_sigma: 0.0,
+            per_trial_overhead: 1e-3,
+        }
+    }
+
+    fn pow2_grid(min: u64, max: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut v = min.max(1).next_power_of_two();
+        while v <= max {
+            out.push(v);
+            v *= 2;
+        }
+        out
+    }
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Profiles models against a cluster's simulated hardware.
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    cluster: ClusterSpec,
+    config: ProfileConfig,
+    rng: DeterministicRng,
+}
+
+impl Profiler {
+    /// Creates a profiler for `cluster` with measurement `config` and RNG
+    /// `seed`.
+    pub fn new(cluster: ClusterSpec, config: ProfileConfig, seed: u64) -> Self {
+        Self {
+            cluster,
+            config,
+            rng: DeterministicRng::from_seed(seed).derive("profiler"),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ProfileConfig {
+        &self.config
+    }
+
+    /// Profiles `model`, producing interpolation tables over the
+    /// power-of-two grid plus measured link parameters, and accounting the
+    /// simulated time the run would take. Statistics are reusable across
+    /// experiments with the same model family (§8.2 "Profiler").
+    pub fn profile(&mut self, model: &ModelSpec) -> ProfileDb {
+        let cost = CostModel::new(self.cluster.clone(), model.clone());
+        let tps: Vec<u32> = self
+            .config
+            .tp_degrees
+            .iter()
+            .copied()
+            .filter(|&tp| u64::from(tp) <= model.max_tp() && tp <= self.cluster.gpus_per_node)
+            .collect();
+        let token_grid = ProfileConfig::pow2_grid(self.config.min_tokens, self.config.max_tokens);
+        let batch_grid = ProfileConfig::pow2_grid(1, self.config.max_batch);
+
+        let mut budget = 0.0f64;
+        let mut samples = 0u64;
+        let mut entries: Vec<(ProfileKey, ProfileTable)> = Vec::new();
+        let measure = |true_secs: f64, rng: &mut DeterministicRng,
+                           budget: &mut f64, samples: &mut u64, trials: u32,
+                           sigma: f64, overhead: f64| {
+            let mut obs = Vec::with_capacity(trials as usize);
+            for _ in 0..trials {
+                let t = true_secs * rng.lognormal_factor(sigma);
+                obs.push(t);
+                *budget += t + overhead;
+                *samples += 1;
+            }
+            median(&obs).expect("trials >= 1")
+        };
+
+        let trials = self.config.trials.max(1);
+        let sigma = self.config.noise_sigma;
+        let overhead = self.config.per_trial_overhead;
+
+        for &tp in &tps {
+            // Prefill/training layer tables, per sequence bucket.
+            for &seq in &self.config.seq_buckets {
+                let mut fwd = Vec::new();
+                let mut bwd = Vec::new();
+                for &tokens in &token_grid {
+                    let f = measure(
+                        cost.layer_fwd_time(tokens, seq / 2, tp, true),
+                        &mut self.rng, &mut budget, &mut samples, trials, sigma, overhead,
+                    );
+                    let b = measure(
+                        cost.layer_bwd_time(tokens, seq / 2, tp),
+                        &mut self.rng, &mut budget, &mut samples, trials, sigma, overhead,
+                    );
+                    fwd.push((tokens as f64, f));
+                    bwd.push((tokens as f64, b));
+                }
+                entries.push((
+                    ProfileKey { op: OpKind::LayerFwd { seq_bucket: seq }, tp },
+                    ProfileTable::new(fwd),
+                ));
+                entries.push((
+                    ProfileKey { op: OpKind::LayerBwd { seq_bucket: seq }, tp },
+                    ProfileTable::new(bwd),
+                ));
+            }
+            // Decode tables, per context bucket.
+            for &past in &self.config.past_buckets {
+                let mut dec = Vec::new();
+                for &batch in &batch_grid {
+                    let d = measure(
+                        cost.layer_decode_time(batch, past, tp, true),
+                        &mut self.rng, &mut budget, &mut samples, trials, sigma, overhead,
+                    );
+                    dec.push((batch as f64, d));
+                }
+                entries.push((
+                    ProfileKey { op: OpKind::LayerDecode { past_bucket: past }, tp },
+                    ProfileTable::new(dec),
+                ));
+            }
+            // Embedding and head tables.
+            let mut embed = Vec::new();
+            let mut head_f = Vec::new();
+            let mut head_b = Vec::new();
+            for &tokens in &token_grid {
+                embed.push((
+                    tokens as f64,
+                    measure(cost.embed_time(tokens, tp), &mut self.rng, &mut budget,
+                            &mut samples, trials, sigma, overhead),
+                ));
+                head_f.push((
+                    tokens as f64,
+                    measure(cost.head_time(tokens, tp, false), &mut self.rng, &mut budget,
+                            &mut samples, trials, sigma, overhead),
+                ));
+                head_b.push((
+                    tokens as f64,
+                    measure(cost.head_time(tokens, tp, true), &mut self.rng, &mut budget,
+                            &mut samples, trials, sigma, overhead),
+                ));
+            }
+            entries.push((ProfileKey { op: OpKind::EmbedFwd, tp }, ProfileTable::new(embed)));
+            entries.push((ProfileKey { op: OpKind::HeadFwd, tp }, ProfileTable::new(head_f)));
+            entries.push((ProfileKey { op: OpKind::HeadBwd, tp }, ProfileTable::new(head_b)));
+        }
+
+        // Optimizer table (independent of TP: x-axis is the local shard).
+        let mut optim = Vec::new();
+        let shard_grid = ProfileConfig::pow2_grid(1 << 20, model.param_count().next_power_of_two());
+        for &shard in &shard_grid {
+            optim.push((
+                shard as f64,
+                measure(cost.optim_step_time(shard), &mut self.rng, &mut budget,
+                        &mut samples, trials, sigma, overhead),
+            ));
+        }
+        entries.push((ProfileKey { op: OpKind::OptimStep, tp: 1 }, ProfileTable::new(optim)));
+
+        // Link measurements: a handful of large transfers each.
+        let bw_intra = self.cluster.intra_node_bw * self.rng.lognormal_factor(sigma);
+        let bw_inter = self.cluster.inter_node_bw * self.rng.lognormal_factor(sigma);
+        let lat_intra = self.cluster.intra_node_latency * self.rng.lognormal_factor(sigma);
+        let lat_inter = self.cluster.inter_node_latency * self.rng.lognormal_factor(sigma);
+        budget += 8.0; // bandwidth sweep allowance
+        samples += 8;
+
+        ProfileDb::new(
+            model.name.clone(),
+            entries,
+            bw_intra,
+            bw_inter,
+            lat_intra,
+            lat_inter,
+            budget,
+            samples,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile_7b(cfg: ProfileConfig) -> ProfileDb {
+        let mut p = Profiler::new(ClusterSpec::h100(2), cfg, 42);
+        p.profile(&ModelSpec::llama3_7b())
+    }
+
+    #[test]
+    fn quick_profile_produces_tables() {
+        let db = profile_7b(ProfileConfig::quick());
+        // tp {1,2} x (2 seq x 2 ops + 1 decode + 3 embed/head) + 1 optim.
+        assert_eq!(db.n_tables(), 2 * (2 * 2 + 1 + 3) + 1);
+        assert!(db.n_samples() > 0);
+        assert_eq!(db.seq_buckets(), vec![256, 1024]);
+        assert_eq!(db.past_buckets(), vec![512]);
+    }
+
+    #[test]
+    fn noiseless_profile_matches_cost_model_on_grid() {
+        let db = profile_7b(ProfileConfig::quick());
+        let cost = CostModel::new(ClusterSpec::h100(2), ModelSpec::llama3_7b());
+        let key = ProfileKey { op: OpKind::LayerFwd { seq_bucket: 1024 }, tp: 2 };
+        let got = db.lookup(key, 1024.0).unwrap();
+        let want = cost.layer_fwd_time(1024, 512, 2, true);
+        assert!((got - want).abs() / want < 1e-9, "got {got} want {want}");
+    }
+
+    #[test]
+    fn noisy_profile_is_close_but_not_exact() {
+        let mut cfg = ProfileConfig::quick();
+        cfg.noise_sigma = 0.05;
+        cfg.trials = 3;
+        let db = profile_7b(cfg);
+        let cost = CostModel::new(ClusterSpec::h100(2), ModelSpec::llama3_7b());
+        let key = ProfileKey { op: OpKind::LayerFwd { seq_bucket: 1024 }, tp: 1 };
+        let got = db.lookup(key, 2048.0).unwrap();
+        let want = cost.layer_fwd_time(2048, 512, 1, true);
+        let rel = (got - want).abs() / want;
+        assert!(rel < 0.25, "relative error {rel}");
+        assert!(rel > 0.0, "noisy measurement should not be exact");
+    }
+
+    #[test]
+    fn profiling_budget_under_paper_limit() {
+        // The paper: a full model profile takes < 4 minutes.
+        let db = profile_7b(ProfileConfig::paper());
+        assert!(db.profiling_secs() < 240.0, "budget {}", db.profiling_secs());
+        assert!(db.profiling_secs() > 10.0, "budget suspiciously small");
+    }
+
+    #[test]
+    fn tp_degrees_filtered_by_model_and_node() {
+        // 7B allows tp up to 8; ask for 16 and it must be dropped.
+        let mut cfg = ProfileConfig::quick();
+        cfg.tp_degrees = vec![1, 16];
+        let db = profile_7b(cfg);
+        let missing = ProfileKey { op: OpKind::EmbedFwd, tp: 16 };
+        assert!(db.table(missing).is_none());
+        assert!(db.table(ProfileKey { op: OpKind::EmbedFwd, tp: 1 }).is_some());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_db() {
+        let a = Profiler::new(ClusterSpec::h100(1), ProfileConfig::quick(), 7)
+            .profile(&ModelSpec::llama3_7b());
+        let b = Profiler::new(ClusterSpec::h100(1), ProfileConfig::quick(), 7)
+            .profile(&ModelSpec::llama3_7b());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decode_table_monotone_in_context() {
+        let mut cfg = ProfileConfig::quick();
+        cfg.past_buckets = vec![256, 4096];
+        let db = profile_7b(cfg);
+        let short = db
+            .lookup(ProfileKey { op: OpKind::LayerDecode { past_bucket: 256 }, tp: 1 }, 16.0)
+            .unwrap();
+        let long = db
+            .lookup(ProfileKey { op: OpKind::LayerDecode { past_bucket: 4096 }, tp: 1 }, 16.0)
+            .unwrap();
+        assert!(long > short);
+    }
+}

@@ -1,0 +1,112 @@
+//! Runtime engine configuration.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Knobs of the runtime engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Capture decoding in CUDA graphs (Table 6's with/without rows; the
+    /// paper applies graphs to generation only).
+    pub cuda_graph: bool,
+    /// Log-normal sigma applied per simulated kernel/collective.
+    pub jitter_sigma: f64,
+    /// RNG seed for the jitter stream.
+    pub seed: u64,
+    /// Master-worker request dispatch latency (socket RPC + queueing), per
+    /// function-call dispatch.
+    pub rpc_latency: f64,
+    /// Decode steps aggregated per simulated event (trades trace resolution
+    /// for speed; results are duration-equivalent).
+    pub decode_chunk: u64,
+    /// Host-side per-decode-step overhead of an un-captured decoding loop
+    /// (Python dispatch + distributed synchronization). Charged only when
+    /// `cuda_graph` is off; graph capture replays the whole step on-device.
+    pub host_decode_overhead: f64,
+    /// Coefficient of variation of realized generation lengths across DP
+    /// replicas. Zero reproduces the paper's fixed-length protocol
+    /// (Appendix A); positive values model the §7 limitation — a dynamic
+    /// workload whose skew the estimator cannot predict.
+    pub gen_len_cv: f64,
+    /// Kernel-trace capacity (0 disables tracing).
+    pub trace_capacity: usize,
+    /// Models executed in ZeRO-3 data-parallel mode (DeepSpeed-Chat
+    /// emulation): per-layer weight all-gathers and reduce-scatters, static
+    /// state sharded over the world.
+    pub zero3_models: HashSet<String>,
+    /// Models trained with Megatron's distributed optimizer (ZeRO-1):
+    /// Adam state sharded over DP (NeMo-Aligner's backend).
+    pub dist_optim_models: HashSet<String>,
+    /// Skip the pre-run memory check (for experiments that *want* to
+    /// observe the OOM as a failed run marker, not an error).
+    pub skip_mem_check: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            cuda_graph: true,
+            jitter_sigma: 0.02,
+            seed: 1,
+            rpc_latency: 300e-6,
+            decode_chunk: 32,
+            host_decode_overhead: 6e-3,
+            gen_len_cv: 0.0,
+            trace_capacity: 0,
+            zero3_models: HashSet::new(),
+            dist_optim_models: HashSet::new(),
+            skip_mem_check: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A configuration with deterministic (jitter-free) kernels, useful in
+    /// tests asserting exact relationships.
+    pub fn deterministic() -> Self {
+        Self { jitter_sigma: 0.0, ..Self::default() }
+    }
+
+    /// Returns a copy with CUDA graphs toggled.
+    pub fn with_cuda_graph(mut self, on: bool) -> Self {
+        self.cuda_graph = on;
+        self
+    }
+
+    /// Returns a copy with tracing enabled at the given capacity.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Returns a copy marking `model` as ZeRO-3 executed.
+    pub fn with_zero3(mut self, model: impl Into<String>) -> Self {
+        self.zero3_models.insert(model.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_graphed_and_jittered() {
+        let c = EngineConfig::default();
+        assert!(c.cuda_graph);
+        assert!(c.jitter_sigma > 0.0);
+        assert!(c.zero3_models.is_empty());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = EngineConfig::deterministic()
+            .with_cuda_graph(false)
+            .with_trace(128)
+            .with_zero3("actor");
+        assert_eq!(c.jitter_sigma, 0.0);
+        assert!(!c.cuda_graph);
+        assert_eq!(c.trace_capacity, 128);
+        assert!(c.zero3_models.contains("actor"));
+    }
+}

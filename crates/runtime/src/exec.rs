@@ -1,0 +1,622 @@
+//! Event-level execution of one model function call on the virtual
+//! timelines.
+//!
+//! Each DP replica runs its own pipeline; micro-batches flow through the
+//! pipeline stages as compute / TP-collective / boundary-P2P events, with
+//! per-event log-normal jitter. Decoding is simulated in chunks of
+//! [`crate::EngineConfig::decode_chunk`] steps with the KV-cache length
+//! advanced per chunk.
+
+use crate::config::EngineConfig;
+use crate::layout::Layout;
+use real_cluster::CommModel;
+use real_dataflow::{CallAssignment, CallType};
+use real_model::cost::{CostModel, KERNELS_PER_LAYER_FWD};
+use real_sim::{Category, Timelines, Trace};
+use real_util::DeterministicRng;
+
+/// Fraction of a ZeRO-3 all-gather that bucketing and the bounded prefetch
+/// queue keep on the critical path even when compute could hide it.
+const ZERO3_GATHER_FLOOR: f64 = 0.55;
+
+/// Mutable execution context shared by the call executors.
+pub struct ExecCtx<'a> {
+    /// Cost model of the call's architecture.
+    pub cost: &'a CostModel,
+    /// True link parameters of the cluster.
+    pub comm: &'a CommModel,
+    /// Virtual GPU timelines.
+    pub tl: &'a mut Timelines,
+    /// Optional kernel trace.
+    pub trace: &'a mut Trace,
+    /// Jitter stream.
+    pub rng: &'a mut DeterministicRng,
+    /// Engine knobs.
+    pub cfg: &'a EngineConfig,
+    /// Whether this call's model runs in ZeRO-3 mode.
+    pub zero3: bool,
+}
+
+impl ExecCtx<'_> {
+    fn jitter(&mut self) -> f64 {
+        self.rng.lognormal_factor(self.cfg.jitter_sigma)
+    }
+
+    fn event(
+        &mut self,
+        gpus: &[usize],
+        ready: f64,
+        dur: f64,
+        cat: Category,
+        label: &'static str,
+    ) -> f64 {
+        if dur <= 0.0 {
+            return ready.max(
+                gpus.iter().map(|&g| self.tl.gpu(g).busy_until()).fold(0.0, f64::max),
+            );
+        }
+        let dur = dur * self.jitter();
+        let end = self.tl.collective(gpus, ready, dur, cat);
+        if self.trace.enabled() {
+            for &g in gpus {
+                self.trace.record(g, end - dur, end, cat, label);
+            }
+        }
+        end
+    }
+}
+
+/// Executes a call; returns its completion time (max over DP replicas).
+pub fn execute_call(ctx: &mut ExecCtx<'_>, a: &CallAssignment, call: CallType, ready: f64) -> f64 {
+    let layout = Layout::new(a);
+    match call {
+        CallType::Generate { batch, prompt_len, gen_len } => {
+            generate(ctx, a, &layout, batch, prompt_len, gen_len, ready)
+        }
+        CallType::Inference { batch, seq_len } => {
+            forward_pass(ctx, a, &layout, batch, seq_len, ready, Pass::Inference)
+        }
+        CallType::TrainStep { batch, seq_len, n_minibatches } => {
+            train(ctx, a, &layout, batch, seq_len, n_minibatches, ready)
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Pass {
+    /// Inference or prefill: forward only, head on the last stage.
+    Inference,
+    /// Generation prefill: forward only, no full-batch head (only the last
+    /// token is sampled).
+    Prefill,
+}
+
+/// Per-replica sequence count.
+fn replica_batch(batch: u64, a: &CallAssignment) -> u64 {
+    batch.div_ceil(u64::from(a.strategy.dp()))
+}
+
+/// One TP all-reduce duration for `tokens` tokens on `group`.
+fn ar_dur(ctx: &ExecCtx<'_>, layout: &Layout, group: &[usize], tokens: u64) -> f64 {
+    let tp = group.len() as u32;
+    if tp <= 1 {
+        return 0.0;
+    }
+    let bytes = tokens as f64 * ctx.cost.model().hidden as f64 * 2.0;
+    ctx.comm.all_reduce(bytes, tp, layout.within_node(group))
+}
+
+/// Boundary P2P duration for `tokens` TP-sharded tokens.
+fn p2p_dur(ctx: &ExecCtx<'_>, layout: &Layout, src: usize, dst: usize, tokens: u64, tp: u32) -> f64 {
+    let bytes = tokens as f64 * ctx.cost.model().hidden as f64 * 2.0 / f64::from(tp.max(1));
+    ctx.comm.p2p(bytes, layout.pair_within_node(src, dst))
+}
+
+/// Forward-only pass (inference, or generation prefill): a GPipe-style
+/// forward pipeline over micro-batches, per DP replica.
+#[allow(clippy::too_many_arguments)]
+fn forward_pass(
+    ctx: &mut ExecCtx<'_>,
+    a: &CallAssignment,
+    layout: &Layout,
+    batch: u64,
+    seq_len: u64,
+    ready: f64,
+    pass: Pass,
+) -> f64 {
+    let s = a.strategy;
+    let (dp, tp, pp, mbs) = (s.dp(), s.tp(), s.pp(), s.micro_batches());
+    let batch_r = replica_batch(batch, a);
+    let batch_mb = batch_r.div_ceil(u64::from(mbs)).max(1);
+    let tokens_mb = batch_mb * seq_len;
+    let stages = s.stage_layers(ctx.cost.model().n_layers);
+    let world = s.world_size();
+
+    let mut done = ready;
+    for d in 0..dp {
+        // p2p_out[stage] = completion of the previous micro-batch's boundary
+        // transfer into stage+1; per-mb chaining is tracked via `arrive`.
+        let mut replica_end = ready;
+        let mut prev_arrive = vec![ready; pp as usize];
+        for _mb in 0..mbs {
+            let mut arrive = ready;
+            for (stage_idx, range) in stages.iter().enumerate() {
+                let stage = stage_idx as u32;
+                let group: Vec<usize> = layout.tp_group(stage, d).to_vec();
+                let layers = range.end - range.start;
+                let stage_ready = arrive.max(prev_arrive[stage_idx]);
+
+                let mut t = stage_ready;
+                let mut compute = layers as f64
+                    * ctx.cost.layer_fwd_time(tokens_mb, seq_len / 2, tp, true);
+                if stage == 0 {
+                    compute += ctx.cost.embed_time(tokens_mb, tp);
+                }
+                if stage == pp - 1 && pass == Pass::Inference {
+                    compute += ctx.cost.head_time(tokens_mb, tp, false);
+                }
+                if ctx.zero3 {
+                    // DeepSpeed prefetches the next layer's weights while the
+                    // current one computes: only the non-overlapped excess
+                    // stalls the stream.
+                    let gather = layers as f64
+                        * ctx.cost.zero3_allgather_time(world, a.mesh.n_nodes() == 1);
+                    let excess = (gather - compute).max(gather * ZERO3_GATHER_FLOOR);
+                    t = ctx.event(&group, t, excess, Category::DpComm, "zero3_allgather");
+                }
+                t = ctx.event(&group, t, compute, Category::Compute, "layer_fwd");
+                let ar = layers as f64 * 2.0 * ar_dur(ctx, layout, &group, tokens_mb);
+                t = ctx.event(&group, t, ar, Category::TpComm, "tp_allreduce");
+
+                prev_arrive[stage_idx] = t;
+                if stage < pp - 1 {
+                    let src = Layout::leader(&group);
+                    let dst = Layout::leader(layout.tp_group(stage + 1, d));
+                    let dur = p2p_dur(ctx, layout, src, dst, tokens_mb, tp);
+                    let end = if dur > 0.0 {
+                        let d2 = dur * ctx.jitter();
+                        let e = ctx.tl.p2p(src, dst, t, d2, Category::PpComm);
+                        if ctx.trace.enabled() {
+                            ctx.trace.record(src, e - d2, e, Category::PpComm, "pp_p2p");
+                        }
+                        e
+                    } else {
+                        t
+                    };
+                    arrive = end;
+                } else {
+                    replica_end = replica_end.max(t);
+                }
+            }
+        }
+        done = done.max(replica_end);
+    }
+    done
+}
+
+/// Generation: prefill then chunked decoding with a one-chunk pipeline skew
+/// between adjacent stages.
+#[allow(clippy::too_many_arguments)]
+fn generate(
+    ctx: &mut ExecCtx<'_>,
+    a: &CallAssignment,
+    layout: &Layout,
+    batch: u64,
+    prompt_len: u64,
+    gen_len: u64,
+    ready: f64,
+) -> f64 {
+    let s = a.strategy;
+    let (dp, tp, pp, mbs) = (s.dp(), s.tp(), s.pp(), s.micro_batches());
+    let batch_r = replica_batch(batch, a);
+    let batch_mb = batch_r.div_ceil(u64::from(mbs)).max(1);
+    let stages = s.stage_layers(ctx.cost.model().n_layers);
+    let chunk = ctx.cfg.decode_chunk.max(1);
+
+    let prefill_done = forward_pass(ctx, a, layout, batch, prompt_len, ready, Pass::Prefill);
+
+    // Realized generation length this iteration: the paper's protocol
+    // (Appendix A) always decodes to the configured maximum, which
+    // `gen_len_cv = 0` reproduces. A positive CV models the §7 limitation —
+    // "the generation length varies significantly during training" — as a
+    // per-iteration log-normal drift of the realized length. The estimator
+    // keeps pricing the configured length, which is exactly the
+    // unpredictability the paper warns invalidates its cost estimates.
+    let realized_gen_len = if ctx.cfg.gen_len_cv > 0.0 {
+        let f = ctx.rng.lognormal_factor(ctx.cfg.gen_len_cv);
+        ((gen_len as f64 * f) as u64).max(1)
+    } else {
+        gen_len
+    };
+
+    let mut done = prefill_done;
+    for d in 0..dp {
+        let replica_gen_len = realized_gen_len;
+        let n_chunks = replica_gen_len.div_ceil(chunk);
+        // stage_end[s] = completion of that stage's previous chunk.
+        let mut stage_end = vec![prefill_done; pp as usize];
+        for c in 0..n_chunks {
+            let steps = chunk.min(replica_gen_len - c * chunk);
+            let past = prompt_len + c * chunk + steps / 2;
+            let mut prev_stage_last = ready; // stage s-1's previous-chunk end
+            for (stage_idx, range) in stages.iter().enumerate() {
+                let stage = stage_idx as u32;
+                let group: Vec<usize> = layout.tp_group(stage, d).to_vec();
+                let layers = range.end - range.start;
+                // One-chunk skew: stage s works on chunk c once it finished
+                // chunk c-1 and stage s-1 finished chunk c-1.
+                let stage_ready = stage_end[stage_idx].max(if stage_idx == 0 {
+                    0.0
+                } else {
+                    prev_stage_last
+                });
+                prev_stage_last = stage_end[stage_idx];
+
+                let work = steps * u64::from(mbs);
+                let mut compute = (work * layers) as f64
+                    * ctx.cost.layer_decode_time(batch_mb, past, tp, true);
+                if stage == pp - 1 {
+                    // Sampling head once per micro-batch per step.
+                    compute += work as f64 * ctx.cost.head_time(batch_mb, tp, false);
+                }
+                let mut t = ctx.event(&group, stage_ready, compute, Category::Compute, "layer_decode");
+                if !ctx.cfg.cuda_graph {
+                    // Per-kernel launches plus the host decoding loop's
+                    // per-step dispatch/synchronization, spread across the
+                    // pipeline stages.
+                    let launch = (work * layers * u64::from(KERNELS_PER_LAYER_FWD)) as f64
+                        * ctx.cost.cluster().gpu.launch_overhead
+                        + steps as f64 * ctx.cfg.host_decode_overhead / f64::from(pp);
+                    t = ctx.event(&group, t, launch, Category::Launch, "kernel_launch");
+                }
+                let ar = (work * layers) as f64 * 2.0 * ar_dur(ctx, layout, &group, batch_mb);
+                t = ctx.event(&group, t, ar, Category::TpComm, "tp_allreduce_decode");
+                if stage < pp - 1 {
+                    let src = Layout::leader(&group);
+                    let dst = Layout::leader(layout.tp_group(stage + 1, d));
+                    let dur = work as f64 * p2p_dur(ctx, layout, src, dst, batch_mb, tp);
+                    if dur > 0.0 {
+                        let d2 = dur * ctx.jitter();
+                        t = ctx.tl.p2p(src, dst, t, d2, Category::PpComm);
+                        if ctx.trace.enabled() {
+                            ctx.trace.record(src, t - d2, t, Category::PpComm, "pp_p2p_decode");
+                        }
+                    }
+                }
+                stage_end[stage_idx] = t;
+            }
+        }
+        done = done.max(*stage_end.last().expect("pp >= 1"));
+    }
+    done
+}
+
+/// Training: per PPO mini-batch, a GPipe forward+backward pipeline, then the
+/// DP gradient all-reduce and the optimizer step (sequential updates, §2.1).
+#[allow(clippy::too_many_arguments)]
+fn train(
+    ctx: &mut ExecCtx<'_>,
+    a: &CallAssignment,
+    layout: &Layout,
+    batch: u64,
+    seq_len: u64,
+    n_minibatches: u32,
+    ready: f64,
+) -> f64 {
+    let s = a.strategy;
+    let (dp, tp, pp, mbs) = (s.dp(), s.tp(), s.pp(), s.micro_batches());
+    let n_mini = u64::from(n_minibatches.max(1));
+    let batch_r = replica_batch(batch, a);
+    let batch_mb = batch_r.div_ceil(n_mini).div_ceil(u64::from(mbs)).max(1);
+    let tokens_mb = batch_mb * seq_len;
+    let stages = s.stage_layers(ctx.cost.model().n_layers);
+    let world = s.world_size();
+    let shard = real_model::MemoryModel::new(ctx.cost.model().clone()).params_per_gpu(&s);
+
+    let mut done = ready;
+    for d in 0..dp {
+        let mut mini_done = ready;
+        for _mini in 0..n_mini {
+            // Forward sweep.
+            let mut fwd_out = vec![mini_done; mbs as usize]; // last-stage completion per mb
+            {
+                let mut prev_arrive = vec![mini_done; pp as usize];
+                for mb in 0..mbs {
+                    let mut arrive = mini_done;
+                    for (stage_idx, range) in stages.iter().enumerate() {
+                        let stage = stage_idx as u32;
+                        let group: Vec<usize> = layout.tp_group(stage, d).to_vec();
+                        let layers = range.end - range.start;
+                        let stage_ready = arrive.max(prev_arrive[stage_idx]);
+                        let mut t = stage_ready;
+                        let mut compute = layers as f64
+                            * ctx.cost.layer_fwd_time(tokens_mb, seq_len / 2, tp, true);
+                        if stage == 0 {
+                            compute += ctx.cost.embed_time(tokens_mb, tp);
+                        }
+                        if stage == pp - 1 {
+                            compute += ctx.cost.head_time(tokens_mb, tp, false);
+                        }
+                        if ctx.zero3 {
+                            let gather = layers as f64
+                                * ctx.cost.zero3_allgather_time(world, a.mesh.n_nodes() == 1);
+                            let excess = (gather - compute).max(gather * ZERO3_GATHER_FLOOR);
+                            t = ctx.event(&group, t, excess, Category::DpComm, "zero3_allgather");
+                        }
+                        t = ctx.event(&group, t, compute, Category::Compute, "layer_fwd");
+                        let ar = layers as f64 * 2.0 * ar_dur(ctx, layout, &group, tokens_mb);
+                        t = ctx.event(&group, t, ar, Category::TpComm, "tp_allreduce");
+                        prev_arrive[stage_idx] = t;
+                        if stage < pp - 1 {
+                            let src = Layout::leader(&group);
+                            let dst = Layout::leader(layout.tp_group(stage + 1, d));
+                            let dur = p2p_dur(ctx, layout, src, dst, tokens_mb, tp);
+                            if dur > 0.0 {
+                                let d2 = dur * ctx.jitter();
+                                let e = ctx.tl.p2p(src, dst, t, d2, Category::PpComm);
+                                arrive = e;
+                            } else {
+                                arrive = t;
+                            }
+                        } else {
+                            fwd_out[mb as usize] = t;
+                        }
+                    }
+                }
+            }
+            // Backward sweep (reverse stage order).
+            let mut last_update_ready = mini_done;
+            {
+                let mut prev_arrive = vec![mini_done; pp as usize];
+                for mb in 0..mbs {
+                    let mut arrive = fwd_out[mb as usize];
+                    for stage_idx in (0..pp as usize).rev() {
+                        let stage = stage_idx as u32;
+                        let range = &stages[stage_idx];
+                        let group: Vec<usize> = layout.tp_group(stage, d).to_vec();
+                        let layers = range.end - range.start;
+                        let stage_ready = arrive.max(prev_arrive[stage_idx]);
+                        let mut t = stage_ready;
+                        let mut compute = layers as f64
+                            * ctx.cost.layer_bwd_time(tokens_mb, seq_len / 2, tp);
+                        if stage == pp - 1 {
+                            // Head backward (2x its forward cost).
+                            compute += 2.0 * ctx.cost.head_time(tokens_mb, tp, false);
+                        }
+                        if ctx.zero3 {
+                            let gather = layers as f64
+                                * (ctx.cost.zero3_allgather_time(world, a.mesh.n_nodes() == 1)
+                                    + ctx.cost
+                                        .zero3_reduce_scatter_time(world, a.mesh.n_nodes() == 1));
+                            let excess = (gather - compute).max(gather * ZERO3_GATHER_FLOOR);
+                            t = ctx.event(&group, t, excess, Category::DpComm, "zero3_bwd");
+                        }
+                        t = ctx.event(&group, t, compute, Category::Compute, "layer_bwd");
+                        let ar = layers as f64 * 2.0 * ar_dur(ctx, layout, &group, tokens_mb);
+                        t = ctx.event(&group, t, ar, Category::TpComm, "tp_allreduce_bwd");
+                        prev_arrive[stage_idx] = t;
+                        if stage > 0 {
+                            let src = Layout::leader(&group);
+                            let dst = Layout::leader(layout.tp_group(stage - 1, d));
+                            let dur = p2p_dur(ctx, layout, src, dst, tokens_mb, tp);
+                            if dur > 0.0 {
+                                let d2 = dur * ctx.jitter();
+                                arrive = ctx.tl.p2p(src, dst, t, d2, Category::PpComm);
+                            } else {
+                                arrive = t;
+                            }
+                        } else {
+                            last_update_ready = last_update_ready.max(t);
+                        }
+                        last_update_ready = last_update_ready.max(t);
+                    }
+                }
+            }
+            mini_done = last_update_ready;
+        }
+        done = done.max(mini_done);
+    }
+
+    // Gradient synchronization + optimizer once per mini-batch; since the
+    // per-replica loops above already serialize mini-batches, charging the
+    // sync/update n_mini times at the end is duration-equivalent and keeps
+    // the event count linear.
+    let mut final_end = done;
+    for _ in 0..n_mini {
+        let mut sync_end = final_end;
+        if dp > 1 && !ctx.zero3 {
+            for stage in 0..pp {
+                for t_rank in 0..tp {
+                    let group: Vec<usize> = layout.dp_group(stage, t_rank).to_vec();
+                    let dur = ctx.comm.all_reduce(
+                        shard as f64 * 4.0,
+                        dp,
+                        layout.within_node(&group),
+                    );
+                    let e = ctx.event(&group, final_end, dur, Category::DpComm, "grad_allreduce");
+                    sync_end = sync_end.max(e);
+                }
+            }
+        }
+        // Optimizer step on every GPU of the mesh.
+        let optim = ctx.cost.optim_step_time(shard);
+        let mut opt_end = sync_end;
+        for d in 0..dp {
+            for stage in 0..pp {
+                let group: Vec<usize> = layout.tp_group(stage, d).to_vec();
+                let e = ctx.event(&group, sync_end, optim, Category::Compute, "adam_step");
+                opt_end = opt_end.max(e);
+            }
+        }
+        final_end = opt_end;
+    }
+    final_end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use real_cluster::{ClusterSpec, DeviceMesh};
+    use real_model::{ModelSpec, ParallelStrategy};
+
+    fn run_call(
+        cluster: &ClusterSpec,
+        model: &ModelSpec,
+        dp: u32,
+        tp: u32,
+        pp: u32,
+        mbs: u32,
+        call: CallType,
+        cuda_graph: bool,
+    ) -> (f64, Timelines) {
+        let cost = CostModel::new(cluster.clone(), model.clone());
+        let comm = CommModel::new(cluster);
+        let mut tl = Timelines::new(cluster.total_gpus() as usize);
+        let mut trace = Trace::disabled();
+        let mut rng = DeterministicRng::from_seed(7);
+        let cfg = EngineConfig { cuda_graph, ..EngineConfig::deterministic() };
+        let a = CallAssignment::new(
+            DeviceMesh::full(cluster),
+            ParallelStrategy::new(dp, tp, pp, mbs).unwrap(),
+        )
+        .unwrap();
+        let mut ctx = ExecCtx {
+            cost: &cost,
+            comm: &comm,
+            tl: &mut tl,
+            trace: &mut trace,
+            rng: &mut rng,
+            cfg: &cfg,
+            zero3: false,
+        };
+        let end = execute_call(&mut ctx, &a, call, 0.0);
+        (end, tl)
+    }
+
+    #[test]
+    fn inference_busy_matches_duration_roughly() {
+        let cluster = ClusterSpec::h100(1);
+        let call = CallType::Inference { batch: 32, seq_len: 1024 };
+        let (end, tl) = run_call(&cluster, &ModelSpec::llama3_7b(), 1, 8, 1, 4, call, true);
+        assert!(end > 0.0);
+        // All 8 GPUs work in lockstep (tp=8, pp=1): idle should be tiny.
+        assert!(tl.idle_total() < 0.05 * end * 8.0, "idle {}", tl.idle_total());
+    }
+
+    #[test]
+    fn decode_dominates_generation_time() {
+        let cluster = ClusterSpec::h100(1);
+        let model = ModelSpec::llama3_7b();
+        let gen = CallType::Generate { batch: 32, prompt_len: 1024, gen_len: 1024 };
+        let inf = CallType::Inference { batch: 32, seq_len: 1024 };
+        let (gen_end, _) = run_call(&cluster, &model, 1, 8, 1, 4, gen, true);
+        let (inf_end, _) = run_call(&cluster, &model, 1, 8, 1, 4, inf, true);
+        assert!(gen_end > 5.0 * inf_end, "gen {gen_end} inf {inf_end}");
+    }
+
+    #[test]
+    fn cuda_graph_speeds_up_decoding() {
+        let cluster = ClusterSpec::h100(1);
+        let model = ModelSpec::llama3_7b();
+        let gen = CallType::Generate { batch: 32, prompt_len: 512, gen_len: 512 };
+        let (with, tl_with) = run_call(&cluster, &model, 1, 8, 1, 4, gen, true);
+        let (without, tl_without) = run_call(&cluster, &model, 1, 8, 1, 4, gen, false);
+        assert!(without > 1.2 * with, "with {with} without {without}");
+        // Launch overhead shows up as its own category only when ungraphed.
+        assert_eq!(tl_with.totals().iter().find(|(c, _)| *c == Category::Launch).unwrap().1, 0.0);
+        assert!(tl_without.busy(0, Category::Launch) > 0.0);
+    }
+
+    #[test]
+    fn training_records_tp_and_dp_comm() {
+        let cluster = ClusterSpec::h100(1);
+        let call = CallType::TrainStep { batch: 64, seq_len: 512, n_minibatches: 2 };
+        let (_, tl) = run_call(&cluster, &ModelSpec::llama3_7b(), 2, 4, 1, 2, call, true);
+        assert!(tl.busy(0, Category::TpComm) > 0.0);
+        assert!(tl.busy(0, Category::DpComm) > 0.0);
+        assert!(tl.busy(0, Category::Compute) > tl.busy(0, Category::TpComm));
+    }
+
+    #[test]
+    fn pipeline_uses_pp_comm() {
+        let cluster = ClusterSpec::h100(1);
+        let call = CallType::TrainStep { batch: 32, seq_len: 512, n_minibatches: 1 };
+        let (_, tl) = run_call(&cluster, &ModelSpec::llama3_7b(), 1, 4, 2, 4, call, true);
+        let pp_comm: f64 = (0..8).map(|g| tl.busy(g, Category::PpComm)).sum();
+        assert!(pp_comm > 0.0);
+    }
+
+    #[test]
+    fn more_microbatches_reduce_pipeline_bubbles() {
+        let cluster = ClusterSpec::h100(1);
+        let model = ModelSpec::llama3_7b();
+        let call = CallType::TrainStep { batch: 64, seq_len: 1024, n_minibatches: 1 };
+        let (few, _) = run_call(&cluster, &model, 1, 1, 8, 1, call, true);
+        let (many, _) = run_call(&cluster, &model, 1, 1, 8, 8, call, true);
+        assert!(many < few, "mbs=8 {many} should beat mbs=1 {few}");
+    }
+
+    #[test]
+    fn dp_replicas_run_concurrently() {
+        let cluster = ClusterSpec::h100(1);
+        let model = ModelSpec::llama3_7b();
+        let inf = CallType::Inference { batch: 64, seq_len: 512 };
+        // Same total work split over more replicas: wall time drops.
+        let (one, _) = run_call(&cluster, &model, 1, 8, 1, 2, inf, true);
+        let (two, _) = run_call(&cluster, &model, 2, 4, 1, 2, inf, true);
+        // tp=4 halves per-GPU sharding but dp=2 halves the per-replica
+        // batch; the result should be in the same ballpark, definitely not
+        // 2x worse (replicas must overlap).
+        assert!(two < 1.5 * one, "one {one} two {two}");
+    }
+
+    #[test]
+    fn generation_length_skew_only_shortens() {
+        let cluster = ClusterSpec::h100(1);
+        let model = ModelSpec::llama3_7b();
+        let gen = CallType::Generate { batch: 64, prompt_len: 512, gen_len: 512 };
+        let fixed = {
+            let (t, _) = run_call(&cluster, &model, 4, 2, 1, 1, gen, true);
+            t
+        };
+        // Re-run with skew through a custom config.
+        let cost = CostModel::new(cluster.clone(), model.clone());
+        let comm = CommModel::new(&cluster);
+        let mut tl = Timelines::new(8);
+        let mut trace = Trace::disabled();
+        let mut rng = DeterministicRng::from_seed(7);
+        let cfg = EngineConfig { gen_len_cv: 0.8, ..EngineConfig::deterministic() };
+        let a = CallAssignment::new(
+            DeviceMesh::full(&cluster),
+            ParallelStrategy::new(4, 2, 1, 1).unwrap(),
+        )
+        .unwrap();
+        let mut ctx = ExecCtx {
+            cost: &cost,
+            comm: &comm,
+            tl: &mut tl,
+            trace: &mut trace,
+            rng: &mut rng,
+            cfg: &cfg,
+            zero3: false,
+        };
+        let skewed = execute_call(&mut ctx, &a, gen, 0.0);
+        // Drift changes the realized duration; the log-normal factor is
+        // clamped to [1/4, 4], which bounds the excursion.
+        assert!(skewed >= fixed * 0.2 && skewed <= fixed * 4.5,
+                "skewed {skewed} fixed {fixed}");
+        assert!((skewed - fixed).abs() / fixed > 0.01, "drift should be visible");
+    }
+
+    #[test]
+    fn scalar_head_cheaper_than_lm_head_end_to_end() {
+        let cluster = ClusterSpec::h100(1);
+        let inf = CallType::Inference { batch: 64, seq_len: 2048 };
+        let (actor, _) = run_call(&cluster, &ModelSpec::llama3_7b(), 1, 8, 1, 4, inf, true);
+        let (critic, _) =
+            run_call(&cluster, &ModelSpec::llama3_7b().critic(), 1, 8, 1, 4, inf, true);
+        assert!(critic < actor);
+        // Sanity: both heads exist in the models.
+        assert_eq!(ModelSpec::llama3_7b().head, real_model::spec::HeadKind::LmHead);
+    }
+}

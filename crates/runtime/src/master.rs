@@ -1,0 +1,383 @@
+//! The master worker: dependency resolution and request dispatch (§6).
+//!
+//! The real master worker runs asyncio coroutines, one per function call,
+//! each awaiting its parents and then dispatching a socket request to the
+//! model workers holding the call's mesh. On virtual time, that is a loop
+//! over the unrolled call nodes in topological order: a node's dispatch
+//! time is the max of its parents' completions plus the RPC latency, data
+//! transfers and parameter reallocations run as broadcast events between
+//! calls, and the model workers' FIFO queues are the GPU timelines.
+
+use crate::config::EngineConfig;
+use crate::exec::{execute_call, ExecCtx};
+use crate::memcheck;
+use crate::realloc::execute_realloc;
+use crate::report::{CallTiming, RunReport};
+use crate::workers::{MasterLog, Request, Response};
+use real_cluster::{ClusterSpec, CommModel};
+use real_dataflow::{CallId, DataflowGraph, ExecutionPlan};
+use real_estimator::maxmem;
+use real_model::CostModel;
+use real_sim::{Category, Timelines, Trace};
+use real_util::DeterministicRng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from [`RuntimeEngine::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The plan exceeds device memory (the paper's red-cross markers in
+    /// Fig. 7).
+    OutOfMemory {
+        /// Estimated peak bytes.
+        peak: u64,
+        /// Device capacity bytes.
+        capacity: u64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::OutOfMemory { peak, capacity } => write!(
+                f,
+                "plan out of memory: peak {} exceeds capacity {}",
+                real_util::units::fmt_bytes(*peak),
+                real_util::units::fmt_bytes(*capacity)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The runtime engine bound to one cluster and workflow.
+#[derive(Debug, Clone)]
+pub struct RuntimeEngine {
+    cluster: ClusterSpec,
+    graph: DataflowGraph,
+    config: EngineConfig,
+}
+
+impl RuntimeEngine {
+    /// Creates an engine.
+    pub fn new(cluster: ClusterSpec, graph: DataflowGraph, config: EngineConfig) -> Self {
+        Self { cluster, graph, config }
+    }
+
+    /// The engine's workflow.
+    pub fn graph(&self) -> &DataflowGraph {
+        &self.graph
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Executes `plan` for `iterations` RLHF iterations on virtual time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::OutOfMemory`] when the plan does not fit device
+    /// memory (unless `skip_mem_check` is set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations == 0`.
+    pub fn run(&self, plan: &ExecutionPlan, iterations: usize) -> Result<RunReport, RunError> {
+        assert!(iterations > 0, "must run at least one iteration");
+        let peak = memcheck::max_mem(
+            &self.cluster,
+            &self.graph,
+            plan,
+            &self.config.zero3_models,
+            &self.config.dist_optim_models,
+        );
+        if !self.config.skip_mem_check && peak > self.cluster.gpu.mem_capacity {
+            return Err(RunError::OutOfMemory {
+                peak,
+                capacity: self.cluster.gpu.mem_capacity,
+            });
+        }
+
+        // One cost model per distinct architecture.
+        let mut costs: HashMap<String, CostModel> = HashMap::new();
+        for call in self.graph.calls() {
+            costs
+                .entry(call.model.name.clone())
+                .or_insert_with(|| CostModel::new(self.cluster.clone(), call.model.clone()));
+        }
+        let comm = CommModel::new(&self.cluster);
+        let mut tl = Timelines::new(self.cluster.total_gpus() as usize);
+        let mut trace = if self.config.trace_capacity > 0 {
+            Trace::with_capacity(self.config.trace_capacity)
+        } else {
+            Trace::disabled()
+        };
+        let mut rng = DeterministicRng::from_seed(self.config.seed).derive("runtime");
+
+        let mut master_log = MasterLog::default();
+        let topo = self.graph.topo_order().expect("validated graphs are acyclic");
+        let mut completion: Vec<Vec<f64>> = vec![vec![0.0; self.graph.n_calls()]; iterations];
+        let mut timings: Vec<CallTiming> = Vec::new();
+        let mut iter_end = vec![0.0f64; iterations];
+
+        for iter in 0..iterations {
+            for &call in &topo {
+                let def = self.graph.call(call);
+                let a = plan.assignment(call);
+                let cost = &costs[&def.model.name];
+                let zero3 = self.config.zero3_models.contains(&def.model_name);
+
+                // Data-dependency readiness (+ transfer when layouts differ).
+                let mut ready: f64 = 0.0;
+                for &dep in self.graph.deps(call) {
+                    let dep_done = completion[iter][dep.0];
+                    let b = plan.assignment(dep);
+                    let end = if a.mesh == b.mesh && a.strategy == b.strategy {
+                        dep_done
+                    } else {
+                        let bytes =
+                            self.graph.call(dep).call_type.total_tokens() as f64 * 8.0;
+                        let per_src = bytes / f64::from(b.strategy.dp());
+                        let within = a.mesh.n_nodes() == 1
+                            && b.mesh.n_nodes() == 1
+                            && a.mesh.node_start() == b.mesh.node_start();
+                        let dur = comm.broadcast(per_src, 2, within)
+                            * rng.lognormal_factor(self.config.jitter_sigma);
+                        // Only the consumer mesh is occupied: the producer's
+                        // GPUs serve the send from copy engines without
+                        // stalling whatever they run next (otherwise a tiny
+                        // transfer would serialize disjoint-mesh calls
+                        // through the producer's busy queue).
+                        let gpus: Vec<usize> = a.mesh.gpus().map(|g| g.0 as usize).collect();
+                        tl.collective(&gpus, dep_done, dur, Category::Transfer)
+                    };
+                    ready = ready.max(end);
+                }
+
+                // Parameter availability: previous call of the same model
+                // (this iteration), else the model's last call of the
+                // previous iteration; reallocate when layouts differ.
+                let model_calls = self.graph.calls_of_model(&def.model_name);
+                let order: Vec<CallId> = topo
+                    .iter()
+                    .copied()
+                    .filter(|c| model_calls.contains(c))
+                    .collect();
+                let my_pos = order.iter().position(|&c| c == call).expect("listed");
+                let prev: Option<(usize, CallId)> = if my_pos > 0 {
+                    Some((iter, order[my_pos - 1]))
+                } else if iter > 0 {
+                    Some((iter - 1, *order.last().expect("non-empty")))
+                } else {
+                    None
+                };
+                if let Some((piter, pcall)) = prev {
+                    let pdone = completion[piter][pcall.0];
+                    let pa = plan.assignment(pcall);
+                    let end = execute_realloc(
+                        &mut tl,
+                        &mut trace,
+                        &comm,
+                        &def.model,
+                        pa,
+                        a,
+                        pdone,
+                        &mut rng,
+                        self.config.jitter_sigma,
+                    );
+                    ready = ready.max(end);
+                }
+
+                // Master dispatch RPC: the request carries the upstream
+                // data locations, never the data itself (§6).
+                let ready = ready + self.config.rpc_latency;
+                master_log.requests.push(Request {
+                    call,
+                    handle: def.call_name.clone(),
+                    iter,
+                    dispatch_time: ready,
+                    data_locations: MasterLog::data_locations(&self.graph, plan, call),
+                    worker_count: a.mesh.n_gpus(),
+                });
+
+                let mut ctx = ExecCtx {
+                    cost,
+                    comm: &comm,
+                    tl: &mut tl,
+                    trace: &mut trace,
+                    rng: &mut rng,
+                    cfg: &self.config,
+                    zero3,
+                };
+                let end = execute_call(&mut ctx, a, def.call_type, ready);
+                master_log.responses.push(Response { call, iter, completed_at: end });
+                completion[iter][call.0] = end;
+                iter_end[iter] = iter_end[iter].max(end);
+                timings.push(CallTiming {
+                    call_name: def.call_name.clone(),
+                    iter,
+                    start: ready,
+                    end,
+                });
+            }
+        }
+
+        let total_time = tl.makespan();
+        // Steady-state per-iteration time: boundary-to-boundary when more
+        // than one iteration ran.
+        let iter_time = if iterations > 1 {
+            (iter_end[iterations - 1] - iter_end[0]) / (iterations - 1) as f64
+        } else {
+            iter_end[0]
+        };
+        Ok(RunReport {
+            iterations,
+            total_time,
+            iter_time,
+            timings,
+            category_totals: tl.totals(),
+            idle_total: tl.idle_total(),
+            mem_peak: peak,
+            static_utilization: maxmem::static_utilization(&self.cluster, &self.graph, plan),
+            trace,
+            master_log,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use real_cluster::DeviceMesh;
+    use real_dataflow::{algo, CallAssignment};
+    use real_model::{ModelSpec, ParallelStrategy};
+
+    fn setup(nodes: u32, batch: u64) -> (ClusterSpec, DataflowGraph) {
+        let cluster = ClusterSpec::h100(nodes);
+        let actor = ModelSpec::llama3_7b();
+        let graph = algo::ppo(&actor, &actor.critic(), &algo::RlhfConfig::instruct_gpt(batch));
+        (cluster, graph)
+    }
+
+    fn symmetric(cluster: &ClusterSpec, graph: &DataflowGraph, dp: u32, tp: u32, mbs: u32) -> ExecutionPlan {
+        let a = CallAssignment::new(
+            DeviceMesh::full(cluster),
+            ParallelStrategy::new(dp, tp, 1, mbs).unwrap(),
+        )
+        .unwrap();
+        ExecutionPlan::new(graph, cluster, vec![a; graph.n_calls()]).unwrap()
+    }
+
+    #[test]
+    fn symmetric_run_produces_sane_report() {
+        let (cluster, graph) = setup(1, 64);
+        let plan = symmetric(&cluster, &graph, 1, 8, 8);
+        let engine = RuntimeEngine::new(cluster, graph, EngineConfig::deterministic());
+        let report = engine.run(&plan, 2).unwrap();
+        assert!(report.iter_time > 0.0);
+        assert!(report.total_time >= report.iter_time);
+        assert_eq!(report.timings.len(), 12); // 6 calls x 2 iters
+        // Generation dominates the iteration (Fig. 1).
+        let gen = report.call_mean("actor_gen").unwrap();
+        for other in ["reward_inf", "ref_inf", "critic_inf", "critic_train"] {
+            assert!(gen > report.call_mean(other).unwrap(), "{other}");
+        }
+    }
+
+    #[test]
+    fn oom_plan_is_rejected() {
+        let (cluster, graph) = setup(1, 512);
+        let plan = symmetric(&cluster, &graph, 8, 1, 1);
+        let engine = RuntimeEngine::new(cluster, graph, EngineConfig::deterministic());
+        let err = engine.run(&plan, 1).unwrap_err();
+        assert!(matches!(err, RunError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn skip_mem_check_forces_execution() {
+        let (cluster, graph) = setup(1, 512);
+        let plan = symmetric(&cluster, &graph, 8, 1, 1);
+        let cfg = EngineConfig { skip_mem_check: true, ..EngineConfig::deterministic() };
+        let engine = RuntimeEngine::new(cluster, graph, cfg);
+        assert!(engine.run(&plan, 1).is_ok());
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let (cluster, graph) = setup(1, 64);
+        let plan = symmetric(&cluster, &graph, 1, 8, 8);
+        let engine = RuntimeEngine::new(cluster.clone(), graph.clone(), EngineConfig::default());
+        let a = engine.run(&plan, 2).unwrap();
+        let b = engine.run(&plan, 2).unwrap();
+        assert_eq!(a.iter_time, b.iter_time);
+        assert_eq!(a.total_time, b.total_time);
+    }
+
+    #[test]
+    fn asymmetric_plan_triggers_realloc_and_transfer() {
+        let (cluster, graph) = setup(2, 64);
+        let full = CallAssignment::new(
+            DeviceMesh::full(&cluster),
+            ParallelStrategy::new(2, 8, 1, 4).unwrap(),
+        )
+        .unwrap();
+        let mut assignments = vec![full; graph.n_calls()];
+        // Actor training on node 0 only with a different shape.
+        let train = graph.find("actor_train").unwrap();
+        assignments[train.0] = CallAssignment::new(
+            DeviceMesh::whole_nodes(&cluster, 0, 1).unwrap(),
+            ParallelStrategy::new(1, 4, 2, 8).unwrap(),
+        )
+        .unwrap();
+        let plan = ExecutionPlan::new(&graph, &cluster, assignments).unwrap();
+        let engine = RuntimeEngine::new(cluster, graph, EngineConfig::deterministic());
+        let report = engine.run(&plan, 2).unwrap();
+        let get = |c: Category| {
+            report.category_totals.iter().find(|(k, _)| *k == c).unwrap().1
+        };
+        assert!(get(Category::Realloc) > 0.0, "realloc time must be charged");
+        assert!(get(Category::Transfer) > 0.0, "transfer time must be charged");
+        // The paper's Fig. 11 note: broadcasts take much less GPU time than
+        // compute.
+        assert!(get(Category::Realloc) < 0.2 * get(Category::Compute));
+    }
+
+    #[test]
+    fn master_log_records_every_dispatch_and_completion() {
+        let (cluster, graph) = setup(1, 64);
+        let plan = symmetric(&cluster, &graph, 1, 8, 8);
+        let engine = RuntimeEngine::new(cluster, graph.clone(), EngineConfig::deterministic());
+        let report = engine.run(&plan, 2).unwrap();
+        let log = &report.master_log;
+        assert_eq!(log.requests.len(), 12);
+        assert_eq!(log.responses.len(), 12);
+        for iter in 0..2 {
+            for (id, def) in graph.iter() {
+                let req = log.request(id, iter).expect("request logged");
+                let resp = log.response(id, iter).expect("response logged");
+                assert_eq!(req.handle, def.call_name);
+                assert!(req.dispatch_time <= resp.completed_at);
+                assert_eq!(req.worker_count, 8);
+                // Requests carry locations, never payloads: actor_train has
+                // five upstream inputs.
+                if def.call_name == "actor_train" {
+                    assert_eq!(req.data_locations.len(), 5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_iterations_cost_less_than_twice_one() {
+        // Cross-iteration overlap plus amortized warm-up.
+        let (cluster, graph) = setup(1, 64);
+        let plan = symmetric(&cluster, &graph, 1, 8, 8);
+        let engine = RuntimeEngine::new(cluster, graph, EngineConfig::deterministic());
+        let one = engine.run(&plan, 1).unwrap().total_time;
+        let two = engine.run(&plan, 2).unwrap().total_time;
+        assert!(two < 2.0 * one * 1.05, "one {one} two {two}");
+    }
+}

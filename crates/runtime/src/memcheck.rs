@@ -1,0 +1,170 @@
+//! Pre-run memory validation, including the ZeRO-3 accounting used by the
+//! DeepSpeed-Chat emulation.
+//!
+//! For plain plans this delegates to the estimator's `MaxMem` (the same
+//! §5.1 accounting the search uses). ZeRO-3 models differ in both
+//! directions: their static state shards across the whole data-parallel
+//! world (smaller), but every forward keeps one gathered layer resident
+//! (larger during calls).
+
+use real_cluster::ClusterSpec;
+use real_dataflow::{CallType, DataflowGraph, ExecutionPlan};
+use real_model::MemoryModel;
+use std::collections::HashSet;
+
+/// Peak bytes per GPU under the engine's execution modes.
+pub fn max_mem(
+    cluster: &ClusterSpec,
+    graph: &DataflowGraph,
+    plan: &ExecutionPlan,
+    zero3_models: &HashSet<String>,
+    dist_optim_models: &HashSet<String>,
+) -> u64 {
+    if zero3_models.is_empty() && dist_optim_models.is_empty() {
+        return real_estimator::maxmem::max_mem(cluster, graph, plan);
+    }
+    let n = cluster.total_gpus() as usize;
+    let mut static_mem = vec![0u64; n];
+    for model_name in graph.model_names() {
+        let trainable = graph.is_trainable(model_name);
+        let zero3 = zero3_models.contains(model_name);
+        if !trainable && !zero3 {
+            // Frozen, unsharded weights are active memory (§5.1).
+            continue;
+        }
+        let calls = graph.calls_of_model(model_name);
+        let anchor = calls
+            .iter()
+            .copied()
+            .find(|&c| graph.call(c).call_type.is_training())
+            .unwrap_or(calls[0]);
+        let def = graph.call(anchor);
+        let a = plan.assignment(anchor);
+        let mm = MemoryModel::new(def.model.clone());
+        let bytes = if zero3 {
+            // ZeRO-3: weights (and, when trainable, gradients + optimizer
+            // state) sharded over the world.
+            let per_param: u64 = if trainable { 18 } else { 2 };
+            mm.model()
+                .param_count()
+                .saturating_mul(per_param)
+                .div_ceil(u64::from(a.strategy.world_size()))
+        } else if dist_optim_models.contains(model_name) {
+            mm.static_optim_bytes_dist(&a.strategy)
+        } else {
+            mm.static_optim_bytes(&a.strategy)
+        };
+        for gpu in a.mesh.gpus() {
+            static_mem[gpu.0 as usize] += bytes;
+        }
+    }
+
+    let mut peak_active = vec![0u64; n];
+    for (id, def) in graph.iter() {
+        let a = plan.assignment(id);
+        let mm = MemoryModel::new(def.model.clone());
+        let dp = u64::from(a.strategy.dp());
+        let zero3 = zero3_models.contains(&def.model_name);
+        let mut active = match def.call_type {
+            CallType::Generate { batch, prompt_len, gen_len } => {
+                mm.gen_active_bytes(&a.strategy, batch.div_ceil(dp), prompt_len + gen_len)
+            }
+            CallType::Inference { batch, seq_len } => {
+                mm.infer_active_bytes(&a.strategy, batch.div_ceil(dp) * seq_len)
+            }
+            CallType::TrainStep { batch, seq_len, n_minibatches } => {
+                let per = batch.div_ceil(dp).div_ceil(u64::from(n_minibatches.max(1)));
+                mm.train_active_bytes(&a.strategy, per * seq_len)
+            }
+        };
+        if zero3 {
+            // Weights are ZeRO-sharded (already in static); subtract the
+            // replicated copy and add one gathered layer's working set.
+            active = active
+                .saturating_sub(mm.weight_bytes_per_gpu(&a.strategy))
+                .saturating_add(2 * mm.model().layer_params());
+        }
+        for gpu in a.mesh.gpus() {
+            let slot = &mut peak_active[gpu.0 as usize];
+            *slot = (*slot).max(active);
+        }
+    }
+
+    static_mem
+        .iter()
+        .zip(&peak_active)
+        .map(|(s, a)| s + a)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use real_cluster::DeviceMesh;
+    use real_dataflow::{algo, CallAssignment};
+    use real_model::{ModelSpec, ParallelStrategy};
+    use real_util::units::GIB;
+
+    fn setup(nodes: u32, batch: u64) -> (ClusterSpec, DataflowGraph) {
+        let cluster = ClusterSpec::h100(nodes);
+        let actor = ModelSpec::llama3_7b();
+        let graph = algo::ppo(&actor, &actor.critic(), &algo::RlhfConfig::instruct_gpt(batch));
+        (cluster, graph)
+    }
+
+    fn symmetric(cluster: &ClusterSpec, graph: &DataflowGraph, dp: u32, tp: u32, mbs: u32) -> ExecutionPlan {
+        let a = CallAssignment::new(
+            DeviceMesh::full(cluster),
+            ParallelStrategy::new(dp, tp, 1, mbs).unwrap(),
+        )
+        .unwrap();
+        ExecutionPlan::new(graph, cluster, vec![a; graph.n_calls()]).unwrap()
+    }
+
+    #[test]
+    fn no_zero3_matches_estimator() {
+        let (cluster, graph) = setup(1, 64);
+        let plan = symmetric(&cluster, &graph, 1, 8, 8);
+        let ours = max_mem(&cluster, &graph, &plan, &HashSet::new(), &HashSet::new());
+        let theirs = real_estimator::maxmem::max_mem(&cluster, &graph, &plan);
+        assert_eq!(ours, theirs);
+    }
+
+    #[test]
+    fn zero3_rescues_pure_dp_training() {
+        let (cluster, graph) = setup(1, 512);
+        let plan = symmetric(&cluster, &graph, 8, 1, 16);
+        let plain = max_mem(&cluster, &graph, &plan, &HashSet::new(), &HashSet::new());
+        let mut z: HashSet<String> = HashSet::new();
+        z.insert("actor".into());
+        z.insert("critic".into());
+        let zero3 = max_mem(&cluster, &graph, &plan, &z, &HashSet::new());
+        // Pure DP without ZeRO: full optimizer state replicated → > 200 GiB.
+        assert!(plain > 200 * GIB);
+        // ZeRO-3 shards it 8-way and fits.
+        assert!(zero3 < 80 * GIB, "zero3 {}", zero3 / GIB);
+    }
+
+    #[test]
+    fn zero3_frozen_model_moves_weights_to_sharded_static() {
+        let (cluster, graph) = setup(1, 64);
+        let plan = symmetric(&cluster, &graph, 1, 8, 8);
+        let mut z: HashSet<String> = HashSet::new();
+        z.insert("reference".into());
+        // Frozen reference under ZeRO-3: its weights leave the active term
+        // and reappear as world-sharded static, plus one gathered layer of
+        // working set — the peak moves by at most that working set.
+        let zero3 = max_mem(&cluster, &graph, &plan, &z, &HashSet::new());
+        let plain = max_mem(&cluster, &graph, &plan, &HashSet::new(), &HashSet::new());
+        // Bound the shift: static grows by at most the sharded weights
+        // (2 B/param over world 8), active shrinks by at most the full
+        // replicated shard.
+        let shard = 2 * ModelSpec::llama3_7b().param_count() / 8;
+        let replicated =
+            MemoryModel::new(ModelSpec::llama3_7b())
+                .weight_bytes_per_gpu(&ParallelStrategy::new(1, 8, 1, 8).unwrap());
+        assert!(zero3 <= plain + shard, "zero3 {zero3} plain {plain}");
+        assert!(zero3 + replicated >= plain, "zero3 {zero3} plain {plain}");
+    }
+}

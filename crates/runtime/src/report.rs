@@ -1,0 +1,173 @@
+//! Run reports: per-call wall times (Table 6), category totals (Fig. 11),
+//! and throughput.
+
+use real_sim::{Category, Trace};
+use real_util::Table;
+use serde::{Deserialize, Serialize};
+
+/// One call's measured interval in one iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CallTiming {
+    /// Call name (e.g. `"actor_gen"`).
+    pub call_name: String,
+    /// Iteration index.
+    pub iter: usize,
+    /// Dispatch-ready time.
+    pub start: f64,
+    /// Completion time.
+    pub end: f64,
+}
+
+impl CallTiming {
+    /// Wall duration of the call.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// The output of a runtime-engine run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Virtual makespan of the whole run.
+    pub total_time: f64,
+    /// Steady-state seconds per iteration.
+    pub iter_time: f64,
+    /// Per-call, per-iteration timings.
+    pub timings: Vec<CallTiming>,
+    /// Cluster-wide busy seconds per category.
+    pub category_totals: Vec<(Category, f64)>,
+    /// Idle GPU-seconds up to the makespan.
+    pub idle_total: f64,
+    /// Peak memory bytes per GPU (max over GPUs).
+    pub mem_peak: u64,
+    /// Mean static-memory utilization (Fig. 17 right).
+    pub static_utilization: f64,
+    /// Kernel trace (empty unless enabled).
+    pub trace: Trace,
+    /// The master worker's request/response log (§6).
+    pub master_log: crate::workers::MasterLog,
+}
+
+impl RunReport {
+    /// Mean wall duration of a call across iterations (all iterations; the
+    /// engine runs on virtual time, so there is no warm-up distortion).
+    pub fn call_mean(&self, call_name: &str) -> Option<f64> {
+        let durs: Vec<f64> = self
+            .timings
+            .iter()
+            .filter(|t| t.call_name == call_name)
+            .map(CallTiming::duration)
+            .collect();
+        real_util::stats::mean(&durs)
+    }
+
+    /// Throughput in processed sequences per second, given the workflow's
+    /// global batch per iteration.
+    pub fn seqs_per_sec(&self, global_batch: u64) -> f64 {
+        global_batch as f64 / self.iter_time
+    }
+
+    /// Throughput in tokens per second, given tokens per iteration.
+    pub fn tokens_per_sec(&self, tokens_per_iter: u64) -> f64 {
+        tokens_per_iter as f64 / self.iter_time
+    }
+
+    /// Mean GPU busy fraction over the run (1 - idle share).
+    pub fn busy_fraction(&self, n_gpus: usize) -> f64 {
+        if self.total_time <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.category_totals.iter().map(|(_, s)| s).sum();
+        busy / (self.total_time * n_gpus as f64)
+    }
+
+    /// Fraction of total busy time per category (Fig. 11's split).
+    pub fn category_fractions(&self) -> Vec<(Category, f64)> {
+        let busy: f64 = self.category_totals.iter().map(|(_, s)| s).sum();
+        self.category_totals
+            .iter()
+            .map(|&(c, s)| (c, if busy > 0.0 { s / busy } else { 0.0 }))
+            .collect()
+    }
+
+    /// Renders a Table 6-style wall-time breakdown.
+    pub fn render_breakdown(&self) -> String {
+        let mut names: Vec<&str> = Vec::new();
+        for t in &self.timings {
+            if !names.contains(&t.call_name.as_str()) {
+                names.push(&t.call_name);
+            }
+        }
+        let mut table = Table::new(vec!["call", "mean wall time (s)"]);
+        for name in names {
+            let mean = self.call_mean(name).unwrap_or(0.0);
+            table.row(vec![name.to_string(), format!("{mean:.2}")]);
+        }
+        table.row(vec!["end2end".into(), format!("{:.2}", self.iter_time)]);
+        table.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            iterations: 2,
+            total_time: 20.0,
+            iter_time: 10.0,
+            timings: vec![
+                CallTiming { call_name: "gen".into(), iter: 0, start: 0.0, end: 6.0 },
+                CallTiming { call_name: "gen".into(), iter: 1, start: 10.0, end: 14.0 },
+                CallTiming { call_name: "train".into(), iter: 0, start: 6.0, end: 10.0 },
+            ],
+            category_totals: vec![(Category::Compute, 30.0), (Category::TpComm, 10.0)],
+            idle_total: 5.0,
+            mem_peak: 1 << 30,
+            static_utilization: 0.4,
+            trace: Trace::disabled(),
+            master_log: crate::workers::MasterLog::default(),
+        }
+    }
+
+    #[test]
+    fn call_mean_averages_iterations() {
+        let r = report();
+        assert_eq!(r.call_mean("gen"), Some(5.0));
+        assert_eq!(r.call_mean("train"), Some(4.0));
+        assert_eq!(r.call_mean("missing"), None);
+    }
+
+    #[test]
+    fn throughput_uses_iter_time() {
+        let r = report();
+        assert_eq!(r.seqs_per_sec(512), 51.2);
+        assert_eq!(r.tokens_per_sec(1_000_000), 100_000.0);
+    }
+
+    #[test]
+    fn busy_fraction_accounts_idle() {
+        let r = report();
+        // 40 busy GPU-seconds over 20s x 4 GPUs.
+        assert_eq!(r.busy_fraction(4), 0.5);
+    }
+
+    #[test]
+    fn category_fractions_sum_to_one() {
+        let r = report();
+        let sum: f64 = r.category_fractions().iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_lists_calls_and_end2end() {
+        let s = report().render_breakdown();
+        assert!(s.contains("gen"));
+        assert!(s.contains("train"));
+        assert!(s.contains("end2end"));
+        assert!(s.contains("10.00"));
+    }
+}

@@ -1,0 +1,232 @@
+//! The master↔model-worker protocol of §6, reified.
+//!
+//! The paper's master worker "dispatches requests via sockets upon the
+//! function call is ready"; the messages "do not transfer the associated
+//! data — instead, the data is retained locally in the GPUs of model
+//! workers [and] the master worker communicates the data locations to the
+//! model workers in requests". Each model worker is an RPC server on one
+//! GPU that "polls requests from the socket for each local LLM handle in a
+//! round-robin manner".
+//!
+//! On virtual time the engine keeps exactly this bookkeeping: every
+//! dispatched call produces a [`Request`] carrying the upstream data
+//! locations and a matching [`Response`] on completion, and
+//! [`WorkerDirectory`] records which LLM handles each worker hosts.
+
+use real_cluster::ClusterSpec;
+use real_dataflow::{CallId, DataflowGraph, ExecutionPlan};
+use serde::{Deserialize, Serialize};
+
+/// Where a data item produced by an upstream call lives: the producing
+/// call's name plus the GPUs holding its DP shards.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataLocation {
+    /// Data key (e.g. `"seq"`).
+    pub key: String,
+    /// Producing call.
+    pub produced_by: String,
+    /// First GPU of each DP shard (the shard leaders workers pull from).
+    pub shard_leaders: Vec<u32>,
+}
+
+/// A master→worker dispatch message for one function call.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// The call being dispatched.
+    pub call: CallId,
+    /// Call name (the worker-side handle it addresses).
+    pub handle: String,
+    /// Unrolled iteration index.
+    pub iter: usize,
+    /// Virtual dispatch time (after dependency resolution + RPC latency).
+    pub dispatch_time: f64,
+    /// Locations of the inputs (the message body of §6 — no data payload).
+    pub data_locations: Vec<DataLocation>,
+    /// Number of model workers (GPUs) addressed.
+    pub worker_count: u32,
+}
+
+/// A worker→master completion message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// The completed call.
+    pub call: CallId,
+    /// Iteration index.
+    pub iter: usize,
+    /// Virtual completion time.
+    pub completed_at: f64,
+}
+
+/// The master worker's message log for one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MasterLog {
+    /// Requests in dispatch order.
+    pub requests: Vec<Request>,
+    /// Responses in completion-processing order.
+    pub responses: Vec<Response>,
+}
+
+impl MasterLog {
+    /// The request matching a `(call, iter)` pair.
+    pub fn request(&self, call: CallId, iter: usize) -> Option<&Request> {
+        self.requests.iter().find(|r| r.call == call && r.iter == iter)
+    }
+
+    /// The response matching a `(call, iter)` pair.
+    pub fn response(&self, call: CallId, iter: usize) -> Option<&Response> {
+        self.responses.iter().find(|r| r.call == call && r.iter == iter)
+    }
+
+    /// Builds the §6 request body for a call: one [`DataLocation`] per
+    /// input, pointing at the producer's DP shard leaders.
+    pub fn data_locations(
+        graph: &DataflowGraph,
+        plan: &ExecutionPlan,
+        call: CallId,
+    ) -> Vec<DataLocation> {
+        let def = graph.call(call);
+        let mut out = Vec::new();
+        for key in &def.input_data {
+            let Some((pid, pdef)) = graph
+                .iter()
+                .find(|(c, p)| *c != call && p.output_data.contains(key))
+            else {
+                continue; // external input (e.g. the prompt dataset)
+            };
+            let pa = plan.assignment(pid);
+            let layout = crate::layout::Layout::new(pa);
+            let shard_leaders = (0..pa.strategy.dp())
+                .map(|d| crate::layout::Layout::leader(layout.tp_group(0, d)) as u32)
+                .collect();
+            out.push(DataLocation {
+                key: key.clone(),
+                produced_by: pdef.call_name.clone(),
+                shard_leaders,
+            });
+        }
+        out
+    }
+}
+
+/// Which LLM handles each model worker (GPU) hosts — the §6 round-robin
+/// polling set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerDirectory {
+    /// `handles[gpu]` = names of models whose plan places them on that GPU.
+    handles: Vec<Vec<String>>,
+}
+
+impl WorkerDirectory {
+    /// Derives the directory from a plan.
+    pub fn new(cluster: &ClusterSpec, graph: &DataflowGraph, plan: &ExecutionPlan) -> Self {
+        let mut handles: Vec<Vec<String>> = vec![Vec::new(); cluster.total_gpus() as usize];
+        for (id, def) in graph.iter() {
+            let a = plan.assignment(id);
+            for gpu in a.mesh.gpus() {
+                let slot = &mut handles[gpu.0 as usize];
+                if !slot.contains(&def.model_name) {
+                    slot.push(def.model_name.clone());
+                }
+            }
+        }
+        Self { handles }
+    }
+
+    /// Handles hosted by one worker.
+    pub fn handles(&self, gpu: usize) -> &[String] {
+        &self.handles[gpu]
+    }
+
+    /// The largest polling set across workers (a colocated symmetric plan
+    /// puts every model on every worker).
+    pub fn max_handles(&self) -> usize {
+        self.handles.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Workers hosting no model at all (idle GPUs — §4's mesh rules are
+    /// designed to avoid these).
+    pub fn idle_workers(&self) -> usize {
+        self.handles.iter().filter(|h| h.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use real_cluster::DeviceMesh;
+    use real_dataflow::{algo, CallAssignment};
+    use real_model::{ModelSpec, ParallelStrategy};
+
+    fn setup() -> (ClusterSpec, DataflowGraph, ExecutionPlan) {
+        let cluster = ClusterSpec::h100(2);
+        let actor = ModelSpec::llama3_7b();
+        let graph = algo::ppo(&actor, &actor.critic(), &algo::RlhfConfig::instruct_gpt(64));
+        let a = CallAssignment::new(
+            DeviceMesh::full(&cluster),
+            ParallelStrategy::new(2, 8, 1, 4).unwrap(),
+        )
+        .unwrap();
+        let plan = ExecutionPlan::new(&graph, &cluster, vec![a; graph.n_calls()]).unwrap();
+        (cluster, graph, plan)
+    }
+
+    #[test]
+    fn data_locations_point_at_producers() {
+        let (_, graph, plan) = setup();
+        let train = graph.find("actor_train").unwrap();
+        let locs = MasterLog::data_locations(&graph, &plan, train);
+        // actor_train consumes seq/logp (actor_gen), rewards, ref_logp,
+        // values — 5 keys, all with producers.
+        assert_eq!(locs.len(), 5);
+        let seq = locs.iter().find(|l| l.key == "seq").unwrap();
+        assert_eq!(seq.produced_by, "actor_gen");
+        // dp=2 producer → two shard leaders.
+        assert_eq!(seq.shard_leaders.len(), 2);
+    }
+
+    #[test]
+    fn external_inputs_have_no_location() {
+        let (_, graph, plan) = setup();
+        let gen = graph.find("actor_gen").unwrap();
+        // "prompts" comes from the dataset, not a call.
+        assert!(MasterLog::data_locations(&graph, &plan, gen).is_empty());
+    }
+
+    #[test]
+    fn directory_of_symmetric_plan_colocates_all_models() {
+        let (cluster, graph, plan) = setup();
+        let dir = WorkerDirectory::new(&cluster, &graph, &plan);
+        assert_eq!(dir.max_handles(), 4); // actor, reward, reference, critic
+        assert_eq!(dir.idle_workers(), 0);
+        assert_eq!(dir.handles(0).len(), 4);
+    }
+
+    #[test]
+    fn directory_of_split_plan_partitions_handles() {
+        let (cluster, graph, _) = setup();
+        let node0 = CallAssignment::new(
+            DeviceMesh::whole_nodes(&cluster, 0, 1).unwrap(),
+            ParallelStrategy::new(1, 8, 1, 4).unwrap(),
+        )
+        .unwrap();
+        let node1 = CallAssignment::new(
+            DeviceMesh::whole_nodes(&cluster, 1, 1).unwrap(),
+            ParallelStrategy::new(1, 8, 1, 4).unwrap(),
+        )
+        .unwrap();
+        let assignments: Vec<CallAssignment> = graph
+            .calls()
+            .iter()
+            .map(|c| if c.model_name == "actor" || c.model_name == "reference" {
+                node0
+            } else {
+                node1
+            })
+            .collect();
+        let plan = ExecutionPlan::new(&graph, &cluster, assignments).unwrap();
+        let dir = WorkerDirectory::new(&cluster, &graph, &plan);
+        assert_eq!(dir.handles(0), &["actor".to_string(), "reference".to_string()]);
+        assert_eq!(dir.handles(8), &["reward".to_string(), "critic".to_string()]);
+        assert_eq!(dir.max_handles(), 2);
+    }
+}

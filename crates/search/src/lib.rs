@@ -1,0 +1,29 @@
+//! The execution plan generator (§5 of the paper).
+//!
+//! - [`space`] — enumerates each call's `(device mesh, strategy,
+//!   micro-batches)` options with the §8.2 pruning heuristics, at three
+//!   pruning levels (the Fig. 14 ablation),
+//! - [`greedy`] — the §5.2 greedy initial plan `p0` minimizing the sum of
+//!   isolated call costs,
+//! - [`heuristic`] — the REAL-Heuristic baseline: a pre-training-inspired
+//!   symmetric 3D plan (intra-node TP, inter-node PP, DP maximized within
+//!   memory),
+//! - [`mcmc`] — Metropolis–Hastings sampling over the energy distribution
+//!   `P(p) ∝ exp(-β · cost(G_p))`, plus a multi-chain parallel driver (the
+//!   paper's noted multi-core extension),
+//! - [`brute`] — branch-and-bound exhaustive search over the same pruned
+//!   space, used as the optimality reference of Fig. 15.
+
+pub mod brute;
+pub mod explain;
+pub mod greedy;
+pub mod heuristic;
+pub mod mcmc;
+pub mod space;
+
+pub use brute::{brute_force, BruteConfig};
+pub use explain::{compare, CallDiff, PlanComparison};
+pub use greedy::greedy_plan;
+pub use heuristic::heuristic_plan;
+pub use mcmc::{parallel_search, search, McmcConfig, SearchResult};
+pub use space::{ImpossibleCall, PruneLevel, SearchSpace};

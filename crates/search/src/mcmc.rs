@@ -1,0 +1,339 @@
+//! Metropolis–Hastings search over execution plans (§5.2).
+//!
+//! Plans are sampled from the energy distribution
+//! `P(p) ∝ exp(-β · cost(G_p))` by mutating one random call's assignment
+//! per step and accepting with probability `min(1, P(p')/P(p))`. The best
+//! *memory-feasible* plan by `TimeCost` seen anywhere along the chain is
+//! the search output.
+//!
+//! One practical refinement over the paper's formula: the energy is the
+//! *relative* cost change `β · (c' − c) / c`, which makes the temperature
+//! scale-free — the same β works for a 5-second 7B iteration and a
+//! 500-second 70B one, and for OOM-penalized costs (×α) the chain still
+//! random-walks among infeasible plans instead of freezing.
+//!
+//! [`parallel_search`] runs independent chains on multiple cores and keeps
+//! the global best — the multi-core extension the paper mentions as future
+//! work.
+
+use crate::greedy::greedy_plan;
+use crate::space::SearchSpace;
+use real_dataflow::{CallId, ExecutionPlan};
+use real_estimator::Estimator;
+use real_util::DeterministicRng;
+use std::time::{Duration, Instant};
+
+/// MCMC configuration.
+#[derive(Debug, Clone)]
+pub struct McmcConfig {
+    /// Sampling temperature β over the relative cost change (higher =
+    /// greedier). Values around 4–8 accept mild regressions while rejecting
+    /// leaps back into OOM territory.
+    pub beta: f64,
+    /// Hard step budget.
+    pub max_steps: u64,
+    /// Wall-clock budget.
+    pub time_limit: Duration,
+    /// RNG seed.
+    pub seed: u64,
+    /// Record `(elapsed_secs, best_time_cost)` whenever the best improves
+    /// (Fig. 13's improvement-ratio curves).
+    pub record_trace: bool,
+}
+
+impl Default for McmcConfig {
+    fn default() -> Self {
+        Self {
+            beta: 6.0,
+            max_steps: 200_000,
+            time_limit: Duration::from_secs(60),
+            seed: 1,
+            record_trace: true,
+        }
+    }
+}
+
+/// Search output: the best plan plus chain statistics.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Best memory-feasible plan found (falls back to the overall best-cost
+    /// plan if nothing feasible was visited).
+    pub best_plan: ExecutionPlan,
+    /// `TimeCost` of the best plan.
+    pub best_time_cost: f64,
+    /// Whether the best plan fits device memory.
+    pub feasible: bool,
+    /// Steps taken.
+    pub steps: u64,
+    /// Accepted transitions.
+    pub accepted: u64,
+    /// `(elapsed_secs, best_time_cost)` improvement trace.
+    pub trace: Vec<(f64, f64)>,
+}
+
+impl SearchResult {
+    /// Acceptance rate of the chain.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.steps as f64
+        }
+    }
+
+    /// Improvement ratio vs. the initial plan (Fig. 13's metric): initial
+    /// best cost divided by final best cost.
+    pub fn improvement_ratio(&self) -> f64 {
+        match self.trace.first() {
+            Some(&(_, first)) if self.best_time_cost > 0.0 => first / self.best_time_cost,
+            _ => 1.0,
+        }
+    }
+}
+
+/// Runs one Metropolis–Hastings chain from the greedy initial plan.
+pub fn search(est: &Estimator, space: &SearchSpace, cfg: &McmcConfig) -> SearchResult {
+    let start = Instant::now();
+    let mut rng = DeterministicRng::from_seed(cfg.seed).derive("mcmc");
+    let n_calls = space.n_calls();
+
+    let mut current = greedy_plan(est, space);
+    let mut current_cost = est.cost(&current);
+
+    // The penalized §5.2 cost already orders infeasible plans after
+    // feasible ones (×α), so tracking the best by penalized cost needs just
+    // one estimator call per step.
+    let mut best_plan = current.clone();
+    let mut best_cost = current_cost;
+    let mut trace = Vec::new();
+    if cfg.record_trace {
+        trace.push((0.0, est.time_cost(&best_plan)));
+    }
+
+    let mut steps = 0;
+    let mut accepted = 0;
+    while steps < cfg.max_steps && start.elapsed() < cfg.time_limit {
+        steps += 1;
+        // Propose: re-draw one call's assignment uniformly from its options.
+        let call = CallId(rng.index(n_calls));
+        let opts = space.options(call.0);
+        let proposal_assignment = opts[rng.index(opts.len())];
+        let proposal = current
+            .with_assignment(call, proposal_assignment)
+            .expect("options are internally consistent");
+        let proposal_cost = est.cost(&proposal);
+
+        // Metropolis acceptance over the scale-free relative energy, with a
+        // linear annealing schedule: the chain explores early and freezes
+        // toward the step budget.
+        let progress = steps as f64 / cfg.max_steps as f64;
+        let beta = cfg.beta * (1.0 + 3.0 * progress);
+        let delta = (proposal_cost - current_cost) / current_cost.max(f64::MIN_POSITIVE);
+        let accept_p = (-beta * delta).exp().min(1.0);
+        if rng.uniform() < accept_p {
+            current = proposal;
+            current_cost = proposal_cost;
+            accepted += 1;
+
+            if current_cost < best_cost {
+                best_plan = current.clone();
+                best_cost = current_cost;
+                if cfg.record_trace {
+                    trace.push((start.elapsed().as_secs_f64(), est.time_cost(&best_plan)));
+                }
+            }
+        }
+    }
+
+    // Coordinate-descent polish: sweep the calls, replacing each assignment
+    // with its best alternative while the others stay fixed. Converges to a
+    // local optimum of the same cost the chain sampled; bounded by the
+    // remaining wall-clock budget.
+    let mut improved = true;
+    while improved && start.elapsed() < cfg.time_limit {
+        improved = false;
+        for call in 0..n_calls {
+            if start.elapsed() >= cfg.time_limit {
+                break;
+            }
+            for &opt in space.options(call) {
+                if opt == *best_plan.assignment(CallId(call)) {
+                    continue;
+                }
+                let candidate = best_plan
+                    .with_assignment(CallId(call), opt)
+                    .expect("options are internally consistent");
+                let cost = est.cost(&candidate);
+                if cost < best_cost {
+                    best_plan = candidate;
+                    best_cost = cost;
+                    improved = true;
+                    if cfg.record_trace {
+                        trace.push((start.elapsed().as_secs_f64(), est.time_cost(&best_plan)));
+                    }
+                }
+            }
+        }
+    }
+
+    SearchResult {
+        best_time_cost: est.time_cost(&best_plan),
+        feasible: est.mem_ok(&best_plan),
+        best_plan,
+        steps,
+        accepted,
+        trace,
+    }
+}
+
+/// Runs `n_chains` independent chains on separate threads (derived seeds)
+/// and returns the best result; ties favour feasibility then lower time.
+///
+/// # Panics
+///
+/// Panics if `n_chains == 0`.
+pub fn parallel_search(
+    est: &Estimator,
+    space: &SearchSpace,
+    cfg: &McmcConfig,
+    n_chains: usize,
+) -> SearchResult {
+    assert!(n_chains > 0, "need at least one chain");
+    if n_chains == 1 {
+        return search(est, space, cfg);
+    }
+    let mut results: Vec<SearchResult> = Vec::with_capacity(n_chains);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_chains)
+            .map(|chain| {
+                let mut chain_cfg = cfg.clone();
+                // Chain 0 keeps the caller's seed so the multi-chain result
+                // is always at least as good as the single-chain one.
+                if chain > 0 {
+                    chain_cfg.seed =
+                        cfg.seed.wrapping_mul(0x9e37_79b9).wrapping_add(chain as u64);
+                }
+                scope.spawn(move |_| search(est, space, &chain_cfg))
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("search chains do not panic"));
+        }
+    })
+    .expect("crossbeam scope does not panic");
+
+    results
+        .into_iter()
+        .min_by(|a, b| {
+            (!a.feasible, a.best_time_cost)
+                .partial_cmp(&(!b.feasible, b.best_time_cost))
+                .expect("costs are finite")
+        })
+        .expect("n_chains >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::heuristic_plan;
+    use crate::space::PruneLevel;
+    use real_cluster::ClusterSpec;
+    use real_dataflow::algo::{ppo, RlhfConfig};
+    use real_model::ModelSpec;
+    use real_profiler::{ProfileConfig, Profiler};
+
+    fn setup(nodes: u32, batch: u64) -> (Estimator, SearchSpace) {
+        let cluster = ClusterSpec::h100(nodes);
+        let actor = ModelSpec::llama3_7b();
+        let critic = actor.critic();
+        let graph = ppo(&actor, &critic, &RlhfConfig::instruct_gpt(batch));
+        let mut profiler = Profiler::new(cluster.clone(), ProfileConfig::quick(), 21);
+        let profiles = vec![profiler.profile(&actor), profiler.profile(&critic)];
+        let est = Estimator::new(cluster.clone(), graph.clone(), profiles).unwrap();
+        let space = SearchSpace::build(&cluster, &graph, PruneLevel::Aggressive);
+        (est, space)
+    }
+
+    fn quick_cfg(seed: u64) -> McmcConfig {
+        McmcConfig {
+            beta: 1.0,
+            max_steps: 3_000,
+            time_limit: Duration::from_secs(20),
+            seed,
+            record_trace: true,
+        }
+    }
+
+    #[test]
+    fn search_improves_on_or_matches_greedy() {
+        let (est, space) = setup(1, 128);
+        let greedy = greedy_plan(&est, &space);
+        let greedy_cost = est.cost(&greedy);
+        let result = search(&est, &space, &quick_cfg(3));
+        // The chain never returns anything worse than its start by the
+        // penalized cost, and for this workload it must escape the greedy
+        // plan's OOM into a feasible region.
+        assert!(est.cost(&result.best_plan) <= greedy_cost + 1e-9);
+        assert!(result.feasible);
+        assert!(result.steps > 0);
+    }
+
+    #[test]
+    fn search_beats_the_heuristic_plan() {
+        // The headline claim at small scale: the searched plan is faster
+        // than the symmetric heuristic.
+        let (est, space) = setup(2, 512);
+        let heuristic = heuristic_plan(&est);
+        let heuristic_time = est.time_cost(&heuristic);
+        let result = search(&est, &space, &quick_cfg(5));
+        assert!(
+            result.best_time_cost < heuristic_time,
+            "searched {} vs heuristic {heuristic_time}",
+            result.best_time_cost
+        );
+    }
+
+    #[test]
+    fn search_is_deterministic_per_seed() {
+        let (est, space) = setup(1, 128);
+        let mut cfg = quick_cfg(7);
+        cfg.time_limit = Duration::from_secs(3600); // steps bound only
+        cfg.max_steps = 500;
+        let a = search(&est, &space, &cfg);
+        let b = search(&est, &space, &cfg);
+        assert_eq!(a.best_plan, b.best_plan);
+        assert_eq!(a.accepted, b.accepted);
+    }
+
+    #[test]
+    fn acceptance_rate_is_sane() {
+        let (est, space) = setup(1, 128);
+        let result = search(&est, &space, &quick_cfg(11));
+        let rate = result.acceptance_rate();
+        assert!(rate > 0.0 && rate < 1.0, "acceptance {rate}");
+    }
+
+    #[test]
+    fn trace_grows_in_time_and_ends_at_best() {
+        let (est, space) = setup(2, 512);
+        let result = search(&est, &space, &quick_cfg(13));
+        for w in result.trace.windows(2) {
+            assert!(w[1].0 >= w[0].0, "elapsed must grow");
+        }
+        // The trace records the best plan's TimeCost at each improvement of
+        // the *penalized* cost; the last entry is the final best.
+        let last = result.trace.last().expect("trace has the initial entry");
+        assert!((last.1 - result.best_time_cost).abs() < 1e-9);
+        assert!(result.improvement_ratio() > 0.0);
+    }
+
+    #[test]
+    fn parallel_chains_no_worse_than_single() {
+        let (est, space) = setup(1, 128);
+        let mut cfg = quick_cfg(17);
+        cfg.max_steps = 1_000;
+        let single = search(&est, &space, &cfg);
+        let multi = parallel_search(&est, &space, &cfg, 4);
+        assert!(multi.best_time_cost <= single.best_time_cost + 1e-9);
+    }
+}

@@ -1,0 +1,29 @@
+//! Shared utilities for the `real-rs` workspace.
+//!
+//! This crate hosts the small, dependency-light building blocks used by every
+//! other crate in the workspace:
+//!
+//! - [`units`] — human-readable formatting of seconds, bytes, and rates, plus
+//!   the `GiB`/`MiB` constants used by the memory model.
+//! - [`stats`] — mean / median / percentile / linear-interpolation helpers used
+//!   by the profiler and the figure harnesses.
+//! - [`rng`] — deterministic, seed-derivable random number generators so every
+//!   experiment is bit-reproducible.
+//! - [`table`] — a tiny fixed-width table printer for the benchmark harnesses
+//!   that regenerate the paper's tables and figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use real_util::units::{fmt_seconds, fmt_bytes};
+//! assert_eq!(fmt_seconds(0.0123), "12.30ms");
+//! assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.00MiB");
+//! ```
+
+pub mod rng;
+pub mod stats;
+pub mod table;
+pub mod units;
+
+pub use rng::DeterministicRng;
+pub use table::Table;

@@ -1,0 +1,176 @@
+//! Small statistics helpers shared by the profiler and the figure harnesses.
+
+/// Arithmetic mean of a slice. Returns `None` for an empty slice.
+///
+/// ```
+/// assert_eq!(real_util::stats::mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(real_util::stats::mean(&[]), None);
+/// ```
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Median of a slice (average of the two middle elements for even lengths).
+/// Returns `None` for an empty slice.
+///
+/// ```
+/// assert_eq!(real_util::stats::median(&[3.0, 1.0, 2.0]), Some(2.0));
+/// assert_eq!(real_util::stats::median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+/// ```
+pub fn median(xs: &[f64]) -> Option<f64> {
+    percentile(xs, 50.0)
+}
+
+/// Linear-interpolated percentile `p` in `[0, 100]` of a slice.
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or any value is NaN.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Sample standard deviation. Returns `None` if fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// Piecewise-linear interpolation of `x` over sorted `(x, y)` knots.
+///
+/// Outside the knot range the nearest segment is extrapolated linearly; this
+/// mirrors how ReaL's estimator extends profiled statistics beyond the
+/// power-of-two grid (§5.1 of the paper).
+///
+/// # Panics
+///
+/// Panics if `knots` is empty or its x-coordinates are not strictly increasing.
+///
+/// ```
+/// let knots = [(1.0, 10.0), (2.0, 20.0), (4.0, 30.0)];
+/// assert_eq!(real_util::stats::lerp_knots(&knots, 3.0), 25.0);
+/// assert_eq!(real_util::stats::lerp_knots(&knots, 8.0), 50.0); // extrapolated
+/// ```
+pub fn lerp_knots(knots: &[(f64, f64)], x: f64) -> f64 {
+    assert!(!knots.is_empty(), "lerp_knots requires at least one knot");
+    for w in knots.windows(2) {
+        assert!(w[0].0 < w[1].0, "lerp_knots requires strictly increasing x");
+    }
+    if knots.len() == 1 {
+        return knots[0].1;
+    }
+    // Pick the segment containing x, clamping to the first/last segment for
+    // extrapolation.
+    let seg = match knots.iter().position(|&(kx, _)| kx >= x) {
+        Some(0) => 0,
+        Some(i) => i - 1,
+        None => knots.len() - 2,
+    };
+    let (x0, y0) = knots[seg];
+    let (x1, y1) = knots[seg + 1];
+    y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+}
+
+/// Geometric mean of strictly positive samples. Returns `None` if empty or if
+/// any value is not strictly positive.
+pub fn geo_mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    Some((xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_median_of_singleton() {
+        assert_eq!(mean(&[5.0]), Some(5.0));
+        assert_eq!(median(&[5.0]), Some(5.0));
+    }
+
+    #[test]
+    fn percentile_endpoints_match_min_max() {
+        let xs = [9.0, 1.0, 4.0, 7.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(9.0));
+    }
+
+    #[test]
+    fn std_dev_known_value() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let sd = std_dev(&xs).unwrap();
+        assert!((sd - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn std_dev_requires_two_samples() {
+        assert_eq!(std_dev(&[1.0]), None);
+    }
+
+    #[test]
+    fn lerp_exact_knots() {
+        let knots = [(1.0, 10.0), (2.0, 20.0)];
+        assert_eq!(lerp_knots(&knots, 1.0), 10.0);
+        assert_eq!(lerp_knots(&knots, 2.0), 20.0);
+    }
+
+    #[test]
+    fn lerp_extrapolates_below() {
+        let knots = [(2.0, 20.0), (4.0, 40.0)];
+        assert_eq!(lerp_knots(&knots, 1.0), 10.0);
+    }
+
+    #[test]
+    fn geo_mean_rejects_nonpositive() {
+        assert_eq!(geo_mean(&[1.0, 0.0]), None);
+        assert_eq!(geo_mean(&[]), None);
+        let g = geo_mean(&[2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn percentile_is_within_bounds(xs in proptest::collection::vec(-1e6..1e6f64, 1..50), p in 0.0..100.0f64) {
+            let v = percentile(&xs, p).unwrap();
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+
+        #[test]
+        fn mean_is_within_bounds(xs in proptest::collection::vec(-1e6..1e6f64, 1..50)) {
+            let m = mean(&xs).unwrap();
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        }
+
+        #[test]
+        fn lerp_is_monotone_for_monotone_knots(x in 0.0..10.0f64) {
+            let knots = [(0.0, 0.0), (2.0, 4.0), (5.0, 10.0), (8.0, 16.0)];
+            let y = lerp_knots(&knots, x);
+            prop_assert!((y - 2.0 * x).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! A minimal fixed-width table printer used by the benchmark harnesses that
+//! regenerate the paper's tables and figures.
+
+use std::fmt::Write as _;
+
+/// An in-memory table with a header row and string cells.
+///
+/// # Examples
+///
+/// ```
+/// use real_util::Table;
+/// let mut t = Table::new(vec!["model", "params"]);
+/// t.row(vec!["7B".into(), "8.0e9".into()]);
+/// let s = t.render();
+/// assert!(s.contains("model"));
+/// assert!(s.contains("8.0e9"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length differs from the header's.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a separator under the header.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let sep = if i + 1 == ncols { "\n" } else { "  " };
+                let _ = write!(out, "{cell:<width$}{sep}", width = widths[i]);
+            }
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_separator_and_rows() {
+        let mut t = Table::new(vec!["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].starts_with("1"));
+        assert!(lines[3].starts_with("333"));
+    }
+
+    #[test]
+    fn columns_align_to_widest_cell() {
+        let mut t = Table::new(vec!["x", "y"]);
+        t.row(vec!["long-cell".into(), "z".into()]);
+        let s = t.render();
+        // Header 'x' is padded to the width of 'long-cell'.
+        assert!(s.lines().next().unwrap().starts_with("x        "));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["only"]);
+        t.row(vec!["a".into(), "b".into()]);
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut t = Table::new(vec!["h"]);
+        assert!(t.is_empty());
+        t.row(vec!["v".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = Table::new(vec!["h"]);
+        t.row(vec!["v".into()]);
+        assert_eq!(format!("{t}"), t.render());
+    }
+}

@@ -1,0 +1,122 @@
+//! Unit constants and human-readable formatting for times, sizes, and rates.
+
+/// One kibibyte in bytes.
+pub const KIB: u64 = 1024;
+/// One mebibyte in bytes.
+pub const MIB: u64 = 1024 * KIB;
+/// One gibibyte in bytes.
+pub const GIB: u64 = 1024 * MIB;
+/// One terabyte (decimal, as used in bandwidth specs) in bytes.
+pub const TB: f64 = 1e12;
+/// One gigabyte (decimal, as used in bandwidth specs) in bytes.
+pub const GB: f64 = 1e9;
+/// One teraflop per second.
+pub const TFLOPS: f64 = 1e12;
+
+/// Formats a duration given in seconds with an adaptive unit.
+///
+/// Values are rendered in the largest unit that keeps the mantissa ≥ 1:
+/// seconds, milliseconds, microseconds, or nanoseconds. Negative durations
+/// are prefixed with `-`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(real_util::units::fmt_seconds(1.5), "1.50s");
+/// assert_eq!(real_util::units::fmt_seconds(0.00052), "520.00us");
+/// ```
+pub fn fmt_seconds(secs: f64) -> String {
+    let sign = if secs < 0.0 { "-" } else { "" };
+    let s = secs.abs();
+    if s >= 1.0 {
+        format!("{sign}{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{sign}{:.2}ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{sign}{:.2}us", s * 1e6)
+    } else {
+        format!("{sign}{:.2}ns", s * 1e9)
+    }
+}
+
+/// Formats a byte count with an adaptive binary unit (B, KiB, MiB, GiB, TiB).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(real_util::units::fmt_bytes(512), "512B");
+/// assert_eq!(real_util::units::fmt_bytes(2 * 1024 * 1024 * 1024), "2.00GiB");
+/// ```
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [(u64, &str); 4] = [
+        (1 << 40, "TiB"),
+        (1 << 30, "GiB"),
+        (1 << 20, "MiB"),
+        (1 << 10, "KiB"),
+    ];
+    for (scale, name) in UNITS {
+        if bytes >= scale {
+            return format!("{:.2}{name}", bytes as f64 / scale as f64);
+        }
+    }
+    format!("{bytes}B")
+}
+
+/// Formats a throughput expressed in items per second (e.g. tokens/s).
+///
+/// ```
+/// assert_eq!(real_util::units::fmt_rate(1_234_000.0), "1.23M/s");
+/// ```
+pub fn fmt_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2}G/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2}M/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2}k/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.2}/s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_pick_adaptive_units() {
+        assert_eq!(fmt_seconds(2.0), "2.00s");
+        assert_eq!(fmt_seconds(0.25), "250.00ms");
+        assert_eq!(fmt_seconds(2.5e-5), "25.00us");
+        assert_eq!(fmt_seconds(3.0e-9), "3.00ns");
+    }
+
+    #[test]
+    fn seconds_handle_negative_and_zero() {
+        assert_eq!(fmt_seconds(-0.5), "-500.00ms");
+        assert_eq!(fmt_seconds(0.0), "0.00ns");
+    }
+
+    #[test]
+    fn bytes_pick_adaptive_units() {
+        assert_eq!(fmt_bytes(0), "0B");
+        assert_eq!(fmt_bytes(1023), "1023B");
+        assert_eq!(fmt_bytes(1024), "1.00KiB");
+        assert_eq!(fmt_bytes(5 * MIB + MIB / 2), "5.50MiB");
+        assert_eq!(fmt_bytes(1 << 41), "2.00TiB");
+    }
+
+    #[test]
+    fn rates_pick_adaptive_units() {
+        assert_eq!(fmt_rate(10.0), "10.00/s");
+        assert_eq!(fmt_rate(2_500.0), "2.50k/s");
+        assert_eq!(fmt_rate(7.2e9), "7.20G/s");
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(GIB, 1024 * 1024 * 1024);
+        assert_eq!(MIB * 1024, GIB);
+        assert!((TB / GB - 1000.0).abs() < 1e-9);
+    }
+}

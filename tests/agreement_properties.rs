@@ -1,0 +1,143 @@
+//! Property-style integration tests: over randomly drawn symmetric plans,
+//! the estimator and the runtime engine must agree within a calibrated
+//! bound, memory accounting must be consistent, and reallocation must be
+//! charged exactly when layouts change.
+
+use real_core::prelude::*;
+use real_core::real_util::DeterministicRng;
+use rand::RngCore as _;
+
+fn setup(batch: u64) -> (ClusterSpec, DataflowGraph, Estimator) {
+    let cluster = ClusterSpec::h100(2);
+    let actor = ModelSpec::llama3_7b();
+    let critic = actor.critic();
+    let graph = algo::ppo(&actor, &critic, &algo::RlhfConfig::instruct_gpt(batch));
+    let mut profiler = Profiler::new(cluster.clone(), ProfileConfig::quick(), 3);
+    let profiles = vec![profiler.profile(&actor), profiler.profile(&critic)];
+    let est = Estimator::new(cluster.clone(), graph.clone(), profiles).unwrap();
+    (cluster, graph, est)
+}
+
+/// Draws a random valid assignment for a call from the pruned option space.
+fn random_plan(
+    rng: &mut DeterministicRng,
+    space: &SearchSpace,
+    graph: &DataflowGraph,
+    cluster: &ClusterSpec,
+) -> ExecutionPlan {
+    let assignments: Vec<CallAssignment> = (0..graph.n_calls())
+        .map(|c| {
+            let opts = space.options(c);
+            opts[(rng.next_u64() % opts.len() as u64) as usize]
+        })
+        .collect();
+    ExecutionPlan::new(graph, cluster, assignments).expect("options validate")
+}
+
+#[test]
+fn estimator_and_runtime_agree_on_random_feasible_plans() {
+    let (cluster, graph, est) = setup(256);
+    let space = SearchSpace::build(&cluster, &graph, PruneLevel::Aggressive);
+    let engine = RuntimeEngine::new(cluster.clone(), graph.clone(), EngineConfig::deterministic());
+    let mut rng = DeterministicRng::from_seed(2024);
+
+    let mut checked = 0;
+    let mut attempts = 0;
+    while checked < 8 && attempts < 200 {
+        attempts += 1;
+        let plan = random_plan(&mut rng, &space, &graph, &cluster);
+        if !est.mem_ok(&plan) {
+            continue;
+        }
+        let estimated = est.time_cost(&plan);
+        let measured = engine.run(&plan, 2).expect("estimator said it fits").iter_time;
+        let rel = ((estimated - measured) / measured).abs();
+        // Random plans include pathological shapes the closed forms track
+        // less tightly than searched/heuristic plans; allow 40%.
+        assert!(
+            rel < 0.40,
+            "plan diverged {rel:.2}: est {estimated:.1} vs run {measured:.1}\n{}",
+            plan.render(&graph)
+        );
+        checked += 1;
+    }
+    assert!(checked >= 8, "found only {checked} feasible random plans");
+}
+
+#[test]
+fn memcheck_is_consistent_between_estimator_and_engine() {
+    let (cluster, graph, est) = setup(128);
+    let space = SearchSpace::build(&cluster, &graph, PruneLevel::Moderate);
+    let engine = RuntimeEngine::new(cluster.clone(), graph.clone(), EngineConfig::deterministic());
+    let mut rng = DeterministicRng::from_seed(7);
+    for _ in 0..40 {
+        let plan = random_plan(&mut rng, &space, &graph, &cluster);
+        let est_ok = est.mem_ok(&plan);
+        let run = engine.run(&plan, 1);
+        // Engine (no zero3/dist-optim models) must agree exactly with the
+        // estimator's MaxMem verdict.
+        assert_eq!(est_ok, run.is_ok(), "memcheck mismatch:\n{}", plan.render(&graph));
+    }
+}
+
+#[test]
+fn realloc_charged_iff_layouts_differ() {
+    let (cluster, graph, est) = setup(128);
+    let space = SearchSpace::build(&cluster, &graph, PruneLevel::Aggressive);
+    let engine = RuntimeEngine::new(cluster.clone(), graph.clone(), EngineConfig::deterministic());
+    let mut rng = DeterministicRng::from_seed(99);
+
+    let mut seen_with = false;
+    let mut seen_without = false;
+    let mut attempts = 0;
+    while (!seen_with || !seen_without) && attempts < 300 {
+        attempts += 1;
+        let plan = random_plan(&mut rng, &space, &graph, &cluster);
+        if !est.mem_ok(&plan) {
+            continue;
+        }
+        let mut layouts_change = false;
+        for model in graph.model_names() {
+            let calls = graph.calls_of_model(model);
+            for w in calls.windows(2) {
+                if plan.assignment(w[0]) != plan.assignment(w[1]) {
+                    layouts_change = true;
+                }
+            }
+        }
+        let report = engine.run(&plan, 2).expect("fits");
+        let realloc = report
+            .category_totals
+            .iter()
+            .find(|(c, _)| *c == Category::Realloc)
+            .unwrap()
+            .1;
+        if layouts_change {
+            assert!(realloc > 0.0, "layout change must charge reallocation");
+            seen_with = true;
+        } else {
+            assert_eq!(realloc, 0.0, "no layout change, no reallocation");
+            seen_without = true;
+        }
+    }
+    assert!(seen_with, "never drew a plan with a layout change");
+    // Symmetric plans (no change) are rare random draws; tolerate missing.
+}
+
+#[test]
+fn iteration_time_is_stable_across_iteration_counts() {
+    let (cluster, graph, est) = setup(128);
+    let space = SearchSpace::build(&cluster, &graph, PruneLevel::Aggressive);
+    let engine = RuntimeEngine::new(cluster.clone(), graph.clone(), EngineConfig::deterministic());
+    let mut rng = DeterministicRng::from_seed(5);
+    let plan = loop {
+        let p = random_plan(&mut rng, &space, &graph, &cluster);
+        if est.mem_ok(&p) {
+            break p;
+        }
+    };
+    let t2 = engine.run(&plan, 2).unwrap().iter_time;
+    let t4 = engine.run(&plan, 4).unwrap().iter_time;
+    let rel = ((t2 - t4) / t4).abs();
+    assert!(rel < 0.05, "steady-state iteration time unstable: {t2} vs {t4}");
+}
