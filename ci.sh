@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# Tier-1 CI gate: build, test, formatting, lints. Run from the repo root.
+set -eu
+
+cargo build --release
+cargo test -q
+cargo fmt --check
+cargo clippy --workspace -- -D warnings

@@ -17,7 +17,10 @@ use real_core::real_util::Table;
 use std::time::{Duration, Instant};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| name.contains(a.as_str()));
 
     let ablations: Vec<(&str, fn())> = vec![
@@ -82,26 +85,34 @@ fn search_stages() {
 
     // MCMC without the polish: emulate by cutting the time budget right at
     // the step budget so the polish loop cannot run.
-    let chain_only = search(&est, &space, &McmcConfig {
-        max_steps: u64::MAX,
-        time_limit: Duration::from_secs(6),
-        record_trace: false,
-        seed: 5,
-        ..McmcConfig::default()
-    });
+    let chain_only = search(
+        &est,
+        &space,
+        &McmcConfig {
+            max_steps: u64::MAX,
+            time_limit: Duration::from_secs(6),
+            record_trace: false,
+            seed: 5,
+            ..McmcConfig::default()
+        },
+    );
     table.row(vec![
         "MCMC chain (6s)".into(),
         format!("{:.2}", chain_only.best_time_cost),
         chain_only.feasible.to_string(),
     ]);
 
-    let full = search(&est, &space, &McmcConfig {
-        max_steps: 10_000,
-        time_limit: Duration::from_secs(30),
-        record_trace: false,
-        seed: 5,
-        ..McmcConfig::default()
-    });
+    let full = search(
+        &est,
+        &space,
+        &McmcConfig {
+            max_steps: 10_000,
+            time_limit: Duration::from_secs(30),
+            record_trace: false,
+            seed: 5,
+            ..McmcConfig::default()
+        },
+    );
     table.row(vec![
         "MCMC + polish".into(),
         format!("{:.2}", full.best_time_cost),
@@ -140,7 +151,10 @@ fn jitter_sensitivity() {
     let heuristic = exp.plan_heuristic();
     let mut table = Table::new(vec!["jitter sigma", "iteration (s)"]);
     for sigma in [0.0, 0.02, 0.1] {
-        let cfg = EngineConfig { jitter_sigma: sigma, ..EngineConfig::default() };
+        let cfg = EngineConfig {
+            jitter_sigma: sigma,
+            ..EngineConfig::default()
+        };
         let exp = ppo_experiment(&s).with_engine_config(cfg);
         let t = exp.run(&heuristic, 3).expect("fits").run.iter_time;
         table.row(vec![format!("{sigma}"), format!("{t:.2}")]);
@@ -157,9 +171,16 @@ fn generation_length_skew() {
     let (est, _) = exp.prepare();
     let heuristic = exp.plan_heuristic();
     let estimated = est.time_cost(&heuristic);
-    let mut table = Table::new(vec!["gen-length CV", "measured iter (s)", "estimator rel err"]);
+    let mut table = Table::new(vec![
+        "gen-length CV",
+        "measured iter (s)",
+        "estimator rel err",
+    ]);
     for cv in [0.0, 0.2, 0.5, 1.0] {
-        let cfg = EngineConfig { gen_len_cv: cv, ..EngineConfig::default() };
+        let cfg = EngineConfig {
+            gen_len_cv: cv,
+            ..EngineConfig::default()
+        };
         let exp = ppo_experiment(&s).with_engine_config(cfg);
         let measured = exp.run(&heuristic, 3).expect("fits").run.iter_time;
         let rel = ((estimated - measured) / measured).abs();
@@ -177,7 +198,10 @@ fn generation_length_skew() {
 /// counterfactual cheap). Registered in `main` as `whatif_fabric`.
 fn whatif_fabric() {
     let mut table = Table::new(vec![
-        "inter-node Tbps", "searched tok/s", "heuristic tok/s", "gain",
+        "inter-node Tbps",
+        "searched tok/s",
+        "heuristic tok/s",
+        "gain",
         "gen strategy",
     ]);
     for tbps in [0.8f64, 3.2, 12.8] {
@@ -198,13 +222,21 @@ fn whatif_fabric() {
             ..McmcConfig::default()
         };
         let Ok(planned) = exp.plan_auto(&cfg) else {
-            table.row(vec![format!("{tbps}"), "-".into(), "-".into(), "-".into(), "-".into()]);
+            table.row(vec![
+                format!("{tbps}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         };
         let heuristic = exp.plan_heuristic();
         let searched = exp.run(&planned.plan, 2).expect("fits").tokens_per_sec;
         let baseline = exp.run(&heuristic, 2).expect("fits").tokens_per_sec;
-        let gen = planned.plan.assignment(exp.graph().find("actor_gen").unwrap());
+        let gen = planned
+            .plan
+            .assignment(exp.graph().find("actor_gen").unwrap());
         table.row(vec![
             format!("{tbps}"),
             format!("{searched:.0}"),
@@ -223,10 +255,19 @@ fn extra_algorithms() {
     let cluster = ClusterSpec::h100(2);
     let actor = ModelSpec::llama3_7b();
     let reward = ModelSpec::llama3_7b().critic();
-    let cfg = RlhfConfig { grpo_group: 4, ..RlhfConfig::instruct_gpt(128) };
+    let cfg = RlhfConfig {
+        grpo_group: 4,
+        ..RlhfConfig::instruct_gpt(128)
+    };
     let experiments = vec![
-        ("RAFT", Experiment::raft(cluster.clone(), actor.clone(), reward.clone(), cfg)),
-        ("iterative-DPO", Experiment::iterative_dpo(cluster.clone(), actor.clone(), reward.clone(), cfg)),
+        (
+            "RAFT",
+            Experiment::raft(cluster.clone(), actor.clone(), reward.clone(), cfg),
+        ),
+        (
+            "iterative-DPO",
+            Experiment::iterative_dpo(cluster.clone(), actor.clone(), reward.clone(), cfg),
+        ),
     ];
     let mut table = Table::new(vec!["algorithm", "heuristic tok/s", "ReaL tok/s", "gain"]);
     for (name, exp) in experiments {
@@ -243,8 +284,14 @@ fn extra_algorithms() {
             continue;
         };
         let heuristic = exp.plan_heuristic();
-        let h = exp.run(&heuristic, 2).map(|r| r.tokens_per_sec).unwrap_or(f64::NAN);
-        let r = exp.run(&planned.plan, 2).map(|r| r.tokens_per_sec).unwrap_or(f64::NAN);
+        let h = exp
+            .run(&heuristic, 2)
+            .map(|r| r.tokens_per_sec)
+            .unwrap_or(f64::NAN);
+        let r = exp
+            .run(&planned.plan, 2)
+            .map(|r| r.tokens_per_sec)
+            .unwrap_or(f64::NAN);
         table.row(vec![
             name.to_string(),
             format!("{h:.0}"),

@@ -8,13 +8,19 @@
 //! cluster; the *shapes* (who wins, by what factor, where crossovers fall)
 //! are the reproduction targets recorded in EXPERIMENTS.md.
 
+// Figure tables are ad-hoc row shapes; naming each tuple would obscure them.
+#![allow(clippy::type_complexity)]
+
 use real_bench::{cell, ppo_experiment, save_json, weak_scaling, PlanCache, Setting};
 use real_core::prelude::*;
 use real_util::Table;
 use std::time::{Duration, Instant};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| name.contains(a.as_str()));
 
     let mut cache = PlanCache::new();
@@ -58,8 +64,14 @@ fn breakdown_settings() -> Vec<Setting> {
 
 fn table1_models(_: &mut PlanCache) {
     let mut t = Table::new(vec![
-        "identifier", "hidden", "intermediate", "layers", "heads", "kv-heads",
-        "total params", "params w/o out-embed",
+        "identifier",
+        "hidden",
+        "intermediate",
+        "layers",
+        "heads",
+        "kv-heads",
+        "total params",
+        "params w/o out-embed",
     ]);
     for size in ["7b", "13b", "34b", "70b"] {
         let m = ModelSpec::by_size(size).unwrap();
@@ -91,7 +103,11 @@ fn fig01_timelines(cache: &mut PlanCache) {
         let base = EngineConfig::default();
         let openrlhf = baselines::openrlhf(&s.cluster(), &graph, &base).ok();
         vec![
-            ("symmetric (heuristic)", Some(planned.heuristic.clone()), base.clone()),
+            (
+                "symmetric (heuristic)",
+                Some(planned.heuristic.clone()),
+                base.clone(),
+            ),
             (
                 "asymmetric (OpenRLHF-style)",
                 openrlhf.as_ref().map(|b| b.plan.clone()),
@@ -132,8 +148,14 @@ fn fig01_timelines(cache: &mut PlanCache) {
 
 fn fig07_end2end(cache: &mut PlanCache) {
     let mut table = Table::new(vec![
-        "setting", "DeepSpeed-Chat", "OpenRLHF", "NeMo-Aligner", "veRL",
-        "ReaL-Heuristic", "ReaL", "best speedup",
+        "setting",
+        "DeepSpeed-Chat",
+        "OpenRLHF",
+        "NeMo-Aligner",
+        "veRL",
+        "ReaL-Heuristic",
+        "ReaL",
+        "best speedup",
     ]);
     let mut data: Vec<(String, Vec<(String, Option<f64>)>)> = Vec::new();
     for s in weak_scaling() {
@@ -186,14 +208,22 @@ fn fig07_end2end(cache: &mut PlanCache) {
         );
         data.push((s.name.clone(), row));
     }
-    println!("{table}\n(tokens/s; OOM marks configurations that do not fit, the paper's red crosses)");
+    println!(
+        "{table}\n(tokens/s; OOM marks configurations that do not fit, the paper's red crosses)"
+    );
     save_json("fig07_end2end", &data);
 }
 
 // ----------------------------------------------------------------- Fig. 8
 
 fn fig08_longctx(cache: &mut PlanCache) {
-    let mut table = Table::new(vec!["setting", "ctx", "heuristic tok/s", "ReaL tok/s", "gain"]);
+    let mut table = Table::new(vec![
+        "setting",
+        "ctx",
+        "heuristic tok/s",
+        "ReaL tok/s",
+        "gain",
+    ]);
     let mut data = Vec::new();
     for base_setting in [weak_scaling()[0].clone(), weak_scaling()[3].clone()] {
         for factor in [1u64, 2, 4] {
@@ -233,13 +263,25 @@ fn progressive(cache: &mut PlanCache, s: &Setting, label: &str) -> Vec<(String, 
     let exp = ppo_experiment(s);
     let graph = exp.graph().clone();
     let stages: Vec<(&str, Box<dyn Fn(&CallType) -> bool>)> = vec![
-        ("+ generation plan", Box::new(|c: &CallType| matches!(c, CallType::Generate { .. }))),
-        ("+ training plans", Box::new(|c: &CallType| matches!(c, CallType::TrainStep { .. }))),
-        ("+ inference plans", Box::new(|c: &CallType| matches!(c, CallType::Inference { .. }))),
+        (
+            "+ generation plan",
+            Box::new(|c: &CallType| matches!(c, CallType::Generate { .. })),
+        ),
+        (
+            "+ training plans",
+            Box::new(|c: &CallType| matches!(c, CallType::TrainStep { .. })),
+        ),
+        (
+            "+ inference plans",
+            Box::new(|c: &CallType| matches!(c, CallType::Inference { .. })),
+        ),
     ];
 
     let mut rows = Vec::new();
-    let no_graph = EngineConfig { cuda_graph: false, ..EngineConfig::default() };
+    let no_graph = EngineConfig {
+        cuda_graph: false,
+        ..EngineConfig::default()
+    };
     if let Some(r) = cache.run(s, &planned.heuristic, no_graph, 2) {
         rows.push(("heuristic (no CUDA graphs)".to_string(), r.run.iter_time));
     }
@@ -250,7 +292,10 @@ fn progressive(cache: &mut PlanCache, s: &Setting, label: &str) -> Vec<(String, 
     // Intermediate mixes of heuristic and searched assignments are
     // synthetic waypoints, not launchable plans; their memory peaks are
     // transitional, so the check is skipped (endpoints are real plans).
-    let relaxed = EngineConfig { skip_mem_check: true, ..EngineConfig::default() };
+    let relaxed = EngineConfig {
+        skip_mem_check: true,
+        ..EngineConfig::default()
+    };
     for (name, selector) in stages {
         for (id, def) in graph.iter() {
             if selector(&def.call_type) {
@@ -276,12 +321,13 @@ fn progressive(cache: &mut PlanCache, s: &Setting, label: &str) -> Vec<(String, 
 
 fn fig02_opportunity(cache: &mut PlanCache) {
     let s = weak_scaling()[3].clone();
-    let rows = progressive(cache, &s, "Fig. 2: optimization opportunity over 3D parallelism");
+    let rows = progressive(
+        cache,
+        &s,
+        "Fig. 2: optimization opportunity over 3D parallelism",
+    );
     if let (Some(first), Some(last)) = (rows.first(), rows.last()) {
-        println!(
-            "end-to-end improvement: {:.2}x",
-            first.1 / last.1
-        );
+        println!("end-to-end improvement: {:.2}x", first.1 / last.1);
     }
     save_json("fig02_opportunity", &rows);
 }
@@ -301,8 +347,14 @@ fn fig10_traces(cache: &mut PlanCache) {
     let s = weak_scaling()[0].clone();
     let planned = cache.plan(&s).clone();
     let mut data = Vec::new();
-    for (name, plan) in [("ReaL", &planned.searched), ("heuristic", &planned.heuristic)] {
-        let cfg = EngineConfig { trace_capacity: 200_000, ..EngineConfig::default() };
+    for (name, plan) in [
+        ("ReaL", &planned.searched),
+        ("heuristic", &planned.heuristic),
+    ] {
+        let cfg = EngineConfig {
+            trace_capacity: 200_000,
+            ..EngineConfig::default()
+        };
         let Some(report) = cache.run(&s, plan, cfg, 1) else {
             continue;
         };
@@ -320,18 +372,31 @@ fn fig10_traces(cache: &mut PlanCache) {
 
 fn fig11_kernelstats(cache: &mut PlanCache) {
     let mut table = Table::new(vec![
-        "setting", "plan", "compute", "tp-comm", "pp-comm", "dp-comm", "launch", "realloc+xfer",
+        "setting",
+        "plan",
+        "compute",
+        "tp-comm",
+        "pp-comm",
+        "dp-comm",
+        "launch",
+        "realloc+xfer",
     ]);
     let mut data = Vec::new();
     for s in breakdown_settings() {
         let planned = cache.plan(&s).clone();
-        for (name, plan) in [("ReaL", &planned.searched), ("heuristic", &planned.heuristic)] {
+        for (name, plan) in [
+            ("ReaL", &planned.searched),
+            ("heuristic", &planned.heuristic),
+        ] {
             let Some(report) = cache.run(&s, plan, EngineConfig::default(), 2) else {
                 continue;
             };
             let frac = report.run.category_fractions();
             let get = |c: Category| {
-                frac.iter().find(|(k, _)| *k == c).map(|(_, f)| *f).unwrap_or(0.0)
+                frac.iter()
+                    .find(|(k, _)| *k == c)
+                    .map(|(_, f)| *f)
+                    .unwrap_or(0.0)
             };
             table.row(vec![
                 s.name.clone(),
@@ -375,7 +440,13 @@ fn fig12_estimator(cache: &mut PlanCache) {
 
     // Right: estimated vs simulated-run time for searched and heuristic
     // plans in every weak-scaling setting.
-    let mut right = Table::new(vec!["setting", "plan", "estimated (s)", "measured (s)", "rel err"]);
+    let mut right = Table::new(vec![
+        "setting",
+        "plan",
+        "estimated (s)",
+        "measured (s)",
+        "rel err",
+    ]);
     let mut right_data = Vec::new();
     let mut ordering_ok = true;
     for s in weak_scaling() {
@@ -383,7 +454,10 @@ fn fig12_estimator(cache: &mut PlanCache) {
         let exp = ppo_experiment(&s);
         let (est, _) = exp.prepare();
         let mut pair = Vec::new();
-        for (name, plan) in [("ReaL", &planned.searched), ("heuristic", &planned.heuristic)] {
+        for (name, plan) in [
+            ("ReaL", &planned.searched),
+            ("heuristic", &planned.heuristic),
+        ] {
             let estimated = est.time_cost(plan);
             let measured = cache
                 .run(&s, plan, EngineConfig::default(), 2)
@@ -447,10 +521,17 @@ fn fig14_pruning(_: &mut PlanCache) {
     let (est, _) = exp.prepare();
 
     let mut table = Table::new(vec![
-        "prune level", "log10(plans)", "best TimeCost after budget (s)", "feasible",
+        "prune level",
+        "log10(plans)",
+        "best TimeCost after budget (s)",
+        "feasible",
     ]);
     let mut data = Vec::new();
-    for level in [PruneLevel::Aggressive, PruneLevel::Moderate, PruneLevel::Light] {
+    for level in [
+        PruneLevel::Aggressive,
+        PruneLevel::Moderate,
+        PruneLevel::Light,
+    ] {
         let space = SearchSpace::build(&cluster, &graph, level);
         let cfg = McmcConfig {
             max_steps: 8_000,
@@ -465,7 +546,11 @@ fn fig14_pruning(_: &mut PlanCache) {
             format!("{:.1}", result.best_time_cost),
             result.feasible.to_string(),
         ]);
-        data.push((format!("{level:?}"), space.log10_size(), result.best_time_cost));
+        data.push((
+            format!("{level:?}"),
+            space.log10_size(),
+            result.best_time_cost,
+        ));
     }
     println!("{table}\n(tighter pruning → faster convergence at 1024 GPUs)");
     save_json("fig14_pruning", &data);
@@ -476,7 +561,10 @@ fn fig14_pruning(_: &mut PlanCache) {
 fn fig15_optimality(_: &mut PlanCache) {
     let cases = vec![
         ("bs64/ctx2048", RlhfConfig::instruct_gpt(64)),
-        ("bs128/ctx1024", RlhfConfig::instruct_gpt(128).with_context_scale(1)),
+        (
+            "bs128/ctx1024",
+            RlhfConfig::instruct_gpt(128).with_context_scale(1),
+        ),
         ("bs32/ctx4096", {
             let mut c = RlhfConfig::instruct_gpt(128);
             c = c.with_context_scale(4);
@@ -484,7 +572,11 @@ fn fig15_optimality(_: &mut PlanCache) {
         }),
     ];
     let mut table = Table::new(vec![
-        "setting", "budget", "MCMC best (s)", "brute-force optimum (s)", "ratio",
+        "setting",
+        "budget",
+        "MCMC best (s)",
+        "brute-force optimum (s)",
+        "ratio",
     ]);
     let mut data = Vec::new();
     for (name, mut cfg) in cases {
@@ -504,7 +596,10 @@ fn fig15_optimality(_: &mut PlanCache) {
         let brute = brute_force(
             &est,
             &space,
-            &BruteConfig { top_k: 6, time_limit: Duration::from_secs(180) },
+            &BruteConfig {
+                top_k: 6,
+                time_limit: Duration::from_secs(180),
+            },
         );
         for steps in [200u64, 2_000, 20_000] {
             let cfg = McmcConfig {
@@ -521,7 +616,12 @@ fn fig15_optimality(_: &mut PlanCache) {
                 format!("{:.2}", brute.best_time_cost),
                 format!("{:.3}", brute.best_time_cost / r.best_time_cost),
             ]);
-            data.push((name.to_string(), steps, r.best_time_cost, brute.best_time_cost));
+            data.push((
+                name.to_string(),
+                steps,
+                r.best_time_cost,
+                brute.best_time_cost,
+            ));
         }
     }
     println!("{table}\n(ratio ≥ ~0.95 reproduces the paper's near-optimality claim; MCMC searches the full pruned space and may beat the truncated brute force)");
@@ -535,12 +635,21 @@ fn fig16_algorithms(_: &mut PlanCache) {
     let actor = ModelSpec::llama3_70b();
     let reward = ModelSpec::llama3_7b().critic();
     let cfg = RlhfConfig::instruct_gpt(512);
-    let grpo_cfg = RlhfConfig { grpo_group: 8, ..RlhfConfig::instruct_gpt(64) };
+    let grpo_cfg = RlhfConfig {
+        grpo_group: 8,
+        ..RlhfConfig::instruct_gpt(64)
+    };
 
     let experiments = vec![
         ("DPO", Experiment::dpo(cluster.clone(), actor.clone(), cfg)),
-        ("ReMax", Experiment::remax(cluster.clone(), actor.clone(), reward.clone(), cfg)),
-        ("GRPO", Experiment::grpo(cluster.clone(), actor.clone(), reward.clone(), grpo_cfg)),
+        (
+            "ReMax",
+            Experiment::remax(cluster.clone(), actor.clone(), reward.clone(), cfg),
+        ),
+        (
+            "GRPO",
+            Experiment::grpo(cluster.clone(), actor.clone(), reward.clone(), grpo_cfg),
+        ),
     ];
     let mut table = Table::new(vec!["algorithm", "heuristic tok/s", "ReaL tok/s", "gain"]);
     let mut data = Vec::new();
@@ -577,7 +686,11 @@ fn fig16_algorithms(_: &mut PlanCache) {
 
 fn fig17_scaling(cache: &mut PlanCache) {
     let mut table = Table::new(vec![
-        "actor", "GPUs", "tok/s", "scaling vs half", "static mem util",
+        "actor",
+        "GPUs",
+        "tok/s",
+        "scaling vs half",
+        "static mem util",
     ]);
     let mut data = Vec::new();
     for (size, node_range) in [
@@ -590,8 +703,7 @@ fn fig17_scaling(cache: &mut PlanCache) {
         for nodes in node_range {
             let s = Setting::new(nodes, ModelSpec::by_size(size).unwrap(), 512);
             let planned = cache.plan(&s).clone();
-            let Some(report) = cache.run(&s, &planned.searched, EngineConfig::default(), 2)
-            else {
+            let Some(report) = cache.run(&s, &planned.searched, EngineConfig::default(), 2) else {
                 continue;
             };
             let tput = report.tokens_per_sec;
@@ -605,7 +717,12 @@ fn fig17_scaling(cache: &mut PlanCache) {
                 scaling,
                 format!("{:.0}%", report.run.static_utilization * 100.0),
             ]);
-            data.push((size.to_string(), nodes * 8, tput, report.run.static_utilization));
+            data.push((
+                size.to_string(),
+                nodes * 8,
+                tput,
+                report.run.static_utilization,
+            ));
             prev = Some(tput);
         }
     }
@@ -632,7 +749,13 @@ fn table6_breakdown(cache: &mut PlanCache) {
     let mut data = Vec::new();
     for s in breakdown_settings() {
         let planned = cache.plan(&s).clone();
-        let mut table = Table::new(vec!["call", "ReaL", "heuristic", "ReaL (no graphs)", "heuristic (no graphs)"]);
+        let mut table = Table::new(vec![
+            "call",
+            "ReaL",
+            "heuristic",
+            "ReaL (no graphs)",
+            "heuristic (no graphs)",
+        ]);
         let configs = [
             ("ReaL", &planned.searched, true),
             ("heuristic", &planned.heuristic, true),
@@ -641,7 +764,10 @@ fn table6_breakdown(cache: &mut PlanCache) {
         ];
         let mut reports = Vec::new();
         for (_, plan, graphed) in configs {
-            let cfg = EngineConfig { cuda_graph: graphed, ..EngineConfig::default() };
+            let cfg = EngineConfig {
+                cuda_graph: graphed,
+                ..EngineConfig::default()
+            };
             reports.push(cache.run(&s, plan, cfg, 2));
         }
         let names: Vec<String> = ppo_experiment(&s)
@@ -670,7 +796,11 @@ fn table6_breakdown(cache: &mut PlanCache) {
                     .unwrap_or_else(|| "OOM".into())
             })
             .collect();
-        table.row(std::iter::once("end2end".to_string()).chain(e2e.clone()).collect());
+        table.row(
+            std::iter::once("end2end".to_string())
+                .chain(e2e.clone())
+                .collect(),
+        );
         println!("--- {} wall-time breakdown (s) ---\n{table}", s.name);
         data.push((s.name.clone(), e2e));
     }

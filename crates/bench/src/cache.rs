@@ -59,7 +59,10 @@ impl PlanCache {
         let cfg = self.mcmc_config();
         self.entries.entry(s.name.clone()).or_insert_with(|| {
             let exp = ppo_experiment(s);
-            let chains = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+            let chains = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(8);
             let planned = exp
                 .plan_auto_parallel(&cfg, chains)
                 .unwrap_or_else(|e| panic!("no feasible plan for {}: {e}", s.name));

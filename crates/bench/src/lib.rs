@@ -17,8 +17,7 @@ use std::path::PathBuf;
 
 /// Directory where figure data is persisted.
 pub fn figures_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/figures");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/figures");
     fs::create_dir_all(&dir).expect("can create target/figures");
     dir
 }

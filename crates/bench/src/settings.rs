@@ -66,8 +66,7 @@ pub fn weak_scaling() -> Vec<Setting> {
 /// A PPO experiment for a setting, with the harness defaults (full
 /// profiling grid, aggressive pruning).
 pub fn ppo_experiment(s: &Setting) -> Experiment {
-    Experiment::ppo(s.cluster(), s.actor.clone(), s.critic.clone(), s.cfg)
-        .with_seed(17)
+    Experiment::ppo(s.cluster(), s.actor.clone(), s.critic.clone(), s.cfg).with_seed(17)
 }
 
 #[cfg(test)]

@@ -36,7 +36,11 @@ impl fmt::Display for ArgError {
             ArgError::MissingCommand => write!(f, "missing subcommand; try `real help`"),
             ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
             ArgError::Unexpected(arg) => write!(f, "unexpected argument: {arg}"),
-            ArgError::BadValue { flag, value, expected } => {
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
                 write!(f, "--{flag}: cannot parse {value:?} as {expected}")
             }
         }
@@ -46,7 +50,13 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["no-cuda-graph", "quick-profile", "json", "heuristic", "explain"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "no-cuda-graph",
+    "quick-profile",
+    "json",
+    "heuristic",
+    "explain",
+];
 
 impl Args {
     /// Parses `argv` (without the program name).
@@ -91,7 +101,10 @@ impl Args {
 
     /// A string flag with a default.
     pub fn str_or(&self, flag: &str, default: &str) -> String {
-        self.flags.get(flag).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(flag)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// An optional string flag.
@@ -150,8 +163,14 @@ mod tests {
 
     #[test]
     fn missing_command_rejected() {
-        assert_eq!(Args::parse(Vec::<String>::new()).unwrap_err(), ArgError::MissingCommand);
-        assert_eq!(Args::parse(["--nodes"]).unwrap_err(), ArgError::MissingCommand);
+        assert_eq!(
+            Args::parse(Vec::<String>::new()).unwrap_err(),
+            ArgError::MissingCommand
+        );
+        assert_eq!(
+            Args::parse(["--nodes"]).unwrap_err(),
+            ArgError::MissingCommand
+        );
     }
 
     #[test]
@@ -171,6 +190,9 @@ mod tests {
     #[test]
     fn bad_numeric_value() {
         let a = Args::parse(["plan", "--nodes", "two"]).unwrap();
-        assert!(matches!(a.num_or("nodes", 1u32), Err(ArgError::BadValue { .. })));
+        assert!(matches!(
+            a.num_or("nodes", 1u32),
+            Err(ArgError::BadValue { .. })
+        ));
     }
 }

@@ -72,6 +72,7 @@ COMMANDS:
   profile     profile a model family (--out db.json to save it)
   estimate    per-call estimates + memory for a plan, without running it
   advise      sweep cluster sizes 1..--max-nodes, recommend one (§8.4)
+  stats       pretty-print a metrics snapshot JSON (--file metrics.json)
   models      print the Table 1 model configurations
   help        this text
 
@@ -96,7 +97,9 @@ RUN FLAGS:
   --plan FILE      execute a saved plan JSON
   --heuristic      execute the symmetric REAL-Heuristic plan
   --no-cuda-graph  disable CUDA-graph generation
-  --trace FILE     write a Chrome-trace JSON of the run
+  --trace FILE     write a Chrome/Perfetto trace JSON of the run
+  --metrics FILE   write a metrics snapshot JSON (runtime + search telemetry;
+                   also accepted by estimate for Algorithm-1 queue telemetry)
   --quick-profile  reduced profiling grid (faster, coarser)
   --profile-db F   comma-separated saved profile JSONs to reuse
 ";
@@ -114,7 +117,7 @@ pub fn experiment_from(args: &Args) -> Result<Experiment, CliError> {
     let critic = model_flag(args, "critic")?.critic();
     let batch: u64 = args.num_or("batch", 128)?;
     let ctx_scale: u64 = args.num_or("ctx-scale", 1)?;
-    if ctx_scale == 0 || batch % ctx_scale != 0 {
+    if ctx_scale == 0 || !batch.is_multiple_of(ctx_scale) {
         return Err(CliError::Invalid(format!(
             "--ctx-scale {ctx_scale} must be positive and divide --batch {batch}"
         )));
@@ -146,8 +149,10 @@ pub fn experiment_from(args: &Args) -> Result<Experiment, CliError> {
         }
         exp = exp.with_profiles(profiles);
     }
-    let mut engine = EngineConfig::default();
-    engine.seed = args.num_or("seed", 1)?;
+    let mut engine = EngineConfig {
+        seed: args.num_or("seed", 1)?,
+        ..EngineConfig::default()
+    };
     if args.flag("no-cuda-graph") {
         engine.cuda_graph = false;
     }
@@ -159,8 +164,9 @@ pub fn experiment_from(args: &Args) -> Result<Experiment, CliError> {
 
 fn model_flag(args: &Args, flag: &str) -> Result<ModelSpec, CliError> {
     let size = args.str_or(flag, "7b");
-    ModelSpec::by_size(&size)
-        .ok_or_else(|| CliError::Invalid(format!("unknown --{flag} {size}; expected 7b|13b|34b|70b")))
+    ModelSpec::by_size(&size).ok_or_else(|| {
+        CliError::Invalid(format!("unknown --{flag} {size}; expected 7b|13b|34b|70b"))
+    })
 }
 
 /// Search configuration from flags.
@@ -215,25 +221,32 @@ pub fn cmd_plan(args: &Args) -> Result<String, CliError> {
 /// `real run`
 pub fn cmd_run(args: &Args) -> Result<String, CliError> {
     let exp = experiment_from(args)?;
+    let mut search: Option<SearchResult> = None;
     let plan: ExecutionPlan = if let Some(path) = args.str_opt("plan") {
         serde_json::from_str(&std::fs::read_to_string(path)?)?
     } else if args.flag("heuristic") {
         exp.plan_heuristic()
     } else {
         let (cfg, chains) = mcmc_from(args)?;
-        if chains > 1 {
+        let planned = if chains > 1 {
             exp.plan_auto_parallel(&cfg, chains)
         } else {
             exp.plan_auto(&cfg)
         }
-        .map_err(|_| CliError::NoFeasiblePlan)?
-        .plan
+        .map_err(|_| CliError::NoFeasiblePlan)?;
+        let plan = planned.plan;
+        search = Some(planned.search);
+        plan
     };
     let iters: usize = args.num_or("iters", 2)?;
     let report = exp.run(&plan, iters)?;
     if let Some(path) = args.str_opt("trace") {
-        let json = real_core::real_sim::trace::to_chrome_trace(&report.run.trace);
-        std::fs::write(path, json)?;
+        let stream = exp.event_stream(&report);
+        std::fs::write(path, real_core::real_obs::chrome::to_chrome_string(&stream))?;
+    }
+    if let Some(path) = args.str_opt("metrics") {
+        let metrics = exp.metrics(&report, search.as_ref());
+        std::fs::write(path, serde_json::to_string_pretty(&metrics.snapshot())?)?;
     }
     Ok(report.render(exp.graph()))
 }
@@ -242,7 +255,9 @@ pub fn cmd_run(args: &Args) -> Result<String, CliError> {
 pub fn cmd_baselines(args: &Args) -> Result<String, CliError> {
     let exp = experiment_from(args)?;
     if args.str_or("algo", "ppo") != "ppo" {
-        return Err(CliError::Invalid("baselines are defined for --algo ppo".into()));
+        return Err(CliError::Invalid(
+            "baselines are defined for --algo ppo".into(),
+        ));
     }
     let cluster = exp.cluster().clone();
     let graph = exp.graph().clone();
@@ -296,7 +311,11 @@ pub fn cmd_profile(args: &Args) -> Result<String, CliError> {
     } else {
         ProfileConfig::paper()
     };
-    let mut profiler = Profiler::new(ClusterSpec::h100(nodes.max(1)), config, args.num_or("seed", 1)?);
+    let mut profiler = Profiler::new(
+        ClusterSpec::h100(nodes.max(1)),
+        config,
+        args.num_or("seed", 1)?,
+    );
     let db = profiler.profile(&model);
     if let Some(path) = args.str_opt("out") {
         std::fs::write(path, serde_json::to_string(&db)?)?;
@@ -329,14 +348,98 @@ pub fn cmd_estimate(args: &Args) -> Result<String, CliError> {
             format!("{:.2}", est.call_duration(id, a)),
         ]);
     }
+    // When a metrics snapshot is requested, run the instrumented Algorithm 1
+    // so the printed TimeCost and the recorded queue telemetry agree.
+    let time_cost = if let Some(path) = args.str_opt("metrics") {
+        let mut metrics = MetricsRegistry::new();
+        let cost = est.time_cost_instrumented(&plan, &mut metrics);
+        metrics.gauge_set("estimator/max_mem_bytes", &[], est.max_mem(&plan) as f64);
+        std::fs::write(path, serde_json::to_string_pretty(&metrics.snapshot())?)?;
+        cost
+    } else {
+        est.time_cost(&plan)
+    };
     Ok(format!(
         "{}\nTimeCost {:.2}s; MaxMem {} (capacity {}); feasible: {}\n",
         t.render(),
-        est.time_cost(&plan),
+        time_cost,
         real_util::units::fmt_bytes(est.max_mem(&plan)),
         real_util::units::fmt_bytes(exp.cluster().gpu.mem_capacity),
         est.mem_ok(&plan),
     ))
+}
+
+/// Formats a label set as `{k=v,k2=v2}` (empty string when unlabelled).
+fn fmt_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+/// `real stats`: pretty-print a metrics snapshot written by
+/// `real run --metrics` or `real estimate --metrics`.
+pub fn cmd_stats(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .str_opt("file")
+        .ok_or_else(|| CliError::Invalid("stats needs --file metrics.json".into()))?;
+    let snap: MetricsSnapshot = serde_json::from_str(&std::fs::read_to_string(path)?)?;
+    Ok(render_stats(&snap))
+}
+
+/// Renders a [`MetricsSnapshot`] as `real-util` tables: one for scalar
+/// metrics (counters and gauges), one per distribution kind.
+fn render_stats(snap: &MetricsSnapshot) -> String {
+    use real_core::real_obs::MetricValue;
+
+    let mut scalars = real_util::Table::new(vec!["metric", "kind", "value"]);
+    let mut histograms = real_util::Table::new(vec!["histogram", "count", "mean", "sum"]);
+    let mut series = real_util::Table::new(vec!["series", "points", "dropped", "last"]);
+    let (mut n_scalar, mut n_hist, mut n_series) = (0usize, 0usize, 0usize);
+    for entry in &snap.metrics {
+        let name = format!("{}{}", entry.name, fmt_labels(&entry.labels));
+        match &entry.value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                n_scalar += 1;
+                scalars.row(vec![name, entry.value.kind().into(), format!("{v:.6}")]);
+            }
+            MetricValue::Histogram(h) => {
+                n_hist += 1;
+                histograms.row(vec![
+                    name,
+                    h.count().to_string(),
+                    format!("{:.4}", h.mean()),
+                    format!("{:.4}", h.sum()),
+                ]);
+            }
+            MetricValue::Series(s) => {
+                n_series += 1;
+                series.row(vec![
+                    name,
+                    s.points().len().to_string(),
+                    s.dropped().to_string(),
+                    s.last_y().map_or_else(|| "-".into(), |y| format!("{y:.4}")),
+                ]);
+            }
+        }
+    }
+    let mut out = String::new();
+    if n_scalar > 0 {
+        out.push_str(&scalars.render());
+    }
+    if n_hist > 0 {
+        out.push('\n');
+        out.push_str(&histograms.render());
+    }
+    if n_series > 0 {
+        out.push('\n');
+        out.push_str(&series.render());
+    }
+    if out.is_empty() {
+        out.push_str("no metrics in snapshot\n");
+    }
+    out
 }
 
 /// `real advise`: sweep candidate cluster sizes and recommend one (§8.4).
@@ -367,7 +470,14 @@ pub fn cmd_advise(args: &Args) -> Result<String, CliError> {
 /// `real models`
 pub fn cmd_models() -> String {
     let mut t = real_util::Table::new(vec![
-        "id", "hidden", "intermediate", "layers", "heads", "kv", "params", "params w/o out-embed",
+        "id",
+        "hidden",
+        "intermediate",
+        "layers",
+        "heads",
+        "kv",
+        "params",
+        "params w/o out-embed",
     ]);
     for size in ["7b", "13b", "34b", "70b"] {
         let m = ModelSpec::by_size(size).expect("preset exists");
@@ -394,6 +504,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "profile" => cmd_profile(args),
         "estimate" => cmd_estimate(args),
         "advise" => cmd_advise(args),
+        "stats" => cmd_stats(args),
         "models" => Ok(cmd_models()),
         "help" => Ok(USAGE.to_string()),
         other => Err(CliError::Invalid(format!(
@@ -438,16 +549,34 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let plan_path = dir.join("plan.json");
         let argv = [
-            "plan", "--nodes", "1", "--batch", "32", "--steps", "300", "--time", "10",
-            "--quick-profile", "--out", plan_path.to_str().unwrap(),
+            "plan",
+            "--nodes",
+            "1",
+            "--batch",
+            "32",
+            "--steps",
+            "300",
+            "--time",
+            "10",
+            "--quick-profile",
+            "--out",
+            plan_path.to_str().unwrap(),
         ];
         let out = cmd_plan(&parse(&argv)).unwrap();
         assert!(out.contains("actor_gen"));
         assert!(plan_path.is_file());
 
         let argv = [
-            "run", "--nodes", "1", "--batch", "32", "--iters", "1", "--quick-profile",
-            "--plan", plan_path.to_str().unwrap(),
+            "run",
+            "--nodes",
+            "1",
+            "--batch",
+            "32",
+            "--iters",
+            "1",
+            "--quick-profile",
+            "--plan",
+            plan_path.to_str().unwrap(),
         ];
         let out = cmd_run(&parse(&argv)).unwrap();
         assert!(out.contains("throughput"));
@@ -455,8 +584,17 @@ mod tests {
 
     #[test]
     fn heuristic_run_works() {
-        let argv = ["run", "--nodes", "1", "--batch", "32", "--iters", "1",
-                    "--quick-profile", "--heuristic"];
+        let argv = [
+            "run",
+            "--nodes",
+            "1",
+            "--batch",
+            "32",
+            "--iters",
+            "1",
+            "--quick-profile",
+            "--heuristic",
+        ];
         let out = cmd_run(&parse(&argv)).unwrap();
         assert!(out.contains("end2end"));
     }
@@ -467,34 +605,162 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let a = dir.join("7b.json");
         let c = dir.join("7bc.json");
-        cmd_profile(&parse(&["profile", "--model", "7b", "--quick-profile",
-                             "--out", a.to_str().unwrap()])).unwrap();
+        cmd_profile(&parse(&[
+            "profile",
+            "--model",
+            "7b",
+            "--quick-profile",
+            "--out",
+            a.to_str().unwrap(),
+        ]))
+        .unwrap();
         // Profile the critic architecture via a tiny plan run that saves it.
-        let mut profiler = Profiler::new(
-            ClusterSpec::h100(1), ProfileConfig::quick(), 1);
+        let mut profiler = Profiler::new(ClusterSpec::h100(1), ProfileConfig::quick(), 1);
         let db = profiler.profile(&ModelSpec::llama3_7b().critic());
         std::fs::write(&c, serde_json::to_string(&db).unwrap()).unwrap();
 
         let dbs = format!("{},{}", a.to_str().unwrap(), c.to_str().unwrap());
-        let out = cmd_estimate(&parse(&["estimate", "--nodes", "1", "--batch", "32",
-                                        "--quick-profile", "--profile-db", &dbs])).unwrap();
+        let out = cmd_estimate(&parse(&[
+            "estimate",
+            "--nodes",
+            "1",
+            "--batch",
+            "32",
+            "--quick-profile",
+            "--profile-db",
+            &dbs,
+        ]))
+        .unwrap();
         assert!(out.contains("TimeCost"));
         assert!(out.contains("feasible: true"));
     }
 
     #[test]
     fn estimate_without_plan_uses_heuristic() {
-        let out = cmd_estimate(&parse(&["estimate", "--nodes", "1", "--batch", "32",
-                                        "--quick-profile"])).unwrap();
+        let out = cmd_estimate(&parse(&[
+            "estimate",
+            "--nodes",
+            "1",
+            "--batch",
+            "32",
+            "--quick-profile",
+        ]))
+        .unwrap();
         assert!(out.contains("actor_gen"));
         assert!(out.contains("MaxMem"));
     }
 
     #[test]
+    fn run_writes_trace_and_metrics_and_stats_prints_them() {
+        let dir = std::env::temp_dir().join("real-cli-obs");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.json");
+        let metrics_path = dir.join("metrics.json");
+        let argv = [
+            "run",
+            "--nodes",
+            "1",
+            "--batch",
+            "32",
+            "--iters",
+            "1",
+            "--quick-profile",
+            "--steps",
+            "300",
+            "--time",
+            "10",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--metrics",
+            metrics_path.to_str().unwrap(),
+        ];
+        let out = cmd_run(&parse(&argv)).unwrap();
+        assert!(out.contains("throughput"));
+
+        // The trace parses with serde_json and contains lane metadata,
+        // nested spans, counter tracks, and flow arrows.
+        let trace: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+        let events = trace.as_array().unwrap();
+        for ph in ["M", "B", "E", "C", "s", "f"] {
+            assert!(
+                events.iter().any(|e| e["ph"].as_str() == Some(ph)),
+                "missing phase {ph}"
+            );
+        }
+        assert!(events
+            .iter()
+            .any(|e| e["name"].as_str() == Some("mem/node0/gpu0")));
+
+        // The metrics snapshot covers both the run and the MCMC search.
+        let snap: MetricsSnapshot =
+            serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        assert!(snap
+            .metrics
+            .iter()
+            .any(|e| e.name == "runtime/category_seconds"));
+        assert!(snap.metrics.iter().any(|e| e.name == "search/steps"));
+        assert!(snap.metrics.iter().any(|e| e.name == "search/energy"));
+
+        let stats =
+            cmd_stats(&parse(&["stats", "--file", metrics_path.to_str().unwrap()])).unwrap();
+        assert!(stats.contains("runtime/iterations"));
+        assert!(stats.contains("search/acceptance_rate"));
+        assert!(stats.contains("search/energy"));
+    }
+
+    #[test]
+    fn estimate_writes_algorithm1_metrics() {
+        let dir = std::env::temp_dir().join("real-cli-obs");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics_path = dir.join("estimate.json");
+        let out = cmd_estimate(&parse(&[
+            "estimate",
+            "--nodes",
+            "1",
+            "--batch",
+            "32",
+            "--quick-profile",
+            "--metrics",
+            metrics_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("TimeCost"));
+        let snap: MetricsSnapshot =
+            serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        assert!(snap
+            .metrics
+            .iter()
+            .any(|e| e.name == "estimator/queue_pops"));
+        assert!(snap
+            .metrics
+            .iter()
+            .any(|e| e.name == "estimator/makespan_seconds"));
+    }
+
+    #[test]
+    fn stats_requires_file_flag() {
+        assert!(matches!(
+            cmd_stats(&parse(&["stats"])),
+            Err(CliError::Invalid(_))
+        ));
+    }
+
+    #[test]
     fn advise_sweeps_and_recommends() {
-        let out = cmd_advise(&parse(&["advise", "--max-nodes", "2", "--batch", "64",
-                                      "--steps", "400", "--time", "10",
-                                      "--quick-profile"])).unwrap();
+        let out = cmd_advise(&parse(&[
+            "advise",
+            "--max-nodes",
+            "2",
+            "--batch",
+            "64",
+            "--steps",
+            "400",
+            "--time",
+            "10",
+            "--quick-profile",
+        ]))
+        .unwrap();
         assert!(out.contains("recommendation"));
         assert!(out.contains("nodes"));
     }

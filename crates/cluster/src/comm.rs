@@ -38,9 +38,20 @@ impl CommModel {
     ///
     /// Panics if a bandwidth is non-positive or a latency negative.
     pub fn from_parameters(bw_intra: f64, bw_inter: f64, lat_intra: f64, lat_inter: f64) -> Self {
-        assert!(bw_intra > 0.0 && bw_inter > 0.0, "bandwidths must be positive");
-        assert!(lat_intra >= 0.0 && lat_inter >= 0.0, "latencies must be non-negative");
-        Self { bw_intra, bw_inter, lat_intra, lat_inter }
+        assert!(
+            bw_intra > 0.0 && bw_inter > 0.0,
+            "bandwidths must be positive"
+        );
+        assert!(
+            lat_intra >= 0.0 && lat_inter >= 0.0,
+            "latencies must be non-negative"
+        );
+        Self {
+            bw_intra,
+            bw_inter,
+            lat_intra,
+            lat_inter,
+        }
     }
 
     fn link(&self, within_node: bool) -> (f64, f64) {

@@ -72,7 +72,11 @@ impl GpuSpec {
     /// Roofline kernel time: the max of the compute and memory-IO components
     /// plus the launch overhead (zero when `cuda_graph` is set).
     pub fn kernel_time(&self, flops: f64, bytes: f64, cuda_graph: bool) -> f64 {
-        let overhead = if cuda_graph { 0.0 } else { self.launch_overhead };
+        let overhead = if cuda_graph {
+            0.0
+        } else {
+            self.launch_overhead
+        };
         self.compute_time(flops).max(self.mem_io_time(bytes)) + overhead
     }
 }
@@ -90,19 +94,31 @@ impl Default for GpuSpec {
 /// Returns a message describing the first invalid field.
 pub fn validate(spec: &GpuSpec) -> Result<(), String> {
     if spec.peak_flops_bf16 <= 0.0 {
-        return Err(format!("peak_flops_bf16 must be positive, got {}", spec.peak_flops_bf16));
+        return Err(format!(
+            "peak_flops_bf16 must be positive, got {}",
+            spec.peak_flops_bf16
+        ));
     }
     if !(0.0..=1.0).contains(&spec.gemm_efficiency) || spec.gemm_efficiency == 0.0 {
-        return Err(format!("gemm_efficiency must be in (0, 1], got {}", spec.gemm_efficiency));
+        return Err(format!(
+            "gemm_efficiency must be in (0, 1], got {}",
+            spec.gemm_efficiency
+        ));
     }
     if spec.hbm_bw <= 0.0 {
         return Err(format!("hbm_bw must be positive, got {}", spec.hbm_bw));
     }
     if spec.mem_capacity < GB as u64 {
-        return Err(format!("mem_capacity suspiciously small: {}", spec.mem_capacity));
+        return Err(format!(
+            "mem_capacity suspiciously small: {}",
+            spec.mem_capacity
+        ));
     }
     if spec.launch_overhead < 0.0 {
-        return Err(format!("launch_overhead must be non-negative, got {}", spec.launch_overhead));
+        return Err(format!(
+            "launch_overhead must be non-negative, got {}",
+            spec.launch_overhead
+        ));
     }
     Ok(())
 }

@@ -94,7 +94,7 @@ impl DeviceMesh {
                 "sub-node width {width} must be a power of two < {m}"
             )));
         }
-        if gpu_start % width != 0 || gpu_start + width > m {
+        if !gpu_start.is_multiple_of(width) || gpu_start + width > m {
             return Err(MeshError::InvalidShape(format!(
                 "slice [{gpu_start}, {}) misaligned for width {width}",
                 gpu_start + width
@@ -125,7 +125,7 @@ impl DeviceMesh {
                 "node count {count} must be a positive power of two"
             )));
         }
-        if node_start % count != 0 {
+        if !node_start.is_multiple_of(count) {
             return Err(MeshError::InvalidShape(format!(
                 "node span start {node_start} misaligned for count {count}"
             )));
@@ -233,7 +233,11 @@ impl DeviceMesh {
     ///
     /// Panics if `rank >= self.n_gpus()`.
     pub fn gpu_at(&self, rank: u32) -> GpuId {
-        assert!(rank < self.n_gpus(), "rank {rank} out of mesh of {}", self.n_gpus());
+        assert!(
+            rank < self.n_gpus(),
+            "rank {rank} out of mesh of {}",
+            self.n_gpus()
+        );
         let node = self.node_start + rank / self.gpu_width;
         let local = self.gpu_start + rank % self.gpu_width;
         GpuId(node * self.gpus_per_node + local)
@@ -386,8 +390,14 @@ mod tests {
     #[test]
     fn display_forms() {
         let c = cluster2();
-        assert_eq!(DeviceMesh::sub_node(&c, 0, 4, 2).unwrap().to_string(), "node0[gpu4-5]");
-        assert_eq!(DeviceMesh::whole_nodes(&c, 1, 1).unwrap().to_string(), "node1");
+        assert_eq!(
+            DeviceMesh::sub_node(&c, 0, 4, 2).unwrap().to_string(),
+            "node0[gpu4-5]"
+        );
+        assert_eq!(
+            DeviceMesh::whole_nodes(&c, 1, 1).unwrap().to_string(),
+            "node1"
+        );
         assert_eq!(DeviceMesh::full(&c).to_string(), "node[0-1]");
     }
 

@@ -44,13 +44,21 @@ impl Recommendation {
     /// Renders the sweep and the recommendation.
     pub fn render(&self) -> String {
         let mut t = Table::new(vec![
-            "nodes", "GPUs", "tokens/s", "scaling vs half", "static util",
+            "nodes",
+            "GPUs",
+            "tokens/s",
+            "scaling vs half",
+            "static util",
         ]);
         for p in &self.points {
             t.row(vec![
                 p.nodes.to_string(),
                 (p.nodes * 8).to_string(),
-                if p.feasible { format!("{:.0}", p.tokens_per_sec) } else { "OOM".into() },
+                if p.feasible {
+                    format!("{:.0}", p.tokens_per_sec)
+                } else {
+                    "OOM".into()
+                },
                 p.scaling_vs_half
                     .map(|s| format!("{s:.2}x"))
                     .unwrap_or_else(|| "-".into()),
@@ -65,7 +73,10 @@ impl Recommendation {
                 n * 8,
                 UTILIZATION_THRESHOLD * 100.0
             ),
-            None => format!("{}recommendation: none — no candidate size fits\n", t.render()),
+            None => format!(
+                "{}recommendation: none — no candidate size fits\n",
+                t.render()
+            ),
         }
     }
 }
@@ -138,7 +149,10 @@ where
                 .map(|p| p.nodes)
         });
 
-    Recommendation { points, recommended_nodes }
+    Recommendation {
+        points,
+        recommended_nodes,
+    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,10 @@ use real_estimator::Estimator;
 use real_model::ModelSpec;
 use real_profiler::{ProfileConfig, Profiler};
 use real_runtime::{EngineConfig, RunError, RuntimeEngine};
-use real_search::{greedy_plan, heuristic_plan, search, ImpossibleCall, McmcConfig, PruneLevel, SearchResult, SearchSpace};
+use real_search::{
+    greedy_plan, heuristic_plan, search, ImpossibleCall, McmcConfig, PruneLevel, SearchResult,
+    SearchSpace,
+};
 use std::collections::HashSet;
 
 /// An RLHF experiment: a cluster, a workflow, and the knobs needed to plan
@@ -80,12 +83,7 @@ impl Experiment {
     }
 
     /// Convenience: the standard PPO workflow (Fig. 4).
-    pub fn ppo(
-        cluster: ClusterSpec,
-        actor: ModelSpec,
-        critic: ModelSpec,
-        cfg: RlhfConfig,
-    ) -> Self {
+    pub fn ppo(cluster: ClusterSpec, actor: ModelSpec, critic: ModelSpec, cfg: RlhfConfig) -> Self {
         let graph = algo::ppo(&actor, &critic, &cfg);
         Self::new(cluster, graph)
     }
@@ -96,17 +94,32 @@ impl Experiment {
     }
 
     /// Convenience: the GRPO workflow (§8.3).
-    pub fn grpo(cluster: ClusterSpec, actor: ModelSpec, reward: ModelSpec, cfg: RlhfConfig) -> Self {
+    pub fn grpo(
+        cluster: ClusterSpec,
+        actor: ModelSpec,
+        reward: ModelSpec,
+        cfg: RlhfConfig,
+    ) -> Self {
         Self::new(cluster.clone(), algo::grpo(&actor, &reward, &cfg))
     }
 
     /// Convenience: the ReMax workflow (§8.3).
-    pub fn remax(cluster: ClusterSpec, actor: ModelSpec, reward: ModelSpec, cfg: RlhfConfig) -> Self {
+    pub fn remax(
+        cluster: ClusterSpec,
+        actor: ModelSpec,
+        reward: ModelSpec,
+        cfg: RlhfConfig,
+    ) -> Self {
         Self::new(cluster.clone(), algo::remax(&actor, &reward, &cfg))
     }
 
     /// Convenience: the RAFT workflow (reward-ranked fine-tuning).
-    pub fn raft(cluster: ClusterSpec, actor: ModelSpec, reward: ModelSpec, cfg: RlhfConfig) -> Self {
+    pub fn raft(
+        cluster: ClusterSpec,
+        actor: ModelSpec,
+        reward: ModelSpec,
+        cfg: RlhfConfig,
+    ) -> Self {
         Self::new(cluster.clone(), algo::raft(&actor, &reward, &cfg))
     }
 
@@ -223,7 +236,9 @@ impl Experiment {
     /// Returns [`PlanFailure`] when the workload cannot fit the cluster or
     /// no memory-feasible plan was found within the budget.
     pub fn plan_auto(&self, cfg: &McmcConfig) -> Result<PlannedExperiment, PlanFailure> {
-        let space = self.try_search_space().map_err(PlanFailure::ImpossibleWorkload)?;
+        let space = self
+            .try_search_space()
+            .map_err(PlanFailure::ImpossibleWorkload)?;
         let (est, profiling_secs) = self.prepare();
         let mut cfg = cfg.clone();
         cfg.seed = self.seed.wrapping_add(cfg.seed);
@@ -250,7 +265,9 @@ impl Experiment {
         cfg: &McmcConfig,
         n_chains: usize,
     ) -> Result<PlannedExperiment, PlanFailure> {
-        let space = self.try_search_space().map_err(PlanFailure::ImpossibleWorkload)?;
+        let space = self
+            .try_search_space()
+            .map_err(PlanFailure::ImpossibleWorkload)?;
         let (est, profiling_secs) = self.prepare();
         let mut cfg = cfg.clone();
         cfg.seed = self.seed.wrapping_add(cfg.seed);
@@ -282,7 +299,11 @@ impl Experiment {
     /// # Errors
     ///
     /// Returns [`RunError::OutOfMemory`] when the plan does not fit.
-    pub fn run(&self, plan: &ExecutionPlan, iterations: usize) -> Result<ExperimentReport, RunError> {
+    pub fn run(
+        &self,
+        plan: &ExecutionPlan,
+        iterations: usize,
+    ) -> Result<ExperimentReport, RunError> {
         let engine = RuntimeEngine::new(
             self.cluster.clone(),
             self.graph.clone(),
@@ -290,6 +311,42 @@ impl Experiment {
         );
         let run = engine.run(plan, iterations)?;
         Ok(ExperimentReport::new(&self.graph, plan.clone(), run))
+    }
+
+    /// Assembles the unified observability event stream for a finished run:
+    /// per-GPU kernel spans and link-utilization counters from the simulator
+    /// trace, master-lane call spans with flow arrows to the workers, and
+    /// per-GPU memory counter tracks. Export with
+    /// [`real_obs::chrome::to_chrome_string`] and open in Perfetto or
+    /// `chrome://tracing`. The kernel spans require the engine trace to be
+    /// enabled ([`EngineConfig::trace_capacity`] > 0); the master-lane spans,
+    /// flows, and memory tracks are always present.
+    pub fn event_stream(&self, report: &ExperimentReport) -> real_obs::EventStream {
+        real_runtime::obs::build_event_stream(
+            &self.cluster,
+            &self.graph,
+            &report.plan,
+            &self.engine_config,
+            &report.run,
+        )
+    }
+
+    /// Metrics for a finished run: per-category busy seconds, throughput
+    /// gauges, request/response counters, and per-call duration histograms.
+    /// When `search` statistics are supplied (e.g. from
+    /// [`PlannedExperiment::search`]), the MCMC chain telemetry is merged in
+    /// so one snapshot covers both planning and execution. The namespaces
+    /// (`runtime/`, `search/`) are disjoint, so the merge cannot collide.
+    pub fn metrics(
+        &self,
+        report: &ExperimentReport,
+        search: Option<&SearchResult>,
+    ) -> real_obs::MetricsRegistry {
+        let mut metrics = real_runtime::obs::run_metrics(&self.cluster, &report.run);
+        if let Some(s) = search {
+            metrics.merge(&s.telemetry);
+        }
+        metrics
     }
 }
 
@@ -341,8 +398,14 @@ mod tests {
 
     #[test]
     fn seeds_are_deterministic() {
-        let a = experiment().with_seed(9).plan_auto(&quick_search()).unwrap();
-        let b = experiment().with_seed(9).plan_auto(&quick_search()).unwrap();
+        let a = experiment()
+            .with_seed(9)
+            .plan_auto(&quick_search())
+            .unwrap();
+        let b = experiment()
+            .with_seed(9)
+            .plan_auto(&quick_search())
+            .unwrap();
         assert_eq!(a.plan, b.plan);
     }
 
@@ -365,17 +428,55 @@ mod tests {
     }
 
     #[test]
+    fn observability_covers_search_and_run() {
+        let engine = EngineConfig {
+            trace_capacity: 4096,
+            ..EngineConfig::default()
+        };
+        let exp = experiment().with_engine_config(engine);
+        let planned = exp.plan_auto(&quick_search()).unwrap();
+        let report = exp.run(&planned.plan, 1).unwrap();
+
+        let stream = exp.event_stream(&report);
+        stream.check_invariants().unwrap();
+        assert!(!stream.events().is_empty());
+        assert!(stream
+            .events()
+            .iter()
+            .any(|e| matches!(e, real_obs::StreamEvent::Counter { .. })));
+
+        let metrics = exp.metrics(&report, Some(&planned.search));
+        assert!(metrics.get("runtime/iterations", &[]).is_some());
+        assert!(metrics.iter().any(|(k, _)| k.name() == "search/steps"));
+        assert!(metrics
+            .iter()
+            .any(|(k, _)| k.name() == "runtime/category_seconds"));
+        // Without search statistics only the runtime namespace is present.
+        let run_only = exp.metrics(&report, None);
+        assert!(run_only
+            .iter()
+            .all(|(k, _)| k.name().starts_with("runtime/")));
+    }
+
+    #[test]
     fn all_algorithms_construct() {
         let c = ClusterSpec::h100(1);
         let a = ModelSpec::llama3_7b();
         let cfg = RlhfConfig::instruct_gpt(64);
-        assert_eq!(Experiment::dpo(c.clone(), a.clone(), cfg).graph().n_calls(), 2);
         assert_eq!(
-            Experiment::grpo(c.clone(), a.clone(), a.critic(), cfg).graph().n_calls(),
+            Experiment::dpo(c.clone(), a.clone(), cfg).graph().n_calls(),
+            2
+        );
+        assert_eq!(
+            Experiment::grpo(c.clone(), a.clone(), a.critic(), cfg)
+                .graph()
+                .n_calls(),
             4
         );
         assert_eq!(
-            Experiment::remax(c.clone(), a.clone(), a.critic(), cfg).graph().n_calls(),
+            Experiment::remax(c.clone(), a.clone(), a.critic(), cfg)
+                .graph()
+                .n_calls(),
             6
         );
     }

@@ -53,6 +53,7 @@ pub use real_cluster;
 pub use real_dataflow;
 pub use real_estimator;
 pub use real_model;
+pub use real_obs;
 pub use real_profiler;
 pub use real_runtime;
 pub use real_search;

@@ -12,14 +12,15 @@ pub use crate::advisor::{recommend, Recommendation};
 pub use crate::{Experiment, ExperimentReport, PlanFailure, PlannedExperiment};
 pub use real_cluster::{ClusterSpec, CommModel, DeviceMesh, GpuId, GpuSpec};
 pub use real_dataflow::algo::{self, RlhfConfig};
+pub use real_dataflow::render::{to_ascii, to_dot};
 pub use real_dataflow::{
     CallAssignment, CallId, CallType, DataflowGraph, ExecutionPlan, ModelFunctionCallDef,
 };
 pub use real_estimator::Estimator;
 pub use real_model::{CostModel, MemoryModel, ModelSpec, ParallelStrategy};
+pub use real_obs::{EventStream, MetricsRegistry, MetricsSnapshot};
 pub use real_profiler::{ProfileConfig, ProfileDb, Profiler};
 pub use real_runtime::{baselines, EngineConfig, RunError, RunReport, RuntimeEngine};
-pub use real_dataflow::render::{to_ascii, to_dot};
 pub use real_search::{
     brute_force, compare, greedy_plan, heuristic_plan, parallel_search, search, BruteConfig,
     McmcConfig, PlanComparison, PruneLevel, SearchResult, SearchSpace,

@@ -82,16 +82,14 @@ mod tests {
     fn run() -> (DataflowGraph, ExperimentReport) {
         let cluster = ClusterSpec::h100(1);
         let actor = ModelSpec::llama3_7b();
-        let graph =
-            algo::ppo(&actor, &actor.critic(), &algo::RlhfConfig::instruct_gpt(64));
+        let graph = algo::ppo(&actor, &actor.critic(), &algo::RlhfConfig::instruct_gpt(64));
         let a = CallAssignment::new(
             DeviceMesh::full(&cluster),
             ParallelStrategy::new(1, 8, 1, 8).unwrap(),
         )
         .unwrap();
         let plan = ExecutionPlan::new(&graph, &cluster, vec![a; graph.n_calls()]).unwrap();
-        let engine =
-            RuntimeEngine::new(cluster, graph.clone(), EngineConfig::deterministic());
+        let engine = RuntimeEngine::new(cluster, graph.clone(), EngineConfig::deterministic());
         let report = engine.run(&plan, 2).unwrap();
         let er = ExperimentReport::new(&graph, plan, report);
         (graph, er)

@@ -46,7 +46,7 @@ impl RlhfConfig {
     pub fn with_context_scale(mut self, factor: u64) -> Self {
         assert!(factor > 0, "context scale factor must be positive");
         assert!(
-            self.batch_size % factor == 0,
+            self.batch_size.is_multiple_of(factor),
             "batch {} not divisible by context factor {factor}",
             self.batch_size
         );
@@ -72,7 +72,11 @@ pub fn ppo(actor: &ModelSpec, critic: &ModelSpec, cfg: &RlhfConfig) -> DataflowG
             "actor_gen",
             "actor",
             actor.clone(),
-            CallType::Generate { batch: b, prompt_len: cfg.prompt_len, gen_len: cfg.gen_len },
+            CallType::Generate {
+                batch: b,
+                prompt_len: cfg.prompt_len,
+                gen_len: cfg.gen_len,
+            },
             &["prompts"],
             &["seq", "logp"],
         ),
@@ -80,7 +84,10 @@ pub fn ppo(actor: &ModelSpec, critic: &ModelSpec, cfg: &RlhfConfig) -> DataflowG
             "reward_inf",
             "reward",
             critic.clone(),
-            CallType::Inference { batch: b, seq_len: ctx },
+            CallType::Inference {
+                batch: b,
+                seq_len: ctx,
+            },
             &["seq"],
             &["rewards"],
         ),
@@ -88,7 +95,10 @@ pub fn ppo(actor: &ModelSpec, critic: &ModelSpec, cfg: &RlhfConfig) -> DataflowG
             "ref_inf",
             "reference",
             actor.clone(),
-            CallType::Inference { batch: b, seq_len: ctx },
+            CallType::Inference {
+                batch: b,
+                seq_len: ctx,
+            },
             &["seq"],
             &["ref_logp"],
         ),
@@ -96,7 +106,10 @@ pub fn ppo(actor: &ModelSpec, critic: &ModelSpec, cfg: &RlhfConfig) -> DataflowG
             "critic_inf",
             "critic",
             critic.clone(),
-            CallType::Inference { batch: b, seq_len: ctx },
+            CallType::Inference {
+                batch: b,
+                seq_len: ctx,
+            },
             &["seq"],
             &["values"],
         ),
@@ -104,7 +117,11 @@ pub fn ppo(actor: &ModelSpec, critic: &ModelSpec, cfg: &RlhfConfig) -> DataflowG
             "actor_train",
             "actor",
             actor.clone(),
-            CallType::TrainStep { batch: b, seq_len: ctx, n_minibatches: cfg.ppo_minibatches },
+            CallType::TrainStep {
+                batch: b,
+                seq_len: ctx,
+                n_minibatches: cfg.ppo_minibatches,
+            },
             &["seq", "logp", "rewards", "ref_logp", "values"],
             &[],
         ),
@@ -112,7 +129,11 @@ pub fn ppo(actor: &ModelSpec, critic: &ModelSpec, cfg: &RlhfConfig) -> DataflowG
             "critic_train",
             "critic",
             critic.clone(),
-            CallType::TrainStep { batch: b, seq_len: ctx, n_minibatches: cfg.ppo_minibatches },
+            CallType::TrainStep {
+                batch: b,
+                seq_len: ctx,
+                n_minibatches: cfg.ppo_minibatches,
+            },
             &["seq", "rewards", "ref_logp", "values"],
             &[],
         ),
@@ -130,7 +151,10 @@ pub fn dpo(actor: &ModelSpec, cfg: &RlhfConfig) -> DataflowGraph {
             "ref_inf",
             "reference",
             actor.clone(),
-            CallType::Inference { batch: b, seq_len: ctx },
+            CallType::Inference {
+                batch: b,
+                seq_len: ctx,
+            },
             &["pairs"],
             &["ref_logp"],
         ),
@@ -138,7 +162,11 @@ pub fn dpo(actor: &ModelSpec, cfg: &RlhfConfig) -> DataflowGraph {
             "actor_train",
             "actor",
             actor.clone(),
-            CallType::TrainStep { batch: b, seq_len: ctx, n_minibatches: 1 },
+            CallType::TrainStep {
+                batch: b,
+                seq_len: ctx,
+                n_minibatches: 1,
+            },
             &["pairs", "ref_logp"],
             &[],
         ),
@@ -169,7 +197,10 @@ pub fn grpo(actor: &ModelSpec, reward: &ModelSpec, cfg: &RlhfConfig) -> Dataflow
             "reward_inf",
             "reward",
             reward.clone(),
-            CallType::Inference { batch: grouped, seq_len: ctx },
+            CallType::Inference {
+                batch: grouped,
+                seq_len: ctx,
+            },
             &["seq"],
             &["rewards"],
         ),
@@ -177,7 +208,10 @@ pub fn grpo(actor: &ModelSpec, reward: &ModelSpec, cfg: &RlhfConfig) -> Dataflow
             "ref_inf",
             "reference",
             actor.clone(),
-            CallType::Inference { batch: grouped, seq_len: ctx },
+            CallType::Inference {
+                batch: grouped,
+                seq_len: ctx,
+            },
             &["seq"],
             &["ref_logp"],
         ),
@@ -209,7 +243,11 @@ pub fn remax(actor: &ModelSpec, reward: &ModelSpec, cfg: &RlhfConfig) -> Dataflo
             "actor_gen",
             "actor",
             actor.clone(),
-            CallType::Generate { batch: b, prompt_len: cfg.prompt_len, gen_len: cfg.gen_len },
+            CallType::Generate {
+                batch: b,
+                prompt_len: cfg.prompt_len,
+                gen_len: cfg.gen_len,
+            },
             &["prompts"],
             &["seq", "logp"],
         ),
@@ -217,7 +255,11 @@ pub fn remax(actor: &ModelSpec, reward: &ModelSpec, cfg: &RlhfConfig) -> Dataflo
             "actor_gen_greedy",
             "actor",
             actor.clone(),
-            CallType::Generate { batch: b, prompt_len: cfg.prompt_len, gen_len: cfg.gen_len },
+            CallType::Generate {
+                batch: b,
+                prompt_len: cfg.prompt_len,
+                gen_len: cfg.gen_len,
+            },
             &["prompts"],
             &["seq_greedy"],
         ),
@@ -225,7 +267,10 @@ pub fn remax(actor: &ModelSpec, reward: &ModelSpec, cfg: &RlhfConfig) -> Dataflo
             "reward_inf",
             "reward",
             reward.clone(),
-            CallType::Inference { batch: b, seq_len: ctx },
+            CallType::Inference {
+                batch: b,
+                seq_len: ctx,
+            },
             &["seq"],
             &["rewards"],
         ),
@@ -233,7 +278,10 @@ pub fn remax(actor: &ModelSpec, reward: &ModelSpec, cfg: &RlhfConfig) -> Dataflo
             "reward_inf_greedy",
             "reward",
             reward.clone(),
-            CallType::Inference { batch: b, seq_len: ctx },
+            CallType::Inference {
+                batch: b,
+                seq_len: ctx,
+            },
             &["seq_greedy"],
             &["baseline_rewards"],
         ),
@@ -241,7 +289,10 @@ pub fn remax(actor: &ModelSpec, reward: &ModelSpec, cfg: &RlhfConfig) -> Dataflo
             "ref_inf",
             "reference",
             actor.clone(),
-            CallType::Inference { batch: b, seq_len: ctx },
+            CallType::Inference {
+                batch: b,
+                seq_len: ctx,
+            },
             &["seq"],
             &["ref_logp"],
         ),
@@ -249,7 +300,11 @@ pub fn remax(actor: &ModelSpec, reward: &ModelSpec, cfg: &RlhfConfig) -> Dataflo
             "actor_train",
             "actor",
             actor.clone(),
-            CallType::TrainStep { batch: b, seq_len: ctx, n_minibatches: 1 },
+            CallType::TrainStep {
+                batch: b,
+                seq_len: ctx,
+                n_minibatches: 1,
+            },
             &["seq", "logp", "rewards", "baseline_rewards", "ref_logp"],
             &[],
         ),
@@ -281,7 +336,10 @@ pub fn raft(actor: &ModelSpec, reward: &ModelSpec, cfg: &RlhfConfig) -> Dataflow
             "reward_inf",
             "reward",
             reward.clone(),
-            CallType::Inference { batch: sampled, seq_len: ctx },
+            CallType::Inference {
+                batch: sampled,
+                seq_len: ctx,
+            },
             &["seq"],
             &["rewards"],
         ),
@@ -291,7 +349,11 @@ pub fn raft(actor: &ModelSpec, reward: &ModelSpec, cfg: &RlhfConfig) -> Dataflow
             "actor_train",
             "actor",
             actor.clone(),
-            CallType::TrainStep { batch: cfg.batch_size, seq_len: ctx, n_minibatches: 1 },
+            CallType::TrainStep {
+                batch: cfg.batch_size,
+                seq_len: ctx,
+                n_minibatches: 1,
+            },
             &["seq", "rewards"],
             &[],
         ),
@@ -311,7 +373,11 @@ pub fn iterative_dpo(actor: &ModelSpec, reward: &ModelSpec, cfg: &RlhfConfig) ->
             "actor_gen",
             "actor",
             actor.clone(),
-            CallType::Generate { batch: pairs, prompt_len: cfg.prompt_len, gen_len: cfg.gen_len },
+            CallType::Generate {
+                batch: pairs,
+                prompt_len: cfg.prompt_len,
+                gen_len: cfg.gen_len,
+            },
             &["prompts"],
             &["seq"],
         ),
@@ -319,7 +385,10 @@ pub fn iterative_dpo(actor: &ModelSpec, reward: &ModelSpec, cfg: &RlhfConfig) ->
             "reward_inf",
             "reward",
             reward.clone(),
-            CallType::Inference { batch: pairs, seq_len: ctx },
+            CallType::Inference {
+                batch: pairs,
+                seq_len: ctx,
+            },
             &["seq"],
             &["prefs"],
         ),
@@ -327,7 +396,10 @@ pub fn iterative_dpo(actor: &ModelSpec, reward: &ModelSpec, cfg: &RlhfConfig) ->
             "ref_inf",
             "reference",
             actor.clone(),
-            CallType::Inference { batch: pairs, seq_len: ctx },
+            CallType::Inference {
+                batch: pairs,
+                seq_len: ctx,
+            },
             &["seq"],
             &["ref_logp"],
         ),
@@ -335,7 +407,11 @@ pub fn iterative_dpo(actor: &ModelSpec, reward: &ModelSpec, cfg: &RlhfConfig) ->
             "actor_train",
             "actor",
             actor.clone(),
-            CallType::TrainStep { batch: pairs, seq_len: ctx, n_minibatches: 1 },
+            CallType::TrainStep {
+                batch: pairs,
+                seq_len: ctx,
+                n_minibatches: 1,
+            },
             &["seq", "prefs", "ref_logp"],
             &[],
         ),
@@ -404,7 +480,10 @@ mod tests {
     fn dpo_is_two_calls_and_doubles_batch() {
         let g = dpo(&actor(), &cfg());
         assert_eq!(g.n_calls(), 2);
-        assert_eq!(g.call(g.find("actor_train").unwrap()).call_type.batch(), 1024);
+        assert_eq!(
+            g.call(g.find("actor_train").unwrap()).call_type.batch(),
+            1024
+        );
         let at = g.find("actor_train").unwrap();
         assert_eq!(g.deps(at), &[g.find("ref_inf").unwrap()]);
     }
@@ -455,8 +534,14 @@ mod tests {
         let g = raft(&actor(), &critic(), &cfg());
         assert_eq!(g.n_calls(), 3);
         // Generation and scoring see batch x group; training sees batch.
-        assert_eq!(g.call(g.find("actor_gen").unwrap()).call_type.batch(), 512 * 8);
-        assert_eq!(g.call(g.find("actor_train").unwrap()).call_type.batch(), 512);
+        assert_eq!(
+            g.call(g.find("actor_gen").unwrap()).call_type.batch(),
+            512 * 8
+        );
+        assert_eq!(
+            g.call(g.find("actor_train").unwrap()).call_type.batch(),
+            512
+        );
         // Training waits on both generation and reward scoring.
         let t = g.find("actor_train").unwrap();
         assert_eq!(g.deps(t).len(), 2);

@@ -65,7 +65,11 @@ impl CallType {
     /// memory purposes).
     pub fn seq_len(&self) -> u64 {
         match *self {
-            CallType::Generate { prompt_len, gen_len, .. } => prompt_len + gen_len,
+            CallType::Generate {
+                prompt_len,
+                gen_len,
+                ..
+            } => prompt_len + gen_len,
             CallType::Inference { seq_len, .. } => seq_len,
             CallType::TrainStep { seq_len, .. } => seq_len,
         }
@@ -118,9 +122,11 @@ impl ModelFunctionCallDef {
     pub fn approx_flops(&self) -> f64 {
         let p = self.model.param_count() as f64;
         match self.call_type {
-            CallType::Generate { batch, prompt_len, gen_len } => {
-                2.0 * p * (batch * (prompt_len + gen_len)) as f64
-            }
+            CallType::Generate {
+                batch,
+                prompt_len,
+                gen_len,
+            } => 2.0 * p * (batch * (prompt_len + gen_len)) as f64,
             CallType::Inference { batch, seq_len } => 2.0 * p * (batch * seq_len) as f64,
             CallType::TrainStep { batch, seq_len, .. } => 6.0 * p * (batch * seq_len) as f64,
         }
@@ -152,7 +158,11 @@ mod tests {
 
     #[test]
     fn generate_context_is_prompt_plus_gen() {
-        let c = CallType::Generate { batch: 8, prompt_len: 1024, gen_len: 1024 };
+        let c = CallType::Generate {
+            batch: 8,
+            prompt_len: 1024,
+            gen_len: 1024,
+        };
         assert_eq!(c.seq_len(), 2048);
         assert_eq!(c.total_tokens(), 8 * 2048);
         assert!(!c.is_training());
@@ -161,7 +171,11 @@ mod tests {
 
     #[test]
     fn train_step_reports_training() {
-        let c = CallType::TrainStep { batch: 4, seq_len: 128, n_minibatches: 8 };
+        let c = CallType::TrainStep {
+            batch: 4,
+            seq_len: 128,
+            n_minibatches: 8,
+        };
         assert!(c.is_training());
         assert_eq!(c.batch(), 4);
         assert_eq!(c.label(), "train");
@@ -169,7 +183,10 @@ mod tests {
 
     #[test]
     fn inference_token_count() {
-        let c = CallType::Inference { batch: 16, seq_len: 256 };
+        let c = CallType::Inference {
+            batch: 16,
+            seq_len: 256,
+        };
         assert_eq!(c.total_tokens(), 4096);
         assert_eq!(c.label(), "inf");
     }
@@ -180,7 +197,11 @@ mod tests {
             "actor_gen",
             "actor",
             ModelSpec::llama3_7b(),
-            CallType::Generate { batch: 4, prompt_len: 8, gen_len: 8 },
+            CallType::Generate {
+                batch: 4,
+                prompt_len: 8,
+                gen_len: 8,
+            },
             &["prompts"],
             &["seq", "logp"],
         );
@@ -192,16 +213,30 @@ mod tests {
     #[test]
     fn approx_flops_scales_with_work() {
         let gen = ModelFunctionCallDef::new(
-            "g", "m", ModelSpec::llama3_7b(),
-            CallType::Generate { batch: 4, prompt_len: 8, gen_len: 8 },
-            &[], &[],
+            "g",
+            "m",
+            ModelSpec::llama3_7b(),
+            CallType::Generate {
+                batch: 4,
+                prompt_len: 8,
+                gen_len: 8,
+            },
+            &[],
+            &[],
         );
         let p = ModelSpec::llama3_7b().param_count() as f64;
         assert_eq!(gen.approx_flops(), 2.0 * p * 64.0);
         let train = ModelFunctionCallDef::new(
-            "t", "m", ModelSpec::llama3_7b(),
-            CallType::TrainStep { batch: 4, seq_len: 16, n_minibatches: 8 },
-            &[], &[],
+            "t",
+            "m",
+            ModelSpec::llama3_7b(),
+            CallType::TrainStep {
+                batch: 4,
+                seq_len: 16,
+                n_minibatches: 8,
+            },
+            &[],
+            &[],
         );
         // Mini-batches do not change the total work.
         assert_eq!(train.approx_flops(), 6.0 * p * 64.0);

@@ -116,7 +116,11 @@ impl DataflowGraph {
                 }
             }
         }
-        let graph = Self { calls, deps, param_deps };
+        let graph = Self {
+            calls,
+            deps,
+            param_deps,
+        };
         if graph.topo_order().is_none() {
             return Err(GraphError::Cyclic);
         }
@@ -168,7 +172,10 @@ impl DataflowGraph {
 
     /// Looks up a call by name.
     pub fn find(&self, call_name: &str) -> Option<CallId> {
-        self.calls.iter().position(|c| c.call_name == call_name).map(CallId)
+        self.calls
+            .iter()
+            .position(|c| c.call_name == call_name)
+            .map(CallId)
     }
 
     /// Distinct model names in declaration order.
@@ -176,7 +183,10 @@ impl DataflowGraph {
         let mut seen = HashSet::new();
         self.calls
             .iter()
-            .filter_map(|c| seen.insert(c.model_name.as_str()).then_some(c.model_name.as_str()))
+            .filter_map(|c| {
+                seen.insert(c.model_name.as_str())
+                    .then_some(c.model_name.as_str())
+            })
             .collect()
     }
 
@@ -197,8 +207,8 @@ impl DataflowGraph {
         let mut order = Vec::with_capacity(n);
         while let Some(i) = queue.pop() {
             order.push(CallId(i));
-            for j in 0..n {
-                if self.deps[j].contains(&CallId(i)) {
+            for (j, deps) in self.deps.iter().enumerate() {
+                if deps.contains(&CallId(i)) {
                     indeg[j] -= 1;
                     if indeg[j] == 0 {
                         queue.push(j);
@@ -229,7 +239,11 @@ mod tests {
             name,
             model,
             ModelSpec::llama3_7b(),
-            CallType::Generate { batch: 4, prompt_len: 8, gen_len: 8 },
+            CallType::Generate {
+                batch: 4,
+                prompt_len: 8,
+                gen_len: 8,
+            },
             inputs,
             outputs,
         )
@@ -240,7 +254,11 @@ mod tests {
             name,
             model,
             ModelSpec::llama3_7b(),
-            CallType::TrainStep { batch: 4, seq_len: 16, n_minibatches: 1 },
+            CallType::TrainStep {
+                batch: 4,
+                seq_len: 16,
+                n_minibatches: 1,
+            },
             inputs,
             &[],
         )
@@ -370,9 +388,20 @@ mod tests {
             let keys = proptest::collection::vec(key, 0..3);
             let call = (keys.clone(), keys, 0..3u8).prop_map(|(inputs, outputs, kind)| {
                 let call_type = match kind {
-                    0 => CallType::Generate { batch: 4, prompt_len: 8, gen_len: 8 },
-                    1 => CallType::Inference { batch: 4, seq_len: 16 },
-                    _ => CallType::TrainStep { batch: 4, seq_len: 16, n_minibatches: 1 },
+                    0 => CallType::Generate {
+                        batch: 4,
+                        prompt_len: 8,
+                        gen_len: 8,
+                    },
+                    1 => CallType::Inference {
+                        batch: 4,
+                        seq_len: 16,
+                    },
+                    _ => CallType::TrainStep {
+                        batch: 4,
+                        seq_len: 16,
+                        n_minibatches: 1,
+                    },
                 };
                 (inputs, outputs, call_type)
             });

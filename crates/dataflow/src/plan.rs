@@ -137,8 +137,7 @@ impl ExecutionPlan {
             let id = CallId(i);
             let call = graph.call(id);
             let mesh_end_node = a.mesh.node_start() + a.mesh.n_nodes();
-            if mesh_end_node > cluster.n_nodes || a.mesh.gpus_per_node() != cluster.gpus_per_node
-            {
+            if mesh_end_node > cluster.n_nodes || a.mesh.gpus_per_node() != cluster.gpus_per_node {
                 return Err(PlanError::ForeignMesh(id));
             }
             let s = &a.strategy;
@@ -210,13 +209,20 @@ impl ExecutionPlan {
     /// Whether two calls are placed on overlapping GPU sets (they must then
     /// serialize — the constraint in Algorithm 1).
     pub fn overlapping(&self, a: CallId, b: CallId) -> bool {
-        self.assignments[a.0].mesh.overlaps(&self.assignments[b.0].mesh)
+        self.assignments[a.0]
+            .mesh
+            .overlaps(&self.assignments[b.0].mesh)
     }
 
     /// Renders the plan as a table like the paper's Tables 2–5.
     pub fn render(&self, graph: &DataflowGraph) -> String {
         let mut t = real_util::Table::new(vec![
-            "call", "device mesh", "TP", "PP", "DP", "#micro-batches",
+            "call",
+            "device mesh",
+            "TP",
+            "PP",
+            "DP",
+            "#micro-batches",
         ]);
         for (id, call) in graph.iter() {
             let a = &self.assignments[id.0];
@@ -265,7 +271,13 @@ mod tests {
             ParallelStrategy::new(1, 2, 2, 1).unwrap(),
         )
         .unwrap_err();
-        assert!(matches!(err, PlanError::ShapeMismatch { world: 4, mesh_gpus: 16 }));
+        assert!(matches!(
+            err,
+            PlanError::ShapeMismatch {
+                world: 4,
+                mesh_gpus: 16
+            }
+        ));
     }
 
     #[test]
@@ -281,7 +293,13 @@ mod tests {
         let (cluster, graph) = setup();
         let a = full_assignment(&cluster, 2, 8, 1);
         let err = ExecutionPlan::new(&graph, &cluster, vec![a; 3]).unwrap_err();
-        assert!(matches!(err, PlanError::WrongLength { got: 3, expected: 6 }));
+        assert!(matches!(
+            err,
+            PlanError::WrongLength {
+                got: 3,
+                expected: 6
+            }
+        ));
     }
 
     #[test]
@@ -352,7 +370,12 @@ mod tests {
         let next = plan.with_assignment(id, half).unwrap();
         assert_eq!(next.assignment(id).mesh.n_gpus(), 8);
         // Other calls untouched.
-        assert_eq!(next.assignment(graph.find("actor_train").unwrap()).mesh.n_gpus(), 16);
+        assert_eq!(
+            next.assignment(graph.find("actor_train").unwrap())
+                .mesh
+                .n_gpus(),
+            16
+        );
     }
 
     #[test]

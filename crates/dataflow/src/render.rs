@@ -26,13 +26,19 @@ pub fn to_dot(graph: &DataflowGraph) -> String {
     }
     for (id, call) in graph.iter() {
         for &dep in graph.deps(id) {
-            let _ = writeln!(out, "  {} -> {};", graph.call(dep).call_name, call.call_name);
+            let _ = writeln!(
+                out,
+                "  {} -> {};",
+                graph.call(dep).call_name,
+                call.call_name
+            );
         }
         for &pdep in graph.param_deps(id) {
             let _ = writeln!(
                 out,
                 "  {} -> {} [style=dashed, label=\"t+1\"];",
-                graph.call(pdep).call_name, call.call_name
+                graph.call(pdep).call_name,
+                call.call_name
             );
         }
     }
@@ -102,7 +108,9 @@ mod tests {
         let g = graph();
         let s = to_ascii(&g);
         assert!(s.contains("actor_gen"));
-        assert!(s.lines().any(|l| l.contains("reward_inf") && l.contains("<-  actor_gen")));
+        assert!(s
+            .lines()
+            .any(|l| l.contains("reward_inf") && l.contains("<-  actor_gen")));
     }
 
     #[test]

@@ -1,8 +1,15 @@
 //! Algorithm 1 (Appendix C): simulate the augmented graph's schedule with
 //! the constraint that nodes on overlapping device meshes cannot execute
 //! simultaneously, and return the makespan.
+//!
+//! [`makespan_instrumented`] additionally counts the algorithm's queue
+//! events into a [`real_obs::MetricsRegistry`] — per-kind busy seconds,
+//! ready-queue pops, and device-serialization stalls — so estimator-vs-
+//! runtime divergence (Fig. 12) can be diagnosed per category instead of
+//! only at the end-to-end number.
 
-use crate::augment::AugNode;
+use crate::augment::{AugNode, NodeKind};
+use real_obs::MetricsRegistry;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -32,6 +39,15 @@ impl Ord for Ready {
     }
 }
 
+/// Short label for a node kind, used as the `kind` metric label.
+fn kind_label(kind: &NodeKind) -> &'static str {
+    match kind {
+        NodeKind::Call { .. } => "call",
+        NodeKind::Realloc { .. } => "realloc",
+        NodeKind::Transfer { .. } => "transfer",
+    }
+}
+
 /// Runs Algorithm 1 over the node list and returns the maximum `EndTime`.
 ///
 /// Nodes must be topologically ordered (parents before children), which
@@ -41,7 +57,29 @@ impl Ord for Ready {
 ///
 /// Panics if a node's parent index is not smaller than the node's own index.
 pub fn makespan(nodes: &[AugNode]) -> f64 {
+    run(nodes, None)
+}
+
+/// [`makespan`] with Algorithm-1 queue telemetry recorded into `metrics`:
+///
+/// * `estimator/queue_pops{kind}` — ready-queue pops per node kind;
+/// * `estimator/node_seconds{kind}` — summed durations per node kind (the
+///   estimator-side counterpart of the runtime's category totals);
+/// * `estimator/device_serializations{kind}` and
+///   `estimator/serialization_delay_seconds{kind}` — how often (and for how
+///   long) a ready node stalled behind a completed node on an overlapping
+///   mesh;
+/// * `estimator/releases` — dependency releases, and
+///   `estimator/makespan_seconds` — the returned makespan.
+pub fn makespan_instrumented(nodes: &[AugNode], metrics: &mut MetricsRegistry) -> f64 {
+    run(nodes, Some(metrics))
+}
+
+fn run(nodes: &[AugNode], mut metrics: Option<&mut MetricsRegistry>) -> f64 {
     if nodes.is_empty() {
+        if let Some(m) = metrics {
+            m.gauge_set("estimator/makespan_seconds", &[], 0.0);
+        }
         return 0.0;
     }
     let n = nodes.len();
@@ -63,8 +101,8 @@ pub fn makespan(nodes: &[AugNode]) -> f64 {
     let mut completed: Vec<usize> = Vec::with_capacity(n);
 
     let mut heap = BinaryHeap::new();
-    for i in 0..n {
-        if pending[i] == 0 {
+    for (i, &p) in pending.iter().enumerate() {
+        if p == 0 {
             heap.push(Ready { time: 0.0, node: i });
         }
     }
@@ -84,16 +122,35 @@ pub fn makespan(nodes: &[AugNode]) -> f64 {
         max_end = max_end.max(end);
         completed.push(node);
 
+        if let Some(m) = metrics.as_deref_mut() {
+            let kind = [("kind", kind_label(&nodes[node].kind))];
+            m.counter_inc("estimator/queue_pops", &kind);
+            m.counter_add("estimator/node_seconds", &kind, nodes[node].duration);
+            if start > time {
+                m.counter_inc("estimator/device_serializations", &kind);
+                m.counter_add("estimator/serialization_delay_seconds", &kind, start - time);
+            }
+        }
+
         // Release children.
         for (j, cand) in nodes.iter().enumerate().skip(node + 1) {
             if cand.parents.contains(&node) {
                 ready_time[j] = ready_time[j].max(end);
                 pending[j] -= 1;
                 if pending[j] == 0 {
-                    heap.push(Ready { time: ready_time[j], node: j });
+                    heap.push(Ready {
+                        time: ready_time[j],
+                        node: j,
+                    });
+                    if let Some(m) = metrics.as_deref_mut() {
+                        m.counter_inc("estimator/releases", &[]);
+                    }
                 }
             }
         }
+    }
+    if let Some(m) = metrics {
+        m.gauge_set("estimator/makespan_seconds", &[], max_end);
     }
     max_end
 }
@@ -107,7 +164,10 @@ mod tests {
 
     fn node(duration: f64, meshes: Vec<DeviceMesh>, parents: Vec<usize>) -> AugNode {
         AugNode {
-            kind: NodeKind::Call { call: CallId(0), iter: 0 },
+            kind: NodeKind::Call {
+                call: CallId(0),
+                iter: 0,
+            },
             duration,
             meshes,
             parents,
@@ -187,11 +247,54 @@ mod tests {
     #[test]
     fn zero_duration_nodes_are_free() {
         let (a, _, _) = meshes2();
-        let nodes = vec![
-            node(0.0, vec![a], vec![]),
-            node(2.0, vec![a], vec![0]),
-        ];
+        let nodes = vec![node(0.0, vec![a], vec![]), node(2.0, vec![a], vec![0])];
         assert_eq!(makespan(&nodes), 2.0);
+    }
+
+    #[test]
+    fn instrumented_matches_plain_and_counts_queue_events() {
+        let (a, _, full) = meshes2();
+        let nodes = vec![node(5.0, vec![a], vec![]), node(3.0, vec![full], vec![])];
+        let mut m = real_obs::MetricsRegistry::new();
+        let inst = makespan_instrumented(&nodes, &mut m);
+        assert_eq!(inst, makespan(&nodes));
+        let kind = [("kind", "call")];
+        assert_eq!(m.get("estimator/queue_pops", &kind).unwrap().scalar(), 2.0);
+        assert_eq!(
+            m.get("estimator/node_seconds", &kind).unwrap().scalar(),
+            8.0
+        );
+        // The full-mesh node has no edge to the first but stalls behind it
+        // on the shared devices — exactly one serialization of 5 seconds.
+        assert_eq!(
+            m.get("estimator/device_serializations", &kind)
+                .unwrap()
+                .scalar(),
+            1.0
+        );
+        assert_eq!(
+            m.get("estimator/serialization_delay_seconds", &kind)
+                .unwrap()
+                .scalar(),
+            5.0
+        );
+        assert_eq!(
+            m.get("estimator/makespan_seconds", &[]).unwrap().scalar(),
+            8.0
+        );
+    }
+
+    #[test]
+    fn instrumented_counts_releases_along_chains() {
+        let (a, _, _) = meshes2();
+        let nodes = vec![
+            node(1.0, vec![a], vec![]),
+            node(2.0, vec![a], vec![0]),
+            node(3.0, vec![a], vec![1]),
+        ];
+        let mut m = real_obs::MetricsRegistry::new();
+        assert_eq!(makespan_instrumented(&nodes, &mut m), 6.0);
+        assert_eq!(m.get("estimator/releases", &[]).unwrap().scalar(), 2.0);
     }
 
     #[test]

@@ -19,15 +19,19 @@ pub fn call_duration(
     comm: &CommModel,
 ) -> f64 {
     match call.call_type {
-        CallType::Generate { batch, prompt_len, gen_len } => {
-            generate_duration(call, a, db, comm, batch, prompt_len, gen_len)
-        }
+        CallType::Generate {
+            batch,
+            prompt_len,
+            gen_len,
+        } => generate_duration(call, a, db, comm, batch, prompt_len, gen_len),
         CallType::Inference { batch, seq_len } => {
             inference_duration(call, a, db, comm, batch, seq_len)
         }
-        CallType::TrainStep { batch, seq_len, n_minibatches } => {
-            train_duration(call, a, db, comm, batch, seq_len, n_minibatches)
-        }
+        CallType::TrainStep {
+            batch,
+            seq_len,
+            n_minibatches,
+        } => train_duration(call, a, db, comm, batch, seq_len, n_minibatches),
     }
 }
 
@@ -43,8 +47,7 @@ fn pp_p2p(comm: &CommModel, call: &ModelFunctionCallDef, a: &CallAssignment, tok
     if a.strategy.pp() <= 1 {
         return 0.0;
     }
-    let bytes =
-        tokens as f64 * call.model.hidden as f64 * 2.0 / f64::from(a.strategy.tp());
+    let bytes = tokens as f64 * call.model.hidden as f64 * 2.0 / f64::from(a.strategy.tp());
     comm.p2p(bytes, a.pp_within_node())
 }
 
@@ -89,8 +92,7 @@ fn generate_duration(
     // Decode: steady-state rounds; every micro-batch advances one token per
     // round, pipelined over the stages. Each micro-batch pass re-streams
     // the stage's weights, which is why decoding punishes `pp·mbs`.
-    let past_bucket =
-        ProfileDb::nearest_bucket(&db.past_buckets(), prompt_len + gen_len / 2);
+    let past_bucket = ProfileDb::nearest_bucket(&db.past_buckets(), prompt_len + gen_len / 2);
     let layer_dec = lookup(db, OpKind::LayerDecode { past_bucket }, tp, batch_mb as f64);
     let per_mb = stage_layers * (layer_dec + 2.0 * tp_ar(comm, call, a, batch_mb))
         + pp_p2p(comm, call, a, batch_mb)
@@ -173,8 +175,7 @@ mod tests {
     use real_profiler::{ProfileConfig, Profiler};
 
     fn db(cluster: &ClusterSpec) -> ProfileDb {
-        Profiler::new(cluster.clone(), ProfileConfig::paper(), 11)
-            .profile(&ModelSpec::llama3_7b())
+        Profiler::new(cluster.clone(), ProfileConfig::paper(), 11).profile(&ModelSpec::llama3_7b())
     }
 
     fn gen_call(batch: u64) -> ModelFunctionCallDef {
@@ -182,7 +183,11 @@ mod tests {
             "g",
             "actor",
             ModelSpec::llama3_7b(),
-            CallType::Generate { batch, prompt_len: 1024, gen_len: 1024 },
+            CallType::Generate {
+                batch,
+                prompt_len: 1024,
+                gen_len: 1024,
+            },
             &["prompts"],
             &["seq"],
         )
@@ -193,7 +198,11 @@ mod tests {
             "t",
             "actor",
             ModelSpec::llama3_7b(),
-            CallType::TrainStep { batch, seq_len: 2048, n_minibatches },
+            CallType::TrainStep {
+                batch,
+                seq_len: 2048,
+                n_minibatches,
+            },
             &["seq"],
             &[],
         )
@@ -274,12 +283,18 @@ mod tests {
             "i",
             "m",
             ModelSpec::llama3_7b(),
-            CallType::Inference { batch: 64, seq_len: 2048 },
+            CallType::Inference {
+                batch: 64,
+                seq_len: 2048,
+            },
             &["seq"],
             &["out"],
         );
         let mut big = small.clone();
-        big.call_type = CallType::Inference { batch: 256, seq_len: 2048 };
+        big.call_type = CallType::Inference {
+            batch: 256,
+            seq_len: 2048,
+        };
         let ts = call_duration(&small, &a, &db, &comm);
         let tb = call_duration(&big, &a, &db, &comm);
         assert!(tb > 2.5 * ts, "small {ts} big {tb}");

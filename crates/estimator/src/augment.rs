@@ -103,8 +103,9 @@ pub fn transfer_cost(
     }
     let call = graph.call(from);
     let bytes = call.call_type.total_tokens() as f64 * 8.0;
-    let within =
-        a.mesh.n_nodes() == 1 && b.mesh.n_nodes() == 1 && a.mesh.node_start() == b.mesh.node_start();
+    let within = a.mesh.n_nodes() == 1
+        && b.mesh.n_nodes() == 1
+        && a.mesh.node_start() == b.mesh.node_start();
     // Split across DP producers broadcasting in parallel.
     let per_src = bytes / f64::from(a.strategy.dp());
     est.comm().broadcast(per_src, 2, within)
@@ -146,7 +147,11 @@ pub fn build(
                     // Transfers occupy the consumer mesh only; the producer
                     // sends from copy engines (mirrors the runtime engine).
                     nodes.push(AugNode {
-                        kind: NodeKind::Transfer { from: dep, to: call, iter },
+                        kind: NodeKind::Transfer {
+                            from: dep,
+                            to: call,
+                            iter,
+                        },
                         duration: cost,
                         meshes: vec![a.mesh],
                         parents: vec![dep_node],
@@ -187,7 +192,10 @@ pub fn build(
                 let cost = realloc_cost(est, &def.model, pa, a);
                 if cost > 0.0 {
                     nodes.push(AugNode {
-                        kind: NodeKind::Realloc { model: def.model_name.clone(), iter },
+                        kind: NodeKind::Realloc {
+                            model: def.model_name.clone(),
+                            iter,
+                        },
                         duration: cost,
                         meshes: vec![pa.mesh, a.mesh],
                         parents: vec![pnode],
@@ -246,7 +254,9 @@ mod tests {
         let plan = symmetric(&cluster, &graph);
         let nodes = build(&graph, &plan, &est, 1);
         assert_eq!(nodes.len(), graph.n_calls());
-        assert!(nodes.iter().all(|n| matches!(n.kind, NodeKind::Call { .. })));
+        assert!(nodes
+            .iter()
+            .all(|n| matches!(n.kind, NodeKind::Call { .. })));
     }
 
     #[test]
@@ -283,8 +293,10 @@ mod tests {
         // first-iteration actor training.
         let gen2 = nodes
             .iter()
-            .position(|n| matches!(n.kind, NodeKind::Call { call, iter: 1 }
-                if call == graph.find("actor_gen").unwrap()))
+            .position(|n| {
+                matches!(n.kind, NodeKind::Call { call, iter: 1 }
+                if call == graph.find("actor_gen").unwrap())
+            })
             .unwrap();
         assert!(!nodes[gen2].parents.is_empty());
     }

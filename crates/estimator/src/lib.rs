@@ -147,6 +147,11 @@ impl Estimator {
         &self.graph
     }
 
+    /// The number of iterations Algorithm 1 unrolls.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
     /// The cluster this estimator serves.
     pub fn cluster(&self) -> &ClusterSpec {
         &self.cluster
@@ -183,6 +188,29 @@ impl Estimator {
         algorithm1::makespan(&nodes) / self.iterations as f64
     }
 
+    /// [`Estimator::time_cost`] with observability: records Algorithm 1's
+    /// queue telemetry (see [`algorithm1::makespan_instrumented`]) plus an
+    /// `estimator/call_seconds{call=<name>}` gauge per function call — the
+    /// estimator side of the per-category Fig. 12 divergence comparison
+    /// against the runtime's measured call durations.
+    pub fn time_cost_instrumented(
+        &self,
+        plan: &ExecutionPlan,
+        metrics: &mut real_obs::MetricsRegistry,
+    ) -> f64 {
+        for (id, def) in self.graph.iter() {
+            metrics.gauge_set(
+                "estimator/call_seconds",
+                &[("call", &def.call_name)],
+                self.call_duration(id, plan.assignment(id)),
+            );
+        }
+        let nodes = augment::build(&self.graph, plan, self, self.iterations);
+        let per_iter = algorithm1::makespan_instrumented(&nodes, metrics) / self.iterations as f64;
+        metrics.gauge_set("estimator/time_cost_seconds", &[], per_iter);
+        per_iter
+    }
+
     /// `MaxMem(G_p)`: peak bytes over all GPUs.
     pub fn max_mem(&self, plan: &ExecutionPlan) -> u64 {
         maxmem::max_mem(&self.cluster, &self.graph, plan)
@@ -196,11 +224,17 @@ impl Estimator {
     /// The §5.2 search cost: `TimeCost`, multiplied by [`OOM_PENALTY`] when
     /// `MaxMem` exceeds capacity.
     pub fn cost(&self, plan: &ExecutionPlan) -> f64 {
+        self.cost_checked(plan).0
+    }
+
+    /// [`Estimator::cost`] plus whether the OOM penalty was applied — lets
+    /// the search count penalty hits without a second memory pass.
+    pub fn cost_checked(&self, plan: &ExecutionPlan) -> (f64, bool) {
         let t = self.time_cost(plan);
         if self.mem_ok(plan) {
-            t
+            (t, false)
         } else {
-            t * OOM_PENALTY
+            (t * OOM_PENALTY, true)
         }
     }
 
@@ -290,6 +324,33 @@ mod tests {
         let (cluster, graph, est) = setup(1, 64);
         let plan = symmetric_plan(&cluster, &graph, 1, 8, 1, 4);
         assert_eq!(est.time_cost(&plan), est.time_cost(&plan));
+    }
+
+    #[test]
+    fn instrumented_time_cost_matches_plain() {
+        let (cluster, graph, est) = setup(1, 64);
+        let plan = symmetric_plan(&cluster, &graph, 1, 8, 1, 4);
+        let mut m = real_obs::MetricsRegistry::new();
+        let inst = est.time_cost_instrumented(&plan, &mut m);
+        assert_eq!(inst, est.time_cost(&plan));
+        assert_eq!(
+            m.get("estimator/time_cost_seconds", &[]).unwrap().scalar(),
+            inst
+        );
+        // One gauge per call, matching the closed-form duration.
+        for (id, def) in graph.iter() {
+            let got = m
+                .get("estimator/call_seconds", &[("call", &def.call_name)])
+                .expect("per-call gauge present")
+                .scalar();
+            assert_eq!(got, est.call_duration(id, plan.assignment(id)));
+        }
+        // The symmetric plan serializes every colocated call: pops recorded.
+        let pops = m
+            .get("estimator/queue_pops", &[("kind", "call")])
+            .unwrap()
+            .scalar();
+        assert_eq!(pops, (graph.n_calls() * est.iterations()) as f64);
     }
 
     #[test]

@@ -55,13 +55,19 @@ pub fn max_mem(cluster: &ClusterSpec, graph: &DataflowGraph, plan: &ExecutionPla
         let mm = MemoryModel::new(def.model.clone());
         let dp = u64::from(a.strategy.dp());
         let active = match def.call_type {
-            CallType::Generate { batch, prompt_len, gen_len } => {
-                mm.gen_active_bytes(&a.strategy, batch.div_ceil(dp), prompt_len + gen_len)
-            }
+            CallType::Generate {
+                batch,
+                prompt_len,
+                gen_len,
+            } => mm.gen_active_bytes(&a.strategy, batch.div_ceil(dp), prompt_len + gen_len),
             CallType::Inference { batch, seq_len } => {
                 mm.infer_active_bytes(&a.strategy, batch.div_ceil(dp) * seq_len)
             }
-            CallType::TrainStep { batch, seq_len, n_minibatches } => {
+            CallType::TrainStep {
+                batch,
+                seq_len,
+                n_minibatches,
+            } => {
                 let per_mini = batch.div_ceil(dp).div_ceil(u64::from(n_minibatches.max(1)));
                 mm.train_active_bytes(&a.strategy, per_mini * seq_len)
             }
@@ -105,11 +111,21 @@ mod tests {
     fn setup(nodes: u32, batch: u64) -> (ClusterSpec, DataflowGraph) {
         let cluster = ClusterSpec::h100(nodes);
         let actor = ModelSpec::llama3_7b();
-        let graph = algo::ppo(&actor, &actor.critic(), &algo::RlhfConfig::instruct_gpt(batch));
+        let graph = algo::ppo(
+            &actor,
+            &actor.critic(),
+            &algo::RlhfConfig::instruct_gpt(batch),
+        );
         (cluster, graph)
     }
 
-    fn symmetric(cluster: &ClusterSpec, graph: &DataflowGraph, dp: u32, tp: u32, mbs: u32) -> ExecutionPlan {
+    fn symmetric(
+        cluster: &ClusterSpec,
+        graph: &DataflowGraph,
+        dp: u32,
+        tp: u32,
+        mbs: u32,
+    ) -> ExecutionPlan {
         let a = CallAssignment::new(
             DeviceMesh::full(cluster),
             ParallelStrategy::new(dp, tp, 1, mbs).unwrap(),
@@ -172,7 +188,10 @@ mod tests {
         // every GPU while the split plan spreads two per node. Splitting
         // therefore lowers the peak (the asymmetric-strategy memory
         // advantage that OpenRLHF-style placements exploit).
-        assert!(peak_split < peak_full, "split {peak_split} full {peak_full}");
+        assert!(
+            peak_split < peak_full,
+            "split {peak_split} full {peak_full}"
+        );
     }
 
     #[test]

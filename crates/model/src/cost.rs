@@ -40,7 +40,11 @@ impl CostModel {
     /// Binds `model` to `cluster`'s hardware.
     pub fn new(cluster: ClusterSpec, model: ModelSpec) -> Self {
         let comm = CommModel::new(&cluster);
-        Self { cluster, model, comm }
+        Self {
+            cluster,
+            model,
+            comm,
+        }
     }
 
     /// The underlying model spec.
@@ -75,10 +79,10 @@ impl CostModel {
         let matmul = 2.0 * t * self.layer_mat_params() as f64 / tp;
         let attn = 4.0 * t * kv_len as f64 * self.model.hidden as f64 / tp;
         let flops = matmul + attn;
-        let act_io =
-            t * (4.0 * self.model.hidden as f64 + 2.0 * self.model.intermediate as f64)
-                * DTYPE_BYTES as f64
-                / tp;
+        let act_io = t
+            * (4.0 * self.model.hidden as f64 + 2.0 * self.model.intermediate as f64)
+            * DTYPE_BYTES as f64
+            / tp;
         self.cluster.gpu.kernel_time(flops, act_io, true)
             + self.launch_cost(KERNELS_PER_LAYER_FWD, cuda_graph)
     }
@@ -91,10 +95,11 @@ impl CostModel {
         let t = tokens as f64;
         let matmul = 4.0 * t * self.layer_mat_params() as f64 / tp_f;
         let attn = 8.0 * t * kv_len as f64 * self.model.hidden as f64 / tp_f;
-        let act_io =
-            2.0 * t * (4.0 * self.model.hidden as f64 + 2.0 * self.model.intermediate as f64)
-                * DTYPE_BYTES as f64
-                / tp_f;
+        let act_io = 2.0
+            * t
+            * (4.0 * self.model.hidden as f64 + 2.0 * self.model.intermediate as f64)
+            * DTYPE_BYTES as f64
+            / tp_f;
         self.cluster.gpu.kernel_time(matmul + attn, act_io, true)
             + self.launch_cost(KERNELS_PER_LAYER_BWD, false)
     }
@@ -108,7 +113,10 @@ impl CostModel {
         let weights_io = self.layer_mat_params() as f64 * DTYPE_BYTES as f64 / tp_f;
         let kv_io =
             b * past_len as f64 * self.model.kv_dim() as f64 * 2.0 * DTYPE_BYTES as f64 / tp_f;
-        let flops = b * (2.0 * self.layer_mat_params() as f64 + 4.0 * past_len as f64 * self.model.hidden as f64) / tp_f;
+        let flops = b
+            * (2.0 * self.layer_mat_params() as f64
+                + 4.0 * past_len as f64 * self.model.hidden as f64)
+            / tp_f;
         let io_time = (weights_io + kv_io) / (self.cluster.gpu.hbm_bw * DECODE_MEM_EFFICIENCY);
         io_time.max(self.cluster.gpu.compute_time(flops))
             + self.launch_cost(KERNELS_PER_LAYER_FWD, cuda_graph)
@@ -116,8 +124,8 @@ impl CostModel {
 
     /// Input-embedding lookup for `tokens` tokens (bandwidth-bound gather).
     pub fn embed_time(&self, tokens: u64, tp: u32) -> f64 {
-        let io = tokens as f64 * self.model.hidden as f64 * DTYPE_BYTES as f64
-            / f64::from(tp.max(1));
+        let io =
+            tokens as f64 * self.model.hidden as f64 * DTYPE_BYTES as f64 / f64::from(tp.max(1));
         self.cluster.gpu.kernel_time(0.0, io, true) + self.cluster.gpu.launch_overhead
     }
 
@@ -135,9 +143,7 @@ impl CostModel {
                 let io = 3.0 * t * self.model.vocab as f64 * 4.0 / tp_f;
                 (gemm, io)
             }
-            HeadKind::ScalarHead => {
-                (2.0 * t * self.model.hidden as f64 / tp_f, t * 4.0)
-            }
+            HeadKind::ScalarHead => (2.0 * t * self.model.hidden as f64 / tp_f, t * 4.0),
         };
         let mult = if backward { 3.0 } else { 1.0 }; // fwd + 2x bwd
         self.cluster.gpu.kernel_time(mult * flops, mult * io, true)
@@ -241,7 +247,11 @@ mod tests {
         let c = cm(ModelSpec::llama3_7b());
         let d1 = c.layer_decode_time(8, 1024, 1, true);
         let d8 = c.layer_decode_time(8, 1024, 8, true);
-        assert!(d1 / d8 > 4.0, "tp=8 should cut decode time well: {}", d1 / d8);
+        assert!(
+            d1 / d8 > 4.0,
+            "tp=8 should cut decode time well: {}",
+            d1 / d8
+        );
     }
 
     #[test]
@@ -260,7 +270,11 @@ mod tests {
         let without = c.layer_decode_time(4, 512, 8, false);
         assert!(without > with);
         // For a small sharded decode, launch overhead is a visible fraction.
-        assert!((without - with) / with > 0.2, "overhead fraction {}", (without - with) / with);
+        assert!(
+            (without - with) / with > 0.2,
+            "overhead fraction {}",
+            (without - with) / with
+        );
     }
 
     #[test]

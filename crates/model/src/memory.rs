@@ -102,9 +102,8 @@ impl MemoryModel {
     /// `tokens_mb` tokens (per DP replica). With 1F1B pipelining up to
     /// `min(mbs, pp)` micro-batches are in flight on the first stage.
     pub fn train_activation_bytes(&self, s: &ParallelStrategy, tokens_mb: u64) -> u64 {
-        let per_layer =
-            tokens_mb * (2 * self.model.hidden + self.model.intermediate) * BF16
-                / u64::from(s.tp());
+        let per_layer = tokens_mb * (2 * self.model.hidden + self.model.intermediate) * BF16
+            / u64::from(s.tp());
         let layers = s.max_stage_layers(self.model.n_layers);
         let in_flight = u64::from(s.micro_batches().min(s.pp()));
         per_layer * layers * in_flight
@@ -150,7 +149,12 @@ impl MemoryModel {
     /// and processes the remaining groups sequentially, which is the §4
     /// out-of-memory knob: raising `mbs` beyond `pp` shrinks the resident
     /// KV cache.
-    pub fn gen_active_bytes(&self, s: &ParallelStrategy, batch_replica: u64, total_len: u64) -> u64 {
+    pub fn gen_active_bytes(
+        &self,
+        s: &ParallelStrategy,
+        batch_replica: u64,
+        total_len: u64,
+    ) -> u64 {
         let batch_mb = batch_replica.div_ceil(u64::from(s.micro_batches()));
         let in_flight = batch_mb * u64::from(s.pp().min(s.micro_batches()));
         self.weight_bytes_per_gpu(s)
@@ -171,7 +175,10 @@ mod tests {
     #[test]
     fn params_per_gpu_unsharded_is_total() {
         let mm = MemoryModel::new(ModelSpec::llama3_7b());
-        assert_eq!(mm.params_per_gpu(&strat(1, 1, 1, 1)), mm.model().param_count());
+        assert_eq!(
+            mm.params_per_gpu(&strat(1, 1, 1, 1)),
+            mm.model().param_count()
+        );
     }
 
     #[test]
@@ -296,8 +303,7 @@ mod tests {
         // the LM head plus final norm and is the widest (the head and the
         // input embedding have equal width, the norm breaks the tie).
         let s = strat(1, 1, 32, 1);
-        let expected =
-            mm.model().layer_params() + mm.model().head_params() + mm.model().hidden;
+        let expected = mm.model().layer_params() + mm.model().head_params() + mm.model().hidden;
         assert_eq!(mm.params_per_gpu(&s), expected);
     }
 

@@ -51,17 +51,29 @@ impl ParallelStrategy {
     /// zero.
     pub fn new(dp: u32, tp: u32, pp: u32, micro_batches: u32) -> Result<Self, InvalidStrategy> {
         if dp == 0 || tp == 0 || pp == 0 {
-            return Err(InvalidStrategy(format!("degrees must be positive: ({dp},{tp},{pp})")));
+            return Err(InvalidStrategy(format!(
+                "degrees must be positive: ({dp},{tp},{pp})"
+            )));
         }
         if micro_batches == 0 {
             return Err(InvalidStrategy("micro_batches must be positive".into()));
         }
-        Ok(Self { dp, tp, pp, micro_batches })
+        Ok(Self {
+            dp,
+            tp,
+            pp,
+            micro_batches,
+        })
     }
 
     /// A single-GPU strategy with one micro-batch.
     pub fn single() -> Self {
-        Self { dp: 1, tp: 1, pp: 1, micro_batches: 1 }
+        Self {
+            dp: 1,
+            tp: 1,
+            pp: 1,
+            micro_batches: 1,
+        }
     }
 
     /// Data-parallel degree.
@@ -102,7 +114,11 @@ impl ParallelStrategy {
     ///
     /// Panics if `rank >= world_size`.
     pub fn coords(&self, rank: u32) -> Coords {
-        assert!(rank < self.world_size(), "rank {rank} >= world {}", self.world_size());
+        assert!(
+            rank < self.world_size(),
+            "rank {rank} >= world {}",
+            self.world_size()
+        );
         Coords {
             tp: rank % self.tp,
             dp: (rank / self.tp) % self.dp,
@@ -116,7 +132,10 @@ impl ParallelStrategy {
     ///
     /// Panics if any coordinate exceeds its degree.
     pub fn rank_of(&self, c: Coords) -> u32 {
-        assert!(c.dp < self.dp && c.tp < self.tp && c.pp < self.pp, "coords out of grid");
+        assert!(
+            c.dp < self.dp && c.tp < self.tp && c.pp < self.pp,
+            "coords out of grid"
+        );
         c.pp * (self.tp * self.dp) + c.dp * self.tp + c.tp
     }
 
@@ -128,7 +147,10 @@ impl ParallelStrategy {
     /// Panics if `n_layers < pp`.
     pub fn stage_layers(&self, n_layers: u64) -> Vec<Range<u64>> {
         let pp = u64::from(self.pp);
-        assert!(n_layers >= pp, "cannot split {n_layers} layers into {pp} stages");
+        assert!(
+            n_layers >= pp,
+            "cannot split {n_layers} layers into {pp} stages"
+        );
         let base = n_layers / pp;
         let extra = n_layers % pp;
         let mut out = Vec::with_capacity(self.pp as usize);
@@ -143,7 +165,7 @@ impl ParallelStrategy {
 
     /// Layers held by one pipeline stage (the size of the widest stage).
     pub fn max_stage_layers(&self, n_layers: u64) -> u64 {
-        n_layers / u64::from(self.pp) + u64::from(n_layers % u64::from(self.pp) != 0)
+        n_layers / u64::from(self.pp) + u64::from(!n_layers.is_multiple_of(u64::from(self.pp)))
     }
 
     /// Enumerates all `(dp, tp, pp)` factorizations of `n_gpus` subject to
@@ -169,7 +191,12 @@ impl ParallelStrategy {
                     if mbs == 0 {
                         continue;
                     }
-                    out.push(Self { dp, tp, pp, micro_batches: mbs });
+                    out.push(Self {
+                        dp,
+                        tp,
+                        pp,
+                        micro_batches: mbs,
+                    });
                 }
             }
         }
@@ -192,7 +219,7 @@ fn divisors(n: u32) -> Vec<u32> {
     let mut out = Vec::new();
     let mut d = 1;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             out.push(d);
             if d != n / d {
                 out.push(n / d);
@@ -233,9 +260,23 @@ mod tests {
             assert_eq!(c.tp, r);
         }
         // Rank 4 starts dp=1.
-        assert_eq!(s.coords(4), Coords { dp: 1, tp: 0, pp: 0 });
+        assert_eq!(
+            s.coords(4),
+            Coords {
+                dp: 1,
+                tp: 0,
+                pp: 0
+            }
+        );
         // Rank 8 starts pp=1.
-        assert_eq!(s.coords(8), Coords { dp: 0, tp: 0, pp: 1 });
+        assert_eq!(
+            s.coords(8),
+            Coords {
+                dp: 0,
+                tp: 0,
+                pp: 1
+            }
+        );
     }
 
     #[test]

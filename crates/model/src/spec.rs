@@ -40,7 +40,14 @@ pub struct ModelSpec {
 }
 
 impl ModelSpec {
-    fn llama3(name: &str, hidden: u64, intermediate: u64, n_layers: u64, n_heads: u64, n_kv_heads: u64) -> Self {
+    fn llama3(
+        name: &str,
+        hidden: u64,
+        intermediate: u64,
+        n_layers: u64,
+        n_heads: u64,
+        n_kv_heads: u64,
+    ) -> Self {
         Self {
             name: name.to_string(),
             hidden,
@@ -150,13 +157,13 @@ impl ModelSpec {
         if self.hidden == 0 || self.n_layers == 0 || self.n_heads == 0 || self.vocab == 0 {
             return Err("model dimensions must be non-zero".into());
         }
-        if self.hidden % self.n_heads != 0 {
+        if !self.hidden.is_multiple_of(self.n_heads) {
             return Err(format!(
                 "hidden {} not divisible by n_heads {}",
                 self.hidden, self.n_heads
             ));
         }
-        if self.n_kv_heads == 0 || self.n_heads % self.n_kv_heads != 0 {
+        if self.n_kv_heads == 0 || !self.n_heads.is_multiple_of(self.n_kv_heads) {
             return Err(format!(
                 "n_heads {} not divisible by n_kv_heads {}",
                 self.n_heads, self.n_kv_heads
@@ -190,7 +197,11 @@ mod tests {
         for (size, total, no_embed) in TABLE1 {
             let m = ModelSpec::by_size(size).unwrap();
             assert_eq!(m.param_count(), total, "total for {size}");
-            assert_eq!(m.param_count_no_output_embed(), no_embed, "no-embed for {size}");
+            assert_eq!(
+                m.param_count_no_output_embed(),
+                no_embed,
+                "no-embed for {size}"
+            );
         }
     }
 

@@ -1,0 +1,200 @@
+//! Chrome/Perfetto trace exporter.
+//!
+//! Converts an [`EventStream`] into the Chrome Trace Event JSON-array format
+//! (loadable at `chrome://tracing` and in the Perfetto UI). All string
+//! content goes through `serde_json`, so arbitrary labels cannot break the
+//! output — the hand-rolled string concatenation this replaces interpolated
+//! labels unescaped.
+//!
+//! Mapping:
+//!
+//! | stream event        | chrome `ph` | notes                               |
+//! |---------------------|-------------|-------------------------------------|
+//! | `Begin` / `End`     | `B` / `E`   | nested spans per lane               |
+//! | `Instant`           | `i`         | thread-scoped (`"s":"t"`)           |
+//! | `Counter`           | `C`         | one track per counter name          |
+//! | `FlowStart`/`FlowEnd` | `s` / `f` | `bp:"e"` binds to enclosing slice   |
+//! | lane names          | `M`         | `process_name` / `thread_name`      |
+//!
+//! Virtual-clock seconds are converted to microseconds (the unit Chrome
+//! expects in `ts`).
+
+use serde::Value;
+
+use crate::events::{EventStream, StreamEvent};
+
+const SECS_TO_MICROS: f64 = 1e6;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Converts the stream to the Chrome trace event array as a JSON value.
+///
+/// Metadata events come first (so viewers name lanes before drawing), then
+/// the recorded events in record order.
+pub fn to_chrome_value(stream: &EventStream) -> Value {
+    let mut events: Vec<Value> = Vec::with_capacity(stream.events().len() + 16);
+
+    for (pid, name) in stream.process_names() {
+        events.push(obj(vec![
+            ("ph", Value::from("M")),
+            ("name", Value::from("process_name")),
+            ("pid", Value::from(pid)),
+            ("args", obj(vec![("name", Value::from(name))])),
+        ]));
+    }
+    for (pid, tid, name) in stream.thread_names() {
+        events.push(obj(vec![
+            ("ph", Value::from("M")),
+            ("name", Value::from("thread_name")),
+            ("pid", Value::from(pid)),
+            ("tid", Value::from(tid)),
+            ("args", obj(vec![("name", Value::from(name))])),
+        ]));
+    }
+
+    for event in stream.events() {
+        events.push(match event {
+            StreamEvent::Begin {
+                lane,
+                name,
+                category,
+                ts,
+            } => obj(vec![
+                ("ph", Value::from("B")),
+                ("name", Value::from(name.as_str())),
+                ("cat", Value::from(category.as_str())),
+                ("pid", Value::from(lane.pid)),
+                ("tid", Value::from(lane.tid)),
+                ("ts", Value::from(ts * SECS_TO_MICROS)),
+            ]),
+            StreamEvent::End { lane, ts } => obj(vec![
+                ("ph", Value::from("E")),
+                ("pid", Value::from(lane.pid)),
+                ("tid", Value::from(lane.tid)),
+                ("ts", Value::from(ts * SECS_TO_MICROS)),
+            ]),
+            StreamEvent::Instant {
+                lane,
+                name,
+                category,
+                ts,
+            } => obj(vec![
+                ("ph", Value::from("i")),
+                ("name", Value::from(name.as_str())),
+                ("cat", Value::from(category.as_str())),
+                ("pid", Value::from(lane.pid)),
+                ("tid", Value::from(lane.tid)),
+                ("ts", Value::from(ts * SECS_TO_MICROS)),
+                ("s", Value::from("t")),
+            ]),
+            StreamEvent::Counter {
+                pid,
+                track,
+                ts,
+                value,
+            } => obj(vec![
+                ("ph", Value::from("C")),
+                ("name", Value::from(track.as_str())),
+                ("pid", Value::from(*pid)),
+                ("ts", Value::from(ts * SECS_TO_MICROS)),
+                ("args", obj(vec![("value", Value::from(*value))])),
+            ]),
+            StreamEvent::FlowStart { id, name, lane, ts } => obj(vec![
+                ("ph", Value::from("s")),
+                ("name", Value::from(name.as_str())),
+                ("cat", Value::from("flow")),
+                ("id", Value::from(*id)),
+                ("pid", Value::from(lane.pid)),
+                ("tid", Value::from(lane.tid)),
+                ("ts", Value::from(ts * SECS_TO_MICROS)),
+            ]),
+            StreamEvent::FlowEnd { id, name, lane, ts } => obj(vec![
+                ("ph", Value::from("f")),
+                ("name", Value::from(name.as_str())),
+                ("cat", Value::from("flow")),
+                ("id", Value::from(*id)),
+                ("bp", Value::from("e")),
+                ("pid", Value::from(lane.pid)),
+                ("tid", Value::from(lane.tid)),
+                ("ts", Value::from(ts * SECS_TO_MICROS)),
+            ]),
+        });
+    }
+
+    Value::Array(events)
+}
+
+/// Converts the stream to a compact Chrome trace JSON string.
+pub fn to_chrome_string(stream: &EventStream) -> String {
+    serde_json::to_string(&to_chrome_value(stream)).expect("Value serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::LaneId;
+
+    fn sample_stream() -> EventStream {
+        let mut s = EventStream::with_capacity(100);
+        let gpu = LaneId::gpu(0, 1);
+        s.set_lane_name(gpu, "node0", "gpu1");
+        s.set_lane_name(LaneId::master(), "master", "controller");
+        s.begin(gpu, "actor.train", "compute", 0.0);
+        s.begin(gpu, "layer_fwd", "compute", 0.1);
+        s.end(gpu, 0.4);
+        s.end(gpu, 1.0);
+        s.instant(gpu, "oom_check", "memory", 0.5);
+        s.counter(0, "mem/node0/gpu1", 0.0, 11.5);
+        s.flow_start(3, "req:actor.train", LaneId::master(), 0.0);
+        s.flow_end(3, "req:actor.train", gpu, 1.0);
+        s
+    }
+
+    #[test]
+    fn export_parses_as_json_and_keeps_structure() {
+        let s = sample_stream();
+        let json = to_chrome_string(&s);
+        let parsed: Value = serde_json::from_str(&json).unwrap();
+        let events = parsed.as_array().unwrap();
+        // 2 process + 2 thread metadata records precede the events.
+        assert_eq!(events[0]["ph"].as_str(), Some("M"));
+        let phases: Vec<&str> = events.iter().filter_map(|e| e["ph"].as_str()).collect();
+        assert_eq!(phases.iter().filter(|&&p| p == "B").count(), 2);
+        assert_eq!(phases.iter().filter(|&&p| p == "E").count(), 2);
+        assert!(phases.contains(&"i"));
+        assert!(phases.contains(&"C"));
+        assert!(phases.contains(&"s"));
+        assert!(phases.contains(&"f"));
+    }
+
+    #[test]
+    fn timestamps_are_microseconds() {
+        let s = sample_stream();
+        let parsed = to_chrome_value(&s);
+        let begin = parsed
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e["ph"].as_str() == Some("B") && e["name"].as_str() == Some("layer_fwd"))
+            .unwrap();
+        assert!((begin["ts"].as_f64().unwrap() - 0.1e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hostile_labels_cannot_inject_fields() {
+        let mut s = EventStream::with_capacity(10);
+        let hostile = "x\",\"pid\":999,\"y\":\"";
+        s.span(LaneId::gpu(0, 0), hostile, "compute", 0.0, 1.0);
+        let parsed: Value = serde_json::from_str(&to_chrome_string(&s)).unwrap();
+        let begin = &parsed.as_array().unwrap()[0];
+        assert_eq!(begin["name"].as_str(), Some(hostile));
+        assert_eq!(begin["pid"].as_u64(), Some(0));
+    }
+}

@@ -1,0 +1,480 @@
+//! Span-based structured event stream over the virtual clock.
+//!
+//! An [`EventStream`] is an append-only, bounded log of observability events
+//! positioned on the simulator's virtual timeline: nested begin/end spans,
+//! instant events, counter samples, and flow arrows that link a master
+//! `Request` dispatch to the worker `Response` that completes it. Events are
+//! placed on *lanes* ([`LaneId`]), which map one-to-one onto Chrome trace
+//! `pid`/`tid` rows — by convention `pid = node`, `tid = gpu`, with a small
+//! number of synthetic lanes for master/controller activity.
+//!
+//! Nesting is enforced at record time with a per-lane span stack: `end`
+//! without a matching `begin` is rejected, and [`EventStream::open_spans`]
+//! exposes the dangling count so tests (and the exporter) can assert that
+//! every span was closed. Timestamps are virtual seconds; the Chrome
+//! exporter converts to microseconds.
+
+use std::collections::BTreeMap;
+
+/// A trace lane: one horizontal row in the trace viewer.
+///
+/// `pid` groups rows (a node, or a synthetic process such as the master);
+/// `tid` is the row within the group (a GPU, or a control thread).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LaneId {
+    /// Process row (node index, or a synthetic process id).
+    pub pid: u32,
+    /// Thread row within the process (GPU index, or a control thread).
+    pub tid: u32,
+}
+
+impl LaneId {
+    /// The lane of GPU `gpu` on node `node`.
+    pub fn gpu(node: u32, gpu: u32) -> Self {
+        Self {
+            pid: node,
+            tid: gpu,
+        }
+    }
+
+    /// The synthetic master/controller lane.
+    pub fn master() -> Self {
+        Self {
+            pid: u32::MAX,
+            tid: 0,
+        }
+    }
+}
+
+/// One event in the stream. Timestamps are virtual-clock seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// Opens a nested span on `lane`.
+    Begin {
+        /// Lane the span lives on.
+        lane: LaneId,
+        /// Span name (e.g. `layer_fwd`).
+        name: String,
+        /// Category (e.g. `compute`, `tp-comm`).
+        category: String,
+        /// Start time.
+        ts: f64,
+    },
+    /// Closes the innermost open span on `lane`.
+    End {
+        /// Lane the span lives on.
+        lane: LaneId,
+        /// End time.
+        ts: f64,
+    },
+    /// A point-in-time marker.
+    Instant {
+        /// Lane the marker sits on.
+        lane: LaneId,
+        /// Marker name.
+        name: String,
+        /// Category.
+        category: String,
+        /// Time of the marker.
+        ts: f64,
+    },
+    /// One sample of a named counter track.
+    Counter {
+        /// Process the track belongs to.
+        pid: u32,
+        /// Track name (e.g. `mem/node0/gpu1`).
+        track: String,
+        /// Sample time.
+        ts: f64,
+        /// Sampled value.
+        value: f64,
+    },
+    /// Start of a flow arrow (e.g. master dispatches a `Request`).
+    FlowStart {
+        /// Correlation id shared with the matching [`StreamEvent::FlowEnd`].
+        id: u64,
+        /// Flow name.
+        name: String,
+        /// Lane the arrow leaves from.
+        lane: LaneId,
+        /// Departure time.
+        ts: f64,
+    },
+    /// End of a flow arrow (e.g. a worker `Response` completes).
+    FlowEnd {
+        /// Correlation id shared with the matching [`StreamEvent::FlowStart`].
+        id: u64,
+        /// Flow name.
+        name: String,
+        /// Lane the arrow lands on.
+        lane: LaneId,
+        /// Arrival time.
+        ts: f64,
+    },
+}
+
+/// Bounded, append-only event stream with lane metadata.
+#[derive(Debug, Clone, Default)]
+pub struct EventStream {
+    events: Vec<StreamEvent>,
+    capacity: usize,
+    dropped: u64,
+    /// `pid -> process name` (e.g. `node0`).
+    process_names: BTreeMap<u32, String>,
+    /// `(pid, tid) -> thread name` (e.g. `gpu3`).
+    thread_names: BTreeMap<(u32, u32), String>,
+    /// Per-lane count of currently open spans.
+    open: BTreeMap<LaneId, u32>,
+}
+
+impl EventStream {
+    /// Creates a stream holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity,
+            ..Self::default()
+        }
+    }
+
+    /// Names a lane `node{n}/gpu{g}`-style for the trace viewer. Metadata is
+    /// stored out-of-band and does not count against capacity.
+    pub fn set_lane_name(&mut self, lane: LaneId, process: &str, thread: &str) {
+        self.process_names.insert(lane.pid, process.to_string());
+        self.thread_names
+            .insert((lane.pid, lane.tid), thread.to_string());
+    }
+
+    fn push(&mut self, event: StreamEvent) -> bool {
+        if self.capacity > 0 && self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        self.events.push(event);
+        true
+    }
+
+    /// Opens a span. Returns `false` when the event was dropped (stream
+    /// full); the matching [`EventStream::end`] must still be called — the
+    /// stack is tracked independently of storage so nesting stays balanced.
+    pub fn begin(&mut self, lane: LaneId, name: &str, category: &str, ts: f64) -> bool {
+        *self.open.entry(lane).or_insert(0) += 1;
+        self.push(StreamEvent::Begin {
+            lane,
+            name: name.to_string(),
+            category: category.to_string(),
+            ts,
+        })
+    }
+
+    /// Closes the innermost open span on `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no span is open on `lane` — an unmatched `end` is a
+    /// programming error that would corrupt the whole trace.
+    pub fn end(&mut self, lane: LaneId, ts: f64) -> bool {
+        let open = self.open.get_mut(&lane);
+        match open {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => panic!("EventStream::end on lane {lane:?} with no open span"),
+        }
+        self.push(StreamEvent::End { lane, ts })
+    }
+
+    /// Records a complete span (begin + end in one call).
+    pub fn span(&mut self, lane: LaneId, name: &str, category: &str, start: f64, end: f64) {
+        self.begin(lane, name, category, start);
+        self.end(lane, end);
+    }
+
+    /// Records an instant marker.
+    pub fn instant(&mut self, lane: LaneId, name: &str, category: &str, ts: f64) -> bool {
+        self.push(StreamEvent::Instant {
+            lane,
+            name: name.to_string(),
+            category: category.to_string(),
+            ts,
+        })
+    }
+
+    /// Records one counter-track sample.
+    pub fn counter(&mut self, pid: u32, track: &str, ts: f64, value: f64) -> bool {
+        self.push(StreamEvent::Counter {
+            pid,
+            track: track.to_string(),
+            ts,
+            value,
+        })
+    }
+
+    /// Records the start of a flow arrow.
+    pub fn flow_start(&mut self, id: u64, name: &str, lane: LaneId, ts: f64) -> bool {
+        self.push(StreamEvent::FlowStart {
+            id,
+            name: name.to_string(),
+            lane,
+            ts,
+        })
+    }
+
+    /// Records the end of a flow arrow.
+    pub fn flow_end(&mut self, id: u64, name: &str, lane: LaneId, ts: f64) -> bool {
+        self.push(StreamEvent::FlowEnd {
+            id,
+            name: name.to_string(),
+            lane,
+            ts,
+        })
+    }
+
+    /// The recorded events, in record order.
+    pub fn events(&self) -> &[StreamEvent] {
+        &self.events
+    }
+
+    /// Number of events dropped after the stream filled up.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total count of spans currently open across all lanes.
+    pub fn open_spans(&self) -> u32 {
+        self.open.values().sum()
+    }
+
+    /// Named processes, sorted by pid.
+    pub fn process_names(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.process_names
+            .iter()
+            .map(|(&pid, name)| (pid, name.as_str()))
+    }
+
+    /// Named threads, sorted by (pid, tid).
+    pub fn thread_names(&self) -> impl Iterator<Item = (u32, u32, &str)> {
+        self.thread_names
+            .iter()
+            .map(|(&(pid, tid), name)| (pid, tid, name.as_str()))
+    }
+
+    /// Checks the cross-event invariants tests rely on:
+    /// every recorded `End` closes an earlier `Begin` on the same lane (the
+    /// per-lane running depth never goes negative), no span is left open,
+    /// and every flow id appears as a start/end pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.open_spans() != 0 {
+            return Err(format!("{} span(s) left open", self.open_spans()));
+        }
+        let mut depth: BTreeMap<LaneId, i64> = BTreeMap::new();
+        let mut flow_starts: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut flow_ends: BTreeMap<u64, u64> = BTreeMap::new();
+        for event in &self.events {
+            match event {
+                StreamEvent::Begin { lane, .. } => {
+                    *depth.entry(*lane).or_insert(0) += 1;
+                }
+                StreamEvent::End { lane, .. } => {
+                    let d = depth.entry(*lane).or_insert(0);
+                    *d -= 1;
+                    if *d < 0 && self.dropped == 0 {
+                        return Err(format!("unmatched end on lane {lane:?}"));
+                    }
+                }
+                StreamEvent::FlowStart { id, .. } => {
+                    *flow_starts.entry(*id).or_insert(0) += 1;
+                }
+                StreamEvent::FlowEnd { id, .. } => {
+                    *flow_ends.entry(*id).or_insert(0) += 1;
+                }
+                _ => {}
+            }
+        }
+        if self.dropped == 0 {
+            for (lane, d) in &depth {
+                if *d != 0 {
+                    return Err(format!("lane {lane:?} ends with depth {d}"));
+                }
+            }
+            for (id, n) in &flow_starts {
+                if flow_ends.get(id) != Some(n) {
+                    return Err(format!(
+                        "flow {id} has {n} start(s) without matching end(s)"
+                    ));
+                }
+            }
+            for id in flow_ends.keys() {
+                if !flow_starts.contains_key(id) {
+                    return Err(format!("flow {id} ends without a start"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_balance() {
+        let mut s = EventStream::with_capacity(100);
+        let lane = LaneId::gpu(0, 1);
+        s.begin(lane, "outer", "compute", 0.0);
+        s.begin(lane, "inner", "compute", 1.0);
+        assert_eq!(s.open_spans(), 2);
+        s.end(lane, 2.0);
+        s.end(lane, 3.0);
+        assert_eq!(s.open_spans(), 0);
+        assert!(s.check_invariants().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "no open span")]
+    fn unmatched_end_panics() {
+        let mut s = EventStream::with_capacity(10);
+        s.end(LaneId::gpu(0, 0), 1.0);
+    }
+
+    #[test]
+    fn flows_must_pair() {
+        let mut s = EventStream::with_capacity(10);
+        s.flow_start(7, "req", LaneId::master(), 0.0);
+        assert!(s.check_invariants().is_err());
+        s.flow_end(7, "req", LaneId::gpu(0, 0), 1.0);
+        assert!(s.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn capacity_bounds_storage_not_nesting() {
+        let mut s = EventStream::with_capacity(2);
+        let lane = LaneId::gpu(0, 0);
+        s.span(lane, "a", "compute", 0.0, 1.0); // fills capacity
+        s.span(lane, "b", "compute", 1.0, 2.0); // dropped, stack stays sane
+        assert_eq!(s.events().len(), 2);
+        assert_eq!(s.dropped(), 2);
+        assert_eq!(s.open_spans(), 0);
+        assert!(s.check_invariants().is_ok());
+    }
+
+    /// Drives a stream with an arbitrary op sequence, keeping a shadow stack
+    /// so every `end` targets a lane with an open span. Returns the stream
+    /// with all spans closed.
+    fn drive(ops: &[(usize, u32, u32)], capacity: usize) -> EventStream {
+        let mut s = EventStream::with_capacity(capacity);
+        let mut stack: Vec<LaneId> = Vec::new();
+        let mut flows: u64 = 0;
+        let mut ts = 0.0;
+        for &(op, node, gpu) in ops {
+            let lane = LaneId::gpu(node, gpu);
+            ts += 0.5;
+            match op {
+                0 => {
+                    s.begin(lane, "span", "compute", ts);
+                    stack.push(lane);
+                }
+                1 => {
+                    if let Some(l) = stack.pop() {
+                        s.end(l, ts);
+                    }
+                }
+                2 => {
+                    s.instant(lane, "mark", "compute", ts);
+                }
+                3 => {
+                    s.counter(node, "mem", ts, f64::from(gpu));
+                }
+                _ => {
+                    s.flow_start(flows, "req", LaneId::master(), ts);
+                    s.flow_end(flows, "req", lane, ts + 0.25);
+                    flows += 1;
+                }
+            }
+        }
+        while let Some(l) = stack.pop() {
+            ts += 0.5;
+            s.end(l, ts);
+        }
+        s
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn random_well_formed_streams_keep_invariants(
+            ops in proptest::collection::vec((0usize..5, 0u32..3, 0u32..4), 0..120)
+        ) {
+            let s = drive(&ops, 0);
+            prop_assert_eq!(s.open_spans(), 0);
+            prop_assert_eq!(s.dropped(), 0);
+            prop_assert!(s.check_invariants().is_ok());
+            // Per-lane begin/end counts balance exactly.
+            let mut per_lane: BTreeMap<LaneId, i64> = BTreeMap::new();
+            for e in s.events() {
+                match e {
+                    StreamEvent::Begin { lane, .. } => *per_lane.entry(*lane).or_insert(0) += 1,
+                    StreamEvent::End { lane, .. } => *per_lane.entry(*lane).or_insert(0) -= 1,
+                    _ => {}
+                }
+            }
+            for (_, d) in per_lane {
+                prop_assert_eq!(d, 0);
+            }
+        }
+
+        #[test]
+        fn random_flow_ids_always_pair(
+            ops in proptest::collection::vec((0usize..5, 0u32..3, 0u32..4), 0..120)
+        ) {
+            let s = drive(&ops, 0);
+            let mut starts: BTreeMap<u64, u64> = BTreeMap::new();
+            let mut ends: BTreeMap<u64, u64> = BTreeMap::new();
+            for e in s.events() {
+                match e {
+                    StreamEvent::FlowStart { id, .. } => *starts.entry(*id).or_insert(0) += 1,
+                    StreamEvent::FlowEnd { id, .. } => *ends.entry(*id).or_insert(0) += 1,
+                    _ => {}
+                }
+            }
+            prop_assert_eq!(starts, ends);
+        }
+
+        #[test]
+        fn capped_streams_drop_without_corruption(
+            ops in proptest::collection::vec((0usize..5, 0u32..3, 0u32..4), 0..120),
+            cap in 1usize..8
+        ) {
+            let s = drive(&ops, cap);
+            prop_assert!(s.events().len() <= cap);
+            prop_assert_eq!(s.open_spans(), 0);
+            // A truncated stream still passes (the strict checks are waived
+            // once events were dropped, but the walk must not error).
+            prop_assert!(s.check_invariants().is_ok());
+        }
+
+        #[test]
+        fn chrome_export_of_random_stream_parses(
+            ops in proptest::collection::vec((0usize..5, 0u32..3, 0u32..4), 0..60)
+        ) {
+            let s = drive(&ops, 0);
+            let json = crate::chrome::to_chrome_string(&s);
+            let v: serde_json::Value = serde_json::from_str(&json).expect("export parses");
+            prop_assert_eq!(v.as_array().unwrap().len(), s.events().len());
+        }
+    }
+
+    #[test]
+    fn lane_metadata_is_sorted() {
+        let mut s = EventStream::with_capacity(10);
+        s.set_lane_name(LaneId::gpu(1, 0), "node1", "gpu0");
+        s.set_lane_name(LaneId::gpu(0, 3), "node0", "gpu3");
+        let procs: Vec<_> = s.process_names().collect();
+        assert_eq!(procs, vec![(0, "node0"), (1, "node1")]);
+        let threads: Vec<_> = s.thread_names().collect();
+        assert_eq!(threads, vec![(0, 3, "gpu3"), (1, 0, "gpu0")]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Unified observability layer for `real-rs`.
+//!
+//! Half of the ReaL paper's evaluation *is* observability: Fig. 10 kernel
+//! traces, Fig. 11 GPU-time splits, Fig. 12 estimator-vs-runtime error,
+//! Fig. 13 search-progress curves. This crate provides the two substrates
+//! those figures (and every later performance PR) are built on:
+//!
+//! - [`metrics`] — a deterministic registry of counters, gauges, fixed-bucket
+//!   histograms, and bounded time series keyed by `(name, labels)`,
+//!   snapshotable to JSON via serde. Iteration order is fully deterministic
+//!   (BTreeMap + sorted labels), so snapshots diff cleanly across runs.
+//! - [`events`] — a span-based structured event stream over the *virtual*
+//!   clock: nested begin/end spans, instant events, counter tracks, and flow
+//!   events linking a master `Request` dispatch to its worker `Response`.
+//! - [`chrome`] — a serde_json-backed Chrome/Perfetto trace exporter for
+//!   [`events::EventStream`], with metadata records naming lanes
+//!   `node{n}/gpu{g}`.
+//!
+//! Producers upstream: `real-sim` (per-GPU busy spans, per-link utilization
+//! counters), `real-runtime` (function-call spans, micro-batches, realloc
+//! broadcasts, transfers, per-GPU memory tracks), `real-search` (MCMC chain
+//! telemetry), `real-estimator` (Algorithm-1 queue events).
+
+pub mod chrome;
+pub mod events;
+pub mod metrics;
+
+pub use chrome::to_chrome_value;
+pub use events::{EventStream, LaneId, StreamEvent};
+pub use metrics::{Histogram, MetricValue, MetricsRegistry, MetricsSnapshot, Series};

@@ -1,0 +1,506 @@
+//! Deterministic metrics registry.
+//!
+//! Counters, gauges, fixed-bucket histograms, and bounded `(x, y)` series,
+//! keyed by `(name, labels)`. Everything is ordered (BTreeMap over a sorted
+//! label list), so a snapshot of the same run serializes to byte-identical
+//! JSON — a hard requirement for the repo's reproducibility guarantees and
+//! for golden-file tests.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A metric identity: name plus sorted `key=value` labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Builds a key; labels are sorted so equal label *sets* compare equal.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Self {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sorted labels.
+    pub fn labels(&self) -> &[(String, String)] {
+        &self.labels
+    }
+}
+
+impl fmt::Display for MetricKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)?;
+        if !self.labels.is_empty() {
+            f.write_str("{")?;
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write!(f, "{k}={v}")?;
+            }
+            f.write_str("}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A fixed-bucket histogram.
+///
+/// `bounds` are the upper bucket edges; an observation lands in the first
+/// bucket whose bound is `>= value`, or in the implicit overflow bucket, so
+/// `counts.len() == bounds.len() + 1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over the given (strictly increasing)
+    /// bucket bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when bounds are empty or not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// The upper bucket edges.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket observation counts (last entry is the overflow bucket).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of observed values, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A bounded `(x, y)` series (e.g. energy over MCMC steps). When full, new
+/// points are dropped and counted, keeping memory bounded on long runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    points: Vec<(f64, f64)>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Series {
+    /// Creates an empty series holding at most `capacity` points.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            points: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a point, dropping it (and counting the drop) when full.
+    pub fn push(&mut self, x: f64, y: f64) {
+        if self.points.len() < self.capacity {
+            self.points.push((x, y));
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points dropped after the series filled up.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The last recorded `y`, if any.
+    pub fn last_y(&self) -> Option<f64> {
+        self.points.last().map(|&(_, y)| y)
+    }
+}
+
+/// One metric's current value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// Monotonically accumulated total.
+    Counter(f64),
+    /// Last-write-wins level.
+    Gauge(f64),
+    /// Fixed-bucket distribution.
+    Histogram(Histogram),
+    /// Bounded `(x, y)` trajectory.
+    Series(Series),
+}
+
+impl MetricValue {
+    /// The scalar reading for counters/gauges, the mean for histograms, and
+    /// the last `y` for series. Handy for table rendering.
+    pub fn scalar(&self) -> f64 {
+        match self {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => *v,
+            MetricValue::Histogram(h) => h.mean(),
+            MetricValue::Series(s) => s.last_y().unwrap_or(0.0),
+        }
+    }
+
+    /// A short kind tag for display.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+            MetricValue::Series(_) => "series",
+        }
+    }
+}
+
+/// Deterministic registry of metrics keyed by `(name, labels)`.
+///
+/// Type mismatches (e.g. `counter_add` on a key previously registered as a
+/// gauge) panic: they are programming errors, and failing loudly in the
+/// simulator is strictly better than silently corrupting telemetry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<MetricKey, MetricValue>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to a counter, creating it at zero on first touch.
+    pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], delta: f64) {
+        let entry = self
+            .metrics
+            .entry(MetricKey::new(name, labels))
+            .or_insert(MetricValue::Counter(0.0));
+        match entry {
+            MetricValue::Counter(v) => *v += delta,
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Increments a counter by one.
+    pub fn counter_inc(&mut self, name: &str, labels: &[(&str, &str)]) {
+        self.counter_add(name, labels, 1.0);
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let entry = self
+            .metrics
+            .entry(MetricKey::new(name, labels))
+            .or_insert(MetricValue::Gauge(0.0));
+        match entry {
+            MetricValue::Gauge(v) => *v = value,
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Records an observation into a histogram, creating it with `bounds` on
+    /// first touch (later calls ignore `bounds`).
+    pub fn histogram_observe(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+        value: f64,
+    ) {
+        let entry = self
+            .metrics
+            .entry(MetricKey::new(name, labels))
+            .or_insert_with(|| MetricValue::Histogram(Histogram::new(bounds)));
+        match entry {
+            MetricValue::Histogram(h) => h.observe(value),
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Appends a point to a bounded series, creating it with `capacity` on
+    /// first touch (later calls ignore `capacity`).
+    pub fn series_push(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        capacity: usize,
+        x: f64,
+        y: f64,
+    ) {
+        let entry = self
+            .metrics
+            .entry(MetricKey::new(name, labels))
+            .or_insert_with(|| MetricValue::Series(Series::new(capacity)));
+        match entry {
+            MetricValue::Series(s) => s.push(x, y),
+            other => panic!("metric `{name}` is a {}, not a series", other.kind()),
+        }
+    }
+
+    /// Looks up a metric by name and labels.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        self.metrics.get(&MetricKey::new(name, labels))
+    }
+
+    /// Iterates metrics in deterministic (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&MetricKey, &MetricValue)> {
+        self.metrics.iter()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Merges another registry into this one: counters add, gauges take the
+    /// other's value, histograms/series replace when absent and panic on key
+    /// collisions of mismatched kinds.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (key, value) in other.iter() {
+            match (self.metrics.get_mut(key), value) {
+                (None, v) => {
+                    self.metrics.insert(key.clone(), v.clone());
+                }
+                (Some(MetricValue::Counter(a)), MetricValue::Counter(b)) => *a += b,
+                (Some(MetricValue::Gauge(a)), MetricValue::Gauge(b)) => *a = *b,
+                (Some(existing), incoming) => panic!(
+                    "cannot merge metric `{key}`: {} into {}",
+                    incoming.kind(),
+                    existing.kind()
+                ),
+            }
+        }
+    }
+
+    /// Takes an immutable snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            metrics: self
+                .metrics
+                .iter()
+                .map(|(k, v)| SnapshotEntry {
+                    name: k.name.clone(),
+                    labels: k.labels.clone(),
+                    value: v.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One `(key, value)` pair in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotEntry {
+    /// Metric name.
+    pub name: String,
+    /// Sorted labels.
+    pub labels: Vec<(String, String)>,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// A point-in-time copy of a registry, serializable to/from JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All metrics, in deterministic key order.
+    pub metrics: Vec<SnapshotEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up an entry by name and labels.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        let key = MetricKey::new(name, labels);
+        self.metrics
+            .iter()
+            .find(|e| e.name == key.name && e.labels == key.labels)
+            .map(|e| &e.value)
+    }
+
+    /// Rebuilds a registry (e.g. after JSON round-trip).
+    pub fn into_registry(self) -> MetricsRegistry {
+        MetricsRegistry {
+            metrics: self
+                .metrics
+                .into_iter()
+                .map(|e| {
+                    (
+                        MetricKey {
+                            name: e.name,
+                            labels: e.labels,
+                        },
+                        e.value,
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_inc("requests", &[("model", "actor")]);
+        reg.counter_add("requests", &[("model", "actor")], 2.0);
+        reg.gauge_set("mem", &[], 5.0);
+        reg.gauge_set("mem", &[], 7.0);
+        assert_eq!(
+            reg.get("requests", &[("model", "actor")]).unwrap().scalar(),
+            3.0
+        );
+        assert_eq!(reg.get("mem", &[]).unwrap().scalar(), 7.0);
+    }
+
+    #[test]
+    fn label_order_is_canonicalized() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_inc("x", &[("b", "2"), ("a", "1")]);
+        reg.counter_inc("x", &[("a", "1"), ("b", "2")]);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(
+            reg.get("x", &[("a", "1"), ("b", "2")]).unwrap().scalar(),
+            2.0
+        );
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        // A value exactly on a bound lands in that bound's bucket
+        // (bucket = first bound >= value).
+        h.observe(0.5); // bucket 0 (<= 1.0)
+        h.observe(1.0); // bucket 0 (== 1.0)
+        h.observe(1.5); // bucket 1 (<= 2.0)
+        h.observe(2.0); // bucket 1 (== 2.0)
+        h.observe(3.0); // bucket 2 (<= 4.0)
+        h.observe(9.0); // overflow bucket
+        assert_eq!(h.counts(), &[2, 2, 1, 1]);
+        assert_eq!(h.count(), 6);
+        assert!((h.sum() - 17.0).abs() < 1e-12);
+        assert!((h.mean() - 17.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn series_is_bounded() {
+        let mut s = Series::new(2);
+        s.push(0.0, 1.0);
+        s.push(1.0, 2.0);
+        s.push(2.0, 3.0);
+        assert_eq!(s.points(), &[(0.0, 1.0), (1.0, 2.0)]);
+        assert_eq!(s.dropped(), 1);
+        assert_eq!(s.last_y(), Some(2.0));
+    }
+
+    #[test]
+    fn snapshot_json_round_trip() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("steps", &[("chain", "0")], 41.0);
+        reg.gauge_set("best_cost", &[], 3.25);
+        reg.histogram_observe("latency", &[], &[0.001, 0.01, 0.1], 0.004);
+        reg.histogram_observe("latency", &[], &[0.001, 0.01, 0.1], 0.2);
+        reg.series_push("energy", &[("chain", "0")], 16, 0.0, 10.0);
+        reg.series_push("energy", &[("chain", "0")], 16, 1.0, 8.5);
+
+        let snap = reg.snapshot();
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.clone().into_registry(), reg);
+
+        // Deterministic serialization: same registry, same bytes.
+        let json2 = serde_json::to_string_pretty(&reg.snapshot()).unwrap();
+        assert_eq!(json, json2);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_keeps_disjoint_metrics() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("n", &[], 1.0);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("n", &[], 2.0);
+        b.gauge_set("g", &[], 4.0);
+        a.merge(&b);
+        assert_eq!(a.get("n", &[]).unwrap().scalar(), 3.0);
+        assert_eq!(a.get("g", &[]).unwrap().scalar(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge_set("x", &[], 1.0);
+        reg.counter_inc("x", &[]);
+    }
+}

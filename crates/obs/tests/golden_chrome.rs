@@ -1,0 +1,53 @@
+//! Golden-file test: the Chrome export of a small, fully representative
+//! run-shaped stream must match the checked-in snapshot byte for byte, and
+//! the snapshot itself must parse as valid JSON.
+//!
+//! Regenerate the snapshot after an intentional exporter change with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p real-obs --test golden_chrome
+//! ```
+
+use real_obs::{chrome, EventStream, LaneId};
+
+/// A miniature run: one master call span with a flow arrow into a worker
+/// GPU span, an instant marker, and a memory counter track — one of every
+/// event kind the runtime assembler emits.
+fn small_run() -> EventStream {
+    let mut s = EventStream::with_capacity(0);
+    let gpu = LaneId::gpu(0, 0);
+    s.set_lane_name(gpu, "node0", "gpu0");
+    s.set_lane_name(LaneId::master(), "master", "actor_gen");
+    s.begin(LaneId::master(), "actor_gen#0", "call", 0.0);
+    s.flow_start(0, "req:actor_gen", LaneId::master(), 0.0);
+    s.begin(gpu, "gen_layer", "compute", 0.5);
+    s.end(gpu, 1.5);
+    s.instant(gpu, "kv_flush", "memory", 1.75);
+    s.flow_end(0, "req:actor_gen", gpu, 2.0);
+    s.end(LaneId::master(), 2.0);
+    s.counter(0, "mem/node0/gpu0", 0.0, 8.0);
+    s.counter(0, "mem/node0/gpu0", 2.0, 6.5);
+    s.check_invariants().expect("sample stream is well formed");
+    s
+}
+
+#[test]
+fn chrome_export_matches_golden_snapshot() {
+    let exported = chrome::to_chrome_string(&small_run());
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/chrome_small.json"
+    );
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(golden_path, format!("{exported}\n")).unwrap();
+    }
+    let golden = std::fs::read_to_string(golden_path).expect("golden snapshot is checked in");
+    assert_eq!(
+        exported,
+        golden.trim_end(),
+        "chrome export diverged from the golden snapshot; \
+         rerun with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+    let parsed: serde::Value = serde_json::from_str(&golden).unwrap();
+    assert!(!parsed.as_array().unwrap().is_empty());
+}

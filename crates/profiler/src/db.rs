@@ -72,9 +72,15 @@ impl ProfileTable {
     ///
     /// Panics if `knots` is empty or x is not strictly increasing.
     pub fn new(knots: Vec<(f64, f64)>) -> Self {
-        assert!(!knots.is_empty(), "profile table must have at least one knot");
+        assert!(
+            !knots.is_empty(),
+            "profile table must have at least one knot"
+        );
         for w in knots.windows(2) {
-            assert!(w[0].0 < w[1].0, "profile knots must be strictly increasing in x");
+            assert!(
+                w[0].0 < w[1].0,
+                "profile knots must be strictly increasing in x"
+            );
         }
         Self { knots }
     }
@@ -270,24 +276,47 @@ mod tests {
 
     #[test]
     fn lookup_exact_key() {
-        let key = ProfileKey { op: OpKind::EmbedFwd, tp: 2 };
+        let key = ProfileKey {
+            op: OpKind::EmbedFwd,
+            tp: 2,
+        };
         let db = db_with(vec![(key, table(&[(1.0, 1.0), (2.0, 2.0)]))]);
         assert_eq!(db.lookup(key, 1.5), Some(1.5));
     }
 
     #[test]
     fn lookup_falls_back_to_nearest_tp_with_rescale() {
-        let k2 = ProfileKey { op: OpKind::EmbedFwd, tp: 2 };
+        let k2 = ProfileKey {
+            op: OpKind::EmbedFwd,
+            tp: 2,
+        };
         let db = db_with(vec![(k2, table(&[(1.0, 4.0), (2.0, 4.0)]))]);
         // tp=4 missing: reuse tp=2 table scaled by 2/4.
-        let got = db.lookup(ProfileKey { op: OpKind::EmbedFwd, tp: 4 }, 1.0).unwrap();
+        let got = db
+            .lookup(
+                ProfileKey {
+                    op: OpKind::EmbedFwd,
+                    tp: 4,
+                },
+                1.0,
+            )
+            .unwrap();
         assert!((got - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn lookup_missing_op_is_none() {
         let db = db_with(vec![]);
-        assert_eq!(db.lookup(ProfileKey { op: OpKind::HeadFwd, tp: 1 }, 1.0), None);
+        assert_eq!(
+            db.lookup(
+                ProfileKey {
+                    op: OpKind::HeadFwd,
+                    tp: 1
+                },
+                1.0
+            ),
+            None
+        );
     }
 
     #[test]
@@ -304,9 +333,27 @@ mod tests {
     #[test]
     fn bucket_listing() {
         let db = db_with(vec![
-            (ProfileKey { op: OpKind::LayerFwd { seq_bucket: 512 }, tp: 1 }, table(&[(1.0, 1.0)])),
-            (ProfileKey { op: OpKind::LayerFwd { seq_bucket: 256 }, tp: 2 }, table(&[(1.0, 1.0)])),
-            (ProfileKey { op: OpKind::LayerDecode { past_bucket: 1024 }, tp: 1 }, table(&[(1.0, 1.0)])),
+            (
+                ProfileKey {
+                    op: OpKind::LayerFwd { seq_bucket: 512 },
+                    tp: 1,
+                },
+                table(&[(1.0, 1.0)]),
+            ),
+            (
+                ProfileKey {
+                    op: OpKind::LayerFwd { seq_bucket: 256 },
+                    tp: 2,
+                },
+                table(&[(1.0, 1.0)]),
+            ),
+            (
+                ProfileKey {
+                    op: OpKind::LayerDecode { past_bucket: 1024 },
+                    tp: 1,
+                },
+                table(&[(1.0, 1.0)]),
+            ),
         ]);
         assert_eq!(db.seq_buckets(), vec![256, 512]);
         assert_eq!(db.past_buckets(), vec![1024]);
@@ -323,13 +370,19 @@ mod tests {
 
     #[test]
     fn display_of_op_kinds() {
-        assert_eq!(OpKind::LayerFwd { seq_bucket: 512 }.to_string(), "layer_fwd@seq512");
+        assert_eq!(
+            OpKind::LayerFwd { seq_bucket: 512 }.to_string(),
+            "layer_fwd@seq512"
+        );
         assert_eq!(OpKind::OptimStep.to_string(), "optim_step");
     }
 
     #[test]
     fn profile_db_round_trips_through_serde() {
-        let key = ProfileKey { op: OpKind::LayerFwd { seq_bucket: 512 }, tp: 4 };
+        let key = ProfileKey {
+            op: OpKind::LayerFwd { seq_bucket: 512 },
+            tp: 4,
+        };
         let db = db_with(vec![(key, table(&[(256.0, 1.5), (512.0, 3.0)]))]);
         let json = serde_json::to_string(&db).unwrap();
         let back: ProfileDb = serde_json::from_str(&json).unwrap();

@@ -125,9 +125,13 @@ impl Profiler {
         let mut budget = 0.0f64;
         let mut samples = 0u64;
         let mut entries: Vec<(ProfileKey, ProfileTable)> = Vec::new();
-        let measure = |true_secs: f64, rng: &mut DeterministicRng,
-                           budget: &mut f64, samples: &mut u64, trials: u32,
-                           sigma: f64, overhead: f64| {
+        let measure = |true_secs: f64,
+                       rng: &mut DeterministicRng,
+                       budget: &mut f64,
+                       samples: &mut u64,
+                       trials: u32,
+                       sigma: f64,
+                       overhead: f64| {
             let mut obs = Vec::with_capacity(trials as usize);
             for _ in 0..trials {
                 let t = true_secs * rng.lognormal_factor(sigma);
@@ -150,21 +154,37 @@ impl Profiler {
                 for &tokens in &token_grid {
                     let f = measure(
                         cost.layer_fwd_time(tokens, seq / 2, tp, true),
-                        &mut self.rng, &mut budget, &mut samples, trials, sigma, overhead,
+                        &mut self.rng,
+                        &mut budget,
+                        &mut samples,
+                        trials,
+                        sigma,
+                        overhead,
                     );
                     let b = measure(
                         cost.layer_bwd_time(tokens, seq / 2, tp),
-                        &mut self.rng, &mut budget, &mut samples, trials, sigma, overhead,
+                        &mut self.rng,
+                        &mut budget,
+                        &mut samples,
+                        trials,
+                        sigma,
+                        overhead,
                     );
                     fwd.push((tokens as f64, f));
                     bwd.push((tokens as f64, b));
                 }
                 entries.push((
-                    ProfileKey { op: OpKind::LayerFwd { seq_bucket: seq }, tp },
+                    ProfileKey {
+                        op: OpKind::LayerFwd { seq_bucket: seq },
+                        tp,
+                    },
                     ProfileTable::new(fwd),
                 ));
                 entries.push((
-                    ProfileKey { op: OpKind::LayerBwd { seq_bucket: seq }, tp },
+                    ProfileKey {
+                        op: OpKind::LayerBwd { seq_bucket: seq },
+                        tp,
+                    },
                     ProfileTable::new(bwd),
                 ));
             }
@@ -174,12 +194,20 @@ impl Profiler {
                 for &batch in &batch_grid {
                     let d = measure(
                         cost.layer_decode_time(batch, past, tp, true),
-                        &mut self.rng, &mut budget, &mut samples, trials, sigma, overhead,
+                        &mut self.rng,
+                        &mut budget,
+                        &mut samples,
+                        trials,
+                        sigma,
+                        overhead,
                     );
                     dec.push((batch as f64, d));
                 }
                 entries.push((
-                    ProfileKey { op: OpKind::LayerDecode { past_bucket: past }, tp },
+                    ProfileKey {
+                        op: OpKind::LayerDecode { past_bucket: past },
+                        tp,
+                    },
                     ProfileTable::new(dec),
                 ));
             }
@@ -190,23 +218,62 @@ impl Profiler {
             for &tokens in &token_grid {
                 embed.push((
                     tokens as f64,
-                    measure(cost.embed_time(tokens, tp), &mut self.rng, &mut budget,
-                            &mut samples, trials, sigma, overhead),
+                    measure(
+                        cost.embed_time(tokens, tp),
+                        &mut self.rng,
+                        &mut budget,
+                        &mut samples,
+                        trials,
+                        sigma,
+                        overhead,
+                    ),
                 ));
                 head_f.push((
                     tokens as f64,
-                    measure(cost.head_time(tokens, tp, false), &mut self.rng, &mut budget,
-                            &mut samples, trials, sigma, overhead),
+                    measure(
+                        cost.head_time(tokens, tp, false),
+                        &mut self.rng,
+                        &mut budget,
+                        &mut samples,
+                        trials,
+                        sigma,
+                        overhead,
+                    ),
                 ));
                 head_b.push((
                     tokens as f64,
-                    measure(cost.head_time(tokens, tp, true), &mut self.rng, &mut budget,
-                            &mut samples, trials, sigma, overhead),
+                    measure(
+                        cost.head_time(tokens, tp, true),
+                        &mut self.rng,
+                        &mut budget,
+                        &mut samples,
+                        trials,
+                        sigma,
+                        overhead,
+                    ),
                 ));
             }
-            entries.push((ProfileKey { op: OpKind::EmbedFwd, tp }, ProfileTable::new(embed)));
-            entries.push((ProfileKey { op: OpKind::HeadFwd, tp }, ProfileTable::new(head_f)));
-            entries.push((ProfileKey { op: OpKind::HeadBwd, tp }, ProfileTable::new(head_b)));
+            entries.push((
+                ProfileKey {
+                    op: OpKind::EmbedFwd,
+                    tp,
+                },
+                ProfileTable::new(embed),
+            ));
+            entries.push((
+                ProfileKey {
+                    op: OpKind::HeadFwd,
+                    tp,
+                },
+                ProfileTable::new(head_f),
+            ));
+            entries.push((
+                ProfileKey {
+                    op: OpKind::HeadBwd,
+                    tp,
+                },
+                ProfileTable::new(head_b),
+            ));
         }
 
         // Optimizer table (independent of TP: x-axis is the local shard).
@@ -215,11 +282,24 @@ impl Profiler {
         for &shard in &shard_grid {
             optim.push((
                 shard as f64,
-                measure(cost.optim_step_time(shard), &mut self.rng, &mut budget,
-                        &mut samples, trials, sigma, overhead),
+                measure(
+                    cost.optim_step_time(shard),
+                    &mut self.rng,
+                    &mut budget,
+                    &mut samples,
+                    trials,
+                    sigma,
+                    overhead,
+                ),
             ));
         }
-        entries.push((ProfileKey { op: OpKind::OptimStep, tp: 1 }, ProfileTable::new(optim)));
+        entries.push((
+            ProfileKey {
+                op: OpKind::OptimStep,
+                tp: 1,
+            },
+            ProfileTable::new(optim),
+        ));
 
         // Link measurements: a handful of large transfers each.
         let bw_intra = self.cluster.intra_node_bw * self.rng.lognormal_factor(sigma);
@@ -265,7 +345,10 @@ mod tests {
     fn noiseless_profile_matches_cost_model_on_grid() {
         let db = profile_7b(ProfileConfig::quick());
         let cost = CostModel::new(ClusterSpec::h100(2), ModelSpec::llama3_7b());
-        let key = ProfileKey { op: OpKind::LayerFwd { seq_bucket: 1024 }, tp: 2 };
+        let key = ProfileKey {
+            op: OpKind::LayerFwd { seq_bucket: 1024 },
+            tp: 2,
+        };
         let got = db.lookup(key, 1024.0).unwrap();
         let want = cost.layer_fwd_time(1024, 512, 2, true);
         assert!((got - want).abs() / want < 1e-9, "got {got} want {want}");
@@ -278,7 +361,10 @@ mod tests {
         cfg.trials = 3;
         let db = profile_7b(cfg);
         let cost = CostModel::new(ClusterSpec::h100(2), ModelSpec::llama3_7b());
-        let key = ProfileKey { op: OpKind::LayerFwd { seq_bucket: 1024 }, tp: 1 };
+        let key = ProfileKey {
+            op: OpKind::LayerFwd { seq_bucket: 1024 },
+            tp: 1,
+        };
         let got = db.lookup(key, 2048.0).unwrap();
         let want = cost.layer_fwd_time(2048, 512, 1, true);
         let rel = (got - want).abs() / want;
@@ -290,7 +376,11 @@ mod tests {
     fn profiling_budget_under_paper_limit() {
         // The paper: a full model profile takes < 4 minutes.
         let db = profile_7b(ProfileConfig::paper());
-        assert!(db.profiling_secs() < 240.0, "budget {}", db.profiling_secs());
+        assert!(
+            db.profiling_secs() < 240.0,
+            "budget {}",
+            db.profiling_secs()
+        );
         assert!(db.profiling_secs() > 10.0, "budget suspiciously small");
     }
 
@@ -300,9 +390,17 @@ mod tests {
         let mut cfg = ProfileConfig::quick();
         cfg.tp_degrees = vec![1, 16];
         let db = profile_7b(cfg);
-        let missing = ProfileKey { op: OpKind::EmbedFwd, tp: 16 };
+        let missing = ProfileKey {
+            op: OpKind::EmbedFwd,
+            tp: 16,
+        };
         assert!(db.table(missing).is_none());
-        assert!(db.table(ProfileKey { op: OpKind::EmbedFwd, tp: 1 }).is_some());
+        assert!(db
+            .table(ProfileKey {
+                op: OpKind::EmbedFwd,
+                tp: 1
+            })
+            .is_some());
     }
 
     #[test]
@@ -320,10 +418,22 @@ mod tests {
         cfg.past_buckets = vec![256, 4096];
         let db = profile_7b(cfg);
         let short = db
-            .lookup(ProfileKey { op: OpKind::LayerDecode { past_bucket: 256 }, tp: 1 }, 16.0)
+            .lookup(
+                ProfileKey {
+                    op: OpKind::LayerDecode { past_bucket: 256 },
+                    tp: 1,
+                },
+                16.0,
+            )
             .unwrap();
         let long = db
-            .lookup(ProfileKey { op: OpKind::LayerDecode { past_bucket: 4096 }, tp: 1 }, 16.0)
+            .lookup(
+                ProfileKey {
+                    op: OpKind::LayerDecode { past_bucket: 4096 },
+                    tp: 1,
+                },
+                16.0,
+            )
             .unwrap();
         assert!(long > short);
     }

@@ -56,13 +56,19 @@ fn fit_mbs(
     loop {
         let s = base.with_micro_batches(mbs);
         let mut active = match call {
-            CallType::Generate { batch, prompt_len, gen_len } => {
-                mm.gen_active_bytes(&s, batch.div_ceil(dp), prompt_len + gen_len)
-            }
+            CallType::Generate {
+                batch,
+                prompt_len,
+                gen_len,
+            } => mm.gen_active_bytes(&s, batch.div_ceil(dp), prompt_len + gen_len),
             CallType::Inference { batch, seq_len } => {
                 mm.infer_active_bytes(&s, batch.div_ceil(dp) * seq_len)
             }
-            CallType::TrainStep { batch, seq_len, n_minibatches } => {
+            CallType::TrainStep {
+                batch,
+                seq_len,
+                n_minibatches,
+            } => {
                 let per = batch.div_ceil(dp).div_ceil(u64::from(n_minibatches.max(1)));
                 mm.train_active_bytes(&s, per * seq_len)
             }
@@ -100,16 +106,19 @@ fn megatron_3d(
 ) -> Result<ParallelStrategy, String> {
     let mm = MemoryModel::new(model.clone());
     let mut tp = width.min(cluster.gpus_per_node).min(model.max_tp() as u32);
-    while n % tp != 0 {
+    while !n.is_multiple_of(tp) {
         tp /= 2;
     }
     let rest = n / tp;
     let mut pp = 1;
     loop {
         if pp > rest || u64::from(pp) > model.n_layers {
-            return Err(format!("{} does not fit {n} GPUs with 3D parallelism", model.name));
+            return Err(format!(
+                "{} does not fit {n} GPUs with 3D parallelism",
+                model.name
+            ));
         }
-        if rest % pp == 0 {
+        if rest.is_multiple_of(pp) {
             let dp = rest / pp;
             if u64::from(dp) <= batch.max(1) {
                 let s = ParallelStrategy::new(dp, tp, pp, 1).expect("positive degrees");
@@ -130,6 +139,7 @@ fn megatron_3d(
 /// TP + DP generation strategy (vLLM/TRT-LLM style, no pipeline): smallest
 /// TP whose weights fit, then the smallest micro-batch count whose in-flight
 /// KV cache fits — continuous batching processes the rest in waves.
+#[allow(clippy::too_many_arguments)]
 fn tp_dp_generation(
     cluster: &ClusterSpec,
     model: &ModelSpec,
@@ -142,11 +152,14 @@ fn tp_dp_generation(
 ) -> Result<ParallelStrategy, String> {
     let mm = MemoryModel::new(model.clone());
     let cost = real_model::CostModel::new(cluster.clone(), model.clone());
-    let max_tp = width.min(cluster.gpus_per_node).min(model.max_tp() as u32).min(n);
+    let max_tp = width
+        .min(cluster.gpus_per_node)
+        .min(model.max_tp() as u32)
+        .min(n);
     let mut best: Option<(f64, ParallelStrategy)> = None;
     let mut tp = 1;
     while tp <= max_tp {
-        if n % tp == 0 {
+        if n.is_multiple_of(tp) {
             let dp = n / tp;
             if u64::from(dp) <= batch {
                 let mut mbs = 1u32;
@@ -194,11 +207,14 @@ fn tp_dp_inference(
 ) -> Result<ParallelStrategy, String> {
     let mm = MemoryModel::new(model.clone());
     let cost = real_model::CostModel::new(cluster.clone(), model.clone());
-    let max_tp = width.min(cluster.gpus_per_node).min(model.max_tp() as u32).min(n);
+    let max_tp = width
+        .min(cluster.gpus_per_node)
+        .min(model.max_tp() as u32)
+        .min(n);
     let mut best: Option<(f64, ParallelStrategy)> = None;
     let mut tp = 1;
     while tp <= max_tp {
-        if n % tp == 0 {
+        if n.is_multiple_of(tp) {
             let dp = n / tp;
             if u64::from(dp) <= batch {
                 let mut mbs = 1u32;
@@ -210,8 +226,7 @@ fn tp_dp_inference(
                         let tokens_mb = tokens_r.div_ceil(u64::from(mbs));
                         let per_layer = cost.layer_fwd_time(tokens_mb, seq_len / 2, tp, true)
                             + 2.0 * cost.tp_allreduce_time(tokens_mb, tp, true);
-                        let total =
-                            per_layer * model.n_layers as f64 * f64::from(mbs);
+                        let total = per_layer * model.n_layers as f64 * f64::from(mbs);
                         if best.map(|(t, _)| total < t).unwrap_or(true) {
                             best = Some((total, s));
                         }
@@ -313,11 +328,21 @@ pub fn dschat(
     for (_, def) in graph.iter() {
         let mm = MemoryModel::new(def.model.clone());
         let strategy = match def.call_type {
-            CallType::Generate { batch, prompt_len, gen_len } => {
+            CallType::Generate {
+                batch,
+                prompt_len,
+                gen_len,
+            } => {
                 // HybridEngine: reshard ZeRO partitions to intra-node TP.
                 tp_dp_generation(
-                    cluster, &def.model, n, cluster.gpus_per_node, batch,
-                    prompt_len + gen_len, zero_static, budget,
+                    cluster,
+                    &def.model,
+                    n,
+                    cluster.gpus_per_node,
+                    batch,
+                    prompt_len + gen_len,
+                    zero_static,
+                    budget,
                 )?
             }
             // Pure ZeRO-3 DP for training and inference.
@@ -332,11 +357,14 @@ pub fn dschat(
                 fit_mbs(&mm, ct, base_s, zero_static, budget, true)?
             }
         };
-        assignments
-            .push(CallAssignment::new(mesh, strategy).map_err(|e| e.to_string())?);
+        assignments.push(CallAssignment::new(mesh, strategy).map_err(|e| e.to_string())?);
     }
     let plan = ExecutionPlan::new(graph, cluster, assignments).map_err(|e| e.to_string())?;
-    Ok(BaselineSetup { name: "DeepSpeed-Chat", plan, config })
+    Ok(BaselineSetup {
+        name: "DeepSpeed-Chat",
+        plan,
+        config,
+    })
 }
 
 /// OpenRLHF: generation group + actor/reference group + critic/reward
@@ -372,16 +400,24 @@ pub fn openrlhf(
         let mm = MemoryModel::new(def.model.clone());
         let (mesh, zero_static) = match def.call_type {
             CallType::Generate { .. } => (gen_mesh, 0u64),
-            _ if is_actor_family(&def.model_name) => {
-                (actor_mesh, group_static(&actor_mesh, true))
-            }
+            _ if is_actor_family(&def.model_name) => (actor_mesh, group_static(&actor_mesh, true)),
             _ => (critic_mesh, group_static(&critic_mesh, false)),
         };
         let n = mesh.n_gpus();
         let strategy = match def.call_type {
-            CallType::Generate { batch, prompt_len, gen_len } => tp_dp_generation(
-                cluster, &def.model, n, mesh.gpu_width(), batch, prompt_len + gen_len,
-                0, budget,
+            CallType::Generate {
+                batch,
+                prompt_len,
+                gen_len,
+            } => tp_dp_generation(
+                cluster,
+                &def.model,
+                n,
+                mesh.gpu_width(),
+                batch,
+                prompt_len + gen_len,
+                0,
+                budget,
             )?,
             ct => {
                 if u64::from(n) > ct.batch() {
@@ -394,11 +430,14 @@ pub fn openrlhf(
                 fit_mbs(&mm, ct, base_s, zero_static, budget, true)?
             }
         };
-        assignments
-            .push(CallAssignment::new(mesh, strategy).map_err(|e| e.to_string())?);
+        assignments.push(CallAssignment::new(mesh, strategy).map_err(|e| e.to_string())?);
     }
     let plan = ExecutionPlan::new(graph, cluster, assignments).map_err(|e| e.to_string())?;
-    Ok(BaselineSetup { name: "OpenRLHF", plan, config })
+    Ok(BaselineSetup {
+        name: "OpenRLHF",
+        plan,
+        config,
+    })
 }
 
 /// NeMo-Aligner: actor generation + training on one half (Megatron 3D),
@@ -414,7 +453,9 @@ pub fn nemo_aligner(
     let mut assignments = Vec::with_capacity(graph.n_calls());
     for (_, def) in graph.iter() {
         let mm = MemoryModel::new(def.model.clone());
-        let mesh = if is_actor_family(&def.model_name) || matches!(def.call_type, CallType::Generate { .. }) {
+        let mesh = if is_actor_family(&def.model_name)
+            || matches!(def.call_type, CallType::Generate { .. })
+        {
             actor_mesh
         } else {
             rest_mesh
@@ -423,24 +464,48 @@ pub fn nemo_aligner(
         // Static share on the actor mesh: the trainable actor's 3D state.
         let static_bytes = if mesh == actor_mesh && graph.is_trainable("actor") {
             let actor_model = &graph.call(graph.calls_of_model("actor")[0]).model;
-            let s3d = megatron_3d(cluster, actor_model, n, mesh.gpu_width(),
-                                  def.call_type.batch(), budget, true)?;
+            let s3d = megatron_3d(
+                cluster,
+                actor_model,
+                n,
+                mesh.gpu_width(),
+                def.call_type.batch(),
+                budget,
+                true,
+            )?;
             MemoryModel::new(actor_model.clone()).static_optim_bytes_dist(&s3d)
         } else {
             0
         };
         let strategy = match def.call_type {
-            CallType::Generate { batch, prompt_len, gen_len } => tp_dp_generation(
-                cluster, &def.model, n, mesh.gpu_width(), batch, prompt_len + gen_len,
-                static_bytes, budget,
+            CallType::Generate {
+                batch,
+                prompt_len,
+                gen_len,
+            } => tp_dp_generation(
+                cluster,
+                &def.model,
+                n,
+                mesh.gpu_width(),
+                batch,
+                prompt_len + gen_len,
+                static_bytes,
+                budget,
             )?,
             ct => {
-                let s3d = megatron_3d(cluster, &def.model, n, mesh.gpu_width(), ct.batch(), budget, true)?;
+                let s3d = megatron_3d(
+                    cluster,
+                    &def.model,
+                    n,
+                    mesh.gpu_width(),
+                    ct.batch(),
+                    budget,
+                    true,
+                )?;
                 fit_mbs(&mm, ct, s3d, static_bytes, budget, false)?
             }
         };
-        assignments
-            .push(CallAssignment::new(mesh, strategy).map_err(|e| e.to_string())?);
+        assignments.push(CallAssignment::new(mesh, strategy).map_err(|e| e.to_string())?);
     }
     let plan = ExecutionPlan::new(graph, cluster, assignments).map_err(|e| e.to_string())?;
     let mut config = base.clone();
@@ -449,7 +514,11 @@ pub fn nemo_aligner(
             config.dist_optim_models.insert(m.to_string());
         }
     }
-    Ok(BaselineSetup { name: "NeMo-Aligner", plan, config })
+    Ok(BaselineSetup {
+        name: "NeMo-Aligner",
+        plan,
+        config,
+    })
 }
 
 /// veRL (HybridFlow): colocated full-cluster placement with per-call-type
@@ -485,8 +554,8 @@ pub fn verl(
             .map(|&c| graph.call(c).call_type.batch())
             .max()
             .unwrap_or(1);
-        let share = (budget as f64 * 0.7 * model.param_count() as f64
-            / total_params.max(1) as f64) as u64;
+        let share =
+            (budget as f64 * 0.7 * model.param_count() as f64 / total_params.max(1) as f64) as u64;
         let s = megatron_3d(cluster, model, n, mesh.gpu_width(), batch, share, false)?;
         static_total += MemoryModel::new(model.clone()).static_optim_bytes(&s);
         train_strategies.insert((*m).to_string(), s);
@@ -496,27 +565,55 @@ pub fn verl(
     for (_, def) in graph.iter() {
         let mm = MemoryModel::new(def.model.clone());
         let strategy = match def.call_type {
-            CallType::Generate { batch, prompt_len, gen_len } => tp_dp_generation(
-                cluster, &def.model, n, mesh.gpu_width(), batch, prompt_len + gen_len,
-                static_total, budget,
+            CallType::Generate {
+                batch,
+                prompt_len,
+                gen_len,
+            } => tp_dp_generation(
+                cluster,
+                &def.model,
+                n,
+                mesh.gpu_width(),
+                batch,
+                prompt_len + gen_len,
+                static_total,
+                budget,
             )?,
             CallType::Inference { batch, seq_len } => tp_dp_inference(
-                cluster, &def.model, n, mesh.gpu_width(), batch, seq_len, static_total, budget,
+                cluster,
+                &def.model,
+                n,
+                mesh.gpu_width(),
+                batch,
+                seq_len,
+                static_total,
+                budget,
             )?,
             ct => {
                 // Training uses the budget-shared Megatron 3D strategy.
                 let s3d = match train_strategies.get(&def.model_name) {
                     Some(s) => *s,
-                    None => megatron_3d(cluster, &def.model, n, mesh.gpu_width(), ct.batch(), budget, false)?,
+                    None => megatron_3d(
+                        cluster,
+                        &def.model,
+                        n,
+                        mesh.gpu_width(),
+                        ct.batch(),
+                        budget,
+                        false,
+                    )?,
                 };
                 fit_mbs(&mm, ct, s3d, static_total, budget, false)?
             }
         };
-        assignments
-            .push(CallAssignment::new(mesh, strategy).map_err(|e| e.to_string())?);
+        assignments.push(CallAssignment::new(mesh, strategy).map_err(|e| e.to_string())?);
     }
     let plan = ExecutionPlan::new(graph, cluster, assignments).map_err(|e| e.to_string())?;
-    Ok(BaselineSetup { name: "veRL", plan, config: base.clone() })
+    Ok(BaselineSetup {
+        name: "veRL",
+        plan,
+        config: base.clone(),
+    })
 }
 
 /// All four baselines, each possibly failing with an OOM explanation.
@@ -551,9 +648,10 @@ mod tests {
         let (cluster, graph) = setup(2, 512);
         for (name, setup) in all(&cluster, &graph, &EngineConfig::deterministic()) {
             let setup = setup.unwrap_or_else(|e| panic!("{name}: {e}"));
-            let engine =
-                RuntimeEngine::new(cluster.clone(), graph.clone(), setup.config.clone());
-            let report = engine.run(&setup.plan, 1).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let engine = RuntimeEngine::new(cluster.clone(), graph.clone(), setup.config.clone());
+            let report = engine
+                .run(&setup.plan, 1)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(report.iter_time > 0.0, "{name}");
         }
     }
@@ -615,8 +713,7 @@ mod tests {
         let mut times = std::collections::HashMap::new();
         for (name, setup) in all(&cluster, &graph, &EngineConfig::deterministic()) {
             let setup = setup.unwrap();
-            let engine =
-                RuntimeEngine::new(cluster.clone(), graph.clone(), setup.config.clone());
+            let engine = RuntimeEngine::new(cluster.clone(), graph.clone(), setup.config.clone());
             let t = engine.run(&setup.plan, 2).unwrap().iter_time;
             times.insert(name, t);
         }

@@ -64,7 +64,10 @@ impl EngineConfig {
     /// A configuration with deterministic (jitter-free) kernels, useful in
     /// tests asserting exact relationships.
     pub fn deterministic() -> Self {
-        Self { jitter_sigma: 0.0, ..Self::default() }
+        Self {
+            jitter_sigma: 0.0,
+            ..Self::default()
+        }
     }
 
     /// Returns a copy with CUDA graphs toggled.

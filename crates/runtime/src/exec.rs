@@ -52,7 +52,9 @@ impl ExecCtx<'_> {
     ) -> f64 {
         if dur <= 0.0 {
             return ready.max(
-                gpus.iter().map(|&g| self.tl.gpu(g).busy_until()).fold(0.0, f64::max),
+                gpus.iter()
+                    .map(|&g| self.tl.gpu(g).busy_until())
+                    .fold(0.0, f64::max),
             );
         }
         let dur = dur * self.jitter();
@@ -70,15 +72,19 @@ impl ExecCtx<'_> {
 pub fn execute_call(ctx: &mut ExecCtx<'_>, a: &CallAssignment, call: CallType, ready: f64) -> f64 {
     let layout = Layout::new(a);
     match call {
-        CallType::Generate { batch, prompt_len, gen_len } => {
-            generate(ctx, a, &layout, batch, prompt_len, gen_len, ready)
-        }
+        CallType::Generate {
+            batch,
+            prompt_len,
+            gen_len,
+        } => generate(ctx, a, &layout, batch, prompt_len, gen_len, ready),
         CallType::Inference { batch, seq_len } => {
             forward_pass(ctx, a, &layout, batch, seq_len, ready, Pass::Inference)
         }
-        CallType::TrainStep { batch, seq_len, n_minibatches } => {
-            train(ctx, a, &layout, batch, seq_len, n_minibatches, ready)
-        }
+        CallType::TrainStep {
+            batch,
+            seq_len,
+            n_minibatches,
+        } => train(ctx, a, &layout, batch, seq_len, n_minibatches, ready),
     }
 }
 
@@ -107,7 +113,14 @@ fn ar_dur(ctx: &ExecCtx<'_>, layout: &Layout, group: &[usize], tokens: u64) -> f
 }
 
 /// Boundary P2P duration for `tokens` TP-sharded tokens.
-fn p2p_dur(ctx: &ExecCtx<'_>, layout: &Layout, src: usize, dst: usize, tokens: u64, tp: u32) -> f64 {
+fn p2p_dur(
+    ctx: &ExecCtx<'_>,
+    layout: &Layout,
+    src: usize,
+    dst: usize,
+    tokens: u64,
+    tp: u32,
+) -> f64 {
     let bytes = tokens as f64 * ctx.cost.model().hidden as f64 * 2.0 / f64::from(tp.max(1));
     ctx.comm.p2p(bytes, layout.pair_within_node(src, dst))
 }
@@ -147,8 +160,8 @@ fn forward_pass(
                 let stage_ready = arrive.max(prev_arrive[stage_idx]);
 
                 let mut t = stage_ready;
-                let mut compute = layers as f64
-                    * ctx.cost.layer_fwd_time(tokens_mb, seq_len / 2, tp, true);
+                let mut compute =
+                    layers as f64 * ctx.cost.layer_fwd_time(tokens_mb, seq_len / 2, tp, true);
                 if stage == 0 {
                     compute += ctx.cost.embed_time(tokens_mb, tp);
                 }
@@ -159,8 +172,8 @@ fn forward_pass(
                     // DeepSpeed prefetches the next layer's weights while the
                     // current one computes: only the non-overlapped excess
                     // stalls the stream.
-                    let gather = layers as f64
-                        * ctx.cost.zero3_allgather_time(world, a.mesh.n_nodes() == 1);
+                    let gather =
+                        layers as f64 * ctx.cost.zero3_allgather_time(world, a.mesh.n_nodes() == 1);
                     let excess = (gather - compute).max(gather * ZERO3_GATHER_FLOOR);
                     t = ctx.event(&group, t, excess, Category::DpComm, "zero3_allgather");
                 }
@@ -245,21 +258,24 @@ fn generate(
                 let layers = range.end - range.start;
                 // One-chunk skew: stage s works on chunk c once it finished
                 // chunk c-1 and stage s-1 finished chunk c-1.
-                let stage_ready = stage_end[stage_idx].max(if stage_idx == 0 {
-                    0.0
-                } else {
-                    prev_stage_last
-                });
+                let stage_ready =
+                    stage_end[stage_idx].max(if stage_idx == 0 { 0.0 } else { prev_stage_last });
                 prev_stage_last = stage_end[stage_idx];
 
                 let work = steps * u64::from(mbs);
-                let mut compute = (work * layers) as f64
-                    * ctx.cost.layer_decode_time(batch_mb, past, tp, true);
+                let mut compute =
+                    (work * layers) as f64 * ctx.cost.layer_decode_time(batch_mb, past, tp, true);
                 if stage == pp - 1 {
                     // Sampling head once per micro-batch per step.
                     compute += work as f64 * ctx.cost.head_time(batch_mb, tp, false);
                 }
-                let mut t = ctx.event(&group, stage_ready, compute, Category::Compute, "layer_decode");
+                let mut t = ctx.event(
+                    &group,
+                    stage_ready,
+                    compute,
+                    Category::Compute,
+                    "layer_decode",
+                );
                 if !ctx.cfg.cuda_graph {
                     // Per-kernel launches plus the host decoding loop's
                     // per-step dispatch/synchronization, spread across the
@@ -279,7 +295,8 @@ fn generate(
                         let d2 = dur * ctx.jitter();
                         t = ctx.tl.p2p(src, dst, t, d2, Category::PpComm);
                         if ctx.trace.enabled() {
-                            ctx.trace.record(src, t - d2, t, Category::PpComm, "pp_p2p_decode");
+                            ctx.trace
+                                .record(src, t - d2, t, Category::PpComm, "pp_p2p_decode");
                         }
                     }
                 }
@@ -377,8 +394,8 @@ fn train(
                         let layers = range.end - range.start;
                         let stage_ready = arrive.max(prev_arrive[stage_idx]);
                         let mut t = stage_ready;
-                        let mut compute = layers as f64
-                            * ctx.cost.layer_bwd_time(tokens_mb, seq_len / 2, tp);
+                        let mut compute =
+                            layers as f64 * ctx.cost.layer_bwd_time(tokens_mb, seq_len / 2, tp);
                         if stage == pp - 1 {
                             // Head backward (2x its forward cost).
                             compute += 2.0 * ctx.cost.head_time(tokens_mb, tp, false);
@@ -386,7 +403,8 @@ fn train(
                         if ctx.zero3 {
                             let gather = layers as f64
                                 * (ctx.cost.zero3_allgather_time(world, a.mesh.n_nodes() == 1)
-                                    + ctx.cost
+                                    + ctx
+                                        .cost
                                         .zero3_reduce_scatter_time(world, a.mesh.n_nodes() == 1));
                             let excess = (gather - compute).max(gather * ZERO3_GATHER_FLOOR);
                             t = ctx.event(&group, t, excess, Category::DpComm, "zero3_bwd");
@@ -428,11 +446,9 @@ fn train(
             for stage in 0..pp {
                 for t_rank in 0..tp {
                     let group: Vec<usize> = layout.dp_group(stage, t_rank).to_vec();
-                    let dur = ctx.comm.all_reduce(
-                        shard as f64 * 4.0,
-                        dp,
-                        layout.within_node(&group),
-                    );
+                    let dur =
+                        ctx.comm
+                            .all_reduce(shard as f64 * 4.0, dp, layout.within_node(&group));
                     let e = ctx.event(&group, final_end, dur, Category::DpComm, "grad_allreduce");
                     sync_end = sync_end.max(e);
                 }
@@ -459,6 +475,7 @@ mod tests {
     use real_cluster::{ClusterSpec, DeviceMesh};
     use real_model::{ModelSpec, ParallelStrategy};
 
+    #[allow(clippy::too_many_arguments)]
     fn run_call(
         cluster: &ClusterSpec,
         model: &ModelSpec,
@@ -474,7 +491,10 @@ mod tests {
         let mut tl = Timelines::new(cluster.total_gpus() as usize);
         let mut trace = Trace::disabled();
         let mut rng = DeterministicRng::from_seed(7);
-        let cfg = EngineConfig { cuda_graph, ..EngineConfig::deterministic() };
+        let cfg = EngineConfig {
+            cuda_graph,
+            ..EngineConfig::deterministic()
+        };
         let a = CallAssignment::new(
             DeviceMesh::full(cluster),
             ParallelStrategy::new(dp, tp, pp, mbs).unwrap(),
@@ -496,19 +516,33 @@ mod tests {
     #[test]
     fn inference_busy_matches_duration_roughly() {
         let cluster = ClusterSpec::h100(1);
-        let call = CallType::Inference { batch: 32, seq_len: 1024 };
+        let call = CallType::Inference {
+            batch: 32,
+            seq_len: 1024,
+        };
         let (end, tl) = run_call(&cluster, &ModelSpec::llama3_7b(), 1, 8, 1, 4, call, true);
         assert!(end > 0.0);
         // All 8 GPUs work in lockstep (tp=8, pp=1): idle should be tiny.
-        assert!(tl.idle_total() < 0.05 * end * 8.0, "idle {}", tl.idle_total());
+        assert!(
+            tl.idle_total() < 0.05 * end * 8.0,
+            "idle {}",
+            tl.idle_total()
+        );
     }
 
     #[test]
     fn decode_dominates_generation_time() {
         let cluster = ClusterSpec::h100(1);
         let model = ModelSpec::llama3_7b();
-        let gen = CallType::Generate { batch: 32, prompt_len: 1024, gen_len: 1024 };
-        let inf = CallType::Inference { batch: 32, seq_len: 1024 };
+        let gen = CallType::Generate {
+            batch: 32,
+            prompt_len: 1024,
+            gen_len: 1024,
+        };
+        let inf = CallType::Inference {
+            batch: 32,
+            seq_len: 1024,
+        };
         let (gen_end, _) = run_call(&cluster, &model, 1, 8, 1, 4, gen, true);
         let (inf_end, _) = run_call(&cluster, &model, 1, 8, 1, 4, inf, true);
         assert!(gen_end > 5.0 * inf_end, "gen {gen_end} inf {inf_end}");
@@ -518,19 +552,35 @@ mod tests {
     fn cuda_graph_speeds_up_decoding() {
         let cluster = ClusterSpec::h100(1);
         let model = ModelSpec::llama3_7b();
-        let gen = CallType::Generate { batch: 32, prompt_len: 512, gen_len: 512 };
+        let gen = CallType::Generate {
+            batch: 32,
+            prompt_len: 512,
+            gen_len: 512,
+        };
         let (with, tl_with) = run_call(&cluster, &model, 1, 8, 1, 4, gen, true);
         let (without, tl_without) = run_call(&cluster, &model, 1, 8, 1, 4, gen, false);
         assert!(without > 1.2 * with, "with {with} without {without}");
         // Launch overhead shows up as its own category only when ungraphed.
-        assert_eq!(tl_with.totals().iter().find(|(c, _)| *c == Category::Launch).unwrap().1, 0.0);
+        assert_eq!(
+            tl_with
+                .totals()
+                .iter()
+                .find(|(c, _)| *c == Category::Launch)
+                .unwrap()
+                .1,
+            0.0
+        );
         assert!(tl_without.busy(0, Category::Launch) > 0.0);
     }
 
     #[test]
     fn training_records_tp_and_dp_comm() {
         let cluster = ClusterSpec::h100(1);
-        let call = CallType::TrainStep { batch: 64, seq_len: 512, n_minibatches: 2 };
+        let call = CallType::TrainStep {
+            batch: 64,
+            seq_len: 512,
+            n_minibatches: 2,
+        };
         let (_, tl) = run_call(&cluster, &ModelSpec::llama3_7b(), 2, 4, 1, 2, call, true);
         assert!(tl.busy(0, Category::TpComm) > 0.0);
         assert!(tl.busy(0, Category::DpComm) > 0.0);
@@ -540,7 +590,11 @@ mod tests {
     #[test]
     fn pipeline_uses_pp_comm() {
         let cluster = ClusterSpec::h100(1);
-        let call = CallType::TrainStep { batch: 32, seq_len: 512, n_minibatches: 1 };
+        let call = CallType::TrainStep {
+            batch: 32,
+            seq_len: 512,
+            n_minibatches: 1,
+        };
         let (_, tl) = run_call(&cluster, &ModelSpec::llama3_7b(), 1, 4, 2, 4, call, true);
         let pp_comm: f64 = (0..8).map(|g| tl.busy(g, Category::PpComm)).sum();
         assert!(pp_comm > 0.0);
@@ -550,7 +604,11 @@ mod tests {
     fn more_microbatches_reduce_pipeline_bubbles() {
         let cluster = ClusterSpec::h100(1);
         let model = ModelSpec::llama3_7b();
-        let call = CallType::TrainStep { batch: 64, seq_len: 1024, n_minibatches: 1 };
+        let call = CallType::TrainStep {
+            batch: 64,
+            seq_len: 1024,
+            n_minibatches: 1,
+        };
         let (few, _) = run_call(&cluster, &model, 1, 1, 8, 1, call, true);
         let (many, _) = run_call(&cluster, &model, 1, 1, 8, 8, call, true);
         assert!(many < few, "mbs=8 {many} should beat mbs=1 {few}");
@@ -560,7 +618,10 @@ mod tests {
     fn dp_replicas_run_concurrently() {
         let cluster = ClusterSpec::h100(1);
         let model = ModelSpec::llama3_7b();
-        let inf = CallType::Inference { batch: 64, seq_len: 512 };
+        let inf = CallType::Inference {
+            batch: 64,
+            seq_len: 512,
+        };
         // Same total work split over more replicas: wall time drops.
         let (one, _) = run_call(&cluster, &model, 1, 8, 1, 2, inf, true);
         let (two, _) = run_call(&cluster, &model, 2, 4, 1, 2, inf, true);
@@ -574,7 +635,11 @@ mod tests {
     fn generation_length_skew_only_shortens() {
         let cluster = ClusterSpec::h100(1);
         let model = ModelSpec::llama3_7b();
-        let gen = CallType::Generate { batch: 64, prompt_len: 512, gen_len: 512 };
+        let gen = CallType::Generate {
+            batch: 64,
+            prompt_len: 512,
+            gen_len: 512,
+        };
         let fixed = {
             let (t, _) = run_call(&cluster, &model, 4, 2, 1, 1, gen, true);
             t
@@ -585,7 +650,10 @@ mod tests {
         let mut tl = Timelines::new(8);
         let mut trace = Trace::disabled();
         let mut rng = DeterministicRng::from_seed(7);
-        let cfg = EngineConfig { gen_len_cv: 0.8, ..EngineConfig::deterministic() };
+        let cfg = EngineConfig {
+            gen_len_cv: 0.8,
+            ..EngineConfig::deterministic()
+        };
         let a = CallAssignment::new(
             DeviceMesh::full(&cluster),
             ParallelStrategy::new(4, 2, 1, 1).unwrap(),
@@ -603,20 +671,39 @@ mod tests {
         let skewed = execute_call(&mut ctx, &a, gen, 0.0);
         // Drift changes the realized duration; the log-normal factor is
         // clamped to [1/4, 4], which bounds the excursion.
-        assert!(skewed >= fixed * 0.2 && skewed <= fixed * 4.5,
-                "skewed {skewed} fixed {fixed}");
-        assert!((skewed - fixed).abs() / fixed > 0.01, "drift should be visible");
+        assert!(
+            skewed >= fixed * 0.2 && skewed <= fixed * 4.5,
+            "skewed {skewed} fixed {fixed}"
+        );
+        assert!(
+            (skewed - fixed).abs() / fixed > 0.01,
+            "drift should be visible"
+        );
     }
 
     #[test]
     fn scalar_head_cheaper_than_lm_head_end_to_end() {
         let cluster = ClusterSpec::h100(1);
-        let inf = CallType::Inference { batch: 64, seq_len: 2048 };
+        let inf = CallType::Inference {
+            batch: 64,
+            seq_len: 2048,
+        };
         let (actor, _) = run_call(&cluster, &ModelSpec::llama3_7b(), 1, 8, 1, 4, inf, true);
-        let (critic, _) =
-            run_call(&cluster, &ModelSpec::llama3_7b().critic(), 1, 8, 1, 4, inf, true);
+        let (critic, _) = run_call(
+            &cluster,
+            &ModelSpec::llama3_7b().critic(),
+            1,
+            8,
+            1,
+            4,
+            inf,
+            true,
+        );
         assert!(critic < actor);
         // Sanity: both heads exist in the models.
-        assert_eq!(ModelSpec::llama3_7b().head, real_model::spec::HeadKind::LmHead);
+        assert_eq!(
+            ModelSpec::llama3_7b().head,
+            real_model::spec::HeadKind::LmHead
+        );
     }
 }

@@ -22,17 +22,23 @@ impl Layout {
     pub fn new(a: &CallAssignment) -> Self {
         let s = &a.strategy;
         let (dp, tp, pp) = (s.dp(), s.tp(), s.pp());
-        let mut tp_groups =
-            vec![vec![Vec::with_capacity(tp as usize); dp as usize]; pp as usize];
-        let mut dp_groups =
-            vec![vec![Vec::with_capacity(dp as usize); tp as usize]; pp as usize];
+        let mut tp_groups = vec![vec![Vec::with_capacity(tp as usize); dp as usize]; pp as usize];
+        let mut dp_groups = vec![vec![Vec::with_capacity(dp as usize); tp as usize]; pp as usize];
         for rank in 0..s.world_size() {
-            let Coords { dp: d, tp: t, pp: p } = s.coords(rank);
+            let Coords {
+                dp: d,
+                tp: t,
+                pp: p,
+            } = s.coords(rank);
             let gpu = a.mesh.gpu_at(rank).0 as usize;
             tp_groups[p as usize][d as usize].push(gpu);
             dp_groups[p as usize][t as usize].push(gpu);
         }
-        Self { tp_groups, dp_groups, gpus_per_node: a.mesh.gpus_per_node() }
+        Self {
+            tp_groups,
+            dp_groups,
+            gpus_per_node: a.mesh.gpus_per_node(),
+        }
     }
 
     /// The TP group of replica `dp` at stage `pp`.
@@ -165,7 +171,7 @@ mod tests {
             #[test]
             fn groups_always_partition(dp_pow in 0u32..4, tp_pow in 0u32..4, pp_pow in 0u32..4) {
                 let world = 1u32 << (dp_pow + tp_pow + pp_pow);
-                prop_assume!(world <= 32 && world >= 1);
+                prop_assume!((1..=32).contains(&world));
                 let nodes = (world / 8).max(1);
                 prop_assume!(nodes.is_power_of_two());
                 let cluster = ClusterSpec::h100(nodes.max(1));

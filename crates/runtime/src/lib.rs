@@ -47,6 +47,7 @@ pub mod exec;
 pub mod layout;
 pub mod master;
 pub mod memcheck;
+pub mod obs;
 pub mod realloc;
 pub mod report;
 pub mod workers;

@@ -62,7 +62,11 @@ pub struct RuntimeEngine {
 impl RuntimeEngine {
     /// Creates an engine.
     pub fn new(cluster: ClusterSpec, graph: DataflowGraph, config: EngineConfig) -> Self {
-        Self { cluster, graph, config }
+        Self {
+            cluster,
+            graph,
+            config,
+        }
     }
 
     /// The engine's workflow.
@@ -118,7 +122,10 @@ impl RuntimeEngine {
         let mut rng = DeterministicRng::from_seed(self.config.seed).derive("runtime");
 
         let mut master_log = MasterLog::default();
-        let topo = self.graph.topo_order().expect("validated graphs are acyclic");
+        let topo = self
+            .graph
+            .topo_order()
+            .expect("validated graphs are acyclic");
         let mut completion: Vec<Vec<f64>> = vec![vec![0.0; self.graph.n_calls()]; iterations];
         let mut timings: Vec<CallTiming> = Vec::new();
         let mut iter_end = vec![0.0f64; iterations];
@@ -138,8 +145,7 @@ impl RuntimeEngine {
                     let end = if a.mesh == b.mesh && a.strategy == b.strategy {
                         dep_done
                     } else {
-                        let bytes =
-                            self.graph.call(dep).call_type.total_tokens() as f64 * 8.0;
+                        let bytes = self.graph.call(dep).call_type.total_tokens() as f64 * 8.0;
                         let per_src = bytes / f64::from(b.strategy.dp());
                         let within = a.mesh.n_nodes() == 1
                             && b.mesh.n_nodes() == 1
@@ -213,7 +219,11 @@ impl RuntimeEngine {
                     zero3,
                 };
                 let end = execute_call(&mut ctx, a, def.call_type, ready);
-                master_log.responses.push(Response { call, iter, completed_at: end });
+                master_log.responses.push(Response {
+                    call,
+                    iter,
+                    completed_at: end,
+                });
                 completion[iter][call.0] = end;
                 iter_end[iter] = iter_end[iter].max(end);
                 timings.push(CallTiming {
@@ -258,11 +268,21 @@ mod tests {
     fn setup(nodes: u32, batch: u64) -> (ClusterSpec, DataflowGraph) {
         let cluster = ClusterSpec::h100(nodes);
         let actor = ModelSpec::llama3_7b();
-        let graph = algo::ppo(&actor, &actor.critic(), &algo::RlhfConfig::instruct_gpt(batch));
+        let graph = algo::ppo(
+            &actor,
+            &actor.critic(),
+            &algo::RlhfConfig::instruct_gpt(batch),
+        );
         (cluster, graph)
     }
 
-    fn symmetric(cluster: &ClusterSpec, graph: &DataflowGraph, dp: u32, tp: u32, mbs: u32) -> ExecutionPlan {
+    fn symmetric(
+        cluster: &ClusterSpec,
+        graph: &DataflowGraph,
+        dp: u32,
+        tp: u32,
+        mbs: u32,
+    ) -> ExecutionPlan {
         let a = CallAssignment::new(
             DeviceMesh::full(cluster),
             ParallelStrategy::new(dp, tp, 1, mbs).unwrap(),
@@ -280,7 +300,7 @@ mod tests {
         assert!(report.iter_time > 0.0);
         assert!(report.total_time >= report.iter_time);
         assert_eq!(report.timings.len(), 12); // 6 calls x 2 iters
-        // Generation dominates the iteration (Fig. 1).
+                                              // Generation dominates the iteration (Fig. 1).
         let gen = report.call_mean("actor_gen").unwrap();
         for other in ["reward_inf", "ref_inf", "critic_inf", "critic_train"] {
             assert!(gen > report.call_mean(other).unwrap(), "{other}");
@@ -300,7 +320,10 @@ mod tests {
     fn skip_mem_check_forces_execution() {
         let (cluster, graph) = setup(1, 512);
         let plan = symmetric(&cluster, &graph, 8, 1, 1);
-        let cfg = EngineConfig { skip_mem_check: true, ..EngineConfig::deterministic() };
+        let cfg = EngineConfig {
+            skip_mem_check: true,
+            ..EngineConfig::deterministic()
+        };
         let engine = RuntimeEngine::new(cluster, graph, cfg);
         assert!(engine.run(&plan, 1).is_ok());
     }
@@ -336,10 +359,18 @@ mod tests {
         let engine = RuntimeEngine::new(cluster, graph, EngineConfig::deterministic());
         let report = engine.run(&plan, 2).unwrap();
         let get = |c: Category| {
-            report.category_totals.iter().find(|(k, _)| *k == c).unwrap().1
+            report
+                .category_totals
+                .iter()
+                .find(|(k, _)| *k == c)
+                .unwrap()
+                .1
         };
         assert!(get(Category::Realloc) > 0.0, "realloc time must be charged");
-        assert!(get(Category::Transfer) > 0.0, "transfer time must be charged");
+        assert!(
+            get(Category::Transfer) > 0.0,
+            "transfer time must be charged"
+        );
         // The paper's Fig. 11 note: broadcasts take much less GPU time than
         // compute.
         assert!(get(Category::Realloc) < 0.2 * get(Category::Compute));

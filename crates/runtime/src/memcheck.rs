@@ -12,6 +12,34 @@ use real_dataflow::{CallType, DataflowGraph, ExecutionPlan};
 use real_model::MemoryModel;
 use std::collections::HashSet;
 
+/// Per-GPU static bytes and per-call active bytes under the engine's
+/// execution modes — the data behind both the pre-run OOM check and the
+/// per-GPU memory counter tracks of the observability export.
+#[derive(Debug, Clone)]
+pub struct MemProfile {
+    /// Static (gradient + optimizer-state, possibly ZeRO-sharded) bytes
+    /// resident on each GPU for the whole run.
+    pub static_bytes: Vec<u64>,
+    /// Active bytes each call (indexed by `CallId.0`) charges on every GPU
+    /// of its mesh while it runs.
+    pub call_active: Vec<u64>,
+    /// Worst single-call active bytes per GPU (calls sharing a GPU
+    /// serialize, so the per-GPU peak is a max, not a sum).
+    pub peak_active: Vec<u64>,
+}
+
+impl MemProfile {
+    /// Peak bytes over all GPUs: static plus the worst call's active bytes.
+    pub fn peak(&self) -> u64 {
+        self.static_bytes
+            .iter()
+            .zip(&self.peak_active)
+            .map(|(s, a)| s + a)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 /// Peak bytes per GPU under the engine's execution modes.
 pub fn max_mem(
     cluster: &ClusterSpec,
@@ -23,6 +51,22 @@ pub fn max_mem(
     if zero3_models.is_empty() && dist_optim_models.is_empty() {
         return real_estimator::maxmem::max_mem(cluster, graph, plan);
     }
+    mem_profile(cluster, graph, plan, zero3_models, dist_optim_models).peak()
+}
+
+/// Computes the full [`MemProfile`] for a plan.
+///
+/// With no ZeRO-3 or distributed-optimizer models this reproduces the
+/// estimator's §5.1 accounting (the `no_zero3_matches_estimator` test pins
+/// the equivalence); otherwise it applies the engine-specific sharding
+/// rules.
+pub fn mem_profile(
+    cluster: &ClusterSpec,
+    graph: &DataflowGraph,
+    plan: &ExecutionPlan,
+    zero3_models: &HashSet<String>,
+    dist_optim_models: &HashSet<String>,
+) -> MemProfile {
     let n = cluster.total_gpus() as usize;
     let mut static_mem = vec![0u64; n];
     for model_name in graph.model_names() {
@@ -60,19 +104,26 @@ pub fn max_mem(
     }
 
     let mut peak_active = vec![0u64; n];
+    let mut call_active = vec![0u64; graph.n_calls()];
     for (id, def) in graph.iter() {
         let a = plan.assignment(id);
         let mm = MemoryModel::new(def.model.clone());
         let dp = u64::from(a.strategy.dp());
         let zero3 = zero3_models.contains(&def.model_name);
         let mut active = match def.call_type {
-            CallType::Generate { batch, prompt_len, gen_len } => {
-                mm.gen_active_bytes(&a.strategy, batch.div_ceil(dp), prompt_len + gen_len)
-            }
+            CallType::Generate {
+                batch,
+                prompt_len,
+                gen_len,
+            } => mm.gen_active_bytes(&a.strategy, batch.div_ceil(dp), prompt_len + gen_len),
             CallType::Inference { batch, seq_len } => {
                 mm.infer_active_bytes(&a.strategy, batch.div_ceil(dp) * seq_len)
             }
-            CallType::TrainStep { batch, seq_len, n_minibatches } => {
+            CallType::TrainStep {
+                batch,
+                seq_len,
+                n_minibatches,
+            } => {
                 let per = batch.div_ceil(dp).div_ceil(u64::from(n_minibatches.max(1)));
                 mm.train_active_bytes(&a.strategy, per * seq_len)
             }
@@ -84,18 +135,18 @@ pub fn max_mem(
                 .saturating_sub(mm.weight_bytes_per_gpu(&a.strategy))
                 .saturating_add(2 * mm.model().layer_params());
         }
+        call_active[id.0] = active;
         for gpu in a.mesh.gpus() {
             let slot = &mut peak_active[gpu.0 as usize];
             *slot = (*slot).max(active);
         }
     }
 
-    static_mem
-        .iter()
-        .zip(&peak_active)
-        .map(|(s, a)| s + a)
-        .max()
-        .unwrap_or(0)
+    MemProfile {
+        static_bytes: static_mem,
+        call_active,
+        peak_active,
+    }
 }
 
 #[cfg(test)]
@@ -109,11 +160,21 @@ mod tests {
     fn setup(nodes: u32, batch: u64) -> (ClusterSpec, DataflowGraph) {
         let cluster = ClusterSpec::h100(nodes);
         let actor = ModelSpec::llama3_7b();
-        let graph = algo::ppo(&actor, &actor.critic(), &algo::RlhfConfig::instruct_gpt(batch));
+        let graph = algo::ppo(
+            &actor,
+            &actor.critic(),
+            &algo::RlhfConfig::instruct_gpt(batch),
+        );
         (cluster, graph)
     }
 
-    fn symmetric(cluster: &ClusterSpec, graph: &DataflowGraph, dp: u32, tp: u32, mbs: u32) -> ExecutionPlan {
+    fn symmetric(
+        cluster: &ClusterSpec,
+        graph: &DataflowGraph,
+        dp: u32,
+        tp: u32,
+        mbs: u32,
+    ) -> ExecutionPlan {
         let a = CallAssignment::new(
             DeviceMesh::full(cluster),
             ParallelStrategy::new(dp, tp, 1, mbs).unwrap(),
@@ -161,9 +222,8 @@ mod tests {
         // (2 B/param over world 8), active shrinks by at most the full
         // replicated shard.
         let shard = 2 * ModelSpec::llama3_7b().param_count() / 8;
-        let replicated =
-            MemoryModel::new(ModelSpec::llama3_7b())
-                .weight_bytes_per_gpu(&ParallelStrategy::new(1, 8, 1, 8).unwrap());
+        let replicated = MemoryModel::new(ModelSpec::llama3_7b())
+            .weight_bytes_per_gpu(&ParallelStrategy::new(1, 8, 1, 8).unwrap());
         assert!(zero3 <= plain + shard, "zero3 {zero3} plain {plain}");
         assert!(zero3 + replicated >= plain, "zero3 {zero3} plain {plain}");
     }

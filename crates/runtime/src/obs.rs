@@ -1,0 +1,322 @@
+//! Observability assembly for runtime-engine runs.
+//!
+//! A [`crate::RunReport`] already carries everything the unified
+//! observability layer needs — the kernel [`real_sim::Trace`], the master
+//! worker's request/response log, and per-call timings. This module turns
+//! that into:
+//!
+//! * [`build_event_stream`] — one [`real_obs::EventStream`] combining the
+//!   per-GPU kernel spans (micro-batches, pipeline stages, reallocation
+//!   broadcasts, transfers), one master control lane per function call with
+//!   a span per dispatched request, flow arrows linking each master
+//!   `Request` to the worker `Response` that completes it, and per-GPU
+//!   memory-in-use counter tracks derived from the engine's memory model.
+//! * [`run_metrics`] — a [`real_obs::MetricsRegistry`] with per-category
+//!   busy-second counters (matching [`crate::RunReport::category_totals`]),
+//!   run-level gauges, and per-call duration histograms.
+
+use crate::config::EngineConfig;
+use crate::memcheck;
+use crate::report::RunReport;
+use real_cluster::ClusterSpec;
+use real_dataflow::{DataflowGraph, ExecutionPlan};
+use real_obs::{EventStream, LaneId, MetricsRegistry};
+
+/// Histogram bounds for per-call wall times (seconds): RLHF calls range
+/// from sub-second inference shards to minutes-long generation.
+pub const CALL_SECONDS_BOUNDS: &[f64] = &[
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+];
+
+/// Assembles the unified event stream for a finished run.
+///
+/// `plan` and `config` must be the ones the run executed with: the plan
+/// supplies each call's device mesh (flow-arrow targets and memory
+/// accounting), the config supplies the ZeRO/distributed-optimizer modes
+/// the memory model depends on.
+pub fn build_event_stream(
+    cluster: &ClusterSpec,
+    graph: &DataflowGraph,
+    plan: &ExecutionPlan,
+    config: &EngineConfig,
+    report: &RunReport,
+) -> EventStream {
+    let gpn = cluster.gpus_per_node as usize;
+    let n_gpus = cluster.total_gpus() as usize;
+    let log = &report.master_log;
+    let profile = memcheck::mem_profile(
+        cluster,
+        graph,
+        plan,
+        &config.zero3_models,
+        &config.dist_optim_models,
+    );
+
+    let mem_edges: usize = log
+        .requests
+        .iter()
+        .map(|r| 2 * plan.assignment(r.call).mesh.n_gpus() as usize)
+        .sum();
+    let capacity =
+        report.trace.events().len() * 4 + log.requests.len() * 4 + mem_edges + n_gpus + 64;
+    let mut stream = EventStream::with_capacity(capacity);
+
+    // GPU kernel lanes and link-utilization counters from the kernel trace.
+    real_sim::record_event_stream(&report.trace, gpn, &mut stream);
+
+    // One master control lane per function call (calls overlap in time, so
+    // a single lane could not keep begin/end nesting balanced).
+    let master = LaneId::master().pid;
+    for (id, def) in graph.iter() {
+        stream.set_lane_name(
+            LaneId {
+                pid: master,
+                tid: id.0 as u32,
+            },
+            "master",
+            &def.call_name,
+        );
+    }
+
+    // Request spans on the master lanes, plus a flow arrow from each
+    // dispatch to the lane of the first GPU executing it.
+    for (idx, req) in log.requests.iter().enumerate() {
+        let Some(resp) = log.response(req.call, req.iter) else {
+            continue;
+        };
+        let lane = LaneId {
+            pid: master,
+            tid: req.call.0 as u32,
+        };
+        stream.begin(
+            lane,
+            &format!("{}#{}", req.handle, req.iter),
+            "call",
+            req.dispatch_time,
+        );
+        stream.end(lane, resp.completed_at);
+        let first = plan
+            .assignment(req.call)
+            .mesh
+            .gpus()
+            .next()
+            .expect("meshes are non-empty")
+            .0 as usize;
+        let dst = LaneId::gpu((first / gpn) as u32, (first % gpn) as u32);
+        let name = format!("req:{}", req.handle);
+        stream.flow_start(idx as u64, &name, lane, req.dispatch_time);
+        stream.flow_end(idx as u64, &name, dst, resp.completed_at);
+    }
+
+    // Per-GPU memory-in-use counter tracks: the static (optimizer-state)
+    // floor plus each running call's active bytes, sampled at every call
+    // boundary on that GPU.
+    let mut edges: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n_gpus];
+    for req in &log.requests {
+        let Some(resp) = log.response(req.call, req.iter) else {
+            continue;
+        };
+        let active = profile.call_active[req.call.0] as f64;
+        for gpu in plan.assignment(req.call).mesh.gpus() {
+            edges[gpu.0 as usize].push((req.dispatch_time, active));
+            edges[gpu.0 as usize].push((resp.completed_at, -active));
+        }
+    }
+    for (g, mut ev) in edges.into_iter().enumerate() {
+        let floor = profile.static_bytes[g] as f64;
+        if ev.is_empty() && floor == 0.0 {
+            continue;
+        }
+        // Releases before acquisitions at equal timestamps, so back-to-back
+        // calls do not produce a spurious double-occupancy sample.
+        ev.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("finite times")
+                .then(a.1.partial_cmp(&b.1).expect("finite deltas"))
+        });
+        let node = (g / gpn) as u32;
+        let track = format!("mem/node{node}/gpu{}", g % gpn);
+        let mut level = floor;
+        stream.counter(node, &track, 0.0, level);
+        for (ts, delta) in ev {
+            level += delta;
+            stream.counter(node, &track, ts, level);
+        }
+    }
+
+    stream
+}
+
+/// Builds the runtime metrics registry for a finished run.
+///
+/// The `runtime/category_seconds` counters equal
+/// [`RunReport::category_totals`] exactly (they are copied, not re-derived),
+/// so downstream consumers can cross-check the two surfaces.
+pub fn run_metrics(cluster: &ClusterSpec, report: &RunReport) -> MetricsRegistry {
+    let mut m = MetricsRegistry::new();
+    for (cat, secs) in &report.category_totals {
+        m.counter_add(
+            "runtime/category_seconds",
+            &[("category", &cat.to_string())],
+            *secs,
+        );
+    }
+    m.gauge_set("runtime/total_time_seconds", &[], report.total_time);
+    m.gauge_set("runtime/iter_time_seconds", &[], report.iter_time);
+    m.gauge_set("runtime/idle_gpu_seconds", &[], report.idle_total);
+    m.gauge_set("runtime/mem_peak_bytes", &[], report.mem_peak as f64);
+    m.gauge_set("runtime/static_utilization", &[], report.static_utilization);
+    m.gauge_set(
+        "runtime/busy_fraction",
+        &[],
+        report.busy_fraction(cluster.total_gpus() as usize),
+    );
+    m.counter_add("runtime/iterations", &[], report.iterations as f64);
+    m.counter_add(
+        "runtime/requests",
+        &[],
+        report.master_log.requests.len() as f64,
+    );
+    m.counter_add(
+        "runtime/responses",
+        &[],
+        report.master_log.responses.len() as f64,
+    );
+    m.counter_add(
+        "runtime/trace_events",
+        &[],
+        report.trace.events().len() as f64,
+    );
+    m.counter_add(
+        "runtime/trace_dropped_events",
+        &[],
+        report.trace.dropped() as f64,
+    );
+    for t in &report.timings {
+        m.histogram_observe(
+            "runtime/call_seconds",
+            &[("call", &t.call_name)],
+            CALL_SECONDS_BOUNDS,
+            t.duration(),
+        );
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EngineConfig, RuntimeEngine};
+    use real_cluster::DeviceMesh;
+    use real_dataflow::{algo, CallAssignment};
+    use real_model::{ModelSpec, ParallelStrategy};
+    use real_obs::{MetricValue, StreamEvent};
+
+    fn run() -> (
+        ClusterSpec,
+        DataflowGraph,
+        ExecutionPlan,
+        EngineConfig,
+        RunReport,
+    ) {
+        let cluster = ClusterSpec::h100(1);
+        let actor = ModelSpec::llama3_7b();
+        let graph = algo::ppo(&actor, &actor.critic(), &algo::RlhfConfig::instruct_gpt(64));
+        let a = CallAssignment::new(
+            DeviceMesh::full(&cluster),
+            ParallelStrategy::new(1, 8, 1, 8).unwrap(),
+        )
+        .unwrap();
+        let plan = ExecutionPlan::new(&graph, &cluster, vec![a; graph.n_calls()]).unwrap();
+        let config = EngineConfig::deterministic().with_trace(4096);
+        let engine = RuntimeEngine::new(cluster.clone(), graph.clone(), config.clone());
+        let report = engine.run(&plan, 2).unwrap();
+        (cluster, graph, plan, config, report)
+    }
+
+    #[test]
+    fn stream_has_spans_flows_and_memory_tracks() {
+        let (cluster, graph, plan, config, report) = run();
+        let stream = build_event_stream(&cluster, &graph, &plan, &config, &report);
+        stream.check_invariants().expect("balanced stream");
+        assert_eq!(stream.dropped(), 0, "capacity estimate must hold");
+
+        // One call span per dispatched request, on the master process.
+        let call_begins = stream
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(e,
+                StreamEvent::Begin { lane, category, .. }
+                    if lane.pid == u32::MAX && category == "call")
+            })
+            .count();
+        assert_eq!(call_begins, report.master_log.requests.len());
+
+        // Flow arrows pair up and leave from the master lanes.
+        let starts = stream
+            .events()
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::FlowStart { lane, .. } if lane.pid == u32::MAX))
+            .count();
+        let ends = stream
+            .events()
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::FlowEnd { lane, .. } if lane.pid != u32::MAX))
+            .count();
+        assert_eq!(starts, report.master_log.requests.len());
+        assert_eq!(ends, starts);
+
+        // Per-GPU memory tracks exist; in-flight reservations cover at least
+        // the checker's peak (static + the worst single call's active bytes).
+        let mem_samples: Vec<f64> = stream
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                StreamEvent::Counter { track, value, .. } if track.starts_with("mem/") => {
+                    Some(*value)
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(!mem_samples.is_empty());
+        let peak = mem_samples.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            peak >= report.mem_peak as f64 * 0.999,
+            "peak {peak} < {}",
+            report.mem_peak
+        );
+
+        // Master lanes are named after the calls.
+        assert!(stream
+            .thread_names()
+            .any(|(pid, _, name)| pid == u32::MAX && name == "actor_gen"));
+    }
+
+    #[test]
+    fn metrics_match_report_category_totals() {
+        let (cluster, _, _, _, report) = run();
+        let m = run_metrics(&cluster, &report);
+        for (cat, secs) in &report.category_totals {
+            let got = m
+                .get(
+                    "runtime/category_seconds",
+                    &[("category", &cat.to_string())],
+                )
+                .expect("category counter present")
+                .scalar();
+            assert!(
+                (got - secs).abs() <= 1e-9 * secs.abs().max(1.0),
+                "{cat}: {got} vs {secs}"
+            );
+        }
+        assert_eq!(m.get("runtime/requests", &[]).unwrap().scalar(), 12.0);
+        match m
+            .get("runtime/call_seconds", &[("call", "actor_gen")])
+            .unwrap()
+        {
+            MetricValue::Histogram(h) => assert_eq!(h.count(), 2),
+            other => panic!("expected histogram, got {}", other.kind()),
+        }
+    }
+}

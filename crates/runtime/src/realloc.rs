@@ -91,8 +91,7 @@ pub fn execute_realloc(
                         .expect("src dp >= 1");
                     load[best_d1 as usize][t1 as usize] += 1;
                     let s = src_layout.tp_group(i as u32, best_d1)[t1 as usize];
-                    let receivers: Vec<usize> =
-                        dsts.iter().copied().filter(|&g| g != s).collect();
+                    let receivers: Vec<usize> = dsts.iter().copied().filter(|&g| g != s).collect();
                     if receivers.is_empty() {
                         continue; // the only destination already holds it
                     }
@@ -134,11 +133,7 @@ mod tests {
         .unwrap()
     }
 
-    fn run(
-        cluster: &ClusterSpec,
-        src: &CallAssignment,
-        dst: &CallAssignment,
-    ) -> (f64, Timelines) {
+    fn run(cluster: &ClusterSpec, src: &CallAssignment, dst: &CallAssignment) -> (f64, Timelines) {
         let comm = CommModel::new(cluster);
         let mut tl = Timelines::new(cluster.total_gpus() as usize);
         let mut trace = Trace::disabled();

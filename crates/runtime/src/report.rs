@@ -106,7 +106,15 @@ impl RunReport {
             table.row(vec![name.to_string(), format!("{mean:.2}")]);
         }
         table.row(vec!["end2end".into(), format!("{:.2}", self.iter_time)]);
-        table.render()
+        let mut out = table.render();
+        if self.trace.dropped() > 0 {
+            out.push_str(&format!(
+                "\nwarning: kernel trace dropped {} event(s) after filling its capacity; \
+                 busy-time breakdowns are exact but the exported trace is truncated\n",
+                self.trace.dropped()
+            ));
+        }
+        out
     }
 }
 
@@ -120,9 +128,24 @@ mod tests {
             total_time: 20.0,
             iter_time: 10.0,
             timings: vec![
-                CallTiming { call_name: "gen".into(), iter: 0, start: 0.0, end: 6.0 },
-                CallTiming { call_name: "gen".into(), iter: 1, start: 10.0, end: 14.0 },
-                CallTiming { call_name: "train".into(), iter: 0, start: 6.0, end: 10.0 },
+                CallTiming {
+                    call_name: "gen".into(),
+                    iter: 0,
+                    start: 0.0,
+                    end: 6.0,
+                },
+                CallTiming {
+                    call_name: "gen".into(),
+                    iter: 1,
+                    start: 10.0,
+                    end: 14.0,
+                },
+                CallTiming {
+                    call_name: "train".into(),
+                    iter: 0,
+                    start: 6.0,
+                    end: 10.0,
+                },
             ],
             category_totals: vec![(Category::Compute, 30.0), (Category::TpComm, 10.0)],
             idle_total: 5.0,
@@ -169,5 +192,19 @@ mod tests {
         assert!(s.contains("train"));
         assert!(s.contains("end2end"));
         assert!(s.contains("10.00"));
+        assert!(!s.contains("warning"));
+    }
+
+    #[test]
+    fn breakdown_warns_about_dropped_trace_events() {
+        let mut r = report();
+        let mut trace = Trace::with_capacity(1);
+        trace.record(0, 0.0, 1.0, Category::Compute, "a");
+        trace.record(0, 1.0, 2.0, Category::Compute, "b");
+        trace.record(0, 2.0, 3.0, Category::Compute, "c");
+        r.trace = trace;
+        let s = r.render_breakdown();
+        assert!(s.contains("warning"), "{s}");
+        assert!(s.contains("dropped 2 event(s)"), "{s}");
     }
 }

@@ -69,12 +69,16 @@ pub struct MasterLog {
 impl MasterLog {
     /// The request matching a `(call, iter)` pair.
     pub fn request(&self, call: CallId, iter: usize) -> Option<&Request> {
-        self.requests.iter().find(|r| r.call == call && r.iter == iter)
+        self.requests
+            .iter()
+            .find(|r| r.call == call && r.iter == iter)
     }
 
     /// The response matching a `(call, iter)` pair.
     pub fn response(&self, call: CallId, iter: usize) -> Option<&Response> {
-        self.responses.iter().find(|r| r.call == call && r.iter == iter)
+        self.responses
+            .iter()
+            .find(|r| r.call == call && r.iter == iter)
     }
 
     /// Builds the §6 request body for a call: one [`DataLocation`] per
@@ -217,16 +221,24 @@ mod tests {
         let assignments: Vec<CallAssignment> = graph
             .calls()
             .iter()
-            .map(|c| if c.model_name == "actor" || c.model_name == "reference" {
-                node0
-            } else {
-                node1
+            .map(|c| {
+                if c.model_name == "actor" || c.model_name == "reference" {
+                    node0
+                } else {
+                    node1
+                }
             })
             .collect();
         let plan = ExecutionPlan::new(&graph, &cluster, assignments).unwrap();
         let dir = WorkerDirectory::new(&cluster, &graph, &plan);
-        assert_eq!(dir.handles(0), &["actor".to_string(), "reference".to_string()]);
-        assert_eq!(dir.handles(8), &["reward".to_string(), "critic".to_string()]);
+        assert_eq!(
+            dir.handles(0),
+            &["actor".to_string(), "reference".to_string()]
+        );
+        assert_eq!(
+            dir.handles(8),
+            &["reward".to_string(), "critic".to_string()]
+        );
         assert_eq!(dir.max_handles(), 2);
     }
 }

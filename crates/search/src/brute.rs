@@ -25,7 +25,10 @@ pub struct BruteConfig {
 
 impl Default for BruteConfig {
     fn default() -> Self {
-        Self { top_k: 12, time_limit: Duration::from_secs(600) }
+        Self {
+            top_k: 12,
+            time_limit: Duration::from_secs(600),
+        }
     }
 }
 
@@ -67,7 +70,12 @@ pub fn brute_force(est: &Estimator, space: &SearchSpace, cfg: &BruteConfig) -> B
         graph
             .calls()
             .iter()
-            .map(|c| names.iter().position(|&m| m == c.model_name).expect("model listed"))
+            .map(|c| {
+                names
+                    .iter()
+                    .position(|&m| m == c.model_name)
+                    .expect("model listed")
+            })
             .collect()
     };
     let n_models = graph.model_names().len();
@@ -185,7 +193,10 @@ mod tests {
     #[test]
     fn tiny_space_is_searched_exhaustively() {
         let (est, space) = setup(64);
-        let cfg = BruteConfig { top_k: 3, time_limit: Duration::from_secs(120) };
+        let cfg = BruteConfig {
+            top_k: 3,
+            time_limit: Duration::from_secs(120),
+        };
         let r = brute_force(&est, &space, &cfg);
         assert!(r.exhaustive, "3^6 = 729 plans must enumerate quickly");
         assert!(r.evaluated + r.pruned > 0);
@@ -195,12 +206,17 @@ mod tests {
     #[test]
     fn brute_force_is_at_least_as_good_as_any_truncated_plan() {
         let (est, space) = setup(64);
-        let cfg = BruteConfig { top_k: 2, time_limit: Duration::from_secs(120) };
+        let cfg = BruteConfig {
+            top_k: 2,
+            time_limit: Duration::from_secs(120),
+        };
         let r = brute_force(&est, &space, &cfg);
         // Compare against the all-minimum (greedy-in-truncated) plan.
         let greedy: Vec<_> = (0..space.n_calls())
             .map(|c| {
-                space.truncated_by(2, |call, a| est.call_duration(CallId(call), a)).options(c)[0]
+                space
+                    .truncated_by(2, |call, a| est.call_duration(CallId(call), a))
+                    .options(c)[0]
             })
             .collect();
         let greedy_plan = ExecutionPlan::new(est.graph(), est.cluster(), greedy).unwrap();
@@ -211,7 +227,10 @@ mod tests {
     fn mcmc_approaches_brute_force_optimum() {
         // Fig. 15: MCMC reaches >= 95% of the brute-force optimum quickly.
         let (est, space) = setup(64);
-        let brute_cfg = BruteConfig { top_k: 4, time_limit: Duration::from_secs(300) };
+        let brute_cfg = BruteConfig {
+            top_k: 4,
+            time_limit: Duration::from_secs(300),
+        };
         let optimal = brute_force(&est, &space, &brute_cfg);
         assert!(optimal.exhaustive);
 
@@ -236,7 +255,10 @@ mod tests {
     #[test]
     fn enumeration_is_bounded_by_truncated_space() {
         let (est, space) = setup(64);
-        let cfg = BruteConfig { top_k: 4, time_limit: Duration::from_secs(300) };
+        let cfg = BruteConfig {
+            top_k: 4,
+            time_limit: Duration::from_secs(300),
+        };
         let r = brute_force(&est, &space, &cfg);
         // 4^6 complete plans at most; the bound may or may not fire on a
         // space this small, but evaluated + pruned work is bounded.

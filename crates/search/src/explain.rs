@@ -42,7 +42,12 @@ impl PlanComparison {
 
     /// Renders the comparison as a table.
     pub fn render(&self) -> String {
-        let mut t = Table::new(vec!["call", "base", "target", "TimeCost after single swap (s)"]);
+        let mut t = Table::new(vec![
+            "call",
+            "base",
+            "target",
+            "TimeCost after single swap (s)",
+        ]);
         for d in &self.diffs {
             t.row(vec![
                 d.call_name.clone(),
@@ -85,7 +90,11 @@ pub fn compare(est: &Estimator, base: &ExecutionPlan, target: &ExecutionPlan) ->
             time_after_swap: est.time_cost(&swapped),
         });
     }
-    PlanComparison { base_time, target_time, diffs }
+    PlanComparison {
+        base_time,
+        target_time,
+        diffs,
+    }
 }
 
 #[cfg(test)]
@@ -126,12 +135,16 @@ mod tests {
     fn searched_vs_heuristic_shows_contributions() {
         let (est, space) = setup();
         let heuristic = heuristic_plan(&est);
-        let result = search(&est, &space, &McmcConfig {
-            max_steps: 3_000,
-            time_limit: Duration::from_secs(30),
-            record_trace: false,
-            ..McmcConfig::default()
-        });
+        let result = search(
+            &est,
+            &space,
+            &McmcConfig {
+                max_steps: 3_000,
+                time_limit: Duration::from_secs(30),
+                record_trace: false,
+                ..McmcConfig::default()
+            },
+        );
         let cmp = compare(&est, &heuristic, &result.best_plan);
         assert!(!cmp.diffs.is_empty(), "the search should change something");
         assert!(cmp.speedup() > 1.0, "target must be faster");

@@ -16,7 +16,11 @@ use real_estimator::Estimator;
 /// resulting plan fails validation (the space guarantees it cannot).
 pub fn greedy_plan(est: &Estimator, space: &SearchSpace) -> ExecutionPlan {
     let graph = est.graph();
-    assert_eq!(space.n_calls(), graph.n_calls(), "space/graph call count mismatch");
+    assert_eq!(
+        space.n_calls(),
+        graph.n_calls(),
+        "space/graph call count mismatch"
+    );
     let mut assignments = Vec::with_capacity(graph.n_calls());
     for call in 0..graph.n_calls() {
         let id = CallId(call);

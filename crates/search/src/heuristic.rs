@@ -34,7 +34,7 @@ pub fn heuristic_plan(est: &Estimator) -> ExecutionPlan {
         .min()
         .expect("graphs are non-empty");
     let mut tp = cluster.gpus_per_node.min(max_tp_all as u32);
-    while n % tp != 0 {
+    while !n.is_multiple_of(tp) {
         tp /= 2;
     }
 
@@ -51,14 +51,17 @@ pub fn heuristic_plan(est: &Estimator) -> ExecutionPlan {
     let rest = n / tp;
     let mut pp = 1;
     loop {
-        assert!(pp <= rest, "no symmetric plan fits: model too large for cluster");
-        let s = ParallelStrategy::new(rest / pp, tp, pp, 1)
-            .expect("heuristic degrees are positive");
+        assert!(
+            pp <= rest,
+            "no symmetric plan fits: model too large for cluster"
+        );
+        let s =
+            ParallelStrategy::new(rest / pp, tp, pp, 1).expect("heuristic degrees are positive");
         if mm.static_optim_bytes(&s) + mm.weight_bytes_per_gpu(&s) <= budget {
             break;
         }
         pp *= 2;
-        while pp <= rest && rest % pp != 0 {
+        while pp <= rest && !rest.is_multiple_of(pp) {
             pp *= 2;
         }
     }
@@ -122,7 +125,12 @@ mod tests {
 
     #[test]
     fn heuristic_7b_uses_full_node_tp_no_pp() {
-        let est = estimator(2, ModelSpec::llama3_7b(), ModelSpec::llama3_7b().critic(), 512);
+        let est = estimator(
+            2,
+            ModelSpec::llama3_7b(),
+            ModelSpec::llama3_7b().critic(),
+            512,
+        );
         let plan = heuristic_plan(&est);
         let a = plan.assignment(CallId(0));
         assert_eq!(a.strategy.tp(), 8);
@@ -133,7 +141,12 @@ mod tests {
 
     #[test]
     fn heuristic_is_symmetric_across_calls() {
-        let est = estimator(2, ModelSpec::llama3_7b(), ModelSpec::llama3_7b().critic(), 512);
+        let est = estimator(
+            2,
+            ModelSpec::llama3_7b(),
+            ModelSpec::llama3_7b().critic(),
+            512,
+        );
         let plan = heuristic_plan(&est);
         let first = plan.assignment(CallId(0));
         for a in plan.assignments() {
@@ -146,7 +159,12 @@ mod tests {
 
     #[test]
     fn heuristic_fits_memory() {
-        let est = estimator(2, ModelSpec::llama3_7b(), ModelSpec::llama3_7b().critic(), 512);
+        let est = estimator(
+            2,
+            ModelSpec::llama3_7b(),
+            ModelSpec::llama3_7b().critic(),
+            512,
+        );
         let plan = heuristic_plan(&est);
         assert!(est.mem_ok(&plan));
     }
@@ -154,7 +172,12 @@ mod tests {
     #[test]
     fn heuristic_70b_on_16_nodes_matches_table3_shape() {
         // Table 3: the 70B + 7B heuristic on 16 nodes uses TP 8, PP 4, DP 4.
-        let est = estimator(16, ModelSpec::llama3_70b(), ModelSpec::llama3_7b().critic(), 512);
+        let est = estimator(
+            16,
+            ModelSpec::llama3_70b(),
+            ModelSpec::llama3_7b().critic(),
+            512,
+        );
         let plan = heuristic_plan(&est);
         let a = plan.assignment(CallId(0));
         assert_eq!(a.strategy.tp(), 8);

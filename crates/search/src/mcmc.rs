@@ -20,8 +20,13 @@ use crate::greedy::greedy_plan;
 use crate::space::SearchSpace;
 use real_dataflow::{CallId, ExecutionPlan};
 use real_estimator::Estimator;
+use real_obs::MetricsRegistry;
 use real_util::DeterministicRng;
 use std::time::{Duration, Instant};
+
+/// Points kept per chain in the energy / best-so-far telemetry series
+/// (later points are dropped and counted once a series fills up).
+pub const TELEMETRY_SERIES_CAPACITY: usize = 4096;
 
 /// MCMC configuration.
 #[derive(Debug, Clone)]
@@ -69,6 +74,11 @@ pub struct SearchResult {
     pub accepted: u64,
     /// `(elapsed_secs, best_time_cost)` improvement trace.
     pub trace: Vec<(f64, f64)>,
+    /// Per-step chain telemetry, keyed by a `chain=<seed>` label: the
+    /// `search/energy` and `search/best_time_cost` series over steps, and
+    /// the `search/steps` / `search/accepted` / `search/oom_penalty_hits`
+    /// counters plus the `search/acceptance_rate` gauge.
+    pub telemetry: MetricsRegistry,
 }
 
 impl SearchResult {
@@ -100,6 +110,10 @@ pub fn search(est: &Estimator, space: &SearchSpace, cfg: &McmcConfig) -> SearchR
     let mut current = greedy_plan(est, space);
     let mut current_cost = est.cost(&current);
 
+    let chain = cfg.seed.to_string();
+    let labels: [(&str, &str); 1] = [("chain", chain.as_str())];
+    let mut telemetry = MetricsRegistry::new();
+
     // The penalized §5.2 cost already orders infeasible plans after
     // feasible ones (×α), so tracking the best by penalized cost needs just
     // one estimator call per step.
@@ -121,7 +135,10 @@ pub fn search(est: &Estimator, space: &SearchSpace, cfg: &McmcConfig) -> SearchR
         let proposal = current
             .with_assignment(call, proposal_assignment)
             .expect("options are internally consistent");
-        let proposal_cost = est.cost(&proposal);
+        let (proposal_cost, oom_penalized) = est.cost_checked(&proposal);
+        if oom_penalized {
+            telemetry.counter_inc("search/oom_penalty_hits", &labels);
+        }
 
         // Metropolis acceptance over the scale-free relative energy, with a
         // linear annealing schedule: the chain explores early and freezes
@@ -138,11 +155,26 @@ pub fn search(est: &Estimator, space: &SearchSpace, cfg: &McmcConfig) -> SearchR
             if current_cost < best_cost {
                 best_plan = current.clone();
                 best_cost = current_cost;
+                let best_time = est.time_cost(&best_plan);
                 if cfg.record_trace {
-                    trace.push((start.elapsed().as_secs_f64(), est.time_cost(&best_plan)));
+                    trace.push((start.elapsed().as_secs_f64(), best_time));
                 }
+                telemetry.series_push(
+                    "search/best_time_cost",
+                    &labels,
+                    TELEMETRY_SERIES_CAPACITY,
+                    steps as f64,
+                    best_time,
+                );
             }
         }
+        telemetry.series_push(
+            "search/energy",
+            &labels,
+            TELEMETRY_SERIES_CAPACITY,
+            steps as f64,
+            current_cost,
+        );
     }
 
     // Coordinate-descent polish: sweep the calls, replacing each assignment
@@ -176,13 +208,27 @@ pub fn search(est: &Estimator, space: &SearchSpace, cfg: &McmcConfig) -> SearchR
         }
     }
 
+    telemetry.counter_add("search/steps", &labels, steps as f64);
+    telemetry.counter_add("search/accepted", &labels, accepted as f64);
+    telemetry.gauge_set(
+        "search/acceptance_rate",
+        &labels,
+        if steps == 0 {
+            0.0
+        } else {
+            accepted as f64 / steps as f64
+        },
+    );
+    let best_time_cost = est.time_cost(&best_plan);
+    telemetry.gauge_set("search/best_time_cost_final", &labels, best_time_cost);
     SearchResult {
-        best_time_cost: est.time_cost(&best_plan),
+        best_time_cost,
         feasible: est.mem_ok(&best_plan),
         best_plan,
         steps,
         accepted,
         trace,
+        telemetry,
     }
 }
 
@@ -203,33 +249,42 @@ pub fn parallel_search(
         return search(est, space, cfg);
     }
     let mut results: Vec<SearchResult> = Vec::with_capacity(n_chains);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_chains)
             .map(|chain| {
                 let mut chain_cfg = cfg.clone();
                 // Chain 0 keeps the caller's seed so the multi-chain result
                 // is always at least as good as the single-chain one.
                 if chain > 0 {
-                    chain_cfg.seed =
-                        cfg.seed.wrapping_mul(0x9e37_79b9).wrapping_add(chain as u64);
+                    chain_cfg.seed = cfg
+                        .seed
+                        .wrapping_mul(0x9e37_79b9)
+                        .wrapping_add(chain as u64);
                 }
-                scope.spawn(move |_| search(est, space, &chain_cfg))
+                scope.spawn(move || search(est, space, &chain_cfg))
             })
             .collect();
         for h in handles {
             results.push(h.join().expect("search chains do not panic"));
         }
-    })
-    .expect("crossbeam scope does not panic");
+    });
 
-    results
+    // The winner carries every chain's telemetry (chains are distinguished
+    // by their `chain=<seed>` label, so the merge is collision-free).
+    let mut merged = MetricsRegistry::new();
+    for r in &results {
+        merged.merge(&r.telemetry);
+    }
+    let mut best = results
         .into_iter()
         .min_by(|a, b| {
             (!a.feasible, a.best_time_cost)
                 .partial_cmp(&(!b.feasible, b.best_time_cost))
                 .expect("costs are finite")
         })
-        .expect("n_chains >= 1")
+        .expect("n_chains >= 1");
+    best.telemetry = merged;
+    best
 }
 
 #[cfg(test)]
@@ -325,6 +380,50 @@ mod tests {
         let last = result.trace.last().expect("trace has the initial entry");
         assert!((last.1 - result.best_time_cost).abs() < 1e-9);
         assert!(result.improvement_ratio() > 0.0);
+    }
+
+    #[test]
+    fn telemetry_records_chain_trajectory() {
+        let (est, space) = setup(1, 128);
+        let cfg = quick_cfg(19);
+        let result = search(&est, &space, &cfg);
+        let chain = cfg.seed.to_string();
+        let lbl: [(&str, &str); 1] = [("chain", chain.as_str())];
+        let t = &result.telemetry;
+        assert_eq!(
+            t.get("search/steps", &lbl).unwrap().scalar(),
+            result.steps as f64
+        );
+        assert_eq!(
+            t.get("search/accepted", &lbl).unwrap().scalar(),
+            result.accepted as f64
+        );
+        let rate = t.get("search/acceptance_rate", &lbl).unwrap().scalar();
+        assert!((rate - result.acceptance_rate()).abs() < 1e-12);
+        // Every step contributes one energy sample (stored or counted).
+        match t.get("search/energy", &lbl).unwrap() {
+            real_obs::MetricValue::Series(s) => {
+                assert_eq!(s.points().len() as u64 + s.dropped(), result.steps);
+            }
+            other => panic!("expected series, got {}", other.kind()),
+        }
+        // The greedy start for this workload is OOM, so the chain must have
+        // proposed penalized plans along the way.
+        assert!(t.get("search/oom_penalty_hits", &lbl).unwrap().scalar() > 0.0);
+    }
+
+    #[test]
+    fn parallel_search_merges_chain_telemetry() {
+        let (est, space) = setup(1, 128);
+        let mut cfg = quick_cfg(23);
+        cfg.max_steps = 200;
+        let multi = parallel_search(&est, &space, &cfg, 3);
+        let chains = multi
+            .telemetry
+            .iter()
+            .filter(|(k, _)| k.name() == "search/steps")
+            .count();
+        assert_eq!(chains, 3, "one steps counter per chain");
     }
 
     #[test]

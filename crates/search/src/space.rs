@@ -65,8 +65,12 @@ impl SearchSpace {
     /// the model cannot run on the cluster at all. Use [`Self::try_build`]
     /// to handle that case as a value.
     pub fn build(cluster: &ClusterSpec, graph: &DataflowGraph, level: PruneLevel) -> Self {
-        Self::try_build(cluster, graph, level)
-            .unwrap_or_else(|e| panic!("pruning removed every option for call {} — model too large for cluster", e.call_name))
+        Self::try_build(cluster, graph, level).unwrap_or_else(|e| {
+            panic!(
+                "pruning removed every option for call {} — model too large for cluster",
+                e.call_name
+            )
+        })
     }
 
     /// Fallible variant of [`Self::build`].
@@ -122,15 +126,21 @@ impl SearchSpace {
                         // Active-memory prefilter for this call alone.
                         let dp = u64::from(s.dp());
                         let active = match call.call_type {
-                            CallType::Generate { batch, prompt_len, gen_len } => mm
-                                .gen_active_bytes(&s, batch.div_ceil(dp), prompt_len + gen_len),
+                            CallType::Generate {
+                                batch,
+                                prompt_len,
+                                gen_len,
+                            } => mm.gen_active_bytes(&s, batch.div_ceil(dp), prompt_len + gen_len),
                             CallType::Inference { batch, seq_len } => {
                                 mm.infer_active_bytes(&s, batch.div_ceil(dp) * seq_len)
                             }
-                            CallType::TrainStep { batch, seq_len, n_minibatches } => {
-                                let per = batch
-                                    .div_ceil(dp)
-                                    .div_ceil(u64::from(n_minibatches.max(1)));
+                            CallType::TrainStep {
+                                batch,
+                                seq_len,
+                                n_minibatches,
+                            } => {
+                                let per =
+                                    batch.div_ceil(dp).div_ceil(u64::from(n_minibatches.max(1)));
                                 mm.train_active_bytes(&s, per * seq_len)
                             }
                         };
@@ -145,7 +155,9 @@ impl SearchSpace {
                 }
             }
             if opts.is_empty() {
-                return Err(ImpossibleCall { call_name: call.call_name.clone() });
+                return Err(ImpossibleCall {
+                    call_name: call.call_name.clone(),
+                });
             }
             options.push(opts);
         }
@@ -260,7 +272,11 @@ mod tests {
     fn static_prefilter_drops_single_gpu_70b() {
         let cluster = ClusterSpec::h100(4);
         let a = ModelSpec::llama3_70b();
-        let g = ppo(&a, &ModelSpec::llama3_7b().critic(), &RlhfConfig::instruct_gpt(512));
+        let g = ppo(
+            &a,
+            &ModelSpec::llama3_7b().critic(),
+            &RlhfConfig::instruct_gpt(512),
+        );
         let space = SearchSpace::build(&cluster, &g, PruneLevel::Moderate);
         // 70B training cannot sit on few-GPU meshes: optimizer state alone
         // is ~1.1 TB.

@@ -29,4 +29,4 @@ pub mod timeline;
 pub mod trace;
 
 pub use timeline::{Category, GpuTimeline, Timelines};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{record_event_stream, to_event_stream, Trace, TraceEvent};

@@ -99,7 +99,10 @@ impl GpuTimeline {
     ///
     /// Panics if `duration` is negative or not finite.
     pub fn advance(&mut self, ready: f64, duration: f64, cat: Category) -> (f64, f64) {
-        assert!(duration >= 0.0 && duration.is_finite(), "bad duration {duration}");
+        assert!(
+            duration >= 0.0 && duration.is_finite(),
+            "bad duration {duration}"
+        );
         let start = ready.max(self.busy_until);
         let end = start + duration;
         self.busy_until = end;
@@ -122,7 +125,9 @@ impl Timelines {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "need at least one GPU");
-        Self { gpus: vec![GpuTimeline::new(); n] }
+        Self {
+            gpus: vec![GpuTimeline::new(); n],
+        }
     }
 
     /// Number of GPUs.

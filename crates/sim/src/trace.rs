@@ -31,13 +31,21 @@ pub struct Trace {
 impl Trace {
     /// A disabled trace that records nothing.
     pub fn disabled() -> Self {
-        Self { events: Vec::new(), capacity: 0, dropped: 0 }
+        Self {
+            events: Vec::new(),
+            capacity: 0,
+            dropped: 0,
+        }
     }
 
     /// A trace recording up to `capacity` events; later events are counted
     /// but dropped.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { events: Vec::with_capacity(capacity.min(1 << 20)), capacity, dropped: 0 }
+        Self {
+            events: Vec::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Whether this trace records anything.
@@ -46,9 +54,22 @@ impl Trace {
     }
 
     /// Records an event (no-op when disabled or full).
-    pub fn record(&mut self, gpu: usize, start: f64, end: f64, category: Category, label: &'static str) {
+    pub fn record(
+        &mut self,
+        gpu: usize,
+        start: f64,
+        end: f64,
+        category: Category,
+        label: &'static str,
+    ) {
         if self.events.len() < self.capacity {
-            self.events.push(TraceEvent { gpu, start, end, category, label });
+            self.events.push(TraceEvent {
+                gpu,
+                start,
+                end,
+                category,
+                label,
+            });
         } else if self.capacity > 0 {
             self.dropped += 1;
         }
@@ -72,7 +93,10 @@ impl Trace {
     /// Renders an ASCII lane for one GPU over `[0, horizon]` with `width`
     /// character cells — the Fig. 10 visualization.
     pub fn render_lane(&self, gpu: usize, horizon: f64, width: usize) -> String {
-        assert!(horizon > 0.0 && width > 0, "need a positive horizon and width");
+        assert!(
+            horizon > 0.0 && width > 0,
+            "need a positive horizon and width"
+        );
         let mut lane = vec!['.'; width];
         for e in self.events.iter().filter(|e| e.gpu == gpu) {
             let glyph = match e.category {
@@ -148,31 +172,89 @@ mod tests {
     }
 }
 
+/// Records a flat [`Trace`] into an existing [`real_obs::EventStream`]:
+/// one span per recorded interval on lane `node{n}/gpu{g}` (lanes are named
+/// via metadata), plus one utilization counter track per communication
+/// category — the number of concurrently busy links over time, sampled at
+/// every busy-interval edge.
+///
+/// Recording into a caller-owned stream lets the runtime engine compose the
+/// GPU kernel lanes with its own master-lane spans, flow arrows, and memory
+/// counter tracks in a single export.
+pub fn record_event_stream(
+    trace: &Trace,
+    gpus_per_node: usize,
+    stream: &mut real_obs::EventStream,
+) {
+    assert!(gpus_per_node > 0, "need at least one GPU per node");
+    let mut named: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    for e in trace.events() {
+        let node = (e.gpu / gpus_per_node) as u32;
+        let gpu = (e.gpu % gpus_per_node) as u32;
+        let lane = real_obs::LaneId::gpu(node, gpu);
+        if named.insert(e.gpu) {
+            stream.set_lane_name(lane, &format!("node{node}"), &format!("gpu{gpu}"));
+        }
+        stream.span(lane, e.label, &e.category.to_string(), e.start, e.end);
+    }
+    // Per-link utilization: for each comm category, a counter track sampling
+    // how many links are simultaneously busy.
+    for cat in [
+        Category::TpComm,
+        Category::PpComm,
+        Category::DpComm,
+        Category::Transfer,
+    ] {
+        let mut edges: Vec<(f64, i64)> = Vec::new();
+        for e in trace.events().iter().filter(|e| e.category == cat) {
+            edges.push((e.start, 1));
+            edges.push((e.end, -1));
+        }
+        if edges.is_empty() {
+            continue;
+        }
+        edges.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("finite times")
+                .then(a.1.cmp(&b.1))
+        });
+        let mut active: i64 = 0;
+        let track = format!("links/{cat}");
+        for (ts, delta) in edges {
+            active += delta;
+            stream.counter(0, &track, ts, active as f64);
+        }
+    }
+}
+
+/// Converts a flat [`Trace`] into a fresh [`real_obs::EventStream`] sized to
+/// hold every span and counter sample. See [`record_event_stream`].
+pub fn to_event_stream(trace: &Trace, gpus_per_node: usize) -> real_obs::EventStream {
+    let mut stream = real_obs::EventStream::with_capacity(
+        trace.events().len() * 2 + Category::ALL.len() * trace.events().len() + 64,
+    );
+    record_event_stream(trace, gpus_per_node, &mut stream);
+    stream
+}
+
 /// Serializes a trace to the Chrome trace-event JSON format, loadable in
 /// `chrome://tracing` or Perfetto. Each GPU becomes a thread lane; times are
 /// converted from seconds to microseconds.
+///
+/// Kept for backwards compatibility as a thin wrapper over the serde_json
+/// exporter in `real-obs`; the old hand-rolled string concatenation
+/// interpolated labels unescaped, so a label containing a quote could inject
+/// arbitrary JSON fields.
 pub fn to_chrome_trace(trace: &Trace) -> String {
-    let mut out = String::from("[");
-    for (i, e) in trace.events().iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{}}}",
-            e.label,
-            e.category,
-            e.start * 1e6,
-            (e.end - e.start) * 1e6,
-            e.gpu,
-        ));
-    }
-    out.push(']');
-    out
+    // Flat traces don't know the node topology; export on a single node.
+    let stream = to_event_stream(trace, usize::MAX);
+    real_obs::chrome::to_chrome_string(&stream)
 }
 
 #[cfg(test)]
 mod chrome_tests {
     use super::*;
+    use serde::Value;
 
     #[test]
     fn chrome_trace_is_valid_shape() {
@@ -180,18 +262,64 @@ mod chrome_tests {
         t.record(0, 0.0, 0.001, Category::Compute, "layer_fwd");
         t.record(1, 0.001, 0.003, Category::TpComm, "tp_allreduce");
         let json = to_chrome_trace(&t);
-        assert!(json.starts_with('['));
-        assert!(json.ends_with(']'));
-        assert!(json.contains("\"name\":\"layer_fwd\""));
-        assert!(json.contains("\"cat\":\"tp-comm\""));
-        assert!(json.contains("\"tid\":1"));
-        // Durations in microseconds.
-        assert!(json.contains("\"dur\":1000.000"));
-        assert!(json.contains("\"dur\":2000.000"));
+        let parsed: Value = serde_json::from_str(&json).expect("export is valid JSON");
+        let events = parsed.as_array().unwrap();
+        let begin = |name: &str| {
+            events
+                .iter()
+                .find(|e| e["ph"].as_str() == Some("B") && e["name"].as_str() == Some(name))
+                .unwrap_or_else(|| panic!("no begin event `{name}`"))
+        };
+        assert_eq!(begin("layer_fwd")["cat"].as_str(), Some("compute"));
+        let ar = begin("tp_allreduce");
+        assert_eq!(ar["cat"].as_str(), Some("tp-comm"));
+        assert_eq!(ar["tid"].as_u64(), Some(1));
+        // Timestamps in microseconds.
+        assert!((ar["ts"].as_f64().unwrap() - 1000.0).abs() < 1e-9);
+        // The comm interval also produces a link-utilization counter track.
+        assert!(events
+            .iter()
+            .any(|e| e["ph"].as_str() == Some("C") && e["name"].as_str() == Some("links/tp-comm")));
     }
 
     #[test]
     fn empty_trace_serializes_to_empty_array() {
         assert_eq!(to_chrome_trace(&Trace::disabled()), "[]");
+    }
+
+    #[test]
+    fn hostile_labels_stay_inside_strings() {
+        let mut t = Trace::with_capacity(2);
+        // A &'static str label with JSON metacharacters must not be able to
+        // inject fields (the bug in the old string-concatenation exporter).
+        t.record(
+            0,
+            0.0,
+            1.0,
+            Category::Compute,
+            "evil\",\"pid\":999,\"x\":\"",
+        );
+        let parsed: Value = serde_json::from_str(&to_chrome_trace(&t)).unwrap();
+        let begin = parsed
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e["ph"].as_str() == Some("B"))
+            .unwrap();
+        assert_eq!(begin["name"].as_str(), Some("evil\",\"pid\":999,\"x\":\""));
+        assert_eq!(begin["pid"].as_u64(), Some(0));
+    }
+
+    #[test]
+    fn event_stream_has_lane_metadata_and_balanced_spans() {
+        let mut t = Trace::with_capacity(16);
+        t.record(0, 0.0, 1.0, Category::Compute, "a");
+        t.record(9, 1.0, 2.0, Category::PpComm, "b");
+        let stream = to_event_stream(&t, 8);
+        stream.check_invariants().expect("balanced");
+        let threads: Vec<_> = stream.thread_names().collect();
+        // GPU 9 with 8 GPUs per node lands on node1/gpu1.
+        assert!(threads.contains(&(0, 0, "gpu0")));
+        assert!(threads.contains(&(1, 1, "gpu1")));
     }
 }

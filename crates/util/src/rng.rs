@@ -1,14 +1,12 @@
 //! Deterministic random number generation.
 //!
 //! Every stochastic component in `real-rs` (the MCMC search, profiling noise,
-//! runtime jitter) draws from a [`DeterministicRng`], a thin newtype over
-//! ChaCha8 that supports cheap, collision-resistant *stream derivation*: a
+//! runtime jitter) draws from a [`DeterministicRng`], a self-contained ChaCha8
+//! generator that supports cheap, collision-resistant *stream derivation*: a
 //! parent seed plus a label yields an independent child generator. This keeps
 //! every experiment bit-reproducible while letting concurrent components (e.g.
-//! parallel MCMC chains) own private streams.
-
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+//! parallel MCMC chains) own private streams. The implementation is inlined
+//! (no external `rand` dependency) so the workspace builds offline.
 
 /// A seedable, portable RNG with labelled sub-stream derivation.
 ///
@@ -16,7 +14,6 @@ use rand_chacha::ChaCha8Rng;
 ///
 /// ```
 /// use real_util::DeterministicRng;
-/// use rand::RngCore;
 /// let mut a = DeterministicRng::from_seed(42);
 /// let mut b = DeterministicRng::from_seed(42);
 /// assert_eq!(a.next_u64(), b.next_u64());
@@ -29,7 +26,10 @@ use rand_chacha::ChaCha8Rng;
 #[derive(Debug, Clone)]
 pub struct DeterministicRng {
     seed: u64,
-    inner: ChaCha8Rng,
+    core: ChaCha8Core,
+    /// Buffered output block and the read cursor into it.
+    block: [u32; 16],
+    cursor: usize,
 }
 
 impl DeterministicRng {
@@ -37,7 +37,9 @@ impl DeterministicRng {
     pub fn from_seed(seed: u64) -> Self {
         Self {
             seed,
-            inner: ChaCha8Rng::seed_from_u64(seed),
+            core: ChaCha8Core::from_seed(seed),
+            block: [0; 16],
+            cursor: 16, // force a refill on first draw
         }
     }
 
@@ -60,6 +62,32 @@ impl DeterministicRng {
         Self::from_seed(self.seed ^ fnv1a(&index.to_le_bytes()) ^ 0x9e37_79b9_7f4a_7c15)
     }
 
+    /// The next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.block = self.core.next_block();
+            self.cursor = 0;
+        }
+        let word = self.block[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+
     /// Samples a multiplicative noise factor `exp(N(0, sigma))`, clamped to
     /// `[1/4, 4]`. Used to perturb simulated kernel timings; `sigma = 0`
     /// yields exactly `1.0`.
@@ -68,8 +96,8 @@ impl DeterministicRng {
             return 1.0;
         }
         // Box-Muller transform.
-        let u1: f64 = self.inner.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = self.inner.gen_range(0.0..1.0);
+        let u1: f64 = self.uniform().max(f64::EPSILON);
+        let u2: f64 = self.uniform();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         (z * sigma).exp().clamp(0.25, 4.0)
     }
@@ -81,28 +109,92 @@ impl DeterministicRng {
     /// Panics if `len == 0`.
     pub fn index(&mut self, len: usize) -> usize {
         assert!(len > 0, "cannot sample an index from an empty range");
-        self.inner.gen_range(0..len)
+        // Multiply-shift rejection-free mapping; bias is < 2^-64 * len,
+        // negligible for the option-space sizes used here.
+        let len = len as u64;
+        ((u128::from(self.next_u64()) * u128::from(len)) >> 64) as usize
     }
 
     /// Samples a uniform value in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen_range(0.0..1.0)
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 }
 
-impl RngCore for DeterministicRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
+/// The ChaCha8 block function (RFC 8439 layout, 8 rounds), keyed from a
+/// 64-bit seed the same way for every platform.
+#[derive(Debug, Clone)]
+struct ChaCha8Core {
+    state: [u32; 16],
+}
+
+impl ChaCha8Core {
+    fn from_seed(seed: u64) -> Self {
+        // Expand the 64-bit seed to a 256-bit key with SplitMix64 so that
+        // near-equal seeds produce unrelated keys.
+        let mut sm = seed;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let word = splitmix64(&mut sm);
+            pair[0] = word as u32;
+            pair[1] = (word >> 32) as u32;
+        }
+        let mut state = [0u32; 16];
+        // "expand 32-byte k" constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        state[4..12].copy_from_slice(&key);
+        // state[12..14]: 64-bit block counter, state[14..16]: nonce (zero).
+        Self { state }
     }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+
+    fn next_block(&mut self) -> [u32; 16] {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // Two rounds per loop: a column round then a diagonal round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (w, s) in working.iter_mut().zip(self.state.iter()) {
+            *w = w.wrapping_add(*s);
+        }
+        // Increment the 64-bit counter.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        working
     }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// FNV-1a hash used for label-based stream derivation.
@@ -181,5 +273,26 @@ mod tests {
     #[should_panic(expected = "empty range")]
     fn index_of_empty_panics() {
         DeterministicRng::from_seed(0).index(0);
+    }
+
+    #[test]
+    fn uniform_stays_in_unit_interval() {
+        let mut rng = DeterministicRng::from_seed(17);
+        for _ in 0..1000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_is_deterministic() {
+        let mut a = DeterministicRng::from_seed(21);
+        let mut b = DeterministicRng::from_seed(21);
+        let mut buf_a = [0u8; 13];
+        let mut buf_b = [0u8; 13];
+        a.fill_bytes(&mut buf_a);
+        b.fill_bytes(&mut buf_b);
+        assert_eq!(buf_a, buf_b);
+        assert!(buf_a.iter().any(|&x| x != 0));
     }
 }

@@ -14,8 +14,7 @@ fn main() {
     let actor = ModelSpec::llama3_7b();
     let critic = actor.critic();
     let cfg = RlhfConfig::instruct_gpt(512);
-    let experiment =
-        Experiment::ppo(cluster.clone(), actor, critic, cfg).with_seed(3);
+    let experiment = Experiment::ppo(cluster.clone(), actor, critic, cfg).with_seed(3);
     let graph = experiment.graph().clone();
 
     let mut table = Table::new(vec!["system", "tokens/s", "iteration (s)"]);
@@ -58,7 +57,9 @@ fn main() {
         ..McmcConfig::default()
     };
     let planned = experiment.plan_auto(&search_cfg).expect("feasible plan");
-    let r = experiment.run(&planned.plan, 2).expect("searched plan fits");
+    let r = experiment
+        .run(&planned.plan, 2)
+        .expect("searched plan fits");
     table.row(vec![
         "ReaL (searched)".into(),
         format!("{:.0}", r.tokens_per_sec),

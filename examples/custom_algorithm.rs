@@ -29,7 +29,11 @@ fn main() {
             "actor_gen",
             "actor",
             actor.clone(),
-            CallType::Generate { batch, prompt_len, gen_len },
+            CallType::Generate {
+                batch,
+                prompt_len,
+                gen_len,
+            },
             &["prompts"],
             &["seq", "logp"],
         ),
@@ -37,7 +41,10 @@ fn main() {
             "reward_a_inf",
             "reward_a",
             reward.clone(),
-            CallType::Inference { batch, seq_len: ctx },
+            CallType::Inference {
+                batch,
+                seq_len: ctx,
+            },
             &["seq"],
             &["rewards_a"],
         ),
@@ -45,7 +52,10 @@ fn main() {
             "reward_b_inf",
             "reward_b",
             reward.clone(),
-            CallType::Inference { batch, seq_len: ctx },
+            CallType::Inference {
+                batch,
+                seq_len: ctx,
+            },
             &["seq"],
             &["rewards_b"],
         ),
@@ -53,7 +63,10 @@ fn main() {
             "ref_inf",
             "reference",
             actor.clone(),
-            CallType::Inference { batch, seq_len: ctx },
+            CallType::Inference {
+                batch,
+                seq_len: ctx,
+            },
             &["seq"],
             &["ref_logp"],
         ),
@@ -61,7 +74,11 @@ fn main() {
             "actor_train",
             "actor",
             actor.clone(),
-            CallType::TrainStep { batch, seq_len: ctx, n_minibatches: 4 },
+            CallType::TrainStep {
+                batch,
+                seq_len: ctx,
+                n_minibatches: 4,
+            },
             &["seq", "logp", "rewards_a", "rewards_b", "ref_logp"],
             &[],
         ),

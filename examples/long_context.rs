@@ -18,7 +18,11 @@ fn main() {
     let critic = actor.critic();
 
     let mut table = Table::new(vec![
-        "context", "batch", "heuristic tok/s", "searched tok/s", "gain",
+        "context",
+        "batch",
+        "heuristic tok/s",
+        "searched tok/s",
+        "gain",
     ]);
     for factor in [1u64, 2, 4] {
         let cfg = RlhfConfig::instruct_gpt(256).with_context_scale(factor);

@@ -15,13 +15,8 @@ fn main() {
     let cluster = ClusterSpec::h100(1);
     let actor = ModelSpec::llama3_7b();
     let critic = actor.critic();
-    let experiment = Experiment::ppo(
-        cluster,
-        actor,
-        critic,
-        RlhfConfig::instruct_gpt(128),
-    )
-    .with_seed(42);
+    let experiment =
+        Experiment::ppo(cluster, actor, critic, RlhfConfig::instruct_gpt(128)).with_seed(42);
 
     // Profile the simulated hardware and search for an execution plan.
     let search_cfg = McmcConfig {
@@ -43,7 +38,9 @@ fn main() {
 
     // Compare against the pre-training-style symmetric heuristic.
     let heuristic = experiment.plan_heuristic();
-    let searched_report = experiment.run(&planned.plan, 3).expect("searched plan fits");
+    let searched_report = experiment
+        .run(&planned.plan, 3)
+        .expect("searched plan fits");
     let heuristic_report = experiment.run(&heuristic, 3).expect("heuristic plan fits");
 
     println!("\n=== searched plan ===");
@@ -52,5 +49,8 @@ fn main() {
     println!("{}", heuristic_report.render(experiment.graph()));
 
     let gain = searched_report.tokens_per_sec / heuristic_report.tokens_per_sec - 1.0;
-    println!("searched plan is {:.0}% faster than the symmetric heuristic", gain * 100.0);
+    println!(
+        "searched plan is {:.0}% faster than the symmetric heuristic",
+        gain * 100.0
+    );
 }

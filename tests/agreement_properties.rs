@@ -5,7 +5,6 @@
 
 use real_core::prelude::*;
 use real_core::real_util::DeterministicRng;
-use rand::RngCore as _;
 
 fn setup(batch: u64) -> (ClusterSpec, DataflowGraph, Estimator) {
     let cluster = ClusterSpec::h100(2);
@@ -38,7 +37,11 @@ fn random_plan(
 fn estimator_and_runtime_agree_on_random_feasible_plans() {
     let (cluster, graph, est) = setup(256);
     let space = SearchSpace::build(&cluster, &graph, PruneLevel::Aggressive);
-    let engine = RuntimeEngine::new(cluster.clone(), graph.clone(), EngineConfig::deterministic());
+    let engine = RuntimeEngine::new(
+        cluster.clone(),
+        graph.clone(),
+        EngineConfig::deterministic(),
+    );
     let mut rng = DeterministicRng::from_seed(2024);
 
     let mut checked = 0;
@@ -50,7 +53,10 @@ fn estimator_and_runtime_agree_on_random_feasible_plans() {
             continue;
         }
         let estimated = est.time_cost(&plan);
-        let measured = engine.run(&plan, 2).expect("estimator said it fits").iter_time;
+        let measured = engine
+            .run(&plan, 2)
+            .expect("estimator said it fits")
+            .iter_time;
         let rel = ((estimated - measured) / measured).abs();
         // Random plans include pathological shapes the closed forms track
         // less tightly than searched/heuristic plans; allow 40%.
@@ -68,7 +74,11 @@ fn estimator_and_runtime_agree_on_random_feasible_plans() {
 fn memcheck_is_consistent_between_estimator_and_engine() {
     let (cluster, graph, est) = setup(128);
     let space = SearchSpace::build(&cluster, &graph, PruneLevel::Moderate);
-    let engine = RuntimeEngine::new(cluster.clone(), graph.clone(), EngineConfig::deterministic());
+    let engine = RuntimeEngine::new(
+        cluster.clone(),
+        graph.clone(),
+        EngineConfig::deterministic(),
+    );
     let mut rng = DeterministicRng::from_seed(7);
     for _ in 0..40 {
         let plan = random_plan(&mut rng, &space, &graph, &cluster);
@@ -76,7 +86,12 @@ fn memcheck_is_consistent_between_estimator_and_engine() {
         let run = engine.run(&plan, 1);
         // Engine (no zero3/dist-optim models) must agree exactly with the
         // estimator's MaxMem verdict.
-        assert_eq!(est_ok, run.is_ok(), "memcheck mismatch:\n{}", plan.render(&graph));
+        assert_eq!(
+            est_ok,
+            run.is_ok(),
+            "memcheck mismatch:\n{}",
+            plan.render(&graph)
+        );
     }
 }
 
@@ -84,7 +99,11 @@ fn memcheck_is_consistent_between_estimator_and_engine() {
 fn realloc_charged_iff_layouts_differ() {
     let (cluster, graph, est) = setup(128);
     let space = SearchSpace::build(&cluster, &graph, PruneLevel::Aggressive);
-    let engine = RuntimeEngine::new(cluster.clone(), graph.clone(), EngineConfig::deterministic());
+    let engine = RuntimeEngine::new(
+        cluster.clone(),
+        graph.clone(),
+        EngineConfig::deterministic(),
+    );
     let mut rng = DeterministicRng::from_seed(99);
 
     let mut seen_with = false;
@@ -128,7 +147,11 @@ fn realloc_charged_iff_layouts_differ() {
 fn iteration_time_is_stable_across_iteration_counts() {
     let (cluster, graph, est) = setup(128);
     let space = SearchSpace::build(&cluster, &graph, PruneLevel::Aggressive);
-    let engine = RuntimeEngine::new(cluster.clone(), graph.clone(), EngineConfig::deterministic());
+    let engine = RuntimeEngine::new(
+        cluster.clone(),
+        graph.clone(),
+        EngineConfig::deterministic(),
+    );
     let mut rng = DeterministicRng::from_seed(5);
     let plan = loop {
         let p = random_plan(&mut rng, &space, &graph, &cluster);
@@ -139,5 +162,8 @@ fn iteration_time_is_stable_across_iteration_counts() {
     let t2 = engine.run(&plan, 2).unwrap().iter_time;
     let t4 = engine.run(&plan, 4).unwrap().iter_time;
     let rel = ((t2 - t4) / t4).abs();
-    assert!(rel < 0.05, "steady-state iteration time unstable: {t2} vs {t4}");
+    assert!(
+        rel < 0.05,
+        "steady-state iteration time unstable: {t2} vs {t4}"
+    );
 }

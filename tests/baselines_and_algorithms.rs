@@ -22,7 +22,9 @@ fn all_baselines_run_for_7b_on_two_nodes() {
     for (name, setup) in baselines::all(&cluster, &graph, &base) {
         let setup = setup.unwrap_or_else(|e| panic!("{name}: {e}"));
         let engine = RuntimeEngine::new(cluster.clone(), graph.clone(), setup.config);
-        let report = engine.run(&setup.plan, 2).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = engine
+            .run(&setup.plan, 2)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         times.insert(name, report.iter_time);
     }
     // The paper's ordering at small scale: veRL (concurrent work) is the
@@ -50,7 +52,9 @@ fn real_beats_every_baseline() {
     for (name, setup) in baselines::all(&cluster, &graph, &EngineConfig::default()) {
         let Ok(setup) = setup else { continue };
         let engine = RuntimeEngine::new(cluster.clone(), graph.clone(), setup.config);
-        let Ok(report) = engine.run(&setup.plan, 2) else { continue };
+        let Ok(report) = engine.run(&setup.plan, 2) else {
+            continue;
+        };
         assert!(
             real_time < report.iter_time,
             "ReaL {real_time} should beat {name} {}",
@@ -100,14 +104,20 @@ fn beyond_ppo_algorithms_plan_and_run() {
 
     let experiments = vec![
         ("dpo", Experiment::dpo(cluster.clone(), actor.clone(), cfg)),
-        ("remax", Experiment::remax(cluster.clone(), actor.clone(), reward.clone(), cfg)),
+        (
+            "remax",
+            Experiment::remax(cluster.clone(), actor.clone(), reward.clone(), cfg),
+        ),
         (
             "grpo",
             Experiment::grpo(
                 cluster.clone(),
                 actor.clone(),
                 reward.clone(),
-                RlhfConfig { grpo_group: 4, ..RlhfConfig::instruct_gpt(32) },
+                RlhfConfig {
+                    grpo_group: 4,
+                    ..RlhfConfig::instruct_gpt(32)
+                },
             ),
         ),
     ];
@@ -116,7 +126,9 @@ fn beyond_ppo_algorithms_plan_and_run() {
         let planned = exp
             .plan_auto(&quick_search(2_000))
             .unwrap_or_else(|_| panic!("{name}: no feasible plan"));
-        let report = exp.run(&planned.plan, 2).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = exp
+            .run(&planned.plan, 2)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(report.run.iter_time > 0.0, "{name}");
     }
 }

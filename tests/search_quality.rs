@@ -25,7 +25,10 @@ fn mcmc_reaches_near_brute_force_optimum() {
     let brute = brute_force(
         &est,
         &space,
-        &BruteConfig { top_k: 5, time_limit: Duration::from_secs(120) },
+        &BruteConfig {
+            top_k: 5,
+            time_limit: Duration::from_secs(120),
+        },
     );
     assert!(brute.exhaustive, "5^6 plans must enumerate");
     let cfg = McmcConfig {
@@ -55,13 +58,17 @@ fn pruning_levels_trade_space_for_quality() {
         RlhfConfig::instruct_gpt(512),
     )
     .with_quick_profile();
-    let sizes: Vec<f64> = [PruneLevel::Aggressive, PruneLevel::Moderate, PruneLevel::Light]
-        .into_iter()
-        .map(|level| {
-            let e = exp.clone().with_prune_level(level);
-            e.search_space().log10_size()
-        })
-        .collect();
+    let sizes: Vec<f64> = [
+        PruneLevel::Aggressive,
+        PruneLevel::Moderate,
+        PruneLevel::Light,
+    ]
+    .into_iter()
+    .map(|level| {
+        let e = exp.clone().with_prune_level(level);
+        e.search_space().log10_size()
+    })
+    .collect();
     assert!(sizes[0] < sizes[1], "aggressive < moderate");
     assert!(sizes[1] < sizes[2], "moderate < light");
     // The paper's scale claim: even a two-node cluster's unpruned space is
@@ -94,7 +101,10 @@ fn searched_plans_use_parameter_reallocation() {
             }
         }
     }
-    assert!(any_realloc, "searched plan should exploit parameter reallocation");
+    assert!(
+        any_realloc,
+        "searched plan should exploit parameter reallocation"
+    );
     // And the runtime engine must charge reallocation time for it.
     let report = exp.run(plan, 2).unwrap();
     let realloc = report
@@ -113,7 +123,10 @@ fn searched_plans_use_parameter_reallocation() {
         .find(|(c, _)| *c == Category::Compute)
         .unwrap()
         .1;
-    assert!(realloc < 0.1 * compute, "realloc {realloc} vs compute {compute}");
+    assert!(
+        realloc < 0.1 * compute,
+        "realloc {realloc} vs compute {compute}"
+    );
 }
 
 #[test]
@@ -147,7 +160,12 @@ fn greedy_seed_is_never_better_than_search_output() {
 
 #[test]
 fn heuristic_plan_is_feasible_at_every_weak_scaling_point() {
-    for (nodes, size, batch) in [(2u32, "7b", 512u64), (4, "13b", 1024), (8, "34b", 2048), (16, "70b", 4096)] {
+    for (nodes, size, batch) in [
+        (2u32, "7b", 512u64),
+        (4, "13b", 1024),
+        (8, "34b", 2048),
+        (16, "70b", 4096),
+    ] {
         let exp = Experiment::ppo(
             ClusterSpec::h100(nodes),
             ModelSpec::by_size(size).unwrap(),
@@ -157,6 +175,9 @@ fn heuristic_plan_is_feasible_at_every_weak_scaling_point() {
         .with_quick_profile();
         let (est, _) = exp.prepare();
         let plan = exp.plan_heuristic();
-        assert!(est.mem_ok(&plan), "{size} heuristic should fit {nodes} nodes");
+        assert!(
+            est.mem_ok(&plan),
+            "{size} heuristic should fit {nodes} nodes"
+        );
     }
 }

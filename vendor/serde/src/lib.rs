@@ -1,0 +1,557 @@
+//! Vendored offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! provides the subset of serde's surface that `real-rs` uses: the
+//! [`Serialize`] / [`Deserialize`] traits (derivable via the companion
+//! `serde_derive` proc-macro) plus a JSON-shaped [`Value`] data model that
+//! the vendored `serde_json` serializes and parses.
+//!
+//! The API is intentionally simpler than upstream serde: serialization goes
+//! through an owned [`Value`] tree rather than a streaming `Serializer`.
+//! Every type `real-rs` serializes is small (plans, profile databases,
+//! metric snapshots, traces), so the intermediate tree is cheap and keeps
+//! the vendored code auditable.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON number: integer-preserving like `serde_json`'s `Number`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    U(u64),
+    /// A negative integer.
+    I(i64),
+    /// A finite float.
+    F(f64),
+}
+
+impl Number {
+    /// The number as an `f64` (lossy above 2^53).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(u) => u as f64,
+            Number::I(i) => i as f64,
+            Number::F(f) => f,
+        }
+    }
+
+    /// The number as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U(u) => Some(u),
+            Number::I(i) => u64::try_from(i).ok(),
+            Number::F(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
+            Number::F(_) => None,
+        }
+    }
+
+    /// The number as an `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U(u) => i64::try_from(u).ok(),
+            Number::I(i) => Some(i),
+            Number::F(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            Number::F(_) => None,
+        }
+    }
+}
+
+/// An owned JSON value. Objects preserve insertion order so snapshots are
+/// deterministic and diffable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object as an ordered key/value list.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value as `&str` when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` when it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` when it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool` when it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an ordered object slice.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup (first match), `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Array element lookup, `None` for non-arrays or out-of-range.
+    pub fn get_index(&self, index: usize) -> Option<&Value> {
+        self.as_array()?.get(index)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, index: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get_index(index).unwrap_or(&NULL)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Number(Number::F(f))
+    }
+}
+impl From<u64> for Value {
+    fn from(u: u64) -> Self {
+        Value::Number(Number::U(u))
+    }
+}
+impl From<u32> for Value {
+    fn from(u: u32) -> Self {
+        Value::Number(Number::U(u64::from(u)))
+    }
+}
+impl From<usize> for Value {
+    fn from(u: usize) -> Self {
+        Value::Number(Number::U(u as u64))
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        if i >= 0 {
+            Value::Number(Number::U(i as u64))
+        } else {
+            Value::Number(Number::I(i))
+        }
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(a: Vec<Value>) -> Self {
+        Value::Array(a)
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Self {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible to a JSON [`Value`].
+pub trait Serialize {
+    /// Converts `self` to a JSON value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types constructible from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a JSON value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value's shape does not match.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Blanket and primitive impls.
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(f64::from_value(v)? as f32)
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U(u64::from(*self)))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let u = v.as_u64().ok_or_else(|| Error::custom("expected unsigned integer"))?;
+                <$t>::try_from(u).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::U(*self as u64))
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let u = v
+            .as_u64()
+            .ok_or_else(|| Error::custom("expected unsigned integer"))?;
+        usize::try_from(u).map_err(|_| Error::custom("integer out of range"))
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::from(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = v.as_i64().ok_or_else(|| Error::custom("expected integer"))?;
+                <$t>::try_from(i).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64);
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+}
+
+/// Hash sets serialize as a *sorted* array so output is deterministic.
+impl<T: Serialize + Ord> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Value::Array(items.into_iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($n:expr => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let a = v.as_array().ok_or_else(|| Error::custom("expected array"))?;
+                if a.len() != $n {
+                    return Err(Error::custom("tuple arity mismatch"));
+                }
+                Ok(($($t::from_value(&a[$idx])?,)+))
+            }
+        }
+    };
+}
+impl_tuple!(1 => A.0);
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+
+/// Looks up a named field in an object slice and deserializes it; missing
+/// fields deserialize from `null` (so `Option` fields tolerate absence).
+///
+/// Used by the `serde_derive` expansion — not public API upstream, but kept
+/// `pub` because generated code must reach it.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the field is missing (for non-optional types) or
+/// has the wrong shape.
+pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| Error::custom(format!("missing field `{name}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![(1.0f64, 2.0f64), (3.0, 4.0)];
+        assert_eq!(Vec::<(f64, f64)>::from_value(&v.to_value()).unwrap(), v);
+        let mut s = HashSet::new();
+        s.insert("b".to_string());
+        s.insert("a".to_string());
+        // Deterministic (sorted) serialization.
+        assert_eq!(
+            s.to_value(),
+            Value::Array(vec![Value::from("a"), Value::from("b")])
+        );
+        assert_eq!(HashSet::<String>::from_value(&s.to_value()).unwrap(), s);
+    }
+
+    #[test]
+    fn field_lookup_handles_missing_options() {
+        let obj = vec![("x".to_string(), Value::from(1u64))];
+        assert_eq!(field::<u64>(&obj, "x").unwrap(), 1);
+        assert_eq!(field::<Option<u64>>(&obj, "y").unwrap(), None);
+        assert!(field::<u64>(&obj, "y").is_err());
+    }
+
+    #[test]
+    fn value_indexing() {
+        let v = Value::Object(vec![(
+            "a".to_string(),
+            Value::Array(vec![Value::from(5u64)]),
+        )]);
+        assert_eq!(v["a"][0].as_u64(), Some(5));
+        assert!(v["missing"].is_null());
+    }
+}

@@ -1,0 +1,488 @@
+//! Vendored offline derive macros for the stand-in `serde` crate.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! item shapes `real-rs` uses, without `syn`/`quote` (unavailable offline):
+//!
+//! - structs with named fields,
+//! - tuple structs (newtypes serialize transparently, larger tuples as
+//!   arrays),
+//! - enums with unit, newtype, and struct variants (externally tagged, as
+//!   upstream serde's default representation).
+//!
+//! Generics and `#[serde(...)]` attributes are not supported; deriving on
+//! such an item produces a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the derive input item.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// One enum variant.
+enum Variant {
+    Unit(String),
+    Newtype(String),
+    Tuple(String, usize),
+    Struct(String, Vec<String>),
+}
+
+struct Parser {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(ts: TokenStream) -> Self {
+        Self {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Skips `#[...]` attributes (including doc comments).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            if let Some(TokenTree::Group(_)) = self.peek() {
+                self.pos += 1; // [...]
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(super)`, ….
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Skips a type (everything up to a top-level `,`), tracking `<...>`
+    /// angle-bracket depth so generic arguments don't terminate the field.
+    fn skip_type(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    angle += 1;
+                    self.pos += 1;
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle -= 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+}
+
+/// Parses named fields inside a brace group, returning their names.
+fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    let mut p = Parser::new(group);
+    let mut fields = Vec::new();
+    while !p.at_end() {
+        p.skip_attributes();
+        if p.at_end() {
+            break;
+        }
+        p.skip_visibility();
+        let name = p.expect_ident()?;
+        match p.next() {
+            Some(TokenTree::Punct(pc)) if pc.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        p.skip_type();
+        fields.push(name);
+        // Consume the trailing comma if present.
+        if let Some(TokenTree::Punct(pc)) = p.peek() {
+            if pc.as_char() == ',' {
+                p.pos += 1;
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts the top-level comma-separated types in a paren group.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut p = Parser::new(group);
+    if p.at_end() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle: i32 = 0;
+    while let Some(t) = p.next() {
+        match t {
+            TokenTree::Punct(pc) if pc.as_char() == '<' => angle += 1,
+            TokenTree::Punct(pc) if pc.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(pc)
+                if pc.as_char() == ',' && angle == 0
+                // A trailing comma does not add a field.
+                && !p.at_end() =>
+            {
+                arity += 1;
+            }
+            _ => {}
+        }
+    }
+    arity
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut p = Parser::new(group);
+    let mut variants = Vec::new();
+    while !p.at_end() {
+        p.skip_attributes();
+        if p.at_end() {
+            break;
+        }
+        let name = p.expect_ident()?;
+        let variant = match p.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                p.pos += 1;
+                Variant::Struct(name, fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                p.pos += 1;
+                if arity == 1 {
+                    Variant::Newtype(name)
+                } else {
+                    Variant::Tuple(name, arity)
+                }
+            }
+            _ => Variant::Unit(name),
+        };
+        variants.push(variant);
+        if let Some(TokenTree::Punct(pc)) = p.peek() {
+            if pc.as_char() == ',' {
+                p.pos += 1;
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut p = Parser::new(input);
+    p.skip_attributes();
+    p.skip_visibility();
+    let kind = p.expect_ident()?;
+    let name = p.expect_ident()?;
+    if let Some(TokenTree::Punct(pc)) = p.peek() {
+        if pc.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match p.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                })
+            }
+            other => Err(format!("unsupported struct shape for `{name}`: {other:?}")),
+        },
+        "enum" => match p.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("unsupported enum shape for `{name}`: {other:?}")),
+        },
+        other => Err(format!("cannot derive for item kind `{other}`")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});")
+        .parse()
+        .expect("valid error expansion")
+}
+
+/// Derives the stand-in `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match &item {
+        Item::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: String = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{items}])")
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(vn) => format!(
+                        "{name}::{vn} => ::serde::Value::String(::std::string::String::from({vn:?})),"
+                    ),
+                    Variant::Newtype(vn) => format!(
+                        "{name}::{vn}(__x0) => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from({vn:?}), ::serde::Serialize::to_value(__x0))]),"
+                    ),
+                    Variant::Tuple(vn, arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__x{i}")).collect();
+                        let items: String = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({vn:?}), \
+                             ::serde::Value::Array(::std::vec![{items}]))]),",
+                            binds.join(", ")
+                        )
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let binds = fields.join(", ");
+                        let pushes: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::to_value({f})),"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({vn:?}), \
+                             ::serde::Value::Object(::std::vec![{pushes}]))]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the stand-in `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(__obj, {f:?})?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __obj = __v.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for `{name}`\"))?;\n\
+                         ::std::result::Result::Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(__v)?))"
+                    .to_string()
+            } else {
+                let items: String = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?,"))
+                    .collect();
+                format!(
+                    "let __a = __v.as_array().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected array for `{name}`\"))?;\n\
+                     if __a.len() != {arity} {{\n\
+                         return ::std::result::Result::Err(\
+                             ::serde::Error::custom(\"tuple arity mismatch for `{name}`\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok(Self({items}))"
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(vn) => Some(format!(
+                        "{vn:?} => return ::std::result::Result::Ok({name}::{vn}),"
+                    )),
+                    _ => None,
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(_) => None,
+                    Variant::Newtype(vn) => Some(format!(
+                        "{vn:?} => ::std::result::Result::Ok(\
+                         {name}::{vn}(::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    Variant::Tuple(vn, arity) => {
+                        let items: String = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?,"))
+                            .collect();
+                        Some(format!(
+                            "{vn:?} => {{\n\
+                                 let __a = __inner.as_array().ok_or_else(|| \
+                                     ::serde::Error::custom(\"expected array\"))?;\n\
+                                 if __a.len() != {arity} {{\n\
+                                     return ::std::result::Result::Err(\
+                                         ::serde::Error::custom(\"variant arity mismatch\"));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({items}))\n\
+                             }},"
+                        ))
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(__fields, {f:?})?,"))
+                            .collect();
+                        Some(format!(
+                            "{vn:?} => {{\n\
+                                 let __fields = __inner.as_object().ok_or_else(|| \
+                                     ::serde::Error::custom(\"expected object variant\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {inits} }})\n\
+                             }},"
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                             match __s {{\n\
+                                 {unit_arms}\n\
+                                 __other => return ::std::result::Result::Err(\
+                                     ::serde::Error::custom(::std::format!(\
+                                     \"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                             }}\n\
+                         }}\n\
+                         let __obj = __v.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected variant object for `{name}`\"))?;\n\
+                         if __obj.len() != 1 {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"expected single-key variant object for `{name}`\"));\n\
+                         }}\n\
+                         let (__tag, __inner) = &__obj[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             __other => ::std::result::Result::Err(\
+                                 ::serde::Error::custom(::std::format!(\
+                                 \"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
