@@ -4,5 +4,9 @@ set -eu
 
 cargo build --release
 cargo test -q
+cargo test --doc -q
 cargo fmt --check
 cargo clippy --workspace -- -D warnings
+# Documentation gate: every public item documented, no broken intra-doc
+# links. Vendored proptest predates the gate and is excluded.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --exclude proptest

@@ -102,6 +102,9 @@ RUN FLAGS:
                    also accepted by estimate for Algorithm-1 queue telemetry)
   --quick-profile  reduced profiling grid (faster, coarser)
   --profile-db F   comma-separated saved profile JSONs to reuse
+  --faults FILE    inject a FaultPlan JSON (slowdowns, crashes, link
+                   degradation); the run reports retries and lost work
+  --max-retries N  retry budget per request before degraded mode [default 3]
 ";
 
 /// Builds an [`Experiment`] from common workload flags.
@@ -159,6 +162,14 @@ pub fn experiment_from(args: &Args) -> Result<Experiment, CliError> {
     if args.str_opt("trace").is_some() {
         engine.trace_capacity = 500_000;
     }
+    if let Some(path) = args.str_opt("faults") {
+        let plan: FaultPlan = serde_json::from_str(&std::fs::read_to_string(path)?)?;
+        if let Err(e) = plan.validate() {
+            return Err(CliError::Invalid(format!("--faults {path}: {e}")));
+        }
+        engine.fault_plan = Some(plan);
+    }
+    engine.max_retries = args.num_or("max-retries", engine.max_retries)?;
     Ok(exp.with_engine_config(engine))
 }
 
@@ -736,6 +747,56 @@ mod tests {
             .metrics
             .iter()
             .any(|e| e.name == "estimator/makespan_seconds"));
+    }
+
+    #[test]
+    fn run_with_faults_reports_degraded_mode_accounting() {
+        let dir = std::env::temp_dir().join("real-cli-faults");
+        std::fs::create_dir_all(&dir).unwrap();
+        let faults_path = dir.join("faults.json");
+        // One slowdown window wide enough to cover the whole short run, one
+        // crash: the report must surface the injected-window count.
+        let plan = FaultPlan::new(23)
+            .slowdown(0, 0.0, 500.0, 3.0)
+            .crash(3, 5.0, 10.0);
+        std::fs::write(&faults_path, serde_json::to_string(&plan).unwrap()).unwrap();
+        let argv = [
+            "run",
+            "--nodes",
+            "1",
+            "--batch",
+            "32",
+            "--iters",
+            "1",
+            "--quick-profile",
+            "--heuristic",
+            "--faults",
+            faults_path.to_str().unwrap(),
+        ];
+        let out = cmd_run(&parse(&argv)).unwrap();
+        assert!(out.contains("throughput"));
+        assert!(out.contains("faults: 2 injected"), "{out}");
+
+        // Invalid plans are rejected with a pointer to the bad event.
+        let bad = faults_path.with_file_name("bad.json");
+        std::fs::write(
+            &bad,
+            serde_json::to_string(&FaultPlan::new(1).slowdown(0, 10.0, 5.0, 2.0)).unwrap(),
+        )
+        .unwrap();
+        let argv = [
+            "run",
+            "--nodes",
+            "1",
+            "--batch",
+            "32",
+            "--quick-profile",
+            "--heuristic",
+            "--faults",
+            bad.to_str().unwrap(),
+        ];
+        let err = cmd_run(&parse(&argv)).unwrap_err();
+        assert!(matches!(err, CliError::Invalid(_)), "{err}");
     }
 
     #[test]

@@ -158,6 +158,15 @@ impl Experiment {
         self
     }
 
+    /// Injects a deterministic fault schedule into [`Self::run`]. The
+    /// runtime hardens into its resilient dispatch protocol (deadlines,
+    /// bounded retries, degraded mode) and the report gains
+    /// [`real_runtime::FaultStats`] accounting.
+    pub fn with_fault_plan(mut self, plan: real_sim::FaultPlan) -> Self {
+        self.engine_config.fault_plan = Some(plan);
+        self
+    }
+
     /// Supplies previously collected profiles (e.g. loaded from disk);
     /// matching architectures skip re-profiling in [`Self::prepare`].
     pub fn with_profiles(mut self, profiles: Vec<real_profiler::ProfileDb>) -> Self {
@@ -304,11 +313,26 @@ impl Experiment {
         plan: &ExecutionPlan,
         iterations: usize,
     ) -> Result<ExperimentReport, RunError> {
-        let engine = RuntimeEngine::new(
-            self.cluster.clone(),
-            self.graph.clone(),
-            self.engine_config.clone(),
-        );
+        let mut engine_config = self.engine_config.clone();
+        // Resilient dispatch derives request deadlines from predicted call
+        // costs. When a fault schedule is injected and the caller did not
+        // supply predictions, fill them from the §5 estimator so deadlines
+        // reflect the planner's expectations rather than just the nominal
+        // simulation.
+        if engine_config.fault_plan.is_some() && engine_config.predicted_secs.is_empty() {
+            let (est, _) = self.prepare();
+            engine_config.predicted_secs = self
+                .graph
+                .iter()
+                .map(|(id, def)| {
+                    (
+                        def.call_name.clone(),
+                        est.call_duration(id, plan.assignment(id)),
+                    )
+                })
+                .collect();
+        }
+        let engine = RuntimeEngine::new(self.cluster.clone(), self.graph.clone(), engine_config);
         let run = engine.run(plan, iterations)?;
         Ok(ExperimentReport::new(&self.graph, plan.clone(), run))
     }

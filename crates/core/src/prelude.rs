@@ -20,9 +20,12 @@ pub use real_estimator::Estimator;
 pub use real_model::{CostModel, MemoryModel, ModelSpec, ParallelStrategy};
 pub use real_obs::{EventStream, MetricsRegistry, MetricsSnapshot};
 pub use real_profiler::{ProfileConfig, ProfileDb, Profiler};
-pub use real_runtime::{baselines, EngineConfig, RunError, RunReport, RuntimeEngine};
+pub use real_runtime::{
+    baselines, EngineConfig, FaultAbort, FaultStats, RequestFault, RunError, RunReport,
+    RuntimeEngine,
+};
 pub use real_search::{
     brute_force, compare, greedy_plan, heuristic_plan, parallel_search, search, BruteConfig,
     McmcConfig, PlanComparison, PruneLevel, SearchResult, SearchSpace,
 };
-pub use real_sim::{Category, Timelines, Trace};
+pub use real_sim::{Category, FaultClock, FaultEvent, FaultPlan, Timelines, Trace};

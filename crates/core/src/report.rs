@@ -60,14 +60,21 @@ impl ExperimentReport {
     }
 
     /// Renders the plan plus the wall-time breakdown (Tables 2–6 style).
+    /// Runs executed under a fault schedule append a degraded-mode
+    /// accounting line (injected windows, retries, recoveries, lost work).
     pub fn render(&self, graph: &DataflowGraph) -> String {
-        format!(
+        let mut out = format!(
             "{}\n{}\nthroughput: {} ({} seqs/s)\n",
             self.plan.render(graph),
             self.run.render_breakdown(),
             real_util::units::fmt_rate(self.tokens_per_sec),
             self.seqs_per_sec,
-        )
+        );
+        if !self.run.faults.is_empty() {
+            out.push_str(&self.run.faults.render_line());
+            out.push('\n');
+        }
+        out
     }
 }
 
@@ -119,5 +126,27 @@ mod tests {
         assert!(s.contains("actor_gen"));
         assert!(s.contains("throughput"));
         assert!(s.contains("end2end"));
+        // Fault-free runs stay fault-silent.
+        assert!(!s.contains("faults:"));
+    }
+
+    #[test]
+    fn render_appends_fault_line_for_faulted_runs() {
+        let cluster = ClusterSpec::h100(1);
+        let actor = ModelSpec::llama3_7b();
+        let graph = algo::ppo(&actor, &actor.critic(), &algo::RlhfConfig::instruct_gpt(64));
+        let a = CallAssignment::new(
+            DeviceMesh::full(&cluster),
+            ParallelStrategy::new(1, 8, 1, 8).unwrap(),
+        )
+        .unwrap();
+        let plan = ExecutionPlan::new(&graph, &cluster, vec![a; graph.n_calls()]).unwrap();
+        let mut cfg = EngineConfig::deterministic();
+        cfg.fault_plan = Some(real_sim::FaultPlan::new(7).slowdown(0, 0.0, 5.0, 2.0));
+        let engine = RuntimeEngine::new(cluster, graph.clone(), cfg);
+        let report = engine.run(&plan, 1).unwrap();
+        let er = ExperimentReport::new(&graph, plan, report);
+        let s = er.render(&graph);
+        assert!(s.contains("faults: 1 injected"), "{s}");
     }
 }

@@ -216,6 +216,24 @@ impl MetricValue {
 /// Type mismatches (e.g. `counter_add` on a key previously registered as a
 /// gauge) panic: they are programming errors, and failing loudly in the
 /// simulator is strictly better than silently corrupting telemetry.
+///
+/// # Examples
+///
+/// ```
+/// use real_obs::{MetricsRegistry, MetricValue};
+///
+/// let mut m = MetricsRegistry::new();
+/// m.counter_inc("runtime/fault_retries", &[]);
+/// m.counter_add("runtime/fault_retries", &[], 2.0);
+/// m.gauge_set("runtime/fault_lost_gpu_seconds", &[("node", "0")], 4.5);
+/// assert_eq!(
+///     m.get("runtime/fault_retries", &[]),
+///     Some(&MetricValue::Counter(3.0)),
+/// );
+/// // Snapshots iterate in sorted key order, so two registries built the
+/// // same way serialize byte-identically.
+/// assert_eq!(m.snapshot().metrics.len(), 2);
+/// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsRegistry {
     metrics: BTreeMap<MetricKey, MetricValue>,

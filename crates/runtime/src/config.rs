@@ -1,5 +1,6 @@
 //! Runtime engine configuration.
 
+use real_sim::FaultPlan;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -40,6 +41,27 @@ pub struct EngineConfig {
     /// Skip the pre-run memory check (for experiments that *want* to
     /// observe the OOM as a failed run marker, not an error).
     pub skip_mem_check: bool,
+    /// Deterministic fault schedule injected into the run (stragglers,
+    /// worker crashes, link degradation). `None` leaves the engine on the
+    /// exact fault-free code path, byte-identical to a build without the
+    /// fault subsystem.
+    pub fault_plan: Option<FaultPlan>,
+    /// A request times out when its wall time exceeds `deadline_factor`
+    /// times its predicted cost (the estimator's prediction when available,
+    /// else the fault-free simulated duration). `<= 0` disables timeouts.
+    pub deadline_factor: f64,
+    /// Maximum re-dispatch attempts per request after the first; once
+    /// exhausted, the request runs in degraded mode (after the fault
+    /// schedule's last crash) so the run always completes.
+    pub max_retries: u32,
+    /// Base of the bounded exponential backoff between retries (seconds).
+    pub backoff_base: f64,
+    /// Upper bound on a single backoff interval (seconds).
+    pub backoff_cap: f64,
+    /// Estimator-predicted wall seconds per call name, used to derive
+    /// request deadlines. Filled by the `real-core` facade from the §5 cost
+    /// estimator; unknown calls fall back to the fault-free simulation.
+    pub predicted_secs: Vec<(String, f64)>,
 }
 
 impl Default for EngineConfig {
@@ -56,6 +78,12 @@ impl Default for EngineConfig {
             zero3_models: HashSet::new(),
             dist_optim_models: HashSet::new(),
             skip_mem_check: false,
+            fault_plan: None,
+            deadline_factor: 3.0,
+            max_retries: 3,
+            backoff_base: 0.5,
+            backoff_cap: 8.0,
+            predicted_secs: Vec::new(),
         }
     }
 }
@@ -85,6 +113,12 @@ impl EngineConfig {
     /// Returns a copy marking `model` as ZeRO-3 executed.
     pub fn with_zero3(mut self, model: impl Into<String>) -> Self {
         self.zero3_models.insert(model.into());
+        self
+    }
+
+    /// Returns a copy with a fault schedule injected.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 }

@@ -12,7 +12,7 @@ use crate::layout::Layout;
 use real_cluster::CommModel;
 use real_dataflow::{CallAssignment, CallType};
 use real_model::cost::{CostModel, KERNELS_PER_LAYER_FWD};
-use real_sim::{Category, Timelines, Trace};
+use real_sim::{Category, FaultClock, Timelines, Trace};
 use real_util::DeterministicRng;
 
 /// Fraction of a ZeRO-3 all-gather that bucketing and the bounded prefetch
@@ -35,6 +35,15 @@ pub struct ExecCtx<'a> {
     pub cfg: &'a EngineConfig,
     /// Whether this call's model runs in ZeRO-3 mode.
     pub zero3: bool,
+    /// Compiled fault schedule; `None` keeps execution on the exact
+    /// fault-free path (bit-identical timings).
+    pub faults: Option<&'a FaultClock>,
+}
+
+/// Whether a category rides the interconnect (and is therefore subject to
+/// link-degradation faults in addition to GPU slowdowns).
+fn is_comm(cat: Category) -> bool {
+    !matches!(cat, Category::Compute | Category::Launch)
 }
 
 impl ExecCtx<'_> {
@@ -57,7 +66,14 @@ impl ExecCtx<'_> {
                     .fold(0.0, f64::max),
             );
         }
-        let dur = dur * self.jitter();
+        let mut dur = dur * self.jitter();
+        if let Some(f) = self.faults {
+            let start = gpus
+                .iter()
+                .map(|&g| self.tl.gpu(g).busy_until())
+                .fold(ready, f64::max);
+            dur = f.stretched(gpus, start, dur, is_comm(cat));
+        }
         let end = self.tl.collective(gpus, ready, dur, cat);
         if self.trace.enabled() {
             for &g in gpus {
@@ -65,6 +81,38 @@ impl ExecCtx<'_> {
             }
         }
         end
+    }
+
+    /// A pipeline-boundary P2P transfer with jitter, fault stretching, and
+    /// optional trace recording (on the source GPU). Returns `ready`
+    /// unchanged when the transfer is free (same-node leaders).
+    fn p2p_event(
+        &mut self,
+        src: usize,
+        dst: usize,
+        ready: f64,
+        dur: f64,
+        label: Option<&'static str>,
+    ) -> f64 {
+        if dur <= 0.0 {
+            return ready;
+        }
+        let mut d2 = dur * self.jitter();
+        if let Some(f) = self.faults {
+            let pair: &[usize] = if src == dst { &[src] } else { &[src, dst] };
+            let start = pair
+                .iter()
+                .map(|&g| self.tl.gpu(g).busy_until())
+                .fold(ready, f64::max);
+            d2 = f.stretched(pair, start, d2, true);
+        }
+        let e = self.tl.p2p(src, dst, ready, d2, Category::PpComm);
+        if let Some(label) = label {
+            if self.trace.enabled() {
+                self.trace.record(src, e - d2, e, Category::PpComm, label);
+            }
+        }
+        e
     }
 }
 
@@ -186,17 +234,7 @@ fn forward_pass(
                     let src = Layout::leader(&group);
                     let dst = Layout::leader(layout.tp_group(stage + 1, d));
                     let dur = p2p_dur(ctx, layout, src, dst, tokens_mb, tp);
-                    let end = if dur > 0.0 {
-                        let d2 = dur * ctx.jitter();
-                        let e = ctx.tl.p2p(src, dst, t, d2, Category::PpComm);
-                        if ctx.trace.enabled() {
-                            ctx.trace.record(src, e - d2, e, Category::PpComm, "pp_p2p");
-                        }
-                        e
-                    } else {
-                        t
-                    };
-                    arrive = end;
+                    arrive = ctx.p2p_event(src, dst, t, dur, Some("pp_p2p"));
                 } else {
                     replica_end = replica_end.max(t);
                 }
@@ -291,14 +329,7 @@ fn generate(
                     let src = Layout::leader(&group);
                     let dst = Layout::leader(layout.tp_group(stage + 1, d));
                     let dur = work as f64 * p2p_dur(ctx, layout, src, dst, batch_mb, tp);
-                    if dur > 0.0 {
-                        let d2 = dur * ctx.jitter();
-                        t = ctx.tl.p2p(src, dst, t, d2, Category::PpComm);
-                        if ctx.trace.enabled() {
-                            ctx.trace
-                                .record(src, t - d2, t, Category::PpComm, "pp_p2p_decode");
-                        }
-                    }
+                    t = ctx.p2p_event(src, dst, t, dur, Some("pp_p2p_decode"));
                 }
                 stage_end[stage_idx] = t;
             }
@@ -368,13 +399,7 @@ fn train(
                             let src = Layout::leader(&group);
                             let dst = Layout::leader(layout.tp_group(stage + 1, d));
                             let dur = p2p_dur(ctx, layout, src, dst, tokens_mb, tp);
-                            if dur > 0.0 {
-                                let d2 = dur * ctx.jitter();
-                                let e = ctx.tl.p2p(src, dst, t, d2, Category::PpComm);
-                                arrive = e;
-                            } else {
-                                arrive = t;
-                            }
+                            arrive = ctx.p2p_event(src, dst, t, dur, None);
                         } else {
                             fwd_out[mb as usize] = t;
                         }
@@ -417,12 +442,7 @@ fn train(
                             let src = Layout::leader(&group);
                             let dst = Layout::leader(layout.tp_group(stage - 1, d));
                             let dur = p2p_dur(ctx, layout, src, dst, tokens_mb, tp);
-                            if dur > 0.0 {
-                                let d2 = dur * ctx.jitter();
-                                arrive = ctx.tl.p2p(src, dst, t, d2, Category::PpComm);
-                            } else {
-                                arrive = t;
-                            }
+                            arrive = ctx.p2p_event(src, dst, t, dur, None);
                         } else {
                             last_update_ready = last_update_ready.max(t);
                         }
@@ -508,6 +528,7 @@ mod tests {
             rng: &mut rng,
             cfg: &cfg,
             zero3: false,
+            faults: None,
         };
         let end = execute_call(&mut ctx, &a, call, 0.0);
         (end, tl)
@@ -667,6 +688,7 @@ mod tests {
             rng: &mut rng,
             cfg: &cfg,
             zero3: false,
+            faults: None,
         };
         let skewed = execute_call(&mut ctx, &a, gen, 0.0);
         // Drift changes the realized duration; the log-normal factor is

@@ -20,6 +20,12 @@
 //! OpenRLHF, NeMo-Aligner, veRL) as plans plus engine flags so the Fig. 7
 //! comparison runs apples-to-apples inside one engine.
 //!
+//! With a [`real_sim::FaultPlan`] injected ([`EngineConfig::fault_plan`]),
+//! the master loop hardens into the resilient dispatch protocol described
+//! in [`master`]: per-request deadlines derived from predicted cost,
+//! bounded exponential-backoff retries, crash re-dispatch after worker
+//! restart, and degraded-mode accounting ([`report::FaultStats`]).
+//!
 //! # Examples
 //!
 //! ```
@@ -54,5 +60,5 @@ pub mod workers;
 
 pub use config::EngineConfig;
 pub use master::{RunError, RuntimeEngine};
-pub use report::{CallTiming, RunReport};
+pub use report::{CallTiming, FaultAbort, FaultStats, RequestFault, RunReport};
 pub use workers::{DataLocation, MasterLog, Request, Response, WorkerDirectory};

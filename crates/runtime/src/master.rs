@@ -7,18 +7,36 @@
 //! time is the max of its parents' completions plus the RPC latency, data
 //! transfers and parameter reallocations run as broadcast events between
 //! calls, and the model workers' FIFO queues are the GPU timelines.
+//!
+//! # Resilient dispatch
+//!
+//! With a [`real_sim::FaultPlan`] injected ([`EngineConfig::fault_plan`]),
+//! every request goes through a retry loop instead of a bare execution:
+//!
+//! 1. wait for every participating worker to be up
+//!    ([`real_sim::FaultClock::available_from`]),
+//! 2. execute the attempt with fault windows stretching its events, under a
+//!    deadline of [`EngineConfig::deadline_factor`] times the predicted
+//!    cost (the §5 estimator's prediction when available, else the
+//!    fault-free simulated duration from the same timeline state),
+//! 3. on a crash or timeout, roll back the attempt (timelines, RNG, trace),
+//!    charge the wasted interval as dead work, and re-dispatch after a
+//!    bounded exponential backoff,
+//! 4. after [`EngineConfig::max_retries`] failed attempts, run once in
+//!    *degraded mode* — past the schedule's last crash, with checks
+//!    disabled — so a run always completes.
 
 use crate::config::EngineConfig;
 use crate::exec::{execute_call, ExecCtx};
 use crate::memcheck;
 use crate::realloc::execute_realloc;
-use crate::report::{CallTiming, RunReport};
+use crate::report::{CallTiming, FaultAbort, FaultStats, RequestFault, RunReport};
 use crate::workers::{MasterLog, Request, Response};
 use real_cluster::{ClusterSpec, CommModel};
-use real_dataflow::{CallId, DataflowGraph, ExecutionPlan};
+use real_dataflow::{CallAssignment, CallId, CallType, DataflowGraph, ExecutionPlan};
 use real_estimator::maxmem;
 use real_model::CostModel;
-use real_sim::{Category, Timelines, Trace};
+use real_sim::{Category, FaultClock, Timelines, Trace};
 use real_util::DeterministicRng;
 use std::collections::HashMap;
 use std::fmt;
@@ -121,6 +139,27 @@ impl RuntimeEngine {
         };
         let mut rng = DeterministicRng::from_seed(self.config.seed).derive("runtime");
 
+        // Compiled fault schedule. `None` keeps every site below on the
+        // exact fault-free code path (identical RNG draws and arithmetic),
+        // so fault-free runs stay byte-identical.
+        let fault_clock = self.config.fault_plan.as_ref().map(|p| {
+            FaultClock::new(
+                p,
+                self.cluster.total_gpus() as usize,
+                self.cluster.gpus_per_node as usize,
+            )
+        });
+        let mut fault_stats = FaultStats::default();
+        if let Some(clock) = fault_clock.as_ref() {
+            fault_stats.injected = clock.n_windows();
+        }
+        let predicted: HashMap<&str, f64> = self
+            .config
+            .predicted_secs
+            .iter()
+            .map(|(name, secs)| (name.as_str(), *secs))
+            .collect();
+
         let mut master_log = MasterLog::default();
         let topo = self
             .graph
@@ -150,7 +189,7 @@ impl RuntimeEngine {
                         let within = a.mesh.n_nodes() == 1
                             && b.mesh.n_nodes() == 1
                             && a.mesh.node_start() == b.mesh.node_start();
-                        let dur = comm.broadcast(per_src, 2, within)
+                        let mut dur = comm.broadcast(per_src, 2, within)
                             * rng.lognormal_factor(self.config.jitter_sigma);
                         // Only the consumer mesh is occupied: the producer's
                         // GPUs serve the send from copy engines without
@@ -158,6 +197,13 @@ impl RuntimeEngine {
                         // transfer would serialize disjoint-mesh calls
                         // through the producer's busy queue).
                         let gpus: Vec<usize> = a.mesh.gpus().map(|g| g.0 as usize).collect();
+                        if let Some(clock) = fault_clock.as_ref() {
+                            let start = gpus
+                                .iter()
+                                .map(|&g| tl.gpu(g).busy_until())
+                                .fold(dep_done, f64::max);
+                            dur = clock.stretched(&gpus, start, dur, true);
+                        }
                         tl.collective(&gpus, dep_done, dur, Category::Transfer)
                     };
                     ready = ready.max(end);
@@ -193,6 +239,7 @@ impl RuntimeEngine {
                         pdone,
                         &mut rng,
                         self.config.jitter_sigma,
+                        fault_clock.as_ref(),
                     );
                     ready = ready.max(end);
                 }
@@ -209,16 +256,36 @@ impl RuntimeEngine {
                     worker_count: a.mesh.n_gpus(),
                 });
 
-                let mut ctx = ExecCtx {
-                    cost,
-                    comm: &comm,
-                    tl: &mut tl,
-                    trace: &mut trace,
-                    rng: &mut rng,
-                    cfg: &self.config,
-                    zero3,
+                let end = if let Some(clock) = fault_clock.as_ref() {
+                    self.dispatch_resilient(
+                        clock,
+                        cost,
+                        &comm,
+                        &mut tl,
+                        &mut trace,
+                        &mut rng,
+                        zero3,
+                        a,
+                        def.call_type,
+                        &def.call_name,
+                        predicted.get(def.call_name.as_str()).copied(),
+                        ready,
+                        iter,
+                        &mut fault_stats,
+                    )
+                } else {
+                    let mut ctx = ExecCtx {
+                        cost,
+                        comm: &comm,
+                        tl: &mut tl,
+                        trace: &mut trace,
+                        rng: &mut rng,
+                        cfg: &self.config,
+                        zero3,
+                        faults: None,
+                    };
+                    execute_call(&mut ctx, a, def.call_type, ready)
                 };
-                let end = execute_call(&mut ctx, a, def.call_type, ready);
                 master_log.responses.push(Response {
                     call,
                     iter,
@@ -254,7 +321,152 @@ impl RuntimeEngine {
             static_utilization: maxmem::static_utilization(&self.cluster, &self.graph, plan),
             trace,
             master_log,
+            faults: fault_stats,
         })
+    }
+
+    /// Executes one request under the retry protocol described in the
+    /// module docs. Always returns a completion time: after
+    /// `max_retries` failed attempts the final attempt runs in degraded
+    /// mode (past the schedule's last crash, checks disabled), so the loop
+    /// terminates even under a hostile schedule.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_resilient(
+        &self,
+        clock: &FaultClock,
+        cost: &CostModel,
+        comm: &CommModel,
+        tl: &mut Timelines,
+        trace: &mut Trace,
+        rng: &mut DeterministicRng,
+        zero3: bool,
+        a: &CallAssignment,
+        call_type: CallType,
+        call_name: &str,
+        predicted_secs: Option<f64>,
+        ready: f64,
+        iter: usize,
+        stats: &mut FaultStats,
+    ) -> f64 {
+        let mesh: Vec<usize> = a.mesh.gpus().map(|g| g.0 as usize).collect();
+        let mut attempt_ready = ready;
+        let mut failed: u32 = 0;
+        loop {
+            let degraded = failed > self.config.max_retries;
+            // Wait for every participant to be restarted; a degraded
+            // attempt additionally waits out the whole crash schedule so it
+            // cannot be aborted.
+            let mut start = clock.available_from(&mesh, attempt_ready);
+            if degraded {
+                start = start.max(clock.quiet_after(&mesh));
+            }
+            stats.dispatches += 1;
+
+            // Fault-free duration from this exact timeline state: cloned
+            // timelines and RNG make queueing identical between the nominal
+            // and the real attempt, so the deadline fires only on genuine
+            // fault-induced stretch, never on queueing delay.
+            let nominal_wall = {
+                let mut tl_nom = tl.clone();
+                let mut rng_nom = rng.clone();
+                let mut scratch = Trace::disabled();
+                let mut ctx = ExecCtx {
+                    cost,
+                    comm,
+                    tl: &mut tl_nom,
+                    trace: &mut scratch,
+                    rng: &mut rng_nom,
+                    cfg: &self.config,
+                    zero3,
+                    faults: None,
+                };
+                execute_call(&mut ctx, a, call_type, start) - start
+            };
+            let predicted_wall = predicted_secs.map_or(nominal_wall, |p| p.max(nominal_wall));
+            let deadline = if self.config.deadline_factor > 0.0 && !degraded {
+                self.config.deadline_factor * predicted_wall
+            } else {
+                f64::INFINITY
+            };
+
+            let tl_snap = tl.clone();
+            let rng_snap = rng.clone();
+            let cp = trace.checkpoint();
+            let end = {
+                let mut ctx = ExecCtx {
+                    cost,
+                    comm,
+                    tl,
+                    trace,
+                    rng,
+                    cfg: &self.config,
+                    zero3,
+                    faults: Some(clock),
+                };
+                execute_call(&mut ctx, a, call_type, start)
+            };
+
+            let crash = if degraded {
+                None
+            } else {
+                clock.first_crash(&mesh, start, end)
+            };
+            let timed_out = end - start > deadline;
+            if crash.is_none() && !timed_out {
+                if failed > 0 {
+                    stats.requests_retried += 1;
+                    if degraded {
+                        stats.requests_degraded += 1;
+                    } else {
+                        stats.requests_recovered += 1;
+                    }
+                }
+                return end;
+            }
+
+            // The attempt is dead: roll back its timeline, RNG, and trace
+            // effects, then charge the wasted interval as lost work.
+            let abort_at = match crash {
+                Some((_, at)) => at.min(start + deadline),
+                None => start + deadline,
+            };
+            *tl = tl_snap;
+            *rng = rng_snap;
+            trace.rewind(cp);
+            if trace.enabled() {
+                for &g in &mesh {
+                    let s = tl.gpu(g).busy_until().max(start);
+                    if s < abort_at {
+                        trace.record(g, s, abort_at, Category::Compute, "lost_work");
+                    }
+                }
+            }
+            stats.lost_gpu_seconds += tl.occupy_until(&mesh, start, abort_at, Category::Compute);
+
+            let kind = match crash {
+                Some((g, at)) if at <= start + deadline => FaultAbort::Crash { gpu: g as u32 },
+                _ => FaultAbort::Timeout,
+            };
+            match kind {
+                FaultAbort::Crash { .. } => stats.crashes += 1,
+                FaultAbort::Timeout => stats.timeouts += 1,
+            }
+            stats.retries += 1;
+            stats.events.push(RequestFault {
+                call_name: call_name.to_string(),
+                iter,
+                attempt: failed,
+                kind,
+                at: abort_at,
+            });
+
+            failed += 1;
+            let backoff = (self.config.backoff_base * 2f64.powi(failed as i32 - 1))
+                .min(self.config.backoff_cap)
+                .max(0.0);
+            stats.backoff_seconds += backoff;
+            attempt_ready = abort_at + backoff;
+        }
     }
 }
 
@@ -399,6 +611,137 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn empty_fault_plan_reproduces_fault_free_run() {
+        // Resilient dispatch with zero fault windows must produce the same
+        // virtual timings as the plain path: the nominal pre-simulation
+        // uses cloned state, windows never stretch, no attempt aborts.
+        let (cluster, graph) = setup(1, 64);
+        let plan = symmetric(&cluster, &graph, 1, 8, 8);
+        let base = RuntimeEngine::new(cluster.clone(), graph.clone(), EngineConfig::default())
+            .run(&plan, 2)
+            .unwrap();
+        let cfg = EngineConfig::default().with_fault_plan(real_sim::FaultPlan::new(5));
+        let faulted = RuntimeEngine::new(cluster, graph, cfg)
+            .run(&plan, 2)
+            .unwrap();
+        assert_eq!(base.total_time, faulted.total_time);
+        assert_eq!(base.iter_time, faulted.iter_time);
+        assert_eq!(base.timings, faulted.timings);
+        assert_eq!(base.category_totals, faulted.category_totals);
+        assert_eq!(faulted.faults.retries, 0);
+        assert_eq!(faulted.faults.injected, 0);
+        // 12 requests dispatched exactly once each.
+        assert_eq!(faulted.faults.dispatches, 12);
+    }
+
+    #[test]
+    fn crashes_are_recovered_and_accounted() {
+        let (cluster, graph) = setup(1, 64);
+        let plan = symmetric(&cluster, &graph, 1, 8, 8);
+        // Find when generation runs fault-free, then crash a worker in the
+        // middle of it.
+        let base = RuntimeEngine::new(cluster.clone(), graph.clone(), EngineConfig::default())
+            .run(&plan, 2)
+            .unwrap();
+        let gen = base
+            .timings
+            .iter()
+            .find(|t| t.call_name == "actor_gen" && t.iter == 0)
+            .unwrap();
+        let mid = (gen.start + gen.end) / 2.0;
+        let fault_plan = real_sim::FaultPlan::new(5).crash(3, mid, 2.0);
+        let cfg = EngineConfig::default().with_fault_plan(fault_plan);
+        let report = RuntimeEngine::new(cluster, graph, cfg)
+            .run(&plan, 2)
+            .unwrap();
+        let f = &report.faults;
+        assert_eq!(f.injected, 1);
+        assert!(f.crashes >= 1, "{f:?}");
+        assert!(f.requests_recovered >= 1, "{f:?}");
+        assert_eq!(f.requests_degraded, 0, "{f:?}");
+        assert!(f.lost_gpu_seconds > 0.0);
+        assert!(!f.events.is_empty());
+        assert!(matches!(f.events[0].kind, FaultAbort::Crash { gpu: 3 }));
+        // The run completed, later than the clean one.
+        assert_eq!(report.timings.len(), 12);
+        assert!(report.total_time > base.total_time);
+    }
+
+    #[test]
+    fn faulted_runs_replay_bit_identically() {
+        let (cluster, graph) = setup(1, 64);
+        let plan = symmetric(&cluster, &graph, 1, 8, 8);
+        let fault_plan = real_sim::FaultPlan::random(23, 8, 8, 200.0, 4.0);
+        let cfg = EngineConfig::default()
+            .with_fault_plan(fault_plan)
+            .with_trace(4096);
+        let engine = RuntimeEngine::new(cluster, graph, cfg);
+        let a = engine.run(&plan, 2).unwrap();
+        let b = engine.run(&plan, 2).unwrap();
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.timings, b.timings);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.trace.events(), b.trace.events());
+    }
+
+    #[test]
+    fn retry_budget_is_bounded_by_degraded_mode() {
+        let (cluster, graph) = setup(1, 64);
+        let plan = symmetric(&cluster, &graph, 1, 8, 8);
+        // A worker that crashes every 3 seconds for the first 10 minutes:
+        // most requests cannot finish between crashes, so they exhaust
+        // their retry budget and complete degraded.
+        let mut fault_plan = real_sim::FaultPlan::new(1);
+        for i in 0..200 {
+            fault_plan = fault_plan.crash(0, 3.0 * f64::from(i), 1.0);
+        }
+        let cfg = EngineConfig {
+            max_retries: 2,
+            ..EngineConfig::default()
+        }
+        .with_fault_plan(fault_plan);
+        let report = RuntimeEngine::new(cluster, graph, cfg)
+            .run(&plan, 1)
+            .unwrap();
+        let f = &report.faults;
+        // Completed despite the hostile schedule — no deadlock...
+        assert_eq!(report.timings.len(), 6);
+        // ...with every request bounded to max_retries + 1 + 1 attempts.
+        assert!(f.dispatches <= 6 * 4, "{f:?}");
+        assert!(f.requests_degraded >= 1, "{f:?}");
+        assert!(f.backoff_seconds > 0.0);
+    }
+
+    #[test]
+    fn slowdown_trips_deadline_and_retry_succeeds() {
+        let (cluster, graph) = setup(1, 64);
+        let plan = symmetric(&cluster, &graph, 1, 8, 8);
+        let base = RuntimeEngine::new(cluster.clone(), graph.clone(), EngineConfig::default())
+            .run(&plan, 1)
+            .unwrap();
+        let gen = base
+            .timings
+            .iter()
+            .find(|t| t.call_name == "actor_gen")
+            .unwrap();
+        // A 100x straggler for 2.5x generation's fault-free wall: the first
+        // attempt integrates to ~3.5x nominal and blows the 3x deadline at
+        // start + 3x nominal; the retry (after backoff) lands past the
+        // window and runs clean.
+        let wall = gen.end - gen.start;
+        let fault_plan =
+            real_sim::FaultPlan::new(1).slowdown(2, gen.start, gen.start + 2.5 * wall, 100.0);
+        let cfg = EngineConfig::default().with_fault_plan(fault_plan);
+        let report = RuntimeEngine::new(cluster, graph, cfg)
+            .run(&plan, 1)
+            .unwrap();
+        let f = &report.faults;
+        assert!(f.timeouts >= 1, "{f:?}");
+        assert!(f.requests_recovered >= 1, "{f:?}");
+        assert_eq!(report.timings.len(), 6);
     }
 
     #[test]

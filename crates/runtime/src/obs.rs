@@ -14,6 +14,13 @@
 //! * [`run_metrics`] — a [`real_obs::MetricsRegistry`] with per-category
 //!   busy-second counters (matching [`crate::RunReport::category_totals`]),
 //!   run-level gauges, and per-call duration histograms.
+//!
+//! Faulted runs additionally get a synthetic fault process in the stream
+//! ([`FAULT_PID`]): one lane per affected GPU or node link carrying the
+//! injected slowdown / crash / link-degradation windows as spans, abort
+//! instants on the master call lanes, and `runtime/fault_*` counters in the
+//! metrics registry. Fault-free runs emit none of this, keeping their
+//! exports byte-identical to pre-fault builds.
 
 use crate::config::EngineConfig;
 use crate::memcheck;
@@ -27,6 +34,14 @@ use real_obs::{EventStream, LaneId, MetricsRegistry};
 pub const CALL_SECONDS_BOUNDS: &[f64] = &[
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
 ];
+
+/// Synthetic process id of the fault-injection lanes in the event stream
+/// (`u32::MAX` is the master worker).
+pub const FAULT_PID: u32 = u32::MAX - 1;
+
+/// Lane tid offset separating node-link lanes from per-GPU lanes within the
+/// fault process.
+const FAULT_LINK_TID_BASE: u32 = 1 << 16;
 
 /// Assembles the unified event stream for a finished run.
 ///
@@ -57,8 +72,14 @@ pub fn build_event_stream(
         .iter()
         .map(|r| 2 * plan.assignment(r.call).mesh.n_gpus() as usize)
         .sum();
-    let capacity =
-        report.trace.events().len() * 4 + log.requests.len() * 4 + mem_edges + n_gpus + 64;
+    let fault_extra = config.fault_plan.as_ref().map_or(0, |p| p.events.len() * 3)
+        + report.faults.events.len() * 2;
+    let capacity = report.trace.events().len() * 4
+        + log.requests.len() * 4
+        + mem_edges
+        + n_gpus
+        + fault_extra
+        + 64;
     let mut stream = EventStream::with_capacity(capacity);
 
     // GPU kernel lanes and link-utilization counters from the kernel trace.
@@ -106,6 +127,72 @@ pub fn build_event_stream(
         let name = format!("req:{}", req.handle);
         stream.flow_start(idx as u64, &name, lane, req.dispatch_time);
         stream.flow_end(idx as u64, &name, dst, resp.completed_at);
+    }
+
+    // Fault surface: injected windows as spans on a synthetic fault
+    // process, abort events as instants on the affected master call lane.
+    if let Some(fault_plan) = config.fault_plan.as_ref().filter(|p| !p.is_empty()) {
+        let mut named: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+        let mut fault_lane = |stream: &mut EventStream, tid: u32, thread: &str| {
+            let lane = LaneId {
+                pid: FAULT_PID,
+                tid,
+            };
+            if named.insert(tid) {
+                stream.set_lane_name(lane, "faults", thread);
+            }
+            lane
+        };
+        for ev in &fault_plan.events {
+            match *ev {
+                real_sim::FaultEvent::Slowdown {
+                    gpu,
+                    start,
+                    end,
+                    factor,
+                } => {
+                    let lane = fault_lane(&mut stream, gpu, &format!("gpu{gpu}"));
+                    stream.span(lane, &format!("slowdown x{factor:.1}"), "fault", start, end);
+                }
+                real_sim::FaultEvent::Crash {
+                    gpu,
+                    at,
+                    restart_after,
+                } => {
+                    let lane = fault_lane(&mut stream, gpu, &format!("gpu{gpu}"));
+                    stream.span(lane, "crash+restart", "fault", at, at + restart_after);
+                }
+                real_sim::FaultEvent::LinkDegrade {
+                    node,
+                    start,
+                    end,
+                    factor,
+                } => {
+                    let lane = fault_lane(
+                        &mut stream,
+                        FAULT_LINK_TID_BASE + node,
+                        &format!("node{node}-link"),
+                    );
+                    stream.span(lane, &format!("link x{factor:.1}"), "fault", start, end);
+                }
+            }
+        }
+        for f in &report.faults.events {
+            let Some(call) = graph.find(&f.call_name) else {
+                continue;
+            };
+            let lane = LaneId {
+                pid: master,
+                tid: call.0 as u32,
+            };
+            let name = match f.kind {
+                crate::report::FaultAbort::Timeout => format!("timeout#{}", f.attempt),
+                crate::report::FaultAbort::Crash { gpu } => {
+                    format!("crash@gpu{gpu}#{}", f.attempt)
+                }
+            };
+            stream.instant(lane, &name, "fault", f.at);
+        }
     }
 
     // Per-GPU memory-in-use counter tracks: the static (optimizer-state)
@@ -200,6 +287,31 @@ pub fn run_metrics(cluster: &ClusterSpec, report: &RunReport) -> MetricsRegistry
             t.duration(),
         );
     }
+    let f = &report.faults;
+    if !f.is_empty() {
+        m.counter_add("runtime/fault_injected", &[], f.injected as f64);
+        m.counter_add("runtime/fault_dispatches", &[], f.dispatches as f64);
+        m.counter_add("runtime/fault_retries", &[], f.retries as f64);
+        m.counter_add("runtime/fault_timeouts", &[], f.timeouts as f64);
+        m.counter_add("runtime/fault_crashes", &[], f.crashes as f64);
+        m.counter_add(
+            "runtime/fault_requests_retried",
+            &[],
+            f.requests_retried as f64,
+        );
+        m.counter_add(
+            "runtime/fault_requests_recovered",
+            &[],
+            f.requests_recovered as f64,
+        );
+        m.counter_add(
+            "runtime/fault_requests_degraded",
+            &[],
+            f.requests_degraded as f64,
+        );
+        m.gauge_set("runtime/fault_lost_gpu_seconds", &[], f.lost_gpu_seconds);
+        m.gauge_set("runtime/fault_backoff_seconds", &[], f.backoff_seconds);
+    }
     m
 }
 
@@ -291,6 +403,76 @@ mod tests {
         assert!(stream
             .thread_names()
             .any(|(pid, _, name)| pid == u32::MAX && name == "actor_gen"));
+    }
+
+    #[test]
+    fn faulted_run_surfaces_lanes_instants_and_metrics() {
+        let (cluster, graph, plan, config, base) = run();
+        // Crash a worker mid-generation so at least one abort is recorded.
+        let gen = base
+            .timings
+            .iter()
+            .find(|t| t.call_name == "actor_gen" && t.iter == 0)
+            .unwrap();
+        let fault_plan = real_sim::FaultPlan::new(9)
+            .crash(3, (gen.start + gen.end) / 2.0, 2.0)
+            .slowdown(1, 0.0, 5.0, 2.0)
+            .degrade_link(0, 0.0, 5.0, 3.0);
+        let config = EngineConfig {
+            fault_plan: Some(fault_plan),
+            ..config
+        };
+        let engine = RuntimeEngine::new(cluster.clone(), graph.clone(), config.clone());
+        let report = engine.run(&plan, 2).unwrap();
+        assert!(report.faults.crashes >= 1);
+
+        let stream = build_event_stream(&cluster, &graph, &plan, &config, &report);
+        stream.check_invariants().expect("balanced stream");
+        assert_eq!(stream.dropped(), 0, "capacity estimate must hold");
+        // Fault process lanes are named and carry the three window spans.
+        assert!(stream
+            .thread_names()
+            .any(|(pid, _, name)| pid == FAULT_PID && name == "gpu3"));
+        assert!(stream
+            .thread_names()
+            .any(|(pid, _, name)| pid == FAULT_PID && name == "node0-link"));
+        let fault_spans = stream
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(e,
+                    StreamEvent::Begin { lane, category, .. }
+                        if lane.pid == FAULT_PID && category == "fault")
+            })
+            .count();
+        assert_eq!(fault_spans, 3);
+        // Abort instants land on the master's call lanes.
+        assert!(stream.events().iter().any(|e| matches!(e,
+            StreamEvent::Instant { lane, category, .. }
+                if lane.pid == u32::MAX && category == "fault")));
+
+        let m = run_metrics(&cluster, &report);
+        assert_eq!(m.get("runtime/fault_injected", &[]).unwrap().scalar(), 3.0);
+        assert!(m.get("runtime/fault_crashes", &[]).unwrap().scalar() >= 1.0);
+        assert!(
+            m.get("runtime/fault_lost_gpu_seconds", &[])
+                .unwrap()
+                .scalar()
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn fault_free_run_emits_no_fault_surface() {
+        let (cluster, graph, plan, config, report) = run();
+        assert!(report.faults.is_empty());
+        let stream = build_event_stream(&cluster, &graph, &plan, &config, &report);
+        assert!(!stream
+            .events()
+            .iter()
+            .any(|e| matches!(e, StreamEvent::Begin { lane, .. } if lane.pid == FAULT_PID)));
+        let m = run_metrics(&cluster, &report);
+        assert!(m.get("runtime/fault_injected", &[]).is_none());
     }
 
     #[test]

@@ -11,12 +11,14 @@ use crate::layout::Layout;
 use real_cluster::CommModel;
 use real_dataflow::CallAssignment;
 use real_model::{MemoryModel, ModelSpec};
-use real_sim::{Category, Timelines, Trace};
+use real_sim::{Category, FaultClock, Timelines, Trace};
 use real_util::DeterministicRng;
 
 /// Executes the reallocation of `model`'s weights from layout `src` to
 /// layout `dst`; returns the completion time. A no-op (returns `ready`)
-/// when the layouts are identical.
+/// when the layouts are identical. Broadcast durations are stretched by any
+/// active fault windows (`faults`); reallocation is infrastructure traffic
+/// and is never aborted or retried.
 #[allow(clippy::too_many_arguments)]
 pub fn execute_realloc(
     tl: &mut Timelines,
@@ -28,6 +30,7 @@ pub fn execute_realloc(
     ready: f64,
     rng: &mut DeterministicRng,
     jitter_sigma: f64,
+    faults: Option<&FaultClock>,
 ) -> f64 {
     if src == dst {
         return ready;
@@ -98,8 +101,15 @@ pub fn execute_realloc(
                     let mut participants = vec![s];
                     participants.extend(receivers.iter().copied());
                     let within = dst_layout.within_node(&participants);
-                    let dur = comm.broadcast(bytes, participants.len() as u32, within)
+                    let mut dur = comm.broadcast(bytes, participants.len() as u32, within)
                         * rng.lognormal_factor(jitter_sigma);
+                    if let Some(f) = faults {
+                        let start = participants
+                            .iter()
+                            .map(|&g| tl.gpu(g).busy_until())
+                            .fold(ready, f64::max);
+                        dur = f.stretched(&participants, start, dur, true);
+                    }
                     let end = tl.collective(&participants, ready, dur, Category::Realloc);
                     if trace.enabled() {
                         trace.record(s, end - dur, end, Category::Realloc, "param_broadcast");
@@ -148,6 +158,7 @@ mod tests {
             0.0,
             &mut rng,
             0.0,
+            None,
         );
         (end, tl)
     }

@@ -25,6 +25,90 @@ impl CallTiming {
     }
 }
 
+/// Why an execution attempt of a request was aborted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultAbort {
+    /// The attempt's wall time exceeded its deadline (straggler / degraded
+    /// link stretched it past `deadline_factor` x predicted cost).
+    Timeout,
+    /// A participating model worker crashed mid-attempt.
+    Crash {
+        /// Global index of the crashed GPU.
+        gpu: u32,
+    },
+}
+
+/// One aborted execution attempt, recorded for the report and the event
+/// stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestFault {
+    /// Name of the affected call (e.g. `"actor_train"`).
+    pub call_name: String,
+    /// Iteration index of the affected request.
+    pub iter: usize,
+    /// Zero-based attempt number that was aborted.
+    pub attempt: u32,
+    /// Why the attempt was aborted.
+    pub kind: FaultAbort,
+    /// Virtual time at which the attempt was abandoned.
+    pub at: f64,
+}
+
+/// Degraded-mode accounting: how much work a faulted run lost, retried, and
+/// recovered. Empty (all zeros) for fault-free runs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Fault events in the injected schedule (after compilation; events
+    /// targeting GPUs or nodes outside the cluster are not counted).
+    pub injected: usize,
+    /// Total execution attempts dispatched (successful + aborted).
+    pub dispatches: usize,
+    /// Aborted attempts that were re-dispatched.
+    pub retries: usize,
+    /// Attempts aborted by deadline timeout.
+    pub timeouts: usize,
+    /// Attempts aborted by a worker crash.
+    pub crashes: usize,
+    /// Requests that needed at least one retry.
+    pub requests_retried: usize,
+    /// Requests that eventually completed after one or more retries.
+    pub requests_recovered: usize,
+    /// Requests that exhausted their retry budget and completed in
+    /// degraded mode (run after the fault schedule went quiet, with
+    /// deadline checks disabled).
+    pub requests_degraded: usize,
+    /// GPU-seconds occupied by aborted attempts (dead work).
+    pub lost_gpu_seconds: f64,
+    /// Virtual seconds spent in retry backoff.
+    pub backoff_seconds: f64,
+    /// Every aborted attempt, in dispatch order.
+    pub events: Vec<RequestFault>,
+}
+
+impl FaultStats {
+    /// Whether the run was fault-free (no schedule and no dispatch
+    /// accounting — the engine skips fault bookkeeping entirely then).
+    pub fn is_empty(&self) -> bool {
+        self.injected == 0 && self.dispatches == 0
+    }
+
+    /// One-line summary for report rendering.
+    pub fn render_line(&self) -> String {
+        format!(
+            "faults: {} injected | {} retries ({} timeout, {} crash) | \
+             {} recovered, {} degraded | {:.1} GPU-s lost, {:.1} s backoff",
+            self.injected,
+            self.retries,
+            self.timeouts,
+            self.crashes,
+            self.requests_recovered,
+            self.requests_degraded,
+            self.lost_gpu_seconds,
+            self.backoff_seconds,
+        )
+    }
+}
+
 /// The output of a runtime-engine run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -48,6 +132,8 @@ pub struct RunReport {
     pub trace: Trace,
     /// The master worker's request/response log (§6).
     pub master_log: crate::workers::MasterLog,
+    /// Fault-injection accounting (empty for fault-free runs).
+    pub faults: FaultStats,
 }
 
 impl RunReport {
@@ -153,6 +239,7 @@ mod tests {
             static_utilization: 0.4,
             trace: Trace::disabled(),
             master_log: crate::workers::MasterLog::default(),
+            faults: FaultStats::default(),
         }
     }
 
@@ -193,6 +280,27 @@ mod tests {
         assert!(s.contains("end2end"));
         assert!(s.contains("10.00"));
         assert!(!s.contains("warning"));
+    }
+
+    #[test]
+    fn fault_stats_emptiness_and_rendering() {
+        let mut f = FaultStats::default();
+        assert!(f.is_empty());
+        f.injected = 3;
+        f.retries = 2;
+        f.timeouts = 1;
+        f.crashes = 1;
+        f.requests_recovered = 2;
+        f.lost_gpu_seconds = 12.5;
+        assert!(!f.is_empty());
+        let line = f.render_line();
+        assert!(line.contains("3 injected"), "{line}");
+        assert!(line.contains("2 retries"), "{line}");
+        assert!(line.contains("12.5 GPU-s lost"), "{line}");
+        // Serde round-trip (the stats ride in serialized experiment dumps).
+        let json = serde_json::to_string(&f).unwrap();
+        let back: FaultStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(f, back);
     }
 
     #[test]

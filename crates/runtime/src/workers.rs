@@ -3,7 +3,7 @@
 //! The paper's master worker "dispatches requests via sockets upon the
 //! function call is ready"; the messages "do not transfer the associated
 //! data — instead, the data is retained locally in the GPUs of model
-//! workers [and] the master worker communicates the data locations to the
+//! workers \[and\] the master worker communicates the data locations to the
 //! model workers in requests". Each model worker is an RPC server on one
 //! GPU that "polls requests from the socket for each local LLM handle in a
 //! round-robin manner".

@@ -1,0 +1,672 @@
+//! Fault injection on the virtual clock: GPU slowdown windows, worker
+//! crash + restart events, and link-degradation intervals.
+//!
+//! A [`FaultPlan`] is a serde-loadable *schedule* of [`FaultEvent`]s, all
+//! expressed in seconds of virtual time and carrying an explicit seed so a
+//! faulted run replays bit-identically. The runtime engine compiles a plan
+//! into a [`FaultClock`], which answers the three questions resilient
+//! dispatch needs:
+//!
+//! - [`FaultClock::stretched`] — how long does `nominal` seconds of work
+//!   take when it starts at `start` on these GPUs? (piecewise integration
+//!   over the active slowdown / link-degradation windows),
+//! - [`FaultClock::first_crash`] — does any participating worker crash
+//!   while the request executes?
+//! - [`FaultClock::available_from`] / [`FaultClock::quiet_after`] — when
+//!   are all participants restarted, and when is the schedule permanently
+//!   crash-free (the guaranteed-completion horizon for degraded mode)?
+//!
+//! Faults are *transient*: a crashed worker restarts `restart_after`
+//! seconds later, which is when the master may re-dispatch to it.
+//!
+//! # Examples
+//!
+//! Build a plan with the fluent API, round-trip it through JSON, and
+//! compile it:
+//!
+//! ```
+//! use real_sim::{FaultClock, FaultPlan};
+//!
+//! let plan = FaultPlan::new(7)
+//!     .slowdown(0, 1.0, 3.0, 2.0)     // GPU 0 runs 2x slower in [1, 3)
+//!     .crash(1, 5.0, 2.5)             // GPU 1 down during [5, 7.5)
+//!     .degrade_link(0, 2.0, 4.0, 4.0); // node 0's links 4x slower in [2, 4)
+//! plan.validate().unwrap();
+//!
+//! let json = serde_json::to_string(&plan).unwrap();
+//! let reloaded: FaultPlan = serde_json::from_str(&json).unwrap();
+//! assert_eq!(plan, reloaded);
+//!
+//! let clock = FaultClock::new(&reloaded, 8, 8);
+//! // Work on a healthy GPU is unaffected...
+//! assert_eq!(clock.stretched(&[2], 1.0, 1.0, false), 1.0);
+//! // ...while GPU 0 takes twice as long inside its slowdown window.
+//! assert_eq!(clock.stretched(&[0], 1.0, 1.0, false), 2.0);
+//! // GPU 1 is unavailable until its restart completes.
+//! assert_eq!(clock.available_from(&[1], 6.0), 7.5);
+//! ```
+
+use real_util::DeterministicRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One scheduled fault on the virtual clock.
+///
+/// Times are seconds of virtual time; factors are multiplicative slowdowns
+/// (`2.0` = twice as slow) and must be `>= 1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// A straggler window: the GPU executes everything `factor`x slower
+    /// during `[start, end)`.
+    Slowdown {
+        /// Global GPU index.
+        gpu: u32,
+        /// Window start (seconds).
+        start: f64,
+        /// Window end (seconds).
+        end: f64,
+        /// Multiplicative slowdown (`>= 1`).
+        factor: f64,
+    },
+    /// A worker crash: the GPU's model worker dies at `at` and finishes
+    /// restarting `restart_after` seconds later. Requests in flight on the
+    /// worker at the crash instant are lost.
+    Crash {
+        /// Global GPU index.
+        gpu: u32,
+        /// Crash instant (seconds).
+        at: f64,
+        /// Downtime until the restarted worker accepts requests (`> 0`).
+        restart_after: f64,
+    },
+    /// A link-degradation window: every communication event touching the
+    /// node runs `factor`x slower during `[start, end)`. Covers flapping
+    /// NICs and congested fabrics; compute is unaffected.
+    LinkDegrade {
+        /// Node index.
+        node: u32,
+        /// Window start (seconds).
+        start: f64,
+        /// Window end (seconds).
+        end: f64,
+        /// Multiplicative slowdown (`>= 1`).
+        factor: f64,
+    },
+}
+
+/// Why a [`FaultPlan`] failed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlanError {
+    /// Index of the offending event in [`FaultPlan::events`].
+    pub index: usize,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault event #{}: {}", self.index, self.reason)
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// A deterministic, serde-loadable schedule of faults.
+///
+/// The `seed` does not drive the events below it (they are explicit); it
+/// names the stream that *generated* them (see [`FaultPlan::random`]) and
+/// is recorded so reports and traces can state which schedule ran.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed identifying this schedule (recorded for replay provenance).
+    pub seed: u64,
+    /// The scheduled faults, in no particular order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan tagged with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Adds a GPU slowdown window (builder style).
+    pub fn slowdown(mut self, gpu: u32, start: f64, end: f64, factor: f64) -> Self {
+        self.events.push(FaultEvent::Slowdown {
+            gpu,
+            start,
+            end,
+            factor,
+        });
+        self
+    }
+
+    /// Adds a worker crash + restart (builder style).
+    pub fn crash(mut self, gpu: u32, at: f64, restart_after: f64) -> Self {
+        self.events.push(FaultEvent::Crash {
+            gpu,
+            at,
+            restart_after,
+        });
+        self
+    }
+
+    /// Adds a node link-degradation window (builder style).
+    pub fn degrade_link(mut self, node: u32, start: f64, end: f64, factor: f64) -> Self {
+        self.events.push(FaultEvent::LinkDegrade {
+            node,
+            start,
+            end,
+            factor,
+        });
+        self
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Checks every event for well-formedness: finite times, `start < end`
+    /// windows, positive downtime, factors `>= 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FaultPlanError`] naming the first offending event.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        let err = |index: usize, reason: String| Err(FaultPlanError { index, reason });
+        for (i, ev) in self.events.iter().enumerate() {
+            match *ev {
+                FaultEvent::Slowdown {
+                    start, end, factor, ..
+                }
+                | FaultEvent::LinkDegrade {
+                    start, end, factor, ..
+                } => {
+                    if !(start.is_finite() && end.is_finite() && start >= 0.0 && start < end) {
+                        return err(i, format!("bad window [{start}, {end})"));
+                    }
+                    if !(factor.is_finite() && factor >= 1.0) {
+                        return err(i, format!("factor {factor} must be finite and >= 1"));
+                    }
+                }
+                FaultEvent::Crash {
+                    at, restart_after, ..
+                } => {
+                    if !(at.is_finite() && at >= 0.0) {
+                        return err(i, format!("bad crash instant {at}"));
+                    }
+                    if !(restart_after.is_finite() && restart_after > 0.0) {
+                        return err(i, format!("restart_after {restart_after} must be > 0"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Generates a random-but-reproducible schedule: roughly
+    /// `rate_per_min` fault events per minute of virtual time over
+    /// `[0, horizon)`, mixing slowdowns (half), crashes (a third), and
+    /// link degradations (the rest). Identical arguments always produce an
+    /// identical plan.
+    pub fn random(
+        seed: u64,
+        n_gpus: usize,
+        gpus_per_node: usize,
+        horizon: f64,
+        rate_per_min: f64,
+    ) -> Self {
+        assert!(n_gpus > 0 && gpus_per_node > 0, "need a non-empty cluster");
+        assert!(
+            horizon.is_finite() && horizon >= 0.0 && rate_per_min >= 0.0,
+            "need a finite horizon and a non-negative rate"
+        );
+        let n_nodes = n_gpus.div_ceil(gpus_per_node);
+        let mut rng = DeterministicRng::from_seed(seed).derive("fault-plan");
+        let n_events = (rate_per_min * horizon / 60.0).round() as usize;
+        let mut plan = FaultPlan::new(seed);
+        for _ in 0..n_events {
+            let at = rng.uniform() * horizon;
+            match rng.index(6) {
+                // Straggler window: 5-30 s, 1.5x-4x slower.
+                0..=2 => {
+                    let gpu = rng.index(n_gpus) as u32;
+                    let dur = 5.0 + rng.uniform() * 25.0;
+                    let factor = 1.5 + rng.uniform() * 2.5;
+                    plan = plan.slowdown(gpu, at, at + dur, factor);
+                }
+                // Crash: 5-20 s downtime.
+                3 | 4 => {
+                    let gpu = rng.index(n_gpus) as u32;
+                    let downtime = 5.0 + rng.uniform() * 15.0;
+                    plan = plan.crash(gpu, at, downtime);
+                }
+                // Link flap: 5-20 s, 2x-8x slower.
+                _ => {
+                    let node = rng.index(n_nodes) as u32;
+                    let dur = 5.0 + rng.uniform() * 15.0;
+                    let factor = 2.0 + rng.uniform() * 6.0;
+                    plan = plan.degrade_link(node, at, at + dur, factor);
+                }
+            }
+        }
+        plan
+    }
+}
+
+/// A half-open window `[start, end)` with a multiplicative factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Window {
+    start: f64,
+    end: f64,
+    factor: f64,
+}
+
+/// A [`FaultPlan`] compiled for a concrete cluster: per-GPU slowdown and
+/// crash-downtime windows plus per-node link windows, each sorted by start
+/// time. Events naming GPUs or nodes outside the cluster are ignored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultClock {
+    /// `slow[gpu]` = that GPU's slowdown windows.
+    slow: Vec<Vec<Window>>,
+    /// `down[gpu]` = that GPU's crash downtime windows `[at, at + restart)`.
+    down: Vec<Vec<(f64, f64)>>,
+    /// `link[node]` = that node's link-degradation windows.
+    link: Vec<Vec<Window>>,
+    gpus_per_node: usize,
+}
+
+impl FaultClock {
+    /// Compiles `plan` for a cluster of `n_gpus` GPUs, `gpus_per_node` per
+    /// node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster shape is empty or the plan fails
+    /// [`FaultPlan::validate`].
+    pub fn new(plan: &FaultPlan, n_gpus: usize, gpus_per_node: usize) -> Self {
+        assert!(n_gpus > 0 && gpus_per_node > 0, "need a non-empty cluster");
+        plan.validate().expect("fault plan must be well-formed");
+        let n_nodes = n_gpus.div_ceil(gpus_per_node);
+        let mut slow: Vec<Vec<Window>> = vec![Vec::new(); n_gpus];
+        let mut down: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n_gpus];
+        let mut link: Vec<Vec<Window>> = vec![Vec::new(); n_nodes];
+        for ev in &plan.events {
+            match *ev {
+                FaultEvent::Slowdown {
+                    gpu,
+                    start,
+                    end,
+                    factor,
+                } => {
+                    if let Some(s) = slow.get_mut(gpu as usize) {
+                        s.push(Window { start, end, factor });
+                    }
+                }
+                FaultEvent::Crash {
+                    gpu,
+                    at,
+                    restart_after,
+                } => {
+                    if let Some(d) = down.get_mut(gpu as usize) {
+                        d.push((at, at + restart_after));
+                    }
+                }
+                FaultEvent::LinkDegrade {
+                    node,
+                    start,
+                    end,
+                    factor,
+                } => {
+                    if let Some(l) = link.get_mut(node as usize) {
+                        l.push(Window { start, end, factor });
+                    }
+                }
+            }
+        }
+        let by_start = |a: &Window, b: &Window| a.start.partial_cmp(&b.start).expect("finite");
+        for s in &mut slow {
+            s.sort_by(by_start);
+        }
+        for d in &mut down {
+            d.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        }
+        for l in &mut link {
+            l.sort_by(by_start);
+        }
+        Self {
+            slow,
+            down,
+            link,
+            gpus_per_node,
+        }
+    }
+
+    /// Whether the compiled schedule contains no windows at all.
+    pub fn is_empty(&self) -> bool {
+        self.n_windows() == 0
+    }
+
+    /// Number of compiled fault windows (plan events whose target GPU or
+    /// node exists in this cluster).
+    pub fn n_windows(&self) -> usize {
+        self.slow.iter().map(Vec::len).sum::<usize>()
+            + self.down.iter().map(Vec::len).sum::<usize>()
+            + self.link.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// The combined slowdown factor for `gpus` at instant `t`: the max
+    /// active GPU slowdown, times (for communication events) the max active
+    /// link degradation on the participating nodes.
+    fn factor_at(&self, gpus: &[usize], t: f64, comm: bool) -> f64 {
+        let mut f = 1.0f64;
+        for &g in gpus {
+            for w in &self.slow[g] {
+                if w.start <= t && t < w.end {
+                    f = f.max(w.factor);
+                }
+            }
+        }
+        if comm {
+            let mut lf = 1.0f64;
+            for &g in gpus {
+                for w in &self.link[g / self.gpus_per_node] {
+                    if w.start <= t && t < w.end {
+                        lf = lf.max(w.factor);
+                    }
+                }
+            }
+            f *= lf;
+        }
+        f
+    }
+
+    /// Stretches `nominal` seconds of work starting at `start` on `gpus`
+    /// through the active fault windows, returning the wall duration.
+    /// `comm` selects whether link-degradation windows apply (they do for
+    /// every communication category, not for compute). Without active
+    /// windows this returns `nominal` exactly, so a fault-free schedule is
+    /// bit-transparent.
+    pub fn stretched(&self, gpus: &[usize], start: f64, nominal: f64, comm: bool) -> f64 {
+        if nominal <= 0.0 {
+            return nominal;
+        }
+        // Breakpoints where the factor can change, strictly after `start`.
+        let mut cuts: Vec<f64> = Vec::new();
+        for &g in gpus {
+            for w in &self.slow[g] {
+                cuts.push(w.start);
+                cuts.push(w.end);
+            }
+            if comm {
+                for w in &self.link[g / self.gpus_per_node] {
+                    cuts.push(w.start);
+                    cuts.push(w.end);
+                }
+            }
+        }
+        cuts.retain(|&c| c > start);
+        cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        cuts.dedup();
+
+        // Accumulate wall time per segment (not via `end - start`) so that
+        // with no active windows the result is *exactly* `nominal * 1.0`,
+        // keeping fault-free arithmetic bit-identical.
+        let mut t = start;
+        let mut wall = 0.0;
+        let mut remaining = nominal;
+        for cut in cuts {
+            let f = self.factor_at(gpus, t, comm);
+            let seg_wall = remaining * f;
+            if t + seg_wall <= cut {
+                return wall + seg_wall;
+            }
+            remaining -= (cut - t) / f;
+            wall += cut - t;
+            t = cut;
+        }
+        let f = self.factor_at(gpus, t, comm);
+        wall + remaining * f
+    }
+
+    /// The earliest crash hitting any of `gpus` during `[start, end)`,
+    /// as `(gpu, instant)`. A worker already down at `start` counts as
+    /// crashing at `start` (the caller should have waited for
+    /// [`Self::available_from`]).
+    pub fn first_crash(&self, gpus: &[usize], start: f64, end: f64) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for &g in gpus {
+            for &(a, b) in &self.down[g] {
+                if a < end && b > start {
+                    let at = a.max(start);
+                    if best.is_none_or(|(_, t)| at < t) {
+                        best = Some((g, at));
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// The earliest time `>= t` at which every GPU in `gpus` is up
+    /// (outside every crash-downtime window).
+    pub fn available_from(&self, gpus: &[usize], t: f64) -> f64 {
+        let mut t = t;
+        loop {
+            let mut moved = false;
+            for &g in gpus {
+                for &(a, b) in &self.down[g] {
+                    if a <= t && t < b {
+                        t = b;
+                        moved = true;
+                    }
+                }
+            }
+            if !moved {
+                return t;
+            }
+        }
+    }
+
+    /// The time after which no crash window touches `gpus` ever again —
+    /// the horizon past which a (degraded) dispatch is guaranteed not to be
+    /// aborted by a crash.
+    pub fn quiet_after(&self, gpus: &[usize]) -> f64 {
+        gpus.iter()
+            .flat_map(|&g| self.down[g].iter().map(|&(_, b)| b))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn clock(plan: &FaultPlan) -> FaultClock {
+        FaultClock::new(plan, 16, 8)
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let c = clock(&FaultPlan::new(1));
+        assert!(c.is_empty());
+        assert_eq!(c.stretched(&[0, 5, 15], 3.0, 2.5, true), 2.5);
+        assert_eq!(c.first_crash(&[0, 1], 0.0, 100.0), None);
+        assert_eq!(c.available_from(&[0], 7.0), 7.0);
+        assert_eq!(c.quiet_after(&[0, 15]), 0.0);
+    }
+
+    #[test]
+    fn slowdown_stretches_inside_window_only() {
+        let c = clock(&FaultPlan::new(1).slowdown(0, 10.0, 20.0, 2.0));
+        // Entirely before the window: unchanged.
+        assert_eq!(c.stretched(&[0], 0.0, 5.0, false), 5.0);
+        // Entirely inside: doubled.
+        assert_eq!(c.stretched(&[0], 12.0, 3.0, false), 6.0);
+        // Straddling the end: 2 s of work at 2x consumes [18, 20) for 1 s
+        // of progress, the remaining 1 s runs at full speed.
+        assert!((c.stretched(&[0], 18.0, 2.0, false) - 3.0).abs() < 1e-12);
+        // Another GPU is unaffected.
+        assert_eq!(c.stretched(&[1], 12.0, 3.0, false), 3.0);
+        // A collective including the straggler is held back by it.
+        assert_eq!(c.stretched(&[0, 1], 12.0, 3.0, false), 6.0);
+    }
+
+    #[test]
+    fn link_degradation_applies_to_comm_only() {
+        let c = clock(&FaultPlan::new(1).degrade_link(1, 0.0, 100.0, 4.0));
+        // GPU 8 is on node 1.
+        assert_eq!(c.stretched(&[8], 1.0, 2.0, false), 2.0);
+        assert_eq!(c.stretched(&[8], 1.0, 2.0, true), 8.0);
+        // Node 0 traffic is clean.
+        assert_eq!(c.stretched(&[0], 1.0, 2.0, true), 2.0);
+        // Cross-node collectives degrade when either endpoint's node does.
+        assert_eq!(c.stretched(&[0, 8], 1.0, 2.0, true), 8.0);
+    }
+
+    #[test]
+    fn slowdown_and_link_factors_compose() {
+        let c = clock(
+            &FaultPlan::new(1)
+                .slowdown(0, 0.0, 100.0, 2.0)
+                .degrade_link(0, 0.0, 100.0, 3.0),
+        );
+        assert_eq!(c.stretched(&[0], 0.0, 1.0, false), 2.0);
+        assert_eq!(c.stretched(&[0], 0.0, 1.0, true), 6.0);
+    }
+
+    #[test]
+    fn crash_detection_and_availability() {
+        let c = clock(&FaultPlan::new(1).crash(3, 10.0, 5.0));
+        assert_eq!(c.first_crash(&[3], 0.0, 9.0), None);
+        assert_eq!(c.first_crash(&[3], 0.0, 12.0), Some((3, 10.0)));
+        // Already down at dispatch: crashes at the dispatch instant.
+        assert_eq!(c.first_crash(&[3], 11.0, 20.0), Some((3, 11.0)));
+        assert_eq!(c.first_crash(&[2], 0.0, 100.0), None);
+        assert_eq!(c.available_from(&[3], 11.0), 15.0);
+        assert_eq!(c.available_from(&[3], 15.0), 15.0);
+        assert_eq!(c.quiet_after(&[3]), 15.0);
+        assert_eq!(c.quiet_after(&[2]), 0.0);
+    }
+
+    #[test]
+    fn chained_downtimes_resolve_to_a_fixed_point() {
+        // Restart at 12 lands inside a second window [11, 20).
+        let c = clock(&FaultPlan::new(1).crash(0, 10.0, 2.0).crash(0, 11.0, 9.0));
+        assert_eq!(c.available_from(&[0], 10.5), 20.0);
+        assert_eq!(c.quiet_after(&[0]), 20.0);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_events() {
+        assert!(FaultPlan::new(1)
+            .slowdown(0, 5.0, 5.0, 2.0)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::new(1)
+            .slowdown(0, 0.0, 5.0, 0.5)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::new(1).crash(0, 1.0, 0.0).validate().is_err());
+        assert!(FaultPlan::new(1)
+            .degrade_link(0, 2.0, 1.0, 2.0)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::new(1)
+            .slowdown(0, 0.0, f64::INFINITY, 2.0)
+            .validate()
+            .is_err());
+        let err = FaultPlan::new(1)
+            .crash(0, -1.0, 1.0)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err.index, 0);
+        assert!(err.to_string().contains("crash instant"));
+    }
+
+    #[test]
+    fn out_of_range_targets_are_ignored() {
+        let c = clock(
+            &FaultPlan::new(1)
+                .slowdown(99, 0.0, 10.0, 2.0)
+                .crash(99, 0.0, 10.0)
+                .degrade_link(99, 0.0, 10.0, 2.0),
+        );
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn random_plans_are_reproducible_and_in_range() {
+        let a = FaultPlan::random(9, 16, 8, 600.0, 2.0);
+        let b = FaultPlan::random(9, 16, 8, 600.0, 2.0);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20); // 2/min over 10 minutes
+        a.validate().unwrap();
+        assert!(FaultPlan::random(9, 16, 8, 600.0, 0.0).is_empty());
+        // Compiles without dropping anything: every target is in range.
+        let c = FaultClock::new(&a, 16, 8);
+        assert!(!c.is_empty());
+        // A different seed gives a different schedule.
+        assert_ne!(a, FaultPlan::random(10, 16, 8, 600.0, 2.0));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_every_variant() {
+        let plan = FaultPlan::new(3)
+            .slowdown(1, 0.5, 2.5, 3.0)
+            .crash(2, 4.0, 1.5)
+            .degrade_link(0, 1.0, 9.0, 2.0);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    proptest! {
+        #[test]
+        fn stretch_never_shrinks_and_empty_is_identity(
+            start in 0.0..50.0f64,
+            nominal in 0.0..10.0f64,
+            windows in proptest::collection::vec((0.0..40.0f64, 0.1..20.0f64, 1.0..4.0f64), 0..6),
+        ) {
+            let mut plan = FaultPlan::new(1);
+            for &(s, d, f) in &windows {
+                plan = plan.slowdown(0, s, s + d, f);
+            }
+            let c = FaultClock::new(&plan, 2, 2);
+            let wall = c.stretched(&[0], start, nominal, false);
+            prop_assert!(wall >= nominal - 1e-12, "stretched {wall} < nominal {nominal}");
+            // The worst-case factor bounds the stretch.
+            let fmax = windows.iter().map(|w| w.2).fold(1.0, f64::max);
+            prop_assert!(wall <= nominal * fmax + 1e-9);
+            // GPU 1 has no windows: identity.
+            prop_assert!((c.stretched(&[1], start, nominal, false) - nominal).abs() < 1e-12);
+        }
+
+        #[test]
+        fn availability_is_outside_every_downtime(
+            t in 0.0..60.0f64,
+            crashes in proptest::collection::vec((0.0..50.0f64, 0.1..10.0f64), 0..5),
+        ) {
+            let mut plan = FaultPlan::new(1);
+            for &(at, d) in &crashes {
+                plan = plan.crash(0, at, d);
+            }
+            let c = FaultClock::new(&plan, 1, 1);
+            let up = c.available_from(&[0], t);
+            prop_assert!(up >= t);
+            for &(at, d) in &crashes {
+                prop_assert!(!(at <= up && up < at + d), "available {up} inside [{at}, {})", at + d);
+            }
+        }
+    }
+}

@@ -12,7 +12,10 @@
 //! - [`GpuTimeline`] — one device's busy-clock plus per-category totals,
 //! - [`Timelines`] — the cluster-wide collection with serial, collective,
 //!   and point-to-point advancement primitives,
-//! - [`Trace`] — an optional kernel-level event recorder.
+//! - [`Trace`] — an optional kernel-level event recorder,
+//! - [`FaultPlan`] / [`FaultClock`] — a deterministic fault schedule
+//!   (straggler windows, worker crashes, link degradation) and its
+//!   compiled query form, used by the runtime's resilient dispatch.
 //!
 //! # Examples
 //!
@@ -25,8 +28,10 @@
 //! assert_eq!(t.busy(0, Category::TpComm), 1.5);
 //! ```
 
+pub mod fault;
 pub mod timeline;
 pub mod trace;
 
+pub use fault::{FaultClock, FaultEvent, FaultPlan, FaultPlanError};
 pub use timeline::{Category, GpuTimeline, Timelines};
-pub use trace::{record_event_stream, to_event_stream, Trace, TraceEvent};
+pub use trace::{record_event_stream, to_event_stream, Trace, TraceCheckpoint, TraceEvent};

@@ -195,6 +195,24 @@ impl Timelines {
         self.collective(&[src, dst], ready, duration, cat)
     }
 
+    /// Occupies each GPU in `gpus` from `max(from, busy_until)` up to
+    /// `until` (skipping GPUs already busy past `until`), charging the time
+    /// to `cat`, and returns the total GPU-seconds charged. Used by the
+    /// resilient dispatcher to account work lost to a crashed or timed-out
+    /// attempt: the attempt's effects are rolled back, then the wasted
+    /// interval is re-occupied as dead time.
+    pub fn occupy_until(&mut self, gpus: &[usize], from: f64, until: f64, cat: Category) -> f64 {
+        let mut charged = 0.0;
+        for &g in gpus {
+            let start = from.max(self.gpus[g].busy_until());
+            if start < until {
+                self.gpus[g].advance(start, until - start, cat);
+                charged += until - start;
+            }
+        }
+        charged
+    }
+
     /// The time every GPU is free (the makespan so far).
     pub fn makespan(&self) -> f64 {
         self.gpus
@@ -280,6 +298,21 @@ mod tests {
         assert_eq!(get(Category::TpComm), 2.0);
         assert_eq!(get(Category::Realloc), 3.0);
         assert_eq!(get(Category::DpComm), 0.0);
+    }
+
+    #[test]
+    fn occupy_until_charges_only_the_gap() {
+        let mut t = Timelines::new(3);
+        t.serial(1, 0.0, 4.0, Category::Compute);
+        t.serial(2, 0.0, 10.0, Category::Compute);
+        // GPU 0 idle (charged 8 - 2 = 6), GPU 1 busy to 4 (charged
+        // 8 - 4 = 4), GPU 2 busy past `until` (charged nothing, untouched).
+        let charged = t.occupy_until(&[0, 1, 2], 2.0, 8.0, Category::Compute);
+        assert!((charged - 10.0).abs() < 1e-12);
+        assert_eq!(t.gpu(0).busy_until(), 8.0);
+        assert_eq!(t.gpu(1).busy_until(), 8.0);
+        assert_eq!(t.gpu(2).busy_until(), 10.0);
+        assert_eq!(t.busy(0, Category::Compute), 6.0);
     }
 
     #[test]

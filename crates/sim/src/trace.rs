@@ -18,6 +18,14 @@ pub struct TraceEvent {
     pub label: &'static str,
 }
 
+/// A position in a [`Trace`], taken with [`Trace::checkpoint`] and restored
+/// with [`Trace::rewind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCheckpoint {
+    len: usize,
+    dropped: u64,
+}
+
 /// A bounded trace recorder. Recording is opt-in because full traces of a
 /// long run are large; the runtime engine only enables it for the trace
 /// figures.
@@ -73,6 +81,32 @@ impl Trace {
         } else if self.capacity > 0 {
             self.dropped += 1;
         }
+    }
+
+    /// Captures the current recording position so a speculative stretch of
+    /// events can be discarded with [`Trace::rewind`].
+    pub fn checkpoint(&self) -> TraceCheckpoint {
+        TraceCheckpoint {
+            len: self.events.len(),
+            dropped: self.dropped,
+        }
+    }
+
+    /// Discards every event recorded after `cp` was taken, restoring the
+    /// drop counter too. Used by resilient dispatch to roll back the trace
+    /// of an execution attempt aborted by a fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cp` is from a point *ahead* of the current state (i.e.
+    /// the trace was already rewound past it).
+    pub fn rewind(&mut self, cp: TraceCheckpoint) {
+        assert!(
+            cp.len <= self.events.len() && cp.dropped <= self.dropped,
+            "checkpoint is ahead of the trace"
+        );
+        self.events.truncate(cp.len);
+        self.dropped = cp.dropped;
     }
 
     /// The recorded events in record order.
@@ -150,6 +184,34 @@ mod tests {
         assert_eq!(t.for_gpu(0).len(), 2);
         assert_eq!(t.for_gpu(1).len(), 1);
         assert_eq!(t.for_gpu(2).len(), 0);
+    }
+
+    #[test]
+    fn checkpoint_and_rewind_discard_speculative_events() {
+        let mut t = Trace::with_capacity(2);
+        t.record(0, 0.0, 1.0, Category::Compute, "keep");
+        let cp = t.checkpoint();
+        t.record(0, 1.0, 2.0, Category::Compute, "drop");
+        t.record(0, 2.0, 3.0, Category::Compute, "over-capacity");
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 1);
+        t.rewind(cp);
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.events()[0].label, "keep");
+        assert_eq!(t.dropped(), 0);
+        // Rewinding to the same point twice is a no-op.
+        t.rewind(cp);
+        assert_eq!(t.events().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint is ahead")]
+    fn rewinding_past_a_stale_checkpoint_panics() {
+        let mut t = Trace::with_capacity(4);
+        t.record(0, 0.0, 1.0, Category::Compute, "a");
+        let cp = t.checkpoint();
+        t.rewind(TraceCheckpoint { len: 0, dropped: 0 });
+        t.rewind(cp);
     }
 
     #[test]
