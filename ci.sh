@@ -10,3 +10,14 @@ cargo clippy --workspace -- -D warnings
 # Documentation gate: every public item documented, no broken intra-doc
 # links. Vendored proptest predates the gate and is excluded.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --exclude proptest
+
+# Docs-drift gate: every source module must appear in ARCHITECTURE.md's
+# module-map appendix, so the map cannot silently rot as crates grow.
+for f in crates/*/src/*.rs; do
+    mod=$(basename "$f" .rs)
+    case "$mod" in lib|main) continue ;; esac
+    if ! grep -q -e "::$mod\`" -e "\`$mod\`" docs/ARCHITECTURE.md; then
+        echo "docs drift: module '$mod' ($f) missing from docs/ARCHITECTURE.md" >&2
+        exit 1
+    fi
+done

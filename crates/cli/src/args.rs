@@ -56,6 +56,7 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "json",
     "heuristic",
     "explain",
+    "replan",
 ];
 
 impl Args {

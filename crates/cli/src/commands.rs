@@ -68,6 +68,8 @@ USAGE: real <command> [--flag value ...]
 COMMANDS:
   plan        search for an execution plan, print it (optionally --out plan.json)
   run         execute a plan (searched, --heuristic, or --plan plan.json)
+  replan      resume a saved search checkpoint (--from ckpt.json) with a
+              fresh step budget; print (and --out) the improved plan
   baselines   run the four baseline systems plus ReaL on one workload
   profile     profile a model family (--out db.json to save it)
   estimate    per-call estimates + memory for a plan, without running it
@@ -91,6 +93,8 @@ SEARCH FLAGS (plan/run):
   --chains N       parallel chains                   [default 1]
   --explain        (plan) diff the plan against the heuristic
   --out FILE       (plan) save the plan as JSON
+  --checkpoint F   (plan/replan) save a resumable search checkpoint JSON
+  --from FILE      (replan) checkpoint to resume from
 
 RUN FLAGS:
   --iters N        RLHF iterations to execute        [default 2]
@@ -105,6 +109,11 @@ RUN FLAGS:
   --faults FILE    inject a FaultPlan JSON (slowdowns, crashes, link
                    degradation); the run reports retries and lost work
   --max-retries N  retry budget per request before degraded mode [default 3]
+  --replan         enable elastic re-planning: when faults kill a worker or
+                   degrade throughput, re-search on the surviving GPUs and
+                   switch plans mid-run (needs --faults to have any effect)
+  --replan-steps N MCMC budget per mid-run re-search          [default 2000]
+  --dead-after S   declare a worker dead after S stalled secs [default 120]
 ";
 
 /// Builds an [`Experiment`] from common workload flags.
@@ -209,6 +218,12 @@ pub fn cmd_plan(args: &Args) -> Result<String, CliError> {
     if let Some(path) = args.str_opt("out") {
         std::fs::write(path, serde_json::to_string_pretty(&planned.plan)?)?;
     }
+    if let Some(path) = args.str_opt("checkpoint") {
+        planned
+            .search
+            .checkpoint()
+            .save(std::path::Path::new(path))?;
+    }
     let mut out = String::new();
     out.push_str(&planned.plan.render(exp.graph()));
     if args.flag("explain") {
@@ -231,7 +246,13 @@ pub fn cmd_plan(args: &Args) -> Result<String, CliError> {
 
 /// `real run`
 pub fn cmd_run(args: &Args) -> Result<String, CliError> {
-    let exp = experiment_from(args)?;
+    let mut exp = experiment_from(args)?;
+    if args.flag("replan") {
+        let policy = ReplanPolicy::new()
+            .with_search_steps(args.num_or("replan-steps", 2_000u64)?)
+            .with_dead_after(args.num_or("dead-after", 120.0f64)?);
+        exp = exp.with_replan_policy(policy);
+    }
     let mut search: Option<SearchResult> = None;
     let plan: ExecutionPlan = if let Some(path) = args.str_opt("plan") {
         serde_json::from_str(&std::fs::read_to_string(path)?)?
@@ -260,6 +281,52 @@ pub fn cmd_run(args: &Args) -> Result<String, CliError> {
         std::fs::write(path, serde_json::to_string_pretty(&metrics.snapshot())?)?;
     }
     Ok(report.render(exp.graph()))
+}
+
+/// `real replan`: resume a saved search checkpoint against a fresh step
+/// budget — the offline half of elastic re-planning. The workload flags
+/// must describe the same cluster and dataflow graph the checkpoint was
+/// searched for.
+pub fn cmd_replan(args: &Args) -> Result<String, CliError> {
+    let from = args
+        .str_opt("from")
+        .ok_or_else(|| CliError::Invalid("replan needs --from checkpoint.json".into()))?;
+    let ckpt = SearchCheckpoint::load(std::path::Path::new(from))?;
+    let exp = experiment_from(args)?;
+    if ckpt.chain.best.assignments().len() != exp.graph().n_calls() {
+        return Err(CliError::Invalid(format!(
+            "--from {from}: checkpoint has {} calls but the workload flags describe {}; \
+             pass the same --algo/--actor/--critic/--batch the checkpoint was planned with",
+            ckpt.chain.best.assignments().len(),
+            exp.graph().n_calls(),
+        )));
+    }
+    let (est, _) = exp.prepare();
+    let space = SearchSpace::build(exp.cluster(), exp.graph(), PruneLevel::Aggressive);
+    let cfg = McmcConfig {
+        max_steps: args.num_or("steps", ckpt.chain.max_steps.saturating_mul(2))?,
+        time_limit: Duration::from_secs(args.num_or("time", 20u64)?),
+        seed: ckpt.chain.seed,
+        ..McmcConfig::default()
+    };
+    let result = resume(&est, &space, &cfg, &ckpt);
+    if let Some(path) = args.str_opt("out") {
+        std::fs::write(path, serde_json::to_string_pretty(&result.best_plan)?)?;
+    }
+    if let Some(path) = args.str_opt("checkpoint") {
+        result.checkpoint().save(std::path::Path::new(path))?;
+    }
+    let mut out = String::new();
+    out.push_str(&result.best_plan.render(exp.graph()));
+    out.push_str(&format!(
+        "\nresumed from step {} to step {}: best TimeCost {:.2}s, {} accepted ({:.0}%)\n",
+        ckpt.chain.steps,
+        result.steps,
+        result.best_time_cost,
+        result.accepted,
+        result.acceptance_rate() * 100.0,
+    ));
+    Ok(out)
 }
 
 /// `real baselines`
@@ -511,6 +578,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
     match args.command() {
         "plan" => cmd_plan(args),
         "run" => cmd_run(args),
+        "replan" => cmd_replan(args),
         "baselines" => cmd_baselines(args),
         "profile" => cmd_profile(args),
         "estimate" => cmd_estimate(args),
@@ -797,6 +865,80 @@ mod tests {
         ];
         let err = cmd_run(&parse(&argv)).unwrap_err();
         assert!(matches!(err, CliError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn plan_checkpoint_resumes_through_replan() {
+        let dir = std::env::temp_dir().join("real-cli-replan");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt_path = dir.join("ckpt.json");
+        let plan_path = dir.join("resumed-plan.json");
+        let workload = [
+            "--nodes",
+            "1",
+            "--batch",
+            "32",
+            "--quick-profile",
+            "--time",
+            "10",
+        ];
+        let mut argv = vec!["plan", "--steps", "200"];
+        argv.extend_from_slice(&workload);
+        argv.extend_from_slice(&["--checkpoint", ckpt_path.to_str().unwrap()]);
+        cmd_plan(&parse(&argv)).unwrap();
+        assert!(ckpt_path.is_file());
+
+        let mut argv = vec!["replan", "--from", ckpt_path.to_str().unwrap()];
+        argv.extend_from_slice(&workload);
+        argv.extend_from_slice(&["--steps", "400", "--out", plan_path.to_str().unwrap()]);
+        let out = cmd_replan(&parse(&argv)).unwrap();
+        assert!(out.contains("resumed from step 200 to step 400"), "{out}");
+        assert!(plan_path.is_file());
+
+        // A checkpoint for a different workload is rejected, not resumed.
+        let mut argv = vec!["replan", "--from", ckpt_path.to_str().unwrap()];
+        argv.extend_from_slice(&workload);
+        argv.extend_from_slice(&["--algo", "dpo"]);
+        let err = cmd_replan(&parse(&argv)).unwrap_err();
+        assert!(matches!(err, CliError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn replan_requires_from_flag() {
+        assert!(matches!(
+            cmd_replan(&parse(&["replan"])),
+            Err(CliError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn run_with_replan_switches_off_a_dead_worker() {
+        let dir = std::env::temp_dir().join("real-cli-replan-run");
+        std::fs::create_dir_all(&dir).unwrap();
+        let faults_path = dir.join("dead-worker.json");
+        // GPU 3 dies mid-generation and never restarts within the run's
+        // horizon: the retry-only path would stall for ~1e6 virtual seconds.
+        let plan = FaultPlan::new(23).crash(3, 2.0, 1.0e6);
+        std::fs::write(&faults_path, serde_json::to_string(&plan).unwrap()).unwrap();
+        let argv = [
+            "run",
+            "--nodes",
+            "1",
+            "--batch",
+            "32",
+            "--iters",
+            "1",
+            "--quick-profile",
+            "--heuristic",
+            "--faults",
+            faults_path.to_str().unwrap(),
+            "--replan",
+            "--replan-steps",
+            "300",
+        ];
+        let out = cmd_run(&parse(&argv)).unwrap();
+        assert!(out.contains("replan:"), "{out}");
+        assert!(out.contains("1 switched"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! Live cluster health: which GPUs are dead or slowed, and which device
+//! meshes survive.
+//!
+//! The re-planning loop (see `real-runtime`) observes faults at runtime and
+//! needs to answer two questions the static [`ClusterSpec`] cannot: *which
+//! meshes are still usable* and *how much slower is a given mesh right now*.
+//! [`ClusterHealth`] annotates the original cluster — GPU ids and the
+//! cluster shape stay stable so timelines, fault clocks, and traces keep
+//! indexing by the same global ids — and derives a *degraded* mesh set by
+//! filtering the §4 enumeration instead of reshaping the cluster.
+
+use crate::mesh::DeviceMesh;
+use crate::spec::ClusterSpec;
+use crate::GpuId;
+use serde::{Deserialize, Serialize};
+
+/// Default estimator penalty factor for a mesh containing a dead GPU: large
+/// enough that the search avoids dead hardware whenever an alternative
+/// exists, finite so a cluster with no clean mesh still ranks options.
+pub const DEAD_PENALTY: f64 = 25.0;
+
+/// Health of one GPU slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuHealth {
+    /// Whether the GPU is considered alive (reachable within the re-plan
+    /// policy's patience window).
+    pub alive: bool,
+    /// Multiplicative slowdown factor (`1.0` = nominal, `2.0` = half speed).
+    pub slowdown: f64,
+}
+
+impl Default for GpuHealth {
+    fn default() -> Self {
+        Self {
+            alive: true,
+            slowdown: 1.0,
+        }
+    }
+}
+
+/// Live health state of a cluster: per-GPU liveness and slowdown factors.
+///
+/// # Examples
+///
+/// Deriving the surviving mesh set after a crash on `gpu3` — every mesh
+/// containing the dead GPU is excluded, and slowed GPUs scale the factor
+/// the estimator applies to calls placed on them:
+///
+/// ```
+/// use real_cluster::{ClusterHealth, ClusterSpec, DeviceMesh, GpuId};
+///
+/// let cluster = ClusterSpec::h100(1);
+/// let mut health = ClusterHealth::healthy(&cluster);
+/// health.mark_dead(GpuId(3));
+/// health.mark_slow(GpuId(6), 2.5);
+///
+/// let surviving = health.surviving_meshes();
+/// assert!(surviving.iter().all(|m| !m.contains(GpuId(3))));
+/// // 15 meshes on one node; 4 contain gpu3 (widths 1, 2, 4 and the node).
+/// assert_eq!(surviving.len(), 11);
+///
+/// let slow = DeviceMesh::sub_node(&cluster, 0, 6, 1).unwrap();
+/// assert_eq!(health.mesh_factor(&slow), 2.5);
+/// let clean = DeviceMesh::sub_node(&cluster, 0, 0, 2).unwrap();
+/// assert_eq!(health.mesh_factor(&clean), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterHealth {
+    cluster: ClusterSpec,
+    gpus: Vec<GpuHealth>,
+    dead_penalty: f64,
+}
+
+impl ClusterHealth {
+    /// An all-alive, nominal-speed view of `cluster`.
+    pub fn healthy(cluster: &ClusterSpec) -> Self {
+        Self {
+            cluster: cluster.clone(),
+            gpus: vec![GpuHealth::default(); cluster.total_gpus() as usize],
+            dead_penalty: DEAD_PENALTY,
+        }
+    }
+
+    /// Marks a GPU dead. Out-of-range ids are ignored.
+    pub fn mark_dead(&mut self, gpu: GpuId) {
+        if let Some(g) = self.gpus.get_mut(gpu.0 as usize) {
+            g.alive = false;
+        }
+    }
+
+    /// Records a slowdown factor for a GPU (max-combined with any existing
+    /// factor; factors below 1.0 are clamped to nominal). Out-of-range ids
+    /// are ignored.
+    pub fn mark_slow(&mut self, gpu: GpuId, factor: f64) {
+        if let Some(g) = self.gpus.get_mut(gpu.0 as usize) {
+            g.slowdown = g.slowdown.max(factor.max(1.0));
+        }
+    }
+
+    /// Overrides the estimator penalty applied to meshes with dead GPUs.
+    pub fn with_dead_penalty(mut self, factor: f64) -> Self {
+        self.dead_penalty = factor.max(1.0);
+        self
+    }
+
+    /// Whether any GPU is dead or slowed.
+    pub fn is_degraded(&self) -> bool {
+        self.gpus.iter().any(|g| !g.alive || g.slowdown > 1.0)
+    }
+
+    /// Number of dead GPUs.
+    pub fn n_dead(&self) -> usize {
+        self.gpus.iter().filter(|g| !g.alive).count()
+    }
+
+    /// Number of alive-but-slowed GPUs.
+    pub fn n_slow(&self) -> usize {
+        self.gpus
+            .iter()
+            .filter(|g| g.alive && g.slowdown > 1.0)
+            .count()
+    }
+
+    /// The dead GPU ids in ascending order.
+    pub fn dead_gpus(&self) -> Vec<GpuId> {
+        self.gpus
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.alive)
+            .map(|(i, _)| GpuId(i as u32))
+            .collect()
+    }
+
+    /// Whether every GPU in `mesh` is alive.
+    pub fn mesh_is_healthy(&self, mesh: &DeviceMesh) -> bool {
+        mesh.gpus()
+            .all(|g| self.gpus.get(g.0 as usize).is_none_or(|h| h.alive))
+    }
+
+    /// The §4 mesh enumeration restricted to meshes with no dead GPUs —
+    /// the *degraded* search space a re-plan runs over.
+    pub fn surviving_meshes(&self) -> Vec<DeviceMesh> {
+        DeviceMesh::enumerate(&self.cluster)
+            .into_iter()
+            .filter(|m| self.mesh_is_healthy(m))
+            .collect()
+    }
+
+    /// The slowdown factor the estimator should apply to work placed on
+    /// `mesh`: the max over member GPUs of each GPU's factor, where dead
+    /// GPUs contribute the dead penalty. `1.0` for a fully healthy mesh.
+    pub fn mesh_factor(&self, mesh: &DeviceMesh) -> f64 {
+        mesh.gpus()
+            .map(|g| match self.gpus.get(g.0 as usize) {
+                Some(h) if !h.alive => self.dead_penalty,
+                Some(h) => h.slowdown,
+                None => 1.0,
+            })
+            .fold(1.0, f64::max)
+    }
+
+    /// The underlying (unreshaped) cluster.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_cluster_survives_everything() {
+        let c = ClusterSpec::h100(2);
+        let h = ClusterHealth::healthy(&c);
+        assert!(!h.is_degraded());
+        assert_eq!(h.n_dead(), 0);
+        assert_eq!(h.surviving_meshes().len(), DeviceMesh::enumerate(&c).len());
+        for m in DeviceMesh::enumerate(&c) {
+            assert_eq!(h.mesh_factor(&m), 1.0);
+        }
+    }
+
+    #[test]
+    fn dead_gpu_excludes_containing_meshes() {
+        let c = ClusterSpec::h100(2);
+        let mut h = ClusterHealth::healthy(&c);
+        h.mark_dead(GpuId(0));
+        assert!(h.is_degraded());
+        assert_eq!(h.n_dead(), 1);
+        assert_eq!(h.dead_gpus(), vec![GpuId(0)]);
+        let surviving = h.surviving_meshes();
+        assert!(surviving.iter().all(|m| !m.contains(GpuId(0))));
+        // Node 1 in full survives.
+        assert!(surviving
+            .iter()
+            .any(|m| m.node_start() == 1 && m.n_gpus() == 8));
+        // The full-cluster mesh does not.
+        assert!(!surviving.iter().any(|m| m.n_gpus() == 16));
+    }
+
+    #[test]
+    fn mesh_factor_is_max_over_members() {
+        let c = ClusterSpec::h100(1);
+        let mut h = ClusterHealth::healthy(&c);
+        h.mark_slow(GpuId(1), 1.5);
+        h.mark_slow(GpuId(2), 3.0);
+        let pair = DeviceMesh::sub_node(&c, 0, 0, 2).unwrap(); // gpus 0,1
+        assert_eq!(h.mesh_factor(&pair), 1.5);
+        let quad = DeviceMesh::sub_node(&c, 0, 0, 4).unwrap(); // gpus 0..4
+        assert_eq!(h.mesh_factor(&quad), 3.0);
+    }
+
+    #[test]
+    fn mark_slow_max_combines_and_clamps() {
+        let c = ClusterSpec::h100(1);
+        let mut h = ClusterHealth::healthy(&c);
+        h.mark_slow(GpuId(0), 2.0);
+        h.mark_slow(GpuId(0), 1.2); // lower: keeps 2.0
+        h.mark_slow(GpuId(0), 0.5); // below nominal: clamped
+        let solo = DeviceMesh::sub_node(&c, 0, 0, 1).unwrap();
+        assert_eq!(h.mesh_factor(&solo), 2.0);
+        assert_eq!(h.n_slow(), 1);
+    }
+
+    #[test]
+    fn dead_penalty_applies_and_is_overridable() {
+        let c = ClusterSpec::h100(1);
+        let mut h = ClusterHealth::healthy(&c);
+        h.mark_dead(GpuId(0));
+        let solo = DeviceMesh::sub_node(&c, 0, 0, 1).unwrap();
+        assert_eq!(h.mesh_factor(&solo), DEAD_PENALTY);
+        let h2 = h.clone().with_dead_penalty(100.0);
+        assert_eq!(h2.mesh_factor(&solo), 100.0);
+    }
+
+    #[test]
+    fn out_of_range_marks_are_ignored() {
+        let c = ClusterSpec::h100(1);
+        let mut h = ClusterHealth::healthy(&c);
+        h.mark_dead(GpuId(99));
+        h.mark_slow(GpuId(99), 5.0);
+        assert!(!h.is_degraded());
+    }
+
+    #[test]
+    fn health_round_trips_through_serde() {
+        let c = ClusterSpec::h100(2);
+        let mut h = ClusterHealth::healthy(&c);
+        h.mark_dead(GpuId(3));
+        h.mark_slow(GpuId(5), 2.0);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: ClusterHealth = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+    }
+}

@@ -12,7 +12,9 @@
 //!   size, or whole-node spans) and overlap tests used by both the runtime
 //!   estimator (Algorithm 1) and the runtime engine,
 //! - [`comm`] — α–β cost models for the NCCL-style collectives ReaL issues
-//!   (ring all-reduce/all-gather/reduce-scatter, tree broadcast, P2P).
+//!   (ring all-reduce/all-gather/reduce-scatter, tree broadcast, P2P),
+//! - [`ClusterHealth`] — live per-GPU liveness/slowdown state that derives
+//!   the *surviving* mesh set for mid-run re-planning.
 //!
 //! # Examples
 //!
@@ -26,10 +28,12 @@
 
 pub mod comm;
 pub mod gpu;
+pub mod health;
 pub mod mesh;
 pub mod spec;
 
 pub use comm::CommModel;
 pub use gpu::GpuSpec;
+pub use health::{ClusterHealth, GpuHealth};
 pub use mesh::{DeviceMesh, GpuId};
 pub use spec::ClusterSpec;

@@ -8,7 +8,7 @@ use real_dataflow::{DataflowGraph, ExecutionPlan};
 use real_estimator::Estimator;
 use real_model::ModelSpec;
 use real_profiler::{ProfileConfig, Profiler};
-use real_runtime::{EngineConfig, RunError, RuntimeEngine};
+use real_runtime::{EngineConfig, ReplanPolicy, RunError, RuntimeEngine};
 use real_search::{
     greedy_plan, heuristic_plan, search, ImpossibleCall, McmcConfig, PruneLevel, SearchResult,
     SearchSpace,
@@ -29,6 +29,9 @@ pub struct Experiment {
     /// covered here are profiled on demand. Lets users reuse profiling
     /// statistics across experiments within a model family (§8.2).
     preloaded_profiles: Vec<real_profiler::ProfileDb>,
+    /// Elastic re-planning policy; [`Self::run`] routes through
+    /// [`RuntimeEngine::run_replan`] when set together with a fault plan.
+    replan_policy: Option<ReplanPolicy>,
 }
 
 /// Why automatic planning failed.
@@ -39,7 +42,7 @@ pub enum PlanFailure {
     ImpossibleWorkload(ImpossibleCall),
     /// The search ran but every visited plan exceeded device memory; the
     /// best (infeasible) result is attached for diagnosis.
-    NoFeasiblePlan(SearchResult),
+    NoFeasiblePlan(Box<SearchResult>),
 }
 
 impl std::fmt::Display for PlanFailure {
@@ -79,6 +82,7 @@ impl Experiment {
             prune_level: PruneLevel::Aggressive,
             seed: 1,
             preloaded_profiles: Vec::new(),
+            replan_policy: None,
         }
     }
 
@@ -174,6 +178,21 @@ impl Experiment {
         self
     }
 
+    /// Enables elastic re-planning: when a fault plan is also injected,
+    /// [`Self::run`] executes through [`RuntimeEngine::run_replan`], which
+    /// can switch the run to a freshly searched plan on the surviving GPUs
+    /// when the policy's triggers fire. Without a fault plan the policy is
+    /// inert and runs are byte-identical to plain execution.
+    pub fn with_replan_policy(mut self, policy: ReplanPolicy) -> Self {
+        self.replan_policy = Some(policy);
+        self
+    }
+
+    /// The configured re-plan policy, if any.
+    pub fn replan_policy(&self) -> Option<&ReplanPolicy> {
+        self.replan_policy.as_ref()
+    }
+
     /// The experiment's workflow.
     pub fn graph(&self) -> &DataflowGraph {
         &self.graph
@@ -253,7 +272,7 @@ impl Experiment {
         cfg.seed = self.seed.wrapping_add(cfg.seed);
         let result = search(&est, &space, &cfg);
         if !result.feasible {
-            return Err(PlanFailure::NoFeasiblePlan(result));
+            return Err(PlanFailure::NoFeasiblePlan(Box::new(result)));
         }
         Ok(PlannedExperiment {
             plan: result.best_plan.clone(),
@@ -282,7 +301,7 @@ impl Experiment {
         cfg.seed = self.seed.wrapping_add(cfg.seed);
         let result = real_search::parallel_search(&est, &space, &cfg, n_chains);
         if !result.feasible {
-            return Err(PlanFailure::NoFeasiblePlan(result));
+            return Err(PlanFailure::NoFeasiblePlan(Box::new(result)));
         }
         Ok(PlannedExperiment {
             plan: result.best_plan.clone(),
@@ -319,6 +338,7 @@ impl Experiment {
         // supply predictions, fill them from the §5 estimator so deadlines
         // reflect the planner's expectations rather than just the nominal
         // simulation.
+        let mut prepared: Option<Estimator> = None;
         if engine_config.fault_plan.is_some() && engine_config.predicted_secs.is_empty() {
             let (est, _) = self.prepare();
             engine_config.predicted_secs = self
@@ -331,9 +351,20 @@ impl Experiment {
                     )
                 })
                 .collect();
+            prepared = Some(est);
         }
+        let faulted = engine_config.fault_plan.is_some();
         let engine = RuntimeEngine::new(self.cluster.clone(), self.graph.clone(), engine_config);
-        let run = engine.run(plan, iterations)?;
+        let run = match &self.replan_policy {
+            Some(policy) if faulted => {
+                let est = match prepared {
+                    Some(est) => est,
+                    None => self.prepare().0,
+                };
+                engine.run_replan(plan, iterations, policy, &est)?
+            }
+            _ => engine.run(plan, iterations)?,
+        };
         Ok(ExperimentReport::new(&self.graph, plan.clone(), run))
     }
 

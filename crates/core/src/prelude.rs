@@ -10,7 +10,9 @@
 
 pub use crate::advisor::{recommend, Recommendation};
 pub use crate::{Experiment, ExperimentReport, PlanFailure, PlannedExperiment};
-pub use real_cluster::{ClusterSpec, CommModel, DeviceMesh, GpuId, GpuSpec};
+pub use real_cluster::{
+    ClusterHealth, ClusterSpec, CommModel, DeviceMesh, GpuHealth, GpuId, GpuSpec,
+};
 pub use real_dataflow::algo::{self, RlhfConfig};
 pub use real_dataflow::render::{to_ascii, to_dot};
 pub use real_dataflow::{
@@ -21,11 +23,12 @@ pub use real_model::{CostModel, MemoryModel, ModelSpec, ParallelStrategy};
 pub use real_obs::{EventStream, MetricsRegistry, MetricsSnapshot};
 pub use real_profiler::{ProfileConfig, ProfileDb, Profiler};
 pub use real_runtime::{
-    baselines, EngineConfig, FaultAbort, FaultStats, RequestFault, RunError, RunReport,
-    RuntimeEngine,
+    baselines, EngineConfig, FaultAbort, FaultStats, ReplanEvent, ReplanOutcome, ReplanPolicy,
+    ReplanReason, ReplanStats, RequestFault, RunError, RunReport, RuntimeEngine,
 };
 pub use real_search::{
-    brute_force, compare, greedy_plan, heuristic_plan, parallel_search, search, BruteConfig,
-    McmcConfig, PlanComparison, PruneLevel, SearchResult, SearchSpace,
+    brute_force, compare, greedy_plan, heuristic_plan, parallel_search, resume, search,
+    search_warm, BruteConfig, ChainState, McmcConfig, PlanComparison, PruneLevel, SearchCheckpoint,
+    SearchResult, SearchSpace,
 };
 pub use real_sim::{Category, FaultClock, FaultEvent, FaultPlan, Timelines, Trace};

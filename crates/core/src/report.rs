@@ -74,6 +74,10 @@ impl ExperimentReport {
             out.push_str(&self.run.faults.render_line());
             out.push('\n');
         }
+        if !self.run.replan.is_empty() {
+            out.push_str(&self.run.replan.render_line());
+            out.push('\n');
+        }
         out
     }
 }

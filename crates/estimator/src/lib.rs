@@ -48,7 +48,7 @@ pub mod assemble;
 pub mod augment;
 pub mod maxmem;
 
-use real_cluster::{ClusterSpec, CommModel};
+use real_cluster::{ClusterHealth, ClusterSpec, CommModel};
 use real_dataflow::{CallId, DataflowGraph, ExecutionPlan};
 use real_profiler::ProfileDb;
 use std::collections::HashMap;
@@ -93,6 +93,10 @@ pub struct Estimator {
     /// Communication model from *measured* link parameters.
     comm: CommModel,
     iterations: usize,
+    /// Optional live health overlay: when present, per-call durations are
+    /// scaled by the mesh's slowdown factor so re-plan searches avoid slow
+    /// or dead hardware.
+    health: Option<ClusterHealth>,
 }
 
 impl Estimator {
@@ -128,7 +132,22 @@ impl Estimator {
             profiles: map,
             comm,
             iterations: DEFAULT_ITERATIONS,
+            health: None,
         })
+    }
+
+    /// Overlays live cluster health: per-call durations are multiplied by
+    /// [`ClusterHealth::mesh_factor`] of the call's mesh, so the §5.2 cost
+    /// ranks plans by *degraded* throughput. Memory estimates are
+    /// unaffected.
+    pub fn with_health(mut self, health: ClusterHealth) -> Self {
+        self.health = Some(health);
+        self
+    }
+
+    /// The health overlay, if any.
+    pub fn health(&self) -> Option<&ClusterHealth> {
+        self.health.as_ref()
     }
 
     /// Overrides the number of iterations Algorithm 1 unrolls.
@@ -172,12 +191,16 @@ impl Estimator {
     /// Estimated duration of one call under `assignment` (§5.1 assembly of
     /// profiled per-layer statistics).
     pub fn call_duration(&self, call: CallId, assignment: &real_dataflow::CallAssignment) -> f64 {
-        assemble::call_duration(
+        let d = assemble::call_duration(
             self.graph.call(call),
             assignment,
             self.profile_for(call),
             &self.comm,
-        )
+        );
+        match &self.health {
+            Some(h) => d * h.mesh_factor(&assignment.mesh),
+            None => d,
+        }
     }
 
     /// `TimeCost(G_p)`: the Algorithm 1 makespan of the augmented graph
@@ -351,6 +374,32 @@ mod tests {
             .unwrap()
             .scalar();
         assert_eq!(pops, (graph.n_calls() * est.iterations()) as f64);
+    }
+
+    #[test]
+    fn health_overlay_scales_degraded_plans_only() {
+        use real_cluster::{ClusterHealth, GpuId};
+        let (cluster, graph, est) = setup(1, 64);
+        let plan = symmetric_plan(&cluster, &graph, 1, 8, 1, 4);
+        let base = est.time_cost(&plan);
+
+        // A healthy overlay changes nothing.
+        let healthy = est.clone().with_health(ClusterHealth::healthy(&cluster));
+        assert_eq!(healthy.time_cost(&plan), base);
+
+        // Slowing one member GPU of the (full-cluster) mesh stretches every
+        // call placed on it.
+        let mut h = ClusterHealth::healthy(&cluster);
+        h.mark_slow(GpuId(0), 2.0);
+        let slowed = est.clone().with_health(h);
+        assert!(slowed.time_cost(&plan) > base);
+        for (id, def) in graph.iter() {
+            let _ = def;
+            let a = plan.assignment(id);
+            assert_eq!(slowed.call_duration(id, a), 2.0 * est.call_duration(id, a));
+        }
+        // Memory estimates are unaffected.
+        assert_eq!(slowed.max_mem(&plan), est.max_mem(&plan));
     }
 
     #[test]

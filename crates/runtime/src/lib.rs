@@ -26,6 +26,14 @@
 //! bounded exponential-backoff retries, crash re-dispatch after worker
 //! restart, and degraded-mode accounting ([`report::FaultStats`]).
 //!
+//! On top of the resilient protocol, [`replan`] adds *elastic re-planning*
+//! ([`master::RuntimeEngine::run_replan`]): a [`ReplanPolicy`] watches the
+//! live fault surface, and when a worker looks dead or degradation
+//! persists, the master re-runs the §5.2 MCMC search on the surviving GPUs
+//! and — if a cost/benefit gate approves — switches the run to the new
+//! plan with one reallocation prologue, rolling back if the switch itself
+//! faults.
+//!
 //! # Examples
 //!
 //! ```
@@ -55,10 +63,12 @@ pub mod master;
 pub mod memcheck;
 pub mod obs;
 pub mod realloc;
+pub mod replan;
 pub mod report;
 pub mod workers;
 
 pub use config::EngineConfig;
 pub use master::{RunError, RuntimeEngine};
+pub use replan::{ReplanEvent, ReplanOutcome, ReplanPolicy, ReplanReason, ReplanStats};
 pub use report::{CallTiming, FaultAbort, FaultStats, RequestFault, RunReport};
 pub use workers::{DataLocation, MasterLog, Request, Response, WorkerDirectory};

@@ -21,6 +21,13 @@
 //! instants on the master call lanes, and `runtime/fault_*` counters in the
 //! metrics registry. Fault-free runs emit none of this, keeping their
 //! exports byte-identical to pre-fault builds.
+//!
+//! Runs executed under an elastic re-plan policy
+//! ([`crate::RuntimeEngine::run_replan`]) get one more synthetic process
+//! ([`REPLAN_PID`]) with a decision lane: an instant per trigger evaluation
+//! (labelled `reason: outcome`), a span covering each committed switch's
+//! reallocation prologue, and `runtime/replan_*` counters in the registry.
+//! Runs whose policy never triggered emit none of this either.
 
 use crate::config::EngineConfig;
 use crate::memcheck;
@@ -38,6 +45,9 @@ pub const CALL_SECONDS_BOUNDS: &[f64] = &[
 /// Synthetic process id of the fault-injection lanes in the event stream
 /// (`u32::MAX` is the master worker).
 pub const FAULT_PID: u32 = u32::MAX - 1;
+
+/// Synthetic process id of the re-plan decision lane in the event stream.
+pub const REPLAN_PID: u32 = u32::MAX - 2;
 
 /// Lane tid offset separating node-link lanes from per-GPU lanes within the
 /// fault process.
@@ -74,11 +84,13 @@ pub fn build_event_stream(
         .sum();
     let fault_extra = config.fault_plan.as_ref().map_or(0, |p| p.events.len() * 3)
         + report.faults.events.len() * 2;
+    let replan_extra = report.replan.events.len() * 3 + 2;
     let capacity = report.trace.events().len() * 4
         + log.requests.len() * 4
         + mem_edges
         + n_gpus
         + fault_extra
+        + replan_extra
         + 64;
     let mut stream = EventStream::with_capacity(capacity);
 
@@ -192,6 +204,52 @@ pub fn build_event_stream(
                 }
             };
             stream.instant(lane, &name, "fault", f.at);
+        }
+    }
+
+    // Re-plan decision lane: one instant per trigger evaluation, plus a
+    // span over each committed switch's reallocation prologue.
+    if !report.replan.events.is_empty() {
+        let lane = LaneId {
+            pid: REPLAN_PID,
+            tid: 0,
+        };
+        stream.set_lane_name(lane, "replan", "decisions");
+        for ev in &report.replan.events {
+            let reason = match ev.reason {
+                crate::replan::ReplanReason::DeadWorker { gpu } => format!("dead-worker@gpu{gpu}"),
+                crate::replan::ReplanReason::Straggler { timeouts } => {
+                    format!("straggler({timeouts} timeouts)")
+                }
+                crate::replan::ReplanReason::DegradedRate { rate } => {
+                    format!("degraded-rate({:.0}%)", rate * 100.0)
+                }
+            };
+            let outcome = match &ev.outcome {
+                crate::replan::ReplanOutcome::Switched {
+                    base_time,
+                    target_time,
+                    switch_secs,
+                    ..
+                } => {
+                    if *switch_secs > 0.0 {
+                        stream.span(
+                            lane,
+                            "switch prologue",
+                            "replan",
+                            ev.at,
+                            ev.at + switch_secs,
+                        );
+                    }
+                    format!("switched x{:.2}", base_time / target_time)
+                }
+                crate::replan::ReplanOutcome::GateRejected { .. } => "gate-rejected".to_string(),
+                crate::replan::ReplanOutcome::SwitchFaulted { gpu, .. } => {
+                    format!("switch-faulted@gpu{gpu}")
+                }
+                crate::replan::ReplanOutcome::NoSurvivingPlan => "no-surviving-plan".to_string(),
+            };
+            stream.instant(lane, &format!("{reason}: {outcome}"), "replan", ev.at);
         }
     }
 
@@ -311,6 +369,23 @@ pub fn run_metrics(cluster: &ClusterSpec, report: &RunReport) -> MetricsRegistry
         );
         m.gauge_set("runtime/fault_lost_gpu_seconds", &[], f.lost_gpu_seconds);
         m.gauge_set("runtime/fault_backoff_seconds", &[], f.backoff_seconds);
+    }
+    let r = &report.replan;
+    if !r.is_empty() {
+        m.counter_add("runtime/replan_evaluations", &[], r.evaluations as f64);
+        m.counter_add("runtime/replan_switches", &[], r.switches as f64);
+        m.counter_add(
+            "runtime/replan_gate_rejections",
+            &[],
+            r.gate_rejections as f64,
+        );
+        m.counter_add(
+            "runtime/replan_aborted_switches",
+            &[],
+            r.aborted_switches as f64,
+        );
+        m.counter_add("runtime/replan_no_plan", &[], r.no_plan as f64);
+        m.gauge_set("runtime/replan_switch_seconds", &[], r.switch_seconds);
     }
     m
 }
@@ -466,13 +541,74 @@ mod tests {
     fn fault_free_run_emits_no_fault_surface() {
         let (cluster, graph, plan, config, report) = run();
         assert!(report.faults.is_empty());
+        assert!(report.replan.is_empty());
         let stream = build_event_stream(&cluster, &graph, &plan, &config, &report);
         assert!(!stream
             .events()
             .iter()
             .any(|e| matches!(e, StreamEvent::Begin { lane, .. } if lane.pid == FAULT_PID)));
+        assert!(!stream
+            .events()
+            .iter()
+            .any(|e| matches!(e, StreamEvent::Instant { lane, .. } if lane.pid == REPLAN_PID)));
         let m = run_metrics(&cluster, &report);
         assert!(m.get("runtime/fault_injected", &[]).is_none());
+        assert!(m.get("runtime/replan_evaluations", &[]).is_none());
+    }
+
+    #[test]
+    fn replanned_run_surfaces_decision_lane_and_metrics() {
+        let (cluster, graph, plan, config, base) = run();
+        let gen = base
+            .timings
+            .iter()
+            .find(|t| t.call_name == "actor_gen" && t.iter == 0)
+            .unwrap();
+        // A permanent crash mid-generation forces a dead-worker re-plan.
+        let config = EngineConfig {
+            fault_plan: Some(real_sim::FaultPlan::new(9).crash(
+                3,
+                (gen.start + gen.end) / 2.0,
+                1.0e6,
+            )),
+            ..config
+        };
+        let actor = ModelSpec::llama3_7b();
+        let mut profiler = real_profiler::Profiler::new(
+            cluster.clone(),
+            real_profiler::ProfileConfig::quick(),
+            21,
+        );
+        let profiles = vec![profiler.profile(&actor), profiler.profile(&actor.critic())];
+        let est = real_estimator::Estimator::new(cluster.clone(), graph.clone(), profiles).unwrap();
+        let policy = crate::replan::ReplanPolicy::new().with_search_steps(300);
+        let engine = RuntimeEngine::new(cluster.clone(), graph.clone(), config.clone());
+        let report = engine.run_replan(&plan, 2, &policy, &est).unwrap();
+        assert!(report.replan.switches >= 1, "{:?}", report.replan);
+
+        let stream = build_event_stream(&cluster, &graph, &plan, &config, &report);
+        stream.check_invariants().expect("balanced stream");
+        assert_eq!(stream.dropped(), 0, "capacity estimate must hold");
+        assert!(stream
+            .thread_names()
+            .any(|(pid, _, name)| pid == REPLAN_PID && name == "decisions"));
+        let decisions = stream
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(e,
+                    StreamEvent::Instant { lane, category, .. }
+                        if lane.pid == REPLAN_PID && category == "replan")
+            })
+            .count();
+        assert_eq!(decisions, report.replan.events.len());
+
+        let m = run_metrics(&cluster, &report);
+        assert!(m.get("runtime/replan_evaluations", &[]).unwrap().scalar() >= 1.0);
+        assert_eq!(
+            m.get("runtime/replan_switches", &[]).unwrap().scalar(),
+            report.replan.switches as f64
+        );
     }
 
     #[test]

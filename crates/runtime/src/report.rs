@@ -134,6 +134,9 @@ pub struct RunReport {
     pub master_log: crate::workers::MasterLog,
     /// Fault-injection accounting (empty for fault-free runs).
     pub faults: FaultStats,
+    /// Elastic re-planning accounting (empty unless a re-plan policy was
+    /// active and triggered).
+    pub replan: crate::replan::ReplanStats,
 }
 
 impl RunReport {
@@ -240,6 +243,7 @@ mod tests {
             trace: Trace::disabled(),
             master_log: crate::workers::MasterLog::default(),
             faults: FaultStats::default(),
+            replan: crate::replan::ReplanStats::default(),
         }
     }
 

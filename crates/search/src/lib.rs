@@ -12,9 +12,14 @@
 //!   `P(p) ∝ exp(-β · cost(G_p))`, plus a multi-chain parallel driver (the
 //!   paper's noted multi-core extension),
 //! - [`brute`] — branch-and-bound exhaustive search over the same pruned
-//!   space, used as the optimality reference of Fig. 15.
+//!   space, used as the optimality reference of Fig. 15,
+//! - [`checkpoint`] — serde checkpoint/restore of the MCMC chain state
+//!   (incumbent, best, RNG position, step count) plus projection of an
+//!   incumbent plan onto a shrunken space, powering warm-started mid-run
+//!   re-planning (`search_warm` / `resume`).
 
 pub mod brute;
+pub mod checkpoint;
 pub mod explain;
 pub mod greedy;
 pub mod heuristic;
@@ -22,8 +27,9 @@ pub mod mcmc;
 pub mod space;
 
 pub use brute::{brute_force, BruteConfig};
+pub use checkpoint::{project_onto, ChainState, SearchCheckpoint};
 pub use explain::{compare, CallDiff, PlanComparison};
 pub use greedy::greedy_plan;
 pub use heuristic::heuristic_plan;
-pub use mcmc::{parallel_search, search, McmcConfig, SearchResult};
+pub use mcmc::{parallel_search, resume, search, search_warm, McmcConfig, SearchResult};
 pub use space::{ImpossibleCall, PruneLevel, SearchSpace};

@@ -16,6 +16,7 @@
 //! the global best — the multi-core extension the paper mentions as future
 //! work.
 
+use crate::checkpoint::{project_onto, ChainState, SearchCheckpoint};
 use crate::greedy::greedy_plan;
 use crate::space::SearchSpace;
 use real_dataflow::{CallId, ExecutionPlan};
@@ -79,6 +80,10 @@ pub struct SearchResult {
     /// the `search/steps` / `search/accepted` / `search/oom_penalty_hits`
     /// counters plus the `search/acceptance_rate` gauge.
     pub telemetry: MetricsRegistry,
+    /// Resumable chain state, captured at the end of the chain loop (the
+    /// polish refines only `best_plan`). Serialize via
+    /// [`SearchResult::checkpoint`] to continue this search later.
+    pub chain: ChainState,
 }
 
 impl SearchResult {
@@ -99,15 +104,99 @@ impl SearchResult {
             _ => 1.0,
         }
     }
+
+    /// Packages the resumable chain state and improvement trace for
+    /// [`SearchCheckpoint::save`].
+    pub fn checkpoint(&self) -> SearchCheckpoint {
+        SearchCheckpoint {
+            chain: self.chain.clone(),
+            trace: self.trace.clone(),
+        }
+    }
+}
+
+/// Where a chain starts from.
+enum ChainStart<'a> {
+    /// The greedy initial plan (the paper's §5.2 setup).
+    Greedy,
+    /// A caller-supplied plan, e.g. an incumbent projected onto a shrunken
+    /// space — the warm start a re-plan uses.
+    Warm(&'a ExecutionPlan),
+    /// A saved chain: restored RNG position, step count, incumbent and
+    /// best. Costs are re-evaluated under the *current* estimator, so a
+    /// resume under a degraded-health estimator re-ranks correctly.
+    Resume(&'a SearchCheckpoint),
 }
 
 /// Runs one Metropolis–Hastings chain from the greedy initial plan.
 pub fn search(est: &Estimator, space: &SearchSpace, cfg: &McmcConfig) -> SearchResult {
+    run_chain(est, space, cfg, ChainStart::Greedy)
+}
+
+/// Runs one chain warm-started from `incumbent`, first projected onto
+/// `space` via [`project_onto`] (assignments on vanished meshes are mapped
+/// to their nearest surviving option). Used by the re-plan loop, where the
+/// incumbent is the plan that was executing when a fault hit.
+pub fn search_warm(
+    est: &Estimator,
+    space: &SearchSpace,
+    cfg: &McmcConfig,
+    incumbent: &ExecutionPlan,
+) -> SearchResult {
+    let start = project_onto(incumbent, est, space);
+    run_chain(est, space, cfg, ChainStart::Warm(&start))
+}
+
+/// Resumes a checkpointed chain: the RNG position, step count, incumbent,
+/// and best are restored, then the chain continues while `steps <
+/// cfg.max_steps`. The annealing schedule follows the *new* budget, so a
+/// resumed chain is not bit-equal to an uninterrupted longer run unless the
+/// budgets match; it is, however, fully deterministic given `(checkpoint,
+/// cfg)`.
+pub fn resume(
+    est: &Estimator,
+    space: &SearchSpace,
+    cfg: &McmcConfig,
+    checkpoint: &SearchCheckpoint,
+) -> SearchResult {
+    run_chain(est, space, cfg, ChainStart::Resume(checkpoint))
+}
+
+fn run_chain(
+    est: &Estimator,
+    space: &SearchSpace,
+    cfg: &McmcConfig,
+    start_from: ChainStart,
+) -> SearchResult {
     let start = Instant::now();
-    let mut rng = DeterministicRng::from_seed(cfg.seed).derive("mcmc");
     let n_calls = space.n_calls();
 
-    let mut current = greedy_plan(est, space);
+    let (mut rng, mut current, mut steps, mut accepted, prior_best, mut trace) = match start_from {
+        ChainStart::Greedy => (
+            DeterministicRng::from_seed(cfg.seed).derive("mcmc"),
+            greedy_plan(est, space),
+            0,
+            0,
+            None,
+            Vec::new(),
+        ),
+        ChainStart::Warm(plan) => (
+            DeterministicRng::from_seed(cfg.seed).derive("mcmc"),
+            plan.clone(),
+            0,
+            0,
+            None,
+            Vec::new(),
+        ),
+        ChainStart::Resume(ckpt) => (
+            DeterministicRng::from_state(ckpt.chain.rng),
+            ckpt.chain.incumbent.clone(),
+            ckpt.chain.steps,
+            ckpt.chain.accepted,
+            Some(ckpt.chain.best.clone()),
+            ckpt.trace.clone(),
+        ),
+    };
     let mut current_cost = est.cost(&current);
 
     let chain = cfg.seed.to_string();
@@ -117,15 +206,17 @@ pub fn search(est: &Estimator, space: &SearchSpace, cfg: &McmcConfig) -> SearchR
     // The penalized §5.2 cost already orders infeasible plans after
     // feasible ones (×α), so tracking the best by penalized cost needs just
     // one estimator call per step.
-    let mut best_plan = current.clone();
-    let mut best_cost = current_cost;
-    let mut trace = Vec::new();
-    if cfg.record_trace {
+    let (mut best_plan, mut best_cost) = match prior_best {
+        Some(best) => {
+            let cost = est.cost(&best);
+            (best, cost)
+        }
+        None => (current.clone(), current_cost),
+    };
+    if cfg.record_trace && trace.is_empty() {
         trace.push((0.0, est.time_cost(&best_plan)));
     }
 
-    let mut steps = 0;
-    let mut accepted = 0;
     while steps < cfg.max_steps && start.elapsed() < cfg.time_limit {
         steps += 1;
         // Propose: re-draw one call's assignment uniformly from its options.
@@ -176,6 +267,21 @@ pub fn search(est: &Estimator, space: &SearchSpace, cfg: &McmcConfig) -> SearchR
             current_cost,
         );
     }
+
+    // Capture the resumable chain state *before* the polish: the polish
+    // only refines the returned best plan, so a resume re-enters the chain
+    // exactly where the sampler stopped.
+    let chain_state = ChainState {
+        seed: cfg.seed,
+        max_steps: cfg.max_steps,
+        incumbent: current.clone(),
+        incumbent_cost: current_cost,
+        best: best_plan.clone(),
+        best_cost,
+        rng: rng.state(),
+        steps,
+        accepted,
+    };
 
     // Coordinate-descent polish: sweep the calls, replacing each assignment
     // with its best alternative while the others stay fixed. Converges to a
@@ -229,6 +335,7 @@ pub fn search(est: &Estimator, space: &SearchSpace, cfg: &McmcConfig) -> SearchR
         accepted,
         trace,
         telemetry,
+        chain: chain_state,
     }
 }
 

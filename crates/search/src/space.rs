@@ -84,7 +84,23 @@ impl SearchSpace {
         graph: &DataflowGraph,
         level: PruneLevel,
     ) -> Result<Self, ImpossibleCall> {
-        let meshes = DeviceMesh::enumerate(cluster);
+        Self::try_build_on(cluster, graph, level, &DeviceMesh::enumerate(cluster))
+    }
+
+    /// [`Self::try_build`] restricted to an explicit mesh set — the re-plan
+    /// path passes `ClusterHealth::surviving_meshes` here so the search
+    /// never places a call on dead hardware.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImpossibleCall`] naming the first call with no valid
+    /// option over `meshes`.
+    pub fn try_build_on(
+        cluster: &ClusterSpec,
+        graph: &DataflowGraph,
+        level: PruneLevel,
+        meshes: &[DeviceMesh],
+    ) -> Result<Self, ImpossibleCall> {
         let capacity = cluster.gpu.mem_capacity;
         let mut options: Vec<Vec<CallAssignment>> = Vec::with_capacity(graph.n_calls());
 
@@ -95,7 +111,7 @@ impl SearchSpace {
             let batch = call.call_type.batch();
             let mut opts = Vec::new();
 
-            for &mesh in &meshes {
+            for &mesh in meshes {
                 let n = mesh.n_gpus();
                 let max_tp = match level {
                     PruneLevel::Light => model.max_tp().min(u64::from(n)) as u32,
@@ -309,6 +325,43 @@ mod tests {
             // Scored by TP: kept options have the smallest TP degrees.
             assert!(small.options(call).iter().all(|a| a.strategy.tp() <= 2));
         }
+    }
+
+    #[test]
+    fn restricted_mesh_set_confines_every_option() {
+        use real_cluster::{ClusterHealth, GpuId};
+        let cluster = ClusterSpec::h100(2);
+        let g = graph_7b(512);
+        let mut health = ClusterHealth::healthy(&cluster);
+        health.mark_dead(GpuId(0)); // kills node 0's slices and all spans over it
+        let surviving = health.surviving_meshes();
+        let space =
+            SearchSpace::try_build_on(&cluster, &g, PruneLevel::Moderate, &surviving).unwrap();
+        for call in 0..space.n_calls() {
+            assert!(!space.options(call).is_empty());
+            for a in space.options(call) {
+                assert!(!a.mesh.contains(GpuId(0)), "option on dead gpu: {}", a.mesh);
+            }
+        }
+        // The full enumeration and the restricted build agree when the
+        // restricted set is the full set.
+        let full = SearchSpace::try_build(&cluster, &g, PruneLevel::Moderate).unwrap();
+        let again = SearchSpace::try_build_on(
+            &cluster,
+            &g,
+            PruneLevel::Moderate,
+            &DeviceMesh::enumerate(&cluster),
+        )
+        .unwrap();
+        assert_eq!(full.total_options(), again.total_options());
+    }
+
+    #[test]
+    fn empty_mesh_set_is_impossible() {
+        let cluster = ClusterSpec::h100(1);
+        let err =
+            SearchSpace::try_build_on(&cluster, &graph_7b(64), PruneLevel::Light, &[]).unwrap_err();
+        assert!(!err.call_name.is_empty());
     }
 
     #[test]

@@ -485,6 +485,22 @@ impl FaultClock {
             .flat_map(|&g| self.down[g].iter().map(|&(_, b)| b))
             .fold(0.0, f64::max)
     }
+
+    /// The maximum slowdown factor affecting `gpu` anywhere in `[t0, t1)`,
+    /// `1.0` when no window overlaps. The re-plan policy uses this to tag a
+    /// straggler GPU with the factor a degraded-cluster estimate should
+    /// assume over its look-ahead horizon.
+    pub fn max_slowdown_in(&self, gpu: usize, t0: f64, t1: f64) -> f64 {
+        self.slow
+            .get(gpu)
+            .map(|ws| {
+                ws.iter()
+                    .filter(|w| w.start < t1 && w.end > t0)
+                    .map(|w| w.factor)
+                    .fold(1.0, f64::max)
+            })
+            .unwrap_or(1.0)
+    }
 }
 
 #[cfg(test)]
@@ -557,6 +573,21 @@ mod tests {
         assert_eq!(c.available_from(&[3], 15.0), 15.0);
         assert_eq!(c.quiet_after(&[3]), 15.0);
         assert_eq!(c.quiet_after(&[2]), 0.0);
+    }
+
+    #[test]
+    fn max_slowdown_in_scans_overlapping_windows() {
+        let c = clock(
+            &FaultPlan::new(1)
+                .slowdown(2, 10.0, 20.0, 2.0)
+                .slowdown(2, 15.0, 30.0, 3.5),
+        );
+        assert_eq!(c.max_slowdown_in(2, 0.0, 10.0), 1.0); // before both
+        assert_eq!(c.max_slowdown_in(2, 10.0, 12.0), 2.0); // first only
+        assert_eq!(c.max_slowdown_in(2, 0.0, 100.0), 3.5); // both
+        assert_eq!(c.max_slowdown_in(2, 30.0, 40.0), 1.0); // after both
+        assert_eq!(c.max_slowdown_in(3, 0.0, 100.0), 1.0); // other GPU
+        assert_eq!(c.max_slowdown_in(999, 0.0, 100.0), 1.0); // out of range
     }
 
     #[test]

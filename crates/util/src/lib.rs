@@ -25,5 +25,5 @@ pub mod stats;
 pub mod table;
 pub mod units;
 
-pub use rng::DeterministicRng;
+pub use rng::{DeterministicRng, RngState};
 pub use table::Table;

@@ -8,6 +8,37 @@
 //! parallel MCMC chains) own private streams. The implementation is inlined
 //! (no external `rand` dependency) so the workspace builds offline.
 
+use serde::{Deserialize, Serialize};
+
+/// A serializable position within a [`DeterministicRng`] stream.
+///
+/// Captured with [`DeterministicRng::state`] and restored with
+/// [`DeterministicRng::from_state`], so long-running stochastic processes
+/// (the MCMC search in particular) can checkpoint across processes and
+/// resume drawing the exact same sequence.
+///
+/// # Examples
+///
+/// ```
+/// use real_util::DeterministicRng;
+/// let mut rng = DeterministicRng::from_seed(42);
+/// for _ in 0..37 {
+///     rng.next_u32();
+/// }
+/// let state = rng.state();
+/// let mut resumed = DeterministicRng::from_state(state);
+/// assert_eq!(rng.next_u64(), resumed.next_u64());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RngState {
+    /// The originating seed.
+    pub seed: u64,
+    /// Number of ChaCha8 blocks generated so far.
+    pub blocks: u64,
+    /// Read cursor into the buffered block (`16` = exhausted / none yet).
+    pub cursor: u8,
+}
+
 /// A seedable, portable RNG with labelled sub-stream derivation.
 ///
 /// # Examples
@@ -119,6 +150,33 @@ impl DeterministicRng {
     pub fn uniform(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
+
+    /// Captures the stream position for later [`Self::from_state`] restore.
+    pub fn state(&self) -> RngState {
+        RngState {
+            seed: self.seed,
+            blocks: self.core.counter(),
+            cursor: self.cursor as u8,
+        }
+    }
+
+    /// Reconstructs a generator mid-stream from a captured [`RngState`]: the
+    /// restored generator produces exactly the draws the original would have
+    /// produced next.
+    pub fn from_state(state: RngState) -> Self {
+        let mut rng = Self::from_seed(state.seed);
+        if state.cursor >= 16 {
+            // No buffered block outstanding; next draw refills from `blocks`.
+            rng.core.set_counter(state.blocks);
+        } else {
+            // Re-generate the buffered block (the counter increments back to
+            // `blocks`) and restore the read cursor into it.
+            rng.core.set_counter(state.blocks.wrapping_sub(1));
+            rng.block = rng.core.next_block();
+            rng.cursor = state.cursor as usize;
+        }
+        rng
+    }
 }
 
 /// The ChaCha8 block function (RFC 8439 layout, 8 rounds), keyed from a
@@ -173,6 +231,16 @@ impl ChaCha8Core {
             self.state[13] = self.state[13].wrapping_add(1);
         }
         working
+    }
+
+    /// The 64-bit block counter (number of blocks generated so far).
+    fn counter(&self) -> u64 {
+        (u64::from(self.state[13]) << 32) | u64::from(self.state[12])
+    }
+
+    fn set_counter(&mut self, blocks: u64) {
+        self.state[12] = blocks as u32;
+        self.state[13] = (blocks >> 32) as u32;
     }
 }
 
@@ -282,6 +350,44 @@ mod tests {
             let u = rng.uniform();
             assert!((0.0..1.0).contains(&u));
         }
+    }
+
+    #[test]
+    fn state_restore_resumes_exactly() {
+        // Every cursor position, including mid-block and block boundaries.
+        for draws in [0usize, 1, 7, 15, 16, 17, 31, 32, 33, 100] {
+            let mut rng = DeterministicRng::from_seed(77);
+            for _ in 0..draws {
+                rng.next_u32();
+            }
+            let mut resumed = DeterministicRng::from_state(rng.state());
+            for i in 0..64 {
+                assert_eq!(rng.next_u32(), resumed.next_u32(), "draws={draws} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_state_restores_to_fresh_stream() {
+        let fresh = DeterministicRng::from_seed(9).state();
+        assert_eq!(fresh.blocks, 0);
+        assert_eq!(fresh.cursor, 16);
+        let mut a = DeterministicRng::from_state(fresh);
+        let mut b = DeterministicRng::from_seed(9);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn rng_state_round_trips_through_serde() {
+        let mut rng = DeterministicRng::from_seed(123);
+        rng.next_u64();
+        rng.next_u32();
+        let s = rng.state();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: RngState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        let mut resumed = DeterministicRng::from_state(back);
+        assert_eq!(rng.next_u64(), resumed.next_u64());
     }
 
     #[test]
