@@ -21,3 +21,13 @@ for f in crates/*/src/*.rs; do
         exit 1
     fi
 done
+
+# CLI-drift gate: every `real` subcommand in the dispatch table must be
+# mentioned in README.md, so the README cannot lag behind the binary.
+for cmd in $(sed -n '/^pub fn dispatch/,/^}/s/^ *"\([a-z]*\)" => .*/\1/p' \
+        crates/cli/src/commands.rs); do
+    if ! grep -q "real $cmd" README.md; then
+        echo "docs drift: CLI subcommand 'real $cmd' missing from README.md" >&2
+        exit 1
+    fi
+done

@@ -57,6 +57,7 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "heuristic",
     "explain",
     "replan",
+    "dry-run",
 ];
 
 impl Args {

@@ -3,6 +3,7 @@
 
 use crate::args::{ArgError, Args};
 use real_core::prelude::*;
+use real_sched::{SchedConfig, SchedError, SchedSpec, Scheduler};
 use std::fmt;
 use std::time::Duration;
 
@@ -74,6 +75,8 @@ COMMANDS:
   profile     profile a model family (--out db.json to save it)
   estimate    per-call estimates + memory for a plan, without running it
   advise      sweep cluster sizes 1..--max-nodes, recommend one (§8.4)
+  sched       pack concurrent tenant experiments onto one cluster
+              (--tenants tenants.json; see docs/SCHEDULING.md)
   stats       pretty-print a metrics snapshot JSON (--file metrics.json)
   models      print the Table 1 model configurations
   help        this text
@@ -114,6 +117,17 @@ RUN FLAGS:
                    switch plans mid-run (needs --faults to have any effect)
   --replan-steps N MCMC budget per mid-run re-search          [default 2000]
   --dead-after S   declare a worker dead after S stalled secs [default 120]
+
+SCHED FLAGS:
+  --tenants FILE   tenant-set spec JSON (required; see docs/SCHEDULING.md)
+  --dry-run        print allocations + estimated step times, don't run
+  --seed S         override the spec seed
+  --steps N        per-tenant plan refinement budget        [default 2000]
+  --score-steps N  MCMC budget per candidate allocation     [default 300]
+  --max-stretch X  fairness bound on per-tenant slowdown    [default 4.0]
+  --trace FILE     Chrome trace with one process group per tenant
+  --metrics FILE   sched/* metrics snapshot JSON
+  --json           print the SchedReport as JSON
 ";
 
 /// Builds an [`Experiment`] from common workload flags.
@@ -573,6 +587,50 @@ pub fn cmd_models() -> String {
     t.render()
 }
 
+/// `real sched`: pack the tenants of a `tenants.json` spec onto one
+/// cluster and (unless `--dry-run`) execute them jointly.
+pub fn cmd_sched(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .str_opt("tenants")
+        .ok_or_else(|| CliError::Invalid("sched needs --tenants tenants.json".into()))?;
+    let spec: SchedSpec = serde_json::from_str(&std::fs::read_to_string(path)?)?;
+    let (cluster, tenants) = spec.build().map_err(|e| CliError::Invalid(e.to_string()))?;
+    let config = SchedConfig {
+        seed: args.num_or("seed", spec.seed())?,
+        refine_steps: args.num_or("steps", 2_000u64)?,
+        score_steps: args.num_or("score-steps", 300u64)?,
+        max_stretch: args.num_or("max-stretch", 4.0f64)?,
+        trace_capacity: if args.str_opt("trace").is_some() {
+            500_000
+        } else {
+            0
+        },
+        ..SchedConfig::default()
+    };
+    let scheduler = Scheduler::new(cluster).with_config(config);
+    let sched_err = |e: SchedError| match e {
+        SchedError::Run(run) => CliError::Run(run),
+        other => CliError::Invalid(other.to_string()),
+    };
+    if args.flag("dry-run") {
+        let schedule = scheduler.plan(&tenants).map_err(sched_err)?;
+        return Ok(schedule.render());
+    }
+    let outcome = scheduler.run(&tenants).map_err(sched_err)?;
+    if let Some(path) = args.str_opt("trace") {
+        let stream = real_sched::obs::sched_event_stream(&outcome.schedule, &outcome.reports);
+        std::fs::write(path, real_core::real_obs::chrome::to_chrome_string(&stream))?;
+    }
+    if let Some(path) = args.str_opt("metrics") {
+        let metrics = real_sched::obs::sched_metrics(&outcome.report);
+        std::fs::write(path, serde_json::to_string_pretty(&metrics.snapshot())?)?;
+    }
+    if args.flag("json") {
+        return Ok(serde_json::to_string_pretty(&outcome.report)?);
+    }
+    Ok(outcome.report.render())
+}
+
 /// Dispatches a parsed command line.
 pub fn dispatch(args: &Args) -> Result<String, CliError> {
     match args.command() {
@@ -583,6 +641,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "profile" => cmd_profile(args),
         "estimate" => cmd_estimate(args),
         "advise" => cmd_advise(args),
+        "sched" => cmd_sched(args),
         "stats" => cmd_stats(args),
         "models" => Ok(cmd_models()),
         "help" => Ok(USAGE.to_string()),
@@ -978,5 +1037,97 @@ mod tests {
     fn help_is_printed() {
         let out = dispatch(&parse(&["help"])).unwrap();
         assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn sched_requires_tenants_flag() {
+        let e = cmd_sched(&parse(&["sched"])).unwrap_err();
+        assert!(matches!(e, CliError::Invalid(_)));
+    }
+
+    #[test]
+    fn sched_dry_run_prints_allocations_without_running() {
+        let out = cmd_sched(&parse(&[
+            "sched",
+            "--tenants",
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/tenants.json"),
+            "--dry-run",
+            "--steps",
+            "100",
+            "--score-steps",
+            "150",
+        ]))
+        .unwrap();
+        for tenant in ["prod", "dev", "nightly"] {
+            assert!(out.contains(tenant), "dry-run lists `{tenant}`");
+        }
+        assert!(out.contains("est step (s)"));
+        assert!(out.contains("weighted makespan"));
+    }
+
+    #[test]
+    fn sched_runs_tenants_and_writes_observability() {
+        let dir = std::env::temp_dir().join("real-cli-sched");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("tenants.json");
+        std::fs::write(
+            &spec_path,
+            r#"{
+              "nodes": 2,
+              "seed": 4,
+              "tenants": [
+                {"name": "prod", "algo": "dpo", "actor": "7b", "batch": 64, "priority": 2.0},
+                {"name": "dev",  "algo": "dpo", "actor": "7b", "batch": 32}
+              ]
+            }"#,
+        )
+        .unwrap();
+        let trace_path = dir.join("trace.json");
+        let metrics_path = dir.join("metrics.json");
+        let argv = [
+            "sched",
+            "--tenants",
+            spec_path.to_str().unwrap(),
+            "--steps",
+            "100",
+            "--score-steps",
+            "150",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--metrics",
+            metrics_path.to_str().unwrap(),
+        ];
+        let out = cmd_sched(&parse(&argv)).unwrap();
+        assert!(out.contains("prod") && out.contains("dev"));
+        assert!(out.contains("fairness"));
+
+        // Chrome trace has one process group per tenant.
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&trace).unwrap();
+        let names: Vec<&str> = parsed
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e["name"].as_str() == Some("process_name"))
+            .filter_map(|e| e["args"]["name"].as_str())
+            .collect();
+        assert!(names.contains(&"tenant:prod") && names.contains(&"tenant:dev"));
+
+        // Metrics snapshot carries the sched/* namespace.
+        let snap: MetricsSnapshot =
+            serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        assert!(snap
+            .metrics
+            .iter()
+            .any(|e| e.name == "sched/fairness_index"));
+        assert!(snap.metrics.iter().any(|e| e.name == "sched/stretch"
+            && e.labels.iter().any(|(k, v)| k == "tenant" && v == "prod")));
+
+        // Seeded runs replay: the JSON report is byte-identical.
+        let mut json_argv = vec!["sched", "--tenants", spec_path.to_str().unwrap()];
+        json_argv.extend(["--steps", "100", "--score-steps", "150", "--json"]);
+        let a = cmd_sched(&parse(&json_argv)).unwrap();
+        let b = cmd_sched(&parse(&json_argv)).unwrap();
+        assert_eq!(a, b);
     }
 }

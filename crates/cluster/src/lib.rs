@@ -14,7 +14,9 @@
 //! - [`comm`] — α–β cost models for the NCCL-style collectives ReaL issues
 //!   (ring all-reduce/all-gather/reduce-scatter, tree broadcast, P2P),
 //! - [`ClusterHealth`] — live per-GPU liveness/slowdown state that derives
-//!   the *surviving* mesh set for mid-run re-planning.
+//!   the *surviving* mesh set for mid-run re-planning,
+//! - [`partition`] — allocation-restricted mesh enumeration and disjoint
+//!   mesh-split enumeration for the multi-tenant scheduler.
 //!
 //! # Examples
 //!
@@ -30,6 +32,7 @@ pub mod comm;
 pub mod gpu;
 pub mod health;
 pub mod mesh;
+pub mod partition;
 pub mod spec;
 
 pub use comm::CommModel;

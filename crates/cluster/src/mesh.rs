@@ -258,6 +258,17 @@ impl DeviceMesh {
             && local < self.gpu_start + self.gpu_width
     }
 
+    /// Whether every GPU of `other` is also a GPU of this mesh. Used by the
+    /// multi-tenant partitioner to restrict a tenant's search space to the
+    /// meshes inside its allocation.
+    pub fn contains_mesh(&self, other: &Self) -> bool {
+        debug_assert_eq!(self.gpus_per_node, other.gpus_per_node);
+        other.node_start >= self.node_start
+            && other.node_start + other.node_count <= self.node_start + self.node_count
+            && other.gpu_start >= self.gpu_start
+            && other.gpu_start + other.gpu_width <= self.gpu_start + self.gpu_width
+    }
+
     /// Whether two meshes share at least one GPU. Used by Algorithm 1 to
     /// serialize function calls placed on overlapping resources.
     pub fn overlaps(&self, other: &Self) -> bool {
@@ -374,6 +385,18 @@ mod tests {
         assert!(left.contains(GpuId(3)));
         assert!(!left.contains(GpuId(4)));
         assert!(!left.contains(GpuId(8)));
+    }
+
+    #[test]
+    fn contains_mesh_matches_gpu_set_containment() {
+        let c = cluster2();
+        let meshes = DeviceMesh::enumerate(&c);
+        for a in &meshes {
+            for b in &meshes {
+                let set = b.gpus().all(|g| a.contains(g));
+                assert_eq!(a.contains_mesh(b), set, "{a} contains {b}");
+            }
+        }
     }
 
     #[test]

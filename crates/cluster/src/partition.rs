@@ -1,0 +1,192 @@
+//! Cluster partitioning for multi-tenant scheduling.
+//!
+//! The scheduler in `real-sched` divides one cluster between several tenant
+//! experiments. Each tenant receives an *allocation* — a [`DeviceMesh`] it
+//! owns exclusively — and plans its function calls only on meshes contained
+//! in that allocation. This module provides the two primitives that layer
+//! needs on top of the §4 mesh enumeration:
+//!
+//! - [`meshes_within`] — the enumeration restricted to one allocation
+//!   (mirrors [`crate::ClusterHealth::surviving_meshes`], which restricts by
+//!   liveness instead of ownership),
+//! - [`enumerate_splits`] — every way to pick one candidate allocation per
+//!   tenant such that the picks are pairwise disjoint, deterministically
+//!   capped so the top-level allocation search stays bounded.
+//!
+//! Because §4 meshes are buddy-aligned, two allocations are either disjoint
+//! or nested — so "pairwise non-overlapping" is exactly the partition
+//! property the scheduler needs; no gerrymandered shapes can slip through.
+
+use crate::mesh::DeviceMesh;
+use crate::spec::ClusterSpec;
+use crate::GpuId;
+
+/// The §4 mesh enumeration of `cluster`, restricted to meshes wholly inside
+/// the GPU set of `allocation`.
+///
+/// # Examples
+///
+/// ```
+/// use real_cluster::{partition, ClusterSpec, DeviceMesh};
+///
+/// let cluster = ClusterSpec::h100(2);
+/// let node1 = DeviceMesh::whole_nodes(&cluster, 1, 1).unwrap();
+/// let inside = partition::meshes_within(&cluster, &node1);
+/// // One node yields the usual 15 meshes (14 sub-node slices + itself).
+/// assert_eq!(inside.len(), 15);
+/// assert!(inside.iter().all(|m| node1.contains_mesh(m)));
+/// ```
+pub fn meshes_within(cluster: &ClusterSpec, allocation: &DeviceMesh) -> Vec<DeviceMesh> {
+    DeviceMesh::enumerate(cluster)
+        .into_iter()
+        .filter(|m| allocation.contains_mesh(m))
+        .collect()
+}
+
+/// The §4 mesh enumeration restricted to meshes whose GPUs are all inside
+/// an arbitrary owned GPU set (not necessarily one contiguous mesh) — used
+/// when elastic rebalancing grows a tenant's holdings by whole freed meshes
+/// that need not be adjacent to its original allocation.
+pub fn meshes_within_gpus(cluster: &ClusterSpec, owned: &[GpuId]) -> Vec<DeviceMesh> {
+    let mut mask = vec![false; cluster.total_gpus() as usize];
+    for g in owned {
+        if let Some(slot) = mask.get_mut(g.0 as usize) {
+            *slot = true;
+        }
+    }
+    DeviceMesh::enumerate(cluster)
+        .into_iter()
+        .filter(|m| m.gpus().all(|g| mask[g.0 as usize]))
+        .collect()
+}
+
+/// Enumerates every assignment of one allocation per tenant with pairwise
+/// disjoint picks, where `options[i]` lists tenant `i`'s feasible candidate
+/// allocations.
+///
+/// The depth-first enumeration is deterministic: splits are emitted in
+/// lexicographic order of per-tenant option indices, and at most `cap`
+/// splits are returned (the prefix of that order), so the top-level
+/// allocation search is reproducible and bounded even on large clusters.
+pub fn enumerate_splits(options: &[Vec<DeviceMesh>], cap: usize) -> Vec<Vec<DeviceMesh>> {
+    let mut out = Vec::new();
+    if options.is_empty() || cap == 0 {
+        return out;
+    }
+    let mut picked: Vec<DeviceMesh> = Vec::with_capacity(options.len());
+    dfs(options, cap, &mut picked, &mut out);
+    out
+}
+
+fn dfs(
+    options: &[Vec<DeviceMesh>],
+    cap: usize,
+    picked: &mut Vec<DeviceMesh>,
+    out: &mut Vec<Vec<DeviceMesh>>,
+) {
+    if out.len() >= cap {
+        return;
+    }
+    let depth = picked.len();
+    if depth == options.len() {
+        out.push(picked.clone());
+        return;
+    }
+    for candidate in &options[depth] {
+        if picked.iter().any(|m| m.overlaps(candidate)) {
+            continue;
+        }
+        picked.push(*candidate);
+        dfs(options, cap, picked, out);
+        picked.pop();
+        if out.len() >= cap {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meshes_within_full_is_whole_enumeration() {
+        let c = ClusterSpec::h100(2);
+        let full = DeviceMesh::full(&c);
+        assert_eq!(
+            meshes_within(&c, &full).len(),
+            DeviceMesh::enumerate(&c).len()
+        );
+    }
+
+    #[test]
+    fn meshes_within_sub_node_allocation() {
+        let c = ClusterSpec::h100(1);
+        let half = DeviceMesh::sub_node(&c, 0, 0, 4).unwrap();
+        let inside = meshes_within(&c, &half);
+        // Widths 1 (4), 2 (2), 4 (1) inside gpus 0..4.
+        assert_eq!(inside.len(), 7);
+        assert!(inside.iter().all(|m| half.contains_mesh(m)));
+    }
+
+    #[test]
+    fn meshes_within_gpus_matches_mesh_form_for_contiguous_sets() {
+        let c = ClusterSpec::h100(2);
+        let node0 = DeviceMesh::whole_nodes(&c, 0, 1).unwrap();
+        let gpus: Vec<GpuId> = node0.gpus().collect();
+        assert_eq!(meshes_within_gpus(&c, &gpus), meshes_within(&c, &node0));
+    }
+
+    #[test]
+    fn meshes_within_gpus_spans_disjoint_holdings() {
+        let c = ClusterSpec::h100(4);
+        // Own nodes 0 and 2 (not buddy-adjacent): each node's 15 meshes
+        // qualify, but no mesh spans both.
+        let mut gpus: Vec<GpuId> = DeviceMesh::whole_nodes(&c, 0, 1).unwrap().gpus().collect();
+        gpus.extend(DeviceMesh::whole_nodes(&c, 2, 1).unwrap().gpus());
+        let inside = meshes_within_gpus(&c, &gpus);
+        assert_eq!(inside.len(), 30);
+        assert!(inside.iter().all(|m| m.n_nodes() == 1));
+    }
+
+    #[test]
+    fn enumerate_splits_two_tenants_two_nodes() {
+        let c = ClusterSpec::h100(2);
+        let node0 = DeviceMesh::whole_nodes(&c, 0, 1).unwrap();
+        let node1 = DeviceMesh::whole_nodes(&c, 1, 1).unwrap();
+        let options = vec![vec![node0, node1], vec![node0, node1]];
+        let splits = enumerate_splits(&options, 1 << 20);
+        assert_eq!(splits, vec![vec![node0, node1], vec![node1, node0]]);
+    }
+
+    #[test]
+    fn enumerate_splits_cap_is_deterministic_prefix() {
+        let c = ClusterSpec::h100(4);
+        let per_node: Vec<DeviceMesh> = (0..4)
+            .map(|n| DeviceMesh::whole_nodes(&c, n, 1).unwrap())
+            .collect();
+        let options = vec![per_node.clone(), per_node.clone(), per_node.clone()];
+        let all = enumerate_splits(&options, usize::MAX);
+        assert_eq!(all.len(), 24); // 4 * 3 * 2 ordered disjoint picks
+        let capped = enumerate_splits(&options, 5);
+        assert_eq!(capped, all[..5].to_vec());
+    }
+
+    #[test]
+    fn enumerate_splits_infeasible_overlap_yields_nothing() {
+        let c = ClusterSpec::h100(1);
+        let full = DeviceMesh::full(&c);
+        let options = vec![vec![full], vec![full]];
+        assert!(enumerate_splits(&options, 100).is_empty());
+    }
+
+    #[test]
+    fn enumerate_splits_empty_inputs() {
+        assert!(enumerate_splits(&[], 10).is_empty());
+        let c = ClusterSpec::h100(1);
+        let full = DeviceMesh::full(&c);
+        assert!(enumerate_splits(&[vec![full]], 0).is_empty());
+        // A tenant with no feasible option kills every split.
+        assert!(enumerate_splits(&[vec![full], vec![]], 10).is_empty());
+    }
+}

@@ -43,10 +43,12 @@ pub mod advisor;
 pub mod experiment;
 pub mod prelude;
 pub mod report;
+pub mod tenant;
 
 pub use advisor::{recommend, Recommendation, SizePoint};
 pub use experiment::{Experiment, PlanFailure, PlannedExperiment};
 pub use report::ExperimentReport;
+pub use tenant::Tenant;
 
 // Re-export the component crates so downstream users need one dependency.
 pub use real_cluster;

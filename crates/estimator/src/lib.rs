@@ -265,6 +265,46 @@ impl Estimator {
     pub fn static_mem_utilization(&self, plan: &ExecutionPlan) -> f64 {
         maxmem::static_utilization(&self.cluster, &self.graph, plan)
     }
+
+    /// Costs a plan *as an allocation candidate* for the multi-tenant
+    /// scheduler: the steady-state step time, whether it fits device memory,
+    /// and whether every call's mesh stays inside `allocation` — the
+    /// containment check the top-level allocation search uses to reject
+    /// plans that leak onto a co-tenant's GPUs.
+    pub fn allocation_cost(
+        &self,
+        plan: &ExecutionPlan,
+        allocation: &real_cluster::DeviceMesh,
+    ) -> AllocationCost {
+        let contained = self
+            .graph
+            .iter()
+            .all(|(id, _)| allocation.contains_mesh(&plan.assignment(id).mesh));
+        AllocationCost {
+            step_secs: self.time_cost(plan),
+            mem_ok: self.mem_ok(plan),
+            contained,
+        }
+    }
+}
+
+/// Per-allocation cost summary returned by [`Estimator::allocation_cost`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllocationCost {
+    /// Estimated steady-state per-iteration time of the plan (seconds).
+    pub step_secs: f64,
+    /// Whether the plan's peak memory fits device capacity.
+    pub mem_ok: bool,
+    /// Whether every call's mesh is contained in the candidate allocation.
+    pub contained: bool,
+}
+
+impl AllocationCost {
+    /// Whether the candidate is usable: fits memory and stays inside its
+    /// allocation.
+    pub fn feasible(&self) -> bool {
+        self.mem_ok && self.contained
+    }
 }
 
 #[cfg(test)]
@@ -330,6 +370,21 @@ mod tests {
         assert!(!est.mem_ok(&bad), "bad plan should OOM");
         assert!(est.cost(&bad) > est.time_cost(&bad) * 100.0);
         assert_eq!(est.cost(&good), est.time_cost(&good));
+    }
+
+    #[test]
+    fn allocation_cost_checks_containment_and_memory() {
+        let (cluster, graph, est) = setup(2, 64);
+        let plan = symmetric_plan(&cluster, &graph, 2, 8, 1, 4);
+        let full = DeviceMesh::full(&cluster);
+        let cost = est.allocation_cost(&plan, &full);
+        assert!(cost.feasible());
+        assert_eq!(cost.step_secs, est.time_cost(&plan));
+        // The same full-cluster plan leaks out of a one-node allocation.
+        let node0 = DeviceMesh::whole_nodes(&cluster, 0, 1).unwrap();
+        let leaked = est.allocation_cost(&plan, &node0);
+        assert!(!leaked.contained && !leaked.feasible());
+        assert!(leaked.mem_ok);
     }
 
     #[test]

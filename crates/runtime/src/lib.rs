@@ -34,6 +34,12 @@
 //! plan with one reallocation prologue, rolling back if the switch itself
 //! faults.
 //!
+//! [`multi`] lifts the master loop to several tenants on one shared
+//! cluster ([`multi::run_multi`], also exported as `master::run_multi`):
+//! round-robin iteration interleaving on the shared timelines, per-tenant
+//! fault domains and RNG substreams, and elastic growth that offers freed
+//! GPUs to the highest-stretch surviving tenant through the re-plan gate.
+//!
 //! # Examples
 //!
 //! ```
@@ -61,6 +67,7 @@ pub mod exec;
 pub mod layout;
 pub mod master;
 pub mod memcheck;
+pub mod multi;
 pub mod obs;
 pub mod realloc;
 pub mod replan;
@@ -69,6 +76,7 @@ pub mod workers;
 
 pub use config::EngineConfig;
 pub use master::{RunError, RuntimeEngine};
+pub use multi::{run_multi, TenantElastic, TenantRun};
 pub use replan::{ReplanEvent, ReplanOutcome, ReplanPolicy, ReplanReason, ReplanStats};
 pub use report::{CallTiming, FaultAbort, FaultStats, RequestFault, RunReport};
 pub use workers::{DataLocation, MasterLog, Request, Response, WorkerDirectory};

@@ -72,6 +72,8 @@ impl fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
+pub use crate::multi::{run_multi, TenantElastic, TenantRun};
+
 /// The runtime engine bound to one cluster and workflow.
 #[derive(Debug, Clone)]
 pub struct RuntimeEngine {
@@ -342,9 +344,11 @@ impl RuntimeEngine {
     /// module docs. Always returns a completion time: after
     /// `max_retries` failed attempts the final attempt runs in degraded
     /// mode (past the schedule's last crash, checks disabled), so the loop
-    /// terminates even under a hostile schedule.
+    /// terminates even under a hostile schedule. Crate-visible so the
+    /// multi-tenant loop ([`run_multi`]) dispatches through the same
+    /// protocol.
     #[allow(clippy::too_many_arguments)]
-    fn dispatch_resilient(
+    pub(crate) fn dispatch_resilient(
         &self,
         clock: &FaultClock,
         cost: &CostModel,

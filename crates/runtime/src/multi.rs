@@ -1,0 +1,790 @@
+//! The multi-tenant master loop: several experiments, one virtual cluster.
+//!
+//! [`run_multi`] interleaves N tenant workloads on one shared set of GPU
+//! timelines, round-robin by RLHF iteration. Each tenant brings its own
+//! dataflow graph, execution plan, engine config, and (optionally) fault
+//! plan; the scheduler layer (`real-sched`) is responsible for picking the
+//! per-tenant allocations, this module only executes them.
+//!
+//! # Fault domains
+//!
+//! Tenant isolation is structural, not policed:
+//!
+//! - every random draw a tenant makes comes from its own substream, seeded
+//!   from `(seed, tenant id)` via the `real-util` stream API — adding or
+//!   removing a co-tenant cannot shift another tenant's stream,
+//! - a tenant's fault clock is compiled from its own [`real_sim::FaultPlan`]
+//!   and consulted only while that tenant executes, so a crash in tenant
+//!   A's mesh stretches and retries only A's events,
+//! - traces, master logs, fault statistics, and reports are per-tenant.
+//!
+//! With pairwise-disjoint allocations the tenants never touch the same
+//! timeline entries, so each tenant's report is byte-identical to the same
+//! tenant running alone (test-enforced). Overlapping allocations
+//! (oversubscription) are legal: the shared FIFO timelines serialize the
+//! contending work, which is exactly the time-sharing semantics the
+//! scheduler falls back to — nothing can deadlock because no event ever
+//! waits on a future one.
+//!
+//! # Elastic rebalancing
+//!
+//! When a tenant finishes, its GPUs join a free pool that is offered to the
+//! highest-stretch surviving tenant that opted in ([`TenantRun::elastic`]).
+//! The offer goes through the same gate as mid-run re-planning: warm-started
+//! MCMC over the §4 meshes inside the grown holdings, an estimated-speedup
+//! gate, a reallocation prologue executed under snapshot-rollback, and a
+//! measured cost/benefit gate — a rejected offer leaves the tenant
+//! bit-exactly where it was.
+
+use crate::config::EngineConfig;
+use crate::exec::{execute_call, ExecCtx};
+use crate::master::{RunError, RuntimeEngine};
+use crate::memcheck;
+use crate::realloc::execute_realloc;
+use crate::replan::{ReplanEvent, ReplanOutcome, ReplanPolicy, ReplanReason, ReplanStats};
+use crate::report::{CallTiming, FaultStats, RunReport};
+use crate::workers::{MasterLog, Request, Response};
+use real_cluster::{partition, ClusterSpec, CommModel, GpuId};
+use real_dataflow::{CallAssignment, CallId, DataflowGraph, ExecutionPlan};
+use real_estimator::{maxmem, Estimator};
+use real_model::CostModel;
+use real_search::{compare, search_warm, McmcConfig, SearchSpace};
+use real_sim::{Category, FaultClock, Timelines, Trace};
+use real_util::DeterministicRng;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Elastic-rebalancing opt-in for one tenant: the re-plan gate parameters
+/// and the §5 estimator (for the tenant's graph on the shared cluster) that
+/// prices candidate plans when freed GPUs are offered.
+#[derive(Debug, Clone)]
+pub struct TenantElastic {
+    /// Gate parameters (search budget, speedup/benefit thresholds) — the
+    /// same knobs as mid-run re-planning.
+    pub policy: ReplanPolicy,
+    /// Estimator for this tenant's graph, built on the shared cluster.
+    pub estimator: Estimator,
+}
+
+/// One tenant workload admitted to [`run_multi`].
+#[derive(Debug, Clone)]
+pub struct TenantRun {
+    /// Stable tenant identity; seeds the tenant's RNG substream, so it must
+    /// not depend on the tenant's position in the list.
+    pub id: u64,
+    /// Display name used in reports and traces.
+    pub name: String,
+    /// The tenant's dataflow graph.
+    pub graph: DataflowGraph,
+    /// The tenant's execution plan (all meshes inside its allocation).
+    pub plan: ExecutionPlan,
+    /// Engine configuration (jitter, fault plan, retry policy, …). The
+    /// `seed` field is ignored: tenant streams derive from the `run_multi`
+    /// seed and the tenant id.
+    pub config: EngineConfig,
+    /// RLHF iterations to run.
+    pub iterations: usize,
+    /// The GPUs this tenant owns (its allocation's GPU set).
+    pub allocation: Vec<GpuId>,
+    /// Estimated solo (full-cluster or uncontended) step seconds, used to
+    /// rank tenants by stretch when offering freed capacity. `0.0` disables
+    /// the stretch ranking for this tenant.
+    pub solo_step_secs: f64,
+    /// Elastic-rebalancing opt-in; `None` keeps the tenant's plan and
+    /// holdings fixed for the whole run.
+    pub elastic: Option<TenantElastic>,
+}
+
+/// Per-GPU per-category busy seconds, captured before a tenant's turn.
+fn busy_snapshot(tl: &Timelines) -> Vec<Vec<f64>> {
+    (0..tl.len())
+        .map(|g| Category::ALL.iter().map(|&c| tl.busy(g, c)).collect())
+        .collect()
+}
+
+/// Adds the per-GPU busy deltas since `before` to the tenant's category
+/// accumulators. Untouched GPUs contribute exact zeros, so a tenant's
+/// totals are bitwise independent of co-tenant activity on other GPUs.
+fn accumulate_busy(state: &mut TenantState, tl: &Timelines, before: &[Vec<f64>]) {
+    for (g, row) in before.iter().enumerate() {
+        for (k, &b) in row.iter().enumerate() {
+            state.totals_acc[k] += tl.busy(g, Category::ALL[k]) - b;
+        }
+    }
+}
+
+/// Per-tenant live state of the multi-tenant loop.
+struct TenantState {
+    id: u64,
+    engine: RuntimeEngine,
+    costs: HashMap<String, CostModel>,
+    clock: Option<FaultClock>,
+    rng: DeterministicRng,
+    trace: Trace,
+    master_log: MasterLog,
+    fault_stats: FaultStats,
+    replan_stats: ReplanStats,
+    topo: Vec<CallId>,
+    completion: Vec<Vec<f64>>,
+    timings: Vec<CallTiming>,
+    iter_end: Vec<f64>,
+    param_layout: HashMap<String, (CallAssignment, f64)>,
+    predicted: HashMap<String, f64>,
+    current: ExecutionPlan,
+    owned: Vec<GpuId>,
+    totals_acc: Vec<f64>,
+    mem_peak: u64,
+    static_util: f64,
+    iterations: usize,
+    solo_step_secs: f64,
+    elastic: Option<TenantElastic>,
+    done: bool,
+    total_time: f64,
+}
+
+impl TenantState {
+    /// Mean measured step seconds over the iterations completed so far
+    /// (boundary-to-boundary past the first iteration, matching
+    /// [`crate::RunReport::iter_time`]).
+    fn measured_step(&self, last_iter: usize) -> f64 {
+        if last_iter == 0 {
+            self.iter_end[0]
+        } else {
+            (self.iter_end[last_iter] - self.iter_end[0]) / last_iter as f64
+        }
+    }
+
+    /// Observed stretch: measured step time over the solo estimate; `1.0`
+    /// when no solo estimate was supplied.
+    fn stretch(&self, last_iter: usize) -> f64 {
+        if self.solo_step_secs > 0.0 {
+            self.measured_step(last_iter) / self.solo_step_secs
+        } else {
+            1.0
+        }
+    }
+
+    /// Executes one RLHF iteration of this tenant on the shared timelines.
+    /// Mirrors the inner loop of [`RuntimeEngine::run`], with the live
+    /// parameter-layout map from `run_replan` so the plan may switch
+    /// between iterations (elastic growth).
+    fn exec_iteration(&mut self, tl: &mut Timelines, comm: &CommModel, iter: usize) {
+        let jitter = self.engine.config().jitter_sigma;
+        let rpc = self.engine.config().rpc_latency;
+        let mut executed: Vec<Option<CallAssignment>> = vec![None; self.engine.graph().n_calls()];
+        for pos in 0..self.topo.len() {
+            let call = self.topo[pos];
+            let graph = self.engine.graph();
+            let def = graph.call(call);
+            let a = *self.current.assignment(call);
+            let zero3 = self.engine.config().zero3_models.contains(&def.model_name);
+
+            // Data-dependency readiness (+ transfer when layouts differ).
+            let mut ready: f64 = 0.0;
+            for &dep in graph.deps(call) {
+                let dep_done = self.completion[iter][dep.0];
+                let b = executed[dep.0].expect("deps precede in topo order");
+                let end = if a.mesh == b.mesh && a.strategy == b.strategy {
+                    dep_done
+                } else {
+                    let bytes = graph.call(dep).call_type.total_tokens() as f64 * 8.0;
+                    let per_src = bytes / f64::from(b.strategy.dp());
+                    let within = a.mesh.n_nodes() == 1
+                        && b.mesh.n_nodes() == 1
+                        && a.mesh.node_start() == b.mesh.node_start();
+                    let mut dur =
+                        comm.broadcast(per_src, 2, within) * self.rng.lognormal_factor(jitter);
+                    let gpus: Vec<usize> = a.mesh.gpus().map(|g| g.0 as usize).collect();
+                    if let Some(clock) = self.clock.as_ref() {
+                        let start = gpus
+                            .iter()
+                            .map(|&g| tl.gpu(g).busy_until())
+                            .fold(dep_done, f64::max);
+                        dur = clock.stretched(&gpus, start, dur, true);
+                    }
+                    tl.collective(&gpus, dep_done, dur, Category::Transfer)
+                };
+                ready = ready.max(end);
+            }
+
+            // Parameter availability from the live layout map.
+            if let Some((pa, pdone)) = self.param_layout.get(&def.model_name).copied() {
+                let end = execute_realloc(
+                    tl,
+                    &mut self.trace,
+                    comm,
+                    &def.model,
+                    &pa,
+                    &a,
+                    pdone,
+                    &mut self.rng,
+                    jitter,
+                    self.clock.as_ref(),
+                );
+                ready = ready.max(end);
+            }
+
+            let ready = ready + rpc;
+            self.master_log.requests.push(Request {
+                call,
+                handle: def.call_name.clone(),
+                iter,
+                dispatch_time: ready,
+                data_locations: MasterLog::data_locations(graph, &self.current, call),
+                worker_count: a.mesh.n_gpus(),
+            });
+
+            let end = if let Some(clock) = self.clock.as_ref() {
+                self.engine.dispatch_resilient(
+                    clock,
+                    &self.costs[&def.model.name],
+                    comm,
+                    tl,
+                    &mut self.trace,
+                    &mut self.rng,
+                    zero3,
+                    &a,
+                    def.call_type,
+                    &def.call_name,
+                    self.predicted.get(def.call_name.as_str()).copied(),
+                    ready,
+                    iter,
+                    &mut self.fault_stats,
+                )
+            } else {
+                let mut ctx = ExecCtx {
+                    cost: &self.costs[&def.model.name],
+                    comm,
+                    tl,
+                    trace: &mut self.trace,
+                    rng: &mut self.rng,
+                    cfg: self.engine.config(),
+                    zero3,
+                    faults: None,
+                };
+                execute_call(&mut ctx, &a, def.call_type, ready)
+            };
+            self.master_log.responses.push(Response {
+                call,
+                iter,
+                completed_at: end,
+            });
+            executed[call.0] = Some(a);
+            self.param_layout
+                .insert(self.engine.graph().call(call).model_name.clone(), (a, end));
+            self.completion[iter][call.0] = end;
+            self.iter_end[iter] = self.iter_end[iter].max(end);
+            self.timings.push(CallTiming {
+                call_name: self.engine.graph().call(call).call_name.clone(),
+                iter,
+                start: ready,
+                end,
+            });
+        }
+    }
+
+    /// Offers `pool` (freed GPUs) to this tenant through the re-plan gate.
+    /// Returns `true` when the tenant committed to a grown plan (holdings
+    /// extended by the pool); every other outcome rolls back bit-exactly.
+    fn try_grow(
+        &mut self,
+        tl: &mut Timelines,
+        comm: &CommModel,
+        cluster: &ClusterSpec,
+        pool: &[GpuId],
+        seed: u64,
+        iter: usize,
+    ) -> bool {
+        let Some(el) = self.elastic.clone() else {
+            return false;
+        };
+        if self.replan_stats.switches >= el.policy.max_replans {
+            return false;
+        }
+        let now = self.iter_end[iter];
+        let remaining = (self.iterations - (iter + 1)) as f64;
+        let reason = ReplanReason::FreedCapacity {
+            gpus: pool.len() as u32,
+        };
+        self.replan_stats.evaluations += 1;
+        let record = |stats: &mut ReplanStats, outcome: ReplanOutcome| {
+            stats.events.push(ReplanEvent {
+                at: now,
+                iter,
+                reason,
+                outcome,
+            });
+        };
+
+        let mut owned_grown: Vec<GpuId> = self.owned.iter().chain(pool).copied().collect();
+        owned_grown.sort_unstable();
+        owned_grown.dedup();
+        let meshes = partition::meshes_within_gpus(cluster, &owned_grown);
+        let space =
+            match SearchSpace::try_build_on(cluster, self.engine.graph(), el.policy.prune, &meshes)
+            {
+                Ok(space) => space,
+                Err(_) => {
+                    self.replan_stats.no_plan += 1;
+                    record(&mut self.replan_stats, ReplanOutcome::NoSurvivingPlan);
+                    return false;
+                }
+            };
+        let mut seed_rng = DeterministicRng::from_seed(seed)
+            .derive("tenant")
+            .derive_index(self.id)
+            .derive("rebalance")
+            .derive_index(self.replan_stats.evaluations);
+        let cfg = McmcConfig {
+            beta: el.policy.beta,
+            max_steps: el.policy.search_steps,
+            // Effectively unlimited: a wall-clock cutoff would break
+            // replayability; the step budget bounds the search.
+            time_limit: Duration::from_secs(86_400),
+            seed: seed_rng.next_u64(),
+            record_trace: false,
+        };
+        let result = search_warm(&el.estimator, &space, &cfg, &self.current);
+        let candidate = result.best_plan;
+
+        let config = self.engine.config();
+        let cand_peak = memcheck::max_mem(
+            cluster,
+            self.engine.graph(),
+            &candidate,
+            &config.zero3_models,
+            &config.dist_optim_models,
+        );
+        if !config.skip_mem_check && cand_peak > cluster.gpu.mem_capacity {
+            self.replan_stats.no_plan += 1;
+            record(&mut self.replan_stats, ReplanOutcome::NoSurvivingPlan);
+            return false;
+        }
+
+        let comparison = compare(&el.estimator, &self.current, &candidate);
+        let (base_time, target_time) = (comparison.base_time, comparison.target_time);
+        if target_time >= base_time || base_time / target_time < el.policy.min_speedup {
+            self.replan_stats.gate_rejections += 1;
+            record(
+                &mut self.replan_stats,
+                ReplanOutcome::GateRejected {
+                    base_time,
+                    target_time,
+                    switch_secs: 0.0,
+                },
+            );
+            return false;
+        }
+
+        // Reallocation prologue under snapshot-rollback: move every held
+        // model's parameters to the candidate layout.
+        let jitter = self.engine.config().jitter_sigma;
+        let tl_snap = tl.clone();
+        let rng_snap = self.rng.clone();
+        let cp = self.trace.checkpoint();
+        let mut prologue_end = now;
+        let mut participants: Vec<usize> = Vec::new();
+        let mut moved: Vec<(String, CallAssignment)> = Vec::new();
+        for pos in 0..self.topo.len() {
+            let call = self.topo[pos];
+            let graph = self.engine.graph();
+            let def = graph.call(call);
+            if moved.iter().any(|(m, _)| *m == def.model_name) {
+                continue;
+            }
+            let Some((pa, pdone)) = self.param_layout.get(&def.model_name).copied() else {
+                continue;
+            };
+            let ta = *candidate.assignment(call);
+            if pa == ta {
+                continue;
+            }
+            let end = execute_realloc(
+                tl,
+                &mut self.trace,
+                comm,
+                &def.model,
+                &pa,
+                &ta,
+                pdone.max(now),
+                &mut self.rng,
+                jitter,
+                self.clock.as_ref(),
+            );
+            prologue_end = prologue_end.max(end);
+            participants.extend(pa.mesh.gpus().map(|g| g.0 as usize));
+            participants.extend(ta.mesh.gpus().map(|g| g.0 as usize));
+            moved.push((def.model_name.clone(), ta));
+        }
+        participants.sort_unstable();
+        participants.dedup();
+        let switch_secs = prologue_end - now;
+
+        // Abort only on a fresh crash among participants that were up when
+        // the prologue started (same rule as mid-run re-planning).
+        if let Some(clock) = self.clock.as_ref() {
+            let live: Vec<usize> = participants
+                .iter()
+                .copied()
+                .filter(|&g| clock.available_from(&[g], now) <= now)
+                .collect();
+            if let Some((gpu, at)) = clock.first_crash(&live, now, prologue_end) {
+                *tl = tl_snap;
+                self.rng = rng_snap;
+                self.trace.rewind(cp);
+                self.replan_stats.aborted_switches += 1;
+                record(
+                    &mut self.replan_stats,
+                    ReplanOutcome::SwitchFaulted {
+                        gpu: gpu as u32,
+                        at,
+                    },
+                );
+                return false;
+            }
+        }
+
+        // Cost/benefit gate on the measured switch cost.
+        if (base_time - target_time) * remaining <= el.policy.min_benefit_ratio * switch_secs {
+            *tl = tl_snap;
+            self.rng = rng_snap;
+            self.trace.rewind(cp);
+            self.replan_stats.gate_rejections += 1;
+            record(
+                &mut self.replan_stats,
+                ReplanOutcome::GateRejected {
+                    base_time,
+                    target_time,
+                    switch_secs,
+                },
+            );
+            return false;
+        }
+
+        // Commit: adopt the moved layouts, refresh deadline predictions,
+        // and extend the holdings.
+        for (model, ta) in moved {
+            self.param_layout.insert(model, (ta, prologue_end));
+        }
+        for pos in 0..self.topo.len() {
+            let call = self.topo[pos];
+            let name = self.engine.graph().call(call).call_name.clone();
+            self.predicted.insert(
+                name,
+                el.estimator.call_duration(call, candidate.assignment(call)),
+            );
+        }
+        let n_diffs = comparison.diffs.len();
+        self.owned = owned_grown;
+        self.current = candidate;
+        self.replan_stats.switches += 1;
+        self.replan_stats.switch_seconds += switch_secs;
+        record(
+            &mut self.replan_stats,
+            ReplanOutcome::Switched {
+                base_time,
+                target_time,
+                switch_secs,
+                n_diffs,
+            },
+        );
+        true
+    }
+}
+
+/// Executes several tenant workloads on one shared virtual cluster,
+/// round-robin by RLHF iteration in list order, and returns one
+/// [`RunReport`] per tenant (same order as `tenants`).
+///
+/// See the module docs for the isolation and rebalancing semantics. The
+/// `seed` parameter seeds every tenant's substream together with the
+/// tenant's [`TenantRun::id`]; tenant configs' own `seed` fields are
+/// ignored.
+///
+/// # Errors
+///
+/// Returns [`RunError::OutOfMemory`] when any tenant's initial plan does
+/// not fit device memory (unless that tenant's config sets
+/// `skip_mem_check`). Candidate plans produced by elastic growth are
+/// memory-checked during evaluation instead.
+///
+/// # Panics
+///
+/// Panics if `tenants` is empty, any tenant has zero iterations, or any
+/// plan references GPUs outside `cluster`.
+pub fn run_multi(
+    cluster: &ClusterSpec,
+    tenants: &[TenantRun],
+    seed: u64,
+) -> Result<Vec<RunReport>, RunError> {
+    assert!(!tenants.is_empty(), "must admit at least one tenant");
+    let n_gpus = cluster.total_gpus() as usize;
+    let mut states: Vec<TenantState> = Vec::with_capacity(tenants.len());
+    for t in tenants {
+        assert!(t.iterations > 0, "tenant {} has zero iterations", t.name);
+        let peak = memcheck::max_mem(
+            cluster,
+            &t.graph,
+            &t.plan,
+            &t.config.zero3_models,
+            &t.config.dist_optim_models,
+        );
+        if !t.config.skip_mem_check && peak > cluster.gpu.mem_capacity {
+            return Err(RunError::OutOfMemory {
+                peak,
+                capacity: cluster.gpu.mem_capacity,
+            });
+        }
+        let mut costs: HashMap<String, CostModel> = HashMap::new();
+        for call in t.graph.calls() {
+            costs
+                .entry(call.model.name.clone())
+                .or_insert_with(|| CostModel::new(cluster.clone(), call.model.clone()));
+        }
+        let clock = t
+            .config
+            .fault_plan
+            .as_ref()
+            .map(|p| FaultClock::new(p, n_gpus, cluster.gpus_per_node as usize));
+        let mut fault_stats = FaultStats::default();
+        if let Some(clock) = clock.as_ref() {
+            fault_stats.injected = clock.n_windows();
+        }
+        let trace = if t.config.trace_capacity > 0 {
+            Trace::with_capacity(t.config.trace_capacity)
+        } else {
+            Trace::disabled()
+        };
+        let topo = t.graph.topo_order().expect("validated graphs are acyclic");
+        states.push(TenantState {
+            id: t.id,
+            engine: RuntimeEngine::new(cluster.clone(), t.graph.clone(), t.config.clone()),
+            costs,
+            clock,
+            rng: DeterministicRng::from_seed(seed)
+                .derive("tenant")
+                .derive_index(t.id)
+                .derive("runtime"),
+            trace,
+            master_log: MasterLog::default(),
+            fault_stats,
+            replan_stats: ReplanStats::default(),
+            topo,
+            completion: vec![vec![0.0; t.graph.n_calls()]; t.iterations],
+            timings: Vec::new(),
+            iter_end: vec![0.0; t.iterations],
+            param_layout: HashMap::new(),
+            predicted: t.config.predicted_secs.iter().cloned().collect(),
+            current: t.plan.clone(),
+            owned: t.allocation.clone(),
+            totals_acc: vec![0.0; Category::ALL.len()],
+            mem_peak: peak,
+            static_util: maxmem::static_utilization(cluster, &t.graph, &t.plan),
+            iterations: t.iterations,
+            solo_step_secs: t.solo_step_secs,
+            elastic: t.elastic.clone(),
+            done: false,
+            total_time: 0.0,
+        });
+    }
+
+    let comm = CommModel::new(cluster);
+    let mut tl = Timelines::new(n_gpus);
+    let max_iters = tenants
+        .iter()
+        .map(|t| t.iterations)
+        .max()
+        .expect("non-empty");
+    // The pool last offered (and declined or absorbed); offers repeat only
+    // when the free set changes, so gate rejections don't re-search every
+    // round.
+    let mut last_offered: Vec<GpuId> = Vec::new();
+
+    for iter in 0..max_iters {
+        for state in states.iter_mut() {
+            if state.done {
+                continue;
+            }
+            let before = busy_snapshot(&tl);
+            state.exec_iteration(&mut tl, &comm, iter);
+            accumulate_busy(state, &tl, &before);
+            if iter + 1 == state.iterations {
+                state.done = true;
+                state.total_time = state
+                    .owned
+                    .iter()
+                    .map(|g| tl.gpu(g.0 as usize).busy_until())
+                    .fold(0.0, f64::max);
+            }
+        }
+
+        // Offer freed GPUs (owned by no running tenant) to the
+        // highest-stretch surviving tenant that opted into elastic growth.
+        loop {
+            let mut free = vec![true; n_gpus];
+            for state in states.iter().filter(|s| !s.done) {
+                for g in &state.owned {
+                    if let Some(slot) = free.get_mut(g.0 as usize) {
+                        *slot = false;
+                    }
+                }
+            }
+            let pool: Vec<GpuId> = (0..n_gpus as u32)
+                .map(GpuId)
+                .filter(|g| free[g.0 as usize])
+                .collect();
+            if pool.is_empty() || pool == last_offered {
+                break;
+            }
+            let target = states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.done && s.elastic.is_some() && iter + 1 < s.iterations)
+                .max_by(|(_, a), (_, b)| {
+                    a.stretch(iter)
+                        .partial_cmp(&b.stretch(iter))
+                        .expect("stretch values are finite")
+                })
+                .map(|(i, _)| i);
+            last_offered = pool.clone();
+            let Some(i) = target else {
+                break;
+            };
+            let before = busy_snapshot(&tl);
+            let grew = states[i].try_grow(&mut tl, &comm, cluster, &pool, seed, iter);
+            accumulate_busy(&mut states[i], &tl, &before);
+            if !grew {
+                break;
+            }
+            // Committed: the pool was absorbed; re-derive in case nothing
+            // is left (loop exits on the empty pool).
+        }
+    }
+
+    Ok(states
+        .into_iter()
+        .map(|s| {
+            let busy: f64 = s.totals_acc.iter().sum();
+            let iter_time = if s.iterations > 1 {
+                (s.iter_end[s.iterations - 1] - s.iter_end[0]) / (s.iterations - 1) as f64
+            } else {
+                s.iter_end[0]
+            };
+            RunReport {
+                iterations: s.iterations,
+                total_time: s.total_time,
+                iter_time,
+                timings: s.timings,
+                category_totals: Category::ALL
+                    .iter()
+                    .zip(&s.totals_acc)
+                    .map(|(c, v)| (*c, *v))
+                    .collect(),
+                idle_total: (s.owned.len() as f64 * s.total_time - busy).max(0.0),
+                mem_peak: s.mem_peak,
+                static_utilization: s.static_util,
+                trace: s.trace,
+                master_log: s.master_log,
+                faults: s.fault_stats,
+                replan: s.replan_stats,
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use real_cluster::DeviceMesh;
+    use real_dataflow::algo;
+    use real_model::{ModelSpec, ParallelStrategy};
+
+    fn ppo_graph(batch: u64) -> DataflowGraph {
+        let actor = ModelSpec::llama3_7b();
+        let critic = actor.critic();
+        algo::ppo(&actor, &critic, &algo::RlhfConfig::instruct_gpt(batch))
+    }
+
+    fn tenant_on(
+        cluster: &ClusterSpec,
+        id: u64,
+        node: u32,
+        batch: u64,
+        iterations: usize,
+    ) -> TenantRun {
+        let graph = ppo_graph(batch);
+        let mesh = DeviceMesh::whole_nodes(cluster, node, 1).unwrap();
+        let a = CallAssignment::new(mesh, ParallelStrategy::new(1, 8, 1, 4).unwrap()).unwrap();
+        let plan = ExecutionPlan::new(&graph, cluster, vec![a; graph.n_calls()]).unwrap();
+        TenantRun {
+            id,
+            name: format!("tenant{id}"),
+            graph,
+            plan,
+            config: EngineConfig::deterministic(),
+            iterations,
+            allocation: mesh.gpus().collect(),
+            solo_step_secs: 0.0,
+            elastic: None,
+        }
+    }
+
+    fn assert_reports_eq(a: &RunReport, b: &RunReport) {
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.iter_time, b.iter_time);
+        assert_eq!(a.timings, b.timings);
+        assert_eq!(a.category_totals, b.category_totals);
+        assert_eq!(a.idle_total, b.idle_total);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.trace.events(), b.trace.events());
+    }
+
+    #[test]
+    fn disjoint_cotenant_leaves_report_byte_identical_to_solo() {
+        let cluster = ClusterSpec::h100(2);
+        let t0 = tenant_on(&cluster, 0, 0, 64, 2);
+        let t1 = tenant_on(&cluster, 1, 1, 32, 2);
+        let solo = run_multi(&cluster, &[t0.clone()], 7).unwrap();
+        let both = run_multi(&cluster, &[t0, t1], 7).unwrap();
+        assert_eq!(both.len(), 2);
+        assert_reports_eq(&solo[0], &both[0]);
+    }
+
+    #[test]
+    fn multi_tenant_runs_replay_bit_identically() {
+        let cluster = ClusterSpec::h100(2);
+        let tenants = vec![
+            tenant_on(&cluster, 0, 0, 64, 2),
+            tenant_on(&cluster, 1, 1, 32, 3),
+        ];
+        let a = run_multi(&cluster, &tenants, 11).unwrap();
+        let b = run_multi(&cluster, &tenants, 11).unwrap();
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_reports_eq(ra, rb);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_tenants_time_share_without_deadlock() {
+        let cluster = ClusterSpec::h100(1);
+        // Both tenants on the same (only) node: the FIFO timelines
+        // serialize their iterations.
+        let t0 = tenant_on(&cluster, 0, 0, 32, 2);
+        let t1 = tenant_on(&cluster, 1, 0, 32, 2);
+        let solo_time = run_multi(&cluster, &[t0.clone()], 3).unwrap()[0].total_time;
+        let both = run_multi(&cluster, &[t0, t1], 3).unwrap();
+        assert!(both.iter().all(|r| r.total_time > 0.0));
+        // Shared hardware means each tenant finishes later than alone.
+        assert!(both[0].total_time > solo_time);
+        assert!(both[1].total_time > solo_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero iterations")]
+    fn zero_iteration_tenant_panics() {
+        let cluster = ClusterSpec::h100(1);
+        let mut t = tenant_on(&cluster, 0, 0, 32, 1);
+        t.iterations = 0;
+        let _ = run_multi(&cluster, &[t], 1);
+    }
+}

@@ -224,6 +224,9 @@ pub fn build_event_stream(
                 crate::replan::ReplanReason::DegradedRate { rate } => {
                     format!("degraded-rate({:.0}%)", rate * 100.0)
                 }
+                crate::replan::ReplanReason::FreedCapacity { gpus } => {
+                    format!("freed-capacity({gpus} gpus)")
+                }
             };
             let outcome = match &ev.outcome {
                 crate::replan::ReplanOutcome::Switched {

@@ -179,6 +179,12 @@ pub enum ReplanReason {
         /// Degraded completions / dispatched requests in the iteration.
         rate: f64,
     },
+    /// The multi-tenant scheduler offered freed GPUs (a co-tenant finished
+    /// or shrank) to this tenant.
+    FreedCapacity {
+        /// Number of GPUs offered.
+        gpus: u32,
+    },
 }
 
 /// What a re-plan evaluation decided.

@@ -1,0 +1,39 @@
+//! # real-sched — multi-tenant cluster scheduling
+//!
+//! Packs several concurrent [`Tenant`](real_core::Tenant) experiments onto
+//! one simulated cluster. The paper's planner (§5) optimizes a single
+//! experiment on a dedicated [`DeviceMesh`](real_cluster::DeviceMesh); this
+//! crate lifts that machinery one level up:
+//!
+//! 1. **Allocation search** ([`Scheduler::plan`]): enumerate buddy-aligned
+//!    mesh splits of the cluster ([`real_cluster::partition`]), score each
+//!    candidate split with per-tenant greedy plans on the restricted
+//!    [`SearchSpace`](real_search::SearchSpace), and pick the split
+//!    minimizing the *priority-weighted makespan*
+//!    `Σᵢ priorityᵢ · stepᵢ · iterationsᵢ` subject to a max-stretch
+//!    fairness bound (no tenant may run more than `max_stretch` times
+//!    slower than it would alone on the full cluster). The winning split's
+//!    per-tenant plans are then refined by warm-started MCMC.
+//! 2. **Joint execution** ([`Scheduler::run`]): the refined schedule runs
+//!    under [`real_runtime::run_multi`] — tenant timelines interleave on
+//!    one shared virtual clock, fault domains stay per-tenant, and freed
+//!    capacity flows to the highest-stretch survivor through the elastic
+//!    re-plan gate.
+//!
+//! Oversubscription is handled by construction: when no disjoint split
+//! exists, tenants time-share meshes and the shared FIFO timelines
+//! serialize their kernels (slower, never deadlocked).
+//!
+//! Tenant sets load from a serde spec ([`SchedSpec`], `tenants.json` on the
+//! CLI), and results surface as a [`SchedReport`] (per-tenant stretch,
+//! throughput, Jain fairness index, reallocation counts) plus per-tenant
+//! Chrome-trace process groups and `sched/*` metrics ([`obs`]).
+
+pub mod obs;
+pub mod report;
+pub mod scheduler;
+pub mod spec;
+
+pub use report::{SchedReport, TenantOutcome};
+pub use scheduler::{SchedConfig, SchedError, SchedOutcome, Schedule, Scheduler, TenantPlan};
+pub use spec::{SchedSpec, SpecError, TenantSpec};

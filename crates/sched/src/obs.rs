@@ -1,0 +1,87 @@
+//! Observability for multi-tenant runs: per-tenant Chrome-trace process
+//! groups and the `sched/*` metrics namespace.
+//!
+//! Single-tenant traces map nodes to Chrome processes; with several
+//! tenants sharing one cluster that grouping interleaves unrelated
+//! workloads. [`sched_event_stream`] instead gives every tenant its own
+//! process row (`tenant:<name>`), with one thread lane per GPU the tenant
+//! actually touched — open the export in Perfetto and each tenant reads as
+//! an isolated program, including any time-shared GPUs appearing in two
+//! process groups at disjoint times.
+
+use crate::report::SchedReport;
+use crate::scheduler::Schedule;
+use real_obs::{EventStream, LaneId, MetricsRegistry};
+use real_runtime::RunReport;
+
+/// First Chrome process id used for tenant groups. High enough that node
+/// pids (small integers) and the runtime's synthetic lanes (near
+/// `u32::MAX`) can never collide with a tenant row.
+pub const TENANT_PID_BASE: u32 = 1 << 20;
+
+/// Builds one event stream with a Chrome process group per tenant, spans
+/// taken from each tenant's kernel trace. Tenants whose engine config left
+/// tracing disabled contribute an empty (but named) process group.
+///
+/// # Panics
+///
+/// Panics if `reports` does not parallel `schedule.tenants`.
+pub fn sched_event_stream(schedule: &Schedule, reports: &[RunReport]) -> EventStream {
+    assert_eq!(
+        schedule.tenants.len(),
+        reports.len(),
+        "one report per scheduled tenant"
+    );
+    let total: usize = reports.iter().map(|r| r.trace.events().len()).sum();
+    let mut stream = EventStream::with_capacity(total * 2 + reports.len() * 8 + 16);
+    for (index, (placed, report)) in schedule.tenants.iter().zip(reports).enumerate() {
+        let pid = TENANT_PID_BASE + index as u32;
+        let process = format!("tenant:{}", placed.name);
+        // Name every lane in the tenant's allocation up front so even an
+        // idle or untraced tenant shows its process group.
+        for gpu in placed.allocation.gpus() {
+            let lane = LaneId { pid, tid: gpu.0 };
+            stream.set_lane_name(lane, &process, &format!("{gpu}"));
+        }
+        for ev in report.trace.events() {
+            let lane = LaneId {
+                pid,
+                tid: ev.gpu as u32,
+            };
+            stream.span(lane, ev.label, &ev.category.to_string(), ev.start, ev.end);
+        }
+    }
+    stream
+}
+
+/// `sched/*` metrics for a finished multi-tenant run: aggregate gauges
+/// (tenant count, weighted makespan, fairness index, max stretch) plus
+/// per-tenant labeled stretch/step/total gauges and realloc counters.
+pub fn sched_metrics(report: &SchedReport) -> MetricsRegistry {
+    let mut m = MetricsRegistry::new();
+    m.gauge_set("sched/tenants", &[], report.tenants.len() as f64);
+    m.gauge_set("sched/makespan_seconds", &[], report.makespan_secs);
+    m.gauge_set(
+        "sched/weighted_makespan_seconds",
+        &[],
+        report.weighted_makespan_secs,
+    );
+    m.gauge_set("sched/max_stretch", &[], report.max_stretch);
+    m.gauge_set("sched/fairness_index", &[], report.fairness_index);
+    m.counter_add("sched/reallocs", &[], report.total_reallocs as f64);
+    m.gauge_set(
+        "sched/oversubscribed",
+        &[],
+        if report.oversubscribed { 1.0 } else { 0.0 },
+    );
+    for t in &report.tenants {
+        let labels = [("tenant", t.name.as_str())];
+        m.gauge_set("sched/stretch", &labels, t.stretch);
+        m.gauge_set("sched/step_seconds", &labels, t.measured_step_secs);
+        m.gauge_set("sched/total_seconds", &labels, t.total_secs);
+        m.gauge_set("sched/steps_per_sec", &labels, t.steps_per_sec);
+        m.counter_add("sched/reallocs", &labels, t.reallocs as f64);
+        m.counter_add("sched/faults_injected", &labels, t.faults_injected as f64);
+    }
+    m
+}

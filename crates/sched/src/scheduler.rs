@@ -1,0 +1,706 @@
+//! The top-level allocation search and the joint run driver.
+//!
+//! [`Scheduler::plan`] partitions the cluster between tenants:
+//!
+//! 1. **Candidate generation** — for every §4 buddy-aligned mesh, build the
+//!    tenant's restricted [`SearchSpace`] (assignments confined to meshes
+//!    nested in the candidate allocation) and price it with a short MCMC
+//!    chain under [`Estimator::allocation_cost`]. The chain is deliberately
+//!    short ([`SchedConfig::score_steps`]): the allocation search evaluates
+//!    dozens of (tenant, mesh) pairs and only needs a consistent relative
+//!    ranking plus a memory-feasible plan (the greedy start alone is
+//!    usually memory-infeasible — the §5.2 caveat); the winning split is
+//!    refined with a longer warm-started chain afterwards.
+//! 2. **Split search** — enumerate pairwise-disjoint combinations of the
+//!    candidate meshes ([`partition::enumerate_splits`]) and keep the split
+//!    minimizing priority-weighted makespan `Σᵢ pᵢ·stepᵢ·itersᵢ` among
+//!    those whose worst per-tenant stretch (vs. running alone on the full
+//!    cluster) stays within [`SchedConfig::max_stretch`]. If every split
+//!    violates the bound, the bound is relaxed (recorded in
+//!    [`Schedule::stretch_relaxed`]) rather than rejecting the workload.
+//! 3. **Oversubscription fallback** — when no disjoint split exists, the
+//!    cluster is oversubscribed: tenants are placed greedily in priority
+//!    order, preferring disjoint meshes but sharing when they must
+//!    ([`TenantPlan::time_shared`]). Shared meshes serialize on the FIFO
+//!    timelines at run time — slower, never deadlocked.
+//! 4. **Refinement** — each placed tenant's greedy plan seeds a
+//!    warm-started MCMC chain over its restricted space (budget
+//!    [`SchedConfig::refine_steps`]), seeded per tenant id so results are
+//!    reproducible and independent of co-tenant membership.
+//!
+//! [`Scheduler::run`] executes the schedule under
+//! [`real_runtime::run_multi`] and folds the per-tenant [`RunReport`]s into
+//! a [`SchedReport`].
+
+use crate::report::SchedReport;
+use real_cluster::{partition, ClusterSpec, DeviceMesh};
+use real_core::Tenant;
+use real_dataflow::ExecutionPlan;
+use real_estimator::Estimator;
+use real_runtime::{run_multi, RunError, RunReport, TenantElastic, TenantRun};
+use real_search::{search, search_warm, McmcConfig, PruneLevel, SearchSpace};
+use real_util::DeterministicRng;
+use std::fmt;
+use std::time::Duration;
+
+/// Tunables for the allocation search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedConfig {
+    /// Prune level for the per-tenant restricted search spaces.
+    pub prune: PruneLevel,
+    /// MCMC budget for pricing each candidate (tenant, mesh) pair during
+    /// the allocation search. Short on purpose — it only needs a
+    /// memory-feasible plan and a stable relative ranking.
+    pub score_steps: u64,
+    /// MCMC budget for refining each tenant's plan on its final
+    /// allocation. `0` keeps the scoring plans.
+    pub refine_steps: u64,
+    /// MCMC sampling temperature for refinement.
+    pub beta: f64,
+    /// Fairness bound: no tenant's estimated step may exceed `max_stretch`
+    /// times its solo (full-cluster) step. Relaxed when infeasible.
+    pub max_stretch: f64,
+    /// Cap on the number of disjoint splits scored (deterministic prefix
+    /// of the lexicographic enumeration).
+    pub max_splits: usize,
+    /// Seed for refinement chains and the joint run.
+    pub seed: u64,
+    /// Kernel-trace capacity applied to every tenant at run time (`0`
+    /// leaves each tenant's own engine-config capacity untouched).
+    pub trace_capacity: usize,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        Self {
+            prune: PruneLevel::Aggressive,
+            score_steps: 300,
+            refine_steps: 2_000,
+            beta: 6.0,
+            max_stretch: 4.0,
+            max_splits: 20_000,
+            seed: 1,
+            trace_capacity: 0,
+        }
+    }
+}
+
+/// Why scheduling failed.
+#[derive(Debug)]
+pub enum SchedError {
+    /// The tenant list was empty.
+    NoTenants,
+    /// A tenant's experiment targets a different cluster than the
+    /// scheduler manages.
+    ClusterMismatch {
+        /// Offending tenant name.
+        tenant: String,
+    },
+    /// Two tenants share an id (ids seed RNG substreams, so they must be
+    /// unique).
+    DuplicateId(u64),
+    /// No candidate mesh can hold the tenant within device memory.
+    Infeasible {
+        /// Offending tenant name.
+        tenant: String,
+    },
+    /// The joint run failed.
+    Run(RunError),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::NoTenants => write!(f, "no tenants to schedule"),
+            SchedError::ClusterMismatch { tenant } => write!(
+                f,
+                "tenant `{tenant}` targets a different cluster than the scheduler"
+            ),
+            SchedError::DuplicateId(id) => write!(f, "duplicate tenant id {id}"),
+            SchedError::Infeasible { tenant } => write!(
+                f,
+                "tenant `{tenant}` fits no candidate allocation (out of device memory)"
+            ),
+            SchedError::Run(e) => write!(f, "joint run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+impl From<RunError> for SchedError {
+    fn from(e: RunError) -> Self {
+        SchedError::Run(e)
+    }
+}
+
+/// One tenant's placement in a [`Schedule`].
+#[derive(Debug, Clone)]
+pub struct TenantPlan {
+    /// Tenant display name.
+    pub name: String,
+    /// Stable tenant id.
+    pub id: u64,
+    /// Priority weight.
+    pub priority: f64,
+    /// Iterations the tenant will run.
+    pub iterations: usize,
+    /// The allocated mesh (other tenants may share it when
+    /// [`time_shared`](Self::time_shared)).
+    pub allocation: DeviceMesh,
+    /// The refined execution plan, confined to the allocation.
+    pub plan: ExecutionPlan,
+    /// Estimated per-iteration step time on the allocation.
+    pub est_step_secs: f64,
+    /// Estimated step time running alone on the full cluster.
+    pub solo_step_secs: f64,
+    /// Whether the allocation overlaps another tenant's (oversubscribed
+    /// time-sharing).
+    pub time_shared: bool,
+}
+
+impl TenantPlan {
+    /// Estimated slowdown versus running alone on the full cluster.
+    pub fn stretch(&self) -> f64 {
+        if self.solo_step_secs > 0.0 {
+            self.est_step_secs / self.solo_step_secs
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The allocation search's output: per-tenant placements plus the
+/// objective values they were chosen on.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Placements, in tenant admission order.
+    pub tenants: Vec<TenantPlan>,
+    /// Estimated priority-weighted makespan `Σᵢ pᵢ·stepᵢ·itersᵢ`.
+    pub weighted_makespan: f64,
+    /// Worst estimated per-tenant stretch.
+    pub max_stretch: f64,
+    /// Whether any allocation is time-shared (no disjoint split existed).
+    pub oversubscribed: bool,
+    /// Whether the stretch bound had to be relaxed to place every tenant.
+    pub stretch_relaxed: bool,
+}
+
+impl Schedule {
+    /// Renders the schedule as an aligned table plus objective summary —
+    /// the `real sched --dry-run` output.
+    pub fn render(&self) -> String {
+        let mut table = real_util::Table::new(vec![
+            "tenant",
+            "prio",
+            "iters",
+            "allocation",
+            "gpus",
+            "est step (s)",
+            "solo (s)",
+            "stretch",
+            "shared",
+        ]);
+        for t in &self.tenants {
+            table.row(vec![
+                t.name.clone(),
+                format!("{:.1}", t.priority),
+                t.iterations.to_string(),
+                t.allocation.to_string(),
+                t.allocation.n_gpus().to_string(),
+                format!("{:.3}", t.est_step_secs),
+                format!("{:.3}", t.solo_step_secs),
+                format!("{:.2}", t.stretch()),
+                if t.time_shared { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+        let mut out = table.render();
+        out.push_str(&format!(
+            "\npriority-weighted makespan: {:.3}s   max stretch: {:.2}{}{}\n",
+            self.weighted_makespan,
+            self.max_stretch,
+            if self.oversubscribed {
+                "   [oversubscribed: time-sharing]"
+            } else {
+                ""
+            },
+            if self.stretch_relaxed {
+                "   [stretch bound relaxed]"
+            } else {
+                ""
+            },
+        ));
+        out
+    }
+}
+
+/// A finished joint run: the schedule it executed, the per-tenant raw
+/// [`RunReport`]s, and the folded [`SchedReport`].
+#[derive(Debug, Clone)]
+pub struct SchedOutcome {
+    /// The schedule that ran.
+    pub schedule: Schedule,
+    /// Per-tenant runtime reports, in admission order.
+    pub reports: Vec<RunReport>,
+    /// Aggregated multi-tenant report.
+    pub report: SchedReport,
+}
+
+/// One candidate placement: a mesh, the greedy plan on it, and its price.
+struct Candidate {
+    mesh: DeviceMesh,
+    plan: ExecutionPlan,
+    step: f64,
+}
+
+/// The multi-tenant scheduler for one cluster.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    cluster: ClusterSpec,
+    config: SchedConfig,
+}
+
+impl Scheduler {
+    /// A scheduler with default [`SchedConfig`].
+    pub fn new(cluster: ClusterSpec) -> Self {
+        Self {
+            cluster,
+            config: SchedConfig::default(),
+        }
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: SchedConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The managed cluster.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SchedConfig {
+        &self.config
+    }
+
+    /// Runs the allocation search. See the module docs for the algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError`] when the tenant list is empty or inconsistent
+    /// with the cluster, or when some tenant fits no candidate mesh.
+    pub fn plan(&self, tenants: &[Tenant]) -> Result<Schedule, SchedError> {
+        self.plan_prepared(tenants).map(|(schedule, _)| schedule)
+    }
+
+    /// Plans and then executes the schedule under
+    /// [`real_runtime::run_multi`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning errors ([`Scheduler::plan`]) and runtime errors
+    /// as [`SchedError::Run`].
+    pub fn run(&self, tenants: &[Tenant]) -> Result<SchedOutcome, SchedError> {
+        let (schedule, ests) = self.plan_prepared(tenants)?;
+        let mut runs = Vec::with_capacity(tenants.len());
+        for (i, (tenant, placed)) in tenants.iter().zip(&schedule.tenants).enumerate() {
+            let exp = tenant.experiment();
+            let mut config = exp.engine_config().clone();
+            if self.config.trace_capacity > 0 {
+                config.trace_capacity = config.trace_capacity.max(self.config.trace_capacity);
+            }
+            // Resilient dispatch derives request deadlines from predicted
+            // call costs; fill them from the estimator exactly as the
+            // single-tenant `Experiment::run` does.
+            if config.fault_plan.is_some() && config.predicted_secs.is_empty() {
+                config.predicted_secs = exp
+                    .graph()
+                    .iter()
+                    .map(|(id, def)| {
+                        (
+                            def.call_name.clone(),
+                            ests[i].call_duration(id, placed.plan.assignment(id)),
+                        )
+                    })
+                    .collect();
+            }
+            let elastic = exp.replan_policy().map(|policy| TenantElastic {
+                policy: policy.clone(),
+                estimator: ests[i].clone(),
+            });
+            runs.push(TenantRun {
+                id: tenant.id(),
+                name: tenant.name().to_string(),
+                graph: exp.graph().clone(),
+                plan: placed.plan.clone(),
+                config,
+                iterations: tenant.iterations(),
+                allocation: placed.allocation.gpus().collect(),
+                solo_step_secs: placed.solo_step_secs,
+                elastic,
+            });
+        }
+        let reports = run_multi(&self.cluster, &runs, self.config.seed)?;
+        let report = SchedReport::new(&schedule, &reports);
+        Ok(SchedOutcome {
+            schedule,
+            reports,
+            report,
+        })
+    }
+
+    /// The planning pipeline, also returning the per-tenant estimators so
+    /// [`Scheduler::run`] does not profile twice.
+    fn plan_prepared(&self, tenants: &[Tenant]) -> Result<(Schedule, Vec<Estimator>), SchedError> {
+        if tenants.is_empty() {
+            return Err(SchedError::NoTenants);
+        }
+        for t in tenants {
+            if t.experiment().cluster() != &self.cluster {
+                return Err(SchedError::ClusterMismatch {
+                    tenant: t.name().to_string(),
+                });
+            }
+        }
+        for (i, t) in tenants.iter().enumerate() {
+            if tenants[..i].iter().any(|prev| prev.id() == t.id()) {
+                return Err(SchedError::DuplicateId(t.id()));
+            }
+        }
+
+        let ests: Vec<Estimator> = tenants.iter().map(|t| t.experiment().prepare().0).collect();
+
+        // Candidate generation: price every feasible (tenant, mesh) pair.
+        let all_meshes = DeviceMesh::enumerate(&self.cluster);
+        let full = DeviceMesh::full(&self.cluster);
+        let mut candidates: Vec<Vec<Candidate>> = Vec::with_capacity(tenants.len());
+        let mut solo: Vec<f64> = Vec::with_capacity(tenants.len());
+        for (i, tenant) in tenants.iter().enumerate() {
+            let graph = tenant.experiment().graph();
+            let mut cands = Vec::new();
+            for (mesh_index, mesh) in all_meshes.iter().enumerate() {
+                let inner = partition::meshes_within(&self.cluster, mesh);
+                let Ok(space) =
+                    SearchSpace::try_build_on(&self.cluster, graph, self.config.prune, &inner)
+                else {
+                    continue;
+                };
+                // Seeded by (seed, tenant id, mesh): a tenant's candidate
+                // prices are independent of co-tenant membership.
+                let mut rng = DeterministicRng::from_seed(self.config.seed)
+                    .derive("alloc")
+                    .derive_index(tenant.id())
+                    .derive_index(mesh_index as u64);
+                let cfg = McmcConfig {
+                    beta: self.config.beta,
+                    max_steps: self.config.score_steps,
+                    time_limit: Duration::from_secs(86_400),
+                    seed: rng.next_u64(),
+                    record_trace: false,
+                };
+                let result = search(&ests[i], &space, &cfg);
+                let cost = ests[i].allocation_cost(&result.best_plan, mesh);
+                if !result.feasible || !cost.feasible() {
+                    continue;
+                }
+                cands.push(Candidate {
+                    mesh: *mesh,
+                    plan: result.best_plan,
+                    step: cost.step_secs,
+                });
+            }
+            if cands.is_empty() {
+                return Err(SchedError::Infeasible {
+                    tenant: tenant.name().to_string(),
+                });
+            }
+            // Fastest first, so the capped split enumeration explores good
+            // placements before hitting `max_splits`. Ties break on mesh
+            // coordinates for determinism.
+            cands.sort_by(|a, b| {
+                a.step
+                    .partial_cmp(&b.step)
+                    .expect("step times are finite")
+                    .then_with(|| mesh_key(&a.mesh).cmp(&mesh_key(&b.mesh)))
+            });
+            let solo_step = cands
+                .iter()
+                .find(|c| c.mesh == full)
+                .map(|c| c.step)
+                .unwrap_or(cands[0].step);
+            solo.push(solo_step);
+            candidates.push(cands);
+        }
+
+        // Split search over disjoint placements.
+        let options: Vec<Vec<DeviceMesh>> = candidates
+            .iter()
+            .map(|cands| cands.iter().map(|c| c.mesh).collect())
+            .collect();
+        let splits = partition::enumerate_splits(&options, self.config.max_splits);
+
+        let step_of = |tenant: usize, mesh: &DeviceMesh| -> f64 {
+            candidates[tenant]
+                .iter()
+                .find(|c| &c.mesh == mesh)
+                .expect("split meshes come from the candidate list")
+                .step
+        };
+        let objective = |split: &[DeviceMesh]| -> (f64, f64) {
+            let mut weighted = 0.0;
+            let mut worst = 0.0f64;
+            for (i, mesh) in split.iter().enumerate() {
+                let step = step_of(i, mesh);
+                weighted += tenants[i].priority() * step * tenants[i].iterations() as f64;
+                worst = worst.max(step / solo[i]);
+            }
+            (weighted, worst)
+        };
+
+        let mut stretch_relaxed = false;
+        let chosen: Vec<(DeviceMesh, bool)> = if splits.is_empty() {
+            // Oversubscribed: no disjoint split exists. Place greedily in
+            // priority order (ties: admission order), sharing when forced.
+            self.place_oversubscribed(tenants, &candidates)
+        } else {
+            let best_bounded = splits
+                .iter()
+                .map(|s| (s, objective(s)))
+                .filter(|(_, (_, worst))| *worst <= self.config.max_stretch)
+                .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite objective"));
+            let (split, _) = match best_bounded {
+                Some(found) => found,
+                None => {
+                    stretch_relaxed = true;
+                    splits
+                        .iter()
+                        .map(|s| (s, objective(s)))
+                        .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite objective"))
+                        .expect("splits is non-empty")
+                }
+            };
+            split.iter().map(|mesh| (*mesh, false)).collect()
+        };
+
+        // Refinement: warm-started MCMC per tenant on the final allocation.
+        let mut placements = Vec::with_capacity(tenants.len());
+        for (i, tenant) in tenants.iter().enumerate() {
+            let (mesh, time_shared) = chosen[i];
+            let incumbent = candidates[i]
+                .iter()
+                .find(|c| c.mesh == mesh)
+                .expect("chosen mesh comes from the candidate list");
+            let mut plan = incumbent.plan.clone();
+            let mut step = incumbent.step;
+            if self.config.refine_steps > 0 {
+                let inner = partition::meshes_within(&self.cluster, &mesh);
+                let space = SearchSpace::try_build_on(
+                    &self.cluster,
+                    tenant.experiment().graph(),
+                    self.config.prune,
+                    &inner,
+                )
+                .expect("candidate meshes already built this space");
+                // Seeded per tenant id, not list position: co-tenant
+                // membership must not perturb a tenant's refined plan.
+                let mut rng = DeterministicRng::from_seed(self.config.seed)
+                    .derive("sched")
+                    .derive_index(tenant.id());
+                let cfg = McmcConfig {
+                    beta: self.config.beta,
+                    max_steps: self.config.refine_steps,
+                    // Step-bounded only: wall-clock cutoffs would make the
+                    // schedule depend on machine load.
+                    time_limit: Duration::from_secs(86_400),
+                    seed: rng.next_u64(),
+                    record_trace: false,
+                };
+                let refined = search_warm(&ests[i], &space, &cfg, &plan);
+                let cost = ests[i].allocation_cost(&refined.best_plan, &mesh);
+                if cost.feasible() && cost.step_secs < step {
+                    plan = refined.best_plan;
+                    step = cost.step_secs;
+                }
+            }
+            placements.push(TenantPlan {
+                name: tenant.name().to_string(),
+                id: tenant.id(),
+                priority: tenant.priority(),
+                iterations: tenant.iterations(),
+                allocation: mesh,
+                plan,
+                est_step_secs: step,
+                solo_step_secs: solo[i],
+                time_shared,
+            });
+        }
+
+        let weighted_makespan = placements
+            .iter()
+            .map(|p| p.priority * p.est_step_secs * p.iterations as f64)
+            .sum();
+        let max_stretch = placements
+            .iter()
+            .map(TenantPlan::stretch)
+            .fold(0.0f64, f64::max);
+        let oversubscribed = placements.iter().any(|p| p.time_shared);
+        Ok((
+            Schedule {
+                tenants: placements,
+                weighted_makespan,
+                max_stretch,
+                oversubscribed,
+                stretch_relaxed,
+            },
+            ests,
+        ))
+    }
+
+    /// Greedy placement for oversubscribed clusters: tenants in priority
+    /// order pick their fastest candidate disjoint from everything already
+    /// placed, falling back to their overall fastest (shared) mesh.
+    fn place_oversubscribed(
+        &self,
+        tenants: &[Tenant],
+        candidates: &[Vec<Candidate>],
+    ) -> Vec<(DeviceMesh, bool)> {
+        let mut order: Vec<usize> = (0..tenants.len()).collect();
+        order.sort_by(|&a, &b| {
+            tenants[b]
+                .priority()
+                .partial_cmp(&tenants[a].priority())
+                .expect("priorities are finite")
+                .then_with(|| a.cmp(&b))
+        });
+        let mut chosen: Vec<Option<(DeviceMesh, bool)>> = vec![None; tenants.len()];
+        for &idx in &order {
+            let placed: Vec<DeviceMesh> = chosen
+                .iter()
+                .filter_map(|c| c.map(|(mesh, _)| mesh))
+                .collect();
+            let disjoint = candidates[idx]
+                .iter()
+                .find(|c| placed.iter().all(|p| !p.overlaps(&c.mesh)));
+            match disjoint {
+                Some(c) => chosen[idx] = Some((c.mesh, false)),
+                None => {
+                    // Forced to share: take the fastest mesh and mark every
+                    // overlapped tenant as time-shared too.
+                    let mesh = candidates[idx][0].mesh;
+                    for other in chosen.iter_mut().flatten() {
+                        if other.0.overlaps(&mesh) {
+                            other.1 = true;
+                        }
+                    }
+                    chosen[idx] = Some((mesh, true));
+                }
+            }
+        }
+        chosen
+            .into_iter()
+            .map(|c| c.expect("every tenant was placed"))
+            .collect()
+    }
+}
+
+/// Deterministic total order on meshes for tie-breaking.
+fn mesh_key(mesh: &DeviceMesh) -> (u32, u32, u32, u32) {
+    (
+        mesh.node_start(),
+        mesh.n_nodes(),
+        mesh.gpu_start(),
+        mesh.gpu_width(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use real_core::Experiment;
+    use real_dataflow::algo::RlhfConfig;
+    use real_model::ModelSpec;
+
+    fn quick_config() -> SchedConfig {
+        SchedConfig {
+            refine_steps: 200,
+            ..SchedConfig::default()
+        }
+    }
+
+    fn dpo_tenant(cluster: &ClusterSpec, name: &str, id: u64, batch: u64) -> Tenant {
+        let exp = Experiment::dpo(
+            cluster.clone(),
+            ModelSpec::llama3_7b(),
+            RlhfConfig::instruct_gpt(batch),
+        )
+        .with_quick_profile();
+        Tenant::new(name, id, exp)
+    }
+
+    #[test]
+    fn two_tenants_get_disjoint_allocations() {
+        let cluster = ClusterSpec::h100(2);
+        let tenants = vec![
+            dpo_tenant(&cluster, "a", 0, 64).with_priority(2.0),
+            dpo_tenant(&cluster, "b", 1, 32),
+        ];
+        let schedule = Scheduler::new(cluster)
+            .with_config(quick_config())
+            .plan(&tenants)
+            .unwrap();
+        assert_eq!(schedule.tenants.len(), 2);
+        assert!(!schedule.oversubscribed);
+        assert!(!schedule.tenants[0]
+            .allocation
+            .overlaps(&schedule.tenants[1].allocation));
+        for t in &schedule.tenants {
+            assert!(t.est_step_secs > 0.0);
+            assert!(t.stretch() >= 1.0 - 1e-9);
+            assert!(!t.time_shared);
+        }
+        assert!(schedule.weighted_makespan > 0.0);
+        let rendered = schedule.render();
+        assert!(rendered.contains("a") && rendered.contains("weighted makespan"));
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let cluster = ClusterSpec::h100(2);
+        let tenants = vec![
+            dpo_tenant(&cluster, "a", 0, 64),
+            dpo_tenant(&cluster, "b", 1, 32),
+        ];
+        let sched = Scheduler::new(cluster).with_config(quick_config());
+        let s1 = sched.plan(&tenants).unwrap();
+        let s2 = sched.plan(&tenants).unwrap();
+        assert_eq!(
+            s1.weighted_makespan.to_bits(),
+            s2.weighted_makespan.to_bits()
+        );
+        for (a, b) in s1.tenants.iter().zip(&s2.tenants) {
+            assert_eq!(a.allocation, b.allocation);
+            assert_eq!(a.est_step_secs.to_bits(), b.est_step_secs.to_bits());
+        }
+    }
+
+    #[test]
+    fn bad_tenant_sets_are_rejected() {
+        let cluster = ClusterSpec::h100(1);
+        let sched = Scheduler::new(cluster.clone());
+        assert!(matches!(sched.plan(&[]), Err(SchedError::NoTenants)));
+
+        let dup = vec![
+            dpo_tenant(&cluster, "a", 0, 32),
+            dpo_tenant(&cluster, "b", 0, 32),
+        ];
+        assert!(matches!(sched.plan(&dup), Err(SchedError::DuplicateId(0))));
+
+        let other = vec![dpo_tenant(&ClusterSpec::h100(2), "a", 0, 32)];
+        assert!(matches!(
+            sched.plan(&other),
+            Err(SchedError::ClusterMismatch { .. })
+        ));
+    }
+}

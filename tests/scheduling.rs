@@ -1,0 +1,284 @@
+//! Integration tests for the multi-tenant scheduler: determinism, fault
+//! isolation, oversubscribed time-sharing, and elastic rebalancing.
+//!
+//! Registered as the `scheduling` test target of `real-sched` (see
+//! `crates/sched/Cargo.toml`), so `cargo test -p real-sched` covers the
+//! whole admission → plan → joint-run pipeline.
+
+use real_cluster::ClusterSpec;
+use real_core::{Experiment, Tenant};
+use real_dataflow::algo::RlhfConfig;
+use real_model::ModelSpec;
+use real_runtime::{ReplanPolicy, RunReport};
+use real_sched::{obs, SchedConfig, SchedSpec, Scheduler};
+use real_sim::{FaultEvent, FaultPlan};
+
+fn quick_config() -> SchedConfig {
+    SchedConfig {
+        refine_steps: 200,
+        ..SchedConfig::default()
+    }
+}
+
+fn dpo_tenant(cluster: &ClusterSpec, name: &str, id: u64, batch: u64) -> Tenant {
+    let exp = Experiment::dpo(
+        cluster.clone(),
+        ModelSpec::llama3_7b(),
+        RlhfConfig::instruct_gpt(batch),
+    )
+    .with_quick_profile();
+    Tenant::new(name, id, exp)
+}
+
+fn ppo_13b_tenant(cluster: &ClusterSpec, name: &str, id: u64) -> Tenant {
+    let exp = Experiment::ppo(
+        cluster.clone(),
+        ModelSpec::llama3_13b(),
+        ModelSpec::llama3_13b().critic(),
+        RlhfConfig::instruct_gpt(32),
+    )
+    .with_quick_profile();
+    Tenant::new(name, id, exp).with_iterations(1)
+}
+
+/// Bitwise comparison of everything a tenant observes about its own run.
+fn assert_reports_identical(a: &RunReport, b: &RunReport) {
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.total_time.to_bits(), b.total_time.to_bits());
+    assert_eq!(a.iter_time.to_bits(), b.iter_time.to_bits());
+    assert_eq!(a.timings.len(), b.timings.len());
+    for (x, y) in a.timings.iter().zip(&b.timings) {
+        assert_eq!(x.call_name, y.call_name);
+        assert_eq!(x.start.to_bits(), y.start.to_bits());
+        assert_eq!(x.end.to_bits(), y.end.to_bits());
+    }
+    assert_eq!(a.category_totals.len(), b.category_totals.len());
+    for ((ca, va), (cb, vb)) in a.category_totals.iter().zip(&b.category_totals) {
+        assert_eq!(ca, cb);
+        assert_eq!(va.to_bits(), vb.to_bits());
+    }
+    assert_eq!(a.idle_total.to_bits(), b.idle_total.to_bits());
+    assert_eq!(a.mem_peak, b.mem_peak);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.trace.events(), b.trace.events());
+}
+
+#[test]
+fn seeded_multi_tenant_runs_replay_bit_identically() {
+    let cluster = ClusterSpec::h100(2);
+    let tenants = vec![
+        dpo_tenant(&cluster, "prod", 0, 64).with_priority(2.0),
+        dpo_tenant(&cluster, "dev", 1, 32),
+    ];
+    let sched = Scheduler::new(cluster).with_config(SchedConfig {
+        seed: 11,
+        trace_capacity: 50_000,
+        ..quick_config()
+    });
+    let first = sched.run(&tenants).unwrap();
+    let second = sched.run(&tenants).unwrap();
+    assert_eq!(first.report, second.report);
+    for (a, b) in first.reports.iter().zip(&second.reports) {
+        assert_reports_identical(a, b);
+    }
+    // Traces replay too, not just the scalar summaries.
+    assert!(first.reports.iter().any(|r| !r.trace.events().is_empty()));
+}
+
+#[test]
+fn cotenant_report_is_byte_identical_to_solo_run_on_same_mesh() {
+    // Satellite regression: admitting a co-tenant on the other node must
+    // not change tenant `prod`'s report in any bit. Runs the scheduled
+    // 2-tenant workload, then replays tenant `prod` alone on the exact
+    // mesh the scheduler gave it, with the same seed.
+    let cluster = ClusterSpec::h100(2);
+    let tenants = vec![
+        dpo_tenant(&cluster, "prod", 0, 64),
+        dpo_tenant(&cluster, "dev", 1, 32),
+    ];
+    let sched = Scheduler::new(cluster.clone()).with_config(SchedConfig {
+        seed: 7,
+        ..quick_config()
+    });
+    let both = sched.run(&tenants).unwrap();
+    assert!(!both.schedule.oversubscribed);
+
+    // Solo replay: same tenant, same id, same mesh — build a 1-tenant run
+    // via run_multi on the allocation the scheduler picked.
+    let placed = &both.schedule.tenants[0];
+    let exp = tenants[0].experiment();
+    let solo_run = real_runtime::TenantRun {
+        id: tenants[0].id(),
+        name: tenants[0].name().to_string(),
+        graph: exp.graph().clone(),
+        plan: placed.plan.clone(),
+        config: exp.engine_config().clone(),
+        iterations: tenants[0].iterations(),
+        allocation: placed.allocation.gpus().collect(),
+        solo_step_secs: placed.solo_step_secs,
+        elastic: None,
+    };
+    let solo = real_runtime::run_multi(&cluster, &[solo_run], 7).unwrap();
+    assert_reports_identical(&both.reports[0], &solo[0]);
+}
+
+#[test]
+fn faulted_tenant_crash_leaves_cotenant_reports_unchanged() {
+    // Fault domains: crash tenant `dev`'s workers mid-run; tenant `prod`'s
+    // report (timeline, RNG stream, totals) must not move by a bit.
+    let cluster = ClusterSpec::h100(2);
+    let clean = |faults: Option<FaultPlan>| {
+        let mut exp = Experiment::dpo(
+            cluster.clone(),
+            ModelSpec::llama3_7b(),
+            RlhfConfig::instruct_gpt(32),
+        )
+        .with_quick_profile();
+        if let Some(plan) = faults {
+            exp = exp.with_fault_plan(plan);
+        }
+        vec![
+            dpo_tenant(&cluster, "prod", 0, 64),
+            Tenant::new("dev", 1, exp),
+        ]
+    };
+    let sched = Scheduler::new(cluster.clone()).with_config(SchedConfig {
+        seed: 5,
+        ..quick_config()
+    });
+
+    // Find dev's allocation first so the crash provably lands inside its
+    // fault domain.
+    let baseline = sched.run(&clean(None)).unwrap();
+    let dev_gpu = baseline.schedule.tenants[1]
+        .allocation
+        .gpus()
+        .next()
+        .unwrap();
+    let faults = FaultPlan {
+        seed: 0,
+        events: vec![FaultEvent::Crash {
+            gpu: dev_gpu.0,
+            at: 1.0,
+            restart_after: 30.0,
+        }],
+    };
+    let faulted = sched.run(&clean(Some(faults))).unwrap();
+
+    // The crash registered in dev's fault domain...
+    assert_eq!(faulted.reports[1].faults.injected, 1);
+    // ...and prod's run is untouched, bit for bit.
+    assert_reports_identical(&baseline.reports[0], &faulted.reports[0]);
+}
+
+#[test]
+fn oversubscribed_tenants_time_share_without_deadlock() {
+    // PPO(13B+13B) fits only on a full node, so two such tenants on one
+    // node cannot split disjointly; the scheduler must fall back to
+    // time-sharing and the run must complete.
+    let cluster = ClusterSpec::h100(1);
+    let tenants = vec![
+        ppo_13b_tenant(&cluster, "a", 0),
+        ppo_13b_tenant(&cluster, "b", 1),
+    ];
+    let sched = Scheduler::new(cluster).with_config(SchedConfig {
+        refine_steps: 0,
+        ..SchedConfig::default()
+    });
+    let outcome = sched.run(&tenants).unwrap();
+    assert!(outcome.schedule.oversubscribed);
+    assert!(outcome.report.oversubscribed);
+    for report in &outcome.reports {
+        assert_eq!(report.iterations, 1);
+        assert!(report.total_time > 0.0);
+    }
+}
+
+#[test]
+fn freed_capacity_is_offered_to_the_elastic_survivor() {
+    // Tenant `short` finishes after 1 iteration; its node joins the free
+    // pool and must be offered to `long` through the re-plan gate.
+    let cluster = ClusterSpec::h100(2);
+    let policy = ReplanPolicy {
+        min_speedup: 1.0,
+        min_benefit_ratio: 0.0,
+        search_steps: 500,
+        ..ReplanPolicy::default()
+    };
+    let long = {
+        let exp = Experiment::dpo(
+            cluster.clone(),
+            ModelSpec::llama3_7b(),
+            RlhfConfig::instruct_gpt(64),
+        )
+        .with_quick_profile()
+        .with_replan_policy(policy);
+        Tenant::new("long", 0, exp).with_iterations(4)
+    };
+    let short = dpo_tenant(&cluster, "short", 1, 32).with_iterations(1);
+    let sched = Scheduler::new(cluster).with_config(SchedConfig {
+        seed: 3,
+        ..quick_config()
+    });
+    let outcome = sched.run(&[long, short]).unwrap();
+    let long_report = &outcome.reports[0];
+    assert!(
+        long_report.replan.evaluations >= 1,
+        "the freed node was never offered: {:?}",
+        long_report.replan
+    );
+    assert_eq!(
+        outcome.report.tenants[0].reallocs,
+        long_report.replan.switches
+    );
+}
+
+#[test]
+fn example_spec_parses_plans_and_reports() {
+    let json = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/tenants.json"
+    ))
+    .unwrap();
+    let spec: SchedSpec = serde_json::from_str(&json).unwrap();
+    assert!(spec.tenants.len() >= 3, "example must pack >= 3 tenants");
+    let (cluster, tenants) = spec.build().unwrap();
+    let sched = Scheduler::new(cluster).with_config(SchedConfig {
+        seed: spec.seed(),
+        refine_steps: 100,
+        ..SchedConfig::default()
+    });
+    let schedule = sched.plan(&tenants).unwrap();
+    assert_eq!(schedule.tenants.len(), spec.tenants.len());
+    let rendered = schedule.render();
+    for t in &spec.tenants {
+        assert!(rendered.contains(&t.name), "schedule lists `{}`", t.name);
+    }
+}
+
+#[test]
+fn sched_observability_covers_every_tenant() {
+    let cluster = ClusterSpec::h100(2);
+    let tenants = vec![
+        dpo_tenant(&cluster, "prod", 0, 64),
+        dpo_tenant(&cluster, "dev", 1, 32),
+    ];
+    let sched = Scheduler::new(cluster).with_config(SchedConfig {
+        trace_capacity: 50_000,
+        ..quick_config()
+    });
+    let outcome = sched.run(&tenants).unwrap();
+
+    let stream = obs::sched_event_stream(&outcome.schedule, &outcome.reports);
+    stream.check_invariants().unwrap();
+    let procs: Vec<&str> = stream.process_names().map(|(_, name)| name).collect();
+    assert!(procs.contains(&"tenant:prod") && procs.contains(&"tenant:dev"));
+    assert!(!stream.events().is_empty());
+
+    let metrics = obs::sched_metrics(&outcome.report);
+    assert!(metrics.get("sched/tenants", &[]).is_some());
+    assert!(metrics.get("sched/fairness_index", &[]).is_some());
+    assert!(metrics
+        .get("sched/stretch", &[("tenant", "prod")])
+        .is_some());
+}
