@@ -24,10 +24,19 @@ done
 
 # CLI-drift gate: every `real` subcommand in the dispatch table must be
 # mentioned in README.md, so the README cannot lag behind the binary.
-for cmd in $(sed -n '/^pub fn dispatch/,/^}/s/^ *"\([a-z]*\)" => .*/\1/p' \
+for cmd in $(sed -n '/^pub fn dispatch/,/^}/s/^ *"\([a-z-]*\)" => .*/\1/p' \
         crates/cli/src/commands.rs); do
     if ! grep -q "real $cmd" README.md; then
         echo "docs drift: CLI subcommand 'real $cmd' missing from README.md" >&2
         exit 1
     fi
 done
+
+# Profile-regression gate: re-profile the reference PPO workload and diff
+# phase shares, makespan, and critical-path composition against the
+# committed baseline (see docs/PROFILING.md). The heuristic plan and the
+# virtual-time engine make the profile bit-deterministic, so tight
+# tolerances hold across machines.
+./target/release/real profile --nodes 1 --batch 32 --iters 2 \
+    --quick-profile --heuristic \
+    --baseline baselines/ppo-1node-quick.json --check --tolerance-pct 2

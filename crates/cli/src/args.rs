@@ -58,6 +58,7 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "explain",
     "replan",
     "dry-run",
+    "check",
 ];
 
 impl Args {

@@ -72,7 +72,10 @@ COMMANDS:
   replan      resume a saved search checkpoint (--from ckpt.json) with a
               fresh step budget; print (and --out) the improved plan
   baselines   run the four baseline systems plus ReaL on one workload
-  profile     profile a model family (--out db.json to save it)
+  profile     run a workload (or analyze a saved trace) and attribute the
+              makespan: phases, critical path, per-GPU utilization,
+              estimator gap; --baseline/--check gates regressions
+  profile-db  profile a model family (--out db.json to save it)
   estimate    per-call estimates + memory for a plan, without running it
   advise      sweep cluster sizes 1..--max-nodes, recommend one (§8.4)
   sched       pack concurrent tenant experiments onto one cluster
@@ -117,6 +120,18 @@ RUN FLAGS:
                    switch plans mid-run (needs --faults to have any effect)
   --replan-steps N MCMC budget per mid-run re-search          [default 2000]
   --dead-after S   declare a worker dead after S stalled secs [default 120]
+
+PROFILE FLAGS:
+  --trace FILE     analyze a saved Chrome trace instead of running
+                   (no estimator-gap section in that mode)
+  --top N          critical-path entries to keep          [default 10]
+  --out FILE       save the ProfileReport JSON
+  --json           print the report as JSON instead of tables
+  --baseline FILE  compare against a saved ProfileReport JSON
+  --check          fail (non-zero) when the baseline comparison drifts
+  --tolerance-pct N  allowed drift per check              [default 5]
+  (plus the workload and run flags: --heuristic / --plan for plan
+  selection, --iters, --faults, ...)
 
 SCHED FLAGS:
   --tenants FILE   tenant-set spec JSON (required; see docs/SCHEDULING.md)
@@ -394,8 +409,79 @@ pub fn cmd_baselines(args: &Args) -> Result<String, CliError> {
     Ok(table.render())
 }
 
-/// `real profile`
+/// `real profile`: phase-attributed makespan profile (Fig. 8/12 views) of
+/// a fresh run or a saved trace, with an optional regression gate against
+/// a committed baseline report.
 pub fn cmd_profile(args: &Args) -> Result<String, CliError> {
+    let top_k: usize = args.num_or("top", 10)?;
+    let report: real_core::real_obs::ProfileReport = if let Some(path) = args.str_opt("trace") {
+        // Analyze a saved Chrome trace. The estimator gap needs the live
+        // experiment, so that section stays empty in this mode.
+        let value: serde_json::Value = serde_json::from_str(&std::fs::read_to_string(path)?)?;
+        let stream = real_core::real_obs::from_chrome_value(&value).map_err(CliError::Invalid)?;
+        real_core::real_obs::ProfileReport::from_stream(&stream, top_k)
+    } else {
+        let exp = experiment_from(args)?;
+        // Profiling needs the kernel spans regardless of --trace.
+        let mut engine = exp.engine_config().clone();
+        if engine.trace_capacity == 0 {
+            engine.trace_capacity = 500_000;
+        }
+        let exp = exp.with_engine_config(engine);
+        let plan: ExecutionPlan = if let Some(path) = args.str_opt("plan") {
+            serde_json::from_str(&std::fs::read_to_string(path)?)?
+        } else if args.flag("heuristic") {
+            exp.plan_heuristic()
+        } else {
+            let (cfg, chains) = mcmc_from(args)?;
+            let planned = if chains > 1 {
+                exp.plan_auto_parallel(&cfg, chains)
+            } else {
+                exp.plan_auto(&cfg)
+            }
+            .map_err(|_| CliError::NoFeasiblePlan)?;
+            planned.plan
+        };
+        let iters: usize = args.num_or("iters", 2)?;
+        let run = exp.run(&plan, iters)?;
+        let (est, _) = exp.prepare();
+        exp.profile_report(&run, &est, top_k)
+    };
+
+    if let Some(path) = args.str_opt("out") {
+        std::fs::write(path, serde_json::to_string_pretty(&report)?)?;
+    }
+    let mut out = if args.flag("json") {
+        serde_json::to_string_pretty(&report)?
+    } else {
+        report.render()
+    };
+    if let Some(bpath) = args.str_opt("baseline") {
+        let baseline: real_core::real_obs::ProfileReport =
+            serde_json::from_str(&std::fs::read_to_string(bpath)?)?;
+        let tolerance: f64 = args.num_or("tolerance-pct", 5.0)?;
+        let violations = report.check_against(&baseline, tolerance);
+        if violations.is_empty() {
+            out.push_str(&format!(
+                "\nbaseline check OK: within {tolerance}% of {bpath}\n"
+            ));
+        } else if args.flag("check") {
+            return Err(CliError::Invalid(format!(
+                "profile drifted from baseline {bpath}:\n  {}",
+                violations.join("\n  ")
+            )));
+        } else {
+            out.push_str(&format!(
+                "\nbaseline drift vs {bpath} (tolerance {tolerance}%):\n  {}\n",
+                violations.join("\n  ")
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// `real profile-db`: profile a model family into a reusable database.
+pub fn cmd_profile_db(args: &Args) -> Result<String, CliError> {
     let nodes: u32 = args.num_or("nodes", 1)?;
     let model = model_flag(args, "model").or_else(|_| model_flag(args, "actor"))?;
     let config = if args.flag("quick-profile") {
@@ -486,7 +572,15 @@ fn render_stats(snap: &MetricsSnapshot) -> String {
     use real_core::real_obs::MetricValue;
 
     let mut scalars = real_util::Table::new(vec!["metric", "kind", "value"]);
-    let mut histograms = real_util::Table::new(vec!["histogram", "count", "mean", "sum"]);
+    let mut histograms = real_util::Table::new(vec![
+        "histogram",
+        "count",
+        "mean",
+        "p50",
+        "p95",
+        "p99",
+        "sum",
+    ]);
     let mut series = real_util::Table::new(vec!["series", "points", "dropped", "last"]);
     let (mut n_scalar, mut n_hist, mut n_series) = (0usize, 0usize, 0usize);
     for entry in &snap.metrics {
@@ -498,10 +592,17 @@ fn render_stats(snap: &MetricsSnapshot) -> String {
             }
             MetricValue::Histogram(h) => {
                 n_hist += 1;
+                let q = |p: f64| {
+                    h.quantile(p)
+                        .map_or_else(|| "-".into(), |v| format!("{v:.4}"))
+                };
                 histograms.row(vec![
                     name,
                     h.count().to_string(),
                     format!("{:.4}", h.mean()),
+                    q(0.50),
+                    q(0.95),
+                    q(0.99),
                     format!("{:.4}", h.sum()),
                 ]);
             }
@@ -628,7 +729,21 @@ pub fn cmd_sched(args: &Args) -> Result<String, CliError> {
     if args.flag("json") {
         return Ok(serde_json::to_string_pretty(&outcome.report)?);
     }
-    Ok(outcome.report.render())
+    let mut out = outcome.report.render();
+    let mut t = real_util::Table::new(vec!["distribution", "n", "p50", "p95", "p99", "max"]);
+    for p in real_sched::obs::sched_percentiles(&outcome.report) {
+        t.row(vec![
+            p.name.clone(),
+            p.count.to_string(),
+            format!("{:.2}", p.p50),
+            format!("{:.2}", p.p95),
+            format!("{:.2}", p.p99),
+            format!("{:.2}", p.max),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&t.render());
+    Ok(out)
 }
 
 /// Dispatches a parsed command line.
@@ -639,6 +754,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "replan" => cmd_replan(args),
         "baselines" => cmd_baselines(args),
         "profile" => cmd_profile(args),
+        "profile-db" => cmd_profile_db(args),
         "estimate" => cmd_estimate(args),
         "advise" => cmd_advise(args),
         "sched" => cmd_sched(args),
@@ -743,8 +859,8 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let a = dir.join("7b.json");
         let c = dir.join("7bc.json");
-        cmd_profile(&parse(&[
-            "profile",
+        cmd_profile_db(&parse(&[
+            "profile-db",
             "--model",
             "7b",
             "--quick-profile",
@@ -845,6 +961,127 @@ mod tests {
         assert!(stats.contains("runtime/iterations"));
         assert!(stats.contains("search/acceptance_rate"));
         assert!(stats.contains("search/energy"));
+    }
+
+    #[test]
+    fn stats_renders_histogram_quantiles() {
+        let dir = std::env::temp_dir().join("real-cli-stats");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("quantiles.json");
+        let mut m = MetricsRegistry::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 100.0] {
+            m.histogram_observe("demo/latency", &[], &[2.0, 5.0, 50.0], v);
+        }
+        std::fs::write(&path, serde_json::to_string(&m.snapshot()).unwrap()).unwrap();
+        let out = cmd_stats(&parse(&["stats", "--file", path.to_str().unwrap()])).unwrap();
+        // Golden rendering: the quantile columns interpolate within buckets
+        // ((0,2](2) (2,5](2) (5,50](0) (50,inf)(1) for the samples above).
+        for expected in ["p50", "p95", "p99", "2.7500", "50.0000", "demo/latency"] {
+            assert!(out.contains(expected), "missing {expected:?} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn profile_attributes_makespan_and_gates_on_baseline() {
+        let dir = std::env::temp_dir().join("real-cli-profile");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report_path = dir.join("profile.json");
+        let argv = [
+            "profile",
+            "--nodes",
+            "1",
+            "--batch",
+            "32",
+            "--iters",
+            "1",
+            "--quick-profile",
+            "--heuristic",
+            "--out",
+            report_path.to_str().unwrap(),
+        ];
+        let out = cmd_profile(&parse(&argv)).unwrap();
+        for section in ["makespan", "generation", "training", "critical path"] {
+            assert!(out.contains(section), "missing {section:?} in:\n{out}");
+        }
+        let report: real_core::real_obs::ProfileReport =
+            serde_json::from_str(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+        // The acceptance bar: >= 95% of the makespan lands in named phases.
+        assert!(
+            report.attributed_fraction() >= 0.95,
+            "attributed only {:.1}% of the makespan",
+            report.attributed_fraction() * 100.0
+        );
+        assert!(!report.estimator_gap.is_empty());
+
+        // Same seed, same flags: byte-identical report JSON (determinism).
+        let json_argv: Vec<&str> = argv[..argv.len() - 2]
+            .iter()
+            .copied()
+            .chain(["--json"])
+            .collect();
+        let a = cmd_profile(&parse(&json_argv)).unwrap();
+        let b = cmd_profile(&parse(&json_argv)).unwrap();
+        assert_eq!(a, b);
+
+        // Checking a run against its own report passes...
+        let mut check_argv = argv[..argv.len() - 2].to_vec();
+        check_argv.extend([
+            "--baseline",
+            report_path.to_str().unwrap(),
+            "--check",
+            "--tolerance-pct",
+            "5",
+        ]);
+        let out = cmd_profile(&parse(&check_argv)).unwrap();
+        assert!(out.contains("baseline check OK"), "{out}");
+
+        // ...and a 10% synthetic slowdown fails it.
+        let mut slow = report.clone();
+        slow.makespan *= 1.1;
+        let slow_path = dir.join("slow-baseline.json");
+        std::fs::write(&slow_path, serde_json::to_string(&slow).unwrap()).unwrap();
+        let mut bad_argv = argv[..argv.len() - 2].to_vec();
+        bad_argv.extend([
+            "--baseline",
+            slow_path.to_str().unwrap(),
+            "--check",
+            "--tolerance-pct",
+            "5",
+        ]);
+        let err = cmd_profile(&parse(&bad_argv)).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Invalid(m) if m.contains("makespan drifted")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn profile_analyzes_a_saved_trace() {
+        let dir = std::env::temp_dir().join("real-cli-profile-trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.json");
+        let argv = [
+            "run",
+            "--nodes",
+            "1",
+            "--batch",
+            "32",
+            "--iters",
+            "1",
+            "--quick-profile",
+            "--heuristic",
+            "--trace",
+            trace_path.to_str().unwrap(),
+        ];
+        cmd_run(&parse(&argv)).unwrap();
+        let out = cmd_profile(&parse(&[
+            "profile",
+            "--trace",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("makespan"), "{out}");
+        assert!(out.contains("generation"), "{out}");
     }
 
     #[test]
@@ -1100,6 +1337,11 @@ mod tests {
         let out = cmd_sched(&parse(&argv)).unwrap();
         assert!(out.contains("prod") && out.contains("dev"));
         assert!(out.contains("fairness"));
+        // Stretch / queue-wait percentile rows ride along the report.
+        assert!(
+            out.contains("stretch") && out.contains("queue-wait-seconds"),
+            "{out}"
+        );
 
         // Chrome trace has one process group per tenant.
         let trace = std::fs::read_to_string(&trace_path).unwrap();
@@ -1122,6 +1364,11 @@ mod tests {
             .any(|e| e.name == "sched/fairness_index"));
         assert!(snap.metrics.iter().any(|e| e.name == "sched/stretch"
             && e.labels.iter().any(|(k, v)| k == "tenant" && v == "prod")));
+        assert!(snap.metrics.iter().any(|e| e.name == "sched/stretch_hist"));
+        assert!(snap
+            .metrics
+            .iter()
+            .any(|e| e.name == "sched/queue_wait_hist"));
 
         // Seeded runs replay: the JSON report is byte-identical.
         let mut json_argv = vec!["sched", "--tenants", spec_path.to_str().unwrap()];

@@ -403,6 +403,34 @@ impl Experiment {
         }
         metrics
     }
+
+    /// Builds the phase-attributed [`real_obs::ProfileReport`] for a
+    /// finished run: critical path, Fig. 8-style phase shares, per-GPU
+    /// utilization, comm/compute overlap, and the per-call
+    /// estimator-vs-simulated gap (Fig. 12) computed against `est` for the
+    /// placements the run actually used. Pass the estimator returned by
+    /// [`Experiment::prepare`] (or the one used for planning) to avoid
+    /// re-profiling.
+    pub fn profile_report(
+        &self,
+        report: &ExperimentReport,
+        est: &Estimator,
+        top_k: usize,
+    ) -> real_obs::ProfileReport {
+        let stream = self.event_stream(report);
+        let mut profile = real_obs::ProfileReport::from_stream(&stream, top_k);
+        for (id, def) in self.graph.iter() {
+            let estimated = est.call_duration(id, report.plan.assignment(id));
+            if let Some(simulated) = report.run.call_mean(&def.call_name) {
+                profile.estimator_gap.push(real_obs::profile::CallGap::new(
+                    &def.call_name,
+                    estimated,
+                    simulated,
+                ));
+            }
+        }
+        profile
+    }
 }
 
 #[cfg(test)]

@@ -21,7 +21,7 @@
 
 use serde::Value;
 
-use crate::events::{EventStream, StreamEvent};
+use crate::events::{EventStream, LaneId, StreamEvent};
 
 const SECS_TO_MICROS: f64 = 1e6;
 
@@ -136,6 +136,96 @@ pub fn to_chrome_string(stream: &EventStream) -> String {
     serde_json::to_string(&to_chrome_value(stream)).expect("Value serialization is infallible")
 }
 
+/// Imports a Chrome trace event array back into an [`EventStream`] — the
+/// inverse of [`to_chrome_value`], used by `real profile --trace file.json`
+/// to analyze saved traces offline. Unknown phases are skipped; timestamps
+/// convert from microseconds back to virtual seconds.
+///
+/// # Errors
+///
+/// Returns a description when the value is not an event array or an `E`
+/// event closes a lane with no open span (a malformed or truncated trace).
+pub fn from_chrome_value(value: &Value) -> Result<EventStream, String> {
+    let events = value
+        .as_array()
+        .ok_or("chrome trace must be a JSON array")?;
+    let mut stream = EventStream::with_capacity(0);
+    let mut open: std::collections::BTreeMap<(u32, u32), u32> = std::collections::BTreeMap::new();
+    let str_of = |e: &Value, key: &str| e[key].as_str().map(str::to_string);
+    let u32_of = |e: &Value, key: &str| e[key].as_f64().map(|v| v as u32);
+    let ts_of = |e: &Value| e["ts"].as_f64().map(|v| v / SECS_TO_MICROS);
+
+    // Metadata pre-pass: process names carry no tid, so pair each thread
+    // record with its process record before applying lane names.
+    let mut procs: std::collections::BTreeMap<u32, String> = std::collections::BTreeMap::new();
+    let mut threads: std::collections::BTreeMap<(u32, u32), String> =
+        std::collections::BTreeMap::new();
+    for e in events {
+        if e["ph"].as_str() != Some("M") {
+            continue;
+        }
+        let pid = u32_of(e, "pid").unwrap_or(0);
+        match (e["name"].as_str(), e["args"]["name"].as_str()) {
+            (Some("process_name"), Some(n)) => {
+                procs.insert(pid, n.to_string());
+            }
+            (Some("thread_name"), Some(n)) => {
+                threads.insert((pid, u32_of(e, "tid").unwrap_or(0)), n.to_string());
+            }
+            _ => {}
+        }
+    }
+    for (&(pid, tid), thread) in &threads {
+        let process = procs.get(&pid).map_or("", String::as_str);
+        stream.set_lane_name(LaneId { pid, tid }, process, thread);
+    }
+
+    for e in events {
+        let Some(ph) = e["ph"].as_str() else { continue };
+        let pid = u32_of(e, "pid").unwrap_or(0);
+        let tid = u32_of(e, "tid").unwrap_or(0);
+        let lane = LaneId { pid, tid };
+        let name = str_of(e, "name").unwrap_or_default();
+        let category = str_of(e, "cat").unwrap_or_default();
+        match ph {
+            "M" => {}
+            "B" => {
+                let ts = ts_of(e).ok_or("B event missing ts")?;
+                *open.entry((pid, tid)).or_insert(0) += 1;
+                stream.begin(lane, &name, &category, ts);
+            }
+            "E" => {
+                let ts = ts_of(e).ok_or("E event missing ts")?;
+                match open.get_mut(&(pid, tid)) {
+                    Some(n) if *n > 0 => *n -= 1,
+                    _ => return Err(format!("unmatched E event on lane {lane:?}")),
+                }
+                stream.end(lane, ts);
+            }
+            "i" => {
+                let ts = ts_of(e).ok_or("i event missing ts")?;
+                stream.instant(lane, &name, &category, ts);
+            }
+            "C" => {
+                let ts = ts_of(e).ok_or("C event missing ts")?;
+                let v = e["args"]["value"].as_f64().unwrap_or(0.0);
+                stream.counter(pid, &name, ts, v);
+            }
+            "s" | "f" => {
+                let ts = ts_of(e).ok_or("flow event missing ts")?;
+                let id = e["id"].as_f64().map_or(0, |v| v as u64);
+                if ph == "s" {
+                    stream.flow_start(id, &name, lane, ts);
+                } else {
+                    stream.flow_end(id, &name, lane, ts);
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(stream)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +275,115 @@ mod tests {
             .find(|e| e["ph"].as_str() == Some("B") && e["name"].as_str() == Some("layer_fwd"))
             .unwrap();
         assert!((begin["ts"].as_f64().unwrap() - 0.1e6).abs() < 1e-6);
+    }
+
+    /// Structural event equality with timestamp tolerance: micros-to-secs
+    /// conversion can differ from the original in the last float bit.
+    fn approx_eq(a: &StreamEvent, b: &StreamEvent) -> bool {
+        use StreamEvent::*;
+        let close = |x: f64, y: f64| (x - y).abs() < 1e-9;
+        match (a, b) {
+            (
+                Begin {
+                    lane: l1,
+                    name: n1,
+                    category: c1,
+                    ts: t1,
+                },
+                Begin {
+                    lane: l2,
+                    name: n2,
+                    category: c2,
+                    ts: t2,
+                },
+            ) => l1 == l2 && n1 == n2 && c1 == c2 && close(*t1, *t2),
+            (End { lane: l1, ts: t1 }, End { lane: l2, ts: t2 }) => l1 == l2 && close(*t1, *t2),
+            (
+                Instant {
+                    lane: l1,
+                    name: n1,
+                    ts: t1,
+                    ..
+                },
+                Instant {
+                    lane: l2,
+                    name: n2,
+                    ts: t2,
+                    ..
+                },
+            ) => l1 == l2 && n1 == n2 && close(*t1, *t2),
+            (
+                Counter {
+                    pid: p1,
+                    track: k1,
+                    ts: t1,
+                    value: v1,
+                },
+                Counter {
+                    pid: p2,
+                    track: k2,
+                    ts: t2,
+                    value: v2,
+                },
+            ) => p1 == p2 && k1 == k2 && close(*t1, *t2) && v1 == v2,
+            (
+                FlowStart {
+                    id: i1,
+                    name: n1,
+                    lane: l1,
+                    ts: t1,
+                },
+                FlowStart {
+                    id: i2,
+                    name: n2,
+                    lane: l2,
+                    ts: t2,
+                },
+            )
+            | (
+                FlowEnd {
+                    id: i1,
+                    name: n1,
+                    lane: l1,
+                    ts: t1,
+                },
+                FlowEnd {
+                    id: i2,
+                    name: n2,
+                    lane: l2,
+                    ts: t2,
+                },
+            ) => i1 == i2 && n1 == n2 && l1 == l2 && close(*t1, *t2),
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_events_and_names() {
+        let s = sample_stream();
+        let back = from_chrome_value(&to_chrome_value(&s)).unwrap();
+        assert_eq!(back.events().len(), s.events().len());
+        for (a, b) in back.events().iter().zip(s.events()) {
+            assert!(approx_eq(a, b), "{a:?} vs {b:?}");
+        }
+        let names: Vec<_> = back.process_names().collect();
+        assert_eq!(names, s.process_names().collect::<Vec<_>>());
+        let threads: Vec<_> = back.thread_names().collect();
+        assert_eq!(threads, s.thread_names().collect::<Vec<_>>());
+        assert!(back.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn import_rejects_malformed_traces() {
+        assert!(from_chrome_value(&Value::from("nope")).is_err());
+        let orphan_end = Value::Array(vec![obj(vec![
+            ("ph", Value::from("E")),
+            ("pid", Value::from(0u32)),
+            ("tid", Value::from(0u32)),
+            ("ts", Value::from(1.0)),
+        ])]);
+        let err = from_chrome_value(&orphan_end).unwrap_err();
+        assert!(err.contains("unmatched"), "{err}");
     }
 
     #[test]

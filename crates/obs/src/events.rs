@@ -259,7 +259,13 @@ impl EventStream {
     /// Checks the cross-event invariants tests rely on:
     /// every recorded `End` closes an earlier `Begin` on the same lane (the
     /// per-lane running depth never goes negative), no span is left open,
-    /// and every flow id appears as a start/end pair.
+    /// span timestamps within a lane are non-decreasing in record order,
+    /// and every flow id appears as a start/end pair with the start recorded
+    /// before the end.
+    ///
+    /// The strict checks are waived once events were dropped: a truncated
+    /// stream may legitimately retain an `End` whose `Begin` fell off, and
+    /// its surviving order proves nothing about the emitter.
     ///
     /// # Errors
     ///
@@ -269,18 +275,43 @@ impl EventStream {
             return Err(format!("{} span(s) left open", self.open_spans()));
         }
         let mut depth: BTreeMap<LaneId, i64> = BTreeMap::new();
+        let mut last_ts: BTreeMap<LaneId, f64> = BTreeMap::new();
         let mut flow_starts: BTreeMap<u64, u64> = BTreeMap::new();
         let mut flow_ends: BTreeMap<u64, u64> = BTreeMap::new();
+        // Emitters accumulate timestamps in floating point, so a few ulps of
+        // backwards drift between adjacent spans is legitimate; only a
+        // visible regression is an ordering violation.
+        const TS_EPS: f64 = 1e-9;
+        let mut check_lane_ts = |lane: &LaneId, ts: f64| -> Result<(), String> {
+            if let Some(&prev) = last_ts.get(lane) {
+                if ts < prev - TS_EPS {
+                    return Err(format!(
+                        "out-of-order span timestamp on lane {lane:?}: {ts} after {prev}"
+                    ));
+                }
+                if ts <= prev {
+                    return Ok(()); // keep the high-water mark
+                }
+            }
+            last_ts.insert(*lane, ts);
+            Ok(())
+        };
         for event in &self.events {
             match event {
-                StreamEvent::Begin { lane, .. } => {
+                StreamEvent::Begin { lane, ts, .. } => {
                     *depth.entry(*lane).or_insert(0) += 1;
+                    if self.dropped == 0 {
+                        check_lane_ts(lane, *ts)?;
+                    }
                 }
-                StreamEvent::End { lane, .. } => {
+                StreamEvent::End { lane, ts } => {
                     let d = depth.entry(*lane).or_insert(0);
                     *d -= 1;
-                    if *d < 0 && self.dropped == 0 {
-                        return Err(format!("unmatched end on lane {lane:?}"));
+                    if self.dropped == 0 {
+                        if *d < 0 {
+                            return Err(format!("unmatched end on lane {lane:?}"));
+                        }
+                        check_lane_ts(lane, *ts)?;
                     }
                 }
                 StreamEvent::FlowStart { id, .. } => {
@@ -288,6 +319,12 @@ impl EventStream {
                 }
                 StreamEvent::FlowEnd { id, .. } => {
                     *flow_ends.entry(*id).or_insert(0) += 1;
+                    if self.dropped == 0
+                        && flow_ends.get(id).copied().unwrap_or(0)
+                            > flow_starts.get(id).copied().unwrap_or(0)
+                    {
+                        return Err(format!("flow {id} ends without a start"));
+                    }
                 }
                 _ => {}
             }
@@ -337,6 +374,39 @@ mod tests {
     fn unmatched_end_panics() {
         let mut s = EventStream::with_capacity(10);
         s.end(LaneId::gpu(0, 0), 1.0);
+    }
+
+    #[test]
+    fn out_of_order_span_timestamps_are_rejected() {
+        let mut s = EventStream::with_capacity(10);
+        let lane = LaneId::gpu(0, 0);
+        s.span(lane, "a", "compute", 2.0, 3.0);
+        s.span(lane, "b", "compute", 1.0, 1.5); // starts before `a` ended
+        let err = s.check_invariants().unwrap_err();
+        assert!(err.contains("out-of-order span timestamp"), "{err}");
+        // A different lane is an independent clock: no violation.
+        let mut s = EventStream::with_capacity(10);
+        s.span(LaneId::gpu(0, 0), "a", "compute", 2.0, 3.0);
+        s.span(LaneId::gpu(0, 1), "b", "compute", 1.0, 1.5);
+        assert!(s.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn end_before_begin_timestamp_is_rejected() {
+        let mut s = EventStream::with_capacity(10);
+        let lane = LaneId::gpu(0, 0);
+        s.span(lane, "a", "compute", 1.0, 0.5); // ends before it starts
+        let err = s.check_invariants().unwrap_err();
+        assert!(err.contains("out-of-order span timestamp"), "{err}");
+    }
+
+    #[test]
+    fn flow_end_recorded_before_start_is_rejected() {
+        let mut s = EventStream::with_capacity(10);
+        s.flow_end(7, "req", LaneId::gpu(0, 0), 1.0);
+        s.flow_start(7, "req", LaneId::master(), 0.0);
+        let err = s.check_invariants().unwrap_err();
+        assert!(err.contains("ends without a start"), "{err}");
     }
 
     #[test]

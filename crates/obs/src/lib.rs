@@ -12,9 +12,16 @@
 //! - [`events`] — a span-based structured event stream over the *virtual*
 //!   clock: nested begin/end spans, instant events, counter tracks, and flow
 //!   events linking a master `Request` dispatch to its worker `Response`.
-//! - [`chrome`] — a serde_json-backed Chrome/Perfetto trace exporter for
+//! - [`chrome`] — a serde_json-backed Chrome/Perfetto trace exporter (and
+//!   importer, for offline analysis of saved traces) for
 //!   [`events::EventStream`], with metadata records naming lanes
 //!   `node{n}/gpu{g}`.
+//! - [`critpath`] — span reconstruction and critical-path extraction: which
+//!   chain of spans actually gated the makespan.
+//! - [`profile`] — phase attribution (generation/training/inference/
+//!   realloc/transfer/backoff/idle, conserving the makespan), per-GPU
+//!   utilization, comm-vs-compute overlap, and the [`profile::ProfileReport`]
+//!   behind `real profile` and its CI regression gate.
 //!
 //! Producers upstream: `real-sim` (per-GPU busy spans, per-link utilization
 //! counters), `real-runtime` (function-call spans, micro-batches, realloc
@@ -22,9 +29,13 @@
 //! telemetry), `real-estimator` (Algorithm-1 queue events).
 
 pub mod chrome;
+pub mod critpath;
 pub mod events;
 pub mod metrics;
+pub mod profile;
 
-pub use chrome::to_chrome_value;
+pub use chrome::{from_chrome_value, to_chrome_value};
+pub use critpath::{CritEntry, CriticalPath, Span};
 pub use events::{EventStream, LaneId, StreamEvent};
-pub use metrics::{Histogram, MetricValue, MetricsRegistry, MetricsSnapshot, Series};
+pub use metrics::{Histogram, MergeError, MetricValue, MetricsRegistry, MetricsSnapshot, Series};
+pub use profile::{Phase, PhaseShare, ProfileReport};

@@ -130,6 +130,66 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimates the quantile `q` in `[0, 1]` by linear interpolation inside
+    /// the bucket containing the rank (the classic Prometheus
+    /// `histogram_quantile` scheme). Returns `None` when empty.
+    ///
+    /// The first bucket interpolates from zero (bounds are assumed
+    /// non-negative, which holds for every duration/size histogram in this
+    /// repo); ranks landing in the overflow bucket clamp to the last bound,
+    /// the tightest statement the data supports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = q * self.count as f64;
+        let mut below = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if (below + c) as f64 >= rank {
+                if i >= self.bounds.len() {
+                    // Overflow bucket: no upper edge to interpolate toward.
+                    return Some(*self.bounds.last().expect("bounds nonempty"));
+                }
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = self.bounds[i];
+                if c == 0 {
+                    return Some(lo);
+                }
+                let frac = (rank - below as f64) / c as f64;
+                return Some(lo + (hi - lo) * frac.clamp(0.0, 1.0));
+            }
+            below += c;
+        }
+        Some(*self.bounds.last().expect("bounds nonempty"))
+    }
+
+    /// Merges another histogram bucket-wise.
+    ///
+    /// # Errors
+    ///
+    /// Errors (leaving `self` untouched) when the bucket bounds differ —
+    /// adding counts across different bucketings would silently corrupt the
+    /// distribution.
+    pub fn try_merge(&mut self, other: &Histogram) -> Result<(), MergeError> {
+        if self.bounds != other.bounds {
+            return Err(MergeError::HistogramBounds {
+                ours: self.bounds.clone(),
+                theirs: other.bounds.clone(),
+            });
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        Ok(())
+    }
 }
 
 /// A bounded `(x, y)` series (e.g. energy over MCMC steps). When full, new
@@ -174,7 +234,54 @@ impl Series {
     pub fn last_y(&self) -> Option<f64> {
         self.points.last().map(|&(_, y)| y)
     }
+
+    /// Appends another series' points, keeping this series' capacity and
+    /// counting everything that does not fit (plus the other side's existing
+    /// drops) as dropped.
+    pub fn merge(&mut self, other: &Series) {
+        for &(x, y) in &other.points {
+            self.push(x, y);
+        }
+        self.dropped += other.dropped;
+    }
 }
+
+/// Why two registries (or two metric values) could not be merged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeError {
+    /// Histograms with different bucket bounds cannot be added bucket-wise.
+    HistogramBounds {
+        /// Bounds on the receiving side.
+        ours: Vec<f64>,
+        /// Bounds on the incoming side.
+        theirs: Vec<f64>,
+    },
+    /// The same key holds different metric kinds on the two sides.
+    KindMismatch {
+        /// The colliding key, rendered as `name{labels}`.
+        key: String,
+        /// Kind on the receiving side.
+        ours: &'static str,
+        /// Kind on the incoming side.
+        theirs: &'static str,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::HistogramBounds { ours, theirs } => write!(
+                f,
+                "histogram bounds differ: {ours:?} (ours) vs {theirs:?} (theirs)"
+            ),
+            MergeError::KindMismatch { key, ours, theirs } => {
+                write!(f, "cannot merge metric `{key}`: {theirs} into {ours}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
 
 /// One metric's current value.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -334,9 +441,15 @@ impl MetricsRegistry {
     }
 
     /// Merges another registry into this one: counters add, gauges take the
-    /// other's value, histograms/series replace when absent and panic on key
-    /// collisions of mismatched kinds.
-    pub fn merge(&mut self, other: &MetricsRegistry) {
+    /// other's value, histograms add bucket-wise, series concatenate up to
+    /// capacity (overflow counted as dropped), and absent keys copy over.
+    ///
+    /// # Errors
+    ///
+    /// Errors on a key collision of mismatched kinds, or on histogram
+    /// collisions whose bucket bounds differ. Keys merged before the failing
+    /// one stay merged; the failing key (and later ones) are untouched.
+    pub fn try_merge(&mut self, other: &MetricsRegistry) -> Result<(), MergeError> {
         for (key, value) in other.iter() {
             match (self.metrics.get_mut(key), value) {
                 (None, v) => {
@@ -344,12 +457,31 @@ impl MetricsRegistry {
                 }
                 (Some(MetricValue::Counter(a)), MetricValue::Counter(b)) => *a += b,
                 (Some(MetricValue::Gauge(a)), MetricValue::Gauge(b)) => *a = *b,
-                (Some(existing), incoming) => panic!(
-                    "cannot merge metric `{key}`: {} into {}",
-                    incoming.kind(),
-                    existing.kind()
-                ),
+                (Some(MetricValue::Histogram(a)), MetricValue::Histogram(b)) => {
+                    a.try_merge(b)?;
+                }
+                (Some(MetricValue::Series(a)), MetricValue::Series(b)) => a.merge(b),
+                (Some(existing), incoming) => {
+                    return Err(MergeError::KindMismatch {
+                        key: key.to_string(),
+                        ours: existing.kind(),
+                        theirs: incoming.kind(),
+                    });
+                }
             }
+        }
+        Ok(())
+    }
+
+    /// Infallible [`MetricsRegistry::try_merge`] for callers that treat a
+    /// collision as a programming error.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the errors `try_merge` reports.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        if let Err(e) = self.try_merge(other) {
+            panic!("MetricsRegistry::merge failed: {e}");
         }
     }
 
@@ -520,5 +652,98 @@ mod tests {
         let mut reg = MetricsRegistry::new();
         reg.gauge_set("x", &[], 1.0);
         reg.counter_inc("x", &[]);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for _ in 0..10 {
+            h.observe(0.5); // bucket [0, 1]
+        }
+        for _ in 0..10 {
+            h.observe(1.5); // bucket (1, 2]
+        }
+        // p50 sits exactly at the first bucket's upper edge.
+        assert!((h.quantile(0.5).unwrap() - 1.0).abs() < 1e-12);
+        // p75 is halfway through the second bucket.
+        assert!((h.quantile(0.75).unwrap() - 1.5).abs() < 1e-12);
+        // p0 pins to the bottom, p100 to the highest occupied edge.
+        assert!((h.quantile(0.0).unwrap() - 0.0).abs() < 1e-12);
+        assert!((h.quantile(1.0).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_clamps_overflow_and_handles_empty() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        assert_eq!(h.quantile(0.5), None);
+        h.observe(100.0); // overflow bucket
+        assert_eq!(h.quantile(0.99), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_rejects_out_of_range() {
+        Histogram::new(&[1.0]).quantile(1.5);
+    }
+
+    #[test]
+    fn merge_adds_histograms_bucket_wise() {
+        let mut a = MetricsRegistry::new();
+        a.histogram_observe("lat", &[], &[1.0, 2.0], 0.5);
+        let mut b = MetricsRegistry::new();
+        b.histogram_observe("lat", &[], &[1.0, 2.0], 1.5);
+        b.histogram_observe("lat", &[], &[1.0, 2.0], 9.0);
+        a.merge(&b);
+        let MetricValue::Histogram(h) = a.get("lat", &[]).unwrap() else {
+            panic!("expected histogram");
+        };
+        assert_eq!(h.counts(), &[1, 1, 1]);
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_histogram_bounds() {
+        let mut a = MetricsRegistry::new();
+        a.histogram_observe("lat", &[], &[1.0, 2.0], 0.5);
+        let mut b = MetricsRegistry::new();
+        b.histogram_observe("lat", &[], &[1.0, 3.0], 0.5);
+        let err = a.try_merge(&b).unwrap_err();
+        assert!(matches!(err, MergeError::HistogramBounds { .. }));
+        // The receiving histogram was not corrupted.
+        let MetricValue::Histogram(h) = a.get("lat", &[]).unwrap() else {
+            panic!("expected histogram");
+        };
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn merge_concatenates_series_with_drop_accounting() {
+        let mut a = MetricsRegistry::new();
+        a.series_push("e", &[], 3, 0.0, 1.0);
+        a.series_push("e", &[], 3, 1.0, 2.0);
+        let mut b = MetricsRegistry::new();
+        b.series_push("e", &[], 3, 2.0, 3.0);
+        b.series_push("e", &[], 3, 3.0, 4.0);
+        a.merge(&b);
+        let MetricValue::Series(s) = a.get("e", &[]).unwrap() else {
+            panic!("expected series");
+        };
+        // Capacity 3: the first incoming point fits, the second is dropped.
+        assert_eq!(s.points(), &[(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]);
+        assert_eq!(s.dropped(), 1);
+    }
+
+    #[test]
+    fn merge_reports_kind_mismatch_cleanly() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("x", &[("t", "0")], 1.0);
+        let mut b = MetricsRegistry::new();
+        b.gauge_set("x", &[("t", "0")], 2.0);
+        let err = a.try_merge(&b).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "cannot merge metric `x{t=0}`: gauge into counter"
+        );
     }
 }

@@ -1,0 +1,736 @@
+//! Phase attribution and the `ProfileReport` behind `real profile`.
+//!
+//! Turns a raw [`EventStream`] into the paper's evaluation views: Fig. 8
+//! phase shares (where every second of makespan went), Fig. 10/11 per-GPU
+//! utilization and comm-vs-compute overlap, and the critical-path table
+//! from [`crate::critpath`]. The report serializes deterministically (serde
+//! JSON, fixed field and row order), renders as human tables, and diffs
+//! against a committed baseline for the CI regression gate
+//! (`real profile --baseline b.json --check`).
+//!
+//! # Phase model
+//!
+//! Every instant of `[0, makespan]` is attributed to exactly one [`Phase`].
+//! Phase-bearing spans are the master-lane call spans (categories
+//! `call/gen`, `call/train`, `call/inf`), reallocation and transfer spans
+//! from the simulator (`realloc`, `transfer`), and retry-backoff windows
+//! (`backoff`). Where phases overlap, a fixed precedence picks one —
+//! reallocation and transfers over the calls they serve, backoff over the
+//! call it stalls — and uncovered time is `idle`. The sweep is exhaustive
+//! by construction, so
+//!
+//! ```text
+//! sum(phase seconds) == makespan
+//! ```
+//!
+//! is a conservation invariant the proptests pin down.
+
+use crate::critpath::{reconstruct_spans, CritEntry, CriticalPath, Span, EPS};
+use crate::events::EventStream;
+use serde::{Deserialize, Serialize};
+
+/// A named slice of the run's makespan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Parameter-reallocation prologue (`realloc` spans).
+    Realloc,
+    /// Inter-call data transfer (`transfer` spans).
+    Transfer,
+    /// Retry backoff after an aborted attempt (`backoff` spans).
+    RetryBackoff,
+    /// Generation calls (`call/gen`).
+    Generation,
+    /// Training calls (`call/train`).
+    Training,
+    /// Inference calls (`call/inf`).
+    Inference,
+    /// No phase-bearing span active.
+    Idle,
+}
+
+impl Phase {
+    /// Every phase, in attribution-precedence order (highest first); the
+    /// order is also the fixed row order of [`ProfileReport::phases`].
+    pub const ALL: [Phase; 7] = [
+        Phase::Realloc,
+        Phase::Transfer,
+        Phase::RetryBackoff,
+        Phase::Generation,
+        Phase::Training,
+        Phase::Inference,
+        Phase::Idle,
+    ];
+
+    /// Stable snake-ish name used in reports and baselines.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Realloc => "realloc",
+            Phase::Transfer => "transfer",
+            Phase::RetryBackoff => "retry-backoff",
+            Phase::Generation => "generation",
+            Phase::Training => "training",
+            Phase::Inference => "inference",
+            Phase::Idle => "idle",
+        }
+    }
+
+    /// Position in [`Phase::ALL`] (lower = higher precedence).
+    fn index(self) -> usize {
+        Phase::ALL.iter().position(|&p| p == self).expect("in ALL")
+    }
+}
+
+/// Maps a span category to its phase, if it bears one. Kernel-level
+/// categories (`compute`, `launch`, `*-comm`) return `None`: their time is
+/// covered by the enclosing call span.
+pub fn phase_of_category(category: &str) -> Option<Phase> {
+    match category {
+        "realloc" => Some(Phase::Realloc),
+        "transfer" => Some(Phase::Transfer),
+        "backoff" => Some(Phase::RetryBackoff),
+        "call/gen" => Some(Phase::Generation),
+        "call/train" => Some(Phase::Training),
+        "call/inf" => Some(Phase::Inference),
+        _ => None,
+    }
+}
+
+/// Classifies a call by its conventional name suffix (`actor_gen`,
+/// `critic_train`, `reward_inf`, ...) into a phase-bearing span category.
+/// Emitters with access to the dataflow graph should prefer the graph's
+/// own call type; this is for emitters that only see the master log (e.g.
+/// the multi-tenant scheduler).
+pub fn call_category_for_name(name: &str) -> &'static str {
+    if name.ends_with("_gen") {
+        "call/gen"
+    } else if name.ends_with("_train") {
+        "call/train"
+    } else {
+        "call/inf"
+    }
+}
+
+/// One phase's share of the makespan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseShare {
+    /// Phase name (see [`Phase::name`]).
+    pub phase: String,
+    /// Seconds attributed to the phase.
+    pub seconds: f64,
+    /// `seconds / makespan` (0 when the makespan is 0).
+    pub share: f64,
+}
+
+/// Attributes every instant of `[0, makespan]` to one phase via a sorted
+/// boundary sweep over the phase-bearing spans. Returns one entry per
+/// [`Phase`], in `Phase::ALL` order; the seconds sum to the makespan.
+pub fn attribute_phases(spans: &[Span], makespan: f64) -> Vec<PhaseShare> {
+    // Boundary events: (ts, phase index, +1/-1), clamped to the makespan.
+    let mut bounds: Vec<(f64, usize, i32)> = Vec::new();
+    for s in spans {
+        if let Some(p) = phase_of_category(&s.category) {
+            let (a, b) = (s.start.clamp(0.0, makespan), s.end.clamp(0.0, makespan));
+            if b - a > 0.0 {
+                bounds.push((a, p.index(), 1));
+                bounds.push((b, p.index(), -1));
+            }
+        }
+    }
+    bounds.sort_by(|x, y| {
+        x.0.partial_cmp(&y.0)
+            .expect("span times are finite")
+            .then(x.1.cmp(&y.1))
+            .then(x.2.cmp(&y.2))
+    });
+    let mut active = [0i64; Phase::ALL.len()];
+    let mut seconds = [0.0f64; Phase::ALL.len()];
+    let mut prev = 0.0;
+    let credit = |active: &[i64], from: f64, to: f64, secs: &mut [f64]| {
+        if to <= from {
+            return;
+        }
+        let winner = Phase::ALL
+            .iter()
+            .position(|p| *p != Phase::Idle && active[p.index()] > 0)
+            .unwrap_or(Phase::Idle.index());
+        secs[winner] += to - from;
+    };
+    for (ts, idx, delta) in bounds {
+        credit(&active, prev, ts, &mut seconds);
+        prev = prev.max(ts);
+        active[idx] += i64::from(delta);
+    }
+    credit(&active, prev, makespan, &mut seconds);
+    Phase::ALL
+        .iter()
+        .map(|p| PhaseShare {
+            phase: p.name().to_string(),
+            seconds: seconds[p.index()],
+            share: if makespan > 0.0 {
+                seconds[p.index()] / makespan
+            } else {
+                0.0
+            },
+        })
+        .collect()
+}
+
+/// Kernel-level categories the simulator records on GPU lanes.
+const SIM_CATEGORIES: [&str; 7] = [
+    "compute", "launch", "tp-comm", "pp-comm", "dp-comm", "realloc", "transfer",
+];
+
+const COMPUTE_CATEGORIES: [&str; 2] = ["compute", "launch"];
+
+/// Utilization and idle-gap statistics for one GPU lane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuStat {
+    /// Lane name (`node0/gpu3`).
+    pub lane: String,
+    /// Seconds with at least one kernel span active.
+    pub busy_seconds: f64,
+    /// `makespan - busy_seconds`.
+    pub idle_seconds: f64,
+    /// `busy_seconds / makespan`.
+    pub utilization: f64,
+    /// Number of idle gaps (> [`EPS`]) within `[0, makespan]`.
+    pub gaps: u64,
+    /// Longest single idle gap.
+    pub longest_gap_seconds: f64,
+}
+
+/// Cluster-wide comm-vs-compute overlap, in GPU-seconds summed over lanes.
+///
+/// The four buckets tile each GPU lane's `[0, makespan]`, so they sum to
+/// `n_gpu_lanes * makespan`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct OverlapStats {
+    /// Compute (or launch) active, no communication.
+    pub compute_only_seconds: f64,
+    /// Communication (TP/PP/DP, realloc, transfer) active, no compute.
+    pub comm_only_seconds: f64,
+    /// Both active at once (communication hidden behind compute).
+    pub overlap_seconds: f64,
+    /// Neither active (idle).
+    pub neither_seconds: f64,
+}
+
+/// Merges `(start, end)` intervals into a disjoint sorted union.
+fn merge_intervals(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    iv.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("finite")
+            .then(a.1.partial_cmp(&b.1).expect("finite"))
+    });
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    for (a, b) in iv {
+        if b <= a {
+            continue;
+        }
+        match out.last_mut() {
+            Some(last) if a <= last.1 + EPS => last.1 = last.1.max(b),
+            _ => out.push((a, b)),
+        }
+    }
+    out
+}
+
+fn union_len(iv: &[(f64, f64)]) -> f64 {
+    iv.iter().map(|(a, b)| b - a).sum()
+}
+
+/// Seconds both unions are active at once.
+fn intersection_len(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    let (mut i, mut j, mut total) = (0, 0, 0.0);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            total += hi - lo;
+        }
+        if a[i].1 < b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+/// Estimator-vs-simulated wall time for one function call (Fig. 12).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CallGap {
+    /// Call name (e.g. `actor_gen`).
+    pub call: String,
+    /// Algorithm-1 estimate for the assigned placement, seconds.
+    pub estimated_secs: f64,
+    /// Mean simulated wall time across iterations, seconds.
+    pub simulated_secs: f64,
+    /// `(simulated - estimated) / estimated`, in percent.
+    pub gap_pct: f64,
+}
+
+impl CallGap {
+    /// Builds a gap entry, guarding a zero estimate.
+    pub fn new(call: impl Into<String>, estimated_secs: f64, simulated_secs: f64) -> Self {
+        let gap_pct = if estimated_secs > 0.0 {
+            (simulated_secs - estimated_secs) / estimated_secs * 100.0
+        } else {
+            0.0
+        };
+        Self {
+            call: call.into(),
+            estimated_secs,
+            simulated_secs,
+            gap_pct,
+        }
+    }
+}
+
+/// A named p50/p95/p99 summary (idle gaps, sched stretch, queue waits).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PercentileSummary {
+    /// What was summarized (e.g. `gpu-idle-gap-seconds`).
+    pub name: String,
+    /// Sample count.
+    pub count: u64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl PercentileSummary {
+    /// Summarizes a sample set (zeros when empty).
+    pub fn from_values(name: impl Into<String>, values: &[f64]) -> Self {
+        let q = |p| real_util::stats::percentile(values, p).unwrap_or(0.0);
+        Self {
+            name: name.into(),
+            count: values.len() as u64,
+            p50: q(50.0),
+            p95: q(95.0),
+            p99: q(99.0),
+            max: values.iter().fold(0.0f64, |m, &v| m.max(v)),
+        }
+    }
+}
+
+/// The complete output of `real profile`: every view the paper's evaluation
+/// figures need, serializable as a committed baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Virtual makespan of the run.
+    pub makespan: f64,
+    /// Phase attribution (sums to `makespan`), in [`Phase::ALL`] order.
+    pub phases: Vec<PhaseShare>,
+    /// Top-k critical-path entries, largest gating time first.
+    pub critical_path: Vec<CritEntry>,
+    /// Critical-path seconds spent inside spans.
+    pub crit_span_seconds: f64,
+    /// Critical-path seconds spent waiting (no span running anywhere).
+    pub crit_wait_seconds: f64,
+    /// Per-GPU utilization, lane order.
+    pub gpus: Vec<GpuStat>,
+    /// Cluster-wide comm-vs-compute overlap.
+    pub overlap: OverlapStats,
+    /// Estimator-vs-simulated per-call gaps (empty in trace-only mode).
+    pub estimator_gap: Vec<CallGap>,
+    /// Distribution summaries (GPU idle gaps; sched stretch when present).
+    pub percentiles: Vec<PercentileSummary>,
+}
+
+impl ProfileReport {
+    /// Builds the stream-derivable part of the report (everything except
+    /// [`ProfileReport::estimator_gap`], which needs the estimator and is
+    /// filled by the caller when the run was planned in-process).
+    pub fn from_stream(stream: &EventStream, top_k: usize) -> Self {
+        let spans = reconstruct_spans(stream);
+        let makespan = crate::critpath::makespan(&spans);
+        let cp = CriticalPath::extract(&spans, makespan);
+        let critical_path = cp.top_spans(&spans, top_k);
+        let phases = attribute_phases(&spans, makespan);
+
+        // Lane names for the per-GPU views.
+        let lane_name = |lane: &crate::events::LaneId| -> String {
+            let proc = stream
+                .process_names()
+                .find(|&(pid, _)| pid == lane.pid)
+                .map(|(_, n)| n.to_string())
+                .unwrap_or_else(|| format!("pid{}", lane.pid));
+            let thread = stream
+                .thread_names()
+                .find(|&(pid, tid, _)| pid == lane.pid && tid == lane.tid)
+                .map(|(_, _, n)| n.to_string())
+                .unwrap_or_else(|| format!("tid{}", lane.tid));
+            format!("{proc}/{thread}")
+        };
+
+        // Group kernel spans by lane: (compute intervals, comm intervals).
+        type LaneIntervals = (Vec<(f64, f64)>, Vec<(f64, f64)>);
+        let mut by_lane: std::collections::BTreeMap<crate::events::LaneId, LaneIntervals> =
+            std::collections::BTreeMap::new();
+        for s in &spans {
+            if !SIM_CATEGORIES.contains(&s.category.as_str()) {
+                continue;
+            }
+            let entry = by_lane.entry(s.lane).or_default();
+            if COMPUTE_CATEGORIES.contains(&s.category.as_str()) {
+                entry.0.push((s.start, s.end));
+            } else {
+                entry.1.push((s.start, s.end));
+            }
+        }
+
+        let mut gpus = Vec::new();
+        let mut overlap = OverlapStats::default();
+        let mut gap_samples: Vec<f64> = Vec::new();
+        for (lane, (compute, comm)) in by_lane {
+            let compute = merge_intervals(compute);
+            let comm = merge_intervals(comm);
+            let busy = merge_intervals(compute.iter().chain(comm.iter()).copied().collect());
+
+            let compute_len = union_len(&compute);
+            let comm_len = union_len(&comm);
+            let both = intersection_len(&compute, &comm);
+            overlap.compute_only_seconds += compute_len - both;
+            overlap.comm_only_seconds += comm_len - both;
+            overlap.overlap_seconds += both;
+            overlap.neither_seconds += makespan - union_len(&busy);
+
+            // Idle gaps within [0, makespan], including lead-in and tail.
+            let mut gaps = 0u64;
+            let mut longest = 0.0f64;
+            let mut cursor = 0.0;
+            for &(a, b) in busy.iter().chain(std::iter::once(&(makespan, makespan))) {
+                let gap = a.min(makespan) - cursor;
+                if gap > EPS {
+                    gaps += 1;
+                    longest = longest.max(gap);
+                    gap_samples.push(gap);
+                }
+                cursor = cursor.max(b.min(makespan));
+            }
+            let busy_seconds = union_len(&busy);
+            gpus.push(GpuStat {
+                lane: lane_name(&lane),
+                busy_seconds,
+                idle_seconds: makespan - busy_seconds,
+                utilization: if makespan > 0.0 {
+                    busy_seconds / makespan
+                } else {
+                    0.0
+                },
+                gaps,
+                longest_gap_seconds: longest,
+            });
+        }
+
+        Self {
+            makespan,
+            phases,
+            critical_path,
+            crit_span_seconds: cp.span_seconds,
+            crit_wait_seconds: cp.wait_seconds,
+            gpus,
+            overlap,
+            estimator_gap: Vec::new(),
+            percentiles: vec![PercentileSummary::from_values(
+                "gpu-idle-gap-seconds",
+                &gap_samples,
+            )],
+        }
+    }
+
+    /// Fraction of the makespan attributed to non-idle phases.
+    pub fn attributed_fraction(&self) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.phase != "idle")
+            .map(|p| p.share)
+            .sum()
+    }
+
+    /// Renders the human-readable profile.
+    pub fn render(&self) -> String {
+        let mut out = format!("makespan: {:.2}s\n\n", self.makespan);
+
+        let mut t = real_util::Table::new(vec!["phase", "seconds", "share"]);
+        for p in &self.phases {
+            t.row(vec![
+                p.phase.clone(),
+                format!("{:.2}", p.seconds),
+                format!("{:.1}%", p.share * 100.0),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push_str(&format!(
+            "attributed to non-idle phases: {:.1}%\n\n",
+            self.attributed_fraction() * 100.0
+        ));
+
+        let mut t = real_util::Table::new(vec!["critical-path span", "category", "seconds", "n"]);
+        for e in &self.critical_path {
+            t.row(vec![
+                e.name.clone(),
+                e.category.clone(),
+                format!("{:.2}", e.seconds),
+                e.count.to_string(),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push_str(&format!(
+            "critical path: {:.2}s in spans + {:.2}s waiting\n\n",
+            self.crit_span_seconds, self.crit_wait_seconds
+        ));
+
+        if !self.gpus.is_empty() {
+            let mut t =
+                real_util::Table::new(vec!["gpu", "busy (s)", "util", "gaps", "longest gap (s)"]);
+            for g in &self.gpus {
+                t.row(vec![
+                    g.lane.clone(),
+                    format!("{:.2}", g.busy_seconds),
+                    format!("{:.1}%", g.utilization * 100.0),
+                    g.gaps.to_string(),
+                    format!("{:.2}", g.longest_gap_seconds),
+                ]);
+            }
+            out.push_str(&t.render());
+            out.push_str(&format!(
+                "overlap: {:.2} GPU-s compute-only, {:.2} comm-only, \
+                 {:.2} overlapped, {:.2} idle\n\n",
+                self.overlap.compute_only_seconds,
+                self.overlap.comm_only_seconds,
+                self.overlap.overlap_seconds,
+                self.overlap.neither_seconds,
+            ));
+        }
+
+        if !self.estimator_gap.is_empty() {
+            let mut t =
+                real_util::Table::new(vec!["call", "estimated (s)", "simulated (s)", "gap"]);
+            for g in &self.estimator_gap {
+                t.row(vec![
+                    g.call.clone(),
+                    format!("{:.2}", g.estimated_secs),
+                    format!("{:.2}", g.simulated_secs),
+                    format!("{:+.1}%", g.gap_pct),
+                ]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+
+        let mut t = real_util::Table::new(vec!["distribution", "n", "p50", "p95", "p99", "max"]);
+        for p in &self.percentiles {
+            t.row(vec![
+                p.name.clone(),
+                p.count.to_string(),
+                format!("{:.3}", p.p50),
+                format!("{:.3}", p.p95),
+                format!("{:.3}", p.p99),
+                format!("{:.3}", p.max),
+            ]);
+        }
+        out.push_str(&t.render());
+        out
+    }
+
+    /// Diffs this report against a committed baseline. Returns one message
+    /// per violation (empty = within tolerance): makespan relative drift,
+    /// per-phase share drift (absolute percentage points), and
+    /// critical-path composition drift (per-category share of makespan).
+    pub fn check_against(&self, baseline: &ProfileReport, tolerance_pct: f64) -> Vec<String> {
+        let mut violations = Vec::new();
+        if baseline.makespan > 0.0 {
+            let drift = (self.makespan - baseline.makespan) / baseline.makespan * 100.0;
+            if drift.abs() > tolerance_pct {
+                violations.push(format!(
+                    "makespan drifted {drift:+.1}% ({:.2}s -> {:.2}s; tolerance {tolerance_pct}%)",
+                    baseline.makespan, self.makespan
+                ));
+            }
+        }
+        for base in &baseline.phases {
+            let cur = self
+                .phases
+                .iter()
+                .find(|p| p.phase == base.phase)
+                .map_or(0.0, |p| p.share);
+            let drift_pp = (cur - base.share) * 100.0;
+            if drift_pp.abs() > tolerance_pct {
+                violations.push(format!(
+                    "phase `{}` share drifted {drift_pp:+.1}pp ({:.1}% -> {:.1}%; tolerance {tolerance_pct}pp)",
+                    base.phase,
+                    base.share * 100.0,
+                    cur * 100.0,
+                ));
+            }
+        }
+        // Critical-path composition: per-category share of the makespan.
+        let comp = |r: &ProfileReport| -> std::collections::BTreeMap<String, f64> {
+            let mut m = std::collections::BTreeMap::new();
+            if r.makespan > 0.0 {
+                for e in &r.critical_path {
+                    *m.entry(e.category.clone()).or_insert(0.0) += e.seconds / r.makespan;
+                }
+            }
+            m
+        };
+        let (base_comp, cur_comp) = (comp(baseline), comp(self));
+        for (category, &base_share) in &base_comp {
+            let cur_share = cur_comp.get(category).copied().unwrap_or(0.0);
+            let drift_pp = (cur_share - base_share) * 100.0;
+            if drift_pp.abs() > tolerance_pct {
+                violations.push(format!(
+                    "critical-path category `{category}` share drifted {drift_pp:+.1}pp \
+                     ({:.1}% -> {:.1}%; tolerance {tolerance_pct}pp)",
+                    base_share * 100.0,
+                    cur_share * 100.0,
+                ));
+            }
+        }
+        for (category, &cur_share) in &cur_comp {
+            if !base_comp.contains_key(category) && cur_share * 100.0 > tolerance_pct {
+                violations.push(format!(
+                    "critical-path category `{category}` is new at {:.1}% of makespan \
+                     (tolerance {tolerance_pct}pp)",
+                    cur_share * 100.0,
+                ));
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::LaneId;
+
+    fn stream() -> EventStream {
+        let mut s = EventStream::with_capacity(0);
+        let master = LaneId::master();
+        let gpu = LaneId::gpu(0, 0);
+        s.set_lane_name(gpu, "node0", "gpu0");
+        // Generation [0, 4], realloc [4, 5], training [5, 10].
+        s.span(master, "actor_gen#0", "call/gen", 0.0, 4.0);
+        s.span(gpu, "gen_kernel", "compute", 0.0, 3.5);
+        s.span(gpu, "switch", "realloc", 4.0, 5.0);
+        s.span(master, "actor_train#0", "call/train", 5.0, 10.0);
+        s.span(gpu, "train_kernel", "compute", 5.0, 9.0);
+        s.span(gpu, "grad_allreduce", "dp-comm", 8.5, 9.5);
+        s
+    }
+
+    #[test]
+    fn phases_conserve_makespan() {
+        let spans = reconstruct_spans(&stream());
+        let phases = attribute_phases(&spans, 10.0);
+        let total: f64 = phases.iter().map(|p| p.seconds).sum();
+        assert!((total - 10.0).abs() < 1e-9, "{total}");
+        let get = |n: &str| phases.iter().find(|p| p.phase == n).unwrap().seconds;
+        assert!((get("generation") - 4.0).abs() < 1e-9);
+        assert!((get("realloc") - 1.0).abs() < 1e-9);
+        assert!((get("training") - 5.0).abs() < 1e-9);
+        assert!((get("idle")).abs() < 1e-9);
+    }
+
+    #[test]
+    fn realloc_takes_precedence_over_calls() {
+        let mut s = EventStream::with_capacity(0);
+        s.span(LaneId::master(), "gen#0", "call/gen", 0.0, 10.0);
+        s.span(LaneId::gpu(0, 0), "switch", "realloc", 3.0, 5.0);
+        let phases = attribute_phases(&reconstruct_spans(&s), 10.0);
+        let get = |n: &str| phases.iter().find(|p| p.phase == n).unwrap().seconds;
+        assert!((get("generation") - 8.0).abs() < 1e-9);
+        assert!((get("realloc") - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backoff_takes_precedence_over_its_enclosing_call() {
+        let mut s = EventStream::with_capacity(0);
+        let m = LaneId::master();
+        s.begin(m, "gen#0", "call/gen", 0.0);
+        s.span(m, "backoff", "backoff", 4.0, 6.0);
+        s.end(m, 10.0);
+        let phases = attribute_phases(&reconstruct_spans(&s), 10.0);
+        let get = |n: &str| phases.iter().find(|p| p.phase == n).unwrap().seconds;
+        assert!((get("retry-backoff") - 2.0).abs() < 1e-9);
+        assert!((get("generation") - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncovered_time_is_idle() {
+        let mut s = EventStream::with_capacity(0);
+        s.span(LaneId::master(), "gen#0", "call/gen", 2.0, 6.0);
+        let phases = attribute_phases(&reconstruct_spans(&s), 10.0);
+        let get = |n: &str| phases.iter().find(|p| p.phase == n).unwrap().seconds;
+        assert!((get("idle") - 6.0).abs() < 1e-9);
+        assert!((get("generation") - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_covers_gpus_overlap_and_critical_path() {
+        let r = ProfileReport::from_stream(&stream(), 10);
+        assert!((r.makespan - 10.0).abs() < 1e-9);
+        assert_eq!(r.gpus.len(), 1);
+        assert_eq!(r.gpus[0].lane, "node0/gpu0");
+        // Busy union: [0,3.5] ∪ [4,5] ∪ [5,9.5] = 9.0s, 3 gaps? lead gap
+        // none (starts at 0), [3.5,4] and [9.5,10].
+        assert!((r.gpus[0].busy_seconds - 9.0).abs() < 1e-9);
+        assert_eq!(r.gpus[0].gaps, 2);
+        // dp-comm [8.5,9.5] overlaps compute [5,9] for 0.5s.
+        assert!((r.overlap.overlap_seconds - 0.5).abs() < 1e-9);
+        assert!((r.overlap.comm_only_seconds - 1.5).abs() < 1e-9);
+        // Phase conservation survives the full pipeline.
+        let total: f64 = r.phases.iter().map(|p| p.seconds).sum();
+        assert!((total - r.makespan).abs() < 1e-9);
+        // Critical path ≤ makespan and the top spans are named.
+        assert!(r.crit_span_seconds + r.crit_wait_seconds <= r.makespan + 1e-9);
+        assert!(!r.critical_path.is_empty());
+        let rendered = r.render();
+        assert!(rendered.contains("generation"));
+        assert!(rendered.contains("critical path"));
+        assert!(rendered.contains("node0/gpu0"));
+    }
+
+    #[test]
+    fn check_against_flags_makespan_and_share_drift() {
+        let base = ProfileReport::from_stream(&stream(), 10);
+        assert!(base.check_against(&base, 1.0).is_empty());
+
+        // 20% slower run: makespan and phase shares both drift.
+        let mut slow = stream();
+        slow.span(LaneId::master(), "actor_train#1", "call/train", 10.0, 12.0);
+        let cur = ProfileReport::from_stream(&slow, 10);
+        let violations = cur.check_against(&base, 10.0);
+        assert!(
+            violations.iter().any(|v| v.contains("makespan")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn report_json_roundtrips() {
+        let r = ProfileReport::from_stream(&stream(), 10);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ProfileReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+        // Serialization is deterministic: same stream, same bytes.
+        let again = serde_json::to_string(&ProfileReport::from_stream(&stream(), 10)).unwrap();
+        assert_eq!(json, again);
+    }
+
+    #[test]
+    fn call_name_classification_follows_suffix_convention() {
+        assert_eq!(call_category_for_name("actor_gen"), "call/gen");
+        assert_eq!(call_category_for_name("critic_train"), "call/train");
+        assert_eq!(call_category_for_name("reward_inf"), "call/inf");
+        assert_eq!(call_category_for_name("ref"), "call/inf");
+    }
+}

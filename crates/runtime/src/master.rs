@@ -536,18 +536,19 @@ impl RuntimeEngine {
                 FaultAbort::Timeout => stats.timeouts += 1,
             }
             stats.retries += 1;
+            let backoff = (self.config.backoff_base * 2f64.powi(failed as i32))
+                .min(self.config.backoff_cap)
+                .max(0.0);
             stats.events.push(RequestFault {
                 call_name: call_name.to_string(),
                 iter,
                 attempt: failed,
                 kind,
                 at: abort_at,
+                backoff_secs: backoff,
             });
 
             failed += 1;
-            let backoff = (self.config.backoff_base * 2f64.powi(failed as i32 - 1))
-                .min(self.config.backoff_cap)
-                .max(0.0);
             stats.backoff_seconds += backoff;
             attempt_ready = abort_at + backoff;
         }

@@ -8,9 +8,12 @@
 //! * [`build_event_stream`] — one [`real_obs::EventStream`] combining the
 //!   per-GPU kernel spans (micro-batches, pipeline stages, reallocation
 //!   broadcasts, transfers), one master control lane per function call with
-//!   a span per dispatched request, flow arrows linking each master
-//!   `Request` to the worker `Response` that completes it, and per-GPU
-//!   memory-in-use counter tracks derived from the engine's memory model.
+//!   a span per dispatched request (category `call/gen`, `call/train`, or
+//!   `call/inf` after the call's type, so `real profile` can attribute
+//!   phases), retry-backoff windows as `backoff` spans nested in their
+//!   call span, flow arrows linking each master `Request` to the worker
+//!   `Response` that completes it, and per-GPU memory-in-use counter
+//!   tracks derived from the engine's memory model.
 //! * [`run_metrics`] — a [`real_obs::MetricsRegistry`] with per-category
 //!   busy-second counters (matching [`crate::RunReport::category_totals`]),
 //!   run-level gauges, and per-call duration histograms.
@@ -53,6 +56,12 @@ pub const REPLAN_PID: u32 = u32::MAX - 2;
 /// fault process.
 const FAULT_LINK_TID_BASE: u32 = 1 << 16;
 
+/// Thread-id stride between overflow layers of one fault lane: overlapping
+/// injected windows on the same GPU/link are layered onto `tid`,
+/// `tid + STRIDE`, `tid + 2*STRIDE`, ... so each lane's span timestamps
+/// stay monotone.
+const FAULT_LAYER_TID_STRIDE: u32 = 1 << 24;
+
 /// Assembles the unified event stream for a finished run.
 ///
 /// `plan` and `config` must be the ones the run executed with: the plan
@@ -83,7 +92,7 @@ pub fn build_event_stream(
         .map(|r| 2 * plan.assignment(r.call).mesh.n_gpus() as usize)
         .sum();
     let fault_extra = config.fault_plan.as_ref().map_or(0, |p| p.events.len() * 3)
-        + report.faults.events.len() * 2;
+        + report.faults.events.len() * 4;
     let replan_extra = report.replan.events.len() * 3 + 2;
     let capacity = report.trace.events().len() * 4
         + log.requests.len() * 4
@@ -111,6 +120,27 @@ pub fn build_event_stream(
         );
     }
 
+    // Phase-bearing span categories, one per call, after the call's type.
+    let call_category: Vec<String> = graph
+        .iter()
+        .map(|(_, def)| format!("call/{}", def.call_type.label()))
+        .collect();
+
+    // Retry backoff windows, grouped per (call, iter) so they can nest
+    // inside their request's call span. Attempts are sequential, so the
+    // windows of one request never overlap.
+    let mut backoffs: std::collections::BTreeMap<
+        (usize, usize),
+        Vec<&crate::report::RequestFault>,
+    > = std::collections::BTreeMap::new();
+    for f in &report.faults.events {
+        if f.backoff_secs > 0.0 {
+            if let Some(call) = graph.find(&f.call_name) {
+                backoffs.entry((call.0, f.iter)).or_default().push(f);
+            }
+        }
+    }
+
     // Request spans on the master lanes, plus a flow arrow from each
     // dispatch to the lane of the first GPU executing it.
     for (idx, req) in log.requests.iter().enumerate() {
@@ -124,9 +154,20 @@ pub fn build_event_stream(
         stream.begin(
             lane,
             &format!("{}#{}", req.handle, req.iter),
-            "call",
+            &call_category[req.call.0],
             req.dispatch_time,
         );
+        if let Some(faults) = backoffs.get(&(req.call.0, req.iter)) {
+            for f in faults {
+                stream.span(
+                    lane,
+                    &format!("backoff#{}", f.attempt),
+                    "backoff",
+                    f.at,
+                    (f.at + f.backoff_secs).min(resp.completed_at),
+                );
+            }
+        }
         stream.end(lane, resp.completed_at);
         let first = plan
             .assignment(req.call)
@@ -144,49 +185,84 @@ pub fn build_event_stream(
     // Fault surface: injected windows as spans on a synthetic fault
     // process, abort events as instants on the affected master call lane.
     if let Some(fault_plan) = config.fault_plan.as_ref().filter(|p| !p.is_empty()) {
-        let mut named: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
-        let mut fault_lane = |stream: &mut EventStream, tid: u32, thread: &str| {
-            let lane = LaneId {
-                pid: FAULT_PID,
-                tid,
-            };
-            if named.insert(tid) {
-                stream.set_lane_name(lane, "faults", thread);
-            }
-            lane
-        };
+        // Random plans may schedule overlapping windows on one GPU; spans on
+        // a lane must keep monotone timestamps, so overlapping windows are
+        // layered onto overflow lanes (`gpu3+1`, ...) greedily by start time.
+        // Per base-tid: (thread label, windows as (start, end, name)).
+        type FaultWindows = (String, Vec<(f64, f64, String)>);
+        let mut windows: std::collections::BTreeMap<u32, FaultWindows> =
+            std::collections::BTreeMap::new();
         for ev in &fault_plan.events {
-            match *ev {
+            let (tid, thread, name, start, end) = match *ev {
                 real_sim::FaultEvent::Slowdown {
                     gpu,
                     start,
                     end,
                     factor,
-                } => {
-                    let lane = fault_lane(&mut stream, gpu, &format!("gpu{gpu}"));
-                    stream.span(lane, &format!("slowdown x{factor:.1}"), "fault", start, end);
-                }
+                } => (
+                    gpu,
+                    format!("gpu{gpu}"),
+                    format!("slowdown x{factor:.1}"),
+                    start,
+                    end,
+                ),
                 real_sim::FaultEvent::Crash {
                     gpu,
                     at,
                     restart_after,
-                } => {
-                    let lane = fault_lane(&mut stream, gpu, &format!("gpu{gpu}"));
-                    stream.span(lane, "crash+restart", "fault", at, at + restart_after);
-                }
+                } => (
+                    gpu,
+                    format!("gpu{gpu}"),
+                    "crash+restart".to_string(),
+                    at,
+                    at + restart_after,
+                ),
                 real_sim::FaultEvent::LinkDegrade {
                     node,
                     start,
                     end,
                     factor,
-                } => {
-                    let lane = fault_lane(
-                        &mut stream,
-                        FAULT_LINK_TID_BASE + node,
-                        &format!("node{node}-link"),
-                    );
-                    stream.span(lane, &format!("link x{factor:.1}"), "fault", start, end);
+                } => (
+                    FAULT_LINK_TID_BASE + node,
+                    format!("node{node}-link"),
+                    format!("link x{factor:.1}"),
+                    start,
+                    end,
+                ),
+            };
+            windows
+                .entry(tid)
+                .or_insert_with(|| (thread, Vec::new()))
+                .1
+                .push((start, end, name));
+        }
+        let mut named: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+        for (tid, (thread, mut spans)) in windows {
+            spans.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let mut layer_ends: Vec<f64> = Vec::new();
+            for (start, end, name) in spans {
+                let layer = layer_ends
+                    .iter()
+                    .position(|&e| e <= start)
+                    .unwrap_or_else(|| {
+                        layer_ends.push(f64::NEG_INFINITY);
+                        layer_ends.len() - 1
+                    });
+                layer_ends[layer] = end;
+                let lane_tid = tid + layer as u32 * FAULT_LAYER_TID_STRIDE;
+                let lane = LaneId {
+                    pid: FAULT_PID,
+                    tid: lane_tid,
+                };
+                if named.insert(lane_tid) {
+                    let label = if layer == 0 {
+                        thread.clone()
+                    } else {
+                        format!("{thread}+{layer}")
+                    };
+                    stream.set_lane_name(lane, "faults", &label);
                 }
+                stream.span(lane, &name, "fault", start, end);
             }
         }
         for f in &report.faults.events {
@@ -438,7 +514,7 @@ mod tests {
             .filter(|e| {
                 matches!(e,
                 StreamEvent::Begin { lane, category, .. }
-                    if lane.pid == u32::MAX && category == "call")
+                    if lane.pid == u32::MAX && category.starts_with("call/"))
             })
             .count();
         assert_eq!(call_begins, report.master_log.requests.len());

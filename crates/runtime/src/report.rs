@@ -52,6 +52,9 @@ pub struct RequestFault {
     pub kind: FaultAbort,
     /// Virtual time at which the attempt was abandoned.
     pub at: f64,
+    /// Backoff wait before the next attempt became ready (seconds); the
+    /// event stream renders this as a `backoff` span nested in the call.
+    pub backoff_secs: f64,
 }
 
 /// Degraded-mode accounting: how much work a faulted run lost, retried, and

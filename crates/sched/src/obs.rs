@@ -9,8 +9,9 @@
 //! an isolated program, including any time-shared GPUs appearing in two
 //! process groups at disjoint times.
 
-use crate::report::SchedReport;
+use crate::report::{SchedReport, TenantOutcome};
 use crate::scheduler::Schedule;
+use real_obs::profile::PercentileSummary;
 use real_obs::{EventStream, LaneId, MetricsRegistry};
 use real_runtime::RunReport;
 
@@ -18,6 +19,39 @@ use real_runtime::RunReport;
 /// pids (small integers) and the runtime's synthetic lanes (near
 /// `u32::MAX`) can never collide with a tenant row.
 pub const TENANT_PID_BASE: u32 = 1 << 20;
+
+/// Thread-id base for a tenant's master control lanes (one per call),
+/// placed far above any global GPU index so the two never collide inside
+/// one tenant process group.
+pub const TENANT_MASTER_TID_BASE: u32 = 1 << 16;
+
+/// Histogram bucket bounds for per-tenant stretch observations
+/// (`sched/stretch_hist`): stretch 1.0 is a solo-speed run, the top bucket
+/// collects pathological starvation.
+pub const STRETCH_BOUNDS: &[f64] = &[1.0, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0, 25.0];
+
+/// Histogram bucket bounds for per-tenant queue-wait seconds
+/// (`sched/queue_wait_hist`).
+pub const QUEUE_WAIT_BOUNDS: &[f64] = &[0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0];
+
+/// Seconds a tenant spent not making step progress: total wall time minus
+/// the time its iterations actually took. Time-shared or preempted tenants
+/// accumulate this as queue wait.
+pub fn queue_wait_secs(t: &TenantOutcome) -> f64 {
+    (t.total_secs - t.iterations as f64 * t.measured_step_secs).max(0.0)
+}
+
+/// Stretch and queue-wait percentile summaries across the run's tenants —
+/// the sched-run rows of a profile (`real sched` renders them, and they
+/// share [`PercentileSummary`] with `real profile`'s report).
+pub fn sched_percentiles(report: &SchedReport) -> Vec<PercentileSummary> {
+    let stretches: Vec<f64> = report.tenants.iter().map(|t| t.stretch).collect();
+    let waits: Vec<f64> = report.tenants.iter().map(queue_wait_secs).collect();
+    vec![
+        PercentileSummary::from_values("stretch", &stretches),
+        PercentileSummary::from_values("queue-wait-seconds", &waits),
+    ]
+}
 
 /// Builds one event stream with a Chrome process group per tenant, spans
 /// taken from each tenant's kernel trace. Tenants whose engine config left
@@ -33,7 +67,8 @@ pub fn sched_event_stream(schedule: &Schedule, reports: &[RunReport]) -> EventSt
         "one report per scheduled tenant"
     );
     let total: usize = reports.iter().map(|r| r.trace.events().len()).sum();
-    let mut stream = EventStream::with_capacity(total * 2 + reports.len() * 8 + 16);
+    let requests: usize = reports.iter().map(|r| r.master_log.requests.len()).sum();
+    let mut stream = EventStream::with_capacity(total * 2 + requests * 2 + reports.len() * 8 + 16);
     for (index, (placed, report)) in schedule.tenants.iter().zip(reports).enumerate() {
         let pid = TENANT_PID_BASE + index as u32;
         let process = format!("tenant:{}", placed.name);
@@ -49,6 +84,27 @@ pub fn sched_event_stream(schedule: &Schedule, reports: &[RunReport]) -> EventSt
                 tid: ev.gpu as u32,
             };
             stream.span(lane, ev.label, &ev.category.to_string(), ev.start, ev.end);
+        }
+        // Master control lanes: one span per dispatched request, tagged with
+        // its call phase so `real profile` can attribute tenant makespans.
+        // Tenant plans carry no dataflow graph, so the phase is read off the
+        // call-name suffix convention.
+        for req in &report.master_log.requests {
+            let Some(resp) = report.master_log.response(req.call, req.iter) else {
+                continue;
+            };
+            let lane = LaneId {
+                pid,
+                tid: TENANT_MASTER_TID_BASE + req.call.0 as u32,
+            };
+            stream.set_lane_name(lane, &process, &format!("master:{}", req.handle));
+            stream.span(
+                lane,
+                &format!("{}#{}", req.handle, req.iter),
+                real_obs::profile::call_category_for_name(&req.handle),
+                req.dispatch_time,
+                resp.completed_at,
+            );
         }
     }
     stream
@@ -77,6 +133,13 @@ pub fn sched_metrics(report: &SchedReport) -> MetricsRegistry {
     for t in &report.tenants {
         let labels = [("tenant", t.name.as_str())];
         m.gauge_set("sched/stretch", &labels, t.stretch);
+        m.histogram_observe("sched/stretch_hist", &[], STRETCH_BOUNDS, t.stretch);
+        m.histogram_observe(
+            "sched/queue_wait_hist",
+            &[],
+            QUEUE_WAIT_BOUNDS,
+            queue_wait_secs(t),
+        );
         m.gauge_set("sched/step_seconds", &labels, t.measured_step_secs);
         m.gauge_set("sched/total_seconds", &labels, t.total_secs);
         m.gauge_set("sched/steps_per_sec", &labels, t.steps_per_sec);
