@@ -32,6 +32,12 @@ for cmd in $(sed -n '/^pub fn dispatch/,/^}/s/^ *"\([a-z-]*\)" => .*/\1/p' \
     fi
 done
 
+# Search-throughput gate: the memoized fast path must beat from-scratch
+# pricing on the CI-sized config while choosing the identical plan (see
+# docs/SEARCH.md). The full three-scale table is the `search_throughput`
+# ablation; this runs only the small gate pair.
+cargo bench -q -p real-bench --bench ablations -- search_throughput_gate
+
 # Profile-regression gate: re-profile the reference PPO workload and diff
 # phase shares, makespan, and critical-path composition against the
 # committed baseline (see docs/PROFILING.md). The heuristic plan and the

@@ -59,6 +59,8 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "replan",
     "dry-run",
     "check",
+    "no-memo",
+    "memo-stats",
 ];
 
 impl Args {

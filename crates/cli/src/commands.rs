@@ -97,6 +97,11 @@ SEARCH FLAGS (plan/run):
   --steps N        MCMC step budget                  [default 40000]
   --time SECS      search wall-clock budget          [default 20]
   --chains N       parallel chains                   [default 1]
+  --threads N      worker threads for --chains; the chosen plan is
+                   bit-identical for any value       [default: chains]
+  --no-memo        disable the incremental memoized cost path (prices
+                   every proposal from scratch; same plan, slower)
+  --memo-stats     print memo-cache hits/misses/hit-rate after the search
   --explain        (plan) diff the plan against the heuristic
   --out FILE       (plan) save the plan as JSON
   --checkpoint F   (plan/replan) save a resumable search checkpoint JSON
@@ -218,31 +223,61 @@ fn model_flag(args: &Args, flag: &str) -> Result<ModelSpec, CliError> {
     })
 }
 
-/// Search configuration from flags.
-pub fn mcmc_from(args: &Args) -> Result<(McmcConfig, usize), CliError> {
+/// Search configuration from flags: `(config, chains, threads)`.
+pub fn mcmc_from(args: &Args) -> Result<(McmcConfig, usize, usize), CliError> {
     let cfg = McmcConfig {
         max_steps: args.num_or("steps", 40_000u64)?,
         time_limit: Duration::from_secs(args.num_or("time", 20u64)?),
         seed: args.num_or("seed", 1u64)?,
+        memo: !args.flag("no-memo"),
         ..McmcConfig::default()
     };
     let chains: usize = args.num_or("chains", 1usize)?;
     if chains == 0 {
         return Err(CliError::Invalid("--chains must be positive".into()));
     }
-    Ok((cfg, chains))
+    // The plan is bit-identical for any thread count; --threads only caps
+    // the worker pool (e.g. on a shared login node).
+    let threads: usize = args.num_or("threads", chains)?;
+    if threads == 0 {
+        return Err(CliError::Invalid("--threads must be positive".into()));
+    }
+    Ok((cfg, chains, threads))
+}
+
+/// Runs the configured search: multi-chain when `--chains > 1`.
+fn plan_searched(
+    exp: &Experiment,
+    cfg: &McmcConfig,
+    chains: usize,
+    threads: usize,
+) -> Result<real_core::PlannedExperiment, CliError> {
+    if chains > 1 {
+        exp.plan_auto_parallel_on(cfg, chains, threads)
+    } else {
+        exp.plan_auto(cfg)
+    }
+    .map_err(|_| CliError::NoFeasiblePlan)
+}
+
+/// The `--memo-stats` section: memo-cache effectiveness for one search.
+fn memo_stats_line(search: &SearchResult) -> String {
+    let m = &search.memo;
+    format!(
+        "memo: {} hits / {} misses (hit rate {:.1}%), {} entries, {} invalidations\n",
+        m.hits,
+        m.misses,
+        m.hit_rate() * 100.0,
+        m.entries,
+        m.invalidations,
+    )
 }
 
 /// `real plan`
 pub fn cmd_plan(args: &Args) -> Result<String, CliError> {
     let exp = experiment_from(args)?;
-    let (cfg, chains) = mcmc_from(args)?;
-    let planned = if chains > 1 {
-        exp.plan_auto_parallel(&cfg, chains)
-    } else {
-        exp.plan_auto(&cfg)
-    }
-    .map_err(|_| CliError::NoFeasiblePlan)?;
+    let (cfg, chains, threads) = mcmc_from(args)?;
+    let planned = plan_searched(&exp, &cfg, chains, threads)?;
 
     if let Some(path) = args.str_opt("out") {
         std::fs::write(path, serde_json::to_string_pretty(&planned.plan)?)?;
@@ -270,6 +305,9 @@ pub fn cmd_plan(args: &Args) -> Result<String, CliError> {
         planned.search.best_time_cost,
         planned.profiling_secs,
     ));
+    if args.flag("memo-stats") {
+        out.push_str(&memo_stats_line(&planned.search));
+    }
     Ok(out)
 }
 
@@ -288,13 +326,8 @@ pub fn cmd_run(args: &Args) -> Result<String, CliError> {
     } else if args.flag("heuristic") {
         exp.plan_heuristic()
     } else {
-        let (cfg, chains) = mcmc_from(args)?;
-        let planned = if chains > 1 {
-            exp.plan_auto_parallel(&cfg, chains)
-        } else {
-            exp.plan_auto(&cfg)
-        }
-        .map_err(|_| CliError::NoFeasiblePlan)?;
+        let (cfg, chains, threads) = mcmc_from(args)?;
+        let planned = plan_searched(&exp, &cfg, chains, threads)?;
         let plan = planned.plan;
         search = Some(planned.search);
         plan
@@ -309,7 +342,13 @@ pub fn cmd_run(args: &Args) -> Result<String, CliError> {
         let metrics = exp.metrics(&report, search.as_ref());
         std::fs::write(path, serde_json::to_string_pretty(&metrics.snapshot())?)?;
     }
-    Ok(report.render(exp.graph()))
+    let mut out = report.render(exp.graph());
+    if args.flag("memo-stats") {
+        if let Some(search) = &search {
+            out.push_str(&memo_stats_line(search));
+        }
+    }
+    Ok(out)
 }
 
 /// `real replan`: resume a saved search checkpoint against a fresh step
@@ -393,12 +432,8 @@ pub fn cmd_baselines(args: &Args) -> Result<String, CliError> {
             Err(_) => table.row(vec![name.into(), "OOM".into(), "-".into()]),
         };
     }
-    let (cfg, chains) = mcmc_from(args)?;
-    if let Ok(planned) = if chains > 1 {
-        exp.plan_auto_parallel(&cfg, chains)
-    } else {
-        exp.plan_auto(&cfg)
-    } {
+    let (cfg, chains, threads) = mcmc_from(args)?;
+    if let Ok(planned) = plan_searched(&exp, &cfg, chains, threads) {
         let r = exp.run(&planned.plan, iters)?;
         table.row(vec![
             "ReaL (searched)".into(),
@@ -433,14 +468,8 @@ pub fn cmd_profile(args: &Args) -> Result<String, CliError> {
         } else if args.flag("heuristic") {
             exp.plan_heuristic()
         } else {
-            let (cfg, chains) = mcmc_from(args)?;
-            let planned = if chains > 1 {
-                exp.plan_auto_parallel(&cfg, chains)
-            } else {
-                exp.plan_auto(&cfg)
-            }
-            .map_err(|_| CliError::NoFeasiblePlan)?;
-            planned.plan
+            let (cfg, chains, threads) = mcmc_from(args)?;
+            plan_searched(&exp, &cfg, chains, threads)?.plan
         };
         let iters: usize = args.num_or("iters", 2)?;
         let run = exp.run(&plan, iters)?;
@@ -647,7 +676,7 @@ pub fn cmd_advise(args: &Args) -> Result<String, CliError> {
         candidates.push(n);
         n *= 2;
     }
-    let (cfg, _) = mcmc_from(args)?;
+    let (cfg, _, _) = mcmc_from(args)?;
     let iters: usize = args.num_or("iters", 2)?;
     // Rebuild the experiment per size by substituting --nodes.
     let rec = real_core::advisor::recommend(&candidates, &cfg, iters, |nodes| {
@@ -834,6 +863,41 @@ mod tests {
         ];
         let out = cmd_run(&parse(&argv)).unwrap();
         assert!(out.contains("throughput"));
+    }
+
+    #[test]
+    fn plan_thread_and_memo_flags_do_not_change_the_output() {
+        let base = vec![
+            "plan",
+            "--nodes",
+            "1",
+            "--batch",
+            "32",
+            "--steps",
+            "300",
+            "--time",
+            "10",
+            "--quick-profile",
+            "--chains",
+            "2",
+        ];
+        let with = |extra: &[&str]| {
+            let mut argv = base.clone();
+            argv.extend_from_slice(extra);
+            cmd_plan(&parse(&argv)).unwrap()
+        };
+        // Same plan and search stats for any worker-thread count.
+        let one = with(&["--threads", "1", "--memo-stats"]);
+        let two = with(&["--threads", "2", "--memo-stats"]);
+        assert!(one.contains("memo:"), "--memo-stats prints the cache line");
+        assert_eq!(one, two);
+        // Disabling the memoized fast path changes nothing but speed.
+        assert_eq!(with(&[]), with(&["--no-memo"]));
+        // Zero worker threads is rejected up front.
+        assert!(matches!(
+            mcmc_from(&parse(&["plan", "--threads", "0"])),
+            Err(CliError::Invalid(_))
+        ));
     }
 
     #[test]

@@ -163,6 +163,30 @@ impl ClusterHealth {
     pub fn cluster(&self) -> &ClusterSpec {
         &self.cluster
     }
+
+    /// A stable FNV-1a digest of the overlay's observable state (per-GPU
+    /// liveness and slowdown factors plus the dead penalty). Two overlays
+    /// that price every mesh identically hash identically; any
+    /// `mark_dead`/`mark_slow`/`with_dead_penalty` change alters the digest.
+    /// The estimator's memo cache stores this tag and drops its entries
+    /// whenever it changes.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(&self.dead_penalty.to_bits().to_le_bytes());
+        for g in &self.gpus {
+            mix(&[u8::from(g.alive)]);
+            mix(&g.slowdown.to_bits().to_le_bytes());
+        }
+        h
+    }
 }
 
 #[cfg(test)]

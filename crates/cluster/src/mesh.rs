@@ -158,7 +158,7 @@ impl DeviceMesh {
 
     /// Enumerates every valid mesh in the cluster per the §4 rules.
     pub fn enumerate(cluster: &ClusterSpec) -> Vec<Self> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(Self::enumerate_count(cluster));
         // Sub-node slices.
         for node in 0..cluster.n_nodes {
             let mut w = 1;
@@ -188,6 +188,92 @@ impl DeviceMesh {
                 start += count;
             }
             count *= 2;
+        }
+        out
+    }
+
+    /// Number of meshes [`DeviceMesh::enumerate`] yields, in closed form.
+    /// Lets callers pre-size buffers instead of growing them — noticeable at
+    /// the ROADMAP's 8192-GPU scale where the enumeration has ~16k entries.
+    pub fn enumerate_count(cluster: &ClusterSpec) -> usize {
+        let mut per_node = 0usize;
+        let mut w = 1;
+        while w < cluster.gpus_per_node {
+            per_node += (cluster.gpus_per_node / w) as usize;
+            w *= 2;
+        }
+        let mut spans = 0usize;
+        let mut count = 1;
+        while count <= cluster.n_nodes {
+            spans += (cluster.n_nodes / count) as usize;
+            count *= 2;
+        }
+        cluster.n_nodes as usize * per_node + spans
+    }
+
+    /// The subset of [`DeviceMesh::enumerate`] contained in `region`,
+    /// generated directly instead of filtering the full enumeration — the
+    /// output (order included) is identical to
+    /// `enumerate(cluster).into_iter().filter(|m| region.contains_mesh(m))`,
+    /// but the work is proportional to the *region*, not the cluster. The
+    /// scheduler prices thousands of candidate regions per plan, so at large
+    /// cluster sizes this turns an `O(cluster)` scan per candidate into
+    /// `O(region)`.
+    ///
+    /// Buddy alignment makes the direct walk exact: every valid region has a
+    /// power-of-two extent with an aligned start on both axes, so the
+    /// contained slices of width `w` are precisely those starting at
+    /// `region.gpu_start + k·w`, and likewise for node spans.
+    ///
+    /// ```
+    /// use real_cluster::{ClusterSpec, DeviceMesh};
+    ///
+    /// let cluster = ClusterSpec::h100(4);
+    /// let region = DeviceMesh::whole_nodes(&cluster, 2, 2).unwrap();
+    /// let direct = DeviceMesh::enumerate_within(&cluster, &region);
+    /// let filtered: Vec<_> = DeviceMesh::enumerate(&cluster)
+    ///     .into_iter()
+    ///     .filter(|m| region.contains_mesh(m))
+    ///     .collect();
+    /// assert_eq!(direct, filtered);
+    /// ```
+    pub fn enumerate_within(cluster: &ClusterSpec, region: &Self) -> Vec<Self> {
+        debug_assert_eq!(region.gpus_per_node, cluster.gpus_per_node);
+        let mut out = Vec::new();
+        let gpu_end = region.gpu_start + region.gpu_width;
+        // Sub-node slices: meshes narrower than a node inside the region's
+        // GPU window, for each region node.
+        for node in region.node_start..region.node_start + region.node_count {
+            let mut w = 1;
+            while w < cluster.gpus_per_node {
+                if w <= region.gpu_width {
+                    let mut start = region.gpu_start;
+                    while start + w <= gpu_end {
+                        out.push(
+                            Self::sub_node(cluster, node, start, w)
+                                .expect("enumerated sub-node mesh must be valid"),
+                        );
+                        start += w;
+                    }
+                }
+                w *= 2;
+            }
+        }
+        // Whole-node buddy spans fit only when the region itself spans whole
+        // nodes.
+        if region.gpu_start == 0 && region.gpu_width == cluster.gpus_per_node {
+            let mut count = 1;
+            while count <= region.node_count {
+                let mut start = region.node_start;
+                while start + count <= region.node_start + region.node_count {
+                    out.push(
+                        Self::whole_nodes(cluster, start, count)
+                            .expect("enumerated node span must be valid"),
+                    );
+                    start += count;
+                }
+                count *= 2;
+            }
         }
         out
     }
@@ -454,6 +540,28 @@ mod tests {
                 }
                 // Rank count matches the iterator length.
                 prop_assert_eq!(m.gpus().count() as u32, m.n_gpus());
+            }
+        }
+
+        #[test]
+        fn enumerate_count_matches_enumeration(n_nodes_pow in 0u32..5) {
+            let c = ClusterSpec::h100(1 << n_nodes_pow);
+            prop_assert_eq!(DeviceMesh::enumerate(&c).len(), DeviceMesh::enumerate_count(&c));
+        }
+
+        #[test]
+        fn enumerate_within_matches_filtered_enumeration(n_nodes_pow in 0u32..4) {
+            let c = ClusterSpec::h100(1 << n_nodes_pow);
+            let all = DeviceMesh::enumerate(&c);
+            // Every enumerable mesh is a valid region; the direct walk must
+            // reproduce the filtered list exactly, order included.
+            for region in &all {
+                let filtered: Vec<_> = all
+                    .iter()
+                    .copied()
+                    .filter(|m| region.contains_mesh(m))
+                    .collect();
+                prop_assert_eq!(DeviceMesh::enumerate_within(&c, region), filtered);
             }
         }
 

@@ -24,6 +24,11 @@ use crate::GpuId;
 /// The §4 mesh enumeration of `cluster`, restricted to meshes wholly inside
 /// the GPU set of `allocation`.
 ///
+/// Generated directly via [`DeviceMesh::enumerate_within`] (work scales with
+/// the allocation, not the cluster) but identical — order included — to
+/// filtering the full enumeration, so scheduler candidate probes stay
+/// bit-reproducible across this fast path.
+///
 /// # Examples
 ///
 /// ```
@@ -37,10 +42,7 @@ use crate::GpuId;
 /// assert!(inside.iter().all(|m| node1.contains_mesh(m)));
 /// ```
 pub fn meshes_within(cluster: &ClusterSpec, allocation: &DeviceMesh) -> Vec<DeviceMesh> {
-    DeviceMesh::enumerate(cluster)
-        .into_iter()
-        .filter(|m| allocation.contains_mesh(m))
-        .collect()
+    DeviceMesh::enumerate_within(cluster, allocation)
 }
 
 /// The §4 mesh enumeration restricted to meshes whose GPUs are all inside

@@ -293,13 +293,32 @@ impl Experiment {
         cfg: &McmcConfig,
         n_chains: usize,
     ) -> Result<PlannedExperiment, PlanFailure> {
+        self.plan_auto_parallel_on(cfg, n_chains, n_chains)
+    }
+
+    /// Like [`plan_auto_parallel`](Self::plan_auto_parallel), but with an
+    /// explicit worker-thread cap. The chosen plan is bit-identical for any
+    /// `threads >= 1`: chain outcomes depend only on their per-chain seeds
+    /// and the merge scans results in chain order, never in completion
+    /// order (the `real plan --threads` contract, see `docs/SEARCH.md`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanFailure`] when the workload cannot fit the cluster or
+    /// no memory-feasible plan was found within the budget.
+    pub fn plan_auto_parallel_on(
+        &self,
+        cfg: &McmcConfig,
+        n_chains: usize,
+        threads: usize,
+    ) -> Result<PlannedExperiment, PlanFailure> {
         let space = self
             .try_search_space()
             .map_err(PlanFailure::ImpossibleWorkload)?;
         let (est, profiling_secs) = self.prepare();
         let mut cfg = cfg.clone();
         cfg.seed = self.seed.wrapping_add(cfg.seed);
-        let result = real_search::parallel_search(&est, &space, &cfg, n_chains);
+        let result = real_search::parallel_search_on(&est, &space, &cfg, n_chains, threads);
         if !result.feasible {
             return Err(PlanFailure::NoFeasiblePlan(Box::new(result)));
         }

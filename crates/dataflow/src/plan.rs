@@ -9,7 +9,10 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One call's resources: where it runs and how it parallelizes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// `Eq + Hash` (both components are plain integers) so assignments can key
+/// memoization tables in the estimator's fast pricing path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CallAssignment {
     /// The device mesh executing the call.
     pub mesh: DeviceMesh,

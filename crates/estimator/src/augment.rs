@@ -96,8 +96,18 @@ pub fn transfer_cost(
     plan: &ExecutionPlan,
     to: CallId,
 ) -> f64 {
-    let a = plan.assignment(from);
-    let b = plan.assignment(to);
+    transfer_cost_between(est, graph, from, plan.assignment(from), plan.assignment(to))
+}
+
+/// [`transfer_cost`] with the producer/consumer assignments given directly
+/// instead of read off a plan — the form the memo cache keys on.
+pub fn transfer_cost_between(
+    est: &Estimator,
+    graph: &DataflowGraph,
+    from: CallId,
+    a: &real_dataflow::CallAssignment,
+    b: &real_dataflow::CallAssignment,
+) -> f64 {
     if a.mesh == b.mesh && a.strategy == b.strategy {
         return 0.0;
     }
@@ -111,113 +121,250 @@ pub fn transfer_cost(
     est.comm().broadcast(per_src, 2, within)
 }
 
+/// Edge-cost oracle for [`Template::instantiate`].
+///
+/// The template fixes the *structure* of the augmented graph; an
+/// implementation of this trait supplies the three per-edge prices. The
+/// direct implementation ([`DirectCosts`]) calls the estimator's pricing
+/// functions; the memoized one ([`crate::memo::CostMemo`] via
+/// [`crate::PlanPricer`]) consults its cache first. Both must return
+/// bit-identical values for the two paths to produce bit-identical
+/// makespans.
+pub trait NodeCosts {
+    /// Duration of `call` under assignment `a` (seconds).
+    fn duration(&mut self, call: CallId, a: &real_dataflow::CallAssignment) -> f64;
+    /// Cost of reallocating the model of `dst_call` from layout `src` to
+    /// layout `dst` (seconds).
+    fn realloc(
+        &mut self,
+        dst_call: CallId,
+        src: &real_dataflow::CallAssignment,
+        dst: &real_dataflow::CallAssignment,
+    ) -> f64;
+    /// Cost of moving `from`'s outputs (under `a`) to a consumer under `b`
+    /// (seconds).
+    fn transfer(
+        &mut self,
+        from: CallId,
+        a: &real_dataflow::CallAssignment,
+        b: &real_dataflow::CallAssignment,
+    ) -> f64;
+}
+
+/// The unmemoized [`NodeCosts`]: every query goes straight to the
+/// estimator's pricing functions.
+pub struct DirectCosts<'a> {
+    /// The backing estimator.
+    pub est: &'a Estimator,
+}
+
+impl NodeCosts for DirectCosts<'_> {
+    fn duration(&mut self, call: CallId, a: &real_dataflow::CallAssignment) -> f64 {
+        self.est.call_duration(call, a)
+    }
+
+    fn realloc(
+        &mut self,
+        dst_call: CallId,
+        src: &real_dataflow::CallAssignment,
+        dst: &real_dataflow::CallAssignment,
+    ) -> f64 {
+        realloc_cost(self.est, &self.est.graph().call(dst_call).model, src, dst)
+    }
+
+    fn transfer(
+        &mut self,
+        from: CallId,
+        a: &real_dataflow::CallAssignment,
+        b: &real_dataflow::CallAssignment,
+    ) -> f64 {
+        transfer_cost_between(self.est, self.est.graph(), from, a, b)
+    }
+}
+
+/// The plan-independent structure of the augmented graph: topological order
+/// plus each call's parameter-version predecessor links, precomputed once
+/// per (graph, iterations) pair.
+///
+/// [`build`] recomputed this structure on every invocation — including a
+/// quadratic "which model call precedes me" scan — which the MCMC search
+/// paid per proposal. A `Template` hoists all of it out of the hot loop:
+/// [`Template::instantiate`] only walks the precomputed links and asks a
+/// [`NodeCosts`] oracle for edge prices, so re-pricing a plan does no graph
+/// analysis at all.
+#[derive(Debug, Clone)]
+pub struct Template {
+    iterations: usize,
+    topo: Vec<CallId>,
+    /// Per call: the same model's previous call within one iteration.
+    prev_in_iter: Vec<Option<CallId>>,
+    /// Per call: the same model's last call in topological order (the
+    /// cross-iteration wrap-around predecessor).
+    model_last: Vec<CallId>,
+}
+
+impl Template {
+    /// Precomputes the augmented-graph structure for `iterations` unrolled
+    /// iterations of `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations == 0`.
+    pub fn new(graph: &DataflowGraph, iterations: usize) -> Self {
+        assert!(iterations > 0, "must unroll at least one iteration");
+        let topo = graph.topo_order().expect("validated graphs are acyclic");
+        let n = graph.n_calls();
+        let mut prev_in_iter = vec![None; n];
+        let mut model_last = vec![CallId(usize::MAX); n];
+        for model_name in graph.model_names() {
+            let model_calls = graph.calls_of_model(model_name);
+            let order: Vec<CallId> = topo
+                .iter()
+                .filter(|c| model_calls.contains(c))
+                .copied()
+                .collect();
+            let last = *order.last().expect("models have at least one call");
+            for (pos, &call) in order.iter().enumerate() {
+                if pos > 0 {
+                    prev_in_iter[call.0] = Some(order[pos - 1]);
+                }
+                model_last[call.0] = last;
+            }
+        }
+        Self {
+            iterations,
+            topo,
+            prev_in_iter,
+            model_last,
+        }
+    }
+
+    /// Number of unrolled iterations the template was built for.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Materializes the augmented node list for one plan, with assignments
+    /// supplied by `assign` (so a one-call perturbation needs no plan clone)
+    /// and edge prices supplied by `costs`.
+    ///
+    /// Node order and contents are bit-identical to [`build`] on the
+    /// equivalent plan.
+    pub fn instantiate<F>(
+        &self,
+        graph: &DataflowGraph,
+        assign: F,
+        costs: &mut dyn NodeCosts,
+    ) -> Vec<AugNode>
+    where
+        F: Fn(CallId) -> real_dataflow::CallAssignment,
+    {
+        let n = graph.n_calls();
+        let mut nodes: Vec<AugNode> = Vec::with_capacity(self.iterations * n * 2);
+        // call_node[iter][call] = node index.
+        let mut call_node = vec![vec![usize::MAX; n]; self.iterations];
+
+        for iter in 0..self.iterations {
+            for &call in &self.topo {
+                let def = graph.call(call);
+                let a = assign(call);
+                let mut parents: Vec<usize> = Vec::new();
+
+                // Data dependencies (+ transfer nodes when layouts differ).
+                for &dep in graph.deps(call) {
+                    let dep_node = call_node[iter][dep.0];
+                    debug_assert_ne!(dep_node, usize::MAX, "topo order places deps first");
+                    let cost = costs.transfer(dep, &assign(dep), &a);
+                    if cost > 0.0 {
+                        // Transfers occupy the consumer mesh only; the
+                        // producer sends from copy engines (mirrors the
+                        // runtime engine).
+                        nodes.push(AugNode {
+                            kind: NodeKind::Transfer {
+                                from: dep,
+                                to: call,
+                                iter,
+                            },
+                            duration: cost,
+                            meshes: vec![a.mesh],
+                            parents: vec![dep_node],
+                        });
+                        parents.push(nodes.len() - 1);
+                    } else {
+                        parents.push(dep_node);
+                    }
+                }
+
+                // Parameter availability: the model's previous call in this
+                // iteration, or (for the first call of the iteration) its
+                // parameter-version parents in the previous iteration.
+                let prev: Option<(usize, CallId)> = if let Some(p) = self.prev_in_iter[call.0] {
+                    Some((iter, p))
+                } else if iter > 0 {
+                    // Wrap around: last call of the model in the previous
+                    // iteration (captures the parameter-version edge when it
+                    // is a training call, and the layout chain otherwise).
+                    Some((iter - 1, self.model_last[call.0]))
+                } else {
+                    None
+                };
+                if let Some((piter, pcall)) = prev {
+                    let pnode = call_node[piter][pcall.0];
+                    debug_assert_ne!(pnode, usize::MAX);
+                    let pa = assign(pcall);
+                    let cost = costs.realloc(call, &pa, &a);
+                    if cost > 0.0 {
+                        nodes.push(AugNode {
+                            kind: NodeKind::Realloc {
+                                model: def.model_name.clone(),
+                                iter,
+                            },
+                            duration: cost,
+                            meshes: vec![pa.mesh, a.mesh],
+                            parents: vec![pnode],
+                        });
+                        parents.push(nodes.len() - 1);
+                    } else {
+                        parents.push(pnode);
+                    }
+                }
+
+                parents.sort_unstable();
+                parents.dedup();
+                nodes.push(AugNode {
+                    kind: NodeKind::Call { call, iter },
+                    duration: costs.duration(call, &a),
+                    meshes: vec![a.mesh],
+                    parents,
+                });
+                call_node[iter][call.0] = nodes.len() - 1;
+            }
+        }
+        nodes
+    }
+}
+
 /// Builds the augmented node list for `iterations` unrolled iterations.
 ///
 /// Node order: for each iteration, every call preceded by its transfer and
 /// reallocation nodes. Parameter-version edges connect a model's training
 /// call in iteration `t` to its calls in iteration `t+1` (through the
 /// reallocation node when layouts differ).
+///
+/// Equivalent to [`Template::new`] + [`Template::instantiate`] with
+/// [`DirectCosts`]; callers pricing many plans against one graph should
+/// build the template once instead.
 pub fn build(
     graph: &DataflowGraph,
     plan: &ExecutionPlan,
     est: &Estimator,
     iterations: usize,
 ) -> Vec<AugNode> {
-    assert!(iterations > 0, "must unroll at least one iteration");
-    let n = graph.n_calls();
-    let mut nodes: Vec<AugNode> = Vec::new();
-    // call_node[iter][call] = node index.
-    let mut call_node = vec![vec![usize::MAX; n]; iterations];
-
-    // Execution order of each model's calls within an iteration (topological).
-    let topo = graph.topo_order().expect("validated graphs are acyclic");
-
-    for iter in 0..iterations {
-        for &call in &topo {
-            let def = graph.call(call);
-            let a = plan.assignment(call);
-            let mut parents: Vec<usize> = Vec::new();
-
-            // Data dependencies (+ transfer nodes when layouts differ).
-            for &dep in graph.deps(call) {
-                let dep_node = call_node[iter][dep.0];
-                debug_assert_ne!(dep_node, usize::MAX, "topo order places deps first");
-                let cost = transfer_cost(est, graph, dep, plan, call);
-                if cost > 0.0 {
-                    // Transfers occupy the consumer mesh only; the producer
-                    // sends from copy engines (mirrors the runtime engine).
-                    nodes.push(AugNode {
-                        kind: NodeKind::Transfer {
-                            from: dep,
-                            to: call,
-                            iter,
-                        },
-                        duration: cost,
-                        meshes: vec![a.mesh],
-                        parents: vec![dep_node],
-                    });
-                    parents.push(nodes.len() - 1);
-                } else {
-                    parents.push(dep_node);
-                }
-            }
-
-            // Parameter availability: the model's previous call in this
-            // iteration, or (for the first call of the iteration) its
-            // parameter-version parents in the previous iteration.
-            let model_calls = graph.calls_of_model(&def.model_name);
-            let order_in_model = topo
-                .iter()
-                .filter(|c| model_calls.contains(c))
-                .copied()
-                .collect::<Vec<_>>();
-            let my_pos = order_in_model
-                .iter()
-                .position(|&c| c == call)
-                .expect("call is in its own model's call list");
-            let prev: Option<(usize, CallId)> = if my_pos > 0 {
-                Some((iter, order_in_model[my_pos - 1]))
-            } else if iter > 0 {
-                // Wrap around: last call of the model in the previous
-                // iteration (captures the parameter-version edge when it is
-                // a training call, and the layout chain otherwise).
-                Some((iter - 1, *order_in_model.last().expect("non-empty")))
-            } else {
-                None
-            };
-            if let Some((piter, pcall)) = prev {
-                let pnode = call_node[piter][pcall.0];
-                debug_assert_ne!(pnode, usize::MAX);
-                let pa = plan.assignment(pcall);
-                let cost = realloc_cost(est, &def.model, pa, a);
-                if cost > 0.0 {
-                    nodes.push(AugNode {
-                        kind: NodeKind::Realloc {
-                            model: def.model_name.clone(),
-                            iter,
-                        },
-                        duration: cost,
-                        meshes: vec![pa.mesh, a.mesh],
-                        parents: vec![pnode],
-                    });
-                    parents.push(nodes.len() - 1);
-                } else {
-                    parents.push(pnode);
-                }
-            }
-
-            parents.sort_unstable();
-            parents.dedup();
-            nodes.push(AugNode {
-                kind: NodeKind::Call { call, iter },
-                duration: est.call_duration(call, a),
-                meshes: vec![a.mesh],
-                parents,
-            });
-            call_node[iter][call.0] = nodes.len() - 1;
-        }
-    }
-    nodes
+    Template::new(graph, iterations).instantiate(
+        graph,
+        |id| *plan.assignment(id),
+        &mut DirectCosts { est },
+    )
 }
 
 #[cfg(test)]

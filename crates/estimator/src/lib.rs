@@ -47,6 +47,9 @@ pub mod algorithm1;
 pub mod assemble;
 pub mod augment;
 pub mod maxmem;
+pub mod memo;
+
+pub use memo::{CostMemo, MemoStats, PlanPricer};
 
 use real_cluster::{ClusterHealth, ClusterSpec, CommModel};
 use real_dataflow::{CallId, DataflowGraph, ExecutionPlan};
@@ -148,6 +151,17 @@ impl Estimator {
     /// The health overlay, if any.
     pub fn health(&self) -> Option<&ClusterHealth> {
         self.health.as_ref()
+    }
+
+    /// Digest of the health overlay the estimator prices under — the tag a
+    /// [`CostMemo`] binds its entries to (`0` for no overlay; a real
+    /// overlay's [`ClusterHealth::fingerprint`] otherwise, nudged off `0`
+    /// so "no overlay" and "some overlay" can never alias).
+    pub fn health_fingerprint(&self) -> u64 {
+        match &self.health {
+            None => 0,
+            Some(h) => h.fingerprint().max(1),
+        }
     }
 
     /// Overrides the number of iterations Algorithm 1 unrolls.

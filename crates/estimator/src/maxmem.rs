@@ -7,9 +7,105 @@
 //! mesh. Calls sharing a GPU serialize, so per GPU the peak active term is
 //! the max over that GPU's calls.
 
-use real_cluster::ClusterSpec;
-use real_dataflow::{CallType, DataflowGraph, ExecutionPlan};
+use real_cluster::{ClusterSpec, DeviceMesh};
+use real_dataflow::{CallAssignment, CallType, DataflowGraph, ExecutionPlan, ModelFunctionCallDef};
 use real_model::MemoryModel;
+
+/// Static (gradient + optimizer-state) bytes per GPU that a trainable
+/// model's training call pins on every GPU of its mesh. Pure in
+/// `(def, assignment)` — the memo cache keys on exactly those.
+pub(crate) fn anchor_static_bytes(def: &ModelFunctionCallDef, a: &CallAssignment) -> u64 {
+    MemoryModel::new(def.model.clone()).static_optim_bytes(&a.strategy)
+}
+
+/// Active bytes one call charges on every GPU of its mesh while running:
+/// weights, activations, logits and KV cache per §5.1. Pure in
+/// `(def, assignment)`.
+pub(crate) fn call_active_bytes(def: &ModelFunctionCallDef, a: &CallAssignment) -> u64 {
+    let mm = MemoryModel::new(def.model.clone());
+    let dp = u64::from(a.strategy.dp());
+    match def.call_type {
+        CallType::Generate {
+            batch,
+            prompt_len,
+            gen_len,
+        } => mm.gen_active_bytes(&a.strategy, batch.div_ceil(dp), prompt_len + gen_len),
+        CallType::Inference { batch, seq_len } => {
+            mm.infer_active_bytes(&a.strategy, batch.div_ceil(dp) * seq_len)
+        }
+        CallType::TrainStep {
+            batch,
+            seq_len,
+            n_minibatches,
+        } => {
+            let per_mini = batch.div_ceil(dp).div_ceil(u64::from(n_minibatches.max(1)));
+            mm.train_active_bytes(&a.strategy, per_mini * seq_len)
+        }
+    }
+}
+
+/// Appends a mesh's global-GPU index ranges to `out`. Every valid mesh is a
+/// union of at most `node_count` contiguous ranges (one per node); a
+/// whole-width mesh collapses to a single range.
+fn mesh_ranges(mesh: &DeviceMesh, out: &mut Vec<(u64, u64)>) {
+    let gpn = u64::from(mesh.gpus_per_node());
+    if u64::from(mesh.gpu_width()) == gpn {
+        let start = u64::from(mesh.node_start()) * gpn;
+        out.push((start, start + u64::from(mesh.n_gpus())));
+        return;
+    }
+    for node in mesh.node_start()..mesh.node_start() + mesh.n_nodes() {
+        let start = u64::from(node) * gpn + u64::from(mesh.gpu_start());
+        out.push((start, start + u64::from(mesh.gpu_width())));
+    }
+}
+
+/// Peak per-GPU bytes from per-mesh contributions, without materializing a
+/// per-GPU array: `statics` sum on every GPU their mesh covers, `actives`
+/// max (calls sharing a GPU serialize, §5.1). Exact — an interval sweep
+/// over range boundaries visits a superset of the distinct per-GPU sums, so
+/// the result is bit-identical to the `O(total_gpus)` reference above while
+/// costing `O(contributions²)`; at 8192 GPUs that's the difference between
+/// touching tens of bytes and tens of kilobytes per MCMC proposal.
+pub(crate) fn peak_from_contributions(
+    statics: &[(DeviceMesh, u64)],
+    actives: &[(DeviceMesh, u64)],
+) -> u64 {
+    let mut ranges: Vec<(u64, u64)> = Vec::with_capacity(statics.len() + actives.len() * 2);
+    let mut static_ranges: Vec<(u64, u64, u64)> = Vec::with_capacity(statics.len() * 2);
+    let mut active_ranges: Vec<(u64, u64, u64)> = Vec::with_capacity(actives.len() * 2);
+    for (mesh, bytes) in statics {
+        let at = ranges.len();
+        mesh_ranges(mesh, &mut ranges);
+        static_ranges.extend(ranges[at..].iter().map(|&(s, e)| (s, e, *bytes)));
+    }
+    for (mesh, bytes) in actives {
+        let at = ranges.len();
+        mesh_ranges(mesh, &mut ranges);
+        active_ranges.extend(ranges[at..].iter().map(|&(s, e)| (s, e, *bytes)));
+    }
+    // Elementary intervals: between consecutive boundaries the covering set
+    // is constant, so probing each interval start sees every distinct sum.
+    let mut bounds: Vec<u64> = ranges.iter().map(|&(s, _)| s).collect();
+    bounds.sort_unstable();
+    bounds.dedup();
+    let mut peak = 0u64;
+    for &x in &bounds {
+        let s: u64 = static_ranges
+            .iter()
+            .filter(|&&(lo, hi, _)| lo <= x && x < hi)
+            .map(|&(_, _, b)| b)
+            .sum();
+        let a: u64 = active_ranges
+            .iter()
+            .filter(|&&(lo, hi, _)| lo <= x && x < hi)
+            .map(|&(_, _, b)| b)
+            .max()
+            .unwrap_or(0);
+        peak = peak.max(s + a);
+    }
+    peak
+}
 
 /// Per-GPU static bytes implied by the plan.
 fn static_bytes_per_gpu(
@@ -34,13 +130,30 @@ fn static_bytes_per_gpu(
             .expect("trainable models have a training call");
         let def = graph.call(anchor);
         let a = plan.assignment(anchor);
-        let mm = MemoryModel::new(def.model.clone());
-        let bytes = mm.static_optim_bytes(&a.strategy);
+        let bytes = anchor_static_bytes(def, a);
         for gpu in a.mesh.gpus() {
             static_mem[gpu.0 as usize] += bytes;
         }
     }
     static_mem
+}
+
+/// The training call anchoring each trainable model's static memory, in
+/// [`DataflowGraph::model_names`] order — the calls whose assignments the
+/// fast path turns into static contributions.
+pub(crate) fn static_anchors(graph: &DataflowGraph) -> Vec<real_dataflow::CallId> {
+    graph
+        .model_names()
+        .into_iter()
+        .filter(|m| graph.is_trainable(m))
+        .map(|m| {
+            graph
+                .calls_of_model(m)
+                .into_iter()
+                .find(|&c| graph.call(c).call_type.is_training())
+                .expect("trainable models have a training call")
+        })
+        .collect()
 }
 
 /// Peak bytes over all GPUs: static plus the worst single call's active
@@ -52,26 +165,7 @@ pub fn max_mem(cluster: &ClusterSpec, graph: &DataflowGraph, plan: &ExecutionPla
 
     for (id, def) in graph.iter() {
         let a = plan.assignment(id);
-        let mm = MemoryModel::new(def.model.clone());
-        let dp = u64::from(a.strategy.dp());
-        let active = match def.call_type {
-            CallType::Generate {
-                batch,
-                prompt_len,
-                gen_len,
-            } => mm.gen_active_bytes(&a.strategy, batch.div_ceil(dp), prompt_len + gen_len),
-            CallType::Inference { batch, seq_len } => {
-                mm.infer_active_bytes(&a.strategy, batch.div_ceil(dp) * seq_len)
-            }
-            CallType::TrainStep {
-                batch,
-                seq_len,
-                n_minibatches,
-            } => {
-                let per_mini = batch.div_ceil(dp).div_ceil(u64::from(n_minibatches.max(1)));
-                mm.train_active_bytes(&a.strategy, per_mini * seq_len)
-            }
-        };
+        let active = call_active_bytes(def, a);
         for gpu in a.mesh.gpus() {
             let slot = &mut peak_active[gpu.0 as usize];
             *slot = (*slot).max(active);

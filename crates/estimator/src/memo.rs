@@ -1,0 +1,636 @@
+//! Memoized Algorithm-1 sub-results: the search-hot-path cache (§5.2).
+//!
+//! One MCMC proposal perturbs a single call's (mesh, strategy), yet the
+//! naive pricing path re-assembled every call duration, re-priced every
+//! realloc/transfer edge, and re-scanned a per-GPU array the size of the
+//! cluster. All of those sub-results are pure functions of at most a
+//! `(call, assignment)` pair — so [`CostMemo`] caches them under exactly
+//! those keys and [`PlanPricer`] re-prices a whole plan from cache hits
+//! plus the handful of entries the perturbation actually changed.
+//!
+//! # Invalidation
+//!
+//! Cached prices bake in the estimator's health overlay (dead and slowed
+//! GPUs scale call durations). The memo therefore carries the overlay's
+//! [`fingerprint`](real_cluster::ClusterHealth::fingerprint); attaching the
+//! memo to an estimator with a different fingerprint drops every entry and
+//! counts one invalidation in [`MemoStats`]. Profiles, the communication
+//! model, and the graph are fixed at estimator construction, so the health
+//! overlay is the only input that can drift under a live cache.
+//!
+//! # Sharing
+//!
+//! A memo is keyed by call ids, so it may only be shared across estimators
+//! with the same graph, profiles, and cluster — e.g. the scheduler's
+//! per-(tenant, mesh) candidate probes, which all price one tenant's
+//! experiment against nested mesh regions and therefore revisit the same
+//! `(call, assignment)` keys constantly.
+
+use crate::augment::{self, NodeCosts, Template};
+use crate::{algorithm1, maxmem, Estimator, OOM_PENALTY};
+use real_cluster::DeviceMesh;
+use real_dataflow::{CallAssignment, CallId, ExecutionPlan};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Hit/miss/invalidation counters of a [`CostMemo`], cheap to copy and
+/// merge. Counters are cumulative over the memo's lifetime; callers that
+/// want per-search numbers snapshot before and after and take
+/// [`MemoStats::since`].
+///
+/// ```
+/// use real_estimator::memo::MemoStats;
+///
+/// let a = MemoStats { hits: 8, misses: 2, invalidations: 0, entries: 2 };
+/// let b = MemoStats { hits: 2, misses: 8, invalidations: 1, entries: 8 };
+/// assert_eq!(a.hit_rate(), 0.8);
+/// let merged = a.merged(b);
+/// assert_eq!(merged.hits, 10);
+/// assert_eq!(merged.misses, 10);
+/// assert_eq!(merged.entries, 10);
+/// assert_eq!(merged.hit_rate(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoStats {
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Lookups that had to compute (and then cached) the value.
+    pub misses: u64,
+    /// Times the whole cache was dropped by a health-overlay change.
+    pub invalidations: u64,
+    /// Entries currently resident across all tables.
+    pub entries: u64,
+}
+
+impl MemoStats {
+    /// Fraction of lookups served from cache, `0.0` when nothing was looked
+    /// up yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Sums counters of two snapshots (entry counts add: merging is for
+    /// stats of *distinct* memos, e.g. one per parallel chain).
+    pub fn merged(self, other: Self) -> Self {
+        Self {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            invalidations: self.invalidations + other.invalidations,
+            entries: self.entries + other.entries,
+        }
+    }
+
+    /// Counter deltas accumulated after the `earlier` snapshot of the *same*
+    /// memo. Entries reflect the current (later) residency.
+    pub fn since(self, earlier: Self) -> Self {
+        Self {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            invalidations: self.invalidations - earlier.invalidations,
+            entries: self.entries,
+        }
+    }
+}
+
+/// An Fx-style multiplicative hasher for the memo tables. The keys are
+/// short tuples of small integers hashed on the search's innermost loop,
+/// where the default SipHash's HashDoS resistance buys nothing (the keys
+/// come from the search space, not from untrusted input) and costs more
+/// than the table lookup itself.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+type FxBuild = std::hash::BuildHasherDefault<FxHasher>;
+
+/// The explicit cache of Algorithm-1 sub-results, keyed by
+/// `(call, assignment)` pairs (plus the source assignment for edge costs).
+///
+/// All five tables store outputs of pure pricing functions, so a hit is
+/// bit-identical to recomputation — the property the search's
+/// memo-on/memo-off equivalence tests pin down. Create one per
+/// (graph, profiles, cluster) context and reuse it across every search and
+/// admission probe in that context; see the module docs for the
+/// invalidation rule.
+#[derive(Debug, Clone, Default)]
+pub struct CostMemo {
+    durations: HashMap<(CallId, CallAssignment), f64, FxBuild>,
+    reallocs: HashMap<(CallId, CallAssignment, CallAssignment), f64, FxBuild>,
+    transfers: HashMap<(CallId, CallAssignment, CallAssignment), f64, FxBuild>,
+    actives: HashMap<(CallId, CallAssignment), u64, FxBuild>,
+    statics: HashMap<(CallId, CallAssignment), u64, FxBuild>,
+    /// Health fingerprint the cached entries were priced under; `None`
+    /// until first attached to an estimator.
+    health_tag: Option<u64>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl CostMemo {
+    /// An empty cache, not yet bound to any health overlay.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current counters and residency.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits,
+            misses: self.misses,
+            invalidations: self.invalidations,
+            entries: (self.durations.len()
+                + self.reallocs.len()
+                + self.transfers.len()
+                + self.actives.len()
+                + self.statics.len()) as u64,
+        }
+    }
+
+    /// Binds the cache to a health fingerprint, dropping all entries if it
+    /// changed since the last bind (the health/fault-overlay invalidation
+    /// rule). First bind of a fresh cache is free.
+    pub fn sync_health(&mut self, tag: u64) {
+        if self.health_tag == Some(tag) {
+            return;
+        }
+        if self.health_tag.is_some() {
+            self.invalidations += 1;
+        }
+        self.durations.clear();
+        self.reallocs.clear();
+        self.transfers.clear();
+        self.actives.clear();
+        self.statics.clear();
+        self.health_tag = Some(tag);
+    }
+
+    fn duration(&mut self, est: &Estimator, call: CallId, a: &CallAssignment) -> f64 {
+        match self.durations.get(&(call, *a)) {
+            Some(&v) => {
+                self.hits += 1;
+                v
+            }
+            None => {
+                self.misses += 1;
+                let v = est.call_duration(call, a);
+                self.durations.insert((call, *a), v);
+                v
+            }
+        }
+    }
+
+    fn realloc(
+        &mut self,
+        est: &Estimator,
+        dst_call: CallId,
+        src: &CallAssignment,
+        dst: &CallAssignment,
+    ) -> f64 {
+        match self.reallocs.get(&(dst_call, *src, *dst)) {
+            Some(&v) => {
+                self.hits += 1;
+                v
+            }
+            None => {
+                self.misses += 1;
+                let v = augment::realloc_cost(est, &est.graph().call(dst_call).model, src, dst);
+                self.reallocs.insert((dst_call, *src, *dst), v);
+                v
+            }
+        }
+    }
+
+    fn transfer(
+        &mut self,
+        est: &Estimator,
+        from: CallId,
+        a: &CallAssignment,
+        b: &CallAssignment,
+    ) -> f64 {
+        match self.transfers.get(&(from, *a, *b)) {
+            Some(&v) => {
+                self.hits += 1;
+                v
+            }
+            None => {
+                self.misses += 1;
+                let v = augment::transfer_cost_between(est, est.graph(), from, a, b);
+                self.transfers.insert((from, *a, *b), v);
+                v
+            }
+        }
+    }
+
+    fn active_bytes(&mut self, est: &Estimator, call: CallId, a: &CallAssignment) -> u64 {
+        match self.actives.get(&(call, *a)) {
+            Some(&v) => {
+                self.hits += 1;
+                v
+            }
+            None => {
+                self.misses += 1;
+                let v = maxmem::call_active_bytes(est.graph().call(call), a);
+                self.actives.insert((call, *a), v);
+                v
+            }
+        }
+    }
+
+    fn static_bytes(&mut self, est: &Estimator, anchor: CallId, a: &CallAssignment) -> u64 {
+        match self.statics.get(&(anchor, *a)) {
+            Some(&v) => {
+                self.hits += 1;
+                v
+            }
+            None => {
+                self.misses += 1;
+                let v = maxmem::anchor_static_bytes(est.graph().call(anchor), a);
+                self.statics.insert((anchor, *a), v);
+                v
+            }
+        }
+    }
+}
+
+/// Memo-backed [`NodeCosts`] oracle for [`Template::instantiate`].
+struct MemoCosts<'a, 'b> {
+    est: &'a Estimator,
+    memo: &'b mut CostMemo,
+}
+
+impl NodeCosts for MemoCosts<'_, '_> {
+    fn duration(&mut self, call: CallId, a: &CallAssignment) -> f64 {
+        self.memo.duration(self.est, call, a)
+    }
+
+    fn realloc(&mut self, dst_call: CallId, src: &CallAssignment, dst: &CallAssignment) -> f64 {
+        self.memo.realloc(self.est, dst_call, src, dst)
+    }
+
+    fn transfer(&mut self, from: CallId, a: &CallAssignment, b: &CallAssignment) -> f64 {
+        self.memo.transfer(self.est, from, a, b)
+    }
+}
+
+/// The incremental fast path over one estimator: a precomputed augmented
+/// [`Template`] plus a [`CostMemo`], pricing plans — and one-call
+/// perturbations of plans without cloning them — bit-identically to
+/// [`Estimator::cost_checked`] and friends.
+///
+/// The peak-memory check additionally swaps the `O(total_gpus)` per-GPU
+/// scan for an exact interval sweep over the plan's (at most a few dozen)
+/// mesh contributions, which is what makes per-proposal pricing flat in
+/// cluster size.
+///
+/// ```
+/// use real_cluster::{ClusterSpec, DeviceMesh};
+/// use real_dataflow::{algo, CallAssignment, ExecutionPlan};
+/// use real_estimator::{Estimator, PlanPricer};
+/// use real_model::{ModelSpec, ParallelStrategy};
+/// use real_profiler::{ProfileConfig, Profiler};
+///
+/// let cluster = ClusterSpec::h100(1);
+/// let actor = ModelSpec::llama3_7b();
+/// let critic = actor.critic();
+/// let graph = algo::ppo(&actor, &critic, &algo::RlhfConfig::instruct_gpt(64));
+/// let mut profiler = Profiler::new(cluster.clone(), ProfileConfig::quick(), 1);
+/// let profiles = vec![profiler.profile(&actor), profiler.profile(&critic)];
+/// let est = Estimator::new(cluster.clone(), graph.clone(), profiles).unwrap();
+///
+/// let a = CallAssignment::new(
+///     DeviceMesh::full(&cluster),
+///     ParallelStrategy::new(1, 8, 1, 4).unwrap(),
+/// ).unwrap();
+/// let plan = ExecutionPlan::new(&graph, &cluster, vec![a; graph.n_calls()]).unwrap();
+///
+/// let mut pricer = PlanPricer::new(&est);
+/// // Bit-identical to the plain estimator, hot or cold.
+/// assert_eq!(pricer.cost_checked(&plan), est.cost_checked(&plan));
+/// assert_eq!(pricer.cost_checked(&plan), est.cost_checked(&plan));
+/// assert!(pricer.memo_stats().hits > 0);
+/// ```
+pub struct PlanPricer<'a> {
+    est: &'a Estimator,
+    template: Template,
+    anchors: Vec<CallId>,
+    memo: CostMemo,
+}
+
+impl<'a> PlanPricer<'a> {
+    /// A pricer with a fresh cache.
+    pub fn new(est: &'a Estimator) -> Self {
+        Self::with_memo(est, CostMemo::new())
+    }
+
+    /// A pricer reusing an existing cache (e.g. shared across a scheduler's
+    /// candidate probes). The memo is re-bound to `est`'s health
+    /// fingerprint, dropping its entries if the overlay changed.
+    pub fn with_memo(est: &'a Estimator, mut memo: CostMemo) -> Self {
+        memo.sync_health(est.health_fingerprint());
+        Self {
+            est,
+            template: Template::new(est.graph(), est.iterations()),
+            anchors: maxmem::static_anchors(est.graph()),
+            memo,
+        }
+    }
+
+    /// The backing estimator.
+    pub fn estimator(&self) -> &'a Estimator {
+        self.est
+    }
+
+    /// Counters and residency of the cache.
+    pub fn memo_stats(&self) -> MemoStats {
+        self.memo.stats()
+    }
+
+    /// Releases the cache for reuse by a later pricer.
+    pub fn into_memo(self) -> CostMemo {
+        self.memo
+    }
+
+    fn time_cost_at<F>(&mut self, assign: F) -> f64
+    where
+        F: Fn(CallId) -> CallAssignment,
+    {
+        let nodes = self.template.instantiate(
+            self.est.graph(),
+            assign,
+            &mut MemoCosts {
+                est: self.est,
+                memo: &mut self.memo,
+            },
+        );
+        algorithm1::makespan(&nodes) / self.est.iterations() as f64
+    }
+
+    fn max_mem_at<F>(&mut self, assign: F) -> u64
+    where
+        F: Fn(CallId) -> CallAssignment,
+    {
+        let graph = self.est.graph();
+        let mut statics: Vec<(DeviceMesh, u64)> = Vec::with_capacity(self.anchors.len());
+        for i in 0..self.anchors.len() {
+            let anchor = self.anchors[i];
+            let a = assign(anchor);
+            let bytes = self.memo.static_bytes(self.est, anchor, &a);
+            statics.push((a.mesh, bytes));
+        }
+        let mut actives: Vec<(DeviceMesh, u64)> = Vec::with_capacity(graph.n_calls());
+        for id in 0..graph.n_calls() {
+            let id = CallId(id);
+            let a = assign(id);
+            let bytes = self.memo.active_bytes(self.est, id, &a);
+            actives.push((a.mesh, bytes));
+        }
+        maxmem::peak_from_contributions(&statics, &actives)
+    }
+
+    fn cost_checked_at<F>(&mut self, assign: F) -> (f64, bool)
+    where
+        F: Fn(CallId) -> CallAssignment,
+    {
+        let t = self.time_cost_at(&assign);
+        let cap = self.est.cluster().gpu.mem_capacity;
+        if self.max_mem_at(&assign) <= cap {
+            (t, false)
+        } else {
+            (t * OOM_PENALTY, true)
+        }
+    }
+
+    /// `TimeCost` of the plan; bit-identical to [`Estimator::time_cost`].
+    pub fn time_cost(&mut self, plan: &ExecutionPlan) -> f64 {
+        self.time_cost_at(|id| *plan.assignment(id))
+    }
+
+    /// `MaxMem` of the plan; bit-identical to [`Estimator::max_mem`].
+    pub fn max_mem(&mut self, plan: &ExecutionPlan) -> u64 {
+        self.max_mem_at(|id| *plan.assignment(id))
+    }
+
+    /// Whether the plan fits device memory.
+    pub fn mem_ok(&mut self, plan: &ExecutionPlan) -> bool {
+        self.max_mem(plan) <= self.est.cluster().gpu.mem_capacity
+    }
+
+    /// The §5.2 search cost; bit-identical to [`Estimator::cost`].
+    pub fn cost(&mut self, plan: &ExecutionPlan) -> f64 {
+        self.cost_checked(plan).0
+    }
+
+    /// The §5.2 search cost plus whether the OOM penalty applied;
+    /// bit-identical to [`Estimator::cost_checked`].
+    pub fn cost_checked(&mut self, plan: &ExecutionPlan) -> (f64, bool) {
+        self.cost_checked_at(|id| *plan.assignment(id))
+    }
+
+    /// [`PlanPricer::cost_checked`] of `plan` with `call` reassigned to `a`,
+    /// without materializing the perturbed plan — the MCMC proposal shape.
+    /// Bit-identical to pricing `plan.with_assignment(call, a)`.
+    pub fn cost_checked_perturbed(
+        &mut self,
+        plan: &ExecutionPlan,
+        call: CallId,
+        a: CallAssignment,
+    ) -> (f64, bool) {
+        self.cost_checked_at(|id| if id == call { a } else { *plan.assignment(id) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use real_cluster::{ClusterHealth, ClusterSpec, GpuId};
+    use real_dataflow::{algo, DataflowGraph};
+    use real_model::{ModelSpec, ParallelStrategy};
+    use real_profiler::{ProfileConfig, Profiler};
+    use std::sync::OnceLock;
+
+    fn setup() -> &'static (ClusterSpec, DataflowGraph, Estimator) {
+        static CTX: OnceLock<(ClusterSpec, DataflowGraph, Estimator)> = OnceLock::new();
+        CTX.get_or_init(|| {
+            let cluster = ClusterSpec::h100(2);
+            let actor = ModelSpec::llama3_7b();
+            let critic = actor.critic();
+            let graph = algo::ppo(&actor, &critic, &algo::RlhfConfig::instruct_gpt(64));
+            let mut profiler = Profiler::new(cluster.clone(), ProfileConfig::quick(), 5);
+            let profiles = vec![profiler.profile(&actor), profiler.profile(&critic)];
+            let est = Estimator::new(cluster.clone(), graph.clone(), profiles).unwrap();
+            (cluster, graph, est)
+        })
+    }
+
+    /// Every `(mesh, strategy)` option a random plan can draw from.
+    fn options(cluster: &ClusterSpec) -> Vec<CallAssignment> {
+        let mut out = Vec::new();
+        for mesh in DeviceMesh::enumerate(cluster) {
+            for s in ParallelStrategy::enumerate(mesh.n_gpus(), 8, 8, &[1, 2, 4]) {
+                out.push(CallAssignment::new(mesh, s).unwrap());
+            }
+        }
+        out
+    }
+
+    fn plan_from(picks: &[usize]) -> ExecutionPlan {
+        let (cluster, graph, _) = setup();
+        let opts = options(cluster);
+        let assignments: Vec<CallAssignment> =
+            picks.iter().map(|&p| opts[p % opts.len()]).collect();
+        ExecutionPlan::new(graph, cluster, assignments).unwrap()
+    }
+
+    #[test]
+    fn memo_agrees_with_estimator_on_repeated_queries() {
+        let (_, _, est) = setup();
+        let plan = plan_from(&[0; 6]);
+        let mut pricer = PlanPricer::new(est);
+        for _ in 0..3 {
+            assert_eq!(pricer.cost_checked(&plan), est.cost_checked(&plan));
+            assert_eq!(
+                pricer.time_cost(&plan).to_bits(),
+                est.time_cost(&plan).to_bits()
+            );
+            assert_eq!(pricer.max_mem(&plan), est.max_mem(&plan));
+        }
+        let stats = pricer.memo_stats();
+        assert!(stats.hits > 0, "repeat queries must hit: {stats:?}");
+        assert!(stats.entries > 0);
+    }
+
+    #[test]
+    fn perturbed_pricing_matches_materialized_plan() {
+        let (cluster, graph, est) = setup();
+        let plan = plan_from(&[1, 9, 17, 33, 65, 129]);
+        let opts = options(cluster);
+        let mut pricer = PlanPricer::new(est);
+        for call in 0..graph.n_calls() {
+            let a = opts[(call * 37 + 5) % opts.len()];
+            let materialized = plan.with_assignment(CallId(call), a).unwrap();
+            assert_eq!(
+                pricer.cost_checked_perturbed(&plan, CallId(call), a),
+                est.cost_checked(&materialized),
+            );
+        }
+    }
+
+    #[test]
+    fn health_change_invalidates_the_cache() {
+        let (cluster, _, est) = setup();
+        let plan = plan_from(&[0; 6]);
+        let mut memo = CostMemo::new();
+        let mut pricer = PlanPricer::with_memo(est, memo);
+        pricer.cost_checked(&plan);
+        memo = pricer.into_memo();
+        assert!(memo.stats().entries > 0);
+
+        let mut health = ClusterHealth::healthy(cluster);
+        health.mark_slow(GpuId(0), 2.0);
+        let degraded = est.clone().with_health(health);
+        let pricer = PlanPricer::with_memo(&degraded, memo);
+        let stats = pricer.memo_stats();
+        assert_eq!(stats.entries, 0, "health change must drop entries");
+        assert_eq!(stats.invalidations, 1);
+
+        // Same overlay again: no further invalidation.
+        let memo = pricer.into_memo();
+        let pricer = PlanPricer::with_memo(&degraded, memo);
+        assert_eq!(pricer.memo_stats().invalidations, 1);
+    }
+
+    #[test]
+    fn degraded_estimator_prices_correctly_through_the_memo() {
+        let (cluster, _, est) = setup();
+        let plan = plan_from(&[0; 6]);
+        let mut health = ClusterHealth::healthy(cluster);
+        // Plan `[0; 6]` sits on the first enumerated mesh, which contains
+        // GPU 0 — slowing it must change the price.
+        health.mark_slow(GpuId(0), 3.0);
+        let degraded = est.clone().with_health(health);
+        let mut pricer = PlanPricer::new(&degraded);
+        assert_eq!(pricer.cost_checked(&plan), degraded.cost_checked(&plan));
+        assert_ne!(
+            pricer.cost(&plan).to_bits(),
+            est.cost(&plan).to_bits(),
+            "slowdown must change the price"
+        );
+    }
+
+    proptest::proptest! {
+        /// The headline contract: memoized and unmemoized pricing agree
+        /// bit-for-bit on random plans, cold cache and warm.
+        #[test]
+        fn memoized_pricing_is_bit_identical_on_random_plans(
+            picks in proptest::collection::vec(0usize..10_000, 6),
+            perturb in 0usize..6,
+            alt in 0usize..10_000,
+        ) {
+            let (cluster, _, est) = setup();
+            let plan = plan_from(&picks);
+            let mut pricer = PlanPricer::new(est);
+            // Cold.
+            let fast = pricer.cost_checked(&plan);
+            let slow = est.cost_checked(&plan);
+            proptest::prop_assert_eq!(fast.0.to_bits(), slow.0.to_bits());
+            proptest::prop_assert_eq!(fast.1, slow.1);
+            proptest::prop_assert_eq!(pricer.max_mem(&plan), est.max_mem(&plan));
+            // Warm + perturbed.
+            let opts = options(cluster);
+            let a = opts[alt % opts.len()];
+            let call = CallId(perturb);
+            let fast = pricer.cost_checked_perturbed(&plan, call, a);
+            let slow = est.cost_checked(&plan.with_assignment(call, a).unwrap());
+            proptest::prop_assert_eq!(fast.0.to_bits(), slow.0.to_bits());
+            proptest::prop_assert_eq!(fast.1, slow.1);
+        }
+    }
+}

@@ -381,6 +381,29 @@ impl MetricsRegistry {
         }
     }
 
+    /// Sets a gauge to `numerator / denominator`, or `0.0` when the
+    /// denominator is zero — the shape every cache hit-rate and
+    /// success-ratio gauge wants (`search/memo_hit_rate`,
+    /// `sched/memo_hit_rate`), with the divide-by-zero policy in one place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric exists with a non-gauge type.
+    pub fn ratio_gauge(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        numerator: f64,
+        denominator: f64,
+    ) {
+        let ratio = if denominator == 0.0 {
+            0.0
+        } else {
+            numerator / denominator
+        };
+        self.gauge_set(name, labels, ratio);
+    }
+
     /// Records an observation into a histogram, creating it with `bounds` on
     /// first touch (later calls ignore `bounds`).
     pub fn histogram_observe(

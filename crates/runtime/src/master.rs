@@ -959,6 +959,7 @@ impl RuntimeEngine {
             time_limit: Duration::from_secs(86_400),
             seed: seed_rng.next_u64(),
             record_trace: false,
+            memo: true,
         };
         let result = search_warm(&est_h, &space, &cfg, current);
         let candidate = result.best_plan;

@@ -343,6 +343,7 @@ impl TenantState {
             time_limit: Duration::from_secs(86_400),
             seed: seed_rng.next_u64(),
             record_trace: false,
+            memo: true,
         };
         let result = search_warm(&el.estimator, &space, &cfg, &self.current);
         let candidate = result.best_plan;

@@ -9,6 +9,7 @@
 //! equally, lower values mean the slowdown is concentrated on few tenants.
 
 use crate::scheduler::Schedule;
+use real_estimator::MemoStats;
 use real_runtime::RunReport;
 use serde::{Deserialize, Serialize};
 
@@ -64,6 +65,9 @@ pub struct SchedReport {
     pub total_reallocs: u64,
     /// Whether any allocation was time-shared.
     pub oversubscribed: bool,
+    /// Planning-time memo-cache statistics, carried over from
+    /// [`Schedule::memo`]: the admission sweep's shared per-tenant caches.
+    pub memo: MemoStats,
 }
 
 impl SchedReport {
@@ -125,6 +129,7 @@ impl SchedReport {
             max_stretch,
             total_reallocs,
             oversubscribed,
+            memo: schedule.memo,
         }
     }
 

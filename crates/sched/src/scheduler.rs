@@ -36,9 +36,9 @@ use crate::report::SchedReport;
 use real_cluster::{partition, ClusterSpec, DeviceMesh};
 use real_core::Tenant;
 use real_dataflow::ExecutionPlan;
-use real_estimator::Estimator;
+use real_estimator::{CostMemo, Estimator, MemoStats};
 use real_runtime::{run_multi, RunError, RunReport, TenantElastic, TenantRun};
-use real_search::{search, search_warm, McmcConfig, PruneLevel, SearchSpace};
+use real_search::{search_warm_with_memo, search_with_memo, McmcConfig, PruneLevel, SearchSpace};
 use real_util::DeterministicRng;
 use std::fmt;
 use std::time::Duration;
@@ -184,6 +184,11 @@ pub struct Schedule {
     pub oversubscribed: bool,
     /// Whether the stretch bound had to be relaxed to place every tenant.
     pub stretch_relaxed: bool,
+    /// Memo-cache statistics summed over every per-(tenant, mesh)
+    /// candidate probe and refinement search. Each tenant shares one
+    /// [`CostMemo`] across all its probes, so the admission sweep re-prices
+    /// a `(call, assignment)` pair at most once per health epoch.
+    pub memo: MemoStats,
 }
 
 impl Schedule {
@@ -229,6 +234,12 @@ impl Schedule {
             } else {
                 ""
             },
+        ));
+        out.push_str(&format!(
+            "plan memo: {} hits / {} misses (hit rate {:.1}%)\n",
+            self.memo.hits,
+            self.memo.misses,
+            self.memo.hit_rate() * 100.0,
         ));
         out
     }
@@ -371,6 +382,10 @@ impl Scheduler {
         }
 
         let ests: Vec<Estimator> = tenants.iter().map(|t| t.experiment().prepare().0).collect();
+        // One shared memo cache per tenant: every candidate probe below
+        // prices the same calls on overlapping (mesh, strategy) options, so
+        // later meshes mostly hit entries the earlier ones populated.
+        let mut memos: Vec<CostMemo> = tenants.iter().map(|_| CostMemo::new()).collect();
 
         // Candidate generation: price every feasible (tenant, mesh) pair.
         let all_meshes = DeviceMesh::enumerate(&self.cluster);
@@ -399,8 +414,9 @@ impl Scheduler {
                     time_limit: Duration::from_secs(86_400),
                     seed: rng.next_u64(),
                     record_trace: false,
+                    memo: true,
                 };
-                let result = search(&ests[i], &space, &cfg);
+                let result = search_with_memo(&ests[i], &space, &cfg, &mut memos[i]);
                 let cost = ests[i].allocation_cost(&result.best_plan, mesh);
                 if !result.feasible || !cost.feasible() {
                     continue;
@@ -516,8 +532,9 @@ impl Scheduler {
                     time_limit: Duration::from_secs(86_400),
                     seed: rng.next_u64(),
                     record_trace: false,
+                    memo: true,
                 };
-                let refined = search_warm(&ests[i], &space, &cfg, &plan);
+                let refined = search_warm_with_memo(&ests[i], &space, &cfg, &plan, &mut memos[i]);
                 let cost = ests[i].allocation_cost(&refined.best_plan, &mesh);
                 if cost.feasible() && cost.step_secs < step {
                     plan = refined.best_plan;
@@ -546,6 +563,9 @@ impl Scheduler {
             .map(TenantPlan::stretch)
             .fold(0.0f64, f64::max);
         let oversubscribed = placements.iter().any(|p| p.time_shared);
+        let memo = memos
+            .iter()
+            .fold(MemoStats::default(), |acc, m| acc.merged(m.stats()));
         Ok((
             Schedule {
                 tenants: placements,
@@ -553,6 +573,7 @@ impl Scheduler {
                 max_stretch,
                 oversubscribed,
                 stretch_relaxed,
+                memo,
             },
             ests,
         ))
@@ -663,6 +684,26 @@ mod tests {
         assert!(schedule.weighted_makespan > 0.0);
         let rendered = schedule.render();
         assert!(rendered.contains("a") && rendered.contains("weighted makespan"));
+    }
+
+    #[test]
+    fn admission_probes_share_the_per_tenant_memo_cache() {
+        let cluster = ClusterSpec::h100(2);
+        let tenants = vec![
+            dpo_tenant(&cluster, "a", 0, 64),
+            dpo_tenant(&cluster, "b", 1, 32),
+        ];
+        let schedule = Scheduler::new(cluster)
+            .with_config(quick_config())
+            .plan(&tenants)
+            .unwrap();
+        // Candidate probes over overlapping meshes re-price the same
+        // (call, assignment) pairs, so the shared cache must report reuse.
+        assert!(schedule.memo.hits > 0, "memo stats: {:?}", schedule.memo);
+        assert!(schedule.memo.misses > 0);
+        assert!(schedule.memo.hit_rate() > 0.0);
+        assert_eq!(schedule.memo.invalidations, 0);
+        assert!(schedule.render().contains("plan memo:"));
     }
 
     #[test]

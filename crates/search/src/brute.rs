@@ -240,6 +240,7 @@ mod tests {
             time_limit: Duration::from_secs(60),
             seed: 5,
             record_trace: false,
+            memo: true,
         };
         let result = search(&est, &space, &mcmc_cfg);
         // MCMC searches the *full* pruned space, so it may even beat the

@@ -31,5 +31,8 @@ pub use checkpoint::{project_onto, ChainState, SearchCheckpoint};
 pub use explain::{compare, CallDiff, PlanComparison};
 pub use greedy::greedy_plan;
 pub use heuristic::heuristic_plan;
-pub use mcmc::{parallel_search, resume, search, search_warm, McmcConfig, SearchResult};
+pub use mcmc::{
+    chain_seed, merge_results, parallel_search, parallel_search_on, resume, search, search_warm,
+    search_warm_with_memo, search_with_memo, McmcConfig, SearchResult,
+};
 pub use space::{ImpossibleCall, PruneLevel, SearchSpace};

@@ -14,15 +14,31 @@
 //!
 //! [`parallel_search`] runs independent chains on multiple cores and keeps
 //! the global best — the multi-core extension the paper mentions as future
-//! work.
+//! work. [`parallel_search_on`] decouples the logical chain count from the
+//! worker-thread count: chains are seeded from RNG substreams of the
+//! caller's seed and merged in chain order, so the chosen plan is
+//! bit-identical whatever the thread count.
+//!
+//! # The fast path
+//!
+//! With [`McmcConfig::memo`] on (the default) proposals are priced through
+//! [`real_estimator::PlanPricer`]: the augmented-graph structure is built
+//! once per chain, per-call durations and realloc/transfer edge prices come
+//! from a [`CostMemo`] keyed by `(call, assignment)`, and the peak-memory
+//! check runs as an interval sweep instead of a cluster-sized per-GPU scan.
+//! The cached values are outputs of the exact pricing functions the slow
+//! path calls, so memo-on and memo-off searches return bit-identical plans
+//! — `docs/SEARCH.md` spells out the full contract.
 
 use crate::checkpoint::{project_onto, ChainState, SearchCheckpoint};
 use crate::greedy::greedy_plan;
 use crate::space::SearchSpace;
-use real_dataflow::{CallId, ExecutionPlan};
-use real_estimator::Estimator;
+use real_dataflow::{CallAssignment, CallId, ExecutionPlan};
+use real_estimator::{CostMemo, Estimator, MemoStats, PlanPricer};
 use real_obs::MetricsRegistry;
 use real_util::DeterministicRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Points kept per chain in the energy / best-so-far telemetry series
@@ -45,6 +61,10 @@ pub struct McmcConfig {
     /// Record `(elapsed_secs, best_time_cost)` whenever the best improves
     /// (Fig. 13's improvement-ratio curves).
     pub record_trace: bool,
+    /// Price proposals through the memoized incremental fast path
+    /// ([`real_estimator::PlanPricer`]). Bit-identical results either way;
+    /// off exists for benchmarking the speedup and as an escape hatch.
+    pub memo: bool,
 }
 
 impl Default for McmcConfig {
@@ -55,6 +75,7 @@ impl Default for McmcConfig {
             time_limit: Duration::from_secs(60),
             seed: 1,
             record_trace: true,
+            memo: true,
         }
     }
 }
@@ -84,6 +105,10 @@ pub struct SearchResult {
     /// polish refines only `best_plan`). Serialize via
     /// [`SearchResult::checkpoint`] to continue this search later.
     pub chain: ChainState,
+    /// Memo-cache counters accumulated by this search (all zero when
+    /// [`McmcConfig::memo`] was off); for a merged parallel result, the sum
+    /// over chains.
+    pub memo: MemoStats,
 }
 
 impl SearchResult {
@@ -130,7 +155,22 @@ enum ChainStart<'a> {
 
 /// Runs one Metropolis–Hastings chain from the greedy initial plan.
 pub fn search(est: &Estimator, space: &SearchSpace, cfg: &McmcConfig) -> SearchResult {
-    run_chain(est, space, cfg, ChainStart::Greedy)
+    run_chain(est, space, cfg, ChainStart::Greedy, None)
+}
+
+/// [`search`] sharing a caller-owned [`CostMemo`]: the cache is consumed
+/// for the duration of the search and handed back (with whatever it
+/// learned) on return. This is how the scheduler's per-(tenant, mesh)
+/// candidate probes amortize pricing across probes — nested meshes revisit
+/// the same `(call, assignment)` keys, so later probes run mostly on hits.
+/// With `cfg.memo` off the cache is left untouched.
+pub fn search_with_memo(
+    est: &Estimator,
+    space: &SearchSpace,
+    cfg: &McmcConfig,
+    memo: &mut CostMemo,
+) -> SearchResult {
+    run_chain(est, space, cfg, ChainStart::Greedy, Some(memo))
 }
 
 /// Runs one chain warm-started from `incumbent`, first projected onto
@@ -144,7 +184,20 @@ pub fn search_warm(
     incumbent: &ExecutionPlan,
 ) -> SearchResult {
     let start = project_onto(incumbent, est, space);
-    run_chain(est, space, cfg, ChainStart::Warm(&start))
+    run_chain(est, space, cfg, ChainStart::Warm(&start), None)
+}
+
+/// [`search_warm`] sharing a caller-owned [`CostMemo`]; see
+/// [`search_with_memo`] for the sharing contract.
+pub fn search_warm_with_memo(
+    est: &Estimator,
+    space: &SearchSpace,
+    cfg: &McmcConfig,
+    incumbent: &ExecutionPlan,
+    memo: &mut CostMemo,
+) -> SearchResult {
+    let start = project_onto(incumbent, est, space);
+    run_chain(est, space, cfg, ChainStart::Warm(&start), Some(memo))
 }
 
 /// Resumes a checkpointed chain: the RNG position, step count, incumbent,
@@ -159,7 +212,83 @@ pub fn resume(
     cfg: &McmcConfig,
     checkpoint: &SearchCheckpoint,
 ) -> SearchResult {
-    run_chain(est, space, cfg, ChainStart::Resume(checkpoint))
+    run_chain(est, space, cfg, ChainStart::Resume(checkpoint), None)
+}
+
+/// The chain's pricing backend: the plain estimator, or the memoized
+/// incremental fast path. Both return bit-identical values for every query
+/// the chain makes, so the choice affects wall-clock only.
+enum Eval<'a> {
+    Plain(&'a Estimator),
+    Memo(Box<PlanPricer<'a>>),
+}
+
+impl<'a> Eval<'a> {
+    fn new(est: &'a Estimator, use_memo: bool, seed: Option<CostMemo>) -> Self {
+        if use_memo {
+            let pricer = match seed {
+                Some(memo) => PlanPricer::with_memo(est, memo),
+                None => PlanPricer::new(est),
+            };
+            Eval::Memo(Box::new(pricer))
+        } else {
+            Eval::Plain(est)
+        }
+    }
+
+    fn cost(&mut self, plan: &ExecutionPlan) -> f64 {
+        match self {
+            Eval::Plain(est) => est.cost(plan),
+            Eval::Memo(p) => p.cost(plan),
+        }
+    }
+
+    fn time_cost(&mut self, plan: &ExecutionPlan) -> f64 {
+        match self {
+            Eval::Plain(est) => est.time_cost(plan),
+            Eval::Memo(p) => p.time_cost(plan),
+        }
+    }
+
+    fn mem_ok(&mut self, plan: &ExecutionPlan) -> bool {
+        match self {
+            Eval::Plain(est) => est.mem_ok(plan),
+            Eval::Memo(p) => p.mem_ok(plan),
+        }
+    }
+
+    /// Price of `plan` with one call reassigned — the proposal shape. The
+    /// fast path prices it without materializing the perturbed plan.
+    fn cost_checked_perturbed(
+        &mut self,
+        plan: &ExecutionPlan,
+        call: CallId,
+        a: CallAssignment,
+    ) -> (f64, bool) {
+        match self {
+            Eval::Plain(est) => {
+                let proposal = plan
+                    .with_assignment(call, a)
+                    .expect("options are internally consistent");
+                est.cost_checked(&proposal)
+            }
+            Eval::Memo(p) => p.cost_checked_perturbed(plan, call, a),
+        }
+    }
+
+    fn memo_stats(&self) -> MemoStats {
+        match self {
+            Eval::Plain(_) => MemoStats::default(),
+            Eval::Memo(p) => p.memo_stats(),
+        }
+    }
+
+    fn into_memo(self) -> Option<CostMemo> {
+        match self {
+            Eval::Plain(_) => None,
+            Eval::Memo(p) => Some(p.into_memo()),
+        }
+    }
 }
 
 fn run_chain(
@@ -167,9 +296,18 @@ fn run_chain(
     space: &SearchSpace,
     cfg: &McmcConfig,
     start_from: ChainStart,
+    external_memo: Option<&mut CostMemo>,
 ) -> SearchResult {
     let start = Instant::now();
     let n_calls = space.n_calls();
+
+    let mut external_memo = external_memo;
+    let seed_memo = match (&mut external_memo, cfg.memo) {
+        (Some(slot), true) => Some(std::mem::take(*slot)),
+        _ => None,
+    };
+    let mut eval = Eval::new(est, cfg.memo, seed_memo);
+    let memo_before = eval.memo_stats();
 
     let (mut rng, mut current, mut steps, mut accepted, prior_best, mut trace) = match start_from {
         ChainStart::Greedy => (
@@ -197,7 +335,7 @@ fn run_chain(
             ckpt.trace.clone(),
         ),
     };
-    let mut current_cost = est.cost(&current);
+    let mut current_cost = eval.cost(&current);
 
     let chain = cfg.seed.to_string();
     let labels: [(&str, &str); 1] = [("chain", chain.as_str())];
@@ -208,13 +346,13 @@ fn run_chain(
     // one estimator call per step.
     let (mut best_plan, mut best_cost) = match prior_best {
         Some(best) => {
-            let cost = est.cost(&best);
+            let cost = eval.cost(&best);
             (best, cost)
         }
         None => (current.clone(), current_cost),
     };
     if cfg.record_trace && trace.is_empty() {
-        trace.push((0.0, est.time_cost(&best_plan)));
+        trace.push((0.0, eval.time_cost(&best_plan)));
     }
 
     while steps < cfg.max_steps && start.elapsed() < cfg.time_limit {
@@ -223,10 +361,10 @@ fn run_chain(
         let call = CallId(rng.index(n_calls));
         let opts = space.options(call.0);
         let proposal_assignment = opts[rng.index(opts.len())];
-        let proposal = current
-            .with_assignment(call, proposal_assignment)
-            .expect("options are internally consistent");
-        let (proposal_cost, oom_penalized) = est.cost_checked(&proposal);
+        // Priced as a one-call perturbation of the incumbent: the fast path
+        // re-uses every cached sub-result the perturbation did not touch.
+        let (proposal_cost, oom_penalized) =
+            eval.cost_checked_perturbed(&current, call, proposal_assignment);
         if oom_penalized {
             telemetry.counter_inc("search/oom_penalty_hits", &labels);
         }
@@ -239,14 +377,16 @@ fn run_chain(
         let delta = (proposal_cost - current_cost) / current_cost.max(f64::MIN_POSITIVE);
         let accept_p = (-beta * delta).exp().min(1.0);
         if rng.uniform() < accept_p {
-            current = proposal;
+            current = current
+                .with_assignment(call, proposal_assignment)
+                .expect("options are internally consistent");
             current_cost = proposal_cost;
             accepted += 1;
 
             if current_cost < best_cost {
                 best_plan = current.clone();
                 best_cost = current_cost;
-                let best_time = est.time_cost(&best_plan);
+                let best_time = eval.time_cost(&best_plan);
                 if cfg.record_trace {
                     trace.push((start.elapsed().as_secs_f64(), best_time));
                 }
@@ -298,16 +438,15 @@ fn run_chain(
                 if opt == *best_plan.assignment(CallId(call)) {
                     continue;
                 }
-                let candidate = best_plan
-                    .with_assignment(CallId(call), opt)
-                    .expect("options are internally consistent");
-                let cost = est.cost(&candidate);
+                let (cost, _) = eval.cost_checked_perturbed(&best_plan, CallId(call), opt);
                 if cost < best_cost {
-                    best_plan = candidate;
+                    best_plan = best_plan
+                        .with_assignment(CallId(call), opt)
+                        .expect("options are internally consistent");
                     best_cost = cost;
                     improved = true;
                     if cfg.record_trace {
-                        trace.push((start.elapsed().as_secs_f64(), est.time_cost(&best_plan)));
+                        trace.push((start.elapsed().as_secs_f64(), eval.time_cost(&best_plan)));
                     }
                 }
             }
@@ -325,22 +464,90 @@ fn run_chain(
             accepted as f64 / steps as f64
         },
     );
-    let best_time_cost = est.time_cost(&best_plan);
+    let best_time_cost = eval.time_cost(&best_plan);
     telemetry.gauge_set("search/best_time_cost_final", &labels, best_time_cost);
+    let feasible = eval.mem_ok(&best_plan);
+
+    // Memo accounting: report only this search's deltas (a shared cache
+    // arrives with history), then hand a shared cache back to its owner.
+    let memo_stats = eval.memo_stats().since(memo_before);
+    telemetry.counter_add("search/memo_hits", &labels, memo_stats.hits as f64);
+    telemetry.counter_add("search/memo_misses", &labels, memo_stats.misses as f64);
+    telemetry.ratio_gauge(
+        "search/memo_hit_rate",
+        &labels,
+        memo_stats.hits as f64,
+        (memo_stats.hits + memo_stats.misses) as f64,
+    );
+    if let Some(slot) = external_memo {
+        if let Some(memo) = eval.into_memo() {
+            *slot = memo;
+        }
+    }
+
     SearchResult {
         best_time_cost,
-        feasible: est.mem_ok(&best_plan),
+        feasible,
         best_plan,
         steps,
         accepted,
         trace,
         telemetry,
         chain: chain_state,
+        memo: memo_stats,
     }
 }
 
-/// Runs `n_chains` independent chains on separate threads (derived seeds)
-/// and returns the best result; ties favour feasibility then lower time.
+/// The seed chain `k` of a parallel search runs with: chain 0 keeps the
+/// caller's seed (so the multi-chain result is always at least as good as
+/// the single-chain one), later chains draw from the `"chain"` RNG
+/// substream of that seed. Pure — the whole determinism contract of
+/// [`parallel_search_on`] reduces to this function plus ordered merging.
+pub fn chain_seed(seed: u64, chain: usize) -> u64 {
+    if chain == 0 {
+        seed
+    } else {
+        DeterministicRng::from_seed(seed)
+            .derive("chain")
+            .derive_index(chain as u64)
+            .next_u64()
+    }
+}
+
+/// Deterministically merges per-chain results (in chain order): telemetry
+/// is unioned (chains are distinguished by their `chain=<seed>` label, so
+/// the merge is collision-free), memo counters sum, and the winner is the
+/// first chain with the best `(feasibility, TimeCost)` key.
+///
+/// The merge depends only on the *list* — never on thread scheduling — so
+/// a parallel search returns a byte-identical plan for any thread count.
+///
+/// # Panics
+///
+/// Panics if `results` is empty.
+pub fn merge_results(results: Vec<SearchResult>) -> SearchResult {
+    let mut merged = MetricsRegistry::new();
+    let mut memo = MemoStats::default();
+    for r in &results {
+        merged.merge(&r.telemetry);
+        memo = memo.merged(r.memo);
+    }
+    let mut best = results
+        .into_iter()
+        .min_by(|a, b| {
+            (!a.feasible, a.best_time_cost)
+                .partial_cmp(&(!b.feasible, b.best_time_cost))
+                .expect("costs are finite")
+        })
+        .expect("at least one chain result");
+    best.telemetry = merged;
+    best.memo = memo;
+    best
+}
+
+/// Runs `n_chains` independent chains across worker threads (derived
+/// seeds) and returns the best result; ties favour feasibility then lower
+/// time. Shorthand for [`parallel_search_on`] with one thread per chain.
 ///
 /// # Panics
 ///
@@ -351,47 +558,60 @@ pub fn parallel_search(
     cfg: &McmcConfig,
     n_chains: usize,
 ) -> SearchResult {
+    parallel_search_on(est, space, cfg, n_chains, n_chains)
+}
+
+/// Runs `n_chains` logical chains over a pool of `threads` workers.
+///
+/// The logical chain set is fixed up front ([`chain_seed`]) and each chain
+/// is fully determined by its own config, so workers can pick chains off a
+/// shared queue in any order; results are slotted by chain index and merged
+/// with [`merge_results`]. Consequence: for step-bounded configs the chosen
+/// plan is **bit-identical for any `threads`** — 1, 2, or the machine's
+/// core count — which is what lets operators crank parallelism without
+/// losing reproducibility (see `docs/SEARCH.md`).
+///
+/// # Panics
+///
+/// Panics if `n_chains == 0` or `threads == 0`.
+pub fn parallel_search_on(
+    est: &Estimator,
+    space: &SearchSpace,
+    cfg: &McmcConfig,
+    n_chains: usize,
+    threads: usize,
+) -> SearchResult {
     assert!(n_chains > 0, "need at least one chain");
+    assert!(threads > 0, "need at least one worker thread");
     if n_chains == 1 {
         return search(est, space, cfg);
     }
-    let mut results: Vec<SearchResult> = Vec::with_capacity(n_chains);
+    let workers = threads.min(n_chains);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SearchResult>>> = (0..n_chains).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..n_chains)
-            .map(|chain| {
-                let mut chain_cfg = cfg.clone();
-                // Chain 0 keeps the caller's seed so the multi-chain result
-                // is always at least as good as the single-chain one.
-                if chain > 0 {
-                    chain_cfg.seed = cfg
-                        .seed
-                        .wrapping_mul(0x9e37_79b9)
-                        .wrapping_add(chain as u64);
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let chain = next.fetch_add(1, Ordering::Relaxed);
+                if chain >= n_chains {
+                    break;
                 }
-                scope.spawn(move || search(est, space, &chain_cfg))
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("search chains do not panic"));
+                let mut chain_cfg = cfg.clone();
+                chain_cfg.seed = chain_seed(cfg.seed, chain);
+                let result = search(est, space, &chain_cfg);
+                *slots[chain].lock().expect("result slot not poisoned") = Some(result);
+            });
         }
     });
-
-    // The winner carries every chain's telemetry (chains are distinguished
-    // by their `chain=<seed>` label, so the merge is collision-free).
-    let mut merged = MetricsRegistry::new();
-    for r in &results {
-        merged.merge(&r.telemetry);
-    }
-    let mut best = results
+    let results: Vec<SearchResult> = slots
         .into_iter()
-        .min_by(|a, b| {
-            (!a.feasible, a.best_time_cost)
-                .partial_cmp(&(!b.feasible, b.best_time_cost))
-                .expect("costs are finite")
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot not poisoned")
+                .expect("every chain ran to completion")
         })
-        .expect("n_chains >= 1");
-    best.telemetry = merged;
-    best
+        .collect();
+    merge_results(results)
 }
 
 #[cfg(test)]
@@ -423,6 +643,7 @@ mod tests {
             time_limit: Duration::from_secs(20),
             seed,
             record_trace: true,
+            memo: true,
         }
     }
 
@@ -541,5 +762,96 @@ mod tests {
         let single = search(&est, &space, &cfg);
         let multi = parallel_search(&est, &space, &cfg, 4);
         assert!(multi.best_time_cost <= single.best_time_cost + 1e-9);
+    }
+
+    /// Step-bounded config so results depend only on seeds, not wall clock.
+    fn steps_only_cfg(seed: u64, max_steps: u64) -> McmcConfig {
+        McmcConfig {
+            beta: 1.0,
+            max_steps,
+            time_limit: Duration::from_secs(3600),
+            seed,
+            record_trace: false,
+            memo: true,
+        }
+    }
+
+    #[test]
+    fn memo_on_and_off_return_bit_identical_results() {
+        let (est, space) = setup(2, 512);
+        let mut on = steps_only_cfg(29, 800);
+        let mut off = on.clone();
+        on.memo = true;
+        off.memo = false;
+        let a = search(&est, &space, &on);
+        let b = search(&est, &space, &off);
+        assert_eq!(a.best_plan, b.best_plan);
+        assert_eq!(a.best_time_cost.to_bits(), b.best_time_cost.to_bits());
+        assert_eq!((a.steps, a.accepted), (b.steps, b.accepted));
+        assert_eq!(a.chain, b.chain, "chain state must match bit-for-bit");
+        assert!(a.memo.hits > 0, "the fast path must actually hit");
+        assert_eq!(b.memo, MemoStats::default());
+    }
+
+    #[test]
+    fn parallel_best_plan_is_byte_identical_for_1_2_and_8_threads() {
+        let (est, space) = setup(1, 128);
+        let cfg = steps_only_cfg(31, 400);
+        let results: Vec<SearchResult> = [1usize, 2, 8]
+            .iter()
+            .map(|&threads| parallel_search_on(&est, &space, &cfg, 8, threads))
+            .collect();
+        let reference = serde_json::to_string(&results[0].best_plan).unwrap();
+        for r in &results[1..] {
+            assert_eq!(
+                serde_json::to_string(&r.best_plan).unwrap(),
+                reference,
+                "plan bytes must not depend on thread count"
+            );
+            assert_eq!(
+                r.best_time_cost.to_bits(),
+                results[0].best_time_cost.to_bits()
+            );
+            assert_eq!(
+                (r.steps, r.accepted),
+                (results[0].steps, results[0].accepted)
+            );
+            assert_eq!(r.memo, results[0].memo);
+        }
+    }
+
+    #[test]
+    fn shared_memo_carries_across_searches_and_reports_deltas() {
+        let (est, space) = setup(1, 128);
+        let cfg = steps_only_cfg(37, 300);
+        let mut memo = real_estimator::CostMemo::new();
+        let first = search_with_memo(&est, &space, &cfg, &mut memo);
+        let second = search_with_memo(&est, &space, &cfg, &mut memo);
+        // Same chain over a warm cache: almost everything hits.
+        assert!(second.memo.misses < first.memo.misses);
+        assert!(second.memo.hit_rate() > first.memo.hit_rate());
+        // And the shared cache never changes the answer.
+        assert_eq!(first.best_plan, second.best_plan);
+        let cold = search(&est, &space, &cfg);
+        assert_eq!(cold.best_plan, second.best_plan);
+        assert_eq!(
+            cold.best_time_cost.to_bits(),
+            second.best_time_cost.to_bits()
+        );
+    }
+
+    #[test]
+    fn chain_seed_is_stable_and_collision_free_for_small_fleets() {
+        assert_eq!(chain_seed(42, 0), 42, "chain 0 keeps the caller's seed");
+        let seeds: Vec<u64> = (0..64).map(|c| chain_seed(42, c)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "derived seeds must not collide");
+        // Deterministic: same inputs, same seeds.
+        assert_eq!(
+            seeds,
+            (0..64).map(|c| chain_seed(42, c)).collect::<Vec<_>>()
+        );
     }
 }
