@@ -22,12 +22,37 @@ for f in crates/*/src/*.rs; do
     fi
 done
 
+# Dataflow-spec drift gate: docs/DATAFLOWS.md is the schema reference for
+# the --graph DSL; every SpecError variant and every public field of the
+# spec structs must be documented there.
+for variant in $(sed -n '/^pub enum SpecError/,/^}/s/^    \([A-Z][A-Za-z]*\).*/\1/p' \
+        crates/dataflow/src/spec.rs); do
+    if ! grep -q "$variant" docs/DATAFLOWS.md; then
+        echo "docs drift: SpecError::$variant missing from docs/DATAFLOWS.md" >&2
+        exit 1
+    fi
+done
+for field in $(sed -n '/^pub struct \(GraphSpec\|ModelDecl\|CallDecl\|HookDecl\|OffPolicyDecl\)/,/^}/s/^    pub \([a-z_]*\):.*/\1/p' \
+        crates/dataflow/src/spec.rs); do
+    if ! grep -q "\`$field\`" docs/DATAFLOWS.md; then
+        echo "docs drift: spec field '$field' missing from docs/DATAFLOWS.md" >&2
+        exit 1
+    fi
+done
+
 # CLI-drift gate: every `real` subcommand in the dispatch table must be
 # mentioned in README.md, so the README cannot lag behind the binary.
 for cmd in $(sed -n '/^pub fn dispatch/,/^}/s/^ *"\([a-z-]*\)" => .*/\1/p' \
         crates/cli/src/commands.rs); do
     if ! grep -q "real $cmd" README.md; then
         echo "docs drift: CLI subcommand 'real $cmd' missing from README.md" >&2
+        exit 1
+    fi
+done
+# ... and the graph-DSL flags must stay documented.
+for flag in graph async-offpolicy staleness; do
+    if ! grep -q -- "--$flag" README.md; then
+        echo "docs drift: flag '--$flag' missing from README.md" >&2
         exit 1
     fi
 done

@@ -61,6 +61,7 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "check",
     "no-memo",
     "memo-stats",
+    "async-offpolicy",
 ];
 
 impl Args {

@@ -60,6 +60,32 @@ impl From<serde_json::Error> for CliError {
     }
 }
 
+/// Converts a byte offset in `text` into a 1-based `(line, column)`.
+fn line_col(text: &str, offset: usize) -> (usize, usize) {
+    let prefix = &text[..offset.min(text.len())];
+    let line = prefix.bytes().filter(|&b| b == b'\n').count() + 1;
+    let col = prefix
+        .rfind('\n')
+        .map_or(offset.min(text.len()) + 1, |nl| offset - nl);
+    (line, col)
+}
+
+/// Reads and deserializes a JSON file, prefixing every failure with the
+/// file path — and, for parse errors, the `line:column` of the offending
+/// byte — so `real run --plan broken.json` points at the problem instead
+/// of printing a bare "json error".
+pub fn load_json<T: serde::Deserialize>(path: &str) -> Result<T, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+    serde_json::from_str(&text).map_err(|e| match e.byte_offset() {
+        Some(off) => {
+            let (line, col) = line_col(&text, off);
+            CliError::Invalid(format!("{path}:{line}:{col}: {e}"))
+        }
+        None => CliError::Invalid(format!("{path}: {e}")),
+    })
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 real — ReaL RLHF execution planning on a simulated cluster
@@ -92,6 +118,9 @@ WORKLOAD FLAGS (plan/run/baselines):
   --batch B        global batch (prompts)            [default 128]
   --ctx-scale K    context 2048*K, batch/K (Fig. 8)  [default 1]
   --seed S                                           [default 1]
+  --graph FILE     load a user-defined graph.json workflow instead of
+                   --algo/--actor/--critic/--batch (validated against
+                   the estimator; see docs/DATAFLOWS.md)
 
 SEARCH FLAGS (plan/run):
   --steps N        MCMC step budget                  [default 40000]
@@ -125,6 +154,12 @@ RUN FLAGS:
                    switch plans mid-run (needs --faults to have any effect)
   --replan-steps N MCMC budget per mid-run re-search          [default 2000]
   --dead-after S   declare a worker dead after S stalled secs [default 120]
+  --async-offpolicy  overlap next-iteration generation with the current
+                   training step on disjoint meshes (staleness-bounded
+                   off-policy execution; a graph.json `offpolicy` section
+                   enables this too). Without --plan/--heuristic the run
+                   uses a gen/train split placement when one fits.
+  --staleness N    async off-policy staleness bound            [default 1]
 
 PROFILE FLAGS:
   --trace FILE     analyze a saved Chrome trace instead of running
@@ -169,18 +204,24 @@ pub fn experiment_from(args: &Args) -> Result<Experiment, CliError> {
         )));
     }
     let cfg = RlhfConfig::instruct_gpt(batch).with_context_scale(ctx_scale);
-    let algo = args.str_or("algo", "ppo");
-    let mut exp = match algo.as_str() {
-        "ppo" => Experiment::ppo(cluster, actor, critic, cfg),
-        "dpo" => Experiment::dpo(cluster, actor, cfg),
-        "grpo" => Experiment::grpo(cluster, actor, critic, cfg),
-        "remax" => Experiment::remax(cluster, actor, critic, cfg),
-        "raft" => Experiment::raft(cluster, actor, critic, cfg),
-        "itdpo" => Experiment::iterative_dpo(cluster, actor, critic, cfg),
-        other => {
-            return Err(CliError::Invalid(format!(
-                "unknown --algo {other}; expected ppo|dpo|grpo|remax|raft|itdpo"
-            )))
+    let mut exp = if let Some(gpath) = args.str_opt("graph") {
+        let spec: GraphSpec = load_json(gpath)?;
+        Experiment::from_graph(cluster, &spec)
+            .map_err(|e| CliError::Invalid(format!("--graph {gpath}: {e}")))?
+    } else {
+        let algo = args.str_or("algo", "ppo");
+        match algo.as_str() {
+            "ppo" => Experiment::ppo(cluster, actor, critic, cfg),
+            "dpo" => Experiment::dpo(cluster, actor, cfg),
+            "grpo" => Experiment::grpo(cluster, actor, critic, cfg),
+            "remax" => Experiment::remax(cluster, actor, critic, cfg),
+            "raft" => Experiment::raft(cluster, actor, critic, cfg),
+            "itdpo" => Experiment::iterative_dpo(cluster, actor, critic, cfg),
+            other => {
+                return Err(CliError::Invalid(format!(
+                    "unknown --algo {other}; expected ppo|dpo|grpo|remax|raft|itdpo"
+                )))
+            }
         }
     };
     exp = exp.with_seed(args.num_or("seed", 1)?);
@@ -190,15 +231,29 @@ pub fn experiment_from(args: &Args) -> Result<Experiment, CliError> {
     if let Some(path) = args.str_opt("profile-db") {
         let mut profiles = Vec::new();
         for part in path.split(',') {
-            let db: ProfileDb = serde_json::from_str(&std::fs::read_to_string(part)?)?;
+            let db: ProfileDb = load_json(part)?;
             profiles.push(db);
         }
         exp = exp.with_profiles(profiles);
     }
-    let mut engine = EngineConfig {
-        seed: args.num_or("seed", 1)?,
-        ..EngineConfig::default()
-    };
+    // Async off-policy: --async-offpolicy enables it, a graph spec's
+    // `offpolicy` section enables it, and --staleness overrides either
+    // bound.
+    let spec_staleness = exp.async_staleness();
+    if args.flag("async-offpolicy") || spec_staleness.is_some() {
+        let default = spec_staleness.unwrap_or(real_core::real_dataflow::spec::DEFAULT_STALENESS);
+        let staleness: u32 = args.num_or("staleness", default)?;
+        if staleness > real_core::real_dataflow::spec::MAX_STALENESS {
+            return Err(CliError::Invalid(format!(
+                "--staleness {staleness} exceeds the maximum of {}",
+                real_core::real_dataflow::spec::MAX_STALENESS
+            )));
+        }
+        exp = exp.with_async_offpolicy(staleness);
+    }
+    // The engine configuration is based on the experiment's own (which
+    // carries the graph spec's call hooks), not a fresh default.
+    let mut engine = exp.engine_config().clone();
     if args.flag("no-cuda-graph") {
         engine.cuda_graph = false;
     }
@@ -206,14 +261,21 @@ pub fn experiment_from(args: &Args) -> Result<Experiment, CliError> {
         engine.trace_capacity = 500_000;
     }
     if let Some(path) = args.str_opt("faults") {
-        let plan: FaultPlan = serde_json::from_str(&std::fs::read_to_string(path)?)?;
+        let plan: FaultPlan = load_json(path)?;
         if let Err(e) = plan.validate() {
             return Err(CliError::Invalid(format!("--faults {path}: {e}")));
         }
         engine.fault_plan = Some(plan);
     }
     engine.max_retries = args.num_or("max-retries", engine.max_retries)?;
-    Ok(exp.with_engine_config(engine))
+    let exp = exp.with_engine_config(engine);
+    // A user-defined graph must also be *searchable*: price every call
+    // through the estimator before planning or running anything with it.
+    if let Some(gpath) = args.str_opt("graph") {
+        let (est, _) = exp.prepare();
+        probe::probe(&est).map_err(|e| CliError::Invalid(format!("--graph {gpath}: {e}")))?;
+    }
+    Ok(exp)
 }
 
 fn model_flag(args: &Args, flag: &str) -> Result<ModelSpec, CliError> {
@@ -322,9 +384,14 @@ pub fn cmd_run(args: &Args) -> Result<String, CliError> {
     }
     let mut search: Option<SearchResult> = None;
     let plan: ExecutionPlan = if let Some(path) = args.str_opt("plan") {
-        serde_json::from_str(&std::fs::read_to_string(path)?)?
+        load_json(path)?
     } else if args.flag("heuristic") {
         exp.plan_heuristic()
+    } else if let Some(split) = exp.async_staleness().and_then(|_| exp.plan_split()) {
+        // Async off-policy wants generation and training on disjoint
+        // meshes; the MCMC search optimizes the synchronous TimeCost and
+        // tends to colocate them, so default to the split placement.
+        split
     } else {
         let (cfg, chains, threads) = mcmc_from(args)?;
         let planned = plan_searched(&exp, &cfg, chains, threads)?;
@@ -343,6 +410,20 @@ pub fn cmd_run(args: &Args) -> Result<String, CliError> {
         std::fs::write(path, serde_json::to_string_pretty(&metrics.snapshot())?)?;
     }
     let mut out = report.render(exp.graph());
+    if !report.run.async_stats.is_empty() {
+        out.push_str(&report.run.async_stats.render_line());
+        out.push('\n');
+        let stream = exp.event_stream(&report);
+        let overlap = real_core::real_obs::profile::phase_overlap(
+            &stream,
+            real_core::real_obs::Phase::Generation,
+            real_core::real_obs::Phase::Training,
+        );
+        out.push_str(&format!(
+            "measured gen/train phase overlap: {overlap:.2}s over {} iteration(s)\n",
+            report.run.iterations
+        ));
+    }
     if args.flag("memo-stats") {
         if let Some(search) = &search {
             out.push_str(&memo_stats_line(search));
@@ -448,12 +529,21 @@ pub fn cmd_baselines(args: &Args) -> Result<String, CliError> {
 /// a fresh run or a saved trace, with an optional regression gate against
 /// a committed baseline report.
 pub fn cmd_profile(args: &Args) -> Result<String, CliError> {
+    use real_core::real_obs::{phase_overlap, Phase};
     let top_k: usize = args.num_or("top", 10)?;
+    let overlap_line = |stream: &real_core::real_obs::EventStream| {
+        format!(
+            "gen/train phase overlap: {:.2}s\n",
+            phase_overlap(stream, Phase::Generation, Phase::Training)
+        )
+    };
+    let overlap;
     let report: real_core::real_obs::ProfileReport = if let Some(path) = args.str_opt("trace") {
         // Analyze a saved Chrome trace. The estimator gap needs the live
         // experiment, so that section stays empty in this mode.
-        let value: serde_json::Value = serde_json::from_str(&std::fs::read_to_string(path)?)?;
+        let value: serde_json::Value = load_json(path)?;
         let stream = real_core::real_obs::from_chrome_value(&value).map_err(CliError::Invalid)?;
+        overlap = overlap_line(&stream);
         real_core::real_obs::ProfileReport::from_stream(&stream, top_k)
     } else {
         let exp = experiment_from(args)?;
@@ -464,15 +554,20 @@ pub fn cmd_profile(args: &Args) -> Result<String, CliError> {
         }
         let exp = exp.with_engine_config(engine);
         let plan: ExecutionPlan = if let Some(path) = args.str_opt("plan") {
-            serde_json::from_str(&std::fs::read_to_string(path)?)?
+            load_json(path)?
         } else if args.flag("heuristic") {
             exp.plan_heuristic()
+        } else if let Some(split) = exp.async_staleness().and_then(|_| exp.plan_split()) {
+            // Same default as `real run`: async off-policy profiles against
+            // the disjoint gen/train placement (see cmd_run).
+            split
         } else {
             let (cfg, chains, threads) = mcmc_from(args)?;
             plan_searched(&exp, &cfg, chains, threads)?.plan
         };
         let iters: usize = args.num_or("iters", 2)?;
         let run = exp.run(&plan, iters)?;
+        overlap = overlap_line(&exp.event_stream(&run));
         let (est, _) = exp.prepare();
         exp.profile_report(&run, &est, top_k)
     };
@@ -483,11 +578,12 @@ pub fn cmd_profile(args: &Args) -> Result<String, CliError> {
     let mut out = if args.flag("json") {
         serde_json::to_string_pretty(&report)?
     } else {
-        report.render()
+        let mut rendered = report.render();
+        rendered.push_str(&overlap);
+        rendered
     };
     if let Some(bpath) = args.str_opt("baseline") {
-        let baseline: real_core::real_obs::ProfileReport =
-            serde_json::from_str(&std::fs::read_to_string(bpath)?)?;
+        let baseline: real_core::real_obs::ProfileReport = load_json(bpath)?;
         let tolerance: f64 = args.num_or("tolerance-pct", 5.0)?;
         let violations = report.check_against(&baseline, tolerance);
         if violations.is_empty() {
@@ -541,7 +637,7 @@ pub fn cmd_profile_db(args: &Args) -> Result<String, CliError> {
 pub fn cmd_estimate(args: &Args) -> Result<String, CliError> {
     let exp = experiment_from(args)?;
     let plan: ExecutionPlan = if let Some(path) = args.str_opt("plan") {
-        serde_json::from_str(&std::fs::read_to_string(path)?)?
+        load_json(path)?
     } else {
         exp.plan_heuristic()
     };
@@ -591,7 +687,7 @@ pub fn cmd_stats(args: &Args) -> Result<String, CliError> {
     let path = args
         .str_opt("file")
         .ok_or_else(|| CliError::Invalid("stats needs --file metrics.json".into()))?;
-    let snap: MetricsSnapshot = serde_json::from_str(&std::fs::read_to_string(path)?)?;
+    let snap: MetricsSnapshot = load_json(path)?;
     Ok(render_stats(&snap))
 }
 
@@ -723,7 +819,7 @@ pub fn cmd_sched(args: &Args) -> Result<String, CliError> {
     let path = args
         .str_opt("tenants")
         .ok_or_else(|| CliError::Invalid("sched needs --tenants tenants.json".into()))?;
-    let spec: SchedSpec = serde_json::from_str(&std::fs::read_to_string(path)?)?;
+    let spec: SchedSpec = load_json(path)?;
     let (cluster, tenants) = spec.build().map_err(|e| CliError::Invalid(e.to_string()))?;
     let config = SchedConfig {
         seed: args.num_or("seed", spec.seed())?,

@@ -2,10 +2,10 @@
 //! decorator (Appendix B).
 
 use crate::report::ExperimentReport;
-use real_cluster::ClusterSpec;
+use real_cluster::{ClusterSpec, DeviceMesh};
 use real_dataflow::algo::{self, RlhfConfig};
-use real_dataflow::{DataflowGraph, ExecutionPlan};
-use real_estimator::Estimator;
+use real_dataflow::{CallType, DataflowGraph, ExecutionPlan, GraphSpec, SpecError};
+use real_estimator::{probe, Estimator};
 use real_model::ModelSpec;
 use real_profiler::{ProfileConfig, Profiler};
 use real_runtime::{EngineConfig, ReplanPolicy, RunError, RuntimeEngine};
@@ -32,6 +32,10 @@ pub struct Experiment {
     /// Elastic re-planning policy; [`Self::run`] routes through
     /// [`RuntimeEngine::run_replan`] when set together with a fault plan.
     replan_policy: Option<ReplanPolicy>,
+    /// Async off-policy staleness bound; [`Self::run`] routes through
+    /// [`RuntimeEngine::run_async`] when set (unless re-planning is
+    /// active, which takes precedence).
+    async_staleness: Option<u32>,
 }
 
 /// Why automatic planning failed.
@@ -83,7 +87,49 @@ impl Experiment {
             seed: 1,
             preloaded_profiles: Vec::new(),
             replan_policy: None,
+            async_staleness: None,
         }
+    }
+
+    /// Creates an experiment from a `graph.json` workflow specification
+    /// (the [`GraphSpec`] DSL): the graph is validated structurally, the
+    /// spec's per-call hooks are installed into the engine configuration,
+    /// and an `offpolicy` section enables staleness-bounded async
+    /// execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec's first [`SpecError`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use real_cluster::ClusterSpec;
+    /// use real_core::Experiment;
+    /// use real_dataflow::GraphSpec;
+    ///
+    /// let json = r#"{
+    ///     "models": [{"role": "m", "arch": "7b"}],
+    ///     "data": ["prompts"],
+    ///     "calls": [
+    ///         {"name": "m_gen", "model": "m", "kind": "gen",
+    ///          "batch": 32, "prompt_len": 128, "gen_len": 128,
+    ///          "inputs": ["prompts"], "outputs": ["seq"]},
+    ///         {"name": "m_train", "model": "m", "kind": "train",
+    ///          "batch": 32, "seq_len": 256, "inputs": ["seq"]}
+    ///     ],
+    ///     "offpolicy": {"staleness": 1}
+    /// }"#;
+    /// let spec: GraphSpec = serde_json::from_str(json).unwrap();
+    /// let exp = Experiment::from_graph(ClusterSpec::h100(1), &spec).unwrap();
+    /// assert_eq!(exp.async_staleness(), Some(1));
+    /// ```
+    pub fn from_graph(cluster: ClusterSpec, spec: &GraphSpec) -> Result<Self, SpecError> {
+        let built = spec.build()?;
+        let mut exp = Self::new(cluster, built.graph);
+        exp.engine_config.call_hooks = built.hooks;
+        exp.async_staleness = built.async_staleness;
+        Ok(exp)
     }
 
     /// Convenience: the standard PPO workflow (Fig. 4).
@@ -191,6 +237,20 @@ impl Experiment {
     /// The configured re-plan policy, if any.
     pub fn replan_policy(&self) -> Option<&ReplanPolicy> {
         self.replan_policy.as_ref()
+    }
+
+    /// Enables async off-policy execution: [`Self::run`] routes through
+    /// [`RuntimeEngine::run_async`] with the given staleness bound.
+    pub fn with_async_offpolicy(mut self, staleness: u32) -> Self {
+        self.async_staleness = Some(staleness);
+        self
+    }
+
+    /// The async off-policy staleness bound, if the mode is enabled
+    /// (via [`Self::with_async_offpolicy`] or the spec's `offpolicy`
+    /// section).
+    pub fn async_staleness(&self) -> Option<u32> {
+        self.async_staleness
     }
 
     /// The experiment's workflow.
@@ -341,6 +401,46 @@ impl Experiment {
         greedy_plan(&est, &self.search_space())
     }
 
+    /// A disjoint-mesh plan for async off-policy runs: generation calls of
+    /// trainable models on one half of the cluster, everything else on the
+    /// other half, each call on a canonical strategy filling its half
+    /// ([`probe::fit_assignment`]). With [`Self::with_async_offpolicy`]
+    /// enabled this lets generation for the next iteration overlap the
+    /// current training step; under the synchronous master it is merely a
+    /// (usually suboptimal) placement. Returns `None` when the cluster
+    /// cannot be halved (a single-GPU node) or no canonical strategy fits
+    /// a half.
+    pub fn plan_split(&self) -> Option<ExecutionPlan> {
+        let c = &self.cluster;
+        let (gen_mesh, rest_mesh) = if c.n_nodes >= 2 && (c.n_nodes / 2).is_power_of_two() {
+            let half = c.n_nodes / 2;
+            (
+                DeviceMesh::whole_nodes(c, 0, half).ok()?,
+                DeviceMesh::whole_nodes(c, half, half).ok()?,
+            )
+        } else if c.gpus_per_node >= 2 {
+            let half = c.gpus_per_node / 2;
+            (
+                DeviceMesh::sub_node(c, 0, 0, half).ok()?,
+                DeviceMesh::sub_node(c, 0, half, half).ok()?,
+            )
+        } else {
+            return None;
+        };
+        let assignments: Vec<_> = self
+            .graph
+            .calls()
+            .iter()
+            .map(|call| {
+                let relaxed = matches!(call.call_type, CallType::Generate { .. })
+                    && self.graph.is_trainable(&call.model_name);
+                let mesh = if relaxed { gen_mesh } else { rest_mesh };
+                probe::fit_assignment(&mesh, call)
+            })
+            .collect::<Option<Vec<_>>>()?;
+        ExecutionPlan::new(&self.graph, c, assignments).ok()
+    }
+
     /// Executes a plan on the runtime engine for `iterations` iterations.
     ///
     /// # Errors
@@ -382,7 +482,10 @@ impl Experiment {
                 };
                 engine.run_replan(plan, iterations, policy, &est)?
             }
-            _ => engine.run(plan, iterations)?,
+            _ => match self.async_staleness {
+                Some(s) => engine.run_async(plan, iterations, s)?,
+                None => engine.run(plan, iterations)?,
+            },
         };
         Ok(ExperimentReport::new(&self.graph, plan.clone(), run))
     }
@@ -558,6 +661,38 @@ mod tests {
         assert!(run_only
             .iter()
             .all(|(k, _)| k.name().starts_with("runtime/")));
+    }
+
+    #[test]
+    fn from_graph_installs_hooks_and_staleness() {
+        let json = r#"{
+            "models": [{"role": "m", "arch": "7b"}],
+            "data": ["prompts"],
+            "calls": [
+                {"name": "m_gen", "model": "m", "kind": "gen",
+                 "batch": 32, "prompt_len": 128, "gen_len": 128,
+                 "inputs": ["prompts"], "outputs": ["seq"],
+                 "hooks": {"pre_secs": 0.5}},
+                {"name": "m_train", "model": "m", "kind": "train",
+                 "batch": 32, "seq_len": 256, "inputs": ["seq"]}
+            ],
+            "offpolicy": {"staleness": 2}
+        }"#;
+        let spec: GraphSpec = serde_json::from_str(json).unwrap();
+        let exp = Experiment::from_graph(ClusterSpec::h100(1), &spec).unwrap();
+        assert_eq!(exp.async_staleness(), Some(2));
+        assert_eq!(exp.engine_config().hook_secs("m_gen"), (0.5, 0.0));
+        assert_eq!(exp.graph().n_calls(), 2);
+    }
+
+    #[test]
+    fn split_plan_overlaps_async_run() {
+        let exp = experiment().with_quick_profile().with_async_offpolicy(1);
+        let plan = exp.plan_split().expect("8-GPU node halves");
+        let report = exp.run(&plan, 4).unwrap();
+        assert!(report.run.async_stats.relaxed_calls > 0);
+        assert!(report.run.async_stats.gen_train_overlap_secs > 0.0);
+        assert!(report.run.async_stats.max_observed_staleness <= 1);
     }
 
     #[test]

@@ -16,15 +16,16 @@ pub use real_cluster::{
 pub use real_dataflow::algo::{self, RlhfConfig};
 pub use real_dataflow::render::{to_ascii, to_dot};
 pub use real_dataflow::{
-    CallAssignment, CallId, CallType, DataflowGraph, ExecutionPlan, ModelFunctionCallDef,
+    BuiltGraph, CallAssignment, CallHook, CallId, CallType, DataflowGraph, ExecutionPlan,
+    GraphSpec, ModelFunctionCallDef, SpecError,
 };
-pub use real_estimator::Estimator;
+pub use real_estimator::{probe, Estimator};
 pub use real_model::{CostModel, MemoryModel, ModelSpec, ParallelStrategy};
 pub use real_obs::{EventStream, MetricsRegistry, MetricsSnapshot};
 pub use real_profiler::{ProfileConfig, ProfileDb, Profiler};
 pub use real_runtime::{
-    baselines, EngineConfig, FaultAbort, FaultStats, ReplanEvent, ReplanOutcome, ReplanPolicy,
-    ReplanReason, ReplanStats, RequestFault, RunError, RunReport, RuntimeEngine,
+    baselines, AsyncStats, EngineConfig, FaultAbort, FaultStats, ReplanEvent, ReplanOutcome,
+    ReplanPolicy, ReplanReason, ReplanStats, RequestFault, RunError, RunReport, RuntimeEngine,
 };
 pub use real_search::{
     brute_force, compare, greedy_plan, heuristic_plan, parallel_search, resume, search,

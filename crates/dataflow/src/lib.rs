@@ -12,7 +12,10 @@
 //!   (PPO, DPO, GRPO, ReMax) parameterized by an [`algo::RlhfConfig`],
 //! - [`plan`] — [`ExecutionPlan`]: the per-call `(device mesh, parallel
 //!   strategy)` assignment that the plan generator searches over and the
-//!   runtime engine executes.
+//!   runtime engine executes,
+//! - [`spec`] — [`GraphSpec`]: the serde-loadable `graph.json` DSL that
+//!   expresses user-defined workflows (including the built-in four,
+//!   byte-identically) plus per-call hooks and async off-policy execution.
 //!
 //! # Examples
 //!
@@ -29,7 +32,9 @@ pub mod call;
 pub mod graph;
 pub mod plan;
 pub mod render;
+pub mod spec;
 
 pub use call::{CallId, CallType, ModelFunctionCallDef};
 pub use graph::DataflowGraph;
 pub use plan::{CallAssignment, ExecutionPlan};
+pub use spec::{BuiltGraph, CallHook, GraphSpec, SpecError};

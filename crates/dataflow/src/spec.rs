@@ -1,0 +1,870 @@
+//! The serde-loadable graph specification behind `real run --graph`.
+//!
+//! PPO, DPO, GRPO, and the other [`crate::algo`] constructors hard-code one
+//! dataflow each; this module turns the workload definition into *data*: a
+//! `graph.json` file declaring model roles, function calls with typed data
+//! dependencies, per-call train/gen/inf categories, optional per-call hooks,
+//! and an optional asynchronous off-policy section. [`GraphSpec::build`]
+//! validates the declaration (role resolution, exactly-once data production,
+//! acyclicity via [`DataflowGraph::new`]) and lowers it to the same
+//! [`DataflowGraph`] the constructors produce, so every downstream layer —
+//! the estimator, the MCMC plan search, and the resilient master — runs
+//! user-defined graphs unchanged.
+//!
+//! The schema is documented field-by-field in `docs/DATAFLOWS.md`, together
+//! with a reproduction snippet for every [`SpecError`] variant.
+//!
+//! # Examples
+//!
+//! A two-call DPO-style graph from JSON:
+//!
+//! ```
+//! use real_dataflow::GraphSpec;
+//!
+//! let json = r#"{
+//!     "models": [{"role": "actor", "arch": "7b"}],
+//!     "data": ["pairs"],
+//!     "calls": [
+//!         {"name": "ref_inf", "model": "actor", "kind": "inf",
+//!          "batch": 256, "seq_len": 2048,
+//!          "inputs": ["pairs"], "outputs": ["ref_logp"]},
+//!         {"name": "actor_train", "model": "actor", "kind": "train",
+//!          "batch": 256, "seq_len": 2048, "n_minibatches": 1,
+//!          "inputs": ["pairs", "ref_logp"]}
+//!     ]
+//! }"#;
+//! let spec: GraphSpec = serde_json::from_str(json).unwrap();
+//! let built = spec.build().unwrap();
+//! assert_eq!(built.graph.n_calls(), 2);
+//! assert!(built.graph.is_trainable("actor"));
+//! ```
+
+use crate::call::{CallType, ModelFunctionCallDef};
+use crate::graph::{DataflowGraph, GraphError};
+use real_model::ModelSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Largest accepted off-policy staleness bound. Beyond a handful of
+/// parameter versions the policy that generated a sample and the policy
+/// being updated diverge enough that importance corrections stop being
+/// meaningful, so the spec rejects bounds above this.
+pub const MAX_STALENESS: u32 = 8;
+
+/// Staleness bound assumed when the `offpolicy` section omits one.
+pub const DEFAULT_STALENESS: u32 = 1;
+
+/// The size strings [`ModelSpec::by_size`] accepts, for error messages.
+const KNOWN_ARCHS: &str = "7b, 13b, 34b, 70b";
+
+/// A per-call latency hook: fixed pre- and post-processing seconds charged
+/// around one call's execution (data loading, reward post-processing,
+/// checkpointing). Resolved from the spec's `hooks` sections by
+/// [`GraphSpec::build`] and applied by the runtime master.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CallHook {
+    /// Name of the call the hook wraps.
+    pub call: String,
+    /// Seconds added before the call dispatches.
+    pub pre_secs: f64,
+    /// Seconds added after the call completes.
+    pub post_secs: f64,
+}
+
+/// One model role declaration: a name calls refer to, plus its architecture
+/// (a [`ModelSpec::by_size`] string, optionally with `critic: true` for the
+/// scalar-head variant, or a full inline [`ModelSpec`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelDecl {
+    /// Role name referenced by calls (`"actor"`, `"reward"`, ...). Calls
+    /// sharing a role share parameters and parameter-version dependencies.
+    pub role: String,
+    /// Architecture size string (`"7b"`, `"13b"`, `"34b"`, `"70b"`).
+    /// Mutually exclusive with `spec`.
+    pub arch: Option<String>,
+    /// With `arch`: use the scalar-head critic variant of the size.
+    pub critic: Option<bool>,
+    /// Full inline architecture, for models outside the preset family.
+    /// Mutually exclusive with `arch`.
+    pub spec: Option<ModelSpec>,
+}
+
+/// Per-call hook declaration (see [`CallHook`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HookDecl {
+    /// Seconds charged before dispatch. Default 0.
+    pub pre_secs: Option<f64>,
+    /// Seconds charged after completion. Default 0.
+    pub post_secs: Option<f64>,
+}
+
+/// One model function call declaration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CallDecl {
+    /// Unique call name within the graph (`"actor_gen"`).
+    pub name: String,
+    /// Role of the owning model; must match a [`ModelDecl::role`].
+    pub model: String,
+    /// Workload category: `"gen"`, `"inf"`, or `"train"`.
+    pub kind: String,
+    /// Global sequence count entering the call.
+    pub batch: u64,
+    /// Prompt tokens per sequence (required for `kind: "gen"`).
+    pub prompt_len: Option<u64>,
+    /// Generated tokens per sequence (required for `kind: "gen"`).
+    pub gen_len: Option<u64>,
+    /// Tokens per sequence (required for `kind: "inf"` and `"train"`).
+    pub seq_len: Option<u64>,
+    /// Sequential PPO mini-batch updates (`kind: "train"` only). Default 1.
+    pub n_minibatches: Option<u32>,
+    /// Data keys consumed. Each must be produced by exactly one call's
+    /// `outputs` or declared in the top-level `data` list. Default empty.
+    pub inputs: Option<Vec<String>>,
+    /// Data keys produced, each by exactly one call. Default empty.
+    pub outputs: Option<Vec<String>>,
+    /// Optional pre/post latency hook.
+    pub hooks: Option<HookDecl>,
+}
+
+/// The asynchronous off-policy section: when enabled, generation for
+/// iteration `i` waits only for the owning model's training of iteration
+/// `i - 1 - staleness` instead of `i - 1`, so generation and training
+/// overlap on disjoint meshes (see `docs/DATAFLOWS.md` for the exact
+/// semantics and `real-runtime`'s interleaved master loop).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OffPolicyDecl {
+    /// Whether async off-policy execution is on. Default `true` when the
+    /// section is present.
+    pub enabled: Option<bool>,
+    /// Staleness bound in parameter versions, `0..=`[`MAX_STALENESS`].
+    /// `0` reproduces synchronous execution exactly. Default
+    /// [`DEFAULT_STALENESS`].
+    pub staleness: Option<u32>,
+}
+
+/// The root of a `graph.json` document.
+///
+/// # Examples
+///
+/// The built-in constructors export losslessly (the round-trip is
+/// byte-identical, test-enforced in `tests/dataflows.rs`):
+///
+/// ```
+/// use real_dataflow::{algo, GraphSpec};
+/// use real_model::ModelSpec;
+///
+/// let actor = ModelSpec::llama3_7b();
+/// let graph = algo::dpo(&actor, &algo::RlhfConfig::instruct_gpt(128));
+/// let spec = GraphSpec::from_graph(&graph);
+/// let rebuilt = spec.build().unwrap().graph;
+/// assert_eq!(rebuilt, graph);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphSpec {
+    /// Declared model roles.
+    pub models: Vec<ModelDecl>,
+    /// Externally supplied data keys (the dataset: `"prompts"`, `"pairs"`).
+    /// Default empty.
+    pub data: Option<Vec<String>>,
+    /// Function calls, in declaration order (the order is preserved into
+    /// the built graph's call ids).
+    pub calls: Vec<CallDecl>,
+    /// Optional asynchronous off-policy execution section.
+    pub offpolicy: Option<OffPolicyDecl>,
+}
+
+/// Everything [`GraphSpec::build`] lowers a valid spec into.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuiltGraph {
+    /// The validated dataflow graph, identical in shape to what the
+    /// [`crate::algo`] constructors produce.
+    pub graph: DataflowGraph,
+    /// Per-call latency hooks, in call declaration order.
+    pub hooks: Vec<CallHook>,
+    /// `Some(staleness)` when the spec enables async off-policy execution.
+    pub async_staleness: Option<u32>,
+}
+
+/// Validation errors from [`GraphSpec::build`]. Every variant is documented
+/// with a reproduction snippet in `docs/DATAFLOWS.md`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The `models` list is empty.
+    NoModels,
+    /// Two model declarations share a role name.
+    DuplicateRole(String),
+    /// A model declares neither `arch` nor `spec`.
+    MissingArch(String),
+    /// A model declares both `arch` and `spec`.
+    ConflictingArch(String),
+    /// A model's `arch` string is not a known size.
+    UnknownArch {
+        /// Offending role.
+        role: String,
+        /// The unrecognized size string.
+        arch: String,
+    },
+    /// A call references an undeclared model role.
+    UnknownModel {
+        /// Offending call.
+        call: String,
+        /// The unresolved role name.
+        role: String,
+    },
+    /// A call's `kind` is not `gen`, `inf`, or `train`.
+    UnknownKind {
+        /// Offending call.
+        call: String,
+        /// The unrecognized kind string.
+        kind: String,
+    },
+    /// A call omits a dimension its kind requires.
+    MissingDim {
+        /// Offending call.
+        call: String,
+        /// The missing field (`prompt_len`, `gen_len`, `seq_len`).
+        field: &'static str,
+    },
+    /// A call dimension that must be positive is zero.
+    ZeroDim {
+        /// Offending call.
+        call: String,
+        /// The zero field (`batch`, `n_minibatches`, ...).
+        field: &'static str,
+    },
+    /// A hook duration is negative or not finite.
+    BadHook {
+        /// Offending call.
+        call: String,
+        /// The bad field (`pre_secs`, `post_secs`).
+        field: &'static str,
+    },
+    /// A call consumes a data key no call produces and the `data` list does
+    /// not declare as external.
+    DanglingInput {
+        /// Offending call.
+        call: String,
+        /// The unresolved data key.
+        input: String,
+    },
+    /// The off-policy staleness bound exceeds [`MAX_STALENESS`].
+    BadStaleness(u32),
+    /// A structural graph error: duplicate call name, duplicate producer,
+    /// inconsistent model architecture, empty call list, or a dependency
+    /// cycle (see [`GraphError`]).
+    Graph(GraphError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::NoModels => write!(f, "spec declares no models"),
+            SpecError::DuplicateRole(r) => write!(f, "duplicate model role `{r}`"),
+            SpecError::MissingArch(r) => {
+                write!(f, "model `{r}` declares neither `arch` nor `spec`")
+            }
+            SpecError::ConflictingArch(r) => {
+                write!(f, "model `{r}` declares both `arch` and `spec`")
+            }
+            SpecError::UnknownArch { role, arch } => {
+                write!(
+                    f,
+                    "model `{role}`: unknown arch `{arch}` (known: {KNOWN_ARCHS})"
+                )
+            }
+            SpecError::UnknownModel { call, role } => {
+                write!(f, "call `{call}` references undeclared model `{role}`")
+            }
+            SpecError::UnknownKind { call, kind } => {
+                write!(
+                    f,
+                    "call `{call}`: unknown kind `{kind}` (gen, inf, or train)"
+                )
+            }
+            SpecError::MissingDim { call, field } => {
+                write!(f, "call `{call}` is missing `{field}` for its kind")
+            }
+            SpecError::ZeroDim { call, field } => {
+                write!(f, "call `{call}`: `{field}` must be positive")
+            }
+            SpecError::BadHook { call, field } => {
+                write!(
+                    f,
+                    "call `{call}`: hook `{field}` must be finite and non-negative"
+                )
+            }
+            SpecError::DanglingInput { call, input } => write!(
+                f,
+                "call `{call}` consumes `{input}`, which no call produces and \
+                 `data` does not declare"
+            ),
+            SpecError::BadStaleness(s) => {
+                write!(
+                    f,
+                    "offpolicy staleness {s} exceeds the maximum {MAX_STALENESS}"
+                )
+            }
+            SpecError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<GraphError> for SpecError {
+    fn from(e: GraphError) -> Self {
+        SpecError::Graph(e)
+    }
+}
+
+impl ModelDecl {
+    /// Resolves the declaration to a concrete [`ModelSpec`].
+    fn resolve(&self) -> Result<ModelSpec, SpecError> {
+        match (&self.arch, &self.spec) {
+            (Some(_), Some(_)) => Err(SpecError::ConflictingArch(self.role.clone())),
+            (None, None) => Err(SpecError::MissingArch(self.role.clone())),
+            (None, Some(spec)) => Ok(spec.clone()),
+            (Some(arch), None) => {
+                let base = ModelSpec::by_size(arch).ok_or_else(|| SpecError::UnknownArch {
+                    role: self.role.clone(),
+                    arch: arch.clone(),
+                })?;
+                Ok(if self.critic.unwrap_or(false) {
+                    base.critic()
+                } else {
+                    base
+                })
+            }
+        }
+    }
+}
+
+impl CallDecl {
+    /// Resolves the `kind` and dimension fields to a [`CallType`].
+    fn call_type(&self) -> Result<CallType, SpecError> {
+        let need = |v: &Option<u64>, field: &'static str| -> Result<u64, SpecError> {
+            v.ok_or(SpecError::MissingDim {
+                call: self.name.clone(),
+                field,
+            })
+        };
+        if self.batch == 0 {
+            return Err(SpecError::ZeroDim {
+                call: self.name.clone(),
+                field: "batch",
+            });
+        }
+        match self.kind.as_str() {
+            "gen" => Ok(CallType::Generate {
+                batch: self.batch,
+                prompt_len: need(&self.prompt_len, "prompt_len")?,
+                gen_len: need(&self.gen_len, "gen_len")?,
+            }),
+            "inf" => Ok(CallType::Inference {
+                batch: self.batch,
+                seq_len: need(&self.seq_len, "seq_len")?,
+            }),
+            "train" => {
+                let n_minibatches = self.n_minibatches.unwrap_or(1);
+                if n_minibatches == 0 {
+                    return Err(SpecError::ZeroDim {
+                        call: self.name.clone(),
+                        field: "n_minibatches",
+                    });
+                }
+                Ok(CallType::TrainStep {
+                    batch: self.batch,
+                    seq_len: need(&self.seq_len, "seq_len")?,
+                    n_minibatches,
+                })
+            }
+            other => Err(SpecError::UnknownKind {
+                call: self.name.clone(),
+                kind: other.to_string(),
+            }),
+        }
+    }
+
+    /// Validates and extracts the hook, if any.
+    fn hook(&self) -> Result<Option<CallHook>, SpecError> {
+        let Some(h) = &self.hooks else {
+            return Ok(None);
+        };
+        let check = |v: f64, field: &'static str| -> Result<f64, SpecError> {
+            if v.is_finite() && v >= 0.0 {
+                Ok(v)
+            } else {
+                Err(SpecError::BadHook {
+                    call: self.name.clone(),
+                    field,
+                })
+            }
+        };
+        Ok(Some(CallHook {
+            call: self.name.clone(),
+            pre_secs: check(h.pre_secs.unwrap_or(0.0), "pre_secs")?,
+            post_secs: check(h.post_secs.unwrap_or(0.0), "post_secs")?,
+        }))
+    }
+}
+
+impl GraphSpec {
+    /// Validates the spec and lowers it to a [`BuiltGraph`].
+    ///
+    /// Validation proceeds in a fixed order — model declarations, per-call
+    /// kinds/dimensions/hooks, input resolution, structural graph checks
+    /// (duplicate names, exactly-once production, acyclicity), then the
+    /// off-policy section — so a spec with several problems reports the
+    /// same first error deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SpecError`] encountered; see the variant docs
+    /// and the catalog in `docs/DATAFLOWS.md`.
+    pub fn build(&self) -> Result<BuiltGraph, SpecError> {
+        if self.models.is_empty() {
+            return Err(SpecError::NoModels);
+        }
+        let mut roles: Vec<(&str, ModelSpec)> = Vec::with_capacity(self.models.len());
+        for m in &self.models {
+            if roles.iter().any(|(r, _)| *r == m.role) {
+                return Err(SpecError::DuplicateRole(m.role.clone()));
+            }
+            roles.push((&m.role, m.resolve()?));
+        }
+
+        let mut defs = Vec::with_capacity(self.calls.len());
+        let mut hooks = Vec::new();
+        for c in &self.calls {
+            let spec = roles
+                .iter()
+                .find(|(r, _)| *r == c.model)
+                .map(|(_, s)| s.clone())
+                .ok_or_else(|| SpecError::UnknownModel {
+                    call: c.name.clone(),
+                    role: c.model.clone(),
+                })?;
+            let call_type = c.call_type()?;
+            if let Some(h) = c.hook()? {
+                hooks.push(h);
+            }
+            defs.push(ModelFunctionCallDef {
+                call_name: c.name.clone(),
+                model_name: c.model.clone(),
+                model: spec,
+                call_type,
+                input_data: c.inputs.clone().unwrap_or_default(),
+                output_data: c.outputs.clone().unwrap_or_default(),
+            });
+        }
+
+        // Every consumed key must be produced by some call or declared
+        // external; `DataflowGraph::new` would silently treat unknown keys
+        // as external, which hides typos.
+        let produced: HashSet<&str> = defs
+            .iter()
+            .flat_map(|d| d.output_data.iter().map(String::as_str))
+            .collect();
+        let external: HashSet<&str> = self.data.iter().flatten().map(String::as_str).collect();
+        for d in &defs {
+            for input in &d.input_data {
+                if !produced.contains(input.as_str()) && !external.contains(input.as_str()) {
+                    return Err(SpecError::DanglingInput {
+                        call: d.call_name.clone(),
+                        input: input.clone(),
+                    });
+                }
+            }
+        }
+
+        let graph = DataflowGraph::new(defs)?;
+
+        let async_staleness = match &self.offpolicy {
+            Some(op) if op.enabled.unwrap_or(true) => {
+                let s = op.staleness.unwrap_or(DEFAULT_STALENESS);
+                if s > MAX_STALENESS {
+                    return Err(SpecError::BadStaleness(s));
+                }
+                Some(s)
+            }
+            _ => None,
+        };
+
+        Ok(BuiltGraph {
+            graph,
+            hooks,
+            async_staleness,
+        })
+    }
+
+    /// Exports a [`DataflowGraph`] back into the DSL. Architectures that
+    /// match a [`ModelSpec::by_size`] preset (or its [`ModelSpec::critic`]
+    /// variant) export as the size string; anything else exports inline.
+    /// Building the exported spec reproduces the graph byte-identically.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use real_dataflow::{algo, GraphSpec};
+    /// use real_model::ModelSpec;
+    ///
+    /// let actor = ModelSpec::llama3_7b();
+    /// let graph = algo::ppo(&actor, &actor.critic(), &algo::RlhfConfig::instruct_gpt(64));
+    /// let spec = GraphSpec::from_graph(&graph);
+    /// assert_eq!(spec.models[0].arch.as_deref(), Some("7b"));
+    /// assert_eq!(spec.build().unwrap().graph, graph);
+    /// ```
+    pub fn from_graph(graph: &DataflowGraph) -> Self {
+        let models = graph
+            .model_names()
+            .into_iter()
+            .map(|role| {
+                let spec = &graph
+                    .calls()
+                    .iter()
+                    .find(|c| c.model_name == role)
+                    .expect("model_names() roles come from calls")
+                    .model;
+                let preset = ["7b", "13b", "34b", "70b"].iter().find_map(|s| {
+                    let base = ModelSpec::by_size(s).expect("known size");
+                    if *spec == base {
+                        Some((s.to_string(), None))
+                    } else if *spec == base.critic() {
+                        Some((s.to_string(), Some(true)))
+                    } else {
+                        None
+                    }
+                });
+                match preset {
+                    Some((arch, critic)) => ModelDecl {
+                        role: role.to_string(),
+                        arch: Some(arch),
+                        critic,
+                        spec: None,
+                    },
+                    None => ModelDecl {
+                        role: role.to_string(),
+                        arch: None,
+                        critic: None,
+                        spec: Some(spec.clone()),
+                    },
+                }
+            })
+            .collect();
+
+        // External keys: consumed but never produced, in first-use order.
+        let produced: HashSet<&str> = graph
+            .calls()
+            .iter()
+            .flat_map(|c| c.output_data.iter().map(String::as_str))
+            .collect();
+        let mut data = Vec::new();
+        for c in graph.calls() {
+            for input in &c.input_data {
+                if !produced.contains(input.as_str()) && !data.contains(input) {
+                    data.push(input.clone());
+                }
+            }
+        }
+
+        let calls = graph
+            .calls()
+            .iter()
+            .map(|c| {
+                let (kind, prompt_len, gen_len, seq_len, n_minibatches) = match c.call_type {
+                    CallType::Generate {
+                        prompt_len,
+                        gen_len,
+                        ..
+                    } => ("gen", Some(prompt_len), Some(gen_len), None, None),
+                    CallType::Inference { seq_len, .. } => ("inf", None, None, Some(seq_len), None),
+                    CallType::TrainStep {
+                        seq_len,
+                        n_minibatches,
+                        ..
+                    } => ("train", None, None, Some(seq_len), Some(n_minibatches)),
+                };
+                CallDecl {
+                    name: c.call_name.clone(),
+                    model: c.model_name.clone(),
+                    kind: kind.to_string(),
+                    batch: c.call_type.batch(),
+                    prompt_len,
+                    gen_len,
+                    seq_len,
+                    n_minibatches,
+                    inputs: (!c.input_data.is_empty()).then(|| c.input_data.clone()),
+                    outputs: (!c.output_data.is_empty()).then(|| c.output_data.clone()),
+                    hooks: None,
+                }
+            })
+            .collect();
+
+        Self {
+            models,
+            data: (!data.is_empty()).then_some(data),
+            calls,
+            offpolicy: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{self, RlhfConfig};
+
+    fn minimal_json() -> &'static str {
+        r#"{
+            "models": [{"role": "m", "arch": "7b"}],
+            "data": ["prompts"],
+            "calls": [
+                {"name": "m_gen", "model": "m", "kind": "gen",
+                 "batch": 8, "prompt_len": 128, "gen_len": 128,
+                 "inputs": ["prompts"], "outputs": ["seq"]},
+                {"name": "m_train", "model": "m", "kind": "train",
+                 "batch": 8, "seq_len": 256, "inputs": ["seq"]}
+            ]
+        }"#
+    }
+
+    #[test]
+    fn minimal_spec_builds() {
+        let spec: GraphSpec = serde_json::from_str(minimal_json()).unwrap();
+        let built = spec.build().unwrap();
+        assert_eq!(built.graph.n_calls(), 2);
+        assert!(built.hooks.is_empty());
+        assert_eq!(built.async_staleness, None);
+        // n_minibatches defaults to 1.
+        let train = built.graph.find("m_train").unwrap();
+        assert_eq!(
+            built.graph.call(train).call_type,
+            CallType::TrainStep {
+                batch: 8,
+                seq_len: 256,
+                n_minibatches: 1
+            }
+        );
+    }
+
+    #[test]
+    fn spec_json_round_trips() {
+        let spec: GraphSpec = serde_json::from_str(minimal_json()).unwrap();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: GraphSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.build().unwrap(), spec.build().unwrap());
+    }
+
+    #[test]
+    fn constructors_round_trip_byte_identically() {
+        let actor = ModelSpec::llama3_7b();
+        let critic = actor.critic();
+        let cfg = RlhfConfig::instruct_gpt(64);
+        for graph in [
+            algo::ppo(&actor, &critic, &cfg),
+            algo::dpo(&actor, &cfg),
+            algo::grpo(&actor, &critic, &cfg),
+            algo::remax(&actor, &critic, &cfg),
+            algo::raft(&actor, &critic, &cfg),
+            algo::iterative_dpo(&actor, &critic, &cfg),
+        ] {
+            let spec = GraphSpec::from_graph(&graph);
+            let rebuilt = spec.build().unwrap().graph;
+            assert_eq!(rebuilt, graph);
+            assert_eq!(
+                serde_json::to_string(&rebuilt).unwrap(),
+                serde_json::to_string(&graph).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn inline_spec_round_trips() {
+        let mut tiny = ModelSpec::llama3_7b();
+        tiny.name = "tiny".to_string();
+        tiny.n_layers = 4;
+        let graph = algo::dpo(&tiny, &RlhfConfig::instruct_gpt(16));
+        let spec = GraphSpec::from_graph(&graph);
+        assert!(spec.models[0].arch.is_none());
+        assert_eq!(spec.models[0].spec.as_ref().unwrap().n_layers, 4);
+        assert_eq!(spec.build().unwrap().graph, graph);
+    }
+
+    #[test]
+    fn hooks_and_offpolicy_lower() {
+        let json = r#"{
+            "models": [{"role": "m", "arch": "7b"}],
+            "data": ["prompts"],
+            "calls": [
+                {"name": "m_gen", "model": "m", "kind": "gen",
+                 "batch": 8, "prompt_len": 64, "gen_len": 64,
+                 "inputs": ["prompts"], "outputs": ["seq"],
+                 "hooks": {"pre_secs": 0.5}},
+                {"name": "m_train", "model": "m", "kind": "train",
+                 "batch": 8, "seq_len": 128, "inputs": ["seq"]}
+            ],
+            "offpolicy": {"staleness": 2}
+        }"#;
+        let built = serde_json::from_str::<GraphSpec>(json)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(
+            built.hooks,
+            vec![CallHook {
+                call: "m_gen".to_string(),
+                pre_secs: 0.5,
+                post_secs: 0.0
+            }]
+        );
+        assert_eq!(built.async_staleness, Some(2));
+    }
+
+    #[test]
+    fn offpolicy_defaults_and_disable() {
+        let base: GraphSpec = serde_json::from_str(minimal_json()).unwrap();
+        let mut on = base.clone();
+        on.offpolicy = Some(OffPolicyDecl {
+            enabled: None,
+            staleness: None,
+        });
+        assert_eq!(on.build().unwrap().async_staleness, Some(DEFAULT_STALENESS));
+        let mut off = base;
+        off.offpolicy = Some(OffPolicyDecl {
+            enabled: Some(false),
+            staleness: Some(3),
+        });
+        assert_eq!(off.build().unwrap().async_staleness, None);
+    }
+
+    fn with_calls(mutate: impl FnOnce(&mut GraphSpec)) -> Result<BuiltGraph, SpecError> {
+        let mut spec: GraphSpec = serde_json::from_str(minimal_json()).unwrap();
+        mutate(&mut spec);
+        spec.build()
+    }
+
+    #[test]
+    fn rejection_catalog() {
+        // NoModels.
+        let err = with_calls(|s| s.models.clear()).unwrap_err();
+        assert_eq!(err, SpecError::NoModels);
+
+        // DuplicateRole.
+        let err = with_calls(|s| s.models.push(s.models[0].clone())).unwrap_err();
+        assert!(matches!(err, SpecError::DuplicateRole(r) if r == "m"));
+
+        // MissingArch / ConflictingArch / UnknownArch.
+        let err = with_calls(|s| s.models[0].arch = None).unwrap_err();
+        assert!(matches!(err, SpecError::MissingArch(_)));
+        let err = with_calls(|s| s.models[0].spec = Some(ModelSpec::llama3_7b())).unwrap_err();
+        assert!(matches!(err, SpecError::ConflictingArch(_)));
+        let err = with_calls(|s| s.models[0].arch = Some("8t".into())).unwrap_err();
+        assert!(matches!(err, SpecError::UnknownArch { arch, .. } if arch == "8t"));
+
+        // UnknownModel / UnknownKind.
+        let err = with_calls(|s| s.calls[0].model = "ghost".into()).unwrap_err();
+        assert!(matches!(err, SpecError::UnknownModel { role, .. } if role == "ghost"));
+        let err = with_calls(|s| s.calls[0].kind = "dream".into()).unwrap_err();
+        assert!(matches!(err, SpecError::UnknownKind { kind, .. } if kind == "dream"));
+
+        // MissingDim / ZeroDim.
+        let err = with_calls(|s| s.calls[0].gen_len = None).unwrap_err();
+        assert!(matches!(
+            err,
+            SpecError::MissingDim {
+                field: "gen_len",
+                ..
+            }
+        ));
+        let err = with_calls(|s| s.calls[1].seq_len = None).unwrap_err();
+        assert!(matches!(
+            err,
+            SpecError::MissingDim {
+                field: "seq_len",
+                ..
+            }
+        ));
+        let err = with_calls(|s| s.calls[0].batch = 0).unwrap_err();
+        assert!(matches!(err, SpecError::ZeroDim { field: "batch", .. }));
+        let err = with_calls(|s| s.calls[1].n_minibatches = Some(0)).unwrap_err();
+        assert!(matches!(
+            err,
+            SpecError::ZeroDim {
+                field: "n_minibatches",
+                ..
+            }
+        ));
+
+        // BadHook.
+        let err = with_calls(|s| {
+            s.calls[0].hooks = Some(HookDecl {
+                pre_secs: Some(-1.0),
+                post_secs: None,
+            });
+        })
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SpecError::BadHook {
+                field: "pre_secs",
+                ..
+            }
+        ));
+
+        // DanglingInput.
+        let err = with_calls(|s| s.calls[1].inputs = Some(vec!["sq".into()])).unwrap_err();
+        assert!(matches!(err, SpecError::DanglingInput { input, .. } if input == "sq"));
+
+        // BadStaleness.
+        let err = with_calls(|s| {
+            s.offpolicy = Some(OffPolicyDecl {
+                enabled: None,
+                staleness: Some(MAX_STALENESS + 1),
+            });
+        })
+        .unwrap_err();
+        assert_eq!(err, SpecError::BadStaleness(MAX_STALENESS + 1));
+
+        // Structural errors surface as Graph(..): duplicate producer.
+        let err = with_calls(|s| {
+            let mut dup = s.calls[0].clone();
+            dup.name = "m_gen2".into();
+            s.calls.push(dup);
+        })
+        .unwrap_err();
+        assert!(matches!(err, SpecError::Graph(GraphError::DuplicateOutput(k)) if k == "seq"));
+
+        // ... duplicate call name.
+        let err = with_calls(|s| {
+            let mut dup = s.calls[0].clone();
+            dup.outputs = None;
+            s.calls.push(dup);
+        })
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SpecError::Graph(GraphError::DuplicateCall(_))
+        ));
+
+        // ... and a dependency cycle.
+        let err = with_calls(|s| {
+            s.calls[0].inputs = Some(vec!["prompts".into(), "grads".into()]);
+            s.calls[1].outputs = Some(vec!["grads".into()]);
+        })
+        .unwrap_err();
+        assert_eq!(err, SpecError::Graph(GraphError::Cyclic));
+    }
+
+    #[test]
+    fn error_messages_name_the_offender() {
+        let err = with_calls(|s| s.calls[0].model = "ghost".into()).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "call `m_gen` references undeclared model `ghost`"
+        );
+        let err = with_calls(|s| s.calls[1].inputs = Some(vec!["sq".into()])).unwrap_err();
+        assert!(err.to_string().contains("`sq`"), "{err}");
+    }
+}

@@ -48,6 +48,7 @@ pub mod assemble;
 pub mod augment;
 pub mod maxmem;
 pub mod memo;
+pub mod probe;
 
 pub use memo::{CostMemo, MemoStats, PlanPricer};
 

@@ -38,4 +38,4 @@ pub use chrome::{from_chrome_value, to_chrome_value};
 pub use critpath::{CritEntry, CriticalPath, Span};
 pub use events::{EventStream, LaneId, StreamEvent};
 pub use metrics::{Histogram, MergeError, MetricValue, MetricsRegistry, MetricsSnapshot, Series};
-pub use profile::{Phase, PhaseShare, ProfileReport};
+pub use profile::{phase_overlap, Phase, PhaseShare, ProfileReport};

@@ -175,6 +175,41 @@ pub fn attribute_phases(spans: &[Span], makespan: f64) -> Vec<PhaseShare> {
         .collect()
 }
 
+/// Wall seconds during which spans of phase `a` and spans of phase `b`
+/// were simultaneously active anywhere in the stream — the measured
+/// generation/training overlap of an async off-policy run, for example.
+/// Unlike [`attribute_phases`] (which tiles the makespan, so precedence
+/// hides concurrency), this reports the raw intersection of the two
+/// phases' active-time unions.
+///
+/// # Examples
+///
+/// ```
+/// use real_obs::{EventStream, LaneId};
+/// use real_obs::profile::{phase_overlap, Phase};
+///
+/// let mut s = EventStream::with_capacity(0);
+/// let m = LaneId::master();
+/// // Training [0, 8] overlaps next iteration's generation [5, 9].
+/// s.span(m, "actor_train#0", "call/train", 0.0, 8.0);
+/// s.span(m, "actor_gen#1", "call/gen", 5.0, 9.0);
+/// let secs = phase_overlap(&s, Phase::Generation, Phase::Training);
+/// assert!((secs - 3.0).abs() < 1e-9);
+/// ```
+pub fn phase_overlap(stream: &EventStream, a: Phase, b: Phase) -> f64 {
+    let spans = reconstruct_spans(stream);
+    let of = |phase: Phase| {
+        merge_intervals(
+            spans
+                .iter()
+                .filter(|s| phase_of_category(&s.category) == Some(phase))
+                .map(|s| (s.start, s.end))
+                .collect(),
+        )
+    };
+    intersection_len(&of(a), &of(b))
+}
+
 /// Kernel-level categories the simulator records on GPU lanes.
 const SIM_CATEGORIES: [&str; 7] = [
     "compute", "launch", "tp-comm", "pp-comm", "dp-comm", "realloc", "transfer",
@@ -638,6 +673,19 @@ mod tests {
         assert!((get("realloc") - 1.0).abs() < 1e-9);
         assert!((get("training") - 5.0).abs() < 1e-9);
         assert!((get("idle")).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_overlap_intersects_phase_unions() {
+        let mut s = EventStream::with_capacity(0);
+        let m = LaneId::master();
+        s.span(m, "actor_train#0", "call/train", 0.0, 8.0);
+        s.span(m, "actor_gen#1", "call/gen", 5.0, 9.0);
+        s.span(m, "actor_gen#2", "call/gen", 7.0, 12.0); // merges with #1
+        assert!((phase_overlap(&s, Phase::Generation, Phase::Training) - 3.0).abs() < 1e-9);
+        // Symmetric, and zero against a phase with no spans.
+        assert!((phase_overlap(&s, Phase::Training, Phase::Generation) - 3.0).abs() < 1e-9);
+        assert_eq!(phase_overlap(&s, Phase::Generation, Phase::Realloc), 0.0);
     }
 
     #[test]

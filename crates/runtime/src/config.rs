@@ -1,5 +1,6 @@
 //! Runtime engine configuration.
 
+use real_dataflow::CallHook;
 use real_sim::FaultPlan;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -62,6 +63,11 @@ pub struct EngineConfig {
     /// request deadlines. Filled by the `real-core` facade from the §5 cost
     /// estimator; unknown calls fall back to the fault-free simulation.
     pub predicted_secs: Vec<(String, f64)>,
+    /// Per-call user hooks from the `graph.json` DSL: fixed pre/post wall
+    /// seconds charged around the named call on its mesh (data loading,
+    /// reward post-processing, checkpoint upload). Empty leaves the engine
+    /// byte-identical to a build without the hook subsystem.
+    pub call_hooks: Vec<CallHook>,
 }
 
 impl Default for EngineConfig {
@@ -84,6 +90,7 @@ impl Default for EngineConfig {
             backoff_base: 0.5,
             backoff_cap: 8.0,
             predicted_secs: Vec::new(),
+            call_hooks: Vec::new(),
         }
     }
 }
@@ -121,6 +128,41 @@ impl EngineConfig {
         self.fault_plan = Some(plan);
         self
     }
+
+    /// Returns a copy with per-call hooks installed.
+    pub fn with_call_hooks(mut self, hooks: Vec<CallHook>) -> Self {
+        self.call_hooks = hooks;
+        self
+    }
+
+    /// Total (pre, post) hook seconds registered for `call_name`. Multiple
+    /// hooks on the same call accumulate.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use real_dataflow::CallHook;
+    /// use real_runtime::EngineConfig;
+    ///
+    /// let cfg = EngineConfig::default().with_call_hooks(vec![CallHook {
+    ///     call: "reward_inf".to_string(),
+    ///     pre_secs: 0.0,
+    ///     post_secs: 0.25,
+    /// }]);
+    /// assert_eq!(cfg.hook_secs("reward_inf"), (0.0, 0.25));
+    /// assert_eq!(cfg.hook_secs("actor_gen"), (0.0, 0.0));
+    /// ```
+    pub fn hook_secs(&self, call_name: &str) -> (f64, f64) {
+        let mut pre = 0.0;
+        let mut post = 0.0;
+        for h in &self.call_hooks {
+            if h.call == call_name {
+                pre += h.pre_secs;
+                post += h.post_secs;
+            }
+        }
+        (pre, post)
+    }
 }
 
 #[cfg(test)]
@@ -145,5 +187,29 @@ mod tests {
         assert!(!c.cuda_graph);
         assert_eq!(c.trace_capacity, 128);
         assert!(c.zero3_models.contains("actor"));
+    }
+
+    #[test]
+    fn hooks_accumulate_per_call() {
+        let c = EngineConfig::deterministic().with_call_hooks(vec![
+            CallHook {
+                call: "actor_gen".into(),
+                pre_secs: 0.5,
+                post_secs: 0.25,
+            },
+            CallHook {
+                call: "actor_gen".into(),
+                pre_secs: 0.5,
+                post_secs: 0.0,
+            },
+            CallHook {
+                call: "rew_inf".into(),
+                pre_secs: 0.0,
+                post_secs: 1.0,
+            },
+        ]);
+        assert_eq!(c.hook_secs("actor_gen"), (1.0, 0.25));
+        assert_eq!(c.hook_secs("rew_inf"), (0.0, 1.0));
+        assert_eq!(c.hook_secs("other"), (0.0, 0.0));
     }
 }

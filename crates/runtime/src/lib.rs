@@ -69,6 +69,7 @@ pub mod master;
 pub mod memcheck;
 pub mod multi;
 pub mod obs;
+pub mod offpolicy;
 pub mod realloc;
 pub mod replan;
 pub mod report;
@@ -78,5 +79,5 @@ pub use config::EngineConfig;
 pub use master::{RunError, RuntimeEngine};
 pub use multi::{run_multi, TenantElastic, TenantRun};
 pub use replan::{ReplanEvent, ReplanOutcome, ReplanPolicy, ReplanReason, ReplanStats};
-pub use report::{CallTiming, FaultAbort, FaultStats, RequestFault, RunReport};
+pub use report::{AsyncStats, CallTiming, FaultAbort, FaultStats, RequestFault, RunReport};
 pub use workers::{DataLocation, MasterLog, Request, Response, WorkerDirectory};

@@ -31,7 +31,7 @@ use crate::exec::{execute_call, ExecCtx};
 use crate::memcheck;
 use crate::realloc::execute_realloc;
 use crate::replan::{ReplanEvent, ReplanOutcome, ReplanPolicy, ReplanReason, ReplanStats};
-use crate::report::{CallTiming, FaultAbort, FaultStats, RequestFault, RunReport};
+use crate::report::{AsyncStats, CallTiming, FaultAbort, FaultStats, RequestFault, RunReport};
 use crate::workers::{MasterLog, Request, Response};
 use real_cluster::{ClusterHealth, ClusterSpec, CommModel, GpuId};
 use real_dataflow::{CallAssignment, CallId, CallType, DataflowGraph, ExecutionPlan};
@@ -109,6 +109,11 @@ impl RuntimeEngine {
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The engine's cluster.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
     }
 
     /// Executes `plan` for `iterations` RLHF iterations on virtual time.
@@ -259,8 +264,12 @@ impl RuntimeEngine {
                 }
 
                 // Master dispatch RPC: the request carries the upstream
-                // data locations, never the data itself (§6).
-                let ready = ready + self.config.rpc_latency;
+                // data locations, never the data itself (§6). User hooks
+                // from the graph DSL are host-side: the pre hook delays
+                // dispatch and the post hook delays completion visibility
+                // without occupying the mesh.
+                let (pre_hook, post_hook) = self.config.hook_secs(&def.call_name);
+                let ready = ready + self.config.rpc_latency + pre_hook;
                 master_log.requests.push(Request {
                     call,
                     handle: def.call_name.clone(),
@@ -300,6 +309,7 @@ impl RuntimeEngine {
                     };
                     execute_call(&mut ctx, a, def.call_type, ready)
                 };
+                let end = end + post_hook;
                 master_log.responses.push(Response {
                     call,
                     iter,
@@ -337,6 +347,7 @@ impl RuntimeEngine {
             master_log,
             faults: fault_stats,
             replan: ReplanStats::default(),
+            async_stats: AsyncStats::default(),
         })
     }
 
@@ -877,6 +888,7 @@ impl RuntimeEngine {
             master_log,
             faults: fault_stats,
             replan: replan_stats,
+            async_stats: AsyncStats::default(),
         })
     }
 

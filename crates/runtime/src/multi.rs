@@ -42,7 +42,7 @@ use crate::master::{RunError, RuntimeEngine};
 use crate::memcheck;
 use crate::realloc::execute_realloc;
 use crate::replan::{ReplanEvent, ReplanOutcome, ReplanPolicy, ReplanReason, ReplanStats};
-use crate::report::{CallTiming, FaultStats, RunReport};
+use crate::report::{AsyncStats, CallTiming, FaultStats, RunReport};
 use crate::workers::{MasterLog, Request, Response};
 use real_cluster::{partition, ClusterSpec, CommModel, GpuId};
 use real_dataflow::{CallAssignment, CallId, DataflowGraph, ExecutionPlan};
@@ -688,6 +688,7 @@ pub fn run_multi(
                 master_log: s.master_log,
                 faults: s.fault_stats,
                 replan: s.replan_stats,
+                async_stats: AsyncStats::default(),
             }
         })
         .collect())

@@ -112,6 +112,66 @@ impl FaultStats {
     }
 }
 
+/// Async off-policy accounting (§4's graph-level freedom exploited at
+/// runtime): how many generation calls ran against a stale parameter
+/// snapshot, how stale they actually were, and how much generation and
+/// training overlapped in wall time. Empty (all zeros) for synchronous
+/// runs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AsyncStats {
+    /// The configured staleness bound `s`: generation for iteration `i`
+    /// may start once training for iteration `i - 1 - s` has completed.
+    pub staleness_bound: u32,
+    /// Generation calls whose cross-iteration parameter edge was relaxed
+    /// to the stale snapshot.
+    pub relaxed_calls: usize,
+    /// Maximum *observed* staleness across relaxed calls: the number of
+    /// completed-but-not-yet-consumed training steps at generation
+    /// dispatch. Always `<= staleness_bound`.
+    pub max_observed_staleness: u32,
+    /// Wall seconds during which at least one generation request and at
+    /// least one training request were simultaneously *in flight*
+    /// (dispatched and not yet completed). On disjoint meshes this is
+    /// realized GPU overlap; on a shared mesh it counts queueing, so use
+    /// the profiler's phase attribution for realized-overlap claims.
+    pub gen_train_overlap_secs: f64,
+}
+
+impl AsyncStats {
+    /// Whether the run was synchronous (no relaxed parameter edges).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use real_runtime::AsyncStats;
+    ///
+    /// assert!(AsyncStats::default().is_empty());
+    /// let stats = AsyncStats {
+    ///     staleness_bound: 1,
+    ///     relaxed_calls: 3,
+    ///     max_observed_staleness: 0,
+    ///     gen_train_overlap_secs: 11.46,
+    /// };
+    /// assert!(!stats.is_empty());
+    /// assert!(stats.render_line().contains("staleness bound 1"));
+    /// ```
+    pub fn is_empty(&self) -> bool {
+        self.relaxed_calls == 0
+    }
+
+    /// One-line summary for report rendering.
+    pub fn render_line(&self) -> String {
+        format!(
+            "async: staleness bound {} | {} relaxed gen call(s) | \
+             max observed staleness {} | {:.2} s gen/train overlap",
+            self.staleness_bound,
+            self.relaxed_calls,
+            self.max_observed_staleness,
+            self.gen_train_overlap_secs,
+        )
+    }
+}
+
 /// The output of a runtime-engine run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -140,6 +200,8 @@ pub struct RunReport {
     /// Elastic re-planning accounting (empty unless a re-plan policy was
     /// active and triggered).
     pub replan: crate::replan::ReplanStats,
+    /// Async off-policy accounting (empty for synchronous runs).
+    pub async_stats: AsyncStats,
 }
 
 impl RunReport {
@@ -247,6 +309,7 @@ mod tests {
             master_log: crate::workers::MasterLog::default(),
             faults: FaultStats::default(),
             replan: crate::replan::ReplanStats::default(),
+            async_stats: AsyncStats::default(),
         }
     }
 
@@ -308,6 +371,24 @@ mod tests {
         let json = serde_json::to_string(&f).unwrap();
         let back: FaultStats = serde_json::from_str(&json).unwrap();
         assert_eq!(f, back);
+    }
+
+    #[test]
+    fn async_stats_emptiness_and_rendering() {
+        let mut a = AsyncStats::default();
+        assert!(a.is_empty());
+        a.staleness_bound = 2;
+        a.relaxed_calls = 7;
+        a.max_observed_staleness = 1;
+        a.gen_train_overlap_secs = 42.5;
+        assert!(!a.is_empty());
+        let line = a.render_line();
+        assert!(line.contains("staleness bound 2"), "{line}");
+        assert!(line.contains("7 relaxed"), "{line}");
+        assert!(line.contains("42.50 s gen/train overlap"), "{line}");
+        let json = serde_json::to_string(&a).unwrap();
+        let back: AsyncStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
     }
 
     #[test]

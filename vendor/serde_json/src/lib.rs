@@ -19,13 +19,25 @@ pub use serde::{Number, Value};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error {
     msg: String,
+    /// Byte offset of the parse failure, when the error came from the
+    /// tokenizer (shape mismatches discovered after parsing carry `None`).
+    offset: Option<usize>,
 }
 
 impl Error {
     fn new(msg: impl fmt::Display) -> Self {
         Self {
             msg: msg.to_string(),
+            offset: None,
         }
+    }
+
+    /// Byte offset into the parsed input where the tokenizer failed, if the
+    /// error is positional. Callers (e.g. `real-cli`) turn this into a
+    /// `line:column` prefix; the `Display` message is unchanged and still
+    /// ends in `at byte N` for positional errors.
+    pub fn byte_offset(&self) -> Option<usize> {
+        self.offset
     }
 }
 
@@ -214,7 +226,10 @@ fn parse_value_str(s: &str) -> Result<Value, Error> {
 
 impl<'a> JsonParser<'a> {
     fn err(&self, msg: impl fmt::Display) -> Error {
-        Error::new(format!("{msg} at byte {}", self.pos))
+        Error {
+            msg: format!("{msg} at byte {}", self.pos),
+            offset: Some(self.pos),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -462,6 +477,16 @@ mod tests {
         assert!(from_str::<Value>("[1,2").is_err());
         assert!(from_str::<Value>("12 34").is_err());
         assert!(from_str::<Value>("").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_byte_offsets() {
+        let err = from_str::<Value>("{\"a\":}").unwrap_err();
+        assert_eq!(err.byte_offset(), Some(5));
+        assert!(err.to_string().ends_with("at byte 5"), "{err}");
+        // Shape mismatches after a successful parse are not positional.
+        let err = from_str::<u64>("\"text\"").unwrap_err();
+        assert_eq!(err.byte_offset(), None);
     }
 
     #[test]
