@@ -40,6 +40,25 @@ for field in $(sed -n '/^pub struct \(GraphSpec\|ModelDecl\|CallDecl\|HookDecl\|
     fi
 done
 
+# Serving-spec drift gate: docs/SERVING.md is the schema reference for
+# workload.json; every public field of the workload spec structs (top-level
+# and inside the arrival variants) and every admission decision / rejection
+# variant must be documented there.
+for field in $(sed -n '/^pub \(struct\|enum\) \(WorkloadSpec\|TemplateSpec\|ArrivalSpec\|BurstSpec\|AdmissionSpec\)/,/^}/{s/^    pub \([a-z_]*\):.*/\1/p;s/^        \([a-z_]*\):.*/\1/p;}' \
+        crates/serve/src/workload.rs); do
+    if ! grep -q "\`$field\`" docs/SERVING.md; then
+        echo "docs drift: workload field '$field' missing from docs/SERVING.md" >&2
+        exit 1
+    fi
+done
+for variant in $(sed -n '/^pub enum \(ArrivalSpec\|AdmissionDecision\|RejectReason\)/,/^}/s/^    \([A-Z][A-Za-z]*\).*/\1/p' \
+        crates/serve/src/workload.rs crates/serve/src/admission.rs); do
+    if ! grep -q "\`$variant\`" docs/SERVING.md; then
+        echo "docs drift: variant '$variant' missing from docs/SERVING.md" >&2
+        exit 1
+    fi
+done
+
 # CLI-drift gate: every `real` subcommand in the dispatch table must be
 # mentioned in README.md, so the README cannot lag behind the binary.
 for cmd in $(sed -n '/^pub fn dispatch/,/^}/s/^ *"\([a-z-]*\)" => .*/\1/p' \
@@ -53,6 +72,13 @@ done
 for flag in graph async-offpolicy staleness; do
     if ! grep -q -- "--$flag" README.md; then
         echo "docs drift: flag '--$flag' missing from README.md" >&2
+        exit 1
+    fi
+done
+# ... and every serve flag must stay documented in the operator's guide.
+for flag in workload horizon max-stretch probe-steps admit-all no-preemption; do
+    if ! grep -q -- "--$flag" docs/SERVING.md; then
+        echo "docs drift: serve flag '--$flag' missing from docs/SERVING.md" >&2
         exit 1
     fi
 done

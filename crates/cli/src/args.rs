@@ -62,6 +62,8 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "no-memo",
     "memo-stats",
     "async-offpolicy",
+    "admit-all",
+    "no-preemption",
 ];
 
 impl Args {

@@ -3,7 +3,7 @@
 
 use crate::args::{ArgError, Args};
 use real_core::prelude::*;
-use real_sched::{SchedConfig, SchedError, SchedSpec, Scheduler};
+use real_sched::{GraphSet, SchedConfig, SchedError, SchedSpec, Scheduler, TenantSpec};
 use std::fmt;
 use std::time::Duration;
 
@@ -86,6 +86,25 @@ pub fn load_json<T: serde::Deserialize>(path: &str) -> Result<T, CliError> {
     })
 }
 
+/// Pre-loads every `graph.json` file referenced by the given tenant specs
+/// into a [`GraphSet`], so spec builders can resolve `graph` fields without
+/// touching the filesystem themselves (and so a broken graph file fails
+/// with a `path:line:col` parse error up front, before anything runs).
+fn preload_graphs<'a>(
+    tenants: impl IntoIterator<Item = &'a TenantSpec>,
+) -> Result<GraphSet, CliError> {
+    let mut graphs = GraphSet::new();
+    for tenant in tenants {
+        if let Some(path) = &tenant.graph {
+            if !graphs.contains_key(path) {
+                let spec: GraphSpec = load_json(path)?;
+                graphs.insert(path.clone(), spec);
+            }
+        }
+    }
+    Ok(graphs)
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 real — ReaL RLHF execution planning on a simulated cluster
@@ -106,6 +125,9 @@ COMMANDS:
   advise      sweep cluster sizes 1..--max-nodes, recommend one (§8.4)
   sched       pack concurrent tenant experiments onto one cluster
               (--tenants tenants.json; see docs/SCHEDULING.md)
+  serve       run an open-stream serving workload: seeded arrivals,
+              admission control, checkpointed preemption
+              (--workload workload.json; see docs/SERVING.md)
   stats       pretty-print a metrics snapshot JSON (--file metrics.json)
   models      print the Table 1 model configurations
   help        this text
@@ -183,6 +205,19 @@ SCHED FLAGS:
   --trace FILE     Chrome trace with one process group per tenant
   --metrics FILE   sched/* metrics snapshot JSON
   --json           print the SchedReport as JSON
+
+SERVE FLAGS:
+  --workload FILE  workload spec JSON (required; see docs/SERVING.md)
+  --seed S         override the spec seed
+  --horizon SECS   override the simulated horizon
+  --max-stretch X  override the admission stretch bound      [default 4.0]
+  --probe-steps N  MCMC budget per (template, mesh) pricing  [default 200]
+  --admit-all      disable admission control and preemption (the
+                   ablation baseline: never reject, never preempt)
+  --no-preemption  keep admission control but never preempt
+  --trace FILE     Chrome trace with one lifecycle lane per arrival
+  --metrics FILE   serve/* metrics snapshot JSON
+  --json           print the ServeReport as JSON
 ";
 
 /// Builds an [`Experiment`] from common workload flags.
@@ -820,7 +855,10 @@ pub fn cmd_sched(args: &Args) -> Result<String, CliError> {
         .str_opt("tenants")
         .ok_or_else(|| CliError::Invalid("sched needs --tenants tenants.json".into()))?;
     let spec: SchedSpec = load_json(path)?;
-    let (cluster, tenants) = spec.build().map_err(|e| CliError::Invalid(e.to_string()))?;
+    let graphs = preload_graphs(&spec.tenants)?;
+    let (cluster, tenants) = spec
+        .build_with_graphs(&graphs)
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
     let config = SchedConfig {
         seed: args.num_or("seed", spec.seed())?,
         refine_steps: args.num_or("steps", 2_000u64)?,
@@ -854,21 +892,54 @@ pub fn cmd_sched(args: &Args) -> Result<String, CliError> {
     if args.flag("json") {
         return Ok(serde_json::to_string_pretty(&outcome.report)?);
     }
-    let mut out = outcome.report.render();
-    let mut t = real_util::Table::new(vec!["distribution", "n", "p50", "p95", "p99", "max"]);
-    for p in real_sched::obs::sched_percentiles(&outcome.report) {
-        t.row(vec![
-            p.name.clone(),
-            p.count.to_string(),
-            format!("{:.2}", p.p50),
-            format!("{:.2}", p.p95),
-            format!("{:.2}", p.p99),
-            format!("{:.2}", p.max),
-        ]);
+    // The stretch / queue-wait percentile table is embedded in the report
+    // (`SchedReport::percentiles`), so `render()` already includes it.
+    Ok(outcome.report.render())
+}
+
+/// `real serve`: run a `workload.json` open-stream serving workload — a
+/// seeded arrival trace with admission control and checkpointed preemption
+/// — and report admission rates, queue-wait/stretch percentiles, and the
+/// utilization timeline.
+pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .str_opt("workload")
+        .ok_or_else(|| CliError::Invalid("serve needs --workload workload.json".into()))?;
+    let mut spec: real_serve::WorkloadSpec = load_json(path)?;
+    if args.str_opt("seed").is_some() {
+        spec.seed = Some(args.num_or("seed", spec.seed())?);
     }
-    out.push('\n');
-    out.push_str(&t.render());
-    Ok(out)
+    if args.str_opt("horizon").is_some() {
+        spec.horizon_secs = Some(args.num_or("horizon", spec.horizon())?);
+    }
+    let resolved = spec.admission();
+    let overridden = args.str_opt("max-stretch").is_some()
+        || args.str_opt("probe-steps").is_some()
+        || args.flag("admit-all")
+        || args.flag("no-preemption");
+    if overridden {
+        spec.admission = Some(real_serve::AdmissionSpec {
+            max_stretch: Some(args.num_or("max-stretch", resolved.max_stretch)?),
+            admit_all: Some(resolved.admit_all || args.flag("admit-all")),
+            preemption: Some(resolved.preemption && !args.flag("no-preemption")),
+            min_benefit_ratio: Some(resolved.min_benefit_ratio),
+            probe_steps: Some(args.num_or("probe-steps", resolved.probe_steps)?),
+        });
+    }
+    let graphs = preload_graphs(spec.templates.iter().map(|t| &t.tenant))?;
+    let report = real_serve::serve(&spec, &graphs).map_err(|e| CliError::Invalid(e.to_string()))?;
+    if let Some(path) = args.str_opt("trace") {
+        let stream = real_serve::serve_event_stream(&report);
+        std::fs::write(path, real_core::real_obs::chrome::to_chrome_string(&stream))?;
+    }
+    if let Some(path) = args.str_opt("metrics") {
+        let metrics = real_serve::serve_metrics(&report);
+        std::fs::write(path, serde_json::to_string_pretty(&metrics.snapshot())?)?;
+    }
+    if args.flag("json") {
+        return Ok(serde_json::to_string_pretty(&report)?);
+    }
+    Ok(report.render())
 }
 
 /// Dispatches a parsed command line.
@@ -883,6 +954,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "estimate" => cmd_estimate(args),
         "advise" => cmd_advise(args),
         "sched" => cmd_sched(args),
+        "serve" => cmd_serve(args),
         "stats" => cmd_stats(args),
         "models" => Ok(cmd_models()),
         "help" => Ok(USAGE.to_string()),
@@ -1536,5 +1608,83 @@ mod tests {
         let a = cmd_sched(&parse(&json_argv)).unwrap();
         let b = cmd_sched(&parse(&json_argv)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serve_requires_workload_flag() {
+        let e = cmd_serve(&parse(&["serve"])).unwrap_err();
+        assert!(matches!(e, CliError::Invalid(_)));
+    }
+
+    #[test]
+    fn serve_runs_a_workload_and_writes_observability() {
+        let dir = std::env::temp_dir().join("real-cli-serve");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("workload.json");
+        std::fs::write(
+            &spec_path,
+            r#"{
+              "nodes": 1,
+              "seed": 3,
+              "horizon_secs": 600,
+              "arrivals": {"Trace": {"times_secs": [0.0, 30.0], "templates": [0, 0]}},
+              "templates": [
+                {"tenant": {"name": "train", "algo": "dpo", "actor": "7b",
+                            "batch": 32, "iterations": 1}}
+              ]
+            }"#,
+        )
+        .unwrap();
+        let trace_path = dir.join("trace.json");
+        let metrics_path = dir.join("metrics.json");
+        let argv = [
+            "serve",
+            "--workload",
+            spec_path.to_str().unwrap(),
+            "--probe-steps",
+            "60",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--metrics",
+            metrics_path.to_str().unwrap(),
+        ];
+        let out = cmd_serve(&parse(&argv)).unwrap();
+        assert!(out.contains("train-0") && out.contains("train-1"), "{out}");
+        assert!(
+            out.contains("stretch") && out.contains("queue-wait-seconds"),
+            "{out}"
+        );
+        assert!(out.contains("arrivals 2"), "{out}");
+
+        // Chrome trace has one process group per arrival.
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&trace).unwrap();
+        let names: Vec<&str> = parsed
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e["name"].as_str() == Some("process_name"))
+            .filter_map(|e| e["args"]["name"].as_str())
+            .collect();
+        assert!(names.contains(&"tenant:train-0") && names.contains(&"tenant:train-1"));
+
+        // Metrics snapshot carries the serve/* namespace.
+        let snap: MetricsSnapshot =
+            serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        assert!(snap.metrics.iter().any(|e| e.name == "serve/arrivals"));
+        assert!(snap.metrics.iter().any(|e| e.name == "serve/stretch_hist"));
+
+        // Seeded runs replay: the JSON report is byte-identical, and the
+        // --admit-all ablation flag parses and runs.
+        let base = ["serve", "--workload", spec_path.to_str().unwrap()];
+        let mut json_argv = base.to_vec();
+        json_argv.extend(["--probe-steps", "60", "--json"]);
+        let a = cmd_serve(&parse(&json_argv)).unwrap();
+        let b = cmd_serve(&parse(&json_argv)).unwrap();
+        assert_eq!(a, b);
+        let mut ablate = base.to_vec();
+        ablate.extend(["--probe-steps", "60", "--admit-all", "--json"]);
+        let c = cmd_serve(&parse(&ablate)).unwrap();
+        assert!(c.contains("\"rejected\": 0"), "{c}");
     }
 }

@@ -62,6 +62,39 @@ pub fn meshes_within_gpus(cluster: &ClusterSpec, owned: &[GpuId]) -> Vec<DeviceM
         .collect()
 }
 
+/// The §4 mesh enumeration restricted to meshes whose GPUs are all *free*
+/// under a per-GPU occupancy overlay (`free[g]` is `true` when `GpuId(g)`
+/// is unleased) — the serving loop's live free-capacity view. Same order as
+/// the full enumeration, so admission probes are bit-reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use real_cluster::{partition, ClusterSpec};
+///
+/// let cluster = ClusterSpec::h100(2);
+/// // Node 0 leased out: only node-1 meshes remain.
+/// let mut free = vec![true; 16];
+/// for g in 0..8 { free[g] = false; }
+/// let meshes = partition::free_meshes(&cluster, &free);
+/// assert_eq!(meshes.len(), 15);
+/// assert!(meshes.iter().all(|m| m.gpus().all(|g| g.0 >= 8)));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `free` is shorter than the cluster's GPU count.
+pub fn free_meshes(cluster: &ClusterSpec, free: &[bool]) -> Vec<DeviceMesh> {
+    assert!(
+        free.len() >= cluster.total_gpus() as usize,
+        "free overlay must cover every GPU"
+    );
+    DeviceMesh::enumerate(cluster)
+        .into_iter()
+        .filter(|m| m.gpus().all(|g| free[g.0 as usize]))
+        .collect()
+}
+
 /// Enumerates every assignment of one allocation per tenant with pairwise
 /// disjoint picks, where `options[i]` lists tenant `i`'s feasible candidate
 /// allocations.
@@ -149,6 +182,24 @@ mod tests {
         let inside = meshes_within_gpus(&c, &gpus);
         assert_eq!(inside.len(), 30);
         assert!(inside.iter().all(|m| m.n_nodes() == 1));
+    }
+
+    #[test]
+    fn free_meshes_tracks_the_occupancy_overlay() {
+        let c = ClusterSpec::h100(2);
+        let all_free = vec![true; 16];
+        assert_eq!(
+            free_meshes(&c, &all_free),
+            DeviceMesh::enumerate(&c),
+            "empty overlay is the full enumeration, order included"
+        );
+        let mut half = vec![true; 16];
+        for slot in half.iter_mut().take(8) {
+            *slot = false;
+        }
+        let node1 = DeviceMesh::whole_nodes(&c, 1, 1).unwrap();
+        assert_eq!(free_meshes(&c, &half), meshes_within(&c, &node1));
+        assert!(free_meshes(&c, &[false; 16]).is_empty());
     }
 
     #[test]

@@ -139,6 +139,41 @@ pub fn fit_assignment(mesh: &DeviceMesh, call: &ModelFunctionCallDef) -> Option<
     None
 }
 
+/// Builds the canonical plan of the estimator's graph confined to `mesh`:
+/// every call gets its [`fit_assignment`] on that mesh. Returns `None` when
+/// any call fits no strategy there. This is the admission-time feasibility
+/// probe `real-serve` warm-starts candidate pricing from — it answers "does
+/// this tenant fit this mesh at all" without running a search.
+///
+/// # Examples
+///
+/// ```
+/// use real_cluster::{ClusterSpec, DeviceMesh};
+/// use real_dataflow::algo;
+/// use real_estimator::{probe::fit_plan, Estimator};
+/// use real_model::ModelSpec;
+/// use real_profiler::{ProfileConfig, Profiler};
+///
+/// let cluster = ClusterSpec::h100(2);
+/// let actor = ModelSpec::llama3_7b();
+/// let graph = algo::dpo(&actor, &algo::RlhfConfig::instruct_gpt(64));
+/// let mut profiler = Profiler::new(cluster.clone(), ProfileConfig::quick(), 1);
+/// let profiles = vec![profiler.profile(&actor)];
+/// let est = Estimator::new(cluster.clone(), graph, profiles).unwrap();
+/// let node1 = DeviceMesh::whole_nodes(&cluster, 1, 1).unwrap();
+/// let plan = fit_plan(&est, &node1).unwrap();
+/// let cost = est.allocation_cost(&plan, &node1);
+/// assert!(cost.contained && cost.step_secs > 0.0);
+/// ```
+pub fn fit_plan(est: &Estimator, mesh: &DeviceMesh) -> Option<ExecutionPlan> {
+    let graph = est.graph();
+    let assignments: Option<Vec<CallAssignment>> = graph
+        .iter()
+        .map(|(_, def)| fit_assignment(mesh, def))
+        .collect();
+    ExecutionPlan::new(graph, est.cluster(), assignments?).ok()
+}
+
 /// Prices every call of the estimator's graph under a canonical
 /// full-cluster plan and validates the durations are finite and positive —
 /// the contract the MCMC search and the runtime master rely on.
@@ -296,6 +331,23 @@ mod tests {
             probe(&est),
             Err(ProbeError::NoFeasibleAssignment(c)) if c == "t_inf"
         ));
+    }
+
+    #[test]
+    fn fit_plan_confines_every_call_to_the_mesh() {
+        let actor = ModelSpec::llama3_7b();
+        let cluster = ClusterSpec::h100(2);
+        let graph = algo::dpo(&actor, &algo::RlhfConfig::instruct_gpt(64));
+        let mut profiler = Profiler::new(cluster.clone(), ProfileConfig::quick(), 1);
+        let profiles = vec![profiler.profile(&actor)];
+        let est = Estimator::new(cluster.clone(), graph, profiles).unwrap();
+        for node in 0..2 {
+            let mesh = DeviceMesh::whole_nodes(&cluster, node, 1).unwrap();
+            let plan = fit_plan(&est, &mesh).unwrap();
+            let cost = est.allocation_cost(&plan, &mesh);
+            assert!(cost.contained, "plan escaped node {node}");
+            assert!(cost.step_secs > 0.0);
+        }
     }
 
     #[test]

@@ -73,6 +73,7 @@ pub mod offpolicy;
 pub mod realloc;
 pub mod replan;
 pub mod report;
+pub mod session;
 pub mod workers;
 
 pub use config::EngineConfig;
@@ -80,4 +81,5 @@ pub use master::{RunError, RuntimeEngine};
 pub use multi::{run_multi, TenantElastic, TenantRun};
 pub use replan::{ReplanEvent, ReplanOutcome, ReplanPolicy, ReplanReason, ReplanStats};
 pub use report::{AsyncStats, CallTiming, FaultAbort, FaultStats, RequestFault, RunReport};
+pub use session::{SessionCheckpoint, SessionError, TenantSession};
 pub use workers::{DataLocation, MasterLog, Request, Response, WorkerDirectory};

@@ -36,4 +36,4 @@ pub mod spec;
 
 pub use report::{SchedReport, TenantOutcome};
 pub use scheduler::{SchedConfig, SchedError, SchedOutcome, Schedule, Scheduler, TenantPlan};
-pub use spec::{SchedSpec, SpecError, TenantSpec};
+pub use spec::{GraphSet, SchedSpec, SpecError, TenantSpec};

@@ -41,16 +41,12 @@ pub fn queue_wait_secs(t: &TenantOutcome) -> f64 {
     (t.total_secs - t.iterations as f64 * t.measured_step_secs).max(0.0)
 }
 
-/// Stretch and queue-wait percentile summaries across the run's tenants —
-/// the sched-run rows of a profile (`real sched` renders them, and they
-/// share [`PercentileSummary`] with `real profile`'s report).
+/// Stretch and queue-wait percentile summaries across the run's tenants.
+/// [`SchedReport::new`] now computes and embeds these
+/// ([`SchedReport::percentiles`], rendered by `real sched` and mirrored in
+/// `--json`); this accessor remains for callers holding only a report.
 pub fn sched_percentiles(report: &SchedReport) -> Vec<PercentileSummary> {
-    let stretches: Vec<f64> = report.tenants.iter().map(|t| t.stretch).collect();
-    let waits: Vec<f64> = report.tenants.iter().map(queue_wait_secs).collect();
-    vec![
-        PercentileSummary::from_values("stretch", &stretches),
-        PercentileSummary::from_values("queue-wait-seconds", &waits),
-    ]
+    report.percentiles.clone()
 }
 
 /// Builds one event stream with a Chrome process group per tenant, spans
@@ -181,6 +177,7 @@ mod tests {
                 invalidations: 1,
                 entries: 10,
             },
+            percentiles: Vec::new(),
         };
         let m = sched_metrics(&report);
         assert_eq!(m.get("sched/memo_hits", &[]).unwrap().scalar(), 30.0);

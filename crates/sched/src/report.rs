@@ -8,8 +8,10 @@
 //! index over inverse stretches — `1.0` means every tenant is slowed down
 //! equally, lower values mean the slowdown is concentrated on few tenants.
 
+use crate::obs::queue_wait_secs;
 use crate::scheduler::Schedule;
 use real_estimator::MemoStats;
+use real_obs::profile::PercentileSummary;
 use real_runtime::RunReport;
 use serde::{Deserialize, Serialize};
 
@@ -68,6 +70,10 @@ pub struct SchedReport {
     /// Planning-time memo-cache statistics, carried over from
     /// [`Schedule::memo`]: the admission sweep's shared per-tenant caches.
     pub memo: MemoStats,
+    /// Stretch and queue-wait p50/p95/p99 summaries across the tenants
+    /// (the same rows `real serve` reports, so batch and serving runs can
+    /// be compared percentile-for-percentile).
+    pub percentiles: Vec<PercentileSummary>,
 }
 
 impl SchedReport {
@@ -121,8 +127,14 @@ impl SchedReport {
         let max_stretch = tenants.iter().map(|t| t.stretch).fold(0.0, f64::max);
         let total_reallocs = tenants.iter().map(|t| t.reallocs).sum();
         let oversubscribed = tenants.iter().any(|t| t.time_shared);
+        let stretches: Vec<f64> = tenants.iter().map(|t| t.stretch).collect();
+        let waits: Vec<f64> = tenants.iter().map(queue_wait_secs).collect();
         Self {
             fairness_index: jain_index(&tenants),
+            percentiles: vec![
+                PercentileSummary::from_values("stretch", &stretches),
+                PercentileSummary::from_values("queue-wait-seconds", &waits),
+            ],
             tenants,
             makespan_secs,
             weighted_makespan_secs,
@@ -162,6 +174,22 @@ impl SchedReport {
             ]);
         }
         let mut out = table.render();
+        if !self.percentiles.is_empty() {
+            let mut pct =
+                real_util::Table::new(vec!["percentile", "count", "p50", "p95", "p99", "max"]);
+            for p in &self.percentiles {
+                pct.row(vec![
+                    p.name.clone(),
+                    p.count.to_string(),
+                    format!("{:.3}", p.p50),
+                    format!("{:.3}", p.p95),
+                    format!("{:.3}", p.p99),
+                    format!("{:.3}", p.max),
+                ]);
+            }
+            out.push('\n');
+            out.push_str(&pct.render());
+        }
         out.push_str(&format!(
             "\nmakespan {:.1}s   weighted {:.1}s   max stretch {:.2}   fairness {:.3}   reallocs {}{}\n",
             self.makespan_secs,

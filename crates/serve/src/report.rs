@@ -1,0 +1,303 @@
+//! The serving report: per-tenant lifecycles and the aggregate
+//! service-quality numbers.
+//!
+//! [`ServeReport`] is pure serde data, and the serving loop is seeded
+//! end to end — so *the same seed yields a byte-identical report*, which is
+//! how `tests/serving.rs` pins down determinism (it compares the rendered
+//! JSON of two runs). Per-tenant rows keep the full iteration-duration
+//! vector and the service [`Segment`]s, so suspend/resume trajectories can
+//! be compared bitwise against solo runs.
+
+use crate::admission::AdmissionDecision;
+use real_obs::profile::PercentileSummary;
+use serde::{Deserialize, Serialize};
+
+/// One contiguous service interval of a tenant on a leased mesh (the spans
+/// between admission/resume and finish/suspension).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Wall-clock start of the lease (seconds on the serving clock).
+    pub start_secs: f64,
+    /// Wall-clock end of the lease.
+    pub end_secs: f64,
+    /// Iterations completed inside this segment.
+    pub iters: usize,
+    /// Reallocation-prologue seconds paid at the start of this segment
+    /// (`0` when the tenant resumed on its old mesh, or never moved).
+    pub realloc_secs: f64,
+    /// The leased allocation, rendered (e.g. `node0`).
+    pub allocation: String,
+}
+
+/// One arrival's full service lifecycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServedTenant {
+    /// Tenant name, `{template}-{per-template sequence}`.
+    pub name: String,
+    /// Sequential arrival id (seeds the tenant's RNG substream).
+    pub id: u64,
+    /// Index into the workload's template list.
+    pub template: usize,
+    /// Priority weight.
+    pub priority: f64,
+    /// Iterations requested.
+    pub iterations: usize,
+    /// The admission verdict (`Admitted` = served immediately, `Queued` =
+    /// waited then served, `Rejected` = never served).
+    pub decision: AdmissionDecision,
+    /// Arrival instant on the serving clock.
+    pub arrival_secs: f64,
+    /// First admission instant (`None` for rejected arrivals).
+    pub admitted_secs: Option<f64>,
+    /// Finish instant (`None` for rejected arrivals).
+    pub finish_secs: Option<f64>,
+    /// Total seconds spent waiting (initial queueing plus suspensions).
+    pub queue_wait_secs: f64,
+    /// Total seconds of iteration execution.
+    pub service_secs: f64,
+    /// Total reallocation-prologue seconds paid across resumes.
+    pub realloc_secs: f64,
+    /// Times this tenant was preempted (checkpoint-suspended).
+    pub preemptions: usize,
+    /// Realized stretch: (finish − arrival) over the estimated solo
+    /// full-cluster service time. `0` for rejected arrivals.
+    pub stretch: f64,
+    /// The service intervals, in time order.
+    pub segments: Vec<Segment>,
+    /// Per-iteration durations on the session clock (bitwise comparable
+    /// across runs — see the determinism contract in `real-runtime`'s
+    /// session module).
+    pub iter_secs: Vec<f64>,
+}
+
+/// One step of the leased-GPU timeline (recorded at every lease change).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilPoint {
+    /// Instant of the lease change.
+    pub at_secs: f64,
+    /// GPUs leased from this instant until the next point.
+    pub leased_gpus: u32,
+}
+
+/// The aggregate serving report (see the module docs for the byte-identity
+/// guarantee).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// The workload seed.
+    pub seed: u64,
+    /// The arrival horizon in seconds (service drains past it).
+    pub horizon_secs: f64,
+    /// Total GPUs in the cluster.
+    pub total_gpus: u32,
+    /// Arrivals generated from the workload.
+    pub arrivals: usize,
+    /// Arrivals served immediately.
+    pub admitted: usize,
+    /// Arrivals that waited in the queue before service.
+    pub queued: usize,
+    /// Arrivals turned away (at arrival or while queued).
+    pub rejected: usize,
+    /// Fraction of arrivals eventually served.
+    pub admission_rate: f64,
+    /// Fraction of arrivals rejected.
+    pub rejection_rate: f64,
+    /// Checkpointed preemptions (victim suspensions).
+    pub preemptions: usize,
+    /// Plan-switching resumes (same-mesh resumes are free and not counted).
+    pub resumes: usize,
+    /// Arrivals whose preemption attempt failed the cost/benefit gate.
+    pub gate_rejections: usize,
+    /// Last finish instant across all served tenants.
+    pub makespan_secs: f64,
+    /// Priority-weighted flow time `Σᵢ pᵢ·(finishᵢ − arrivalᵢ)` over served
+    /// tenants — the serving analogue of the scheduler's weighted makespan.
+    pub weighted_flow_secs: f64,
+    /// Worst realized stretch across served tenants.
+    pub max_stretch: f64,
+    /// Time-averaged leased-GPU fraction over the makespan.
+    pub mean_utilization: f64,
+    /// The leased-GPU step timeline.
+    pub utilization: Vec<UtilPoint>,
+    /// Queue-wait and stretch percentile summaries across served tenants.
+    pub percentiles: Vec<PercentileSummary>,
+    /// Per-arrival lifecycles, in arrival order.
+    pub tenants: Vec<ServedTenant>,
+}
+
+/// Tenant rows shown in full before the human rendering elides the rest.
+const RENDER_ROWS: usize = 32;
+
+impl ServeReport {
+    /// Renders the report as an aligned per-tenant table (elided past 32
+    /// rows), the percentile summaries, and an aggregate footer.
+    pub fn render(&self) -> String {
+        let mut table = real_util::Table::new(vec![
+            "tenant",
+            "prio",
+            "decision",
+            "arrival (s)",
+            "wait (s)",
+            "stretch",
+            "preempt",
+            "allocation",
+        ]);
+        for t in self.tenants.iter().take(RENDER_ROWS) {
+            table.row(vec![
+                t.name.clone(),
+                format!("{:.1}", t.priority),
+                decision_label(&t.decision).to_string(),
+                format!("{:.0}", t.arrival_secs),
+                format!("{:.1}", t.queue_wait_secs),
+                if t.finish_secs.is_some() {
+                    format!("{:.2}", t.stretch)
+                } else {
+                    "-".into()
+                },
+                t.preemptions.to_string(),
+                t.segments
+                    .last()
+                    .map(|s| s.allocation.clone())
+                    .unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        let mut out = table.render();
+        if self.tenants.len() > RENDER_ROWS {
+            out.push_str(&format!(
+                "... and {} more arrivals (see --json for all)\n",
+                self.tenants.len() - RENDER_ROWS
+            ));
+        }
+        out.push('\n');
+        let mut pct =
+            real_util::Table::new(vec!["percentile", "count", "p50", "p95", "p99", "max"]);
+        for p in &self.percentiles {
+            pct.row(vec![
+                p.name.clone(),
+                p.count.to_string(),
+                format!("{:.3}", p.p50),
+                format!("{:.3}", p.p95),
+                format!("{:.3}", p.p99),
+                format!("{:.3}", p.max),
+            ]);
+        }
+        out.push_str(&pct.render());
+        out.push_str(&format!(
+            "\narrivals {}   admitted {}   queued {}   rejected {} ({:.1}%)   preemptions {}   gate-rejected {}\n\
+             makespan {:.0}s   weighted flow {:.0}s   max stretch {:.2}   utilization {:.1}%\n",
+            self.arrivals,
+            self.admitted,
+            self.queued,
+            self.rejected,
+            self.rejection_rate * 100.0,
+            self.preemptions,
+            self.gate_rejections,
+            self.makespan_secs,
+            self.weighted_flow_secs,
+            self.max_stretch,
+            self.mean_utilization * 100.0,
+        ));
+        out
+    }
+}
+
+/// Short human label for a decision cell.
+pub(crate) fn decision_label(d: &AdmissionDecision) -> &'static str {
+    match d {
+        AdmissionDecision::Admitted => "admitted",
+        AdmissionDecision::Queued => "queued",
+        AdmissionDecision::Rejected {
+            reason: crate::admission::RejectReason::Infeasible,
+        } => "rejected:infeasible",
+        AdmissionDecision::Rejected {
+            reason: crate::admission::RejectReason::StretchBound,
+        } => "rejected:stretch",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::RejectReason;
+
+    fn tenant(name: &str, decision: AdmissionDecision) -> ServedTenant {
+        ServedTenant {
+            name: name.into(),
+            id: 0,
+            template: 0,
+            priority: 1.0,
+            iterations: 2,
+            decision,
+            arrival_secs: 0.0,
+            admitted_secs: Some(0.0),
+            finish_secs: Some(10.0),
+            queue_wait_secs: 0.0,
+            service_secs: 10.0,
+            realloc_secs: 0.0,
+            preemptions: 0,
+            stretch: 1.0,
+            segments: vec![Segment {
+                start_secs: 0.0,
+                end_secs: 10.0,
+                iters: 2,
+                realloc_secs: 0.0,
+                allocation: "node0".into(),
+            }],
+            iter_secs: vec![5.0, 5.0],
+        }
+    }
+
+    fn report() -> ServeReport {
+        let tenants = vec![
+            tenant("a-0", AdmissionDecision::Admitted),
+            tenant(
+                "b-0",
+                AdmissionDecision::Rejected {
+                    reason: RejectReason::StretchBound,
+                },
+            ),
+        ];
+        ServeReport {
+            seed: 1,
+            horizon_secs: 100.0,
+            total_gpus: 8,
+            arrivals: 2,
+            admitted: 1,
+            queued: 0,
+            rejected: 1,
+            admission_rate: 0.5,
+            rejection_rate: 0.5,
+            preemptions: 0,
+            resumes: 0,
+            gate_rejections: 0,
+            makespan_secs: 10.0,
+            weighted_flow_secs: 10.0,
+            max_stretch: 1.0,
+            mean_utilization: 0.5,
+            utilization: vec![UtilPoint {
+                at_secs: 0.0,
+                leased_gpus: 8,
+            }],
+            percentiles: vec![PercentileSummary::from_values("stretch", &[1.0])],
+            tenants,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ServeReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        // Byte-identity building block: equal reports serialize equally.
+        assert_eq!(json, serde_json::to_string(&back).unwrap());
+    }
+
+    #[test]
+    fn render_names_decisions_and_aggregates() {
+        let text = report().render();
+        assert!(text.contains("admitted"), "{text}");
+        assert!(text.contains("rejected:stretch"), "{text}");
+        assert!(text.contains("max stretch 1.00"), "{text}");
+        assert!(text.contains("stretch"), "{text}");
+    }
+}

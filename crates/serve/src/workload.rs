@@ -1,0 +1,620 @@
+//! The `workload.json` schema and the seeded arrival-trace generator.
+//!
+//! A [`WorkloadSpec`] describes an *open stream* of RLHF jobs: the cluster,
+//! a set of tenant **templates** (each a `real-sched` [`TenantSpec`], so
+//! everything `tenants.json` can express — algorithms, custom `graph`
+//! files, fault plans — can arrive from the stream), and an
+//! [`ArrivalSpec`] giving inter-arrival times either as a seeded Poisson
+//! process (optionally modulated by a periodic [`BurstSpec`] square wave)
+//! or as an explicit replayed trace. [`WorkloadSpec::arrivals`] expands the
+//! spec into a concrete, deterministic arrival list on the virtual clock.
+//!
+//! # Determinism
+//!
+//! The generator is seeded and **prefix-stable**: arrival *k* consumes
+//! exactly one draw from the inter-arrival substream and one from the
+//! template-choice substream, in time order — so extending the horizon (or
+//! raising the arrival cap) appends arrivals without perturbing the ones
+//! already generated. Property-tested in `tests/serving.rs`.
+
+use real_sched::TenantSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Upper bound on generated arrivals; a day-long trace at thousands of
+/// arrivals sits far below it, and it keeps a typo'd rate from producing an
+/// unbounded expansion.
+pub const MAX_ARRIVALS: usize = 200_000;
+
+/// An open-stream serving workload (the `workload.json` schema).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Cluster size in 8-GPU H100 nodes (positive power of two).
+    pub nodes: u32,
+    /// Seed for the arrival stream, admission pricing, and every tenant
+    /// substream; defaults to `1`.
+    pub seed: Option<u64>,
+    /// Simulated horizon in seconds: arrivals later than this are not
+    /// generated (running tenants drain to completion past it). Defaults to
+    /// one day (`86400`).
+    pub horizon_secs: Option<f64>,
+    /// The inter-arrival process.
+    pub arrivals: ArrivalSpec,
+    /// Tenant templates sampled per arrival (weighted).
+    pub templates: Vec<TemplateSpec>,
+    /// Admission-control policy; omit for the defaults (see
+    /// [`AdmissionConfig`]).
+    pub admission: Option<AdmissionSpec>,
+}
+
+/// One weighted tenant template.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemplateSpec {
+    /// The tenant body (same schema as a `tenants.json` entry; its `id` is
+    /// ignored — arrivals get sequential ids).
+    pub tenant: TenantSpec,
+    /// Sampling weight (default `1.0`).
+    pub weight: Option<f64>,
+}
+
+/// The inter-arrival process of a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalSpec {
+    /// Memoryless arrivals at `rate_per_hour`, optionally overridden by a
+    /// periodic burst window.
+    Poisson {
+        /// Baseline arrival rate, arrivals per simulated hour (> 0).
+        rate_per_hour: f64,
+        /// Optional periodic burst modulation.
+        burst: Option<BurstSpec>,
+    },
+    /// Replay explicit arrival instants (seconds; sorted internally).
+    Trace {
+        /// Arrival times in seconds since the stream start.
+        times_secs: Vec<f64>,
+        /// Optional per-arrival template indices (parallel to
+        /// `times_secs`); omit to sample templates by weight. Replayed
+        /// production traces know which job each arrival was — this pins
+        /// it.
+        templates: Option<Vec<usize>>,
+    },
+}
+
+/// A periodic square-wave burst: every `every_secs`, the arrival rate
+/// switches to `rate_per_hour` for `secs` seconds (the first burst starts
+/// at `t = 0`). Models the "bursty high-priority arrival" regime the
+/// preemption policy exists for.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstSpec {
+    /// Burst period in seconds (> 0).
+    pub every_secs: f64,
+    /// Burst duration in seconds (> 0, ≤ `every_secs`).
+    pub secs: f64,
+    /// Arrival rate inside the burst window, arrivals per hour (> 0).
+    pub rate_per_hour: f64,
+}
+
+/// Admission-control knobs (all optional in JSON; see [`AdmissionConfig`]
+/// for the resolved defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionSpec {
+    /// Max projected stretch (queue wait included) before an arrival is
+    /// rejected instead of queued. Default `4.0` — the scheduler's
+    /// fairness bound.
+    pub max_stretch: Option<f64>,
+    /// Disable admission control: every arrival is admitted or queued, never
+    /// rejected, and preemption is off. The ablation baseline. Default
+    /// `false`.
+    pub admit_all: Option<bool>,
+    /// Allow checkpointed preemption of lower-priority running tenants.
+    /// Default `true`.
+    pub preemption: Option<bool>,
+    /// γ in the preemption gate `p_h·W_v > p_v·S_h + γ·2·C_prologue`
+    /// (see docs/SERVING.md). Default `1.0`.
+    pub min_benefit_ratio: Option<f64>,
+    /// MCMC steps per (template, mesh) candidate pricing chain. Default
+    /// `200`.
+    pub probe_steps: Option<u64>,
+}
+
+/// The resolved admission policy ([`AdmissionSpec`] with defaults filled).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Max projected stretch before rejection.
+    pub max_stretch: f64,
+    /// Admit-all baseline mode (no rejections, no preemption).
+    pub admit_all: bool,
+    /// Checkpointed preemption enabled.
+    pub preemption: bool,
+    /// γ in the preemption cost/benefit gate.
+    pub min_benefit_ratio: f64,
+    /// MCMC steps per candidate pricing chain.
+    pub probe_steps: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            max_stretch: 4.0,
+            admit_all: false,
+            preemption: true,
+            min_benefit_ratio: 1.0,
+            probe_steps: 200,
+        }
+    }
+}
+
+/// One concrete arrival expanded from a [`WorkloadSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Arrival {
+    /// Arrival instant, seconds on the serving clock.
+    pub at: f64,
+    /// Sequential arrival id (also the tenant id — it seeds the tenant's
+    /// RNG substream, so a tenant's execution depends only on its own
+    /// arrival index, not on co-arrivals).
+    pub id: u64,
+    /// Tenant name, `{template}-{per-template sequence}`.
+    pub name: String,
+    /// Index into [`WorkloadSpec::templates`].
+    pub template: usize,
+}
+
+/// Why a [`WorkloadSpec`] was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadError(pub String);
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid workload spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl WorkloadSpec {
+    /// The effective seed (`1` when omitted).
+    pub fn seed(&self) -> u64 {
+        self.seed.unwrap_or(1)
+    }
+
+    /// The effective horizon in seconds (one day when omitted).
+    pub fn horizon(&self) -> f64 {
+        self.horizon_secs.unwrap_or(86_400.0)
+    }
+
+    /// The resolved admission policy.
+    pub fn admission(&self) -> AdmissionConfig {
+        let d = AdmissionConfig::default();
+        let Some(a) = self.admission else { return d };
+        AdmissionConfig {
+            max_stretch: a.max_stretch.unwrap_or(d.max_stretch),
+            admit_all: a.admit_all.unwrap_or(d.admit_all),
+            preemption: a.preemption.unwrap_or(d.preemption),
+            min_benefit_ratio: a.min_benefit_ratio.unwrap_or(d.min_benefit_ratio),
+            probe_steps: a.probe_steps.unwrap_or(d.probe_steps),
+        }
+    }
+
+    /// Validates the stream parameters (the per-template tenant bodies are
+    /// validated later, when the serving loop builds their experiments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] when the cluster size is not a positive
+    /// power of two, there are no templates, a weight/rate/burst/horizon
+    /// parameter is non-positive or non-finite, a trace instant is negative
+    /// or non-finite, the admission knobs are out of range, or the expected
+    /// arrival count exceeds [`MAX_ARRIVALS`].
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        if self.nodes == 0 || !self.nodes.is_power_of_two() {
+            return Err(WorkloadError(format!(
+                "nodes must be a positive power of two, got {}",
+                self.nodes
+            )));
+        }
+        if self.templates.is_empty() {
+            return Err(WorkloadError("template list is empty".into()));
+        }
+        for t in &self.templates {
+            let w = t.weight.unwrap_or(1.0);
+            if !w.is_finite() || w <= 0.0 {
+                return Err(WorkloadError(format!(
+                    "template `{}`: weight must be finite and > 0, got {w}",
+                    t.tenant.name
+                )));
+            }
+        }
+        let horizon = self.horizon();
+        if !horizon.is_finite() || horizon <= 0.0 {
+            return Err(WorkloadError(format!(
+                "horizon_secs must be finite and > 0, got {horizon}"
+            )));
+        }
+        let mut expected: f64;
+        match &self.arrivals {
+            ArrivalSpec::Poisson {
+                rate_per_hour,
+                burst,
+            } => {
+                if !rate_per_hour.is_finite() || *rate_per_hour <= 0.0 {
+                    return Err(WorkloadError(format!(
+                        "Poisson rate_per_hour must be finite and > 0, got {rate_per_hour}"
+                    )));
+                }
+                expected = rate_per_hour * horizon / 3600.0;
+                if let Some(b) = burst {
+                    if !b.every_secs.is_finite() || b.every_secs <= 0.0 {
+                        return Err(WorkloadError(format!(
+                            "burst every_secs must be finite and > 0, got {}",
+                            b.every_secs
+                        )));
+                    }
+                    if !b.secs.is_finite() || b.secs <= 0.0 || b.secs > b.every_secs {
+                        return Err(WorkloadError(format!(
+                            "burst secs must be in (0, every_secs], got {}",
+                            b.secs
+                        )));
+                    }
+                    if !b.rate_per_hour.is_finite() || b.rate_per_hour <= 0.0 {
+                        return Err(WorkloadError(format!(
+                            "burst rate_per_hour must be finite and > 0, got {}",
+                            b.rate_per_hour
+                        )));
+                    }
+                    let windows = (horizon / b.every_secs).ceil();
+                    expected += windows * b.secs * b.rate_per_hour / 3600.0;
+                }
+            }
+            ArrivalSpec::Trace {
+                times_secs,
+                templates,
+            } => {
+                for &t in times_secs {
+                    if !t.is_finite() || t < 0.0 {
+                        return Err(WorkloadError(format!(
+                            "trace instants must be finite and ≥ 0, got {t}"
+                        )));
+                    }
+                }
+                if let Some(forced) = templates {
+                    if forced.len() != times_secs.len() {
+                        return Err(WorkloadError(format!(
+                            "trace templates length {} must match times_secs length {}",
+                            forced.len(),
+                            times_secs.len()
+                        )));
+                    }
+                    if let Some(&bad) = forced.iter().find(|&&k| k >= self.templates.len()) {
+                        return Err(WorkloadError(format!(
+                            "trace template index {bad} out of range (have {} templates)",
+                            self.templates.len()
+                        )));
+                    }
+                }
+                expected = times_secs.len() as f64;
+            }
+        }
+        if expected > MAX_ARRIVALS as f64 {
+            return Err(WorkloadError(format!(
+                "expected ~{expected:.0} arrivals exceeds the cap of {MAX_ARRIVALS}"
+            )));
+        }
+        let a = self.admission();
+        if !a.max_stretch.is_finite() || a.max_stretch < 1.0 {
+            return Err(WorkloadError(format!(
+                "admission max_stretch must be finite and ≥ 1, got {}",
+                a.max_stretch
+            )));
+        }
+        if !a.min_benefit_ratio.is_finite() || a.min_benefit_ratio < 0.0 {
+            return Err(WorkloadError(format!(
+                "admission min_benefit_ratio must be finite and ≥ 0, got {}",
+                a.min_benefit_ratio
+            )));
+        }
+        if a.probe_steps == 0 {
+            return Err(WorkloadError("admission probe_steps must be > 0".into()));
+        }
+        Ok(())
+    }
+
+    /// Expands the spec into the concrete arrival list (sorted by time,
+    /// capped at [`MAX_ARRIVALS`]): inter-arrival instants from the seeded
+    /// process (or the sorted replay trace) up to the horizon, each with a
+    /// weighted template choice. See the module docs for the
+    /// prefix-stability guarantee.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`Self::validate`] — call it first.
+    pub fn arrivals(&self) -> Vec<Arrival> {
+        self.validate()
+            .expect("spec must validate before expansion");
+        let horizon = self.horizon();
+        let base = real_util::DeterministicRng::from_seed(self.seed()).derive("workload");
+        let mut time_rng = base.derive("arrival");
+        let mut choice_rng = base.derive("template");
+
+        let times: Vec<(f64, Option<usize>)> = match &self.arrivals {
+            ArrivalSpec::Trace {
+                times_secs,
+                templates,
+            } => {
+                let mut t: Vec<(f64, Option<usize>)> = times_secs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &x)| x <= horizon)
+                    .map(|(k, &x)| (x, templates.as_ref().map(|f| f[k])))
+                    .collect();
+                t.sort_by(|a, b| {
+                    a.0.partial_cmp(&b.0)
+                        .expect("validated finite")
+                        .then(a.1.cmp(&b.1))
+                });
+                t.truncate(MAX_ARRIVALS);
+                t
+            }
+            ArrivalSpec::Poisson {
+                rate_per_hour,
+                burst,
+            } => {
+                let mut out = Vec::new();
+                let mut t = 0.0f64;
+                // Current burst window index, tracked explicitly rather than
+                // recomputed from `t` — deriving it with a floating-point
+                // floor can hand back a zero-width segment when `t` lands
+                // bitwise on a boundary, and the integration below would
+                // never advance past it.
+                let mut window = 0u64;
+                while out.len() < MAX_ARRIVALS {
+                    // One unit-exponential draw per arrival, integrated
+                    // through the piecewise-constant rate profile — this is
+                    // what makes the stream prefix-stable.
+                    let mut e = -(1.0 - time_rng.uniform()).ln();
+                    loop {
+                        let (rate, seg_end) = match burst {
+                            None => (*rate_per_hour, f64::INFINITY),
+                            Some(b) => {
+                                let burst_end = window as f64 * b.every_secs + b.secs;
+                                let window_end = (window + 1) as f64 * b.every_secs;
+                                if t < burst_end {
+                                    (b.rate_per_hour, burst_end)
+                                } else if t < window_end {
+                                    (*rate_per_hour, window_end)
+                                } else {
+                                    window += 1;
+                                    continue;
+                                }
+                            }
+                        };
+                        let rate_per_sec = rate / 3600.0;
+                        let capacity = (seg_end - t) * rate_per_sec;
+                        if e <= capacity {
+                            t += e / rate_per_sec;
+                            break;
+                        }
+                        e -= capacity;
+                        t = seg_end;
+                    }
+                    if t > horizon {
+                        break;
+                    }
+                    out.push((t, None));
+                }
+                out
+            }
+        };
+
+        // Weighted template choice, one draw per arrival in time order.
+        let weights: Vec<f64> = self
+            .templates
+            .iter()
+            .map(|t| t.weight.unwrap_or(1.0))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut per_template = vec![0u64; self.templates.len()];
+        times
+            .into_iter()
+            .enumerate()
+            .map(|(i, (at, forced))| {
+                let template = forced.unwrap_or_else(|| {
+                    let mut pick = choice_rng.uniform() * total;
+                    let mut template = self.templates.len() - 1;
+                    for (k, w) in weights.iter().enumerate() {
+                        if pick < *w {
+                            template = k;
+                            break;
+                        }
+                        pick -= w;
+                    }
+                    template
+                });
+                let seq = per_template[template];
+                per_template[template] += 1;
+                Arrival {
+                    at,
+                    id: i as u64,
+                    name: format!("{}-{seq}", self.templates[template].tenant.name),
+                    template,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn template(name: &str, weight: Option<f64>) -> TemplateSpec {
+        TemplateSpec {
+            tenant: TenantSpec {
+                name: name.into(),
+                id: None,
+                priority: None,
+                algo: Some("dpo".into()),
+                actor: Some("7b".into()),
+                critic: None,
+                batch: Some(32),
+                graph: None,
+                iterations: Some(1),
+                faults: None,
+                elastic: None,
+            },
+            weight,
+        }
+    }
+
+    fn poisson_spec(rate: f64, horizon: f64) -> WorkloadSpec {
+        WorkloadSpec {
+            nodes: 1,
+            seed: Some(7),
+            horizon_secs: Some(horizon),
+            arrivals: ArrivalSpec::Poisson {
+                rate_per_hour: rate,
+                burst: None,
+            },
+            templates: vec![template("a", None), template("b", Some(3.0))],
+            admission: None,
+        }
+    }
+
+    #[test]
+    fn poisson_stream_is_deterministic_and_sorted() {
+        let spec = poisson_spec(120.0, 3600.0);
+        let a = spec.arrivals();
+        let b = spec.arrivals();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(a.iter().all(|x| x.at <= 3600.0));
+        // Rough rate sanity: 120/h over an hour ⇒ far from 0 or 10x.
+        assert!(a.len() > 60 && a.len() < 240, "got {}", a.len());
+    }
+
+    #[test]
+    fn horizon_extension_is_prefix_stable() {
+        let short = poisson_spec(60.0, 1800.0).arrivals();
+        let long = poisson_spec(60.0, 7200.0).arrivals();
+        assert!(long.len() > short.len());
+        assert_eq!(&long[..short.len()], &short[..]);
+    }
+
+    #[test]
+    fn burst_windows_raise_the_rate() {
+        let mut spec = poisson_spec(10.0, 7200.0);
+        let quiet = spec.arrivals().len();
+        spec.arrivals = ArrivalSpec::Poisson {
+            rate_per_hour: 10.0,
+            burst: Some(BurstSpec {
+                every_secs: 1800.0,
+                secs: 300.0,
+                rate_per_hour: 600.0,
+            }),
+        };
+        let bursty = spec.arrivals();
+        // 4 bursts × 300 s × 600/h ≈ 200 extra arrivals.
+        assert!(bursty.len() > quiet + 100, "{} vs {quiet}", bursty.len());
+        // And they cluster inside the windows.
+        let in_burst = bursty.iter().filter(|a| (a.at % 1800.0) < 300.0).count();
+        assert!(in_burst * 2 > bursty.len(), "{in_burst}/{}", bursty.len());
+    }
+
+    #[test]
+    fn weights_bias_template_choice() {
+        let spec = poisson_spec(2000.0, 3600.0); // weights 1.0 vs 3.0
+        let arrivals = spec.arrivals();
+        let b_count = arrivals.iter().filter(|a| a.template == 1).count();
+        let frac = b_count as f64 / arrivals.len() as f64;
+        assert!((frac - 0.75).abs() < 0.08, "frac {frac}");
+        // Names carry per-template sequence numbers.
+        assert!(arrivals.iter().any(|a| a.name == "a-0"));
+        assert!(arrivals.iter().any(|a| a.name == "b-0"));
+    }
+
+    #[test]
+    fn trace_mode_replays_sorted_and_clipped() {
+        let mut spec = poisson_spec(1.0, 100.0);
+        spec.arrivals = ArrivalSpec::Trace {
+            times_secs: vec![50.0, 10.0, 99.0, 150.0],
+            templates: None,
+        };
+        let arrivals = spec.arrivals();
+        let times: Vec<f64> = arrivals.iter().map(|a| a.at).collect();
+        assert_eq!(times, vec![10.0, 50.0, 99.0]);
+        assert_eq!(arrivals[0].id, 0);
+    }
+
+    #[test]
+    fn trace_mode_pins_forced_templates() {
+        let mut spec = poisson_spec(1.0, 100.0);
+        spec.arrivals = ArrivalSpec::Trace {
+            times_secs: vec![20.0, 5.0],
+            templates: Some(vec![1, 0]),
+        };
+        let arrivals = spec.arrivals();
+        // Sorted by time, indices follow their instants.
+        assert_eq!(arrivals[0].at, 5.0);
+        assert_eq!(arrivals[0].template, 0);
+        assert_eq!(arrivals[1].template, 1);
+        assert_eq!(arrivals[0].name, "a-0");
+        assert_eq!(arrivals[1].name, "b-0");
+        // Length mismatch and out-of-range indices are rejected.
+        spec.arrivals = ArrivalSpec::Trace {
+            times_secs: vec![1.0, 2.0],
+            templates: Some(vec![0]),
+        };
+        assert!(spec.validate().is_err());
+        spec.arrivals = ArrivalSpec::Trace {
+            times_secs: vec![1.0],
+            templates: Some(vec![9]),
+        };
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let mut bad = poisson_spec(0.0, 3600.0);
+        assert!(bad.validate().is_err());
+        bad = poisson_spec(60.0, -1.0);
+        assert!(bad.validate().is_err());
+        bad = poisson_spec(60.0, 3600.0);
+        bad.templates.clear();
+        assert!(bad.validate().is_err());
+        bad = poisson_spec(60.0, 3600.0);
+        bad.templates[0].weight = Some(0.0);
+        assert!(bad.validate().is_err());
+        bad = poisson_spec(60.0, 3600.0);
+        bad.nodes = 3;
+        assert!(bad.validate().is_err());
+        bad = poisson_spec(1e9, 86_400.0);
+        assert!(bad.validate().is_err(), "arrival cap");
+        bad = poisson_spec(60.0, 3600.0);
+        bad.arrivals = ArrivalSpec::Poisson {
+            rate_per_hour: 10.0,
+            burst: Some(BurstSpec {
+                every_secs: 100.0,
+                secs: 200.0,
+                rate_per_hour: 60.0,
+            }),
+        };
+        assert!(bad.validate().is_err(), "burst longer than period");
+        bad = poisson_spec(60.0, 3600.0);
+        bad.admission = Some(AdmissionSpec {
+            max_stretch: Some(0.5),
+            admit_all: None,
+            preemption: None,
+            min_benefit_ratio: None,
+            probe_steps: None,
+        });
+        assert!(bad.validate().is_err(), "stretch below 1");
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = poisson_spec(60.0, 3600.0);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

@@ -1,0 +1,214 @@
+//! Serving-loop integration tests: the seeded trace generator is
+//! reproducible, order-stable, and prefix-stable under horizon extension
+//! (property-tested); a preempted tenant's iteration trace is bitwise
+//! identical to its solo run across a suspend/resume cycle; and a
+//! day-long bursty workload with over a thousand arrivals serves to a
+//! byte-identical report on every run.
+
+use proptest::prelude::*;
+use real_sched::{GraphSet, TenantSpec};
+use real_serve::{serve, ArrivalSpec, BurstSpec, TemplateSpec, WorkloadSpec};
+
+fn tenant(name: &str, priority: f64, iterations: usize, batch: u64) -> TenantSpec {
+    TenantSpec {
+        name: name.into(),
+        id: None,
+        priority: Some(priority),
+        algo: Some("dpo".into()),
+        actor: Some("7b".into()),
+        critic: None,
+        batch: Some(batch),
+        graph: None,
+        iterations: Some(iterations),
+        faults: None,
+        elastic: None,
+    }
+}
+
+fn template(name: &str, priority: f64, iterations: usize, batch: u64) -> TemplateSpec {
+    TemplateSpec {
+        tenant: tenant(name, priority, iterations, batch),
+        weight: None,
+    }
+}
+
+fn poisson_spec(seed: u64, rate: f64, horizon: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        nodes: 2,
+        seed: Some(seed),
+        horizon_secs: Some(horizon),
+        arrivals: ArrivalSpec::Poisson {
+            rate_per_hour: rate,
+            burst: None,
+        },
+        templates: vec![
+            template("a", 1.0, 1, 32),
+            TemplateSpec {
+                tenant: tenant("b", 2.0, 1, 32),
+                weight: Some(3.0),
+            },
+        ],
+        admission: None,
+    }
+}
+
+proptest! {
+    /// Same spec, same arrivals — and extending the horizon appends
+    /// without perturbing the prefix (arrival k consumes a fixed number
+    /// of draws, in time order).
+    #[test]
+    fn poisson_stream_is_reproducible_and_prefix_stable(
+        seed in 0u64..10_000,
+        rate in 20.0..400.0f64,
+        horizon in 1800.0..14_400.0f64,
+    ) {
+        let spec = poisson_spec(seed, rate, horizon);
+        let a = spec.arrivals();
+        let b = spec.arrivals();
+        prop_assert_eq!(&a, &b, "same spec, same stream");
+        // Order-stable: sorted instants, sequential ids, in-horizon.
+        prop_assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        prop_assert!(a.iter().enumerate().all(|(i, x)| x.id == i as u64));
+        prop_assert!(a.iter().all(|x| x.at >= 0.0 && x.at <= horizon));
+        // Prefix-stable: the half-horizon stream is a literal prefix.
+        let short = poisson_spec(seed, rate, horizon / 2.0).arrivals();
+        prop_assert!(short.len() <= a.len());
+        prop_assert_eq!(&a[..short.len()], &short[..]);
+    }
+
+    /// Burst modulation keeps every guarantee of the base process and
+    /// only ever adds arrivals relative to the quiet stream's rate.
+    #[test]
+    fn bursty_stream_is_reproducible_and_denser(
+        seed in 0u64..10_000,
+        every in 900.0..3600.0f64,
+        frac in 0.05..0.5f64,
+    ) {
+        let mut spec = poisson_spec(seed, 30.0, 14_400.0);
+        let quiet = spec.arrivals();
+        spec.arrivals = ArrivalSpec::Poisson {
+            rate_per_hour: 30.0,
+            burst: Some(BurstSpec {
+                every_secs: every,
+                secs: every * frac,
+                rate_per_hour: 600.0,
+            }),
+        };
+        let a = spec.arrivals();
+        let b = spec.arrivals();
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        prop_assert!(a.len() >= quiet.len(), "bursts only add arrivals");
+    }
+
+    /// Replayed traces come back sorted with forced template indices
+    /// following their instants through the sort.
+    #[test]
+    fn trace_replay_is_order_stable(
+        times in proptest::collection::vec(0.0..10_000.0f64, 1..40),
+        seed in 0u64..10_000,
+    ) {
+        let forced: Vec<usize> = times.iter().map(|t| (*t as usize) % 2).collect();
+        let mut spec = poisson_spec(seed, 30.0, 10_000.0);
+        spec.arrivals = ArrivalSpec::Trace {
+            times_secs: times.clone(),
+            templates: Some(forced.clone()),
+        };
+        let arrivals = spec.arrivals();
+        prop_assert_eq!(arrivals.len(), times.len());
+        prop_assert!(arrivals.windows(2).all(|w| w[0].at <= w[1].at));
+        // Every (instant, template) pair of the input survives the sort.
+        let mut expect: Vec<(f64, usize)> =
+            times.iter().copied().zip(forced).collect();
+        expect.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap().then(x.1.cmp(&y.1)));
+        let got: Vec<(f64, usize)> =
+            arrivals.iter().map(|x| (x.at, x.template)).collect();
+        prop_assert_eq!(got, expect);
+    }
+}
+
+/// The checkpointed-preemption determinism contract: a tenant that was
+/// suspended mid-service and resumed later ends with the *bitwise* same
+/// per-iteration durations as the same tenant served alone — checkpoints
+/// capture the session RNG exactly, and a same-plan resume is free.
+#[test]
+fn suspend_resume_preserves_the_victims_iteration_trace_bitwise() {
+    let mut contended = WorkloadSpec {
+        nodes: 2,
+        seed: Some(5),
+        horizon_secs: Some(100_000.0),
+        arrivals: ArrivalSpec::Trace {
+            times_secs: vec![0.0, 5.0],
+            templates: Some(vec![0, 1]),
+        },
+        templates: vec![
+            template("lowpri", 0.1, 12, 64),
+            template("highpri", 10.0, 1, 32),
+        ],
+        admission: None,
+    };
+    let served = serve(&contended, &GraphSet::new()).unwrap();
+    let victim = &served.tenants[0];
+    assert!(
+        served.preemptions >= 1 && victim.preemptions >= 1,
+        "scenario must actually preempt: {served:?}"
+    );
+    assert!(victim.segments.len() >= 2, "suspension splits the service");
+    assert_eq!(victim.iter_secs.len(), 12);
+
+    // The same template, same arrival id, alone on the cluster.
+    contended.arrivals = ArrivalSpec::Trace {
+        times_secs: vec![0.0],
+        templates: Some(vec![0]),
+    };
+    let solo = serve(&contended, &GraphSet::new()).unwrap();
+    let solo_victim = &solo.tenants[0];
+    assert_eq!(solo_victim.preemptions, 0);
+    assert_eq!(
+        victim.iter_secs, solo_victim.iter_secs,
+        "suspend/resume must not perturb the iteration trace"
+    );
+    assert_eq!(victim.service_secs, solo_victim.service_secs);
+}
+
+/// The ISSUE's scale criterion: a seeded day-long bursty workload with
+/// over a thousand arrivals completes, conserves its admission
+/// accounting, and renders a byte-identical JSON report on a second run.
+#[test]
+fn day_long_bursty_workload_serves_deterministically() {
+    let spec = WorkloadSpec {
+        nodes: 2,
+        seed: Some(11),
+        horizon_secs: Some(86_400.0),
+        arrivals: ArrivalSpec::Poisson {
+            rate_per_hour: 30.0,
+            burst: Some(BurstSpec {
+                every_secs: 7200.0,
+                secs: 600.0,
+                rate_per_hour: 1200.0,
+            }),
+        },
+        templates: vec![
+            TemplateSpec {
+                tenant: tenant("train", 1.0, 1, 32),
+                weight: Some(3.0),
+            },
+            template("burst", 4.0, 1, 16),
+        ],
+        admission: None,
+    };
+    let a = serve(&spec, &GraphSet::new()).unwrap();
+    assert!(a.arrivals >= 1000, "day-long bursty trace: {}", a.arrivals);
+    assert_eq!(a.admitted + a.queued + a.rejected, a.arrivals);
+    assert!(a.tenants.iter().all(|t| t.finish_secs.is_some()
+        || matches!(t.decision, real_serve::AdmissionDecision::Rejected { .. })));
+    assert!(a.utilization.iter().all(|u| u.leased_gpus <= a.total_gpus));
+    assert!(a.makespan_secs.is_finite() && a.makespan_secs > 0.0);
+
+    let b = serve(&spec, &GraphSet::new()).unwrap();
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "same seed, byte-identical day-long report"
+    );
+}
