@@ -83,11 +83,25 @@ for flag in workload horizon max-stretch probe-steps admit-all no-preemption; do
     fi
 done
 
+# ... and every speculation flag must stay documented in its guide.
+for flag in spec-decode draft-model spec-k acceptance no-spec memo-in memo-out; do
+    if ! grep -q -- "--$flag" docs/SPECULATION.md; then
+        echo "docs drift: speculation flag '--$flag' missing from docs/SPECULATION.md" >&2
+        exit 1
+    fi
+done
+
 # Search-throughput gate: the memoized fast path must beat from-scratch
 # pricing on the CI-sized config while choosing the identical plan (see
 # docs/SEARCH.md). The full three-scale table is the `search_throughput`
 # ablation; this runs only the small gate pair.
 cargo bench -q -p real-bench --bench ablations -- search_throughput_gate
+
+# Speculation gate: on the decode-dominant CI pairing the searched
+# speculative plan must beat the plain incumbent by >= 1.25x at acceptance
+# 0.8 and strip speculation entirely at 0.3 (see docs/SPECULATION.md). The
+# two-pairing acceptance sweep is the `spec_decode` ablation.
+cargo bench -q -p real-bench --bench ablations -- spec_decode_gate
 
 # Profile-regression gate: re-profile the reference PPO workload and diff
 # phase shares, makespan, and critical-path composition against the

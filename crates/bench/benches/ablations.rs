@@ -40,6 +40,8 @@ fn main() {
         // (substring match); pass "search_throughput_gate" to run only it.
         ("search_throughput", search_throughput),
         ("search_throughput_gate", search_throughput_gate),
+        ("spec_decode", spec_decode),
+        ("spec_decode_gate", spec_decode_gate),
     ];
     for (name, f) in ablations {
         if !want(name) {
@@ -828,6 +830,158 @@ fn search_throughput() {
         ]);
     }
     println!("{table}\n(speedup grows with cluster size: from-scratch MaxMem scans every GPU,\n the fast path re-prices only what the one-call perturbation touched)");
+}
+
+/// One speculative-vs-plain search at a fixed acceptance rate, sharing a
+/// priced-call memo across the sweep (the spec-duration cache keys on the
+/// full draft config fingerprint, acceptance curve included, so reuse is
+/// sound). Returns the search result for throughput accounting.
+fn spec_search_at(
+    cluster: &ClusterSpec,
+    est: &Estimator,
+    space: &SearchSpace,
+    draft: &ModelSpec,
+    alpha: f64,
+    memo: &mut CostMemo,
+) -> SpecSearchResult {
+    let menu = SpecMenu::build(
+        cluster,
+        vec![draft.clone()],
+        vec![2, 4, 6, 8],
+        SpecTask::RlhfRollout,
+    )
+    .with_curve(AcceptanceCurve::Constant(alpha));
+    let cfg = McmcConfig {
+        max_steps: 2_000,
+        time_limit: Duration::from_secs(120),
+        record_trace: false,
+        seed: 7,
+        ..McmcConfig::default()
+    };
+    search_speculative_with_memo(est, space, &menu, &cfg, memo)
+}
+
+/// A decode-dominant PPO experiment (long rollouts, short prompts): the
+/// regime where draft/verify speculation can pay end-to-end.
+fn spec_experiment(nodes: u32, target: &ModelSpec, batch: u64) -> Experiment {
+    let rlhf = RlhfConfig {
+        gen_len: 3072,
+        prompt_len: 256,
+        ..RlhfConfig::instruct_gpt(batch)
+    };
+    Experiment::ppo(
+        ClusterSpec::h100(nodes),
+        target.clone(),
+        ModelSpec::llama3_7b().critic(),
+        rlhf,
+    )
+    .with_seed(17)
+    .with_quick_profile()
+}
+
+/// Speculative-decoding ablation: throughput vs acceptance rate against the
+/// non-speculative incumbent, at two draft/target pairings. The incumbent
+/// is the plain MCMC winner (identical seed and budget); the speculative
+/// column is the same search with the draft menu enabled. Registered in
+/// `main` as `spec_decode`.
+fn spec_decode() {
+    println!("draft/verify speculation vs plain decode (PPO, gen 3072 / prompt 256, seed 7)");
+    let pairings = [
+        (
+            "1B draft / 13B target",
+            2u32,
+            ModelSpec::llama3_13b(),
+            ModelSpec::llama3_1b(),
+            64u64,
+        ),
+        (
+            "7B draft / 70B target",
+            8,
+            ModelSpec::llama3_70b(),
+            ModelSpec::llama3_7b(),
+            256,
+        ),
+    ];
+    for (label, nodes, target, draft, batch) in pairings {
+        let exp = spec_experiment(nodes, &target, batch);
+        let (est, _) = exp.prepare();
+        let space = exp.search_space();
+        let cluster = exp.cluster().clone();
+        let tokens = (batch * (3072 + 256)) as f64;
+        let mut memo = CostMemo::new();
+        let mut table = Table::new(vec![
+            "acceptance",
+            "plain tok/s",
+            "spec tok/s",
+            "gain",
+            "chosen draft",
+        ]);
+        for alpha in [0.5, 0.6, 0.7, 0.8, 0.9] {
+            let r = spec_search_at(&cluster, &est, &space, &draft, alpha, &mut memo);
+            let chosen = r
+                .best_plan
+                .spec_choices()
+                .map(|(_, c)| {
+                    format!(
+                        "{} k={}",
+                        c.config.draft_model.name, c.config.speculation_len
+                    )
+                })
+                .next()
+                .unwrap_or_else(|| "(plain)".into());
+            table.row(vec![
+                format!("{alpha}"),
+                format!("{:.0}", tokens / r.base.best_time_cost),
+                format!("{:.0}", tokens / r.best_time_cost),
+                format!("{:+.0}%", (r.speedup_over_base() - 1.0) * 100.0),
+                chosen,
+            ]);
+        }
+        println!("--- {label} ({} GPUs) ---\n{table}", nodes * 8);
+    }
+    println!("(the polish strips speculation whenever it does not strictly beat plain decode,\n so the low-acceptance rows fall back to the incumbent instead of regressing)");
+}
+
+/// CI-sized speculation gate (see docs/SPECULATION.md): on the small
+/// decode-dominant pairing, the searched speculative plan must beat the
+/// plain incumbent by >= 25% at acceptance 0.8 and must fall back to plain
+/// decode at acceptance 0.3. Registered in `main` as `spec_decode_gate`.
+fn spec_decode_gate() {
+    let target = ModelSpec::llama3_7b();
+    let exp = spec_experiment(2, &target, 32);
+    let (est, _) = exp.prepare();
+    let space = exp.search_space();
+    let cluster = exp.cluster().clone();
+    let draft = ModelSpec::llama3_1b();
+    let mut memo = CostMemo::new();
+
+    let high = spec_search_at(&cluster, &est, &space, &draft, 0.8, &mut memo);
+    let speedup = high.speedup_over_base();
+    println!(
+        "alpha 0.8: plain {:.2}s, speculative {:.2}s -> {speedup:.2}x",
+        high.base.best_time_cost, high.best_time_cost
+    );
+    assert!(
+        high.best_plan.has_speculation(),
+        "alpha=0.8 must keep a draft"
+    );
+    assert!(
+        speedup >= 1.25,
+        "speculation regressed: only {speedup:.2}x over plain decode at alpha=0.8"
+    );
+
+    let low = spec_search_at(&cluster, &est, &space, &draft, 0.3, &mut memo);
+    println!(
+        "alpha 0.3: plain {:.2}s, speculative path {:.2}s (speculation stripped: {})",
+        low.base.best_time_cost,
+        low.best_time_cost,
+        !low.best_plan.has_speculation()
+    );
+    assert!(
+        !low.best_plan.has_speculation(),
+        "alpha=0.3 must fall back to plain decode"
+    );
+    assert!(low.best_time_cost <= low.base.best_time_cost + 1e-9);
 }
 
 /// CI-sized regression gate for the fast path: same plan, and the memoized

@@ -64,6 +64,8 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "async-offpolicy",
     "admit-all",
     "no-preemption",
+    "spec-decode",
+    "no-spec",
 ];
 
 impl Args {

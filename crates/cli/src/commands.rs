@@ -134,8 +134,8 @@ COMMANDS:
 
 WORKLOAD FLAGS (plan/run/baselines):
   --nodes N        cluster nodes, 8 GPUs each        [default 1]
-  --actor SIZE     7b | 13b | 34b | 70b              [default 7b]
-  --critic SIZE    7b | 13b | 34b | 70b              [default 7b]
+  --actor SIZE     1b | 7b | 13b | 34b | 70b         [default 7b]
+  --critic SIZE    1b | 7b | 13b | 34b | 70b         [default 7b]
   --algo A         ppo|dpo|grpo|remax|raft|itdpo     [default ppo]
   --batch B        global batch (prompts)            [default 128]
   --ctx-scale K    context 2048*K, batch/K (Fig. 8)  [default 1]
@@ -153,6 +153,17 @@ SEARCH FLAGS (plan/run):
   --no-memo        disable the incremental memoized cost path (prices
                    every proposal from scratch; same plan, slower)
   --memo-stats     print memo-cache hits/misses/hit-rate after the search
+  --memo-in FILE   warm-start pricing from a saved cost-memo snapshot; a
+                   snapshot from a different pricing context (cluster,
+                   graph, profiles, health) is ignored with a warning
+  --memo-out FILE  save the search's cost memo for the next `real plan`
+  --spec-decode    make speculative draft/verify decode a search dimension
+                   on generation calls (see docs/SPECULATION.md)
+  --draft-model S  comma-separated draft sizes to consider  [default 1b,7b]
+  --spec-k KS      comma-separated speculation lengths    [default 2,4,6,8]
+  --acceptance A   replace the calibrated acceptance curves with a
+                   constant in [0, 1] (ablations)
+  --no-spec        force speculation off (wins over the flags above)
   --explain        (plan) diff the plan against the heuristic
   --out FILE       (plan) save the plan as JSON
   --checkpoint F   (plan/replan) save a resumable search checkpoint JSON
@@ -316,8 +327,106 @@ pub fn experiment_from(args: &Args) -> Result<Experiment, CliError> {
 fn model_flag(args: &Args, flag: &str) -> Result<ModelSpec, CliError> {
     let size = args.str_or(flag, "7b");
     ModelSpec::by_size(&size).ok_or_else(|| {
-        CliError::Invalid(format!("unknown --{flag} {size}; expected 7b|13b|34b|70b"))
+        CliError::Invalid(format!(
+            "unknown --{flag} {size}; expected 1b|7b|13b|34b|70b"
+        ))
     })
+}
+
+/// Builds the speculation menu from `--spec-decode` / `--draft-model` /
+/// `--spec-k` / `--acceptance`. Returns `None` when speculation stays off:
+/// the default, or forced with `--no-spec` (which wins over the others).
+fn spec_menu_from(args: &Args, cluster: &ClusterSpec) -> Result<Option<SpecMenu>, CliError> {
+    let requested = args.flag("spec-decode")
+        || args.str_opt("draft-model").is_some()
+        || args.str_opt("spec-k").is_some()
+        || args.str_opt("acceptance").is_some();
+    if args.flag("no-spec") || !requested {
+        return Ok(None);
+    }
+    let drafts = match args.str_opt("draft-model") {
+        Some(sizes) => {
+            let mut drafts = Vec::new();
+            for size in sizes.split(',') {
+                drafts.push(ModelSpec::by_size(size).ok_or_else(|| {
+                    CliError::Invalid(format!(
+                        "unknown --draft-model {size}; expected 1b|7b|13b|34b|70b"
+                    ))
+                })?);
+            }
+            drafts
+        }
+        None => vec![ModelSpec::llama3_1b(), ModelSpec::llama3_7b()],
+    };
+    let ks = match args.str_opt("spec-k") {
+        Some(ks) => {
+            let mut out = Vec::new();
+            for k in ks.split(',') {
+                let k: u32 = k.parse().map_err(|_| {
+                    CliError::Invalid(format!("--spec-k: cannot parse {k:?} as a length"))
+                })?;
+                if k == 0 {
+                    return Err(CliError::Invalid(
+                        "--spec-k lengths must be positive".into(),
+                    ));
+                }
+                out.push(k);
+            }
+            out
+        }
+        None => vec![2, 4, 6, 8],
+    };
+    let mut menu = SpecMenu::build(cluster, drafts, ks, SpecTask::RlhfRollout);
+    if args.str_opt("acceptance").is_some() {
+        let alpha: f64 = args.num_or("acceptance", 0.0)?;
+        if !(0.0..=1.0).contains(&alpha) {
+            return Err(CliError::Invalid(format!(
+                "--acceptance {alpha} must be within [0, 1]"
+            )));
+        }
+        menu = menu.with_curve(AcceptanceCurve::Constant(alpha));
+    }
+    Ok(Some(menu))
+}
+
+/// The speculation-aware / memo-persistent planning path shared by `plan`,
+/// `run`, and `profile`: runs [`Experiment::plan_speculative`] (with an
+/// empty menu when only memo persistence was asked for), handles
+/// `--memo-in` restore (warning on a context mismatch) and `--memo-out`
+/// snapshot, and returns the planned outcome.
+fn plan_speculative_from(
+    args: &Args,
+    exp: &Experiment,
+    menu: Option<SpecMenu>,
+) -> Result<(SpecPlannedExperiment, String), CliError> {
+    let (cfg, _, _) = mcmc_from(args)?;
+    let warm: Option<MemoSnapshot> = match args.str_opt("memo-in") {
+        Some(path) => Some(load_json(path)?),
+        None => None,
+    };
+    let menu = menu.unwrap_or_else(SpecMenu::empty);
+    let planned = exp
+        .plan_speculative(&cfg, &menu, warm.as_ref())
+        .map_err(|_| CliError::NoFeasiblePlan)?;
+    let mut notes = String::new();
+    if let Some(path) = args.str_opt("memo-in") {
+        if planned.warm_start {
+            notes.push_str(&format!("memo: warm start from {path}\n"));
+        } else {
+            notes.push_str(&format!(
+                "memo: {path} was priced under a different context \
+                 (cluster/graph/profiles changed); cold start\n"
+            ));
+        }
+    }
+    if let Some(path) = args.str_opt("memo-out") {
+        std::fs::write(path, serde_json::to_string(&planned.memo)?)?;
+        notes.push_str(&format!(
+            "memo: {} entries saved to {path}\n",
+            planned.memo.n_entries()
+        ));
+    }
+    Ok((planned, notes))
 }
 
 /// Search configuration from flags: `(config, chains, threads)`.
@@ -373,6 +482,10 @@ fn memo_stats_line(search: &SearchResult) -> String {
 /// `real plan`
 pub fn cmd_plan(args: &Args) -> Result<String, CliError> {
     let exp = experiment_from(args)?;
+    let menu = spec_menu_from(args, exp.cluster())?;
+    if menu.is_some() || args.str_opt("memo-in").is_some() || args.str_opt("memo-out").is_some() {
+        return cmd_plan_speculative(args, &exp, menu);
+    }
     let (cfg, chains, threads) = mcmc_from(args)?;
     let planned = plan_searched(&exp, &cfg, chains, threads)?;
 
@@ -408,6 +521,69 @@ pub fn cmd_plan(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// The `real plan` variant behind `--spec-decode` and `--memo-in/--memo-out`:
+/// speculation-aware search through the persistent cost memo. Without
+/// speculation flags the menu is empty and the chosen plan is identical to
+/// the default path's — only the memo persistence differs.
+fn cmd_plan_speculative(
+    args: &Args,
+    exp: &Experiment,
+    menu: Option<SpecMenu>,
+) -> Result<String, CliError> {
+    let speculating = menu.is_some();
+    let (planned, notes) = plan_speculative_from(args, exp, menu)?;
+    if let Some(path) = args.str_opt("out") {
+        std::fs::write(path, serde_json::to_string_pretty(&planned.plan)?)?;
+    }
+    if let Some(path) = args.str_opt("checkpoint") {
+        planned
+            .result
+            .base
+            .checkpoint()
+            .save(std::path::Path::new(path))?;
+    }
+    let mut out = String::new();
+    out.push_str(&planned.plan.render(exp.graph()));
+    if args.flag("explain") {
+        let (est, _) = exp.prepare();
+        let heuristic = exp.plan_heuristic();
+        let cmp = compare(&est, &heuristic, &planned.plan);
+        out.push_str("\nvs the symmetric heuristic (single-swap contributions):\n");
+        out.push_str(&cmp.render());
+    }
+    out.push_str(&format!(
+        "\nsearch: {} steps, {} accepted ({:.0}%), best TimeCost {:.2}s, profiling {:.0}s (simulated)\n",
+        planned.result.base.steps,
+        planned.result.base.accepted,
+        planned.result.base.acceptance_rate() * 100.0,
+        planned.result.best_time_cost,
+        planned.profiling_secs,
+    ));
+    if speculating {
+        out.push_str(&format!(
+            "speculation: {} proposals, {} accepted; TimeCost {:.2}s vs {:.2}s plain ({:.2}x)\n",
+            planned.result.spec_steps,
+            planned.result.spec_accepted,
+            planned.result.best_time_cost,
+            planned.result.base.best_time_cost,
+            planned.result.speedup_over_base(),
+        ));
+    }
+    if args.flag("memo-stats") {
+        let m = &planned.result.memo;
+        out.push_str(&format!(
+            "memo: {} hits / {} misses (hit rate {:.1}%), {} entries, {} invalidations\n",
+            m.hits,
+            m.misses,
+            m.hit_rate() * 100.0,
+            m.entries,
+            m.invalidations,
+        ));
+    }
+    out.push_str(&notes);
+    Ok(out)
+}
+
 /// `real run`
 pub fn cmd_run(args: &Args) -> Result<String, CliError> {
     let mut exp = experiment_from(args)?;
@@ -418,6 +594,7 @@ pub fn cmd_run(args: &Args) -> Result<String, CliError> {
         exp = exp.with_replan_policy(policy);
     }
     let mut search: Option<SearchResult> = None;
+    let mut plan_notes = String::new();
     let plan: ExecutionPlan = if let Some(path) = args.str_opt("plan") {
         load_json(path)?
     } else if args.flag("heuristic") {
@@ -427,6 +604,13 @@ pub fn cmd_run(args: &Args) -> Result<String, CliError> {
         // meshes; the MCMC search optimizes the synchronous TimeCost and
         // tends to colocate them, so default to the split placement.
         split
+    } else if let Some(menu) = spec_menu_from(args, exp.cluster())? {
+        // Speculation-aware planning: the runtime executes whatever the
+        // search attached (draft/verify loops on the draft mesh).
+        let (planned, notes) = plan_speculative_from(args, &exp, Some(menu))?;
+        plan_notes = notes;
+        search = Some(planned.result.base.clone());
+        planned.plan
     } else {
         let (cfg, chains, threads) = mcmc_from(args)?;
         let planned = plan_searched(&exp, &cfg, chains, threads)?;
@@ -464,6 +648,7 @@ pub fn cmd_run(args: &Args) -> Result<String, CliError> {
             out.push_str(&memo_stats_line(search));
         }
     }
+    out.push_str(&plan_notes);
     Ok(out)
 }
 
@@ -596,6 +781,10 @@ pub fn cmd_profile(args: &Args) -> Result<String, CliError> {
             // Same default as `real run`: async off-policy profiles against
             // the disjoint gen/train placement (see cmd_run).
             split
+        } else if let Some(menu) = spec_menu_from(args, exp.cluster())? {
+            // Speculative plans profile with gen/draft, gen/verify, and
+            // gen/fallback sub-rows in the phase attribution.
+            plan_speculative_from(args, &exp, Some(menu))?.0.plan
         } else {
             let (cfg, chains, threads) = mcmc_from(args)?;
             plan_searched(&exp, &cfg, chains, threads)?.plan
@@ -832,7 +1021,7 @@ pub fn cmd_models() -> String {
         "params",
         "params w/o out-embed",
     ]);
-    for size in ["7b", "13b", "34b", "70b"] {
+    for size in ["1b", "7b", "13b", "34b", "70b"] {
         let m = ModelSpec::by_size(size).expect("preset exists");
         t.row(vec![
             size.into(),
@@ -1686,5 +1875,116 @@ mod tests {
         ablate.extend(["--probe-steps", "60", "--admit-all", "--json"]);
         let c = cmd_serve(&parse(&ablate)).unwrap();
         assert!(c.contains("\"rejected\": 0"), "{c}");
+    }
+
+    #[test]
+    fn spec_decode_flags_surface_speculation_and_no_spec_suppresses_it() {
+        let base = vec![
+            "plan",
+            "--nodes",
+            "1",
+            "--batch",
+            "32",
+            "--steps",
+            "300",
+            "--time",
+            "10",
+            "--quick-profile",
+            "--chains",
+            "2",
+        ];
+        let with = |extra: &[&str]| {
+            let mut argv = base.clone();
+            argv.extend_from_slice(extra);
+            cmd_plan(&parse(&argv)).unwrap()
+        };
+        // High constant acceptance: the search keeps a draft and the plan
+        // printout grows a speculation table plus a speedup line.
+        let spec = with(&["--spec-decode", "--acceptance", "0.95"]);
+        assert!(spec.contains("speculative decoding:"), "{spec}");
+        assert!(
+            spec.contains("speculation:") && spec.contains("plain ("),
+            "{spec}"
+        );
+        // --no-spec wins over every speculation flag: byte-identical to the
+        // default planner output (inertness).
+        assert_eq!(
+            with(&["--spec-decode", "--acceptance", "0.95", "--no-spec"]),
+            with(&[])
+        );
+        // Bad values are rejected up front, not deep in the search.
+        let bad = |extra: &[&str]| {
+            let mut argv = base.clone();
+            argv.extend_from_slice(extra);
+            cmd_plan(&parse(&argv))
+        };
+        assert!(matches!(
+            bad(&["--acceptance", "1.5"]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            bad(&["--draft-model", "3b"]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            bad(&["--spec-decode", "--spec-k", "0"]),
+            Err(CliError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn memo_roundtrips_across_plan_invocations() {
+        let dir = std::env::temp_dir().join("real-cli-memo");
+        std::fs::create_dir_all(&dir).unwrap();
+        let memo_path = dir.join("memo.json");
+        let base = vec![
+            "plan",
+            "--nodes",
+            "1",
+            "--batch",
+            "32",
+            "--steps",
+            "300",
+            "--time",
+            "10",
+            "--quick-profile",
+            "--chains",
+            "2",
+        ];
+        let with = |extra: &[&str]| {
+            let mut argv = base.clone();
+            argv.extend_from_slice(extra);
+            cmd_plan(&parse(&argv)).unwrap()
+        };
+        // Cold run saves the priced-call cache next to the plan.
+        let cold = with(&["--memo-out", memo_path.to_str().unwrap(), "--memo-stats"]);
+        assert!(memo_path.is_file());
+        assert!(cold.contains("entries saved to"), "{cold}");
+        let snap: MemoSnapshot =
+            serde_json::from_str(&std::fs::read_to_string(&memo_path).unwrap()).unwrap();
+        assert!(snap.n_entries() > 0);
+
+        // Warm run restores it, reports the warm start, prices every call
+        // from cache, and picks the identical plan.
+        let warm = with(&["--memo-in", memo_path.to_str().unwrap(), "--memo-stats"]);
+        assert!(warm.contains("warm start from"), "{warm}");
+        assert!(warm.contains("/ 0 misses"), "{warm}");
+        let table = |out: &str| {
+            out.lines()
+                .take_while(|l| !l.starts_with("search:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(table(&cold), table(&warm));
+        // And both match the memo-less default planner (cache is invisible).
+        assert_eq!(table(&cold), table(&with(&[])));
+
+        // A snapshot priced under a different context is refused: the run
+        // still succeeds, but cold-starts and says why.
+        let mut argv = base.clone();
+        argv[4] = "64"; // different global batch -> different graph fingerprint
+        argv.extend_from_slice(&["--memo-in", memo_path.to_str().unwrap()]);
+        let stale = cmd_plan(&parse(&argv)).unwrap();
+        assert!(stale.contains("cold start"), "{stale}");
     }
 }

@@ -6,12 +6,13 @@ use real_cluster::{ClusterSpec, DeviceMesh};
 use real_dataflow::algo::{self, RlhfConfig};
 use real_dataflow::{CallType, DataflowGraph, ExecutionPlan, GraphSpec, SpecError};
 use real_estimator::{probe, Estimator};
+use real_estimator::{CostMemo, MemoSnapshot};
 use real_model::ModelSpec;
 use real_profiler::{ProfileConfig, Profiler};
 use real_runtime::{EngineConfig, ReplanPolicy, RunError, RuntimeEngine};
 use real_search::{
-    greedy_plan, heuristic_plan, search, ImpossibleCall, McmcConfig, PruneLevel, SearchResult,
-    SearchSpace,
+    greedy_plan, heuristic_plan, search, search_speculative_with_memo, ImpossibleCall, McmcConfig,
+    PruneLevel, SearchResult, SearchSpace, SpecMenu, SpecSearchResult,
 };
 use std::collections::HashSet;
 
@@ -73,6 +74,27 @@ pub struct PlannedExperiment {
     pub search: SearchResult,
     /// Simulated seconds spent profiling before the search (Fig. 12 left).
     pub profiling_secs: f64,
+}
+
+/// The outcome of speculation-aware planning
+/// ([`Experiment::plan_speculative`]): the chosen plan (possibly with
+/// draft/verify decode attached), the full search statistics, and the cost
+/// memo snapshot for the next search to warm-start from.
+#[derive(Debug, Clone)]
+pub struct SpecPlannedExperiment {
+    /// The selected execution plan (speculative only when it strictly beat
+    /// plain decode).
+    pub plan: ExecutionPlan,
+    /// Base-search plus speculation-chain statistics.
+    pub result: SpecSearchResult,
+    /// Simulated seconds spent profiling before the search.
+    pub profiling_secs: f64,
+    /// Cost-memo snapshot taken after the search, restorable by a later
+    /// search over the same pricing context (`real plan --memo-out`).
+    pub memo: MemoSnapshot,
+    /// Whether the `warm` snapshot passed in was accepted (matching context
+    /// fingerprint) — `false` means a cold start.
+    pub warm_start: bool,
 }
 
 impl Experiment {
@@ -386,6 +408,51 @@ impl Experiment {
             plan: result.best_plan.clone(),
             search: result,
             profiling_secs,
+        })
+    }
+
+    /// Speculation-aware automatic planning: like [`Self::plan_auto`], but
+    /// the search may attach draft/verify decode ([`SpecMenu`]) to
+    /// generation calls, and prices every proposal through a persistent
+    /// cost memo. Pass [`SpecMenu::empty`] to keep speculation off while
+    /// still using the memo path (`real plan --memo-in/--memo-out` without
+    /// `--spec-decode`); pass `warm` to restore a snapshot from an earlier
+    /// search — it is accepted only when its context fingerprint (cluster,
+    /// graph, profiles, health overlay) matches, and ignored otherwise.
+    /// Memoization is exact, so warm and cold searches choose bit-identical
+    /// plans; with an empty menu the plan is identical to
+    /// [`Self::plan_auto`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanFailure`] when the workload cannot fit the cluster or
+    /// no memory-feasible plan was found within the budget.
+    pub fn plan_speculative(
+        &self,
+        cfg: &McmcConfig,
+        menu: &SpecMenu,
+        warm: Option<&MemoSnapshot>,
+    ) -> Result<SpecPlannedExperiment, PlanFailure> {
+        let space = self
+            .try_search_space()
+            .map_err(PlanFailure::ImpossibleWorkload)?;
+        let (est, profiling_secs) = self.prepare();
+        let mut cfg = cfg.clone();
+        cfg.seed = self.seed.wrapping_add(cfg.seed);
+        let context = est.context_fingerprint();
+        let restored = warm.and_then(|s| CostMemo::from_snapshot(s, context));
+        let warm_start = restored.is_some();
+        let mut memo = restored.unwrap_or_default();
+        let result = search_speculative_with_memo(&est, &space, menu, &cfg, &mut memo);
+        if !result.feasible {
+            return Err(PlanFailure::NoFeasiblePlan(Box::new(result.base)));
+        }
+        Ok(SpecPlannedExperiment {
+            plan: result.best_plan.clone(),
+            result,
+            profiling_secs,
+            memo: memo.snapshot(context),
+            warm_start,
         })
     }
 

@@ -9,7 +9,9 @@
 //! ```
 
 pub use crate::advisor::{recommend, Recommendation};
-pub use crate::{Experiment, ExperimentReport, PlanFailure, PlannedExperiment, Tenant};
+pub use crate::{
+    Experiment, ExperimentReport, PlanFailure, PlannedExperiment, SpecPlannedExperiment, Tenant,
+};
 pub use real_cluster::{
     ClusterHealth, ClusterSpec, CommModel, DeviceMesh, GpuHealth, GpuId, GpuSpec,
 };
@@ -19,9 +21,11 @@ pub use real_dataflow::{
     BuiltGraph, CallAssignment, CallHook, CallId, CallType, DataflowGraph, ExecutionPlan,
     GraphSpec, ModelFunctionCallDef, SpecError,
 };
-pub use real_estimator::{probe, Estimator};
+pub use real_estimator::{probe, CostMemo, Estimator, MemoSnapshot};
+pub use real_model::specdec::{AcceptanceCurve, SpecDecodeConfig};
 pub use real_model::{CostModel, MemoryModel, ModelSpec, ParallelStrategy};
 pub use real_obs::{EventStream, MetricsRegistry, MetricsSnapshot};
+pub use real_profiler::{calibrated_acceptance, SpecTask};
 pub use real_profiler::{ProfileConfig, ProfileDb, Profiler};
 pub use real_runtime::{
     baselines, AsyncStats, EngineConfig, FaultAbort, FaultStats, ReplanEvent, ReplanOutcome,
@@ -29,7 +33,8 @@ pub use real_runtime::{
 };
 pub use real_search::{
     brute_force, compare, greedy_plan, heuristic_plan, parallel_search, resume, search,
-    search_warm, BruteConfig, ChainState, McmcConfig, PlanComparison, PruneLevel, SearchCheckpoint,
-    SearchResult, SearchSpace,
+    search_speculative, search_speculative_with_memo, search_warm, BruteConfig, ChainState,
+    McmcConfig, PlanComparison, PruneLevel, SearchCheckpoint, SearchResult, SearchSpace, SpecMenu,
+    SpecSearchResult,
 };
 pub use real_sim::{Category, FaultClock, FaultEvent, FaultPlan, Timelines, Trace};

@@ -33,8 +33,10 @@ pub mod graph;
 pub mod plan;
 pub mod render;
 pub mod spec;
+pub mod speculation;
 
 pub use call::{CallId, CallType, ModelFunctionCallDef};
 pub use graph::DataflowGraph;
 pub use plan::{CallAssignment, ExecutionPlan};
 pub use spec::{BuiltGraph, CallHook, GraphSpec, SpecError};
+pub use speculation::SpecChoice;

@@ -3,6 +3,7 @@
 
 use crate::call::CallId;
 use crate::graph::DataflowGraph;
+use crate::speculation::SpecChoice;
 use real_cluster::{ClusterSpec, DeviceMesh};
 use real_model::ParallelStrategy;
 use serde::{Deserialize, Serialize};
@@ -110,10 +111,48 @@ impl fmt::Display for PlanError {
 
 impl std::error::Error for PlanError {}
 
-/// A complete execution plan: one [`CallAssignment`] per graph call.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A complete execution plan: one [`CallAssignment`] per graph call, plus
+/// an optional speculative-decoding choice per generation call.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionPlan {
     assignments: Vec<CallAssignment>,
+    /// Per-call speculation choices. Either empty (no speculation anywhere —
+    /// the default) or exactly `assignments.len()` long.
+    spec: Vec<Option<SpecChoice>>,
+}
+
+// Hand-written serde: the `spec` member is omitted when empty, so
+// speculation-free plans serialize byte-identically to pre-speculation
+// plans, and pre-speculation JSON (no `spec` key) still deserializes.
+impl Serialize for ExecutionPlan {
+    fn to_value(&self) -> serde::Value {
+        let mut obj = vec![("assignments".to_string(), self.assignments.to_value())];
+        if !self.spec.is_empty() {
+            obj.push(("spec".to_string(), self.spec.to_value()));
+        }
+        serde::Value::Object(obj)
+    }
+}
+
+impl Deserialize for ExecutionPlan {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let assignments = Vec::<CallAssignment>::from_value(
+            v.get("assignments")
+                .ok_or_else(|| serde::Error::custom("plan missing `assignments`"))?,
+        )?;
+        let spec = match v.get("spec") {
+            Some(s) => Vec::<Option<SpecChoice>>::from_value(s)?,
+            None => Vec::new(),
+        };
+        if !spec.is_empty() && spec.len() != assignments.len() {
+            return Err(serde::Error::custom(format!(
+                "plan has {} spec entries for {} assignments",
+                spec.len(),
+                assignments.len()
+            )));
+        }
+        Ok(Self { assignments, spec })
+    }
 }
 
 impl ExecutionPlan {
@@ -173,7 +212,10 @@ impl ExecutionPlan {
                 });
             }
         }
-        Ok(Self { assignments })
+        Ok(Self {
+            assignments,
+            spec: Vec::new(),
+        })
     }
 
     /// The assignment of a call.
@@ -217,6 +259,49 @@ impl ExecutionPlan {
             .overlaps(&self.assignments[b.0].mesh)
     }
 
+    /// The speculative-decoding choice of a call, if any.
+    pub fn spec_choice(&self, id: CallId) -> Option<&SpecChoice> {
+        self.spec.get(id.0).and_then(Option::as_ref)
+    }
+
+    /// Whether any call in the plan uses speculative decoding.
+    pub fn has_speculation(&self) -> bool {
+        self.spec.iter().any(Option::is_some)
+    }
+
+    /// All calls with a speculation choice, in call order.
+    pub fn spec_choices(&self) -> impl Iterator<Item = (CallId, &SpecChoice)> + '_ {
+        self.spec
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|c| (CallId(i), c)))
+    }
+
+    /// Sets or clears one call's speculation choice (the MCMC speculation
+    /// transition). Clearing the last active choice normalizes back to the
+    /// empty (speculation-free) representation, so toggling speculation on
+    /// and off round-trips to a plan equal to the original.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::Unsupported`] when the choice fails
+    /// [`SpecChoice::validate`].
+    pub fn with_spec(&self, id: CallId, choice: Option<SpecChoice>) -> Result<Self, PlanError> {
+        if let Some(c) = &choice {
+            c.validate()
+                .map_err(|reason| PlanError::Unsupported { call: id, reason })?;
+        }
+        let mut next = self.clone();
+        if next.spec.is_empty() {
+            next.spec = vec![None; next.assignments.len()];
+        }
+        next.spec[id.0] = choice;
+        if next.spec.iter().all(Option::is_none) {
+            next.spec.clear();
+        }
+        Ok(next)
+    }
+
     /// Renders the plan as a table like the paper's Tables 2–5.
     pub fn render(&self, graph: &DataflowGraph) -> String {
         let mut t = real_util::Table::new(vec![
@@ -238,7 +323,23 @@ impl ExecutionPlan {
                 a.strategy.micro_batches().to_string(),
             ]);
         }
-        t.render()
+        let mut out = t.render();
+        if self.has_speculation() {
+            let mut s = real_util::Table::new(vec!["call", "draft", "k", "draft mesh", "TP/PP/DP"]);
+            for (id, c) in self.spec_choices() {
+                let st = &c.assignment.strategy;
+                s.row(vec![
+                    graph.call(id).call_name.clone(),
+                    c.config.draft_model.name.clone(),
+                    c.config.speculation_len.to_string(),
+                    c.assignment.mesh.to_string(),
+                    format!("{}/{}/{}", st.tp(), st.pp(), st.dp()),
+                ]);
+            }
+            out.push_str("\nspeculative decoding:\n");
+            out.push_str(&s.render());
+        }
+        out
     }
 }
 
@@ -420,5 +521,78 @@ mod tests {
         let json = serde_json::to_string(&plan).unwrap();
         let back: ExecutionPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(back, plan);
+    }
+
+    fn spec_choice(cluster: &ClusterSpec) -> crate::speculation::SpecChoice {
+        crate::speculation::SpecChoice {
+            config: real_model::SpecDecodeConfig {
+                draft_model: ModelSpec::llama3_1b(),
+                speculation_len: 5,
+                acceptance_curve: real_model::AcceptanceCurve::Constant(0.8),
+            },
+            assignment: CallAssignment::new(
+                DeviceMesh::sub_node(cluster, 0, 0, 2).unwrap(),
+                ParallelStrategy::new(1, 2, 1, 1).unwrap(),
+            )
+            .unwrap(),
+        }
+    }
+
+    #[test]
+    fn speculation_free_plan_serializes_without_spec_field() {
+        let (cluster, graph) = setup();
+        let a = full_assignment(&cluster, 2, 8, 1);
+        let plan = ExecutionPlan::new(&graph, &cluster, vec![a; 6]).unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        assert!(!json.contains("spec"), "inert plan leaked spec: {json}");
+        // Pre-speculation JSON (no `spec` key) still deserializes.
+        let back: ExecutionPlan = serde_json::from_str(&json).unwrap();
+        assert!(!back.has_speculation());
+    }
+
+    #[test]
+    fn with_spec_sets_and_clears() {
+        let (cluster, graph) = setup();
+        let a = full_assignment(&cluster, 2, 8, 1);
+        let plan = ExecutionPlan::new(&graph, &cluster, vec![a; 6]).unwrap();
+        let id = graph.find("actor_gen").unwrap();
+        let specced = plan.with_spec(id, Some(spec_choice(&cluster))).unwrap();
+        assert!(specced.has_speculation());
+        assert_eq!(specced.spec_choices().count(), 1);
+        assert_eq!(specced.spec_choice(id).unwrap().config.speculation_len, 5);
+        // Toggling back off normalizes to a plan equal to the original.
+        let off = specced.with_spec(id, None).unwrap();
+        assert_eq!(off, plan);
+        assert!(!off.has_speculation());
+    }
+
+    #[test]
+    fn with_spec_rejects_invalid_choice() {
+        let (cluster, graph) = setup();
+        let a = full_assignment(&cluster, 2, 8, 1);
+        let plan = ExecutionPlan::new(&graph, &cluster, vec![a; 6]).unwrap();
+        let mut bad = spec_choice(&cluster);
+        bad.config.speculation_len = 0;
+        let err = plan.with_spec(CallId(0), Some(bad)).unwrap_err();
+        assert!(matches!(err, PlanError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn speculative_plan_round_trips_and_renders() {
+        let (cluster, graph) = setup();
+        let a = full_assignment(&cluster, 2, 8, 1);
+        let plan = ExecutionPlan::new(&graph, &cluster, vec![a; 6])
+            .unwrap()
+            .with_spec(
+                graph.find("actor_gen").unwrap(),
+                Some(spec_choice(&cluster)),
+            )
+            .unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: ExecutionPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+        let table = plan.render(&graph);
+        assert!(table.contains("speculative decoding"), "{table}");
+        assert!(table.contains("llama3-1b"), "{table}");
     }
 }

@@ -1,0 +1,131 @@
+//! Speculative-decoding plan choices.
+//!
+//! A [`SpecChoice`] attaches a draft/verify speculative-decode configuration
+//! to one generation call of an [`crate::ExecutionPlan`]: which draft model
+//! drafts, how (its own mesh + parallel strategy, priced through the same
+//! mesh enumeration as every other call), and the speculation length and
+//! acceptance curve that govern the round economics. It is the first plan
+//! dimension that changes *what* work runs, not just where.
+
+use crate::plan::CallAssignment;
+use real_model::specdec::SpecDecodeConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One generation call's speculative-decoding choice: the draft/verify
+/// configuration plus the draft model's placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecChoice {
+    /// Draft model, speculation length, and acceptance curve.
+    pub config: SpecDecodeConfig,
+    /// Where the draft model lives and how it parallelizes. May overlap
+    /// (or colocate with) the target's mesh: draft and verify alternate
+    /// sequentially within a round, so sharing GPUs is legal — the
+    /// estimator's Algorithm-1 serialization and the runtime's virtual
+    /// clock both account for it.
+    pub assignment: CallAssignment,
+}
+
+impl SpecChoice {
+    /// Validates the configuration and that the draft placement is
+    /// internally consistent (strategy fills the mesh, TP within the draft's
+    /// KV-head bound, PP within its layer count).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        self.config.validate()?;
+        let s = &self.assignment.strategy;
+        if s.world_size() != self.assignment.mesh.n_gpus() {
+            return Err(format!(
+                "draft strategy world {} != draft mesh size {}",
+                s.world_size(),
+                self.assignment.mesh.n_gpus()
+            ));
+        }
+        let draft = &self.config.draft_model;
+        if u64::from(s.tp()) > draft.max_tp() {
+            return Err(format!(
+                "draft tp {} exceeds draft max_tp {}",
+                s.tp(),
+                draft.max_tp()
+            ));
+        }
+        if u64::from(s.pp()) > draft.n_layers {
+            return Err(format!(
+                "draft pp {} exceeds draft layer count {}",
+                s.pp(),
+                draft.n_layers
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SpecChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "spec(draft={}, k={}) {}",
+            self.config.draft_model.name, self.config.speculation_len, self.assignment
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use real_cluster::{ClusterSpec, DeviceMesh};
+    use real_model::specdec::AcceptanceCurve;
+    use real_model::{ModelSpec, ParallelStrategy};
+
+    fn choice(k: u32) -> SpecChoice {
+        let cluster = ClusterSpec::h100(1);
+        SpecChoice {
+            config: SpecDecodeConfig {
+                draft_model: ModelSpec::llama3_1b(),
+                speculation_len: k,
+                acceptance_curve: AcceptanceCurve::Constant(0.8),
+            },
+            assignment: CallAssignment::new(
+                DeviceMesh::sub_node(&cluster, 0, 0, 2).unwrap(),
+                ParallelStrategy::new(1, 2, 1, 1).unwrap(),
+            )
+            .unwrap(),
+        }
+    }
+
+    #[test]
+    fn valid_choice_passes() {
+        choice(5).validate().unwrap();
+    }
+
+    #[test]
+    fn zero_k_rejected() {
+        assert!(choice(0).validate().is_err());
+    }
+
+    #[test]
+    fn overlarge_draft_tp_rejected() {
+        let mut c = choice(5);
+        c.assignment.strategy = ParallelStrategy::new(1, 16, 1, 1).unwrap();
+        c.assignment.mesh = DeviceMesh::whole_nodes(&ClusterSpec::h100(2), 0, 2).unwrap();
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn display_names_draft_and_k() {
+        let s = choice(5).to_string();
+        assert!(s.contains("llama3-1b"), "{s}");
+        assert!(s.contains("k=5"), "{s}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = choice(4);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SpecChoice = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

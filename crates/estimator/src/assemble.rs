@@ -70,6 +70,24 @@ fn generate_duration(
     prompt_len: u64,
     gen_len: u64,
 ) -> f64 {
+    let (prefill, decode) = generate_split_duration(call, a, db, comm, batch, prompt_len, gen_len);
+    prefill + decode
+}
+
+/// [`call_duration`]'s generation price split into its `(prefill, decode)`
+/// phases. The sum is the plain generation duration; speculative-decoding
+/// pricing rescales only the decode phase (the draft/verify rounds replace
+/// the plain decode rounds, while prefill is identical), so the split is the
+/// seam the spec-aware estimator plugs into.
+pub fn generate_split_duration(
+    call: &ModelFunctionCallDef,
+    a: &CallAssignment,
+    db: &ProfileDb,
+    comm: &CommModel,
+    batch: u64,
+    prompt_len: u64,
+    gen_len: u64,
+) -> (f64, f64) {
     let s = &a.strategy;
     let tp = s.tp();
     let mbs = u64::from(s.micro_batches());
@@ -98,7 +116,7 @@ fn generate_duration(
         + pp_p2p(comm, call, a, batch_mb)
         + lookup(db, OpKind::HeadFwd, tp, batch_mb as f64);
     let round = mbs.max(pp) as f64 * per_mb;
-    prefill + gen_len as f64 * round
+    (prefill, gen_len as f64 * round)
 }
 
 fn inference_duration(

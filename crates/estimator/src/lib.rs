@@ -49,8 +49,9 @@ pub mod augment;
 pub mod maxmem;
 pub mod memo;
 pub mod probe;
+pub mod spec;
 
-pub use memo::{CostMemo, MemoStats, PlanPricer};
+pub use memo::{CostMemo, MemoSnapshot, MemoStats, PlanPricer};
 
 use real_cluster::{ClusterHealth, ClusterSpec, CommModel};
 use real_dataflow::{CallId, DataflowGraph, ExecutionPlan};
@@ -165,6 +166,45 @@ impl Estimator {
         }
     }
 
+    /// Digest of the full pricing context *except* the health overlay:
+    /// cluster shape, iteration count, every call's name/model/workload, and
+    /// the profile databases (including their measurement noise, so a
+    /// re-profiled run never reuses stale prices). A persisted
+    /// [`CostMemo`] snapshot is only restorable against an estimator with
+    /// the same fingerprint; health drift is tracked separately via
+    /// [`Estimator::health_fingerprint`].
+    pub fn context_fingerprint(&self) -> u64 {
+        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        fn mix(h: u64, w: u64) -> u64 {
+            (h.rotate_left(5) ^ w).wrapping_mul(SEED)
+        }
+        fn mix_str(mut h: u64, s: &str) -> u64 {
+            for b in s.bytes() {
+                h = mix(h, u64::from(b));
+            }
+            mix(h, 0xff)
+        }
+        let mut h = mix(SEED, u64::from(self.cluster.total_gpus()));
+        h = mix(h, self.cluster.gpu.mem_capacity);
+        h = mix(h, self.iterations as u64);
+        for (_, def) in self.graph.iter() {
+            h = mix_str(h, &def.call_name);
+            h = mix_str(h, &def.model.name);
+            h = mix(h, def.model.param_count());
+            h = mix(h, def.call_type.total_tokens());
+        }
+        let mut names: Vec<&String> = self.profiles.keys().collect();
+        names.sort();
+        for name in names {
+            let db = &self.profiles[name];
+            h = mix_str(h, name);
+            h = mix(h, db.n_tables() as u64);
+            h = mix(h, db.n_samples());
+            h = mix(h, db.profiling_secs().to_bits());
+        }
+        h
+    }
+
     /// Overrides the number of iterations Algorithm 1 unrolls.
     ///
     /// # Panics
@@ -218,11 +258,52 @@ impl Estimator {
         }
     }
 
+    /// [`Estimator::call_duration`] of a generation call decoding
+    /// speculatively under `choice`: the prefill price unchanged, the decode
+    /// price scaled by the draft/verify round economics, plus the draft's
+    /// own prefill (see [`spec`]). Under a health overlay the duration
+    /// stretches by the *worse* of the target and draft meshes — a slow GPU
+    /// on either stalls the round.
+    pub fn spec_call_duration(
+        &self,
+        call: CallId,
+        assignment: &real_dataflow::CallAssignment,
+        choice: &real_dataflow::SpecChoice,
+    ) -> f64 {
+        let d = spec::spec_generate_duration(self, call, assignment, choice);
+        match &self.health {
+            Some(h) => {
+                d * h
+                    .mesh_factor(&assignment.mesh)
+                    .max(h.mesh_factor(&choice.assignment.mesh))
+            }
+            None => d,
+        }
+    }
+
+    /// Rewrites the augmented nodes of a speculative plan's generation
+    /// calls: the spec-aware duration replaces the plain one, and the draft
+    /// mesh joins the node's occupied meshes so Algorithm 1 serializes
+    /// colocated work against the draft. No-op for speculation-free plans.
+    fn patch_spec_nodes(&self, plan: &ExecutionPlan, nodes: &mut [augment::AugNode]) {
+        for node in nodes.iter_mut() {
+            if let augment::NodeKind::Call { call, .. } = node.kind {
+                if let Some(choice) = plan.spec_choice(call) {
+                    node.duration = self.spec_call_duration(call, plan.assignment(call), choice);
+                    node.meshes.push(choice.assignment.mesh);
+                }
+            }
+        }
+    }
+
     /// `TimeCost(G_p)`: the Algorithm 1 makespan of the augmented graph
     /// unrolled over the configured iterations, divided by the iteration
     /// count (steady-state per-iteration time).
     pub fn time_cost(&self, plan: &ExecutionPlan) -> f64 {
-        let nodes = augment::build(&self.graph, plan, self, self.iterations);
+        let mut nodes = augment::build(&self.graph, plan, self, self.iterations);
+        if plan.has_speculation() {
+            self.patch_spec_nodes(plan, &mut nodes);
+        }
         algorithm1::makespan(&nodes) / self.iterations as f64
     }
 
@@ -237,13 +318,16 @@ impl Estimator {
         metrics: &mut real_obs::MetricsRegistry,
     ) -> f64 {
         for (id, def) in self.graph.iter() {
-            metrics.gauge_set(
-                "estimator/call_seconds",
-                &[("call", &def.call_name)],
-                self.call_duration(id, plan.assignment(id)),
-            );
+            let secs = match plan.spec_choice(id) {
+                Some(choice) => self.spec_call_duration(id, plan.assignment(id), choice),
+                None => self.call_duration(id, plan.assignment(id)),
+            };
+            metrics.gauge_set("estimator/call_seconds", &[("call", &def.call_name)], secs);
         }
-        let nodes = augment::build(&self.graph, plan, self, self.iterations);
+        let mut nodes = augment::build(&self.graph, plan, self, self.iterations);
+        if plan.has_speculation() {
+            self.patch_spec_nodes(plan, &mut nodes);
+        }
         let per_iter = algorithm1::makespan_instrumented(&nodes, metrics) / self.iterations as f64;
         metrics.gauge_set("estimator/time_cost_seconds", &[], per_iter);
         per_iter
@@ -294,7 +378,10 @@ impl Estimator {
         let contained = self
             .graph
             .iter()
-            .all(|(id, _)| allocation.contains_mesh(&plan.assignment(id).mesh));
+            .all(|(id, _)| allocation.contains_mesh(&plan.assignment(id).mesh))
+            && plan
+                .spec_choices()
+                .all(|(_, c)| allocation.contains_mesh(&c.assignment.mesh));
         AllocationCost {
             step_secs: self.time_cost(plan),
             mem_ok: self.mem_ok(plan),

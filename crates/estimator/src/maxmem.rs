@@ -157,10 +157,19 @@ pub(crate) fn static_anchors(graph: &DataflowGraph) -> Vec<real_dataflow::CallId
 }
 
 /// Peak bytes over all GPUs: static plus the worst single call's active
-/// bytes on each GPU.
+/// bytes on each GPU. Speculative generation calls additionally pin their
+/// draft model's weights + KV cache on the draft mesh; drafts stay resident
+/// while speculation is enabled, so those bytes *sum* with colocated
+/// contributions like static memory does.
 pub fn max_mem(cluster: &ClusterSpec, graph: &DataflowGraph, plan: &ExecutionPlan) -> u64 {
     let n = cluster.total_gpus() as usize;
-    let static_mem = static_bytes_per_gpu(cluster, graph, plan);
+    let mut static_mem = static_bytes_per_gpu(cluster, graph, plan);
+    for (id, choice) in plan.spec_choices() {
+        let bytes = crate::spec::draft_active_bytes(&graph.call(id).call_type, choice);
+        for gpu in choice.assignment.mesh.gpus() {
+            static_mem[gpu.0 as usize] += bytes;
+        }
+    }
     let mut peak_active = vec![0u64; n];
 
     for (id, def) in graph.iter() {

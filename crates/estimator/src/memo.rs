@@ -26,10 +26,10 @@
 //! experiment against nested mesh regions and therefore revisit the same
 //! `(call, assignment)` keys constantly.
 
-use crate::augment::{self, NodeCosts, Template};
+use crate::augment::{self, NodeCosts, NodeKind, Template};
 use crate::{algorithm1, maxmem, Estimator, OOM_PENALTY};
 use real_cluster::DeviceMesh;
-use real_dataflow::{CallAssignment, CallId, ExecutionPlan};
+use real_dataflow::{CallAssignment, CallId, ExecutionPlan, SpecChoice};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -166,6 +166,11 @@ pub struct CostMemo {
     transfers: HashMap<(CallId, CallAssignment, CallAssignment), f64, FxBuild>,
     actives: HashMap<(CallId, CallAssignment), u64, FxBuild>,
     statics: HashMap<(CallId, CallAssignment), u64, FxBuild>,
+    /// Speculative generation durations, keyed by the call, its (target)
+    /// assignment, the draft's assignment, and the
+    /// [`SpecDecodeConfig`](real_model::SpecDecodeConfig) fingerprint —
+    /// everything [`Estimator::spec_call_duration`] depends on.
+    spec_durations: HashMap<(CallId, CallAssignment, CallAssignment, u64), f64, FxBuild>,
     /// Health fingerprint the cached entries were priced under; `None`
     /// until first attached to an estimator.
     health_tag: Option<u64>,
@@ -190,7 +195,8 @@ impl CostMemo {
                 + self.reallocs.len()
                 + self.transfers.len()
                 + self.actives.len()
-                + self.statics.len()) as u64,
+                + self.statics.len()
+                + self.spec_durations.len()) as u64,
         }
     }
 
@@ -209,6 +215,7 @@ impl CostMemo {
         self.transfers.clear();
         self.actives.clear();
         self.statics.clear();
+        self.spec_durations.clear();
         self.health_tag = Some(tag);
     }
 
@@ -298,6 +305,214 @@ impl CostMemo {
             }
         }
     }
+
+    fn spec_duration(
+        &mut self,
+        est: &Estimator,
+        call: CallId,
+        a: &CallAssignment,
+        choice: &SpecChoice,
+    ) -> f64 {
+        let key = (call, *a, choice.assignment, choice.config.fingerprint());
+        match self.spec_durations.get(&key) {
+            Some(&v) => {
+                self.hits += 1;
+                v
+            }
+            None => {
+                self.misses += 1;
+                let v = est.spec_call_duration(call, a, choice);
+                self.spec_durations.insert(key, v);
+                v
+            }
+        }
+    }
+
+    /// Serializes the cache for cross-process reuse (`real plan
+    /// --memo-out`). `context` must be the owning estimator's
+    /// [`Estimator::context_fingerprint`]; entries are emitted in a sorted,
+    /// deterministic order and `f64` prices as raw bits, so a warm restore
+    /// is bit-identical to the live cache.
+    pub fn snapshot(&self, context: u64) -> MemoSnapshot {
+        fn a_key(a: &CallAssignment) -> (u32, u32, u32, u32, u32, u32, u32, u32) {
+            (
+                a.mesh.node_start(),
+                a.mesh.n_nodes(),
+                a.mesh.gpu_start(),
+                a.mesh.gpu_width(),
+                a.strategy.dp(),
+                a.strategy.tp(),
+                a.strategy.pp(),
+                a.strategy.micro_batches(),
+            )
+        }
+        let mut durations: Vec<DurationEntry> = self
+            .durations
+            .iter()
+            .map(|(&(c, a), &v)| DurationEntry {
+                call: c.0 as u64,
+                a,
+                secs_bits: v.to_bits(),
+            })
+            .collect();
+        durations.sort_by_key(|e| (e.call, a_key(&e.a)));
+        let edge = |map: &HashMap<(CallId, CallAssignment, CallAssignment), f64, FxBuild>| {
+            let mut out: Vec<EdgeEntry> = map
+                .iter()
+                .map(|(&(c, src, dst), &v)| EdgeEntry {
+                    call: c.0 as u64,
+                    src,
+                    dst,
+                    secs_bits: v.to_bits(),
+                })
+                .collect();
+            out.sort_by_key(|e| (e.call, a_key(&e.src), a_key(&e.dst)));
+            out
+        };
+        let bytes = |map: &HashMap<(CallId, CallAssignment), u64, FxBuild>| {
+            let mut out: Vec<BytesEntry> = map
+                .iter()
+                .map(|(&(c, a), &v)| BytesEntry {
+                    call: c.0 as u64,
+                    a,
+                    bytes: v,
+                })
+                .collect();
+            out.sort_by_key(|e| (e.call, a_key(&e.a)));
+            out
+        };
+        let mut spec_durations: Vec<SpecDurationEntry> = self
+            .spec_durations
+            .iter()
+            .map(|(&(c, a, draft, config), &v)| SpecDurationEntry {
+                call: c.0 as u64,
+                a,
+                draft,
+                config,
+                secs_bits: v.to_bits(),
+            })
+            .collect();
+        spec_durations.sort_by_key(|e| (e.call, a_key(&e.a), a_key(&e.draft), e.config));
+        MemoSnapshot {
+            context,
+            health_tag: self.health_tag,
+            durations,
+            reallocs: edge(&self.reallocs),
+            transfers: edge(&self.transfers),
+            actives: bytes(&self.actives),
+            statics: bytes(&self.statics),
+            spec_durations,
+        }
+    }
+
+    /// Restores a cache from a snapshot, verifying it was taken under the
+    /// same pricing context (cluster, graph, model specs, profiles).
+    /// Returns `None` on a context mismatch — the caller starts cold. The
+    /// snapshot's health tag is preserved, so attaching the restored memo to
+    /// an estimator with a different health overlay still drops every entry
+    /// through the normal [`CostMemo::sync_health`] rule.
+    pub fn from_snapshot(snap: &MemoSnapshot, context: u64) -> Option<Self> {
+        if snap.context != context {
+            return None;
+        }
+        let mut memo = Self {
+            health_tag: snap.health_tag,
+            ..Self::default()
+        };
+        for e in &snap.durations {
+            memo.durations
+                .insert((CallId(e.call as usize), e.a), f64::from_bits(e.secs_bits));
+        }
+        for e in &snap.reallocs {
+            memo.reallocs.insert(
+                (CallId(e.call as usize), e.src, e.dst),
+                f64::from_bits(e.secs_bits),
+            );
+        }
+        for e in &snap.transfers {
+            memo.transfers.insert(
+                (CallId(e.call as usize), e.src, e.dst),
+                f64::from_bits(e.secs_bits),
+            );
+        }
+        for e in &snap.actives {
+            memo.actives.insert((CallId(e.call as usize), e.a), e.bytes);
+        }
+        for e in &snap.statics {
+            memo.statics.insert((CallId(e.call as usize), e.a), e.bytes);
+        }
+        for e in &snap.spec_durations {
+            memo.spec_durations.insert(
+                (CallId(e.call as usize), e.a, e.draft, e.config),
+                f64::from_bits(e.secs_bits),
+            );
+        }
+        Some(memo)
+    }
+}
+
+/// A serialized [`CostMemo`]: the persistence format behind `real plan
+/// --memo-out/--memo-in`. Prices are stored as raw `f64` bits and entries
+/// in a deterministic sorted order; the embedded context fingerprint and
+/// health tag gate restoration (see [`CostMemo::from_snapshot`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoSnapshot {
+    context: u64,
+    health_tag: Option<u64>,
+    durations: Vec<DurationEntry>,
+    reallocs: Vec<EdgeEntry>,
+    transfers: Vec<EdgeEntry>,
+    actives: Vec<BytesEntry>,
+    statics: Vec<BytesEntry>,
+    spec_durations: Vec<SpecDurationEntry>,
+}
+
+impl MemoSnapshot {
+    /// The pricing-context fingerprint this snapshot was taken under.
+    pub fn context(&self) -> u64 {
+        self.context
+    }
+
+    /// Total entries across all tables.
+    pub fn n_entries(&self) -> usize {
+        self.durations.len()
+            + self.reallocs.len()
+            + self.transfers.len()
+            + self.actives.len()
+            + self.statics.len()
+            + self.spec_durations.len()
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct DurationEntry {
+    call: u64,
+    a: CallAssignment,
+    secs_bits: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct EdgeEntry {
+    call: u64,
+    src: CallAssignment,
+    dst: CallAssignment,
+    secs_bits: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct BytesEntry {
+    call: u64,
+    a: CallAssignment,
+    bytes: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SpecDurationEntry {
+    call: u64,
+    a: CallAssignment,
+    draft: CallAssignment,
+    config: u64,
+    secs_bits: u64,
 }
 
 /// Memo-backed [`NodeCosts`] oracle for [`Template::instantiate`].
@@ -398,22 +613,36 @@ impl<'a> PlanPricer<'a> {
         self.memo
     }
 
-    fn time_cost_at<F>(&mut self, assign: F) -> f64
+    fn time_cost_at<F>(&mut self, plan: &ExecutionPlan, assign: F) -> f64
     where
         F: Fn(CallId) -> CallAssignment,
     {
-        let nodes = self.template.instantiate(
+        let mut nodes = self.template.instantiate(
             self.est.graph(),
-            assign,
+            &assign,
             &mut MemoCosts {
                 est: self.est,
                 memo: &mut self.memo,
             },
         );
+        if plan.has_speculation() {
+            // Mirror `Estimator::patch_spec_nodes` through the memo: swap in
+            // the speculative duration and occupy the draft mesh.
+            for node in nodes.iter_mut() {
+                if let NodeKind::Call { call, .. } = node.kind {
+                    if let Some(choice) = plan.spec_choice(call) {
+                        node.duration =
+                            self.memo
+                                .spec_duration(self.est, call, &assign(call), choice);
+                        node.meshes.push(choice.assignment.mesh);
+                    }
+                }
+            }
+        }
         algorithm1::makespan(&nodes) / self.est.iterations() as f64
     }
 
-    fn max_mem_at<F>(&mut self, assign: F) -> u64
+    fn max_mem_at<F>(&mut self, plan: &ExecutionPlan, assign: F) -> u64
     where
         F: Fn(CallId) -> CallAssignment,
     {
@@ -425,6 +654,11 @@ impl<'a> PlanPricer<'a> {
             let bytes = self.memo.static_bytes(self.est, anchor, &a);
             statics.push((a.mesh, bytes));
         }
+        // Draft residency sums like static memory (see `maxmem::max_mem`).
+        for (id, choice) in plan.spec_choices() {
+            let bytes = crate::spec::draft_active_bytes(&graph.call(id).call_type, choice);
+            statics.push((choice.assignment.mesh, bytes));
+        }
         let mut actives: Vec<(DeviceMesh, u64)> = Vec::with_capacity(graph.n_calls());
         for id in 0..graph.n_calls() {
             let id = CallId(id);
@@ -435,13 +669,13 @@ impl<'a> PlanPricer<'a> {
         maxmem::peak_from_contributions(&statics, &actives)
     }
 
-    fn cost_checked_at<F>(&mut self, assign: F) -> (f64, bool)
+    fn cost_checked_at<F>(&mut self, plan: &ExecutionPlan, assign: F) -> (f64, bool)
     where
         F: Fn(CallId) -> CallAssignment,
     {
-        let t = self.time_cost_at(&assign);
+        let t = self.time_cost_at(plan, &assign);
         let cap = self.est.cluster().gpu.mem_capacity;
-        if self.max_mem_at(&assign) <= cap {
+        if self.max_mem_at(plan, &assign) <= cap {
             (t, false)
         } else {
             (t * OOM_PENALTY, true)
@@ -450,12 +684,12 @@ impl<'a> PlanPricer<'a> {
 
     /// `TimeCost` of the plan; bit-identical to [`Estimator::time_cost`].
     pub fn time_cost(&mut self, plan: &ExecutionPlan) -> f64 {
-        self.time_cost_at(|id| *plan.assignment(id))
+        self.time_cost_at(plan, |id| *plan.assignment(id))
     }
 
     /// `MaxMem` of the plan; bit-identical to [`Estimator::max_mem`].
     pub fn max_mem(&mut self, plan: &ExecutionPlan) -> u64 {
-        self.max_mem_at(|id| *plan.assignment(id))
+        self.max_mem_at(plan, |id| *plan.assignment(id))
     }
 
     /// Whether the plan fits device memory.
@@ -471,19 +705,20 @@ impl<'a> PlanPricer<'a> {
     /// The §5.2 search cost plus whether the OOM penalty applied;
     /// bit-identical to [`Estimator::cost_checked`].
     pub fn cost_checked(&mut self, plan: &ExecutionPlan) -> (f64, bool) {
-        self.cost_checked_at(|id| *plan.assignment(id))
+        self.cost_checked_at(plan, |id| *plan.assignment(id))
     }
 
     /// [`PlanPricer::cost_checked`] of `plan` with `call` reassigned to `a`,
     /// without materializing the perturbed plan — the MCMC proposal shape.
-    /// Bit-identical to pricing `plan.with_assignment(call, a)`.
+    /// The plan's speculation choices ride along unchanged. Bit-identical to
+    /// pricing `plan.with_assignment(call, a)`.
     pub fn cost_checked_perturbed(
         &mut self,
         plan: &ExecutionPlan,
         call: CallId,
         a: CallAssignment,
     ) -> (f64, bool) {
-        self.cost_checked_at(|id| if id == call { a } else { *plan.assignment(id) })
+        self.cost_checked_at(plan, |id| if id == call { a } else { *plan.assignment(id) })
     }
 }
 
@@ -603,6 +838,101 @@ mod tests {
             est.cost(&plan).to_bits(),
             "slowdown must change the price"
         );
+    }
+
+    fn spec_plan(plan: &ExecutionPlan) -> ExecutionPlan {
+        let (cluster, graph, _) = setup();
+        let choice = SpecChoice {
+            config: real_model::SpecDecodeConfig {
+                draft_model: real_model::ModelSpec::llama3_1b(),
+                speculation_len: 4,
+                acceptance_curve: real_model::AcceptanceCurve::Constant(0.8),
+            },
+            assignment: CallAssignment::new(
+                DeviceMesh::sub_node(cluster, 0, 0, 2).unwrap(),
+                ParallelStrategy::new(1, 2, 1, 1).unwrap(),
+            )
+            .unwrap(),
+        };
+        plan.with_spec(graph.find("actor_gen").unwrap(), Some(choice))
+            .unwrap()
+    }
+
+    #[test]
+    fn speculative_plans_price_bit_identically_through_the_memo() {
+        let (_, _, est) = setup();
+        let plan = spec_plan(&plan_from(&[1, 9, 17, 33, 65, 129]));
+        assert!(plan.has_speculation());
+        let mut pricer = PlanPricer::new(est);
+        for _ in 0..2 {
+            let fast = pricer.cost_checked(&plan);
+            let slow = est.cost_checked(&plan);
+            assert_eq!(fast.0.to_bits(), slow.0.to_bits());
+            assert_eq!(fast.1, slow.1);
+            assert_eq!(pricer.max_mem(&plan), est.max_mem(&plan));
+        }
+        assert!(pricer.memo_stats().hits > 0);
+    }
+
+    #[test]
+    fn spec_perturbed_pricing_matches_materialized_plan() {
+        let (cluster, _, est) = setup();
+        let plan = spec_plan(&plan_from(&[1, 9, 17, 33, 65, 129]));
+        let opts = options(cluster);
+        let mut pricer = PlanPricer::new(est);
+        for call in 0..6 {
+            let a = opts[(call * 41 + 3) % opts.len()];
+            let materialized = plan.with_assignment(CallId(call), a).unwrap();
+            assert_eq!(
+                pricer.cost_checked_perturbed(&plan, CallId(call), a),
+                est.cost_checked(&materialized),
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_identically() {
+        let (_, _, est) = setup();
+        let plan = spec_plan(&plan_from(&[2, 7, 19, 40, 77, 200]));
+        let mut pricer = PlanPricer::new(est);
+        let want = pricer.cost_checked(&plan);
+        let memo = pricer.into_memo();
+        let ctx = est.context_fingerprint();
+
+        let snap = memo.snapshot(ctx);
+        assert!(snap.n_entries() > 0);
+        assert_eq!(snap.context(), ctx);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MemoSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+
+        // Warm restore answers from cache, bit-identically.
+        let restored = CostMemo::from_snapshot(&back, ctx).unwrap();
+        let before = restored.stats();
+        assert_eq!(before.entries, memo.stats().entries);
+        let mut warm = PlanPricer::with_memo(est, restored);
+        assert_eq!(warm.memo_stats().entries, before.entries, "no invalidation");
+        let got = warm.cost_checked(&plan);
+        assert_eq!(got.0.to_bits(), want.0.to_bits());
+        assert_eq!(got.1, want.1);
+        assert_eq!(warm.memo_stats().misses, 0, "warm run must be all hits");
+
+        // A different context refuses restoration.
+        assert!(CostMemo::from_snapshot(&back, ctx ^ 1).is_none());
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_bytes() {
+        let (_, _, est) = setup();
+        let plan = spec_plan(&plan_from(&[3, 5, 8, 13, 21, 34]));
+        let ctx = est.context_fingerprint();
+        let mut p1 = PlanPricer::new(est);
+        p1.cost_checked(&plan);
+        let mut p2 = PlanPricer::new(est);
+        p2.cost_checked(&plan);
+        let s1 = serde_json::to_string(&p1.into_memo().snapshot(ctx)).unwrap();
+        let s2 = serde_json::to_string(&p2.into_memo().snapshot(ctx)).unwrap();
+        assert_eq!(s1, s2);
     }
 
     proptest::proptest! {

@@ -108,12 +108,34 @@ impl CostModel {
     /// context length is `past_len`. Memory-bound: streams the layer's
     /// weight shard plus the KV-cache shard.
     pub fn layer_decode_time(&self, batch: u64, past_len: u64, tp: u32, cuda_graph: bool) -> f64 {
+        self.layer_verify_time(batch, 1, past_len, tp, cuda_graph)
+    }
+
+    /// One verification forward of one layer: `new_tokens` fresh tokens per
+    /// sequence scored against a `past_len` context, for `batch` sequences.
+    ///
+    /// This is the speculative-decoding primitive: the weight shard and the
+    /// KV cache stream through HBM *once* and are amortized over all
+    /// `new_tokens` positions, while compute scales with `batch ·
+    /// new_tokens`. With `new_tokens = 1` this is exactly
+    /// [`layer_decode_time`](Self::layer_decode_time) — plain decode is the
+    /// degenerate verify — so a verify forward always costs at least one
+    /// plain step and at most `new_tokens` of them.
+    pub fn layer_verify_time(
+        &self,
+        batch: u64,
+        new_tokens: u64,
+        past_len: u64,
+        tp: u32,
+        cuda_graph: bool,
+    ) -> f64 {
         let tp_f = f64::from(tp.max(1));
         let b = batch as f64;
+        let t = b * new_tokens.max(1) as f64;
         let weights_io = self.layer_mat_params() as f64 * DTYPE_BYTES as f64 / tp_f;
         let kv_io =
             b * past_len as f64 * self.model.kv_dim() as f64 * 2.0 * DTYPE_BYTES as f64 / tp_f;
-        let flops = b
+        let flops = t
             * (2.0 * self.layer_mat_params() as f64
                 + 4.0 * past_len as f64 * self.model.hidden as f64)
             / tp_f;

@@ -15,7 +15,10 @@
 //!   communication) that plays the role of the paper's profiled hardware,
 //! - [`memory`] — static (parameters/gradients/optimizer) and active
 //!   (activations/KV-cache/logits) memory accounting used for the MaxMem
-//!   estimate and OOM pruning.
+//!   estimate and OOM pruning,
+//! - [`specdec`] — draft/verify speculative-decode pricing (acceptance
+//!   curves, round times, the spec-vs-plain per-token comparison) built on
+//!   the [`cost`] primitives.
 //!
 //! # Examples
 //!
@@ -31,8 +34,10 @@ pub mod cost;
 pub mod memory;
 pub mod parallel;
 pub mod spec;
+pub mod specdec;
 
 pub use cost::CostModel;
 pub use memory::MemoryModel;
 pub use parallel::ParallelStrategy;
 pub use spec::ModelSpec;
+pub use specdec::{AcceptanceCurve, SpecDecodeConfig};

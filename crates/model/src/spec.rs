@@ -61,6 +61,12 @@ impl ModelSpec {
         }
     }
 
+    /// LLaMA-3 1B (draft-sized; not in Table 1 — used as the small draft
+    /// model for speculative decoding).
+    pub fn llama3_1b() -> Self {
+        Self::llama3("llama3-1b", 2048, 8192, 16, 32, 8)
+    }
+
     /// LLaMA-3 7B (Table 1, column "7B").
     pub fn llama3_7b() -> Self {
         Self::llama3("llama3-7b", 4096, 14336, 32, 32, 8)
@@ -81,10 +87,11 @@ impl ModelSpec {
         Self::llama3("llama3-70b", 8192, 28672, 80, 64, 8)
     }
 
-    /// Looks a preset up by its short identifier (`"7b"`, `"13b"`, `"34b"`,
-    /// `"70b"`).
+    /// Looks a preset up by its short identifier (`"1b"`, `"7b"`, `"13b"`,
+    /// `"34b"`, `"70b"`).
     pub fn by_size(size: &str) -> Option<Self> {
         match size.to_ascii_lowercase().as_str() {
+            "1b" => Some(Self::llama3_1b()),
             "7b" => Some(Self::llama3_7b()),
             "13b" => Some(Self::llama3_13b()),
             "34b" => Some(Self::llama3_34b()),
@@ -227,9 +234,16 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        for size in ["7b", "13b", "34b", "70b"] {
+        for size in ["1b", "7b", "13b", "34b", "70b"] {
             ModelSpec::by_size(size).unwrap().validate().unwrap();
         }
+    }
+
+    #[test]
+    fn draft_preset_is_small() {
+        let d = ModelSpec::llama3_1b();
+        assert!(d.param_count() < ModelSpec::llama3_7b().param_count() / 4);
+        assert_eq!(d.max_tp(), 8);
     }
 
     #[test]

@@ -1,0 +1,365 @@
+//! Draft/verify speculative-decode pricing.
+//!
+//! Speculative decoding replaces `k` sequential target-model decode steps
+//! with one *round*: a small draft model decodes `k` tokens autoregressively,
+//! then the target scores all `k` drafted tokens (plus one bonus position) in
+//! a single verification forward. Because plain decode is bound by streaming
+//! the weight shard through HBM ([`CostModel::layer_verify_time`] amortizes
+//! that stream over every verified position), a round that accepts several
+//! draft tokens emits them for roughly the price of one target step.
+//!
+//! The functions here compose the per-layer primitives of [`crate::cost`]
+//! into full-model round prices. They are the single source of truth for
+//! "is speculation profitable on this call?": the estimator, the search, and
+//! the runtime master all call [`spec_decode_step_time`] with the same
+//! arguments, so the three layers always agree on the spec-vs-plain
+//! decision.
+//!
+//! Guarantees (property-tested):
+//! - acceptance 0 ⇒ the per-token price equals plain decode exactly,
+//! - the per-token price is monotone non-increasing in the acceptance rate,
+//! - the per-token price never drops below the verify forward's floor
+//!   (`verify / (k+1)` — one forward cannot emit more than `k+1` tokens).
+
+use crate::cost::CostModel;
+use crate::spec::ModelSpec;
+use serde::{Deserialize, Serialize};
+
+/// Per-position acceptance model for a (draft, target, task) pairing.
+///
+/// Position `i` (0-based) is the probability that the `i+1`-th drafted token
+/// is accepted *given* all earlier draft tokens were accepted. A round's
+/// expected emitted tokens (including the bonus token sampled from the
+/// verify distribution) is [`AcceptanceCurve::expected_accepted`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AcceptanceCurve {
+    /// One rate for every draft position.
+    Constant(f64),
+    /// Per-position rates; positions beyond the last entry reuse it.
+    PerPosition(Vec<f64>),
+}
+
+impl AcceptanceCurve {
+    /// The conditional acceptance rate at 0-based draft position `i`.
+    pub fn rate_at(&self, i: u32) -> f64 {
+        match self {
+            AcceptanceCurve::Constant(a) => a.clamp(0.0, 1.0),
+            AcceptanceCurve::PerPosition(v) => v
+                .get(i as usize)
+                .or_else(|| v.last())
+                .copied()
+                .unwrap_or(0.0)
+                .clamp(0.0, 1.0),
+        }
+    }
+
+    /// Expected tokens emitted per round with speculation length `k`:
+    /// `1 + Σ_{i=1..k} Π_{j<i} rate_at(j)` — the `1` is the bonus token the
+    /// verify forward always yields. Lies in `[1, k+1]`.
+    pub fn expected_accepted(&self, k: u32) -> f64 {
+        let mut expected = 1.0;
+        let mut survive = 1.0;
+        for i in 0..k {
+            survive *= self.rate_at(i);
+            expected += survive;
+        }
+        expected
+    }
+
+    /// Validates all rates lie in `[0, 1]` and per-position curves are
+    /// non-empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let check = |a: f64| -> Result<(), String> {
+            if !(0.0..=1.0).contains(&a) {
+                return Err(format!("acceptance rate {a} outside [0, 1]"));
+            }
+            Ok(())
+        };
+        match self {
+            AcceptanceCurve::Constant(a) => check(*a),
+            AcceptanceCurve::PerPosition(v) => {
+                if v.is_empty() {
+                    return Err("per-position acceptance curve is empty".into());
+                }
+                v.iter().try_for_each(|&a| check(a))
+            }
+        }
+    }
+
+    /// A deterministic content hash (used by the estimator's memo keys).
+    pub fn fingerprint(&self) -> u64 {
+        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        fn mix(h: u64, w: u64) -> u64 {
+            (h.rotate_left(5) ^ w).wrapping_mul(SEED)
+        }
+        match self {
+            AcceptanceCurve::Constant(a) => mix(mix(SEED, 1), a.to_bits()),
+            AcceptanceCurve::PerPosition(v) => {
+                v.iter().fold(mix(SEED, 2), |h, a| mix(h, a.to_bits()))
+            }
+        }
+    }
+}
+
+/// A speculative-decoding configuration: which draft model, how many tokens
+/// it drafts per round, and the acceptance behaviour of the pairing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecDecodeConfig {
+    /// The small draft model.
+    pub draft_model: ModelSpec,
+    /// Tokens drafted per round (`k`).
+    pub speculation_len: u32,
+    /// Acceptance-rate curve for this (draft, target, task) pairing.
+    pub acceptance_curve: AcceptanceCurve,
+}
+
+impl SpecDecodeConfig {
+    /// Expected tokens emitted per round.
+    pub fn expected_tokens_per_round(&self) -> f64 {
+        self.acceptance_curve
+            .expected_accepted(self.speculation_len)
+    }
+
+    /// Validates the draft architecture, `k ≥ 1`, and the curve.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        self.draft_model.validate()?;
+        if self.speculation_len == 0 {
+            return Err("speculation_len must be ≥ 1".into());
+        }
+        self.acceptance_curve.validate()
+    }
+
+    /// A deterministic content hash over (draft architecture, `k`, curve) —
+    /// the estimator's memo key component for a speculation choice.
+    pub fn fingerprint(&self) -> u64 {
+        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        let mut h = self.acceptance_curve.fingerprint();
+        for b in self.draft_model.name.bytes() {
+            h = (h.rotate_left(5) ^ u64::from(b)).wrapping_mul(SEED);
+        }
+        (h.rotate_left(5) ^ u64::from(self.speculation_len)).wrapping_mul(SEED)
+    }
+}
+
+/// The decode working shape shared by every pricing call: per-replica batch,
+/// current context length, and the kernel-launch regime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeShape {
+    /// Sequences decoded together (per model replica, after DP splitting).
+    pub batch: u64,
+    /// Average context length during the priced window.
+    pub past_len: u64,
+    /// Whether decode kernels replay through CUDA graphs.
+    pub cuda_graph: bool,
+    /// Whether the TP group sits on one node (NVLink all-reduces).
+    pub within_node: bool,
+}
+
+/// One full-model plain decode step: every layer's decode kernel plus its
+/// two TP all-reduces, then the output head.
+pub fn plain_step_time(m: &CostModel, shape: &DecodeShape, tp: u32) -> f64 {
+    let layer = m.layer_decode_time(shape.batch, shape.past_len, tp, shape.cuda_graph)
+        + 2.0 * m.tp_allreduce_time(shape.batch, tp, shape.within_node);
+    m.model().n_layers as f64 * layer + m.head_time(shape.batch, tp, false)
+}
+
+/// One full-model verification forward scoring `new_tokens` positions per
+/// sequence (the `k` drafted tokens plus the bonus position).
+pub fn verify_fwd_time(m: &CostModel, shape: &DecodeShape, tp: u32, new_tokens: u64) -> f64 {
+    let tokens = shape.batch * new_tokens.max(1);
+    let layer = m.layer_verify_time(
+        shape.batch,
+        new_tokens,
+        shape.past_len,
+        tp,
+        shape.cuda_graph,
+    ) + 2.0 * m.tp_allreduce_time(tokens, tp, shape.within_node);
+    m.model().n_layers as f64 * layer + m.head_time(tokens, tp, false)
+}
+
+/// One draft/verify round: the draft decodes `k` tokens sequentially, then
+/// the target verifies `k + 1` positions in one forward.
+pub fn spec_round_time(
+    target: &CostModel,
+    draft: &CostModel,
+    cfg: &SpecDecodeConfig,
+    shape: &DecodeShape,
+    tp_target: u32,
+    tp_draft: u32,
+) -> f64 {
+    let k = cfg.speculation_len;
+    let draft_step = plain_step_time(draft, shape, tp_draft);
+    f64::from(k) * draft_step + verify_fwd_time(target, shape, tp_target, u64::from(k) + 1)
+}
+
+/// The speculative per-token decode price: `min(plain, round / E[tokens])`.
+///
+/// The `min` models the runtime's fallback — a call where the round price
+/// divided by the expected accepted tokens is worse than plain decode simply
+/// runs plain decode, so speculation can never make a plan slower. At
+/// acceptance 0 the expected tokens per round is exactly 1 and the round
+/// (draft work plus a verify that costs at least one plain step) is strictly
+/// more expensive, so this reduces to `plain_step_time` exactly.
+pub fn spec_decode_step_time(
+    target: &CostModel,
+    draft: &CostModel,
+    cfg: &SpecDecodeConfig,
+    shape: &DecodeShape,
+    tp_target: u32,
+    tp_draft: u32,
+) -> f64 {
+    let plain = plain_step_time(target, shape, tp_target);
+    let round = spec_round_time(target, draft, cfg, shape, tp_target, tp_draft);
+    plain.min(round / cfg.expected_tokens_per_round())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use real_cluster::ClusterSpec;
+
+    fn pair(target: ModelSpec, draft: ModelSpec) -> (CostModel, CostModel) {
+        let cluster = ClusterSpec::h100(2);
+        (
+            CostModel::new(cluster.clone(), target),
+            CostModel::new(cluster, draft),
+        )
+    }
+
+    fn cfg(alpha: f64, k: u32) -> SpecDecodeConfig {
+        SpecDecodeConfig {
+            draft_model: ModelSpec::llama3_1b(),
+            speculation_len: k,
+            acceptance_curve: AcceptanceCurve::Constant(alpha),
+        }
+    }
+
+    const SHAPE: DecodeShape = DecodeShape {
+        batch: 8,
+        past_len: 1024,
+        cuda_graph: true,
+        within_node: true,
+    };
+
+    #[test]
+    fn expected_accepted_bounds() {
+        for k in [1u32, 4, 8] {
+            assert_eq!(AcceptanceCurve::Constant(0.0).expected_accepted(k), 1.0);
+            let full = AcceptanceCurve::Constant(1.0).expected_accepted(k);
+            assert!((full - f64::from(k + 1)).abs() < 1e-12);
+        }
+        // Geometric series for constant α.
+        let e = AcceptanceCurve::Constant(0.5).expected_accepted(3);
+        assert!((e - (1.0 + 0.5 + 0.25 + 0.125)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_position_curve_extends_last_rate() {
+        let c = AcceptanceCurve::PerPosition(vec![0.9, 0.5]);
+        assert_eq!(c.rate_at(0), 0.9);
+        assert_eq!(c.rate_at(1), 0.5);
+        assert_eq!(c.rate_at(7), 0.5);
+    }
+
+    #[test]
+    fn acceptance_zero_reduces_to_plain_decode() {
+        let (target, draft) = pair(ModelSpec::llama3_70b(), ModelSpec::llama3_7b());
+        let plain = plain_step_time(&target, &SHAPE, 8);
+        let spec = spec_decode_step_time(&target, &draft, &cfg(0.0, 5), &SHAPE, 8, 4);
+        assert!((spec - plain).abs() < 1e-9, "spec {spec} plain {plain}");
+    }
+
+    #[test]
+    fn verify_amortizes_but_never_undercuts_one_step() {
+        let (target, _) = pair(ModelSpec::llama3_70b(), ModelSpec::llama3_7b());
+        let one = verify_fwd_time(&target, &SHAPE, 8, 1);
+        let six = verify_fwd_time(&target, &SHAPE, 8, 6);
+        assert!(six >= one);
+        assert!(six < 6.0 * one, "verify must amortize: {six} vs {one}");
+        // new_tokens = 1 is exactly a plain step.
+        assert_eq!(one, plain_step_time(&target, &SHAPE, 8));
+    }
+
+    #[test]
+    fn high_acceptance_beats_plain_decode_for_7b_draft_on_70b() {
+        let (target, draft) = pair(ModelSpec::llama3_70b(), ModelSpec::llama3_7b());
+        let plain = plain_step_time(&target, &SHAPE, 8);
+        let spec = spec_decode_step_time(&target, &draft, &cfg(0.9, 5), &SHAPE, 8, 4);
+        assert!(
+            spec < plain / 1.5,
+            "α=0.9 k=5 should give ≥1.5× decode speedup: {} vs {}",
+            spec,
+            plain
+        );
+    }
+
+    #[test]
+    fn validate_catches_bad_configs() {
+        assert!(cfg(0.5, 0).validate().is_err());
+        assert!(cfg(1.5, 4).validate().is_err());
+        assert!(AcceptanceCurve::PerPosition(vec![]).validate().is_err());
+        assert!(cfg(0.8, 4).validate().is_ok());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        assert_ne!(cfg(0.8, 4).fingerprint(), cfg(0.8, 5).fingerprint());
+        assert_ne!(cfg(0.8, 4).fingerprint(), cfg(0.7, 4).fingerprint());
+        let mut other = cfg(0.8, 4);
+        other.draft_model = ModelSpec::llama3_7b();
+        assert_ne!(cfg(0.8, 4).fingerprint(), other.fingerprint());
+        assert_eq!(cfg(0.8, 4).fingerprint(), cfg(0.8, 4).fingerprint());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn step_time_monotone_non_increasing_in_acceptance(
+                lo in 0.0f64..1.0, hi in 0.0f64..1.0, k in 1u32..8
+            ) {
+                let (a, b) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+                let (target, draft) = pair(ModelSpec::llama3_70b(), ModelSpec::llama3_7b());
+                let t_lo = spec_decode_step_time(&target, &draft, &cfg(a, k), &SHAPE, 8, 4);
+                let t_hi = spec_decode_step_time(&target, &draft, &cfg(b, k), &SHAPE, 8, 4);
+                prop_assert!(t_hi <= t_lo + 1e-15, "α {a}→{b}: {t_lo} → {t_hi}");
+            }
+
+            #[test]
+            fn never_prices_below_verify_floor(
+                alpha in 0.0f64..1.0, k in 1u32..8, batch in 1u64..64
+            ) {
+                let shape = DecodeShape { batch, ..SHAPE };
+                let (target, draft) = pair(ModelSpec::llama3_70b(), ModelSpec::llama3_7b());
+                let spec = spec_decode_step_time(&target, &draft, &cfg(alpha, k), &shape, 8, 4);
+                let floor = verify_fwd_time(&target, &shape, 8, u64::from(k) + 1)
+                    / f64::from(k + 1);
+                prop_assert!(
+                    spec >= floor * (1.0 - 1e-9),
+                    "spec {spec} below verify floor {floor}"
+                );
+            }
+
+            #[test]
+            fn zero_acceptance_exactly_plain_for_any_pairing(
+                k in 1u32..8, batch in 1u64..64, past in 64u64..4096
+            ) {
+                let shape = DecodeShape { batch, past_len: past, ..SHAPE };
+                let (target, draft) = pair(ModelSpec::llama3_13b(), ModelSpec::llama3_1b());
+                let plain = plain_step_time(&target, &shape, 4);
+                let spec = spec_decode_step_time(&target, &draft, &cfg(0.0, k), &shape, 4, 1);
+                prop_assert!((spec - plain).abs() < 1e-9);
+            }
+        }
+    }
+}

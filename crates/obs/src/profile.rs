@@ -175,6 +175,100 @@ pub fn attribute_phases(spans: &[Span], makespan: f64) -> Vec<PhaseShare> {
         .collect()
 }
 
+/// Sub-row names of the generation breakdown, in attribution-precedence
+/// order (highest first); also the fixed row order of
+/// [`ProfileReport::gen_breakdown`].
+pub const GEN_SUBROWS: [&str; 4] = ["gen/draft", "gen/verify", "gen/fallback", "gen/other"];
+
+/// Classifies a kernel-span name into a generation sub-row index
+/// (position in [`GEN_SUBROWS`]), if it is one of the speculative-decoding
+/// span labels the runtime emits.
+fn gen_subrow(name: &str) -> Option<usize> {
+    match name {
+        "spec_draft_prefill" | "spec_draft_decode" => Some(0),
+        "spec_verify_fwd" => Some(1),
+        "spec_fallback_decode" => Some(2),
+        _ => None,
+    }
+}
+
+/// Splits the `generation` phase into `gen/draft`, `gen/verify`,
+/// `gen/fallback`, and `gen/other` sub-rows when speculative decoding is
+/// active — i.e. when any speculative kernel span appears in `spans`.
+/// Returns an empty vector otherwise, so non-speculative reports are
+/// untouched.
+///
+/// The sweep reproduces [`attribute_phases`]'s precedence exactly and, on
+/// every instant attributed to [`Phase::Generation`], picks the active
+/// sub-span of highest precedence (draft over verify over fallback), with
+/// `gen/other` absorbing generation time outside any speculative span
+/// (prefill, sampling head, plain decode of other calls). The sub-row
+/// seconds therefore sum to the `generation` row of [`attribute_phases`]
+/// bit-exactly — the conservation invariant the tests pin.
+pub fn attribute_generation(spans: &[Span], makespan: f64) -> Vec<PhaseShare> {
+    if !spans.iter().any(|s| gen_subrow(&s.name).is_some()) {
+        return Vec::new();
+    }
+    // Boundary events: phase spans tagged `[0, ALL)`, speculative sub-spans
+    // tagged `ALL + subrow`.
+    const SUB_BASE: usize = Phase::ALL.len();
+    let mut bounds: Vec<(f64, usize, i32)> = Vec::new();
+    for s in spans {
+        let tag = if let Some(p) = phase_of_category(&s.category) {
+            Some(p.index())
+        } else {
+            gen_subrow(&s.name).map(|j| SUB_BASE + j)
+        };
+        if let Some(tag) = tag {
+            let (a, b) = (s.start.clamp(0.0, makespan), s.end.clamp(0.0, makespan));
+            if b - a > 0.0 {
+                bounds.push((a, tag, 1));
+                bounds.push((b, tag, -1));
+            }
+        }
+    }
+    bounds.sort_by(|x, y| {
+        x.0.partial_cmp(&y.0)
+            .expect("span times are finite")
+            .then(x.1.cmp(&y.1))
+            .then(x.2.cmp(&y.2))
+    });
+    let mut active = [0i64; SUB_BASE + GEN_SUBROWS.len()];
+    let mut seconds = [0.0f64; GEN_SUBROWS.len()];
+    let mut prev = 0.0;
+    let credit = |active: &[i64], from: f64, to: f64, secs: &mut [f64]| {
+        if to <= from {
+            return;
+        }
+        let winner = Phase::ALL
+            .iter()
+            .position(|p| *p != Phase::Idle && active[p.index()] > 0)
+            .unwrap_or(Phase::Idle.index());
+        if winner != Phase::Generation.index() {
+            return;
+        }
+        let sub = (0..GEN_SUBROWS.len() - 1)
+            .find(|j| active[SUB_BASE + j] > 0)
+            .unwrap_or(GEN_SUBROWS.len() - 1);
+        secs[sub] += to - from;
+    };
+    for (ts, idx, delta) in bounds {
+        credit(&active, prev, ts, &mut seconds);
+        prev = prev.max(ts);
+        active[idx] += i64::from(delta);
+    }
+    credit(&active, prev, makespan, &mut seconds);
+    GEN_SUBROWS
+        .iter()
+        .zip(seconds)
+        .map(|(name, secs)| PhaseShare {
+            phase: (*name).to_string(),
+            seconds: secs,
+            share: if makespan > 0.0 { secs / makespan } else { 0.0 },
+        })
+        .collect()
+}
+
 /// Wall seconds during which spans of phase `a` and spans of phase `b`
 /// were simultaneously active anywhere in the stream — the measured
 /// generation/training overlap of an async off-policy run, for example.
@@ -356,7 +450,13 @@ impl PercentileSummary {
 
 /// The complete output of `real profile`: every view the paper's evaluation
 /// figures need, serializable as a committed baseline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are hand-written (not derived) so that
+/// [`ProfileReport::gen_breakdown`] — which only exists for speculative
+/// runs — is omitted from the JSON when empty. Non-speculative reports
+/// therefore serialize byte-identically to the pre-speculation format, and
+/// baselines committed before the field existed still deserialize.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProfileReport {
     /// Virtual makespan of the run.
     pub makespan: f64,
@@ -376,6 +476,62 @@ pub struct ProfileReport {
     pub estimator_gap: Vec<CallGap>,
     /// Distribution summaries (GPU idle gaps; sched stretch when present).
     pub percentiles: Vec<PercentileSummary>,
+    /// Speculative-decoding split of the `generation` phase, in
+    /// [`GEN_SUBROWS`] order; empty when the run decoded plainly (see
+    /// [`attribute_generation`]).
+    pub gen_breakdown: Vec<PhaseShare>,
+}
+
+impl Serialize for ProfileReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("makespan".to_string(), self.makespan.to_value()),
+            ("phases".to_string(), self.phases.to_value()),
+            ("critical_path".to_string(), self.critical_path.to_value()),
+            (
+                "crit_span_seconds".to_string(),
+                self.crit_span_seconds.to_value(),
+            ),
+            (
+                "crit_wait_seconds".to_string(),
+                self.crit_wait_seconds.to_value(),
+            ),
+            ("gpus".to_string(), self.gpus.to_value()),
+            ("overlap".to_string(), self.overlap.to_value()),
+            ("estimator_gap".to_string(), self.estimator_gap.to_value()),
+            ("percentiles".to_string(), self.percentiles.to_value()),
+        ];
+        if !self.gen_breakdown.is_empty() {
+            fields.push(("gen_breakdown".to_string(), self.gen_breakdown.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for ProfileReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        fn field<T: Deserialize>(v: &serde::Value, key: &str) -> Result<T, serde::Error> {
+            let f = v
+                .get(key)
+                .ok_or_else(|| serde::Error::custom(format!("missing field `{key}`")))?;
+            T::from_value(f)
+        }
+        Ok(Self {
+            makespan: field(v, "makespan")?,
+            phases: field(v, "phases")?,
+            critical_path: field(v, "critical_path")?,
+            crit_span_seconds: field(v, "crit_span_seconds")?,
+            crit_wait_seconds: field(v, "crit_wait_seconds")?,
+            gpus: field(v, "gpus")?,
+            overlap: field(v, "overlap")?,
+            estimator_gap: field(v, "estimator_gap")?,
+            percentiles: field(v, "percentiles")?,
+            gen_breakdown: match v.get("gen_breakdown") {
+                Some(f) => Deserialize::from_value(f)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 impl ProfileReport {
@@ -388,6 +544,7 @@ impl ProfileReport {
         let cp = CriticalPath::extract(&spans, makespan);
         let critical_path = cp.top_spans(&spans, top_k);
         let phases = attribute_phases(&spans, makespan);
+        let gen_breakdown = attribute_generation(&spans, makespan);
 
         // Lane names for the per-GPU views.
         let lane_name = |lane: &crate::events::LaneId| -> String {
@@ -477,6 +634,7 @@ impl ProfileReport {
                 "gpu-idle-gap-seconds",
                 &gap_samples,
             )],
+            gen_breakdown,
         }
     }
 
@@ -506,6 +664,19 @@ impl ProfileReport {
             "attributed to non-idle phases: {:.1}%\n\n",
             self.attributed_fraction() * 100.0
         ));
+
+        if !self.gen_breakdown.is_empty() {
+            let mut t = real_util::Table::new(vec!["generation sub-phase", "seconds", "share"]);
+            for p in &self.gen_breakdown {
+                t.row(vec![
+                    p.phase.clone(),
+                    format!("{:.2}", p.seconds),
+                    format!("{:.1}%", p.share * 100.0),
+                ]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
 
         let mut t = real_util::Table::new(vec!["critical-path span", "category", "seconds", "n"]);
         for e in &self.critical_path {
@@ -604,6 +775,34 @@ impl ProfileReport {
                     base.share * 100.0,
                     cur * 100.0,
                 ));
+            }
+        }
+        for base in &baseline.gen_breakdown {
+            let cur = self
+                .gen_breakdown
+                .iter()
+                .find(|p| p.phase == base.phase)
+                .map_or(0.0, |p| p.share);
+            let drift_pp = (cur - base.share) * 100.0;
+            if drift_pp.abs() > tolerance_pct {
+                violations.push(format!(
+                    "generation sub-phase `{}` share drifted {drift_pp:+.1}pp ({:.1}% -> {:.1}%; tolerance {tolerance_pct}pp)",
+                    base.phase,
+                    base.share * 100.0,
+                    cur * 100.0,
+                ));
+            }
+        }
+        if baseline.gen_breakdown.is_empty() {
+            for cur in &self.gen_breakdown {
+                if cur.share * 100.0 > tolerance_pct {
+                    violations.push(format!(
+                        "generation sub-phase `{}` is new at {:.1}% of makespan \
+                         (baseline was non-speculative; tolerance {tolerance_pct}pp)",
+                        cur.phase,
+                        cur.share * 100.0,
+                    ));
+                }
             }
         }
         // Critical-path composition: per-category share of the makespan.
@@ -772,6 +971,89 @@ mod tests {
         // Serialization is deterministic: same stream, same bytes.
         let again = serde_json::to_string(&ProfileReport::from_stream(&stream(), 10)).unwrap();
         assert_eq!(json, again);
+    }
+
+    /// `stream()` plus speculative-decoding kernel spans on a second GPU
+    /// lane, all within the generation call `[0, 4]` except a fallback span
+    /// that spills past it into the realloc window.
+    fn spec_stream() -> EventStream {
+        let mut s = stream();
+        let draft = LaneId::gpu(1, 0);
+        s.set_lane_name(draft, "node1", "gpu0");
+        s.span(draft, "spec_draft_prefill", "compute", 0.2, 0.6);
+        s.span(draft, "spec_draft_decode", "compute", 0.6, 2.0);
+        // Verify overlaps the draft tail [1.8, 2.0]: draft takes precedence.
+        s.span(LaneId::gpu(0, 0), "spec_verify_fwd", "compute", 1.8, 2.5);
+        // Fallback spills past the generation call into realloc [4, 5]:
+        // only [3.8, 4.0] counts.
+        s.span(
+            LaneId::gpu(0, 0),
+            "spec_fallback_decode",
+            "compute",
+            3.8,
+            4.5,
+        );
+        s
+    }
+
+    #[test]
+    fn gen_breakdown_tiles_the_generation_phase() {
+        let spans = reconstruct_spans(&spec_stream());
+        let phases = attribute_phases(&spans, 10.0);
+        let breakdown = attribute_generation(&spans, 10.0);
+        let gen = phases
+            .iter()
+            .find(|p| p.phase == "generation")
+            .unwrap()
+            .seconds;
+        let total: f64 = breakdown.iter().map(|p| p.seconds).sum();
+        assert!(
+            (total - gen).abs() < 1e-9,
+            "sub-rows {total} vs phase {gen}"
+        );
+        let get = |n: &str| breakdown.iter().find(|p| p.phase == n).unwrap().seconds;
+        // Draft union [0.2, 2.0]; verify loses the [1.8, 2.0] overlap;
+        // fallback clipped at the call boundary; other is the remainder.
+        assert!((get("gen/draft") - 1.8).abs() < 1e-9);
+        assert!((get("gen/verify") - 0.5).abs() < 1e-9);
+        assert!((get("gen/fallback") - 0.2).abs() < 1e-9);
+        assert!((get("gen/other") - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plain_stream_yields_no_breakdown_and_legacy_json() {
+        let r = ProfileReport::from_stream(&stream(), 10);
+        assert!(r.gen_breakdown.is_empty());
+        let json = serde_json::to_string(&r).unwrap();
+        // Byte-compatible with reports (and committed baselines) from
+        // before the field existed: the key is simply absent...
+        assert!(!json.contains("gen_breakdown"), "{json}");
+        // ...and such legacy JSON still deserializes, with an empty split.
+        let back: ProfileReport = serde_json::from_str(&json).unwrap();
+        assert!(back.gen_breakdown.is_empty());
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn speculative_report_roundtrips_renders_and_diffs_breakdown() {
+        let r = ProfileReport::from_stream(&spec_stream(), 10);
+        assert_eq!(r.gen_breakdown.len(), GEN_SUBROWS.len());
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("gen_breakdown"));
+        let back: ProfileReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+        let rendered = r.render();
+        assert!(rendered.contains("gen/draft"));
+        assert!(rendered.contains("gen/verify"));
+        // Self-diff is clean; against a non-speculative baseline the new
+        // sub-rows are flagged.
+        assert!(r.check_against(&r, 1.0).is_empty());
+        let plain = ProfileReport::from_stream(&stream(), 10);
+        let violations = r.check_against(&plain, 1.0);
+        assert!(
+            violations.iter().any(|v| v.contains("gen/draft")),
+            "{violations:?}"
+        );
     }
 
     #[test]

@@ -25,8 +25,10 @@
 //! assert!(db.profiling_secs() > 0.0);
 //! ```
 
+pub mod acceptance;
 pub mod db;
 pub mod profile;
 
+pub use acceptance::{calibrated_acceptance, SpecTask};
 pub use db::{OpKind, ProfileDb, ProfileKey, ProfileTable};
 pub use profile::{ProfileConfig, Profiler};

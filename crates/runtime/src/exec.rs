@@ -10,8 +10,9 @@
 use crate::config::EngineConfig;
 use crate::layout::Layout;
 use real_cluster::CommModel;
-use real_dataflow::{CallAssignment, CallType};
+use real_dataflow::{CallAssignment, CallType, SpecChoice};
 use real_model::cost::{CostModel, KERNELS_PER_LAYER_FWD};
+use real_model::specdec::{self, DecodeShape};
 use real_sim::{Category, FaultClock, Timelines, Trace};
 use real_util::DeterministicRng;
 
@@ -136,6 +137,76 @@ pub fn execute_call(ctx: &mut ExecCtx<'_>, a: &CallAssignment, call: CallType, r
     }
 }
 
+/// The plan's speculative-decoding attachment for one generation call: the
+/// [`SpecChoice`] plus a cost model of the draft architecture — the same
+/// [`CostModel`] the estimator prices drafts with, so the runtime's
+/// profitability decision and the planner's agree.
+pub struct SpecExec<'a> {
+    /// Analytic cost model of the draft architecture.
+    pub draft_cost: &'a CostModel,
+    /// The plan's choice (draft, `k`, acceptance curve, draft placement).
+    pub choice: &'a SpecChoice,
+}
+
+/// One cost model per distinct draft architecture referenced by `plan`'s
+/// speculation choices. Empty when the plan decodes plainly, so spec-free
+/// runs never construct a draft model.
+pub(crate) fn draft_cost_models(
+    cluster: &real_cluster::ClusterSpec,
+    plan: &real_dataflow::ExecutionPlan,
+) -> std::collections::HashMap<String, CostModel> {
+    let mut out: std::collections::HashMap<String, CostModel> = std::collections::HashMap::new();
+    for (_, choice) in plan.spec_choices() {
+        out.entry(choice.config.draft_model.name.clone())
+            .or_insert_with(|| CostModel::new(cluster.clone(), choice.config.draft_model.clone()));
+    }
+    out
+}
+
+/// The speculative attachment for `call` under `plan`, resolved against a
+/// prebuilt draft cost-model map. `None` when the call decodes plainly or
+/// the draft architecture is absent from the map (plain-decode fallback).
+pub(crate) fn spec_exec_for<'a>(
+    plan: &'a real_dataflow::ExecutionPlan,
+    call: real_dataflow::CallId,
+    draft_costs: &'a std::collections::HashMap<String, CostModel>,
+) -> Option<SpecExec<'a>> {
+    plan.spec_choice(call).and_then(|c| {
+        draft_costs
+            .get(&c.config.draft_model.name)
+            .map(|dc| SpecExec {
+                draft_cost: dc,
+                choice: c,
+            })
+    })
+}
+
+/// Executes a call with an optional speculative-decoding attachment.
+/// `None` (or a non-generation call) takes exactly the [`execute_call`]
+/// path — same events, same RNG draws, byte-identical timings.
+pub fn execute_call_spec(
+    ctx: &mut ExecCtx<'_>,
+    a: &CallAssignment,
+    call: CallType,
+    ready: f64,
+    spec: Option<&SpecExec<'_>>,
+) -> f64 {
+    match (call, spec) {
+        (
+            CallType::Generate {
+                batch,
+                prompt_len,
+                gen_len,
+            },
+            Some(spec),
+        ) => {
+            let layout = Layout::new(a);
+            generate_spec(ctx, a, &layout, batch, prompt_len, gen_len, ready, spec)
+        }
+        _ => execute_call(ctx, a, call, ready),
+    }
+}
+
 #[derive(Clone, Copy, PartialEq)]
 enum Pass {
     /// Inference or prefill: forward only, head on the last stage.
@@ -257,28 +328,59 @@ fn generate(
     gen_len: u64,
     ready: f64,
 ) -> f64 {
+    let prefill_done = forward_pass(ctx, a, layout, batch, prompt_len, ready, Pass::Prefill);
+    let realized_gen_len = realized_gen_len(ctx, gen_len);
+    decode_loop(
+        ctx,
+        a,
+        layout,
+        batch,
+        prompt_len,
+        realized_gen_len,
+        prefill_done,
+        ready,
+        "layer_decode",
+    )
+}
+
+/// Realized generation length this iteration: the paper's protocol
+/// (Appendix A) always decodes to the configured maximum, which
+/// `gen_len_cv = 0` reproduces. A positive CV models the §7 limitation —
+/// "the generation length varies significantly during training" — as a
+/// per-iteration log-normal drift of the realized length. The estimator
+/// keeps pricing the configured length, which is exactly the
+/// unpredictability the paper warns invalidates its cost estimates.
+fn realized_gen_len(ctx: &mut ExecCtx<'_>, gen_len: u64) -> u64 {
+    if ctx.cfg.gen_len_cv > 0.0 {
+        let f = ctx.rng.lognormal_factor(ctx.cfg.gen_len_cv);
+        ((gen_len as f64 * f) as u64).max(1)
+    } else {
+        gen_len
+    }
+}
+
+/// The chunked token-by-token decode pipeline shared by plain generation
+/// (`compute_label = "layer_decode"`) and the speculative path's
+/// not-profitable fallback (`"spec_fallback_decode"`) — same events, same
+/// RNG draws; only the compute label differs.
+#[allow(clippy::too_many_arguments)]
+fn decode_loop(
+    ctx: &mut ExecCtx<'_>,
+    a: &CallAssignment,
+    layout: &Layout,
+    batch: u64,
+    prompt_len: u64,
+    realized_gen_len: u64,
+    prefill_done: f64,
+    ready: f64,
+    compute_label: &'static str,
+) -> f64 {
     let s = a.strategy;
     let (dp, tp, pp, mbs) = (s.dp(), s.tp(), s.pp(), s.micro_batches());
     let batch_r = replica_batch(batch, a);
     let batch_mb = batch_r.div_ceil(u64::from(mbs)).max(1);
     let stages = s.stage_layers(ctx.cost.model().n_layers);
     let chunk = ctx.cfg.decode_chunk.max(1);
-
-    let prefill_done = forward_pass(ctx, a, layout, batch, prompt_len, ready, Pass::Prefill);
-
-    // Realized generation length this iteration: the paper's protocol
-    // (Appendix A) always decodes to the configured maximum, which
-    // `gen_len_cv = 0` reproduces. A positive CV models the §7 limitation —
-    // "the generation length varies significantly during training" — as a
-    // per-iteration log-normal drift of the realized length. The estimator
-    // keeps pricing the configured length, which is exactly the
-    // unpredictability the paper warns invalidates its cost estimates.
-    let realized_gen_len = if ctx.cfg.gen_len_cv > 0.0 {
-        let f = ctx.rng.lognormal_factor(ctx.cfg.gen_len_cv);
-        ((gen_len as f64 * f) as u64).max(1)
-    } else {
-        gen_len
-    };
 
     let mut done = prefill_done;
     for d in 0..dp {
@@ -312,7 +414,7 @@ fn generate(
                     stage_ready,
                     compute,
                     Category::Compute,
-                    "layer_decode",
+                    compute_label,
                 );
                 if !ctx.cfg.cuda_graph {
                     // Per-kernel launches plus the host decoding loop's
@@ -337,6 +439,147 @@ fn generate(
         done = done.max(*stage_end.last().expect("pp >= 1"));
     }
     done
+}
+
+/// Speculative generation: the target prefills as usual, the draft prefills
+/// the prompt on its own mesh, then draft/verify rounds replace the plain
+/// decode loop. Profitability is decided ONCE per call with the exact
+/// [`real_model::specdec`] comparison the estimator's pricing uses; when
+/// speculation does not pay, the plain decode loop runs under the
+/// `spec_fallback_decode` label instead.
+///
+/// Each round drafts `k` tokens on the draft mesh, verifies `k + 1`
+/// positions in one target forward, and draws the number of accepted tokens
+/// per position from the acceptance curve on the deterministic RNG — so the
+/// virtual clock advances by however many rounds this seed actually needs.
+/// Rounds are aggregated into trace spans of roughly
+/// [`EngineConfig::decode_chunk`] drafted tokens (`spec_draft_decode` on the
+/// draft mesh, `spec_verify_fwd` on the target mesh).
+#[allow(clippy::too_many_arguments)]
+fn generate_spec(
+    ctx: &mut ExecCtx<'_>,
+    a: &CallAssignment,
+    layout: &Layout,
+    batch: u64,
+    prompt_len: u64,
+    gen_len: u64,
+    ready: f64,
+    spec: &SpecExec<'_>,
+) -> f64 {
+    let s = a.strategy;
+    let batch_mb = replica_batch(batch, a)
+        .div_ceil(u64::from(s.micro_batches()))
+        .max(1);
+    let cfg = &spec.choice.config;
+
+    // The estimator's decode shape, reproduced exactly so both layers make
+    // the same profitability call.
+    let shape = DecodeShape {
+        batch: batch_mb,
+        past_len: prompt_len + gen_len / 2,
+        cuda_graph: true,
+        within_node: a.tp_within_node(),
+    };
+    let tp_draft = spec.choice.assignment.strategy.tp();
+    let plain = specdec::plain_step_time(ctx.cost, &shape, s.tp());
+    let spec_step =
+        specdec::spec_decode_step_time(ctx.cost, spec.draft_cost, cfg, &shape, s.tp(), tp_draft);
+    let profitable = plain > 0.0 && spec_step < plain;
+
+    let prefill_done = forward_pass(ctx, a, layout, batch, prompt_len, ready, Pass::Prefill);
+    let realized_gen_len = realized_gen_len(ctx, gen_len);
+
+    if !profitable {
+        return decode_loop(
+            ctx,
+            a,
+            layout,
+            batch,
+            prompt_len,
+            realized_gen_len,
+            prefill_done,
+            ready,
+            "spec_fallback_decode",
+        );
+    }
+
+    let draft_gpus: Vec<usize> = spec
+        .choice
+        .assignment
+        .mesh
+        .gpus()
+        .map(|g| g.0 as usize)
+        .collect();
+    let target_gpus: Vec<usize> = a.mesh.gpus().map(|g| g.0 as usize).collect();
+
+    // Draft prefill on the draft mesh (the draft builds its KV cache before
+    // it can draft), priced with the same analytic formula as the
+    // estimator's `draft_prefill_secs`.
+    let ds = &spec.choice.assignment.strategy;
+    let d_mbs = u64::from(ds.micro_batches());
+    let d_pp = u64::from(ds.pp());
+    let d_batch_mb = batch.div_ceil(u64::from(ds.dp())).div_ceil(d_mbs).max(1);
+    let d_tokens_mb = d_batch_mb * prompt_len;
+    let d_stage_layers = ds.max_stage_layers(spec.draft_cost.model().n_layers) as f64;
+    let d_within = spec.choice.assignment.tp_within_node();
+    let d_prefill = (d_mbs + d_pp - 1) as f64
+        * d_stage_layers
+        * (spec
+            .draft_cost
+            .layer_fwd_time(d_tokens_mb, prompt_len / 2, ds.tp(), false)
+            + 2.0
+                * spec
+                    .draft_cost
+                    .tp_allreduce_time(d_tokens_mb, ds.tp(), d_within));
+    let draft_ready = ctx.event(
+        &draft_gpus,
+        ready,
+        d_prefill,
+        Category::Compute,
+        "spec_draft_prefill",
+    );
+
+    // Draft/verify rounds with per-round accepted-token accounting.
+    let k = cfg.speculation_len;
+    let draft_step = specdec::plain_step_time(spec.draft_cost, &shape, tp_draft);
+    let verify = specdec::verify_fwd_time(ctx.cost, &shape, s.tp(), u64::from(k) + 1);
+    let chunk = ctx.cfg.decode_chunk.max(1);
+
+    let mut t = prefill_done.max(draft_ready);
+    let mut produced = 0u64;
+    let mut pending_rounds = 0u64;
+    while produced < realized_gen_len {
+        let mut accepted = 0u32;
+        for i in 0..k {
+            if ctx.rng.uniform() < cfg.acceptance_curve.rate_at(i) {
+                accepted += 1;
+            } else {
+                break;
+            }
+        }
+        produced += u64::from(accepted) + 1;
+        pending_rounds += 1;
+        if pending_rounds * u64::from(k) >= chunk || produced >= realized_gen_len {
+            let draft_dur = (pending_rounds * u64::from(k)) as f64 * draft_step;
+            let verify_dur = pending_rounds as f64 * verify;
+            let drafted = ctx.event(
+                &draft_gpus,
+                t,
+                draft_dur,
+                Category::Compute,
+                "spec_draft_decode",
+            );
+            t = ctx.event(
+                &target_gpus,
+                drafted,
+                verify_dur,
+                Category::Compute,
+                "spec_verify_fwd",
+            );
+            pending_rounds = 0;
+        }
+    }
+    t
 }
 
 /// Training: per PPO mini-batch, a GPipe forward+backward pipeline, then the

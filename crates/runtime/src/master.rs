@@ -27,7 +27,7 @@
 //!    disabled — so a run always completes.
 
 use crate::config::EngineConfig;
-use crate::exec::{execute_call, ExecCtx};
+use crate::exec::{draft_cost_models, execute_call_spec, spec_exec_for, ExecCtx, SpecExec};
 use crate::memcheck;
 use crate::realloc::execute_realloc;
 use crate::replan::{ReplanEvent, ReplanOutcome, ReplanPolicy, ReplanReason, ReplanStats};
@@ -149,6 +149,7 @@ impl RuntimeEngine {
                 .entry(call.model.name.clone())
                 .or_insert_with(|| CostModel::new(self.cluster.clone(), call.model.clone()));
         }
+        let draft_costs = draft_cost_models(&self.cluster, plan);
         let comm = CommModel::new(&self.cluster);
         let mut tl = Timelines::new(self.cluster.total_gpus() as usize);
         let mut trace = if self.config.trace_capacity > 0 {
@@ -279,6 +280,7 @@ impl RuntimeEngine {
                     worker_count: a.mesh.n_gpus(),
                 });
 
+                let spec_exec = spec_exec_for(plan, call, &draft_costs);
                 let end = if let Some(clock) = fault_clock.as_ref() {
                     self.dispatch_resilient(
                         clock,
@@ -295,6 +297,7 @@ impl RuntimeEngine {
                         ready,
                         iter,
                         &mut fault_stats,
+                        spec_exec.as_ref(),
                     )
                 } else {
                     let mut ctx = ExecCtx {
@@ -307,7 +310,7 @@ impl RuntimeEngine {
                         zero3,
                         faults: None,
                     };
-                    execute_call(&mut ctx, a, def.call_type, ready)
+                    execute_call_spec(&mut ctx, a, def.call_type, ready, spec_exec.as_ref())
                 };
                 let end = end + post_hook;
                 master_log.responses.push(Response {
@@ -375,6 +378,7 @@ impl RuntimeEngine {
         ready: f64,
         iter: usize,
         stats: &mut FaultStats,
+        spec: Option<&SpecExec<'_>>,
     ) -> f64 {
         match self.dispatch_capped(
             clock,
@@ -391,6 +395,7 @@ impl RuntimeEngine {
             ready,
             iter,
             stats,
+            spec,
             None,
         ) {
             DispatchOutcome::Done(end) => end,
@@ -424,9 +429,21 @@ impl RuntimeEngine {
         ready: f64,
         iter: usize,
         stats: &mut FaultStats,
+        spec: Option<&SpecExec<'_>>,
         wait_cap: Option<f64>,
     ) -> DispatchOutcome {
-        let mesh: Vec<usize> = a.mesh.gpus().map(|g| g.0 as usize).collect();
+        // Participants: the target mesh, plus the draft mesh when the call
+        // decodes speculatively — availability waits, crash detection, and
+        // lost-work accounting all cover the draft workers too.
+        let mut mesh: Vec<usize> = a.mesh.gpus().map(|g| g.0 as usize).collect();
+        if let Some(spec) = spec {
+            for g in spec.choice.assignment.mesh.gpus() {
+                let g = g.0 as usize;
+                if !mesh.contains(&g) {
+                    mesh.push(g);
+                }
+            }
+        }
         let mut attempt_ready = ready;
         let mut failed: u32 = 0;
         loop {
@@ -475,7 +492,7 @@ impl RuntimeEngine {
                     zero3,
                     faults: None,
                 };
-                execute_call(&mut ctx, a, call_type, start) - start
+                execute_call_spec(&mut ctx, a, call_type, start, spec) - start
             };
             let predicted_wall = predicted_secs.map_or(nominal_wall, |p| p.max(nominal_wall));
             let deadline = if self.config.deadline_factor > 0.0 && !degraded {
@@ -498,7 +515,7 @@ impl RuntimeEngine {
                     zero3,
                     faults: Some(clock),
                 };
-                execute_call(&mut ctx, a, call_type, start)
+                execute_call_spec(&mut ctx, a, call_type, start, spec)
             };
 
             let crash = if degraded {
@@ -637,6 +654,7 @@ impl RuntimeEngine {
                 .entry(call.model.name.clone())
                 .or_insert_with(|| CostModel::new(self.cluster.clone(), call.model.clone()));
         }
+        let draft_costs = draft_cost_models(&self.cluster, plan);
         let comm = CommModel::new(&self.cluster);
         let mut tl = Timelines::new(self.cluster.total_gpus() as usize);
         let mut trace = if self.config.trace_capacity > 0 {
@@ -745,6 +763,7 @@ impl RuntimeEngine {
 
                     let cap = (capped && replan_stats.switches < policy.max_replans)
                         .then_some(policy.dead_after_secs);
+                    let spec_exec = spec_exec_for(&current, call, &draft_costs);
                     match self.dispatch_capped(
                         &clock,
                         cost,
@@ -760,6 +779,7 @@ impl RuntimeEngine {
                         ready,
                         iter,
                         &mut fault_stats,
+                        spec_exec.as_ref(),
                         cap,
                     ) {
                         DispatchOutcome::Done(end) => break (ready, end, a),
@@ -1318,6 +1338,151 @@ mod tests {
         // The run completed, later than the clean one.
         assert_eq!(report.timings.len(), 12);
         assert!(report.total_time > base.total_time);
+    }
+
+    fn spec_choice(
+        cluster: &ClusterSpec,
+        node: u32,
+        alpha: f64,
+        k: u32,
+    ) -> real_dataflow::SpecChoice {
+        real_dataflow::SpecChoice {
+            config: real_model::SpecDecodeConfig {
+                draft_model: ModelSpec::llama3_1b(),
+                speculation_len: k,
+                acceptance_curve: real_model::specdec::AcceptanceCurve::Constant(alpha),
+            },
+            assignment: CallAssignment::new(
+                DeviceMesh::sub_node(cluster, node, 0, 2).unwrap(),
+                ParallelStrategy::new(1, 2, 1, 1).unwrap(),
+            )
+            .unwrap(),
+        }
+    }
+
+    /// All calls on node 0, the draft on two GPUs of node 1 — disjoint
+    /// meshes, so a crash on the draft mesh can only reach the run through
+    /// the speculative dispatch's participant set.
+    fn speculative_plan(cluster: &ClusterSpec, graph: &DataflowGraph, alpha: f64) -> ExecutionPlan {
+        let a = CallAssignment::new(
+            DeviceMesh::whole_nodes(cluster, 0, 1).unwrap(),
+            ParallelStrategy::new(1, 8, 1, 8).unwrap(),
+        )
+        .unwrap();
+        let plan = ExecutionPlan::new(graph, cluster, vec![a; graph.n_calls()]).unwrap();
+        let gen = graph.find("actor_gen").unwrap();
+        plan.with_spec(gen, Some(spec_choice(cluster, 1, alpha, 4)))
+            .unwrap()
+    }
+
+    fn trace_labels(report: &RunReport) -> Vec<&'static str> {
+        report.trace.events().iter().map(|e| e.label).collect()
+    }
+
+    #[test]
+    fn speculative_run_emits_draft_and_verify_spans() {
+        let (cluster, graph) = setup(2, 64);
+        let plan = speculative_plan(&cluster, &graph, 0.8);
+        let cfg = EngineConfig {
+            trace_capacity: 1 << 16,
+            ..EngineConfig::deterministic()
+        };
+        let engine = RuntimeEngine::new(cluster, graph, cfg);
+        let report = engine.run(&plan, 1).unwrap();
+        let labels = trace_labels(&report);
+        for want in ["spec_draft_prefill", "spec_draft_decode", "spec_verify_fwd"] {
+            assert!(labels.contains(&want), "missing {want} in {labels:?}");
+        }
+        assert!(
+            !labels.contains(&"spec_fallback_decode"),
+            "profitable speculation must not fall back"
+        );
+        // Draft work lands on the draft mesh (node 1), verify on the target.
+        for e in report.trace.events() {
+            match e.label {
+                "spec_draft_prefill" | "spec_draft_decode" => {
+                    assert!((8..10).contains(&e.gpu), "draft span on gpu {}", e.gpu);
+                }
+                "spec_verify_fwd" => assert!(e.gpu < 8, "verify span on gpu {}", e.gpu),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn speculation_speeds_up_generation_at_high_acceptance() {
+        let (cluster, graph) = setup(2, 64);
+        let plain = {
+            let a = CallAssignment::new(
+                DeviceMesh::whole_nodes(&cluster, 0, 1).unwrap(),
+                ParallelStrategy::new(1, 8, 1, 8).unwrap(),
+            )
+            .unwrap();
+            ExecutionPlan::new(&graph, &cluster, vec![a; graph.n_calls()]).unwrap()
+        };
+        let spec = speculative_plan(&cluster, &graph, 0.8);
+        let engine = RuntimeEngine::new(cluster, graph, EngineConfig::deterministic());
+        let base = engine.run(&plain, 1).unwrap();
+        let fast = engine.run(&spec, 1).unwrap();
+        let base_gen = base.call_mean("actor_gen").unwrap();
+        let fast_gen = fast.call_mean("actor_gen").unwrap();
+        assert!(
+            fast_gen < base_gen,
+            "speculative generation {fast_gen} must beat plain {base_gen}"
+        );
+    }
+
+    #[test]
+    fn low_acceptance_speculation_falls_back_to_plain_decode() {
+        let (cluster, graph) = setup(2, 64);
+        let plan = speculative_plan(&cluster, &graph, 0.0);
+        let cfg = EngineConfig {
+            trace_capacity: 1 << 16,
+            ..EngineConfig::deterministic()
+        };
+        let engine = RuntimeEngine::new(cluster, graph, cfg);
+        let report = engine.run(&plan, 1).unwrap();
+        let labels = trace_labels(&report);
+        assert!(labels.contains(&"spec_fallback_decode"), "{labels:?}");
+        for banned in ["spec_draft_prefill", "spec_draft_decode", "spec_verify_fwd"] {
+            assert!(!labels.contains(&banned), "unprofitable spec ran {banned}");
+        }
+    }
+
+    #[test]
+    fn speculative_runs_replay_bit_identically_under_draft_mesh_fault() {
+        let (cluster, graph) = setup(2, 64);
+        let plan = speculative_plan(&cluster, &graph, 0.8);
+        // Find when generation runs fault-free, then crash a draft-mesh GPU
+        // (node 1) in the middle of it: only the speculative participant
+        // set can see that crash, since every call executes on node 0.
+        let base = RuntimeEngine::new(cluster.clone(), graph.clone(), EngineConfig::default())
+            .run(&plan, 2)
+            .unwrap();
+        let gen = base
+            .timings
+            .iter()
+            .find(|t| t.call_name == "actor_gen" && t.iter == 0)
+            .unwrap();
+        let mid = (gen.start + gen.end) / 2.0;
+        let fault_plan = real_sim::FaultPlan::new(16).crash(8, mid, 2.0);
+        let cfg = EngineConfig::default()
+            .with_fault_plan(fault_plan)
+            .with_trace(1 << 16);
+        let engine = RuntimeEngine::new(cluster, graph, cfg);
+        let a = engine.run(&plan, 2).unwrap();
+        let b = engine.run(&plan, 2).unwrap();
+        assert!(
+            a.faults.crashes >= 1,
+            "the draft-mesh crash must abort an attempt: {:?}",
+            a.faults
+        );
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.timings, b.timings);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.trace.events(), b.trace.events());
+        // Recovery waited out the draft worker's downtime.
+        assert!(a.total_time > base.total_time);
     }
 
     #[test]

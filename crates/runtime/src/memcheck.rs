@@ -102,6 +102,15 @@ pub fn mem_profile(
             static_mem[gpu.0 as usize] += bytes;
         }
     }
+    // Speculative generation pins the draft's weights + KV cache on the
+    // draft mesh for the whole run — the same accounting as the estimator's
+    // fast path, so both memory checks agree on speculative plans.
+    for (id, choice) in plan.spec_choices() {
+        let bytes = real_estimator::spec::draft_active_bytes(&graph.call(id).call_type, choice);
+        for gpu in choice.assignment.mesh.gpus() {
+            static_mem[gpu.0 as usize] += bytes;
+        }
+    }
 
     let mut peak_active = vec![0u64; n];
     let mut call_active = vec![0u64; graph.n_calls()];

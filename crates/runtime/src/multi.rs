@@ -37,7 +37,7 @@
 //! bit-exactly where it was.
 
 use crate::config::EngineConfig;
-use crate::exec::{execute_call, ExecCtx};
+use crate::exec::{execute_call_spec, spec_exec_for, ExecCtx};
 use crate::master::{RunError, RuntimeEngine};
 use crate::memcheck;
 use crate::realloc::execute_realloc;
@@ -118,6 +118,7 @@ struct TenantState {
     id: u64,
     engine: RuntimeEngine,
     costs: HashMap<String, CostModel>,
+    draft_costs: HashMap<String, CostModel>,
     clock: Option<FaultClock>,
     rng: DeterministicRng,
     trace: Trace,
@@ -234,6 +235,7 @@ impl TenantState {
                 worker_count: a.mesh.n_gpus(),
             });
 
+            let spec_exec = spec_exec_for(&self.current, call, &self.draft_costs);
             let end = if let Some(clock) = self.clock.as_ref() {
                 self.engine.dispatch_resilient(
                     clock,
@@ -250,6 +252,7 @@ impl TenantState {
                     ready,
                     iter,
                     &mut self.fault_stats,
+                    spec_exec.as_ref(),
                 )
             } else {
                 let mut ctx = ExecCtx {
@@ -262,7 +265,7 @@ impl TenantState {
                     zero3,
                     faults: None,
                 };
-                execute_call(&mut ctx, &a, def.call_type, ready)
+                execute_call_spec(&mut ctx, &a, def.call_type, ready, spec_exec.as_ref())
             };
             self.master_log.responses.push(Response {
                 call,
@@ -542,6 +545,7 @@ pub fn run_multi(
                 .entry(call.model.name.clone())
                 .or_insert_with(|| CostModel::new(cluster.clone(), call.model.clone()));
         }
+        let draft_costs = crate::exec::draft_cost_models(cluster, &t.plan);
         let clock = t
             .config
             .fault_plan
@@ -561,6 +565,7 @@ pub fn run_multi(
             id: t.id,
             engine: RuntimeEngine::new(cluster.clone(), t.graph.clone(), t.config.clone()),
             costs,
+            draft_costs,
             clock,
             rng: DeterministicRng::from_seed(seed)
                 .derive("tenant")

@@ -48,7 +48,7 @@
 //! count, the observed maximum, and the wall seconds during which
 //! generation and training were simultaneously in flight.
 
-use crate::exec::{execute_call, ExecCtx};
+use crate::exec::{draft_cost_models, execute_call_spec, spec_exec_for, ExecCtx};
 use crate::master::{RunError, RuntimeEngine};
 use crate::memcheck;
 use crate::realloc::{execute_realloc, realloc_volume};
@@ -129,6 +129,7 @@ impl RuntimeEngine {
                 .entry(call.model.name.clone())
                 .or_insert_with(|| CostModel::new(cluster.clone(), call.model.clone()));
         }
+        let draft_costs = draft_cost_models(cluster, plan);
         let comm = CommModel::new(cluster);
         let mut tl = Timelines::new(cluster.total_gpus() as usize);
         let mut trace = if config.trace_capacity > 0 {
@@ -251,6 +252,32 @@ impl RuntimeEngine {
                             tl.collective(&gpus, pdone, dur, Category::Realloc)
                         };
                         ready = ready.max(end);
+                        // When the call decodes speculatively the snapshot
+                        // also covers the draft's weights: the draft mesh
+                        // receives its (distilled) copy of the same stale
+                        // version before generation starts. Spec-free plans
+                        // never reach this branch, so they draw no extra
+                        // jitter and stay byte-identical.
+                        if let Some(c) = plan.spec_choice(call) {
+                            let da = &c.assignment;
+                            let per_gpu = realloc_volume(&c.config.draft_model, da) as f64
+                                / da.mesh.n_gpus() as f64;
+                            let within = da.mesh.n_nodes() == 1
+                                && pa.mesh.n_nodes() == 1
+                                && da.mesh.node_start() == pa.mesh.node_start();
+                            let mut dur = comm.broadcast(per_gpu, 2, within)
+                                * rng.lognormal_factor(config.jitter_sigma);
+                            let gpus: Vec<usize> = da.mesh.gpus().map(|g| g.0 as usize).collect();
+                            if let Some(clock) = fault_clock.as_ref() {
+                                let start = gpus
+                                    .iter()
+                                    .map(|&g| tl.gpu(g).busy_until())
+                                    .fold(pdone, f64::max);
+                                dur = clock.stretched(&gpus, start, dur, true);
+                            }
+                            let end = tl.collective(&gpus, pdone, dur, Category::Realloc);
+                            ready = ready.max(end);
+                        }
                     }
                 } else {
                     // Fresh chain among the model's non-generation calls.
@@ -308,6 +335,7 @@ impl RuntimeEngine {
                     }
                 }
 
+                let spec_exec = spec_exec_for(plan, call, &draft_costs);
                 let end = if let Some(clock) = fault_clock.as_ref() {
                     self.dispatch_resilient(
                         clock,
@@ -324,6 +352,7 @@ impl RuntimeEngine {
                         ready,
                         iter,
                         &mut fault_stats,
+                        spec_exec.as_ref(),
                     )
                 } else {
                     let mut ctx = ExecCtx {
@@ -336,7 +365,7 @@ impl RuntimeEngine {
                         zero3,
                         faults: None,
                     };
-                    execute_call(&mut ctx, a, def.call_type, ready)
+                    execute_call_spec(&mut ctx, a, def.call_type, ready, spec_exec.as_ref())
                 };
                 let end = end + post_hook;
                 master_log.responses.push(Response {
@@ -545,6 +574,60 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn stale_snapshot_broadcast_covers_draft_weights() {
+        // Speculative generation in an async run ships the draft's weights
+        // to the draft mesh alongside the target snapshot: the run stays
+        // deterministic, draft/verify spans appear, and the extra shipment
+        // charges more Realloc time than the same speculative plan run
+        // synchronously (which reallocates but never snapshots).
+        let cluster = ClusterSpec::h100(1);
+        let graph = ppo_graph(16);
+        let plan = split_plan(&cluster, &graph);
+        let gen = graph.find("actor_gen").unwrap();
+        let choice = real_dataflow::SpecChoice {
+            config: real_model::SpecDecodeConfig {
+                draft_model: real_model::ModelSpec::llama3_1b(),
+                speculation_len: 4,
+                acceptance_curve: real_model::specdec::AcceptanceCurve::Constant(0.8),
+            },
+            assignment: CallAssignment::new(
+                DeviceMesh::sub_node(&cluster, 0, 0, 2).unwrap(),
+                ParallelStrategy::new(1, 2, 1, 1).unwrap(),
+            )
+            .unwrap(),
+        };
+        let spec_plan = plan.with_spec(gen, Some(choice)).unwrap();
+        let eng = RuntimeEngine::new(
+            cluster.clone(),
+            graph,
+            EngineConfig {
+                trace_capacity: 1 << 16,
+                ..EngineConfig::deterministic().with_cuda_graph(true)
+            },
+        );
+        let a = eng.run_async(&spec_plan, 4, 1).unwrap();
+        let b = eng.run_async(&spec_plan, 4, 1).unwrap();
+        assert_eq!(a.timings, b.timings);
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.trace.events(), b.trace.events());
+        let labels: Vec<&str> = a.trace.events().iter().map(|e| e.label).collect();
+        assert!(labels.contains(&"spec_draft_decode"), "{labels:?}");
+        let realloc = |r: &RunReport| {
+            r.category_totals
+                .iter()
+                .find(|(k, _)| *k == Category::Realloc)
+                .map_or(0.0, |(_, v)| *v)
+        };
+        let plain_async = eng.run_async(&plan, 4, 1).unwrap();
+        assert!(
+            realloc(&a) > realloc(&plain_async),
+            "draft snapshot must charge extra Realloc: {} vs {}",
+            realloc(&a),
+            realloc(&plain_async)
+        );
     }
 
     #[test]

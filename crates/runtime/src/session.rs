@@ -34,7 +34,7 @@
 //! `tests/serving.rs`.
 
 use crate::config::EngineConfig;
-use crate::exec::{execute_call, ExecCtx};
+use crate::exec::{draft_cost_models, execute_call_spec, spec_exec_for, ExecCtx};
 use crate::master::{RunError, RuntimeEngine};
 use crate::memcheck;
 use crate::realloc::execute_realloc;
@@ -103,6 +103,7 @@ pub struct TenantSession {
     engine: RuntimeEngine,
     comm: CommModel,
     costs: HashMap<String, CostModel>,
+    draft_costs: HashMap<String, CostModel>,
     clock: Option<FaultClock>,
     rng: DeterministicRng,
     prologue_rng: DeterministicRng,
@@ -190,6 +191,7 @@ impl TenantSession {
         let predicted = config.predicted_secs.iter().cloned().collect();
         Ok(Self {
             id,
+            draft_costs: draft_cost_models(cluster, &plan),
             comm: CommModel::new(cluster),
             engine: RuntimeEngine::new(cluster.clone(), graph, config),
             costs,
@@ -341,6 +343,7 @@ impl TenantSession {
             }
 
             let ready = ready + rpc;
+            let spec_exec = spec_exec_for(&self.current, call, &self.draft_costs);
             let end = if let Some(clock) = self.clock.as_ref() {
                 self.engine.dispatch_resilient(
                     clock,
@@ -357,6 +360,7 @@ impl TenantSession {
                     ready,
                     iter,
                     &mut self.fault_stats,
+                    spec_exec.as_ref(),
                 )
             } else {
                 let mut ctx = ExecCtx {
@@ -369,7 +373,7 @@ impl TenantSession {
                     zero3,
                     faults: None,
                 };
-                execute_call(&mut ctx, &a, def.call_type, ready)
+                execute_call_spec(&mut ctx, &a, def.call_type, ready, spec_exec.as_ref())
             };
             executed[call.0] = Some(a);
             self.param_layout
@@ -452,6 +456,7 @@ impl TenantSession {
         self.realloc_secs += secs;
         self.resumes += 1;
         self.current = plan.clone();
+        self.draft_costs = draft_cost_models(self.engine.cluster(), plan);
         secs
     }
 

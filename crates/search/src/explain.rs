@@ -23,6 +23,24 @@ pub struct CallDiff {
     pub time_after_swap: f64,
 }
 
+/// One call's speculative-decoding difference between two plans: which
+/// draft model drafts, at what speculation length, and where the draft
+/// lives — or `off` when a side decodes plainly.
+#[derive(Debug, Clone)]
+pub struct SpecDiff {
+    /// The call.
+    pub call: CallId,
+    /// Call name.
+    pub call_name: String,
+    /// The base plan's speculation choice, rendered (`off` when plain).
+    pub from: String,
+    /// The target plan's speculation choice, rendered (`off` when plain).
+    pub to: String,
+    /// Estimated `TimeCost` after adopting the target's speculation choice
+    /// for this call on top of the base plan (all else unchanged).
+    pub time_after_swap: f64,
+}
+
 /// A full comparison between a base plan and a target plan.
 #[derive(Debug, Clone)]
 pub struct PlanComparison {
@@ -32,6 +50,9 @@ pub struct PlanComparison {
     pub target_time: f64,
     /// Per-call differences (only calls whose assignments differ).
     pub diffs: Vec<CallDiff>,
+    /// Per-call speculative-decoding differences (only calls whose
+    /// speculation choices differ).
+    pub spec_diffs: Vec<SpecDiff>,
 }
 
 impl PlanComparison {
@@ -56,9 +77,27 @@ impl PlanComparison {
                 format!("{:.2}", d.time_after_swap),
             ]);
         }
+        let mut out = t.render();
+        if !self.spec_diffs.is_empty() {
+            let mut s = Table::new(vec![
+                "call",
+                "base speculation",
+                "target speculation",
+                "TimeCost after single swap (s)",
+            ]);
+            for d in &self.spec_diffs {
+                s.row(vec![
+                    d.call_name.clone(),
+                    d.from.clone(),
+                    d.to.clone(),
+                    format!("{:.2}", d.time_after_swap),
+                ]);
+            }
+            out.push_str(&s.render());
+        }
         format!(
             "{}base {:.2}s -> target {:.2}s ({:.2}x)\n",
-            t.render(),
+            out,
             self.base_time,
             self.target_time,
             self.speedup()
@@ -90,10 +129,32 @@ pub fn compare(est: &Estimator, base: &ExecutionPlan, target: &ExecutionPlan) ->
             time_after_swap: est.time_cost(&swapped),
         });
     }
+    let render_spec = |c: Option<&real_dataflow::SpecChoice>| {
+        c.map_or_else(|| "off".to_string(), ToString::to_string)
+    };
+    let mut spec_diffs = Vec::new();
+    for (id, call) in graph.iter() {
+        let a = base.spec_choice(id);
+        let b = target.spec_choice(id);
+        if a == b {
+            continue;
+        }
+        let swapped = base
+            .with_spec(id, b.cloned())
+            .expect("speculation choices from valid plans stay valid");
+        spec_diffs.push(SpecDiff {
+            call: id,
+            call_name: call.call_name.clone(),
+            from: render_spec(a),
+            to: render_spec(b),
+            time_after_swap: est.time_cost(&swapped),
+        });
+    }
     PlanComparison {
         base_time,
         target_time,
         diffs,
+        spec_diffs,
     }
 }
 
@@ -127,8 +188,53 @@ mod tests {
         let plan = heuristic_plan(&est);
         let cmp = compare(&est, &plan, &plan);
         assert!(cmp.diffs.is_empty());
+        assert!(cmp.spec_diffs.is_empty());
         assert_eq!(cmp.base_time, cmp.target_time);
         assert!((cmp.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speculation_differences_are_reported() {
+        use real_cluster::DeviceMesh;
+        use real_dataflow::SpecChoice;
+        use real_model::specdec::AcceptanceCurve;
+        use real_model::{ParallelStrategy, SpecDecodeConfig};
+
+        let (est, _) = setup();
+        let plain = heuristic_plan(&est);
+        let cluster = est.cluster();
+        let gen = est.graph().find("actor_gen").unwrap();
+        let choice = SpecChoice {
+            config: SpecDecodeConfig {
+                draft_model: real_model::ModelSpec::llama3_1b(),
+                speculation_len: 4,
+                acceptance_curve: AcceptanceCurve::Constant(0.8),
+            },
+            assignment: real_dataflow::CallAssignment::new(
+                DeviceMesh::sub_node(cluster, 0, 0, 2).unwrap(),
+                ParallelStrategy::new(1, 2, 1, 1).unwrap(),
+            )
+            .unwrap(),
+        };
+        let speculative = plain.with_spec(gen, Some(choice)).unwrap();
+        let cmp = compare(&est, &plain, &speculative);
+        assert!(cmp.diffs.is_empty(), "assignments are unchanged");
+        assert_eq!(cmp.spec_diffs.len(), 1);
+        let d = &cmp.spec_diffs[0];
+        assert_eq!(d.call, gen);
+        assert_eq!(d.from, "off");
+        assert!(
+            d.to.contains("llama3-1b") && d.to.contains("k=4"),
+            "{}",
+            d.to
+        );
+        assert!(d.time_after_swap.is_finite() && d.time_after_swap > 0.0);
+        let rendered = cmp.render();
+        assert!(rendered.contains("speculation"), "{rendered}");
+        // The reverse direction renders `off` on the target side.
+        let back = compare(&est, &speculative, &plain);
+        assert_eq!(back.spec_diffs.len(), 1);
+        assert_eq!(back.spec_diffs[0].to, "off");
     }
 
     #[test]

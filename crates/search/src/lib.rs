@@ -16,7 +16,11 @@
 //! - [`checkpoint`] — serde checkpoint/restore of the MCMC chain state
 //!   (incumbent, best, RNG position, step count) plus projection of an
 //!   incumbent plan onto a shrunken space, powering warm-started mid-run
-//!   re-planning (`search_warm` / `resume`).
+//!   re-planning (`search_warm` / `resume`),
+//! - [`specsearch`] — speculative decoding as a searchable plan dimension: a
+//!   speculation menu (drafts × speculation lengths × draft placements), an
+//!   MH chain mixing assignment moves with spec toggle/resize/move moves,
+//!   and a greedy polish that strips non-improving speculation.
 
 pub mod brute;
 pub mod checkpoint;
@@ -25,10 +29,11 @@ pub mod greedy;
 pub mod heuristic;
 pub mod mcmc;
 pub mod space;
+pub mod specsearch;
 
 pub use brute::{brute_force, BruteConfig};
 pub use checkpoint::{project_onto, ChainState, SearchCheckpoint};
-pub use explain::{compare, CallDiff, PlanComparison};
+pub use explain::{compare, CallDiff, PlanComparison, SpecDiff};
 pub use greedy::greedy_plan;
 pub use heuristic::heuristic_plan;
 pub use mcmc::{
@@ -36,3 +41,6 @@ pub use mcmc::{
     search_warm_with_memo, search_with_memo, McmcConfig, SearchResult,
 };
 pub use space::{ImpossibleCall, PruneLevel, SearchSpace};
+pub use specsearch::{
+    search_speculative, search_speculative_with_memo, SpecMenu, SpecSearchResult,
+};
